@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or one
+of the DESIGN.md ablations/extensions), asserts the reproduced values, and
+times the regeneration with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import (
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    SequentialModel,
+    paper_example_parameters,
+)
+from repro.reader import MILD_BIAS, QualificationLevel, ReaderPanel
+from repro.screening import PopulationModel, SubtletyClassifier
+from repro.trial import ControlledTrial
+
+
+@pytest.fixture
+def paper_parameters():
+    return paper_example_parameters()
+
+
+@pytest.fixture
+def paper_model(paper_parameters):
+    return SequentialModel(paper_parameters)
+
+
+@pytest.fixture
+def trial_profile():
+    return PAPER_TRIAL_PROFILE
+
+
+@pytest.fixture
+def field_profile():
+    return PAPER_FIELD_PROFILE
+
+
+@pytest.fixture(scope="session")
+def simulated_trial_outcome():
+    """One shared controlled-trial run for the simulation-backed benches."""
+    classifier = SubtletyClassifier()
+    panel = ReaderPanel.sample(
+        4, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=301
+    )
+    trial = ControlledTrial(
+        population=PopulationModel(seed=302),
+        panel=panel,
+        cadt=Cadt(DetectionAlgorithm(), seed=303),
+        classifier=classifier,
+        num_cases=600,
+        cancer_fraction=0.5,
+        subtlety_enrichment=2.0,
+        on_empty_cell="pool",
+        seed=304,
+    )
+    return trial.run()

@@ -1,0 +1,135 @@
+"""Ablation: alternative criteria for dividing cases into classes.
+
+The paper's conclusions: "Our case study is continuing with ... selecting
+alternative criteria for dividing the cases into classes."  This bench
+compares the menu of classification criteria on one task — predicting the
+field failure probability from trial-estimated parameters — including the
+infeasible *oracle* criterion that classifies by latent difficulty,
+bounding how much error comes from imperfect observability versus from
+coarseness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import DetectionAlgorithm
+from repro.reader import MILD_BIAS, ReaderModel
+from repro.screening import (
+    CompositeClassifier,
+    DensityBandClassifier,
+    LesionTypeClassifier,
+    OracleDifficultyClassifier,
+    PopulationModel,
+    SingleClassClassifier,
+    SubtletyClassifier,
+)
+from repro.system import derive_model
+
+
+@pytest.fixture(scope="module")
+def transfer_setup():
+    """Trial cancers (subtlety-enriched mix) and field cancers (natural)."""
+    from repro.screening import trial_workload
+
+    trial_population = PopulationModel(seed=1801)
+    field_population = PopulationModel(seed=1802)
+    trial_cancers = trial_workload(
+        trial_population,
+        1500,
+        cancer_fraction=1.0,
+        subtlety_enrichment=1.5,
+        selection_seed=1803,
+    ).cases
+    field_cancers = field_population.generate_cancers(1500)
+    reader = ReaderModel(bias=MILD_BIAS, name="reader")
+    algorithm = DetectionAlgorithm()
+    return list(trial_cancers), field_cancers, reader, algorithm
+
+
+CRITERIA = {
+    "single class": SingleClassClassifier(),
+    "lesion type": LesionTypeClassifier(),
+    "density bands": DensityBandClassifier((0.35, 0.65)),
+    "subtlety (paper-style)": SubtletyClassifier(),
+    "subtlety x density": CompositeClassifier(
+        SubtletyClassifier(), DensityBandClassifier((0.5,))
+    ),
+    "oracle (latent difficulty)": OracleDifficultyClassifier((0.15, 0.3)),
+}
+
+
+def transfer_error(classifier, trial_cancers, field_cancers, reader, algorithm):
+    """Absolute error of the trial-parameter field prediction.
+
+    Parameters are derived on the trial mix (what a trial estimates),
+    then applied to the field profile; the truth is the exact per-case
+    field average.
+    """
+    trial_model, _ = derive_model(reader, algorithm, trial_cancers, classifier)
+    # Field profile under this classifier.
+    from repro.core import DemandProfile
+
+    counts: dict[str, int] = {}
+    for case in field_cancers:
+        name = classifier.classify(case).name
+        counts[name] = counts.get(name, 0) + 1
+    field_profile = DemandProfile.from_counts(counts)
+    predicted = trial_model.system_failure_probability(field_profile)
+
+    truth = float(
+        np.mean(
+            [
+                algorithm.miss_probability(c) * reader.p_false_negative(c, False)
+                + (1 - algorithm.miss_probability(c))
+                * reader.p_false_negative(c, True)
+                for c in field_cancers
+            ]
+        )
+    )
+    return predicted, truth, abs(predicted - truth)
+
+
+def test_classification_criteria_ranked(transfer_setup):
+    trial_cancers, field_cancers, reader, algorithm = transfer_setup
+    errors = {}
+    print()
+    for label, classifier in CRITERIA.items():
+        predicted, truth, error = transfer_error(
+            classifier, trial_cancers, field_cancers, reader, algorithm
+        )
+        errors[label] = error
+        print(
+            f"{label:<28} classes={len(classifier.classes):>2} "
+            f"predicted={predicted:.4f} truth={truth:.4f} error={error:.4f}"
+        )
+    # Any real classification beats no classification.
+    assert errors["subtlety (paper-style)"] < errors["single class"]
+    # The oracle bounds what observability can achieve.
+    assert errors["oracle (latent difficulty)"] <= errors["single class"]
+
+
+def test_oracle_among_best_criteria(transfer_setup):
+    """The infeasible oracle criterion should be near the top — homogeneous
+    classes transfer best (footnote 1)."""
+    trial_cancers, field_cancers, reader, algorithm = transfer_setup
+    errors = {
+        label: transfer_error(
+            classifier, trial_cancers, field_cancers, reader, algorithm
+        )[2]
+        for label, classifier in CRITERIA.items()
+    }
+    ranked = sorted(errors, key=errors.get)
+    assert ranked.index("oracle (latent difficulty)") <= 2
+
+
+def test_bench_criterion_comparison(benchmark, transfer_setup):
+    trial_cancers, field_cancers, reader, algorithm = transfer_setup
+    classifier = SubtletyClassifier()
+    result = benchmark(
+        lambda: transfer_error(
+            classifier, trial_cancers, field_cancers, reader, algorithm
+        )
+    )
+    assert result[2] < 0.1

@@ -1,0 +1,106 @@
+"""Ablation: classification granularity vs extrapolation quality.
+
+DESIGN.md ablation 2: footnote 1 of the paper states the homogeneity
+condition under which per-class parameters transfer between environments.
+This bench coarsens a fine (8-class) classification step by step and
+measures how the trial-to-field prediction degrades — ending at the
+single-class (marginal) model, which cannot react to the profile change at
+all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import class_granularity_study, marginal_vs_conditional_error
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    paper_example_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def fine_grained_world():
+    """An 8-class world with systematic difficulty gradients and a field
+    profile tilted toward the easy end (as screening populations are)."""
+    rng = np.random.default_rng(701)
+    parameters = {}
+    trial_weights = {}
+    field_weights = {}
+    for i in range(8):
+        hardness = i / 7.0
+        parameters[f"g{i}"] = ClassParameters(
+            p_machine_failure=0.03 + 0.5 * hardness,
+            p_human_failure_given_machine_failure=0.15 + 0.75 * hardness,
+            p_human_failure_given_machine_success=0.10 + 0.35 * hardness,
+        )
+        trial_weights[f"g{i}"] = 1.0
+        field_weights[f"g{i}"] = 2.0 ** (-2.0 * hardness)
+    return (
+        ModelParameters(parameters),
+        DemandProfile.from_weights(trial_weights),
+        DemandProfile.from_weights(field_weights),
+    )
+
+
+GROUPINGS = {
+    "8 classes": {f"g{i}": [f"g{i}"] for i in range(8)},
+    "4 classes": {f"pair{i}": [f"g{2 * i}", f"g{2 * i + 1}"] for i in range(4)},
+    "2 classes": {
+        "easyish": ["g0", "g1", "g2", "g3"],
+        "hardish": ["g4", "g5", "g6", "g7"],
+    },
+    "1 class": {"all": [f"g{i}" for i in range(8)]},
+}
+
+
+def test_granularity_error_is_monotone(fine_grained_world):
+    parameters, trial_profile, field_profile = fine_grained_world
+    points = class_granularity_study(parameters, trial_profile, field_profile, GROUPINGS)
+    by_name = {p.name: p for p in points}
+    print()
+    for name in ("8 classes", "4 classes", "2 classes", "1 class"):
+        p = by_name[name]
+        print(
+            f"{name}: predicted field PHf={p.predicted_field:.4f} "
+            f"(true {p.true_field:.4f}, error {p.absolute_error:.4f})"
+        )
+    assert by_name["8 classes"].absolute_error == pytest.approx(0.0, abs=1e-9)
+    assert (
+        by_name["8 classes"].absolute_error
+        <= by_name["4 classes"].absolute_error
+        <= by_name["2 classes"].absolute_error
+        <= by_name["1 class"].absolute_error
+    )
+    assert by_name["1 class"].absolute_error > 0.01
+
+
+def test_marginal_model_on_paper_example():
+    """The two-class paper example collapsed to one class: the marginal
+    analyst predicts 0.235 for the field where the truth is 0.189."""
+    result = marginal_vs_conditional_error(
+        paper_example_parameters(), PAPER_TRIAL_PROFILE, PAPER_FIELD_PROFILE
+    )
+    assert result["marginal_field"] == pytest.approx(0.235, abs=5e-4)
+    assert result["conditional_field"] == pytest.approx(0.189, abs=5e-4)
+    print()
+    print(
+        f"marginal field prediction={result['marginal_field']:.3f} "
+        f"conditional={result['conditional_field']:.3f} "
+        f"error={result['error']:+.3f}"
+    )
+
+
+def test_bench_granularity_study(benchmark, fine_grained_world):
+    parameters, trial_profile, field_profile = fine_grained_world
+    points = benchmark(
+        lambda: class_granularity_study(
+            parameters, trial_profile, field_profile, GROUPINGS
+        )
+    )
+    assert len(points) == 4

@@ -1,0 +1,136 @@
+"""Ablation: the unwarranted independence assumption (equation 2 vs truth).
+
+DESIGN.md ablation 1/3: quantify what an analyst loses by assuming the
+machine and the reader fail independently within a class (equation 2),
+when the within-class difficulty functions are in fact correlated — the
+exact pitfall the paper's conclusions warn about.  Also compares the
+parallel model against the sequential model when the parallel model's
+behavioural assumptions are violated (readers biased by prompts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import independence_assumption_error
+from repro.core import (
+    DemandProfile,
+    ParallelModel,
+    SequentialModel,
+    WithinClassDifficulty,
+)
+from repro.reader import MILD_BIAS, NO_BIAS, ReaderModel, ReadingProcedure
+from repro.screening import PopulationModel
+
+
+def parallel_model_from_population(correlation: float, misclassify: float = 0.1):
+    population = PopulationModel(
+        seed=601, difficulty_correlation=correlation, noise_scale=1.5
+    )
+    cancers = population.generate_cancers(3000)
+    varied = WithinClassDifficulty(
+        [c.machine_difficulty for c in cancers],
+        [c.human_detection_difficulty for c in cancers],
+    )
+    return ParallelModel({"all": varied.to_parallel_parameters(misclassify)})
+
+
+PROFILE = DemandProfile({"all": 1.0})
+
+
+def test_independence_error_grows_with_correlation():
+    errors = []
+    print()
+    for rho in (0.0, 0.5, 0.95):
+        model = parallel_model_from_population(rho)
+        result = independence_assumption_error(model, PROFILE)
+        errors.append(result.error)
+        print(
+            f"rho={rho:.2f}: true={result.true_probability:.4f} "
+            f"independent={result.independent_probability:.4f} "
+            f"error={result.error:+.4f}"
+        )
+    # Independence is optimistic (error < 0) and worsens with correlation.
+    assert errors[2] < errors[1] < errors[0] + 1e-6
+    assert errors[2] < -0.002
+
+
+def test_parallel_model_wrong_when_readers_biased():
+    """Violating the parallel model's assumption (reader unaffected by the
+    machine's output) makes its prediction optimistic; the sequential model
+    absorbs the bias into its conditionals and stays exact."""
+    population = PopulationModel(seed=602, noise_scale=0.8)
+    cancers = population.generate_cancers(2000)
+    biased_reader = ReaderModel(
+        bias=MILD_BIAS, procedure=ReadingProcedure.SEQUENTIAL, name="biased"
+    )
+
+    from repro.cadt import DetectionAlgorithm
+
+    algorithm = DetectionAlgorithm()
+    p_mf = np.array([algorithm.miss_probability(c) for c in cancers])
+
+    # What the parallel model would use: unaided miss and misclassification
+    # (measured without the tool), assuming they carry over unchanged.
+    p_hmiss = np.array([biased_reader.p_miss_unaided(c) for c in cancers])
+    p_misclass = np.array(
+        [
+            biased_reader.p_misclassify(c, feature_prompted=False, aided=False)
+            for c in cancers
+        ]
+    )
+    joint = float(np.mean(p_mf * p_hmiss))
+    parallel_prediction = joint + (1 - joint) * float(np.mean(p_misclass))
+
+    # Ground truth from the reader's actual aided conditionals.
+    p_hf_mf = np.array([biased_reader.p_false_negative(c, False) for c in cancers])
+    p_hf_ms = np.array([biased_reader.p_false_negative(c, True) for c in cancers])
+    truth = float(np.mean(p_mf * p_hf_mf + (1 - p_mf) * p_hf_ms))
+
+    print()
+    print(f"parallel-model prediction={parallel_prediction:.4f} truth={truth:.4f}")
+    # Prompt effectiveness helps the aided reader on machine successes, but
+    # complacency hurts on failures; the parallel model misses both effects.
+    assert parallel_prediction != pytest.approx(truth, abs=5e-3)
+
+
+def test_unbiased_parallel_procedure_validates_parallel_model():
+    """When the reader actually follows the parallel procedure with no bias
+    (and prompts merely restore the reader's own detection), the parallel
+    model's structure is close to truth — the regime where Section 3's
+    model is attractive."""
+    population = PopulationModel(seed=603, noise_scale=0.8)
+    cancers = population.generate_cancers(2000)
+    ideal_reader = ReaderModel(
+        bias=NO_BIAS,
+        procedure=ReadingProcedure.PARALLEL,
+        prompt_effectiveness=1.0,
+        name="ideal",
+    )
+    from repro.cadt import DetectionAlgorithm
+
+    algorithm = DetectionAlgorithm()
+    p_mf = np.array([algorithm.miss_probability(c) for c in cancers])
+    p_hmiss = np.array([ideal_reader.p_miss_unaided(c) for c in cancers])
+    p_misclass = np.array(
+        [
+            ideal_reader.p_misclassify(c, feature_prompted=False, aided=False)
+            for c in cancers
+        ]
+    )
+    # Per-case conditional independence (the model's own premise).
+    joint = float(np.mean(p_mf * p_hmiss))
+    parallel_prediction = joint + float(np.mean((1 - p_mf * p_hmiss) * p_misclass))
+
+    p_hf_mf = np.array([ideal_reader.p_false_negative(c, False) for c in cancers])
+    p_hf_ms = np.array([ideal_reader.p_false_negative(c, True) for c in cancers])
+    truth = float(np.mean(p_mf * p_hf_mf + (1 - p_mf) * p_hf_ms))
+    assert parallel_prediction == pytest.approx(truth, abs=2e-3)
+
+
+def test_bench_independence_ablation(benchmark):
+    """Time the ablation at one correlation level."""
+    model = parallel_model_from_population(0.7)
+    result = benchmark(lambda: independence_assumption_error(model, PROFILE))
+    assert result.error < 0

@@ -1,0 +1,109 @@
+"""End-to-end: simulated trial -> estimation -> field prediction -> check.
+
+The paper's whole methodology on our substrates: estimate per-class
+parameters from an enriched controlled trial, reweight with the field
+demand profile (equation 8), and verify the prediction against a direct
+simulation of field reading.  The trial-vs-field contrast of Table 2 must
+reappear: enriched trials overstate the failure probability seen in the
+field whenever difficult cases are oversampled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.screening import PopulationModel, SubtletyClassifier, empirical_profile, field_workload
+from repro.trial import estimate_model
+
+
+@pytest.fixture(scope="module")
+def field_data():
+    classifier = SubtletyClassifier()
+    population = PopulationModel(seed=501)
+    cases = field_workload(population, 30_000)
+    return classifier, cases, empirical_profile(cases, classifier)
+
+
+def test_trial_profile_overweights_difficult_cases(
+    simulated_trial_outcome, field_data
+):
+    """Enrichment oversamples hard presentations relative to the field."""
+    _, _, field_profile = field_data
+    trial_profile = simulated_trial_outcome.estimation.profile
+    assert trial_profile["difficult"] > field_profile["difficult"]
+    print()
+    print(f"trial profile:  {trial_profile}")
+    print(f"field profile:  {field_profile}")
+
+
+def test_field_prediction_below_trial_rate(simulated_trial_outcome, field_data):
+    """Table 2's shape: the field figure is lower than the trial figure."""
+    _, _, field_profile = field_data
+    estimation = simulated_trial_outcome.estimation
+    model = estimation.to_sequential_model()
+    trial_rate = model.system_failure_probability(estimation.profile)
+    field_rate = model.system_failure_probability(field_profile)
+    assert field_rate < trial_rate
+    print()
+    print(f"predicted trial PHf={trial_rate:.4f}  field PHf={field_rate:.4f}")
+
+
+def test_field_prediction_verified_by_simulation(simulated_trial_outcome, field_data):
+    """The reweighted prediction agrees with direct field simulation."""
+    classifier, cases, field_profile = field_data
+    estimation = simulated_trial_outcome.estimation
+    model = estimation.to_sequential_model()
+    predicted = model.system_failure_probability(field_profile)
+
+    rng = np.random.default_rng(502)
+    failures = 0
+    total = 0
+    cancers = cases.cancer_cases
+    # Average over the same panel the trial used (via its readers' analytic
+    # clones living in the trial outcome records is not possible; re-sample
+    # the panel deterministically instead).
+    from repro.reader import MILD_BIAS, QualificationLevel, ReaderPanel
+
+    panel = ReaderPanel.sample(4, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=301)
+    for reader in panel:
+        cadt = Cadt(DetectionAlgorithm(), seed=int(rng.integers(1 << 30)))
+        for case in cancers:
+            output = cadt.process(case)
+            decision = reader.decide(case, output, rng)
+            failures += int(not decision.recall)
+            total += 1
+    observed = failures / total
+    print()
+    print(f"predicted field PHf={predicted:.4f}  simulated={observed:.4f} (n={total})")
+    assert observed == pytest.approx(predicted, abs=0.04)
+
+
+def test_bench_end_to_end(benchmark):
+    """Time the full loop at reduced scale: trial + estimation + prediction."""
+    from repro.reader import MILD_BIAS, QualificationLevel, ReaderPanel
+    from repro.trial import ControlledTrial
+
+    classifier = SubtletyClassifier()
+
+    def pipeline():
+        panel = ReaderPanel.sample(
+            2, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=503
+        )
+        trial = ControlledTrial(
+            population=PopulationModel(seed=504),
+            panel=panel,
+            cadt=Cadt(DetectionAlgorithm(), seed=505),
+            classifier=classifier,
+            num_cases=150,
+            cancer_fraction=0.5,
+            on_empty_cell="pool",
+            seed=506,
+        )
+        outcome = trial.run()
+        model = outcome.estimation.to_sequential_model()
+        return model.system_failure_probability(outcome.estimation.profile)
+
+    rate = benchmark(pipeline)
+    assert 0.0 < rate < 1.0

@@ -1,0 +1,117 @@
+"""Equation (10): PHf = E[PHf|Ms] + PMf*E[t] + cov_x(PMf(x), t(x)).
+
+Section 6.2's across-class decomposition.  We verify exactness on the
+paper's example and on random many-class models, and demonstrate the
+design lesson: two models with identical *marginal* machine failure and
+identical *average* importance can have very different system failure
+probabilities, differing precisely by the covariance term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    PAPER_TRIAL_PROFILE,
+    SequentialModel,
+    paper_example_parameters,
+)
+
+
+def random_model(num_classes: int, seed: int):
+    rng = np.random.default_rng(seed)
+    params = {}
+    weights = {}
+    for i in range(num_classes):
+        p_ms_side = rng.uniform(0, 0.6)
+        params[f"c{i}"] = ClassParameters(
+            p_machine_failure=float(rng.uniform(0, 1)),
+            p_human_failure_given_machine_failure=float(
+                min(1.0, p_ms_side + rng.uniform(0, 0.4))
+            ),
+            p_human_failure_given_machine_success=float(p_ms_side),
+        )
+        weights[f"c{i}"] = float(rng.uniform(0.1, 1.0))
+    return SequentialModel(ModelParameters(params)), DemandProfile.from_weights(weights)
+
+
+def test_eq10_exact_on_paper_example():
+    model = SequentialModel(paper_example_parameters())
+    decomposition = model.covariance_decomposition(PAPER_TRIAL_PROFILE)
+    assert decomposition.total == pytest.approx(
+        model.system_failure_probability(PAPER_TRIAL_PROFILE), abs=1e-12
+    )
+    print()
+    print(
+        f"E[PHf|Ms]={decomposition.expected_human_failure_given_machine_success:.4f} "
+        f"PMf*E[t]={decomposition.independent_term:.4f} "
+        f"cov={decomposition.covariance:+.4f} "
+        f"total={decomposition.total:.4f}"
+    )
+
+
+def test_eq10_exact_on_random_models():
+    for seed in range(20):
+        model, profile = random_model(num_classes=8, seed=seed)
+        decomposition = model.covariance_decomposition(profile)
+        assert decomposition.total == pytest.approx(
+            model.system_failure_probability(profile), abs=1e-9
+        )
+
+
+def test_eq10_covariance_separates_equal_mean_designs():
+    """Two CADTs with the same marginal PMf and the same E[t]: the one whose
+    failures cluster on high-t classes is strictly worse, by cov exactly."""
+    profile = DemandProfile({"low_t": 0.5, "high_t": 0.5})
+    # t = 0.1 on low_t, t = 0.5 on high_t, same PHf|Ms.
+    aligned = SequentialModel(
+        ModelParameters(
+            {
+                "low_t": ClassParameters(0.1, 0.3, 0.2),   # machine good here
+                "high_t": ClassParameters(0.5, 0.7, 0.2),  # machine bad where t high
+            }
+        )
+    )
+    diverse = SequentialModel(
+        ModelParameters(
+            {
+                "low_t": ClassParameters(0.5, 0.3, 0.2),   # machine bad where t low
+                "high_t": ClassParameters(0.1, 0.7, 0.2),  # machine good where t high
+            }
+        )
+    )
+    aligned_decomposition = aligned.covariance_decomposition(profile)
+    diverse_decomposition = diverse.covariance_decomposition(profile)
+    # Identical means...
+    assert aligned_decomposition.mean_machine_failure == pytest.approx(
+        diverse_decomposition.mean_machine_failure
+    )
+    assert aligned_decomposition.mean_importance == pytest.approx(
+        diverse_decomposition.mean_importance
+    )
+    # ...but opposite covariance, and a materially different system.
+    assert aligned_decomposition.covariance > 0 > diverse_decomposition.covariance
+    gap = aligned.system_failure_probability(profile) - diverse.system_failure_probability(
+        profile
+    )
+    assert gap == pytest.approx(
+        aligned_decomposition.covariance - diverse_decomposition.covariance, abs=1e-12
+    )
+    print()
+    print(f"aligned PHf={aligned.system_failure_probability(profile):.4f} "
+          f"(cov={aligned_decomposition.covariance:+.4f})")
+    print(f"diverse PHf={diverse.system_failure_probability(profile):.4f} "
+          f"(cov={diverse_decomposition.covariance:+.4f})")
+
+
+def test_bench_eq10_many_classes(benchmark):
+    """Time the decomposition on a 200-class model."""
+    model, profile = random_model(num_classes=200, seed=99)
+    decomposition = benchmark(lambda: model.covariance_decomposition(profile))
+    assert decomposition.total == pytest.approx(
+        model.system_failure_probability(profile), abs=1e-9
+    )

@@ -1,0 +1,92 @@
+"""Equation (3): detection failure = PMf*PHmiss + cov(pMf, pHmiss).
+
+The paper's Section 3 result: within a class of cases, the joint detection
+failure probability of the parallel-redundant (machine, reader) pair
+exceeds the independent product exactly by the covariance of the per-case
+difficulty functions.  We verify this on synthetic populations whose
+machine/reader difficulty correlation we control, and show the diversity
+effect: anticorrelated difficulty beats independence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WithinClassDifficulty
+from repro.screening import PopulationModel
+
+
+def difficulty_functions(correlation: float, n: int = 4000):
+    population = PopulationModel(
+        seed=401, difficulty_correlation=correlation, noise_scale=1.5
+    )
+    cancers = population.generate_cancers(n)
+    return WithinClassDifficulty(
+        [c.machine_difficulty for c in cancers],
+        [c.human_detection_difficulty for c in cancers],
+    )
+
+
+def test_eq3_identity_holds_exactly():
+    varied = difficulty_functions(0.7)
+    product = varied.mean_machine_difficulty * varied.mean_human_difficulty
+    assert varied.joint_detection_failure == pytest.approx(
+        product + varied.covariance, abs=1e-12
+    )
+
+
+def test_eq3_correlated_difficulty_creates_common_mode():
+    """High difficulty correlation -> positive covariance -> the pair is
+    worse than independence predicts (the dangerous direction)."""
+    correlated = difficulty_functions(0.95)
+    product = correlated.mean_machine_difficulty * correlated.mean_human_difficulty
+    assert correlated.covariance > 0
+    assert correlated.joint_detection_failure > product
+    print()
+    print(
+        f"rho=0.95: PMf={correlated.mean_machine_difficulty:.3f} "
+        f"PHmiss={correlated.mean_human_difficulty:.3f} "
+        f"independent={product:.4f} actual={correlated.joint_detection_failure:.4f} "
+        f"cov={correlated.covariance:+.4f}"
+    )
+
+
+def test_eq3_covariance_grows_with_difficulty_correlation():
+    """The covariance term tracks the population's correlation knob — the
+    series a designer would plot when assessing diversity."""
+    covariances = []
+    for rho in (0.0, 0.5, 0.95):
+        varied = difficulty_functions(rho)
+        covariances.append(varied.covariance)
+        print(f"rho={rho:.2f}: cov={varied.covariance:+.5f} "
+              f"correlation={varied.correlation:+.3f}")
+    assert covariances[0] < covariances[1] < covariances[2]
+    assert covariances[2] > 3 * max(covariances[0], 1e-6)
+
+
+def test_eq3_diverse_pair_beats_independent_pair():
+    """Hand-built anticorrelated difficulties: the covariance is negative,
+    so redundancy buys more than the marginals suggest — the 'useful
+    diversity' the paper wants designers to aim for."""
+    machine = np.linspace(0.05, 0.6, 50)
+    human = machine[::-1]  # the machine is good exactly where the human is bad
+    varied = WithinClassDifficulty(machine.tolist(), human.tolist())
+    product = varied.mean_machine_difficulty * varied.mean_human_difficulty
+    assert varied.covariance < 0
+    assert varied.joint_detection_failure < product
+
+
+def test_bench_eq3_computation(benchmark):
+    """Time the covariance computation over a large class."""
+    population = PopulationModel(seed=402, difficulty_correlation=0.6)
+    cancers = population.generate_cancers(2000)
+    machine = [c.machine_difficulty for c in cancers]
+    human = [c.human_detection_difficulty for c in cancers]
+
+    def compute():
+        varied = WithinClassDifficulty(machine, human)
+        return varied.covariance, varied.joint_detection_failure
+
+    cov, joint = benchmark(compute)
+    assert 0.0 <= joint <= 1.0

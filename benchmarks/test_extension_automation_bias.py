@@ -1,0 +1,109 @@
+"""Extension: automation-bias dynamics (Sections 5-6 indirect effects).
+
+The paper's forecast: readers adapt to the CADT over time, "becoming more
+complacent about relying on its prompts", and machine false negatives are
+too rare for readers to notice and recalibrate (Section 6.1).  This bench
+runs the asymmetric trust dynamics over a realistic screening stream and
+measures the resulting drift in the reader's conditional failure
+probabilities — the mechanism that silently raises t(x) in the field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.reader import (
+    AdaptiveReader,
+    AdaptiveTrust,
+    MILD_BIAS,
+    ReaderModel,
+    simulate_trust_trajectory,
+)
+from repro.screening import Case, LesionType, PopulationModel, field_workload
+
+
+def make_cancer_case(**overrides) -> Case:
+    """A fixed reference cancer case (parameters overridable per test)."""
+    defaults = dict(
+        case_id=1,
+        has_cancer=True,
+        lesion_type=LesionType.MASS,
+        breast_density=0.5,
+        subtlety=0.4,
+        machine_difficulty=0.1,
+        human_detection_difficulty=0.2,
+        human_classification_difficulty=0.1,
+        distractor_level=0.3,
+    )
+    defaults.update(overrides)
+    return Case(**defaults)
+
+
+def adaptive_reader(seed: int) -> AdaptiveReader:
+    base = ReaderModel(bias=MILD_BIAS, name="adaptive", seed=seed)
+    return AdaptiveReader(
+        base, AdaptiveTrust(growth_rate=0.004, failure_penalty=0.5), seed=seed + 1
+    )
+
+
+def test_trust_climbs_in_field_conditions():
+    """At field prevalence (<1% cancers) the reader almost never catches a
+    machine miss, so trust — and with it complacency — ratchets upward."""
+    reader = adaptive_reader(1001)
+    cases = field_workload(PopulationModel(seed=1002), 800).cases
+    cadt = Cadt(DetectionAlgorithm(), seed=1003)
+    trajectory = simulate_trust_trajectory(reader, list(cases), cadt)
+    assert trajectory[-1] > 1.3
+    assert reader.trust.caught_failures <= 2
+    print()
+    print(
+        f"final trust={trajectory[-1]:.3f} after {len(cases)} cases "
+        f"(caught failures: {reader.trust.caught_failures})"
+    )
+
+
+def test_trust_drops_in_enriched_conditions():
+    """With an artificially bad machine on all-cancer input, the reader
+    catches failures often and trust collapses — the trial regime can look
+    nothing like the field regime (the paper's extrapolation caveat)."""
+    reader = adaptive_reader(1004)
+    population = PopulationModel(seed=1005)
+    cases = population.generate_cancers(300)
+    bad_cadt = Cadt(DetectionAlgorithm(threshold_shift=2.5), seed=1006)
+    trajectory = simulate_trust_trajectory(reader, cases, bad_cadt)
+    assert trajectory[-1] < 0.5
+    assert reader.trust.caught_failures > 10
+
+
+def test_complacency_drift_raises_conditional_failure():
+    """The end effect on the model's parameters: after trust growth, the
+    reader's PHf|Mf is strictly higher — t(x) has silently increased."""
+    reader = adaptive_reader(1007)
+    case = make_cancer_case(
+        human_detection_difficulty=0.3, human_classification_difficulty=0.1
+    )
+    before = reader.current_reader().p_false_negative(case, False)
+    floor_before = reader.current_reader().p_false_negative(case, True)
+    for _ in range(600):
+        reader.trust.observe_success()
+    after = reader.current_reader().p_false_negative(case, False)
+    floor_after = reader.current_reader().p_false_negative(case, True)
+    assert after > before
+    print()
+    print(f"PHf|Mf drift: {before:.4f} -> {after:.4f}")
+    print(f"PHf|Ms drift: {floor_before:.4f} -> {floor_after:.4f}")
+
+
+def test_bench_trust_trajectory(benchmark):
+    """Time a 300-case adaptive reading session."""
+    cases = field_workload(PopulationModel(seed=1008), 300).cases
+
+    def run():
+        reader = adaptive_reader(1009)
+        cadt = Cadt(DetectionAlgorithm(), seed=1010)
+        return simulate_trust_trajectory(reader, list(cases), cadt)
+
+    trajectory = benchmark(run)
+    assert len(trajectory) == 300

@@ -1,0 +1,148 @@
+"""Extension: the false-positive side of the model (paper §2.3, §7).
+
+"Our modelling approach describes the two kinds of failure by identical
+equations" — the paper develops only the false-negative side for space.
+This bench runs the identical machinery on the healthy subpopulation:
+"machine failure" = a false prompt, "reader failure" = an unnecessary
+recall.  The analytic FP-side derivation, the trial estimator, and direct
+simulation must all agree; and the persuasion mechanism makes false
+prompts genuinely *harmful* (t > 0 on the FP side too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import SequentialModel
+from repro.reader import MILD_BIAS, NO_BIAS, ReaderModel
+from repro.screening import PopulationModel, SubtletyClassifier, trial_workload
+from repro.system import derive_false_positive_class_parameters
+from repro.trial import estimate_model, run_reading_session
+
+
+@pytest.fixture(scope="module")
+def healthy_world():
+    population = PopulationModel(seed=1701)
+    healthy = population.generate_healthy(400)
+    reader = ReaderModel(bias=MILD_BIAS, name="r", seed=1702)
+    return healthy, reader, DetectionAlgorithm()
+
+
+def test_fp_side_importance_is_positive(healthy_world):
+    """False prompts push a persuadable reader toward needless recalls:
+    the FP-side t(x) is positive, exactly like the FN side's."""
+    healthy, reader, algorithm = healthy_world
+    params = derive_false_positive_class_parameters(reader, algorithm, healthy)
+    print()
+    print(
+        f"FP side: P(prompted)={params.p_machine_failure:.3f} "
+        f"P(recall|prompted)={params.p_human_failure_given_machine_failure:.3f} "
+        f"P(recall|clean)={params.p_human_failure_given_machine_success:.3f} "
+        f"t={params.importance_index:.3f}"
+    )
+    assert params.importance_index > 0.02
+
+
+def test_fp_side_unbiased_reader_shows_only_coherence(healthy_world):
+    """Without persuasion the prompts carry no *influence*: per case the
+    recall probability ignores the prompt count entirely.  Yet the
+    class-level t is slightly positive — busy films attract both false
+    prompts and false recalls, so conditioning on "prompted" selects
+    harder cases.  This is exactly §6.2's coherence-vs-importance caveat,
+    appearing on the FP side."""
+    healthy, biased_reader, algorithm = healthy_world
+    stoic = ReaderModel(bias=NO_BIAS, name="stoic")
+    # Per case: zero influence.
+    probe = healthy[0]
+    assert stoic.p_false_positive(probe, 3) == pytest.approx(
+        stoic.p_false_positive(probe, 0)
+    )
+    # Class level: a small positive *coherence* index remains...
+    stoic_params = derive_false_positive_class_parameters(stoic, algorithm, healthy)
+    assert 0.0 < stoic_params.importance_index < 0.05
+    # ...much smaller than the genuinely-influenced reader's.
+    biased_params = derive_false_positive_class_parameters(
+        biased_reader, algorithm, healthy
+    )
+    assert biased_params.importance_index > 2 * stoic_params.importance_index
+
+
+def test_fp_estimator_matches_analytic_derivation(healthy_world):
+    """The same estimate_model() call handles the healthy side; estimates
+    converge to the analytic FP-side parameters."""
+    healthy, reader, algorithm = healthy_world
+    classifier = SubtletyClassifier()
+    rng = np.random.default_rng(1703)
+    from repro.screening import Workload
+
+    workload = Workload("healthy", tuple(healthy))
+    records = None
+    for _ in range(10):
+        session = run_reading_session(
+            workload,
+            reader,
+            classifier,
+            Cadt(algorithm, seed=int(rng.integers(1 << 30))),
+            rng,
+        )
+        records = session if records is None else records + session
+    estimation = estimate_model(records, on_empty_cell="pool")
+
+    for cls in estimation.classes:
+        members = [c for c in healthy if classifier.classify(c) == cls]
+        analytic = derive_false_positive_class_parameters(reader, algorithm, members)
+        estimate = estimation[cls].to_class_parameters()
+        assert estimate.p_machine_failure == pytest.approx(
+            analytic.p_machine_failure, abs=0.03
+        )
+        assert estimate.p_human_failure_given_machine_failure == pytest.approx(
+            analytic.p_human_failure_given_machine_failure, abs=0.04
+        )
+        assert estimate.p_human_failure_given_machine_success == pytest.approx(
+            analytic.p_human_failure_given_machine_success, abs=0.04
+        )
+
+
+def test_fp_probability_verified_by_simulation(healthy_world):
+    healthy, reader, algorithm = healthy_world
+    classifier = SubtletyClassifier()
+    by_class = {}
+    counts = {}
+    for case in healthy:
+        cls = classifier.classify(case)
+        by_class.setdefault(cls, []).append(case)
+        counts[cls.name] = counts.get(cls.name, 0) + 1
+    from repro.core import DemandProfile, ModelParameters
+
+    model = SequentialModel(
+        ModelParameters(
+            {
+                cls: derive_false_positive_class_parameters(reader, algorithm, members)
+                for cls, members in by_class.items()
+            }
+        )
+    )
+    profile = DemandProfile.from_counts(counts)
+    predicted = model.system_failure_probability(profile)
+
+    rng = np.random.default_rng(1704)
+    recalls = trials = 0
+    for case in healthy:
+        for _ in range(30):
+            output = algorithm.process(case, rng)
+            recalls += int(reader.decide(case, output, rng).recall)
+            trials += 1
+    observed = recalls / trials
+    print()
+    print(f"FP side: predicted={predicted:.4f} simulated={observed:.4f} (n={trials})")
+    assert observed == pytest.approx(predicted, abs=0.01)
+
+
+def test_bench_fp_derivation(benchmark, healthy_world):
+    healthy, reader, algorithm = healthy_world
+    params = benchmark(
+        lambda: derive_false_positive_class_parameters(reader, algorithm, healthy)
+    )
+    assert 0.0 < params.p_machine_failure < 1.0

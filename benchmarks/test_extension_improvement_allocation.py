@@ -1,0 +1,107 @@
+"""Extension: optimal improvement targeting (Section 6.2 made quantitative).
+
+The paper's design guidance — concentrate CADT improvements on frequent,
+high-t(x) classes — as a solved optimisation: water-filling a fixed
+log-improvement budget across classes.  The bench compares the optimal
+allocation against the naive strategies an uninformed designer might pick,
+over a sweep of budgets, on the paper's example and on a re-estimated
+simulated model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    PAPER_FIELD_PROFILE,
+    SequentialModel,
+    optimal_improvement_allocation,
+    paper_example_parameters,
+)
+
+
+@pytest.fixture
+def paper_model():
+    return SequentialModel(paper_example_parameters())
+
+
+def naive_biggest_pmf_first(model, profile, log_budget):
+    """Spend the whole budget on the class where the machine fails most."""
+    worst = max(
+        profile.support,
+        key=lambda cls: model.parameters[cls].p_machine_failure,
+    )
+    improved = model.with_machine_improved(math.exp(log_budget), [worst])
+    return improved.system_failure_probability(profile)
+
+
+def naive_most_frequent_first(model, profile, log_budget):
+    """Spend the whole budget on the most frequent class (the intuition
+    the paper explicitly debunks in Section 5)."""
+    commonest = max(profile.support, key=lambda cls: profile[cls])
+    improved = model.with_machine_improved(math.exp(log_budget), [commonest])
+    return improved.system_failure_probability(profile)
+
+
+def test_optimal_beats_naive_strategies_across_budgets(paper_model):
+    print()
+    for factor in (2.0, 10.0, 100.0):
+        budget = math.log(factor)
+        result = optimal_improvement_allocation(
+            paper_model, PAPER_FIELD_PROFILE, budget
+        )
+        frequent = naive_most_frequent_first(
+            paper_model, PAPER_FIELD_PROFILE, budget
+        )
+        worst_machine = naive_biggest_pmf_first(
+            paper_model, PAPER_FIELD_PROFILE, budget
+        )
+        print(
+            f"budget x{factor:>5.0f}: optimal={result.optimal_failure_probability:.4f} "
+            f"uniform={result.uniform_failure_probability:.4f} "
+            f"most-frequent-first={frequent:.4f} "
+            f"biggest-PMf-first={worst_machine:.4f}"
+        )
+        assert result.optimal_failure_probability <= frequent + 1e-12
+        assert result.optimal_failure_probability <= worst_machine + 1e-12
+        assert (
+            result.optimal_failure_probability
+            <= result.uniform_failure_probability + 1e-12
+        )
+
+
+def test_most_frequent_first_is_the_worst_strategy(paper_model):
+    """The paper's Section 5 lesson: improving the frequent easy class is
+    nearly useless; here it is strictly the worst of the four strategies."""
+    budget = math.log(10.0)
+    result = optimal_improvement_allocation(paper_model, PAPER_FIELD_PROFILE, budget)
+    frequent = naive_most_frequent_first(paper_model, PAPER_FIELD_PROFILE, budget)
+    assert frequent > result.uniform_failure_probability
+    assert frequent > result.optimal_failure_probability
+
+
+def test_allocation_on_estimated_model(simulated_trial_outcome):
+    """The optimiser runs end-to-end on trial-estimated parameters and
+    still improves on uniform spending."""
+    estimation = simulated_trial_outcome.estimation
+    model = estimation.to_sequential_model()
+    result = optimal_improvement_allocation(
+        model, estimation.profile, math.log(10.0)
+    )
+    assert result.optimal_failure_probability < result.baseline_failure_probability
+    assert result.optimal_failure_probability <= result.uniform_failure_probability
+    print()
+    for cls, factor in sorted(result.factors.items()):
+        print(f"  {cls.name}: x{factor:.2f}")
+
+
+def test_bench_allocation(benchmark, paper_model):
+    """Time the closed-form allocation."""
+    result = benchmark(
+        lambda: optimal_improvement_allocation(
+            paper_model, PAPER_FIELD_PROFILE, math.log(10.0)
+        )
+    )
+    assert result.improvement > 0

@@ -1,0 +1,121 @@
+"""Extension (Section 7): multi-reader configurations vs reader+CADT.
+
+The paper's conclusions propose modelling "two readers assisted by a CADT,
+or less qualified readers assisted by CADTs" against the U.K. double-
+reading practice.  This bench compares the configurations on a common
+enriched workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.reader import (
+    MILD_BIAS,
+    QualificationLevel,
+    ReaderModel,
+    ReaderPanel,
+)
+from repro.screening import PopulationModel, trial_workload
+from repro.system import (
+    AssistedDoubleReading,
+    AssistedReading,
+    DoubleReading,
+    RecallPolicy,
+    UnaidedReading,
+    compare_systems,
+    evaluate_system,
+)
+
+
+def reader_pair(level: QualificationLevel, seed: int):
+    panel = ReaderPanel.sample(2, level, bias=MILD_BIAS, seed=seed)
+    return panel[0], panel[1]
+
+
+@pytest.fixture(scope="module")
+def cancer_workload():
+    return trial_workload(PopulationModel(seed=901), 1500, cancer_fraction=1.0)
+
+
+@pytest.fixture(scope="module")
+def results(cancer_workload):
+    r1, r2 = reader_pair(QualificationLevel.STANDARD, 902)
+    r3, r4 = reader_pair(QualificationLevel.STANDARD, 903)
+    r5, _ = reader_pair(QualificationLevel.STANDARD, 904)
+    t1, t2 = reader_pair(QualificationLevel.TRAINEE, 905)
+    systems = [
+        UnaidedReading(r5, name="single_unaided"),
+        AssistedReading(
+            reader_pair(QualificationLevel.STANDARD, 906)[0],
+            Cadt(DetectionAlgorithm(), seed=907),
+            name="single_assisted",
+        ),
+        DoubleReading([r1, r2], RecallPolicy.EITHER, name="double_reading"),
+        AssistedDoubleReading(
+            [r3, r4],
+            Cadt(DetectionAlgorithm(), seed=908),
+            RecallPolicy.EITHER,
+            name="double_assisted",
+        ),
+        AssistedDoubleReading(
+            [t1, t2],
+            Cadt(DetectionAlgorithm(), seed=909),
+            RecallPolicy.EITHER,
+            name="trainees_assisted",
+        ),
+    ]
+    return compare_systems(systems, cancer_workload)
+
+
+def fn_rate(results, name: str) -> float:
+    return results[name].false_negative.rate
+
+
+def test_assistance_helps_single_reader(results):
+    assert fn_rate(results, "single_assisted") < fn_rate(results, "single_unaided")
+
+
+def test_double_reading_beats_single_reading(results):
+    assert fn_rate(results, "double_reading") < fn_rate(results, "single_unaided")
+
+
+def test_assisted_double_is_best(results):
+    """Adding the CADT to double reading still helps (diverse redundancy
+    stacks), though by less than the first redundancy did."""
+    best = fn_rate(results, "double_assisted")
+    assert best < fn_rate(results, "double_reading")
+    assert best < fn_rate(results, "single_assisted")
+    print()
+    for name, evaluation in sorted(
+        results.items(), key=lambda kv: kv[1].false_negative.rate
+    ):
+        rate = evaluation.false_negative
+        print(f"{name}: FN rate={rate.rate:.4f} "
+              f"[{rate.interval.lower:.4f}, {rate.interval.upper:.4f}]")
+
+
+def test_cadt_narrows_qualification_gap(results, cancer_workload):
+    """The cost-effectiveness question behind 'less qualified readers
+    assisted by CADTs': assisted trainees get within reach of unaided
+    standard double reading."""
+    trainees = fn_rate(results, "trainees_assisted")
+    unaided_single = fn_rate(results, "single_unaided")
+    # Assisted trainee pair beats an unaided standard single reader.
+    assert trainees < unaided_single
+
+
+def test_bench_double_assisted(benchmark):
+    """Time an assisted-double-reading pass over a 200-cancer workload."""
+    workload = trial_workload(PopulationModel(seed=910), 200, cancer_fraction=1.0)
+
+    def run():
+        r1, r2 = reader_pair(QualificationLevel.STANDARD, 911)
+        system = AssistedDoubleReading(
+            [r1, r2], Cadt(DetectionAlgorithm(), seed=912), RecallPolicy.EITHER
+        )
+        return evaluate_system(system, workload)
+
+    evaluation = benchmark(run)
+    assert evaluation.false_negative is not None

@@ -1,0 +1,142 @@
+"""Extension: the analytic reader-team model vs direct simulation.
+
+Section 7 proposes *modelling* (not just simulating) the richer
+configurations.  :class:`repro.core.MultiReaderModel` treats the machine's
+output as a common influence and the readers as conditionally independent
+given (machine outcome, class).  This bench validates that analytic team
+model against brute-force simulation of two readers sharing a CADT, and
+uses it to show the diminishing-returns structure of stacked redundancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import MultiReaderModel, TeamPolicy
+from repro.reader import MILD_BIAS, ReaderModel, ReaderSkill
+from repro.screening import PopulationModel, SubtletyClassifier
+from repro.system import derive_model
+
+
+@pytest.fixture(scope="module")
+def world():
+    population = PopulationModel(seed=1201)
+    cancers = population.generate_cancers(500)
+    algorithm = DetectionAlgorithm()
+    classifier = SubtletyClassifier()
+    strong = ReaderModel(
+        skill=ReaderSkill(detection=0.5, classification=0.4),
+        bias=MILD_BIAS,
+        name="strong",
+        seed=1202,
+    )
+    weak = ReaderModel(
+        skill=ReaderSkill(detection=-0.4, classification=-0.3),
+        bias=MILD_BIAS,
+        name="weak",
+        seed=1203,
+    )
+    return cancers, algorithm, classifier, strong, weak
+
+
+@pytest.fixture(scope="module")
+def team_model(world):
+    cancers, algorithm, classifier, strong, weak = world
+    strong_model, profile = derive_model(strong, algorithm, cancers, classifier)
+    weak_model, _ = derive_model(weak, algorithm, cancers, classifier)
+    team = MultiReaderModel.from_single_reader_tables(
+        [strong_model.parameters, weak_model.parameters],
+        TeamPolicy.RECALL_IF_ANY,
+    )
+    return team, profile
+
+
+def test_team_model_validated_by_simulation(world, team_model):
+    """The analytic team FN probability matches simulated shared-CADT
+    double reading within sampling noise."""
+    cancers, algorithm, _, strong, weak = world
+    team, profile = team_model
+    predicted = team.system_failure_probability(profile)
+
+    rng = np.random.default_rng(1204)
+    repeats = 40
+    failures = 0
+    total = 0
+    for case in cancers:
+        for _ in range(repeats):
+            output = algorithm.process(case, rng)
+            first = strong.decide(case, output, rng)
+            second = weak.decide(case, output, rng)
+            recall = first.recall or second.recall
+            failures += int(not recall)
+            total += 1
+    observed = failures / total
+    print()
+    print(f"analytic team P(FN)={predicted:.4f}  simulated={observed:.4f} (n={total})")
+    assert observed == pytest.approx(predicted, abs=0.01)
+
+
+def test_team_inherits_single_reader_analysis(team_model):
+    """The collapsed super-reader exposes t(x) and the floor for the team."""
+    team, profile = team_model
+    sequential = team.to_sequential_model()
+    floor = sequential.machine_improvement_floor(profile)
+    assert 0.0 < floor < sequential.system_failure_probability(profile)
+    decomposition = sequential.covariance_decomposition(profile)
+    assert decomposition.total == pytest.approx(
+        sequential.system_failure_probability(profile), abs=1e-12
+    )
+
+
+def test_policy_tradeoff(team_model):
+    """recall-if-any minimises FNs; recall-if-all would be far worse on
+    the cancer side (it needs both readers to act)."""
+    team, profile = team_model
+    recall_any = team.system_failure_probability(profile)
+    recall_all = team.with_policy(TeamPolicy.RECALL_IF_ALL).system_failure_probability(
+        profile
+    )
+    assert recall_any < recall_all
+    print()
+    print(f"recall-if-any P(FN)={recall_any:.4f}  recall-if-all P(FN)={recall_all:.4f}")
+
+
+def test_second_reader_diminishing_returns(world, team_model):
+    """Adding the weak reader to the strong one helps, but by less than the
+    strong reader's own failure probability would suggest — the machine
+    remains a common influence both readers share."""
+    cancers, algorithm, classifier, strong, weak = world
+    team, profile = team_model
+    strong_model, _ = derive_model(strong, algorithm, cancers, classifier)
+    solo = strong_model.system_failure_probability(profile)
+    paired = team.system_failure_probability(profile)
+    assert paired < solo
+    # The naive "independent systems" estimate (solo * weak solo) is *lower*
+    # than the truth: the shared machine correlates the two readers.
+    weak_model, _ = derive_model(weak, algorithm, cancers, classifier)
+    weak_solo = weak_model.system_failure_probability(profile)
+    naive_independent = solo * weak_solo
+    assert paired > naive_independent
+    print()
+    print(
+        f"strong solo={solo:.4f}  paired={paired:.4f}  "
+        f"naive independent product={naive_independent:.4f}"
+    )
+
+
+def test_bench_team_model_evaluation(benchmark, world):
+    """Time the analytic team construction and evaluation."""
+    cancers, algorithm, classifier, strong, weak = world
+
+    def build_and_evaluate():
+        strong_model, profile = derive_model(strong, algorithm, cancers, classifier)
+        weak_model, _ = derive_model(weak, algorithm, cancers, classifier)
+        team = MultiReaderModel.from_single_reader_tables(
+            [strong_model.parameters, weak_model.parameters]
+        )
+        return team.system_failure_probability(profile)
+
+    probability = benchmark(build_and_evaluate)
+    assert 0.0 < probability < 1.0

@@ -1,0 +1,134 @@
+"""Extension (Section 7): FN/FP trade-offs of CADT settings, system level.
+
+The paper's announced next step: "how alternative settings (compromises
+between false negative and false positive rates) of the CADT would affect
+the whole system's false negative and false positive rates".  We sweep the
+simulated CADT's threshold, lift each machine setting to a system-level
+operating point through the reader model, and examine the frontier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import DetectionAlgorithm, threshold_sweep
+from repro.core import SystemOperatingPoint, TradeoffFrontier, expected_cost
+from repro.reader import MILD_BIAS, ReaderModel
+from repro.screening import PopulationModel
+
+
+@pytest.fixture(scope="module")
+def world():
+    population = PopulationModel(seed=801)
+    cancers = population.generate_cancers(600)
+    healthy = population.generate_healthy(600)
+    reader = ReaderModel(bias=MILD_BIAS, name="reader")
+    return cancers, healthy, reader
+
+
+def system_point(label, algorithm, cancers, healthy, reader) -> SystemOperatingPoint:
+    """Exact system-level error rates for one machine setting.
+
+    For cancers, condition on the machine outcome per case (equation 4);
+    for healthy cases, average the reader's recall probability over the
+    Poisson false-prompt distribution (truncated where negligible).
+    """
+    fn_terms = []
+    for case in cancers:
+        p_mf = algorithm.miss_probability(case)
+        fn_terms.append(
+            p_mf * reader.p_false_negative(case, False)
+            + (1 - p_mf) * reader.p_false_negative(case, True)
+        )
+    fp_terms = []
+    for case in healthy:
+        rate = algorithm.false_prompt_rate(case)
+        probability = 0.0
+        p_k = np.exp(-rate)
+        for k in range(30):
+            probability += p_k * reader.p_false_positive(case, k)
+            p_k *= rate / (k + 1)
+        fp_terms.append(probability)
+    return SystemOperatingPoint(
+        label=label,
+        p_false_negative=float(np.mean(fn_terms)),
+        p_false_positive=float(np.mean(fp_terms)),
+    )
+
+
+@pytest.fixture(scope="module")
+def frontier(world):
+    cancers, healthy, reader = world
+    base = DetectionAlgorithm()
+    shifts = np.linspace(-2.0, 2.0, 9)
+    points = [
+        system_point(
+            f"shift{shift:+.1f}",
+            base.with_threshold_shift(float(shift)),
+            cancers,
+            healthy,
+            reader,
+        )
+        for shift in shifts
+    ]
+    return TradeoffFrontier(points)
+
+
+def test_system_tradeoff_is_monotone(frontier):
+    """Raising the machine threshold raises system FN and lowers system FP:
+    the machine's compromise propagates through the reader."""
+    points = list(frontier)
+    fns = [p.p_false_negative for p in points]
+    fps = [p.p_false_positive for p in points]
+    assert fns == sorted(fns)
+    assert fps == sorted(fps, reverse=True)
+    print()
+    for p in points:
+        print(
+            f"{p.label}: system FN={p.p_false_negative:.4f} "
+            f"FP={p.p_false_positive:.4f}"
+        )
+
+
+def test_whole_sweep_is_pareto_frontier(frontier):
+    """With monotone trade-off, no setting dominates another."""
+    assert len(frontier.non_dominated()) == len(frontier)
+
+
+def test_system_tradeoff_flatter_than_machine_tradeoff(frontier, world):
+    """The reader damps the machine's swing: the system FN range across the
+    sweep is narrower than the machine FN range (PHf|Ms floors it)."""
+    cancers, healthy, _ = world
+    machine_points = threshold_sweep(
+        DetectionAlgorithm(), list(cancers) + list(healthy), np.linspace(-2.0, 2.0, 9)
+    )
+    machine_range = machine_points[-1].miss_rate - machine_points[0].miss_rate
+    points = list(frontier)
+    system_range = points[-1].p_false_negative - points[0].p_false_negative
+    assert system_range < machine_range
+
+
+def test_cost_optimal_setting_depends_on_prevalence(frontier):
+    """At screening prevalence the FP cost dominates; at diagnostic
+    prevalence the FN cost takes over and a more aggressive setting wins."""
+    screening_best = frontier.best(
+        prevalence=0.006, cost_false_negative=500.0, cost_false_positive=1.0
+    )
+    diagnostic_best = frontier.best(
+        prevalence=0.3, cost_false_negative=500.0, cost_false_positive=1.0
+    )
+    assert diagnostic_best.p_false_negative <= screening_best.p_false_negative
+    print()
+    print(f"screening-optimal: {screening_best.label}  "
+          f"diagnostic-optimal: {diagnostic_best.label}")
+
+
+def test_bench_tradeoff_sweep(benchmark, world):
+    """Time one system-level operating-point evaluation."""
+    cancers, healthy, reader = world
+    algorithm = DetectionAlgorithm()
+    point = benchmark(
+        lambda: system_point("nominal", algorithm, cancers, healthy, reader)
+    )
+    assert 0.0 < point.p_false_negative < 1.0

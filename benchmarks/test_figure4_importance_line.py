@@ -1,0 +1,72 @@
+"""Figure 4: system failure probability vs machine failure probability.
+
+The figure is a straight line per class: intercept ``PHf|Ms(x)`` (the
+floor no machine improvement can beat), slope ``t(x)``.  We regenerate the
+series for both of the paper's classes and check the geometry the paper
+reads off the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_figure4
+from repro.core import DIFFICULT, EASY, figure4_series, paper_example_parameters
+
+
+def test_figure4_lines_match_paper_parameters():
+    lines = build_figure4(num_points=21)
+    easy, difficult = lines[EASY], lines[DIFFICULT]
+    # Intercepts are PHf|Ms, slopes are t(x).
+    assert easy.intercept == pytest.approx(0.14)
+    assert easy.slope == pytest.approx(0.04)
+    assert difficult.intercept == pytest.approx(0.40)
+    assert difficult.slope == pytest.approx(0.50)
+    print()
+    for line in (easy, difficult):
+        print(f"class={line.case_class.name}: intercept={line.intercept:.3f} "
+              f"slope={line.slope:.3f}")
+        for x, y in line.series[::5]:
+            print(f"  PMf={x:.2f} -> P(system failure)={y:.4f}")
+
+
+def test_figure4_series_is_linear():
+    lines = build_figure4(num_points=11)
+    for line in lines.values():
+        for x, y in line.series:
+            assert y == pytest.approx(line.intercept + line.slope * x, abs=1e-12)
+
+
+def test_figure4_operating_points_on_lines():
+    """The current (PMf(x), P(failure|x)) of each class sits on its line."""
+    lines = build_figure4()
+    params = paper_example_parameters()
+    for cls, line in lines.items():
+        x, y = line.operating_point
+        assert x == pytest.approx(params[cls].p_machine_failure)
+        assert y == pytest.approx(params[cls].p_system_failure)
+        assert y == pytest.approx(line.intercept + line.slope * x)
+
+
+def test_figure4_floor_interpretation():
+    """The left intercept is the lower bound of Section 6.1: the failure
+    probability with a perfect machine."""
+    lines = build_figure4()
+    params = paper_example_parameters()
+    for cls, line in lines.items():
+        perfect = params[cls].with_machine_failure(0.0)
+        assert line.intercept == pytest.approx(perfect.p_system_failure)
+
+
+def test_bench_figure4_series(benchmark):
+    """Time regenerating both classes' series at plotting resolution."""
+    params = paper_example_parameters()
+
+    def regenerate():
+        return {
+            cls: figure4_series(params[cls], num_points=201)
+            for cls in params.classes
+        }
+
+    series = benchmark(regenerate)
+    assert all(len(s) == 201 for s in series.values())

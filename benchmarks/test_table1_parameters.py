@@ -1,0 +1,71 @@
+"""Table 1: per-class demand profiles and model parameters.
+
+The paper's Table 1 presents the estimated parameters an experimenter
+obtained from a trial.  This bench regenerates the table twice:
+
+* exactly, from the paper's published values (assertion target);
+* empirically, re-estimated from a simulated controlled trial — the
+  measurement process the paper assumes, timed by the benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_table1
+from repro.trial import estimate_model
+
+
+EXPECTED_ROWS = {
+    "easy": {"trial": 0.8, "field": 0.9, "PMf": 0.07, "PMs": 0.93, "PHf|Mf": 0.18, "PHf|Ms": 0.14},
+    "difficult": {"trial": 0.2, "field": 0.1, "PMf": 0.41, "PMs": 0.59, "PHf|Mf": 0.9, "PHf|Ms": 0.4},
+}
+
+
+def test_table1_exact_values():
+    """The published Table 1, regenerated row by row."""
+    table = build_table1()
+    rows = {row["class"]: row for row in table.rows()}
+    for class_name, expected in EXPECTED_ROWS.items():
+        for column, value in expected.items():
+            assert rows[class_name][column] == pytest.approx(value), (
+                class_name,
+                column,
+            )
+    print()
+    print(table.render())
+
+
+def test_table1_reestimated_from_simulated_trial(simulated_trial_outcome):
+    """A simulated trial yields a Table 1 with the same structure: valid
+    probabilities per class, and the difficult class harder on every
+    dimension (the qualitative shape of the paper's table)."""
+    estimation = simulated_trial_outcome.estimation
+    easy = estimation["easy"]
+    difficult = estimation["difficult"]
+    for estimate in (easy, difficult):
+        for parameter in (
+            estimate.machine_failure,
+            estimate.human_failure_given_machine_failure,
+            estimate.human_failure_given_machine_success,
+        ):
+            assert 0.0 <= parameter.point <= 1.0
+    assert difficult.machine_failure.point > easy.machine_failure.point
+    assert (
+        difficult.human_failure_given_machine_success.point
+        > easy.human_failure_given_machine_success.point
+    )
+    table = build_table1(
+        estimation.to_model_parameters(),
+        trial_profile=estimation.profile,
+        field_profile=estimation.profile,
+    )
+    print()
+    print(table.render())
+
+
+def test_bench_table1_estimation(benchmark, simulated_trial_outcome):
+    """Time the parameter-estimation step over the trial's records."""
+    records = simulated_trial_outcome.aided_records
+    result = benchmark(lambda: estimate_model(records, on_empty_cell="pool"))
+    assert len(result.classes) == 2

@@ -1,0 +1,59 @@
+"""Table 2: probability of system failure, trial vs field profile.
+
+Paper values: easy 0.143, difficult 0.605; all cases 0.235 (trial) and
+0.189 (field).  Equation (8) is analytic, so we match to the paper's
+printed precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_table2
+from repro.core import DIFFICULT, EASY
+
+
+def test_table2_exact_values():
+    table = build_table2()
+    assert table.per_class[EASY] == pytest.approx(0.143, abs=5e-4)
+    assert table.per_class[DIFFICULT] == pytest.approx(0.605, abs=5e-4)
+    assert table.trial == pytest.approx(0.235, abs=5e-4)
+    assert table.field == pytest.approx(0.189, abs=5e-4)
+    print()
+    print(table.render())
+
+
+def test_table2_field_below_trial():
+    """The field profile (fewer difficult cases) shows better dependability
+    than the trial — the extrapolation the paper's Section 5 walks through."""
+    table = build_table2()
+    assert table.field < table.trial
+
+
+def test_table2_from_estimated_parameters(simulated_trial_outcome):
+    """Table 2 regenerated from simulated-trial estimates keeps its shape:
+    the difficult class fails far more often than the easy one."""
+    estimation = simulated_trial_outcome.estimation
+    table = build_table2(
+        estimation.to_model_parameters(),
+        trial_profile=estimation.profile,
+        field_profile=estimation.profile,
+    )
+    per_class = {cls.name: p for cls, p in table.per_class.items()}
+    assert per_class["difficult"] > per_class["easy"]
+    print()
+    print(table.render())
+
+
+def test_bench_table2(benchmark, paper_model, trial_profile, field_profile):
+    """Time the equation-(8) evaluation for both profiles."""
+
+    def evaluate():
+        return (
+            paper_model.system_failure_probability(trial_profile),
+            paper_model.system_failure_probability(field_profile),
+        )
+
+    trial, field = benchmark(evaluate)
+    assert trial == pytest.approx(0.235, abs=5e-4)
+    assert field == pytest.approx(0.189, abs=5e-4)

@@ -1,0 +1,66 @@
+"""Table 3: the two targeted CADT-improvement scenarios.
+
+Paper values (failure probability): improving the CADT x10 on *easy*
+cases yields 0.233 (trial) / 0.187 (field); improving it x10 on
+*difficult* cases yields 0.198 / 0.171 — the non-intuitive win for the
+rarer class, because its importance index t(x) is much larger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_table3
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    ExtrapolationStudy,
+    paper_improvement_scenarios,
+)
+
+
+def test_table3_exact_values():
+    table = build_table3()
+    assert table.improve_easy.per_class[EASY] == pytest.approx(0.140, abs=5e-4)
+    assert table.improve_easy.per_class[DIFFICULT] == pytest.approx(0.605, abs=5e-4)
+    assert table.improve_easy.trial == pytest.approx(0.233, abs=5e-4)
+    assert table.improve_easy.field == pytest.approx(0.187, abs=5e-4)
+    assert table.improve_difficult.per_class[EASY] == pytest.approx(0.143, abs=5e-4)
+    assert table.improve_difficult.per_class[DIFFICULT] == pytest.approx(0.4205, abs=5e-4)
+    assert table.improve_difficult.trial == pytest.approx(0.198, abs=5e-4)
+    assert table.improve_difficult.field == pytest.approx(0.171, abs=5e-4)
+    print()
+    print(table.render())
+
+
+def test_table3_headline_crossover():
+    """Who wins: improving the rare difficult class beats improving the
+    frequent easy class, under both demand profiles."""
+    table = build_table3()
+    assert table.improve_difficult.trial < table.improve_easy.trial
+    assert table.improve_difficult.field < table.improve_easy.field
+
+
+def test_table3_easy_improvement_nearly_useless():
+    """The paper: reducing PMf x10 on easy cases moves the field figure only
+    from 0.189 to 0.187, because t(easy) = 0.04."""
+    table = build_table3()
+    assert 0.189 - table.improve_easy.field == pytest.approx(0.002, abs=5e-4)
+
+
+def test_bench_table3_study(benchmark, paper_parameters, trial_profile, field_profile):
+    """Time the full extrapolation study (3 scenarios x 2 profiles)."""
+    improve_easy, improve_difficult = paper_improvement_scenarios()
+
+    def evaluate():
+        study = ExtrapolationStudy(
+            paper_parameters,
+            profiles={"trial": trial_profile, "field": field_profile},
+            scenarios=[improve_easy, improve_difficult],
+        )
+        return study.evaluate()
+
+    result = benchmark(evaluate)
+    assert result.probability("improve_difficult", "field") == pytest.approx(
+        0.171, abs=5e-4
+    )

@@ -1,0 +1,159 @@
+"""Design what-ifs: where to spend CADT engineering effort.
+
+Two design questions from the paper, answered with the library:
+
+* Section 5/6.2 — which *class of cases* should a CADT improvement
+  target?  The importance-weighted answer (PMf(x)*t(x)*p(x)) beats the
+  intuitive "improve where the machine fails most often".
+* Section 7 — which *operating threshold* should the CADT ship with?
+  Sweeping the machine's FN/FP compromise and lifting it to system level
+  shows the reader damping the machine's swing, and the cost-optimal
+  setting moving with prevalence.
+
+Run:  python examples/design_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cadt import DetectionAlgorithm
+from repro.core import (
+    ExtrapolationStudy,
+    ImproveMachine,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    Scenario,
+    SequentialModel,
+    SystemOperatingPoint,
+    TradeoffFrontier,
+    machine_relevance,
+    paper_example_parameters,
+)
+from repro.reader import MILD_BIAS, ReaderModel
+from repro.screening import PopulationModel
+
+
+def improvement_targeting() -> None:
+    print("=== Which class should a CADT improvement target? ===")
+    parameters = paper_example_parameters()
+    rows = []
+    for cls, params in parameters.items():
+        rows.append(
+            [
+                cls.name,
+                f"{PAPER_FIELD_PROFILE[cls]:.2f}",
+                f"{params.p_machine_failure:.2f}",
+                f"{params.importance_index:.2f}",
+                f"{machine_relevance(params):.4f}",
+                f"{PAPER_FIELD_PROFILE[cls] * machine_relevance(params):.4f}",
+            ]
+        )
+    print(render_table(
+        ["class", "p(x) field", "PMf", "t(x)", "PMf*t", "p(x)*PMf*t"], rows
+    ))
+    print("-> p(x)*PMf(x)*t(x) is the headroom a perfect machine would buy per class.")
+    print()
+
+    study = ExtrapolationStudy(
+        parameters,
+        profiles={"trial": PAPER_TRIAL_PROFILE, "field": PAPER_FIELD_PROFILE},
+        scenarios=[
+            Scenario("improve_easy_x10", (ImproveMachine(10.0, ("easy",)),)),
+            Scenario("improve_difficult_x10", (ImproveMachine(10.0, ("difficult",)),)),
+            Scenario("improve_both_x10", (ImproveMachine(10.0),)),
+        ],
+    )
+    result = study.evaluate()
+    rows = [
+        [name, f"{result.probability(name, 'trial'):.3f}", f"{result.probability(name, 'field'):.3f}"]
+        for name in result.scenario_names
+    ]
+    print(render_table(["scenario", "P(FN) trial", "P(FN) field"], rows))
+    best_name, best_value = study.best_scenario("field")
+    print(f"-> best targeted option in the field: {best_name} ({best_value:.3f})")
+    print()
+
+
+def threshold_selection() -> None:
+    print("=== Which operating threshold should the CADT ship with? ===")
+    population = PopulationModel(seed=21)
+    cancers = population.generate_cancers(400)
+    healthy = population.generate_healthy(400)
+    reader = ReaderModel(bias=MILD_BIAS, name="reader")
+
+    points = []
+    for shift in np.linspace(-2.0, 2.0, 9):
+        algorithm = DetectionAlgorithm().with_threshold_shift(float(shift))
+        fn_terms = []
+        for case in cancers:
+            p_mf = algorithm.miss_probability(case)
+            fn_terms.append(
+                p_mf * reader.p_false_negative(case, False)
+                + (1 - p_mf) * reader.p_false_negative(case, True)
+            )
+        fp_terms = []
+        for case in healthy:
+            rate = algorithm.false_prompt_rate(case)
+            probability, p_k = 0.0, np.exp(-rate)
+            for k in range(30):
+                probability += p_k * reader.p_false_positive(case, k)
+                p_k *= rate / (k + 1)
+            fp_terms.append(probability)
+        points.append(
+            SystemOperatingPoint(
+                f"{shift:+.1f}",
+                p_false_negative=float(np.mean(fn_terms)),
+                p_false_positive=float(np.mean(fp_terms)),
+            )
+        )
+    frontier = TradeoffFrontier(points)
+    rows = [
+        [p.label, f"{p.p_false_negative:.4f}", f"{p.p_false_positive:.4f}",
+         f"{p.recall_rate(0.006):.4f}"]
+        for p in frontier
+    ]
+    print(render_table(
+        ["threshold shift", "system P(FN)", "system P(FP)", "recall rate @0.6%"], rows
+    ))
+    for prevalence in (0.006, 0.05):
+        best = frontier.best(
+            prevalence=prevalence, cost_false_negative=500.0, cost_false_positive=1.0
+        )
+        print(f"-> cost-optimal setting at prevalence {prevalence:.1%}: "
+              f"shift {best.label} (FN {best.p_false_negative:.4f}, "
+              f"FP {best.p_false_positive:.4f})")
+
+
+def budget_allocation() -> None:
+    print()
+    print("=== How should a fixed improvement budget be split? ===")
+    import math
+
+    from repro.core import optimal_improvement_allocation
+
+    model = SequentialModel(paper_example_parameters())
+    for factor in (2.0, 10.0, 100.0):
+        result = optimal_improvement_allocation(
+            model, PAPER_FIELD_PROFILE, math.log(factor)
+        )
+        split = ", ".join(
+            f"{cls.name} x{f:.2f}" for cls, f in sorted(result.factors.items())
+        )
+        print(
+            f"budget x{factor:>5.0f}: optimal split [{split}] -> "
+            f"P(FN) {result.optimal_failure_probability:.4f} "
+            f"(uniform spend: {result.uniform_failure_probability:.4f})"
+        )
+    print("-> water-filling: the budget goes almost entirely to the class with")
+    print("   the highest p(x)*PMf(x)*t(x), spilling over only once that class's")
+    print("   post-improvement relevance drops to the next class's level.")
+
+
+def main() -> None:
+    improvement_targeting()
+    threshold_selection()
+    budget_allocation()
+
+
+if __name__ == "__main__":
+    main()

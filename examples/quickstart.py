@@ -1,0 +1,67 @@
+"""Quickstart: the paper's worked example, end to end.
+
+Reproduces Section 5's numerical example and Section 6's analysis:
+
+* Table 1 — the per-class parameters and demand profiles;
+* Table 2 — system failure probability under the trial and field profiles;
+* Table 3 — the two candidate CADT improvements;
+* Figure 4 — the failure line (intercept PHf|Ms, slope t(x)) per class;
+* equation (10) — the covariance decomposition.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    SequentialModel,
+    paper_example_parameters,
+)
+from repro.analysis import build_figure4, build_table1, build_table2, build_table3
+
+
+def main() -> None:
+    parameters = paper_example_parameters()
+    model = SequentialModel(parameters)
+
+    print("Table 1 - demand profiles and model parameters")
+    print(build_table1().render())
+    print()
+
+    print("Table 2 - probability of system failure (equation 8)")
+    print(build_table2().render())
+    print()
+
+    print("Table 3 - targeted CADT improvements (x10 on one class)")
+    print(build_table3().render())
+    print()
+
+    print("Figure 4 - failure line per class: PHf = PHf|Ms + PMf * t(x)")
+    for cls, line in sorted(build_figure4().items()):
+        print(
+            f"  {cls.name:<10} intercept (floor) = {line.intercept:.3f}   "
+            f"slope t(x) = {line.slope:.3f}"
+        )
+        x, y = line.operating_point
+        print(f"  {'':<10} current operating point: PMf={x:.2f} -> PHf={y:.3f}")
+    print()
+
+    print("Equation (10) - covariance decomposition under the field profile")
+    decomposition = model.covariance_decomposition(PAPER_FIELD_PROFILE)
+    print(f"  E[PHf|Ms]          = {decomposition.expected_human_failure_given_machine_success:.4f}")
+    print(f"  PMf * E[t]         = {decomposition.independent_term:.4f}")
+    print(f"  cov_x(PMf, t)      = {decomposition.covariance:+.4f}")
+    print(f"  total (= PHf)      = {decomposition.total:.4f}")
+    print()
+
+    print("Key numbers:")
+    trial = model.system_failure_probability(PAPER_TRIAL_PROFILE)
+    field = model.system_failure_probability(PAPER_FIELD_PROFILE)
+    print(f"  P(false negative) in the trial : {trial:.3f}   (paper: 0.235)")
+    print(f"  P(false negative) in the field : {field:.3f}   (paper: 0.189)")
+    floor = model.machine_improvement_floor(PAPER_FIELD_PROFILE)
+    print(f"  floor no machine improvement can beat (field): {floor:.3f}")
+
+
+if __name__ == "__main__":
+    main()

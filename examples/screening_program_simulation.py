@@ -1,0 +1,120 @@
+"""A full screening-programme study on the simulation substrates.
+
+The paper's Section 5 methodology, executed rather than described:
+
+1. simulate a controlled trial — an enriched, deliberately selected case
+   set read by a reader panel with the CADT;
+2. estimate the per-class model parameters (with confidence intervals);
+3. extrapolate to the field by reweighting with the field demand profile;
+4. verify the prediction against a direct simulation of field reading;
+5. propagate parameter uncertainty into a credible interval.
+
+Run:  python examples/screening_program_simulation.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.reader import MILD_BIAS, QualificationLevel, ReaderPanel
+from repro.screening import (
+    PopulationModel,
+    SubtletyClassifier,
+    empirical_profile,
+    field_workload,
+)
+from repro.trial import ControlledTrial
+
+
+def main() -> None:
+    classifier = SubtletyClassifier()
+
+    print("=== 1. Controlled trial (enriched, selected case mix) ===")
+    panel = ReaderPanel.sample(
+        4, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=11
+    )
+    trial = ControlledTrial(
+        population=PopulationModel(seed=12),
+        panel=panel,
+        cadt=Cadt(DetectionAlgorithm(), seed=13),
+        classifier=classifier,
+        num_cases=800,
+        cancer_fraction=0.5,
+        subtlety_enrichment=1.5,
+        on_empty_cell="pool",
+        seed=14,
+    )
+    outcome = trial.run()
+    estimation = outcome.estimation
+    print(f"cases read: {len(outcome.workload)} x {len(panel)} readers")
+    print(f"observed aided FN rate: {outcome.aided_records.cancers().failure_rate():.4f}")
+    print()
+
+    print("=== 2. Estimated per-class parameters (point [95% CI]) ===")
+    rows = []
+    for cls in estimation.classes:
+        estimate = estimation[cls]
+
+        def cell(p):
+            return f"{p.point:.3f} [{p.interval.lower:.3f}, {p.interval.upper:.3f}]"
+
+        rows.append(
+            [
+                cls.name,
+                f"{estimation.profile[cls]:.3f}",
+                cell(estimate.machine_failure),
+                cell(estimate.human_failure_given_machine_failure),
+                cell(estimate.human_failure_given_machine_success),
+            ]
+        )
+    print(render_table(["class", "p(x) trial", "PMf", "PHf|Mf", "PHf|Ms"], rows))
+    print()
+
+    print("=== 3. Extrapolation to the field ===")
+    field_population = PopulationModel(seed=15)
+    field_cases = field_workload(field_population, 40_000)
+    field_profile = empirical_profile(field_cases, classifier)
+    model = estimation.to_sequential_model()
+    predicted_trial = model.system_failure_probability(estimation.profile)
+    predicted_field = model.system_failure_probability(field_profile)
+    print(f"trial profile: {estimation.profile}")
+    print(f"field profile: {field_profile}")
+    print(f"predicted P(FN) - trial conditions: {predicted_trial:.4f}")
+    print(f"predicted P(FN) - field conditions: {predicted_field:.4f}")
+    print()
+
+    print("=== 4. Verification by direct field simulation ===")
+    rng = np.random.default_rng(16)
+    failures = total = 0
+    for reader in panel:
+        cadt = Cadt(DetectionAlgorithm(), seed=int(rng.integers(1 << 30)))
+        for case in field_cases.cancer_cases:
+            output = cadt.process(case)
+            failures += int(not reader.decide(case, output, rng).recall)
+            total += 1
+    print(f"simulated field FN rate: {failures / total:.4f} "
+          f"(n = {total} readings of {len(field_cases.cancer_cases)} cancers)")
+    print()
+
+    print("=== 5. Parameter uncertainty (posterior credible interval) ===")
+    uncertain = estimation.to_uncertain_model()
+    interval = uncertain.failure_probability_interval(
+        field_profile, level=0.95, num_samples=4000, rng=np.random.default_rng(17)
+    )
+    print(
+        f"field P(FN): mean {interval.mean:.4f}, "
+        f"95% credible interval [{interval.lower:.4f}, {interval.upper:.4f}]"
+    )
+    print()
+    print("Notes on residual disagreement (both discussed in the paper):")
+    print(" - the field figure carries case-sampling noise (a few hundred")
+    print("   cancers at <1% prevalence);")
+    print(" - the trial's selected case mix violates footnote 1's homogeneity")
+    print("   condition *within* classes (trial cancers are subtler even")
+    print("   inside 'difficult'), biasing transferred parameters slightly")
+    print("   pessimistic - exactly why the paper stresses the choice of")
+    print("   classification criteria.")
+
+
+if __name__ == "__main__":
+    main()

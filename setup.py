@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs (``pip install -e .``) cannot build a wheel.  This shim
+lets ``python setup.py develop`` (and pip's legacy editable path) install
+the package from ``pyproject.toml`` metadata without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro: clear-box reliability modelling of human-machine advisory systems.
+
+A production-quality reproduction of Strigini, Povyakalo & Alberdi,
+"Human-machine diversity in the use of computerised advisory systems:
+a case study" (DSN 2003).
+
+The library models a composite system — a human expert ("reader") using a
+computerised advisory tool (a "CADT", computer-aided detection tool for
+mammography in the paper's case study) — as a fault-tolerant system, and
+provides:
+
+* the paper's two reliability models (:mod:`repro.core.sequential`,
+  :mod:`repro.core.parallel`) with per-class-of-demand conditional
+  parameters and demand profiles;
+* diversity/covariance analysis, the importance index ``t(x)``, and
+  Figure 4's bounds (:mod:`repro.core.covariance`,
+  :mod:`repro.core.importance`, :mod:`repro.core.bounds`);
+* trial-to-field extrapolation and design what-ifs
+  (:mod:`repro.core.extrapolation`) and FN/FP trade-off analysis
+  (:mod:`repro.core.tradeoff`);
+* full simulation substrates: a synthetic screening population
+  (:mod:`repro.screening`), a simulated CADT (:mod:`repro.cadt`),
+  stochastic reader models with automation-bias effects
+  (:mod:`repro.reader`), controlled-trial simulation and parameter
+  estimation (:mod:`repro.trial`), and composite system simulators
+  including double reading (:mod:`repro.system`);
+* a general reliability-block-diagram engine (:mod:`repro.rbd`) and the
+  analysis/reporting helpers that regenerate the paper's tables and
+  figures (:mod:`repro.analysis`).
+
+Quickstart (the paper's worked example)::
+
+    >>> import repro
+    >>> model = repro.SequentialModel(repro.paper_example_parameters())
+    >>> round(model.system_failure_probability(repro.PAPER_TRIAL_PROFILE), 3)
+    0.235
+    >>> round(model.system_failure_probability(repro.PAPER_FIELD_PROFILE), 3)
+    0.189
+"""
+
+from . import analysis, cadt, core, rbd, reader, screening, system, trial
+from .core import *  # noqa: F401,F403 - the curated core API is the top-level API
+from .core import __all__ as _core_all
+from .exceptions import (
+    EstimationError,
+    ModelAssumptionError,
+    ParameterError,
+    ProbabilityError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    StructureError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + [
+    "ReproError",
+    "ProbabilityError",
+    "ProfileError",
+    "ParameterError",
+    "ModelAssumptionError",
+    "EstimationError",
+    "SimulationError",
+    "StructureError",
+    "core",
+    "rbd",
+    "screening",
+    "cadt",
+    "reader",
+    "trial",
+    "system",
+    "analysis",
+    "__version__",
+]

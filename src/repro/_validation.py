@@ -1,0 +1,103 @@
+"""Internal validation helpers shared across the library.
+
+These functions centralise the defensive checks that the public classes
+perform on construction, so that error messages are uniform and the
+tolerance used when comparing floating-point probabilities is defined in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from .exceptions import ProbabilityError, ProfileError
+
+#: Absolute tolerance used when checking that probabilities sum to one and
+#: when clipping values that are within rounding error of the [0, 1] ends.
+PROBABILITY_ATOL = 1e-9
+
+__all__ = [
+    "PROBABILITY_ATOL",
+    "check_probability",
+    "check_probabilities",
+    "check_positive",
+    "check_distribution",
+    "clip_probability",
+]
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` is a probability and return it as a float.
+
+    Values within :data:`PROBABILITY_ATOL` of 0 or 1 are clipped onto the
+    boundary, so that results of floating point arithmetic such as
+    ``1 - (1 - p)`` do not spuriously fail validation.
+
+    Raises:
+        ProbabilityError: if ``value`` is not a finite number in ``[0, 1]``.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ProbabilityError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise ProbabilityError(f"{name} must be finite, got {value!r}")
+    if value < -PROBABILITY_ATOL or value > 1.0 + PROBABILITY_ATOL:
+        raise ProbabilityError(f"{name} must lie in [0, 1], got {value!r}")
+    return clip_probability(value)
+
+
+def check_probabilities(
+    values: Iterable[float], name: str = "probability"
+) -> list[float]:
+    """Validate every element of ``values`` as a probability."""
+    return [check_probability(v, f"{name}[{i}]") for i, v in enumerate(values)]
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a finite, strictly positive number."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ProbabilityError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value) or value <= 0.0:
+        raise ProbabilityError(f"{name} must be finite and positive, got {value!r}")
+    return value
+
+
+def check_distribution(
+    weights: Mapping[str, float], name: str = "distribution"
+) -> dict[str, float]:
+    """Validate that ``weights`` is a probability distribution.
+
+    Every weight must be a probability and the weights must sum to one
+    (within :data:`PROBABILITY_ATOL` scaled by the number of entries).
+
+    Returns:
+        A plain ``dict`` with validated, clipped float weights.
+
+    Raises:
+        ProfileError: if the mapping is empty or does not sum to one.
+        ProbabilityError: if any individual weight is not a probability.
+    """
+    if not weights:
+        raise ProfileError(f"{name} must contain at least one entry")
+    validated = {
+        key: check_probability(value, f"{name}[{key!r}]")
+        for key, value in weights.items()
+    }
+    total = math.fsum(validated.values())
+    tolerance = PROBABILITY_ATOL * max(len(validated), 10)
+    if abs(total - 1.0) > tolerance:
+        raise ProfileError(f"{name} must sum to 1, got {total!r}")
+    return validated
+
+
+def clip_probability(value: float) -> float:
+    """Clip a float known to be within tolerance of ``[0, 1]`` onto it."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value

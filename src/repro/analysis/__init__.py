@@ -1,0 +1,78 @@
+"""Analysis and reporting: the paper's tables, figures, and ablations."""
+
+from .ablation import (
+    GranularityPoint,
+    IndependenceError,
+    MixtureConfound,
+    class_granularity_study,
+    independence_assumption_error,
+    marginal_vs_conditional_error,
+    mixture_confound,
+)
+from .monitoring import (
+    DriftTest,
+    MonitoringReport,
+    monitor_records,
+    profile_drift_test,
+    rate_drift_test,
+)
+from .validation import (
+    CalibrationReport,
+    CellCalibration,
+    calibrate_against_simulation,
+)
+from .sensitivity import (
+    SensitivityEntry,
+    TornadoBar,
+    parameter_sensitivities,
+    tornado,
+)
+from .figures import Figure4Line, build_figure4, frontier_series, trust_series
+from .report import (
+    Table1,
+    Table2,
+    Table3,
+    build_table1,
+    build_table2,
+    build_table3,
+    render_calibration,
+    render_feasibility,
+    render_monitoring,
+    render_table,
+)
+
+__all__ = [
+    "Table1",
+    "Table2",
+    "Table3",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "render_table",
+    "render_calibration",
+    "render_monitoring",
+    "render_feasibility",
+    "Figure4Line",
+    "build_figure4",
+    "frontier_series",
+    "trust_series",
+    "IndependenceError",
+    "independence_assumption_error",
+    "marginal_vs_conditional_error",
+    "GranularityPoint",
+    "class_granularity_study",
+    "MixtureConfound",
+    "mixture_confound",
+    "SensitivityEntry",
+    "TornadoBar",
+    "parameter_sensitivities",
+    "tornado",
+    "CellCalibration",
+    "CalibrationReport",
+    "calibrate_against_simulation",
+    "DriftTest",
+    "MonitoringReport",
+    "profile_drift_test",
+    "rate_drift_test",
+    "monitor_records",
+]

@@ -1,0 +1,231 @@
+"""Ablations of the modelling choices DESIGN.md calls out.
+
+Four studies, each quantifying the cost of dropping one of the paper's
+methodological positions:
+
+1. :func:`independence_assumption_error` — equation (2)'s naive
+   independence vs equation (1)'s truth on the parallel model;
+2. :func:`marginal_vs_conditional_error` — predicting field failure from
+   marginal (single-class) parameters vs the per-class conditional model;
+3. :func:`class_granularity_study` — how extrapolation error grows as the
+   classification is coarsened (footnote 1's homogeneity condition);
+4. :func:`mixture_confound` — Section 6.2's caveat: a merged class shows a
+   large *apparent* importance index even when the machine influences
+   nobody within either subclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.case_class import CaseClass
+from ..core.importance import merge_classes
+from ..core.parallel import ParallelModel
+from ..core.parameters import ClassParameters, ModelParameters
+from ..core.profile import DemandProfile
+from ..core.sequential import SequentialModel
+from ..exceptions import ParameterError
+
+__all__ = [
+    "IndependenceError",
+    "independence_assumption_error",
+    "marginal_vs_conditional_error",
+    "GranularityPoint",
+    "class_granularity_study",
+    "MixtureConfound",
+    "mixture_confound",
+]
+
+
+@dataclass(frozen=True)
+class IndependenceError:
+    """Equation (2) vs equation (1) on a parallel model.
+
+    Attributes:
+        true_probability: Equation (1), with the covariance term.
+        independent_probability: Equation (2), assuming independence.
+        error: ``independent - true``; negative values mean independence
+            *understates* the failure probability (the dangerous direction,
+            caused by positively correlated difficulty).
+    """
+
+    true_probability: float
+    independent_probability: float
+
+    @property
+    def error(self) -> float:
+        return self.independent_probability - self.true_probability
+
+    @property
+    def relative_error(self) -> float:
+        """Error relative to the true probability (0 when truth is 0)."""
+        if self.true_probability == 0.0:
+            return 0.0
+        return self.error / self.true_probability
+
+
+def independence_assumption_error(
+    model: ParallelModel, profile: DemandProfile
+) -> IndependenceError:
+    """How wrong the unwarranted independence assumption is, per profile."""
+    return IndependenceError(
+        true_probability=model.system_failure_probability(profile),
+        independent_probability=model.system_failure_probability_independent(profile),
+    )
+
+
+def marginal_vs_conditional_error(
+    parameters: ModelParameters,
+    trial_profile: DemandProfile,
+    field_profile: DemandProfile,
+) -> dict[str, float]:
+    """Field prediction with per-class parameters vs marginal parameters.
+
+    The marginal analyst measures one overall parameter set in the trial
+    (all classes merged, weighted by the *trial* profile) and, having no
+    per-class structure, necessarily predicts the same failure probability
+    for the field.  The conditional analyst re-weights by the field
+    profile, as equation (8) prescribes.
+
+    Returns:
+        Keys ``conditional_field``, ``marginal_field`` (equal to the trial
+        figure), and ``error`` (marginal minus conditional).
+    """
+    conditional_model = SequentialModel(parameters)
+    conditional_field = conditional_model.system_failure_probability(field_profile)
+    merged = merge_classes(parameters, trial_profile)
+    marginal_field = merged.p_system_failure
+    return {
+        "conditional_field": conditional_field,
+        "marginal_field": marginal_field,
+        "error": marginal_field - conditional_field,
+    }
+
+
+@dataclass(frozen=True)
+class GranularityPoint:
+    """Field-prediction quality at one classification granularity.
+
+    Attributes:
+        name: Label of the grouping (e.g. ``"2 classes"``).
+        num_classes: Number of coarse classes.
+        predicted_field: Failure probability the coarse model predicts for
+            the field.
+        true_field: The fine-grained model's field probability.
+    """
+
+    name: str
+    num_classes: int
+    predicted_field: float
+    true_field: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.predicted_field - self.true_field)
+
+
+def class_granularity_study(
+    parameters: ModelParameters,
+    trial_profile: DemandProfile,
+    field_profile: DemandProfile,
+    groupings: Mapping[str, Mapping[str, Sequence[str]]],
+) -> list[GranularityPoint]:
+    """Extrapolation error across a family of coarsened classifications.
+
+    For each grouping, the fine classes are merged (parameters pooled with
+    *trial*-profile weights — what the trial analyst would measure) and
+    the coarse model predicts the field failure probability using the
+    coarse field profile.  The fine model's field prediction is the truth.
+
+    Args:
+        parameters: The fine-grained (true) parameter table.
+        trial_profile: Fine-grained trial profile (used for pooling and as
+            the measurement environment).
+        field_profile: Fine-grained field profile (the prediction target).
+        groupings: ``{grouping name: {coarse class: [fine class names]}}``;
+            every fine class in the field profile's support must be
+            covered exactly once per grouping.
+
+    Raises:
+        ParameterError: if a grouping misses or duplicates fine classes.
+    """
+    true_field = SequentialModel(parameters).system_failure_probability(field_profile)
+    points: list[GranularityPoint] = []
+    fine_names = {cls.name for cls in field_profile.support}
+
+    for name, grouping in groupings.items():
+        covered: list[str] = []
+        for members in grouping.values():
+            covered.extend(members)
+        if sorted(covered) != sorted(fine_names):
+            raise ParameterError(
+                f"grouping {name!r} must cover each fine class exactly once; "
+                f"got {sorted(covered)} vs {sorted(fine_names)}"
+            )
+        coarse_params: dict[CaseClass, ClassParameters] = {}
+        coarse_trial: dict[str, float] = {}
+        coarse_field: dict[str, float] = {}
+        for coarse_name, members in grouping.items():
+            member_weights = {m: trial_profile[m] for m in members}
+            coarse_params[CaseClass(coarse_name)] = merge_classes(
+                parameters, DemandProfile.from_weights(member_weights)
+            )
+            coarse_trial[coarse_name] = sum(trial_profile[m] for m in members)
+            coarse_field[coarse_name] = sum(field_profile[m] for m in members)
+        coarse_model = SequentialModel(ModelParameters(coarse_params))
+        predicted = coarse_model.system_failure_probability(
+            DemandProfile(coarse_field)
+        )
+        points.append(
+            GranularityPoint(
+                name=name,
+                num_classes=len(grouping),
+                predicted_field=predicted,
+                true_field=true_field,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class MixtureConfound:
+    """Section 6.2's confounder, constructed explicitly.
+
+    Attributes:
+        subclass_importances: ``t`` within each (homogeneous) subclass.
+        merged_importance: The apparent ``t`` of the merged class.
+    """
+
+    subclass_importances: tuple[float, ...]
+    merged_importance: float
+
+    @property
+    def spurious_gain(self) -> float:
+        """Apparent importance not present in any subclass."""
+        return self.merged_importance - max(self.subclass_importances)
+
+
+def mixture_confound(
+    subclasses: Mapping[str, ClassParameters],
+    weights: Mapping[str, float],
+) -> MixtureConfound:
+    """Merge subclasses and report the apparent importance index.
+
+    Designed for the paper's example: pass subclasses with ``t = 0``
+    (reader unaffected by the machine within each) but very different
+    difficulty levels; the merged class shows ``t > 0`` purely because
+    machine failure is *evidence* the case came from the hard subclass.
+
+    Args:
+        subclasses: Per-subclass parameters.
+        weights: Relative frequencies of the subclasses.
+    """
+    parameters = ModelParameters(dict(subclasses))
+    merged = merge_classes(parameters, DemandProfile.from_weights(dict(weights)))
+    return MixtureConfound(
+        subclass_importances=tuple(
+            subclasses[name].importance_index for name in sorted(subclasses)
+        ),
+        merged_importance=merged.importance_index,
+    )

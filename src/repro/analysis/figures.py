@@ -1,0 +1,91 @@
+"""Data series behind the paper's Figure 4 and the extension figures.
+
+The library is plot-free (no plotting dependency); each function returns
+the exact ``(x, y)`` series a figure plots, ready for any front end.  The
+benchmarks assert on these series, and the examples print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.bounds import failure_line, figure4_series
+from ..core.case_class import CaseClass
+from ..core.parameters import ModelParameters, paper_example_parameters
+from ..core.tradeoff import SystemOperatingPoint, TradeoffFrontier
+
+__all__ = ["Figure4Line", "build_figure4", "frontier_series", "trust_series"]
+
+
+@dataclass(frozen=True)
+class Figure4Line:
+    """One class's line in Figure 4.
+
+    Attributes:
+        case_class: The class the line describes.
+        intercept: ``PHf|Ms(x)`` — system failure probability at a perfect
+            machine (Section 6.1's irreducible floor).
+        slope: ``t(x)`` — the importance index.
+        series: Sampled ``(PMf, P(system failure))`` points along the line.
+        operating_point: The class's current ``(PMf(x), P(failure|x))``,
+            which lies exactly on the line.
+    """
+
+    case_class: CaseClass
+    intercept: float
+    slope: float
+    series: tuple[tuple[float, float], ...]
+    operating_point: tuple[float, float]
+
+
+def build_figure4(
+    parameters: ModelParameters | None = None, num_points: int = 21
+) -> dict[CaseClass, Figure4Line]:
+    """Figure 4's line for every class of a parameter table.
+
+    Args:
+        parameters: Parameter table (the paper's example by default).
+        num_points: Samples per line.
+    """
+    if parameters is None:
+        parameters = paper_example_parameters()
+    lines: dict[CaseClass, Figure4Line] = {}
+    for cls, params in parameters.items():
+        line = failure_line(params)
+        lines[cls] = Figure4Line(
+            case_class=cls,
+            intercept=line.intercept,
+            slope=line.slope,
+            series=tuple(figure4_series(params, num_points)),
+            operating_point=(params.p_machine_failure, params.p_system_failure),
+        )
+    return lines
+
+
+def frontier_series(
+    frontier: TradeoffFrontier,
+) -> tuple[tuple[float, float, str], ...]:
+    """The ROC-style series of a trade-off sweep.
+
+    Returns:
+        ``(1 - specificity, sensitivity, label)`` per operating point, in
+        increasing false-positive order — the conventional ROC axes.
+    """
+    points: Sequence[SystemOperatingPoint] = sorted(
+        frontier.points, key=lambda p: (p.p_false_positive, p.sensitivity)
+    )
+    return tuple((p.p_false_positive, p.sensitivity, p.label) for p in points)
+
+
+def trust_series(trajectory: Sequence[float]) -> tuple[tuple[int, float], ...]:
+    """Index the trust trajectory of an adaptive reader for plotting.
+
+    Args:
+        trajectory: Trust values after each case (from
+            :func:`repro.reader.simulate_trust_trajectory`).
+
+    Returns:
+        ``(case index, trust)`` pairs, 1-based indices.
+    """
+    return tuple((index + 1, float(value)) for index, value in enumerate(trajectory))

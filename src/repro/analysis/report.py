@@ -1,0 +1,306 @@
+"""Regenerating the paper's Section 5 tables.
+
+Three tables make up the paper's worked example:
+
+* **Table 1** — per-class demand profiles (trial and field) and model
+  parameters (``PMf``, ``PMs``, ``PHf|Mf``, ``PHf|Ms``);
+* **Table 2** — probability of system failure per class and overall under
+  the trial and field profiles;
+* **Table 3** — the same overall probabilities for the two candidate CADT
+  improvements (x10 on easy cases vs x10 on difficult cases).
+
+Each builder returns a plain data structure (for tests and benchmarks)
+plus a rendered ASCII table (for examples and reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.case_class import CaseClass
+from ..core.extrapolation import (
+    ExtrapolationStudy,
+    paper_improvement_scenarios,
+)
+from ..core.parameters import ModelParameters, paper_example_parameters
+from ..core.profile import PAPER_FIELD_PROFILE, PAPER_TRIAL_PROFILE, DemandProfile
+from ..core.sequential import SequentialModel
+
+__all__ = [
+    "render_table",
+    "Table1",
+    "Table2",
+    "Table3",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "render_calibration",
+    "render_monitoring",
+    "render_feasibility",
+]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an ASCII table with column alignment.
+
+    Args:
+        headers: Column titles.
+        rows: Row cells, already stringified; each row must match the
+            header length.
+    """
+    table = [list(headers)] + [list(row) for row in rows]
+    for row in table:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    return "\n".join([line(headers), separator] + [line(row) for row in rows])
+
+
+@dataclass(frozen=True)
+class Table1:
+    """The paper's Table 1: demand profiles and model parameters per class.
+
+    Attributes:
+        parameters: The per-class parameter table.
+        trial_profile: Demand profile of the trial.
+        field_profile: Demand profile of the field.
+    """
+
+    parameters: ModelParameters
+    trial_profile: DemandProfile
+    field_profile: DemandProfile
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """One dict per class with every Table 1 column."""
+        result = []
+        for cls, params in self.parameters.items():
+            result.append(
+                {
+                    "class": cls.name,
+                    "trial": self.trial_profile[cls],
+                    "field": self.field_profile[cls],
+                    "PMf": params.p_machine_failure,
+                    "PMs": params.p_machine_success,
+                    "PHf|Mf": params.p_human_failure_given_machine_failure,
+                    "PHf|Ms": params.p_human_failure_given_machine_success,
+                }
+            )
+        return result
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's column order."""
+        headers = ["classes of cases", "Trial", "Field", "PMf", "PMs", "PHf|Mf", "PHf|Ms"]
+        rows = [
+            [
+                str(row["class"]),
+                f"{row['trial']:.2f}",
+                f"{row['field']:.2f}",
+                f"{row['PMf']:.2f}",
+                f"{row['PMs']:.2f}",
+                f"{row['PHf|Mf']:.2f}",
+                f"{row['PHf|Ms']:.2f}",
+            ]
+            for row in self.rows()
+        ]
+        return render_table(headers, rows)
+
+
+@dataclass(frozen=True)
+class Table2:
+    """The paper's Table 2: system failure probabilities, trial vs field.
+
+    Attributes:
+        per_class: Failure probability conditional on each class.
+        trial: Overall failure probability under the trial profile.
+        field: Overall failure probability under the field profile.
+    """
+
+    per_class: Mapping[CaseClass, float]
+    trial: float
+    field: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "per_class", dict(self.per_class))
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's layout."""
+        rows = [
+            [f"{cls.name} cases", f"{probability:.3f}", ""]
+            for cls, probability in sorted(self.per_class.items())
+        ]
+        rows.append(["all cases (Trial / Field)", f"{self.trial:.3f}", f"{self.field:.3f}"])
+        return render_table(["", "Trial", "Field"], rows)
+
+
+@dataclass(frozen=True)
+class Table3:
+    """The paper's Table 3: effects of the two candidate CADT improvements.
+
+    Attributes:
+        improve_easy: Table 2 recomputed with the CADT improved x``factor``
+            on easy cases.
+        improve_difficult: Same for difficult cases.
+        factor: The improvement factor (10 in the paper).
+    """
+
+    improve_easy: Table2
+    improve_difficult: Table2
+    factor: float
+
+    def render(self) -> str:
+        """ASCII rendering showing both improvement options side by side."""
+        headers = [
+            "",
+            f"improved easy (x{self.factor:g}) T/F",
+            f"improved difficult (x{self.factor:g}) T/F",
+        ]
+        classes = sorted(
+            set(self.improve_easy.per_class) | set(self.improve_difficult.per_class)
+        )
+        rows = [
+            [
+                f"{cls.name} cases",
+                f"{self.improve_easy.per_class[cls]:.3f}",
+                f"{self.improve_difficult.per_class[cls]:.3f}",
+            ]
+            for cls in classes
+        ]
+        rows.append(
+            [
+                "all cases",
+                f"{self.improve_easy.trial:.3f} / {self.improve_easy.field:.3f}",
+                f"{self.improve_difficult.trial:.3f} / {self.improve_difficult.field:.3f}",
+            ]
+        )
+        return render_table(headers, rows)
+
+
+def build_table1(
+    parameters: ModelParameters | None = None,
+    trial_profile: DemandProfile = PAPER_TRIAL_PROFILE,
+    field_profile: DemandProfile = PAPER_FIELD_PROFILE,
+) -> Table1:
+    """Table 1 for any parameter table (the paper's by default)."""
+    if parameters is None:
+        parameters = paper_example_parameters()
+    return Table1(
+        parameters=parameters,
+        trial_profile=trial_profile,
+        field_profile=field_profile,
+    )
+
+
+def build_table2(
+    parameters: ModelParameters | None = None,
+    trial_profile: DemandProfile = PAPER_TRIAL_PROFILE,
+    field_profile: DemandProfile = PAPER_FIELD_PROFILE,
+) -> Table2:
+    """Table 2 for any parameter table (the paper's by default)."""
+    if parameters is None:
+        parameters = paper_example_parameters()
+    model = SequentialModel(parameters)
+    per_class = {cls: model.class_failure_probability(cls) for cls in parameters.classes}
+    return Table2(
+        per_class=per_class,
+        trial=model.system_failure_probability(trial_profile),
+        field=model.system_failure_probability(field_profile),
+    )
+
+
+def build_table3(
+    parameters: ModelParameters | None = None,
+    trial_profile: DemandProfile = PAPER_TRIAL_PROFILE,
+    field_profile: DemandProfile = PAPER_FIELD_PROFILE,
+    factor: float = 10.0,
+    easy_class: str = "easy",
+    difficult_class: str = "difficult",
+) -> Table3:
+    """Table 3 for any parameter table (the paper's by default).
+
+    Evaluates the two targeted-improvement scenarios through the
+    extrapolation machinery, exactly as Section 5 does.
+    """
+    if parameters is None:
+        parameters = paper_example_parameters()
+    improve_easy, improve_difficult = paper_improvement_scenarios(
+        factor, easy_class, difficult_class
+    )
+    study = ExtrapolationStudy(
+        parameters,
+        profiles={"trial": trial_profile, "field": field_profile},
+        scenarios=[improve_easy, improve_difficult],
+    )
+    result = study.evaluate()
+
+    def to_table2(scenario_name: str) -> Table2:
+        trial_outcome = result[(scenario_name, "trial")]
+        field_outcome = result[(scenario_name, "field")]
+        return Table2(
+            per_class=dict(trial_outcome.prediction.per_class),
+            trial=trial_outcome.probability,
+            field=field_outcome.probability,
+        )
+
+    return Table3(
+        improve_easy=to_table2("improve_easy"),
+        improve_difficult=to_table2("improve_difficult"),
+        factor=factor,
+    )
+
+
+def render_calibration(report) -> str:
+    """ASCII rendering of a :class:`~repro.analysis.validation.CalibrationReport`."""
+    rows = []
+    for cell in report.cells:
+        rows.append(
+            [
+                cell.case_class.name,
+                cell.condition,
+                f"{cell.predicted:.4f}",
+                "-" if cell.observed_trials == 0 else f"{cell.observed:.4f}",
+                str(cell.observed_trials),
+                f"{cell.z_score:+.2f}",
+            ]
+        )
+    return render_table(["class", "cell", "predicted", "observed", "n", "z"], rows)
+
+
+def render_monitoring(report) -> str:
+    """ASCII rendering of a :class:`~repro.analysis.monitoring.MonitoringReport`."""
+    rows = []
+    for test in report.tests:
+        rows.append(
+            [
+                test.name,
+                "-" if test.reference is None else f"{test.reference:.4f}",
+                "-" if test.observed is None else f"{test.observed:.4f}",
+                str(test.sample_size),
+                f"{test.p_value:.3g}",
+                "ALARM" if test.p_value < report.per_test_alpha else "",
+            ]
+        )
+    return render_table(
+        ["monitor", "reference", "observed", "n", "p-value", ""], rows
+    )
+
+
+def render_feasibility(report) -> str:
+    """ASCII rendering of a :class:`~repro.trial.design.FeasibilityReport`."""
+    rows = []
+    for cell in report.cells:
+        rows.append(
+            [
+                cell.case_class.name,
+                cell.cell,
+                f"{cell.expected_readings:.1f}",
+                str(cell.required_readings),
+                "ok" if cell.feasible else "THIN",
+            ]
+        )
+    return render_table(["class", "cell", "expected", "required", "status"], rows)

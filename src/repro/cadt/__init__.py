@@ -1,0 +1,27 @@
+"""Simulated computer-aided detection tool (CADT) substrate.
+
+Stands in for the proprietary pattern-recognition tool of the paper's
+trials.  The simulator reproduces the tool's statistical interface — a
+per-case miss probability and Poisson false prompts, both governed by a
+tunable operating threshold — plus the operational effects Section 5
+attributes to field use (drift, maintenance, film quality).
+"""
+
+from .algorithm import CadtOutput, DetectionAlgorithm
+from .tool import Cadt
+from .tuning import (
+    MachineOperatingPoint,
+    machine_operating_point,
+    threshold_for_miss_rate,
+    threshold_sweep,
+)
+
+__all__ = [
+    "CadtOutput",
+    "DetectionAlgorithm",
+    "Cadt",
+    "MachineOperatingPoint",
+    "machine_operating_point",
+    "threshold_sweep",
+    "threshold_for_miss_rate",
+]

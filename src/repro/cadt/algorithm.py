@@ -1,0 +1,180 @@
+"""The simulated pattern-recognition core of the CADT.
+
+The paper treats the CADT as a component that, per case, either prompts
+the features indicating cancer or fails to (a false negative), and that
+may also place prompts on films of healthy patients (false positives).
+The real tool's pattern-matching internals are proprietary; this simulator
+reproduces the tool's *statistical interface*:
+
+* per-case miss probability driven by the case's latent machine
+  difficulty, modulated by a tunable **operating threshold** — the knob
+  behind the paper's Section 7 trade-off programme ("PMf is small by
+  design, at the cost of relatively frequent false positive failures");
+* false prompts arriving as a Poisson count whose rate grows with the
+  case's distractor level and falls as the threshold is raised.
+
+The threshold acts on the *logit* of the miss probability, so sweeping it
+traces a proper ROC curve over any population of cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..screening.case import Case
+
+__all__ = ["CadtOutput", "DetectionAlgorithm"]
+
+
+def _logit(p: float, epsilon: float = 1e-12) -> float:
+    """Logit with clamping so endpoint probabilities stay finite."""
+    p = min(max(p, epsilon), 1.0 - epsilon)
+    return math.log(p / (1.0 - p))
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+@dataclass(frozen=True)
+class CadtOutput:
+    """What the CADT puts on one case's films.
+
+    Attributes:
+        case_id: The processed case.
+        prompted_relevant: Whether the prompts cover the features that
+            indicate cancer; always ``False`` for healthy cases (there are
+            no relevant features to prompt).
+        num_false_prompts: Count of prompts on irrelevant (benign or
+            empty) features.
+    """
+
+    case_id: int
+    prompted_relevant: bool
+    num_false_prompts: int
+
+    def __post_init__(self) -> None:
+        if self.num_false_prompts < 0:
+            raise SimulationError(
+                f"num_false_prompts must be non-negative, got {self.num_false_prompts!r}"
+            )
+
+    @property
+    def has_any_prompt(self) -> bool:
+        """Whether the reader sees any prompt at all on this case."""
+        return self.prompted_relevant or self.num_false_prompts > 0
+
+    def is_false_negative(self, case: Case) -> bool:
+        """Machine false negative: a cancer case without relevant prompts."""
+        return case.has_cancer and not self.prompted_relevant
+
+    def is_false_positive(self, case: Case) -> bool:
+        """Machine false positive: any prompt on a healthy case."""
+        return (not case.has_cancer) and self.num_false_prompts > 0
+
+
+@dataclass(frozen=True)
+class DetectionAlgorithm:
+    """A tunable, simulated detection algorithm.
+
+    Attributes:
+        threshold_shift: Logit-scale shift of the per-case miss
+            probability.  0 is the nominal tuning; positive values make the
+            algorithm more conservative (more misses, fewer false prompts),
+            negative values more aggressive.
+        base_false_prompt_rate: Expected false prompts per case at nominal
+            tuning on a case with zero distractors.
+        distractor_gain: Multiplicative sensitivity of the false-prompt
+            rate to the case's distractor level.
+        version: Identifier recorded in trial logs (changes with retuning).
+    """
+
+    threshold_shift: float = 0.0
+    base_false_prompt_rate: float = 0.6
+    distractor_gain: float = 2.0
+    version: str = "sim-1.0"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.threshold_shift):
+            raise SimulationError(f"threshold_shift must be finite, got {self.threshold_shift!r}")
+        if self.base_false_prompt_rate < 0:
+            raise SimulationError(
+                f"base_false_prompt_rate must be >= 0, got {self.base_false_prompt_rate!r}"
+            )
+        if self.distractor_gain < 0:
+            raise SimulationError(
+                f"distractor_gain must be >= 0, got {self.distractor_gain!r}"
+            )
+
+    # -- exact per-case probabilities (used by analytics and tests) ------------
+
+    def miss_probability(self, case: Case) -> float:
+        """``pMf(x)``: probability of missing this cancer case's features.
+
+        Zero for healthy cases (nothing to miss).
+        """
+        if not case.has_cancer:
+            return 0.0
+        return _sigmoid(_logit(case.machine_difficulty) + self.threshold_shift)
+
+    def false_prompt_rate(self, case: Case) -> float:
+        """Expected number of false prompts on this case (Poisson rate)."""
+        rate = self.base_false_prompt_rate * (
+            1.0 + self.distractor_gain * case.distractor_level
+        )
+        # Raising the threshold suppresses false prompts exponentially.
+        return rate * math.exp(-self.threshold_shift)
+
+    def false_positive_probability(self, case: Case) -> float:
+        """Probability of at least one false prompt on this case."""
+        return 1.0 - math.exp(-self.false_prompt_rate(case))
+
+    # -- sampling ---------------------------------------------------------------
+
+    def process(self, case: Case, rng: np.random.Generator) -> CadtOutput:
+        """Run the algorithm on one case, sampling its stochastic behaviour."""
+        prompted_relevant = False
+        if case.has_cancer:
+            prompted_relevant = float(rng.random()) >= self.miss_probability(case)
+        num_false = int(rng.poisson(self.false_prompt_rate(case)))
+        return CadtOutput(
+            case_id=case.case_id,
+            prompted_relevant=prompted_relevant,
+            num_false_prompts=num_false,
+        )
+
+    # -- retuning ---------------------------------------------------------------
+
+    def with_threshold_shift(self, threshold_shift: float) -> "DetectionAlgorithm":
+        """A retuned copy at a different operating threshold."""
+        return replace(
+            self,
+            threshold_shift=float(threshold_shift),
+            version=f"{self.version.split('@')[0]}@{threshold_shift:+.3f}",
+        )
+
+    def improved(self, logit_gain: float) -> "DetectionAlgorithm":
+        """A uniformly better algorithm (both error kinds reduced).
+
+        Unlike :meth:`with_threshold_shift`, which trades one failure kind
+        for the other, this models genuine design improvement: the miss
+        logit drops by ``logit_gain`` *and* the false-prompt rate drops by
+        the same exponential factor.
+        """
+        if logit_gain < 0:
+            raise SimulationError(f"logit_gain must be >= 0, got {logit_gain!r}")
+        return replace(
+            self,
+            threshold_shift=self.threshold_shift - logit_gain,
+            base_false_prompt_rate=self.base_false_prompt_rate
+            * math.exp(-2.0 * logit_gain),
+            version=f"{self.version.split('@')[0]}-improved{logit_gain:.2f}",
+        )

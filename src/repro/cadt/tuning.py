@@ -1,0 +1,154 @@
+"""Threshold sweeps and ROC analysis of the detection algorithm.
+
+Implements the machine side of the paper's Section 7 programme: "how
+alternative settings (compromises between false negative and false
+positive rates) of the CADT would affect the whole system's false negative
+and false positive rates".  The functions here characterise the *machine
+alone*; :mod:`repro.core.tradeoff` lifts a sweep of machine settings to
+system-level operating points.
+
+All rates are computed analytically (exact expectations over the supplied
+cases) rather than by sampling, so sweeps are deterministic and smooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError, SimulationError
+from ..screening.case import Case
+from .algorithm import DetectionAlgorithm
+
+__all__ = [
+    "MachineOperatingPoint",
+    "machine_operating_point",
+    "threshold_sweep",
+    "threshold_for_miss_rate",
+]
+
+
+@dataclass(frozen=True)
+class MachineOperatingPoint:
+    """The machine's error rates at one threshold setting.
+
+    Attributes:
+        threshold_shift: The logit threshold shift evaluated.
+        miss_rate: Mean miss probability over the supplied cancer cases
+            (machine false-negative rate, ``PMf``).
+        false_positive_rate: Mean probability of at least one false prompt
+            over the supplied healthy cases.
+        mean_false_prompts: Mean expected false-prompt count per case over
+            *all* supplied cases (prompt burden seen by readers).
+    """
+
+    threshold_shift: float
+    miss_rate: float
+    false_positive_rate: float
+    mean_false_prompts: float
+
+
+def _split(cases: Sequence[Case]) -> tuple[list[Case], list[Case]]:
+    cancers = [c for c in cases if c.has_cancer]
+    healthy = [c for c in cases if not c.has_cancer]
+    return cancers, healthy
+
+
+def machine_operating_point(
+    algorithm: DetectionAlgorithm, cases: Sequence[Case]
+) -> MachineOperatingPoint:
+    """Exact error rates of an algorithm over a case set.
+
+    Args:
+        algorithm: The algorithm (at its configured threshold).
+        cases: Evaluation cases; must include at least one cancer and one
+            healthy case so both rates are defined.
+    """
+    cancers, healthy = _split(cases)
+    if not cancers or not healthy:
+        raise SimulationError(
+            "operating point needs at least one cancer and one healthy case"
+        )
+    miss_rate = float(np.mean([algorithm.miss_probability(c) for c in cancers]))
+    fp_rate = float(np.mean([algorithm.false_positive_probability(c) for c in healthy]))
+    burden = float(np.mean([algorithm.false_prompt_rate(c) for c in cases]))
+    return MachineOperatingPoint(
+        threshold_shift=algorithm.threshold_shift,
+        miss_rate=miss_rate,
+        false_positive_rate=fp_rate,
+        mean_false_prompts=burden,
+    )
+
+
+def threshold_sweep(
+    algorithm: DetectionAlgorithm,
+    cases: Sequence[Case],
+    threshold_shifts: Sequence[float],
+) -> list[MachineOperatingPoint]:
+    """Evaluate the algorithm at each threshold shift (an ROC sweep).
+
+    Args:
+        algorithm: Base algorithm; each point re-tunes it with
+            :meth:`~repro.cadt.algorithm.DetectionAlgorithm.with_threshold_shift`.
+        cases: Evaluation cases (mixed cancers and healthy).
+        threshold_shifts: The settings to evaluate, in any order.
+    """
+    if len(threshold_shifts) == 0:
+        raise ParameterError("threshold_shifts must be non-empty")
+    return [
+        machine_operating_point(algorithm.with_threshold_shift(shift), cases)
+        for shift in threshold_shifts
+    ]
+
+
+def threshold_for_miss_rate(
+    algorithm: DetectionAlgorithm,
+    cancer_cases: Sequence[Case],
+    target_miss_rate: float,
+    lower: float = -10.0,
+    upper: float = 10.0,
+    tolerance: float = 1e-6,
+) -> float:
+    """The threshold shift achieving a target mean miss rate.
+
+    Solves by bisection; the mean miss rate is strictly increasing in the
+    threshold shift, so the root is unique when it exists.
+
+    Args:
+        algorithm: Base algorithm.
+        cancer_cases: Cancer cases over which the miss rate is averaged.
+        target_miss_rate: Desired ``PMf`` in (0, 1).
+        lower: Lower bracket of the search (logits).
+        upper: Upper bracket of the search (logits).
+        tolerance: Bisection stopping width on the threshold.
+
+    Raises:
+        ParameterError: if the target is outside what the bracket achieves.
+    """
+    cancers = [c for c in cancer_cases if c.has_cancer]
+    if not cancers:
+        raise SimulationError("threshold_for_miss_rate needs at least one cancer case")
+    if not 0.0 < target_miss_rate < 1.0:
+        raise ParameterError(
+            f"target_miss_rate must be in (0, 1), got {target_miss_rate!r}"
+        )
+
+    def miss_rate(shift: float) -> float:
+        retuned = algorithm.with_threshold_shift(shift)
+        return float(np.mean([retuned.miss_probability(c) for c in cancers]))
+
+    low_rate, high_rate = miss_rate(lower), miss_rate(upper)
+    if not low_rate <= target_miss_rate <= high_rate:
+        raise ParameterError(
+            f"target miss rate {target_miss_rate!r} outside achievable range "
+            f"[{low_rate:.6f}, {high_rate:.6f}] for shifts in [{lower}, {upper}]"
+        )
+    while upper - lower > tolerance:
+        mid = (lower + upper) / 2.0
+        if miss_rate(mid) < target_miss_rate:
+            lower = mid
+        else:
+            upper = mid
+    return (lower + upper) / 2.0

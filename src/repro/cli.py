@@ -1,0 +1,339 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``    — regenerate the paper's Tables 1-3 (optionally from a
+  saved model file).
+* ``figure4``   — print Figure 4's per-class line series.
+* ``decompose`` — print equation (10)'s covariance decomposition.
+* ``trial``     — run a simulated controlled trial, print the estimated
+  parameter table, and optionally save it as a model JSON file.
+* ``predict``   — load a model file and evaluate the system failure
+  probability under one of its stored profiles.
+* ``design``    — feasibility report for a planned trial against a saved
+  (anticipated) model file.
+
+Every command is a thin shell over the public API; anything printed here
+can be computed programmatically with the same names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import build_figure4, build_table1, build_table2, build_table3, render_table
+from .core import PAPER_FIELD_PROFILE, PAPER_TRIAL_PROFILE, SequentialModel
+from .core.io import dump_model, load_model
+from .core.parameters import paper_example_parameters
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clear-box reliability modelling of human-machine advisory systems",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tables = subparsers.add_parser("tables", help="regenerate the paper's Tables 1-3")
+    tables.add_argument(
+        "--model", help="model JSON file (default: the paper's example parameters)"
+    )
+    tables.add_argument(
+        "--factor", type=float, default=10.0, help="improvement factor for Table 3"
+    )
+
+    figure4 = subparsers.add_parser("figure4", help="print Figure 4's line series")
+    figure4.add_argument("--model", help="model JSON file")
+    figure4.add_argument("--points", type=int, default=11, help="samples per line")
+
+    decompose = subparsers.add_parser(
+        "decompose", help="print equation (10)'s covariance decomposition"
+    )
+    decompose.add_argument("--model", help="model JSON file")
+    decompose.add_argument(
+        "--profile",
+        default="field",
+        help="stored profile name (default 'field'; paper profiles when no --model)",
+    )
+
+    trial = subparsers.add_parser("trial", help="run a simulated controlled trial")
+    trial.add_argument("--cases", type=int, default=400, help="trial case-set size")
+    trial.add_argument("--readers", type=int, default=4, help="panel size")
+    trial.add_argument(
+        "--cancer-fraction", type=float, default=0.5, help="case-set enrichment"
+    )
+    trial.add_argument(
+        "--enrichment", type=float, default=1.5, help="subtlety selection strength"
+    )
+    trial.add_argument("--seed", type=int, default=0, help="master seed")
+    trial.add_argument("--output", help="write the estimated model JSON here")
+
+    predict = subparsers.add_parser(
+        "predict", help="evaluate a saved model under one of its profiles"
+    )
+    predict.add_argument("model", help="model JSON file")
+    predict.add_argument("--profile", default=None, help="stored profile name")
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity", help="tornado / sensitivity report for a model"
+    )
+    sensitivity.add_argument("--model", help="model JSON file")
+    sensitivity.add_argument("--profile", default="field", help="stored profile name")
+    sensitivity.add_argument(
+        "--swing", type=float, default=0.1, help="relative parameter swing (0.1 = ±10%%)"
+    )
+
+    design = subparsers.add_parser(
+        "design", help="feasibility report for a planned trial"
+    )
+    design.add_argument("model", help="anticipated model JSON file (with profiles)")
+    design.add_argument("--profile", default="trial", help="anticipated trial profile")
+    design.add_argument("--cases", type=int, default=400)
+    design.add_argument("--readers", type=int, default=4)
+    design.add_argument("--cancer-fraction", type=float, default=0.5)
+    design.add_argument("--half-width", type=float, default=0.1)
+
+    monitor = subparsers.add_parser(
+        "monitor", help="drift monitoring of field records against a model"
+    )
+    monitor.add_argument("records", help="field records CSV (see dump_records_csv)")
+    monitor.add_argument("model", help="reference model JSON file (with profiles)")
+    monitor.add_argument("--profile", default="field", help="reference profile name")
+    monitor.add_argument(
+        "--alpha", type=float, default=0.01, help="family-wise false-alarm rate"
+    )
+    return parser
+
+
+def _load_parameters(path: str | None):
+    if path is None:
+        return (
+            paper_example_parameters(),
+            {"trial": PAPER_TRIAL_PROFILE, "field": PAPER_FIELD_PROFILE},
+        )
+    return load_model(path)
+
+
+def _profiles_or_default(profiles, name: str):
+    if name in profiles:
+        return profiles[name]
+    available = ", ".join(sorted(profiles)) or "(none)"
+    raise ReproError(f"profile {name!r} not found; available: {available}")
+
+
+def _command_tables(args: argparse.Namespace) -> None:
+    parameters, profiles = _load_parameters(args.model)
+    trial_profile = profiles.get("trial", PAPER_TRIAL_PROFILE)
+    field_profile = profiles.get("field", trial_profile)
+    print("Table 1 - demand profiles and model parameters")
+    print(build_table1(parameters, trial_profile, field_profile).render())
+    print()
+    print("Table 2 - probability of system failure")
+    print(build_table2(parameters, trial_profile, field_profile).render())
+    classes = {cls.name for cls in parameters.classes}
+    if {"easy", "difficult"} <= classes:
+        print()
+        print(f"Table 3 - targeted improvements (x{args.factor:g})")
+        print(
+            build_table3(
+                parameters, trial_profile, field_profile, factor=args.factor
+            ).render()
+        )
+
+
+def _command_figure4(args: argparse.Namespace) -> None:
+    parameters, _ = _load_parameters(args.model)
+    for cls, line in sorted(build_figure4(parameters, num_points=args.points).items()):
+        print(
+            f"class {cls.name}: intercept={line.intercept:.4f} slope={line.slope:.4f}"
+        )
+        for x, y in line.series:
+            print(f"  PMf={x:.3f} PHf={y:.4f}")
+
+
+def _command_decompose(args: argparse.Namespace) -> None:
+    parameters, profiles = _load_parameters(args.model)
+    profile = _profiles_or_default(profiles, args.profile)
+    model = SequentialModel(parameters)
+    decomposition = model.covariance_decomposition(profile)
+    rows = [
+        ["E[PHf|Ms] (floor)", f"{decomposition.expected_human_failure_given_machine_success:.6f}"],
+        ["PMf (marginal)", f"{decomposition.mean_machine_failure:.6f}"],
+        ["E[t] (mean importance)", f"{decomposition.mean_importance:.6f}"],
+        ["PMf * E[t]", f"{decomposition.independent_term:.6f}"],
+        ["cov_x(PMf, t)", f"{decomposition.covariance:+.6f}"],
+        ["PHf (total)", f"{decomposition.total:.6f}"],
+    ]
+    print(render_table(["term", "value"], rows))
+
+
+def _command_trial(args: argparse.Namespace) -> None:
+    from .cadt import Cadt, DetectionAlgorithm
+    from .reader import MILD_BIAS, QualificationLevel, ReaderPanel
+    from .screening import PopulationModel, SubtletyClassifier
+    from .trial import ControlledTrial
+
+    trial = ControlledTrial(
+        population=PopulationModel(seed=args.seed),
+        panel=ReaderPanel.sample(
+            args.readers,
+            QualificationLevel.STANDARD,
+            bias=MILD_BIAS,
+            seed=args.seed + 1,
+        ),
+        cadt=Cadt(DetectionAlgorithm(), seed=args.seed + 2),
+        classifier=SubtletyClassifier(),
+        num_cases=args.cases,
+        cancer_fraction=args.cancer_fraction,
+        subtlety_enrichment=args.enrichment,
+        on_empty_cell="pool",
+        seed=args.seed + 3,
+    )
+    outcome = trial.run()
+    estimation = outcome.estimation
+    rows = []
+    for cls in estimation.classes:
+        estimate = estimation[cls]
+        rows.append(
+            [
+                cls.name,
+                f"{estimation.profile[cls]:.3f}",
+                f"{estimate.machine_failure.point:.3f}",
+                f"{estimate.human_failure_given_machine_failure.point:.3f}",
+                f"{estimate.human_failure_given_machine_success.point:.3f}",
+            ]
+        )
+    print(render_table(["class", "p(x)", "PMf", "PHf|Mf", "PHf|Ms"], rows))
+    observed = outcome.aided_records.cancers().failure_rate()
+    print(f"observed aided cancer FN rate: {observed:.4f}")
+    if args.output:
+        dump_model(
+            args.output,
+            estimation.to_model_parameters(),
+            {"trial": estimation.profile},
+        )
+        print(f"model written to {args.output}")
+
+
+def _command_predict(args: argparse.Namespace) -> None:
+    parameters, profiles = load_model(args.model)
+    model = SequentialModel(parameters)
+    if args.profile is None and len(profiles) == 1:
+        name = next(iter(profiles))
+    elif args.profile is None:
+        raise ReproError(
+            f"--profile required; available: {', '.join(sorted(profiles)) or '(none)'}"
+        )
+    else:
+        name = args.profile
+    profile = _profiles_or_default(profiles, name)
+    probability = model.system_failure_probability(profile)
+    floor = model.machine_improvement_floor(profile)
+    print(f"profile {name!r}: P(system failure) = {probability:.6f}")
+    print(f"machine-improvement floor: {floor:.6f}")
+
+
+def _command_sensitivity(args: argparse.Namespace) -> None:
+    from .analysis import tornado
+
+    parameters, profiles = _load_parameters(args.model)
+    profile = _profiles_or_default(profiles, args.profile)
+    bars = tornado(SequentialModel(parameters), profile, relative_change=args.swing)
+    rows = [
+        [
+            bar.case_class.name,
+            bar.parameter,
+            f"{bar.low:.4f}",
+            f"{bar.baseline:.4f}",
+            f"{bar.high:.4f}",
+            f"{bar.swing:.4f}",
+        ]
+        for bar in bars
+    ]
+    print(render_table(["class", "parameter", "low", "baseline", "high", "swing"], rows))
+
+
+def _command_design(args: argparse.Namespace) -> None:
+    from .trial.design import TrialDesign
+
+    parameters, profiles = load_model(args.model)
+    profile = _profiles_or_default(profiles, args.profile)
+    trial_design = TrialDesign(
+        num_cases=args.cases,
+        num_readers=args.readers,
+        cancer_fraction=args.cancer_fraction,
+        half_width=args.half_width,
+    )
+    report = trial_design.feasibility(parameters, profile)
+    rows = [
+        [
+            cell.case_class.name,
+            cell.cell,
+            f"{cell.expected_readings:.1f}",
+            str(cell.required_readings),
+            "ok" if cell.feasible else "THIN",
+        ]
+        for cell in report.cells
+    ]
+    print(render_table(["class", "cell", "expected", "required", "status"], rows))
+    if report.is_feasible:
+        print("design is feasible at the requested precision")
+    else:
+        scaled = trial_design.scaled_to_feasibility(parameters, profile)
+        print(
+            f"design is NOT feasible; smallest feasible case-set size: "
+            f"{scaled.num_cases} (x{scaled.num_cases / trial_design.num_cases:.1f})"
+        )
+
+
+def _command_monitor(args: argparse.Namespace) -> None:
+    from .analysis import monitor_records, render_monitoring
+    from .trial import load_records_csv
+
+    parameters, profiles = load_model(args.model)
+    profile = _profiles_or_default(profiles, args.profile)
+    records = load_records_csv(args.records)
+    report = monitor_records(records, parameters, profile, alpha=args.alpha)
+    print(render_monitoring(report))
+    if report.any_drift:
+        fired = ", ".join(t.name for t in report.drifted_tests)
+        print(f"DRIFT DETECTED: {fired}")
+    else:
+        print("no drift detected")
+
+
+_COMMANDS = {
+    "tables": _command_tables,
+    "figure4": _command_figure4,
+    "decompose": _command_decompose,
+    "trial": _command_trial,
+    "predict": _command_predict,
+    "sensitivity": _command_sensitivity,
+    "design": _command_design,
+    "monitor": _command_monitor,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0

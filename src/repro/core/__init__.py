@@ -1,0 +1,167 @@
+"""Core models from the paper: sequential, parallel, importance, trade-offs.
+
+This package implements the paper's primary contribution — clear-box
+reliability models of a human user assisted by a computerised advisory
+tool — independent of any particular simulator:
+
+* :mod:`repro.core.case_class`, :mod:`repro.core.profile` — classes of
+  demands and demand profiles (Section 4).
+* :mod:`repro.core.parameters` — per-class conditional parameter tables.
+* :mod:`repro.core.sequential` — the sequential-operation model,
+  equations (4)-(10).
+* :mod:`repro.core.parallel` — the parallel-detection model,
+  equations (1)-(3).
+* :mod:`repro.core.importance`, :mod:`repro.core.bounds` — the importance
+  index ``t(x)``, Figure 4's failure line and improvement bounds.
+* :mod:`repro.core.covariance` — failure-diversity analysis.
+* :mod:`repro.core.extrapolation` — trial-to-field extrapolation and
+  design what-ifs (Section 5).
+* :mod:`repro.core.uncertainty` — Beta-posterior parameter uncertainty.
+* :mod:`repro.core.tradeoff` — false-negative/false-positive trade-offs.
+"""
+
+from .bounds import (
+    FailureLine,
+    failure_line,
+    figure4_series,
+    machine_improvement_floor,
+    machine_improvement_headroom,
+    required_machine_improvement,
+)
+from .case_class import DIFFICULT, EASY, PAPER_CLASSES, CaseClass
+from .covariance import (
+    WithinClassDifficulty,
+    covariance_from_case_difficulties,
+    decompose,
+    difficulty_correlation,
+    diversity_gain,
+)
+from .extrapolation import (
+    Change,
+    ExtrapolationStudy,
+    ImproveMachine,
+    ReplaceClassParameters,
+    ReplaceProfile,
+    ReweightProfile,
+    Scenario,
+    ScenarioOutcome,
+    SetMachineFailure,
+    ShiftReader,
+    StudyResult,
+    paper_improvement_scenarios,
+)
+from .io import FORMAT_TAG, dump_model, load_model, model_from_dict, model_to_dict
+from .multireader import (
+    MultiReaderClassParameters,
+    MultiReaderModel,
+    ReaderConditionals,
+    TeamPolicy,
+)
+from .importance import (
+    InfluenceKind,
+    classify_influence,
+    importance_index,
+    importance_table,
+    machine_relevance,
+    merge_classes,
+)
+from .optimize import AllocationResult, optimal_improvement_allocation
+from .parallel import (
+    ParallelClassParameters,
+    ParallelModel,
+    detection_covariance_bounds,
+)
+from .parameters import ClassParameters, ModelParameters, paper_example_parameters
+from .profile import PAPER_FIELD_PROFILE, PAPER_TRIAL_PROFILE, DemandProfile
+from .sequential import CovarianceDecomposition, SequentialModel, SequentialPrediction
+from .tradeoff import (
+    SystemOperatingPoint,
+    TradeoffFrontier,
+    TwoSidedModel,
+    expected_cost,
+)
+from .uncertainty import (
+    BetaPosterior,
+    CredibleInterval,
+    UncertainClassParameters,
+    UncertainModel,
+)
+
+__all__ = [
+    # case classes and profiles
+    "CaseClass",
+    "EASY",
+    "DIFFICULT",
+    "PAPER_CLASSES",
+    "DemandProfile",
+    "PAPER_TRIAL_PROFILE",
+    "PAPER_FIELD_PROFILE",
+    # parameters
+    "ClassParameters",
+    "ModelParameters",
+    "paper_example_parameters",
+    # sequential model
+    "SequentialModel",
+    "SequentialPrediction",
+    "CovarianceDecomposition",
+    # parallel model
+    "ParallelClassParameters",
+    "ParallelModel",
+    "detection_covariance_bounds",
+    # importance and bounds
+    "InfluenceKind",
+    "importance_index",
+    "classify_influence",
+    "importance_table",
+    "machine_relevance",
+    "merge_classes",
+    "FailureLine",
+    "failure_line",
+    "figure4_series",
+    "machine_improvement_floor",
+    "machine_improvement_headroom",
+    "required_machine_improvement",
+    # covariance / diversity
+    "WithinClassDifficulty",
+    "covariance_from_case_difficulties",
+    "difficulty_correlation",
+    "diversity_gain",
+    "decompose",
+    # extrapolation
+    "Change",
+    "ImproveMachine",
+    "SetMachineFailure",
+    "ShiftReader",
+    "ReplaceClassParameters",
+    "ReweightProfile",
+    "ReplaceProfile",
+    "Scenario",
+    "ScenarioOutcome",
+    "ExtrapolationStudy",
+    "StudyResult",
+    "paper_improvement_scenarios",
+    # uncertainty
+    "BetaPosterior",
+    "CredibleInterval",
+    "UncertainClassParameters",
+    "UncertainModel",
+    # trade-offs
+    "SystemOperatingPoint",
+    "TwoSidedModel",
+    "TradeoffFrontier",
+    "expected_cost",
+    # multi-reader teams
+    "TeamPolicy",
+    "ReaderConditionals",
+    "MultiReaderClassParameters",
+    "MultiReaderModel",
+    # persistence
+    "model_to_dict",
+    "model_from_dict",
+    "dump_model",
+    "load_model",
+    "FORMAT_TAG",
+    # design optimisation
+    "AllocationResult",
+    "optimal_improvement_allocation",
+]

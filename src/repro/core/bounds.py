@@ -1,0 +1,177 @@
+"""Figure 4's failure line and the limits of machine-only improvement.
+
+Equation (9) rewrites the class-conditional system failure probability as::
+
+    P(system failure | class x) = PHf|Ms(x) + PMf(x) * t(x)
+
+For fixed reader behaviour (``PHf|Ms``, ``PHf|Mf`` and hence ``t``
+unchanged), the system failure probability is a *straight line* in the
+machine failure probability: intercept ``PHf|Ms(x)``, slope ``t(x)``.
+This module provides that line as a first-class object
+(:class:`FailureLine`), the sampled series that regenerates Figure 4, and
+the associated bounds: no machine improvement alone can push the system
+failure probability below the intercept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_probability
+from ..exceptions import ParameterError
+from .parameters import ClassParameters
+from .profile import DemandProfile
+from .sequential import SequentialModel
+
+__all__ = [
+    "FailureLine",
+    "failure_line",
+    "figure4_series",
+    "machine_improvement_floor",
+    "machine_improvement_headroom",
+]
+
+
+@dataclass(frozen=True)
+class FailureLine:
+    """The straight line of Figure 4 for one class of cases.
+
+    Attributes:
+        intercept: ``PHf|Ms(x)`` — system failure probability with a perfect
+            machine; the left end of the line and the floor no machine
+            improvement can beat.
+        slope: ``t(x)`` — the importance/coherence index.
+    """
+
+    intercept: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intercept", check_probability(self.intercept, "intercept"))
+        if not -1.0 <= self.slope <= 1.0:
+            raise ParameterError(
+                f"importance index (slope) must lie in [-1, 1], got {self.slope!r}"
+            )
+
+    def __call__(self, p_machine_failure: float) -> float:
+        """System failure probability at the given machine failure probability."""
+        p_machine_failure = check_probability(p_machine_failure, "p_machine_failure")
+        return check_probability(
+            self.intercept + self.slope * p_machine_failure,
+            "system failure probability on the line",
+        )
+
+    @property
+    def at_perfect_machine(self) -> float:
+        """System failure probability when the machine never fails (``PMf = 0``)."""
+        return self.intercept
+
+    @property
+    def at_useless_machine(self) -> float:
+        """System failure probability when the machine always fails (``PMf = 1``)."""
+        return self(1.0)
+
+    def series(
+        self, p_machine_failures: Sequence[float]
+    ) -> list[tuple[float, float]]:
+        """Sample the line at the given machine failure probabilities."""
+        return [(float(p), self(p)) for p in p_machine_failures]
+
+
+def failure_line(parameters: ClassParameters) -> FailureLine:
+    """The Figure-4 line implied by one class's parameters."""
+    return FailureLine(
+        intercept=parameters.p_human_failure_given_machine_success,
+        slope=parameters.importance_index,
+    )
+
+
+def figure4_series(
+    parameters: ClassParameters, num_points: int = 21
+) -> list[tuple[float, float]]:
+    """The (PMf, PHf) series that regenerates Figure 4 for one class.
+
+    Sweeps the machine failure probability uniformly over ``[0, 1]`` while
+    holding the reader's conditional behaviour fixed, and returns the
+    resulting system failure probabilities.  The current operating point
+    ``(PMf(x), P(failure|x))`` of ``parameters`` lies exactly on the line.
+
+    Args:
+        parameters: Class parameters defining intercept and slope.
+        num_points: Number of evenly spaced sample points (>= 2).
+    """
+    if num_points < 2:
+        raise ParameterError(f"num_points must be >= 2, got {num_points!r}")
+    line = failure_line(parameters)
+    grid = np.linspace(0.0, 1.0, num_points)
+    return line.series(grid.tolist())
+
+
+def machine_improvement_floor(model: SequentialModel, profile: DemandProfile) -> float:
+    """``E_p[PHf|Ms(x)]``: the lower bound of Section 6.1 under a profile.
+
+    Equal to the system failure probability of the same model with a
+    perfect machine (``PMf(x) = 0`` everywhere) and unchanged reader.
+    """
+    return model.machine_improvement_floor(profile)
+
+
+def machine_improvement_headroom(
+    model: SequentialModel, profile: DemandProfile
+) -> float:
+    """How much machine-only improvement could ever gain under a profile.
+
+    The difference between the current system failure probability and the
+    floor: ``E_p[PMf(x) * t(x)]``.  Zero headroom means the machine is
+    already irrelevant to system failures (given the reader's behaviour).
+    """
+    return model.system_failure_probability(profile) - model.machine_improvement_floor(
+        profile
+    )
+
+
+def required_machine_improvement(
+    model: SequentialModel, profile: DemandProfile, target: float
+) -> float:
+    """The uniform machine-improvement factor reaching a target ``PHf``.
+
+    Solves for the factor ``k`` such that dividing every class's ``PMf``
+    by ``k`` (reader behaviour unchanged) brings the system failure
+    probability down to ``target``.  Because equation (9) is linear in the
+    machine failure probabilities, the solution is closed-form::
+
+        PHf(k) = floor + headroom / k   =>   k = headroom / (target - floor)
+
+    Args:
+        model: The current model.
+        profile: Demand profile the target applies under.
+        target: Desired system failure probability.
+
+    Returns:
+        The required factor (>= 1 when genuine improvement is needed;
+        < 1 means the target allows a *worse* machine).
+
+    Raises:
+        ParameterError: if the target is at or below the Section 6.1 floor
+            — unreachable by machine improvement alone ("no improvement in
+            the machine will reduce this failure probability, unless we
+            also change the reader's skills") — or above what even an
+            all-failing machine would produce.
+    """
+    target = check_probability(target, "target failure probability")
+    floor = machine_improvement_floor(model, profile)
+    headroom = machine_improvement_headroom(model, profile)
+    if target <= floor:
+        raise ParameterError(
+            f"target {target!r} is at or below the machine-improvement floor "
+            f"{floor:.6g}; only changing the reader's behaviour can reach it"
+        )
+    if headroom <= 0.0:
+        raise ParameterError(
+            "the machine is already irrelevant to system failures under this "
+            "profile (zero headroom); no factor can change PHf"
+        )
+    return headroom / (target - floor)

@@ -1,0 +1,52 @@
+"""Classes of demands ("cases") presented to a human-machine system.
+
+The paper's models never reason about individual cases: every conditional
+probability is attached to a *class* of similar demands (Section 4,
+equation 8).  Two demands belong to the same class when they are
+"equivalent under all respects that significantly affect the difficulty of
+dealing with them correctly, both for the reader and for the CADT
+algorithms".
+
+This module provides the small value type used as the key of that
+classification, plus the two classes of the paper's worked example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CaseClass", "EASY", "DIFFICULT", "PAPER_CLASSES"]
+
+
+@dataclass(frozen=True, order=True)
+class CaseClass:
+    """An equivalence class of input cases (demands).
+
+    Attributes:
+        name: Unique identifier of the class; classes compare and hash by
+            name so they can be used as dictionary keys and profile support.
+        description: Free-text description of what makes cases in this class
+            similar (e.g. "subtle microcalcifications in dense tissue").
+    """
+
+    name: str
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"CaseClass name must be a non-empty string, got {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The "easy" class of the paper's Section 5 numerical example.
+EASY = CaseClass("easy", "cases on which both reader and CADT usually succeed")
+
+#: The "difficult" class of the paper's Section 5 numerical example.
+DIFFICULT = CaseClass(
+    "difficult", "cases that are hard for the reader and often missed by the CADT"
+)
+
+#: The two classes used throughout the paper's worked example.
+PAPER_CLASSES = (EASY, DIFFICULT)

@@ -1,0 +1,197 @@
+"""Failure diversity and covariance analysis (equations 3 and 10).
+
+Two distinct covariances matter in the paper and both live here:
+
+1. **Within a class, between components** (equation 3): cases inside one
+   class vary in difficulty; if the cases that are hard for the reader are
+   also hard for the machine, the joint detection failure probability
+   exceeds the product of the marginals by ``cov(pMf(x), pHmiss(x))``.
+   Negative covariance is *useful diversity*.
+   :class:`WithinClassDifficulty` carries per-case difficulty functions and
+   computes this covariance, its normalised correlation, and the
+   parallel-model parameters it implies.
+
+2. **Across classes, between machine failure and importance**
+   (equation 10): ``PHf = E[PHf|Ms] + PMf*E[t] + cov_x(PMf(x), t(x))``.
+   Knowing the machine's average failure probability and the average effect
+   of its failures is not enough; the cross-class covariance term decides
+   whether the system is better or worse than the means suggest.
+   :func:`decompose` evaluates this from a sequential model and profile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .parallel import ParallelClassParameters, covariance_from_case_difficulties
+from .profile import DemandProfile
+from .sequential import CovarianceDecomposition, SequentialModel
+
+__all__ = [
+    "WithinClassDifficulty",
+    "difficulty_correlation",
+    "diversity_gain",
+    "decompose",
+    "covariance_from_case_difficulties",
+]
+
+
+def difficulty_correlation(
+    machine_difficulties: Sequence[float],
+    human_difficulties: Sequence[float],
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Weighted Pearson correlation between per-case failure probabilities.
+
+    Returns 0 when either difficulty function is constant across the class
+    (zero variance), in which case no correlation is identifiable and the
+    covariance is exactly zero anyway.
+    """
+    cov = covariance_from_case_difficulties(
+        machine_difficulties, human_difficulties, weights
+    )
+    var_machine = covariance_from_case_difficulties(
+        machine_difficulties, machine_difficulties, weights
+    )
+    var_human = covariance_from_case_difficulties(
+        human_difficulties, human_difficulties, weights
+    )
+    # Multiply the square roots rather than square-rooting the product:
+    # with subnormal variances the product can underflow to exactly zero
+    # even though both variances are positive.
+    denominator = math.sqrt(var_machine) * math.sqrt(var_human)
+    if var_machine <= 0.0 or var_human <= 0.0 or denominator <= 0.0:
+        return 0.0
+    correlation = cov / denominator
+    # Floating-point rounding can push perfectly (anti)correlated inputs a
+    # hair outside [-1, 1]; clamp onto the mathematical range.
+    return max(-1.0, min(1.0, correlation))
+
+
+def diversity_gain(parameters: ParallelClassParameters) -> float:
+    """How much better the pair performs than independence would predict.
+
+    ``PMf*PHmiss - P(Mf AND Hmiss) = -cov``: positive when the components
+    fail on *different* cases (useful diversity), negative when their
+    failures cluster on the same cases (common-mode weakness).
+    """
+    return (
+        parameters.p_detection_failure_independent
+        - parameters.p_joint_detection_failure
+    )
+
+
+class WithinClassDifficulty:
+    """Per-case difficulty functions for one class of demands.
+
+    The paper's footnote-1 homogeneity condition says demands in a class
+    should have (near-)identical conditional failure probabilities.  This
+    class represents the *actual* variation within a class — the machine's
+    and the reader's per-case failure probabilities over a finite set of
+    (possibly weighted) cases — and computes what that variation does to the
+    joint detection failure probability.
+
+    Args:
+        machine_difficulties: ``pMf(x)`` for each case in the class.
+        human_difficulties: ``pHmiss(x)`` for each case, same order.
+        weights: Optional non-negative case weights; uniform when omitted.
+    """
+
+    __slots__ = ("_machine", "_human", "_weights")
+
+    def __init__(
+        self,
+        machine_difficulties: Sequence[float],
+        human_difficulties: Sequence[float],
+        weights: Sequence[float] | None = None,
+    ):
+        machine = np.asarray(machine_difficulties, dtype=float)
+        human = np.asarray(human_difficulties, dtype=float)
+        if machine.ndim != 1 or human.ndim != 1:
+            raise ParameterError("difficulty sequences must be one-dimensional")
+        if machine.shape != human.shape:
+            raise ParameterError(
+                "machine and human difficulty sequences must have the same length"
+            )
+        if machine.size == 0:
+            raise ParameterError("difficulty sequences must be non-empty")
+        if np.any((machine < 0) | (machine > 1)) or np.any((human < 0) | (human > 1)):
+            raise ParameterError("difficulties must be probabilities in [0, 1]")
+        if weights is None:
+            w = np.full(machine.shape, 1.0 / machine.size)
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != machine.shape:
+                raise ParameterError("weights must match the difficulty sequences")
+            if np.any(w < 0) or w.sum() <= 0:
+                raise ParameterError("weights must be non-negative with positive sum")
+            w = w / w.sum()
+        self._machine = machine
+        self._human = human
+        self._weights = w
+
+    @property
+    def num_cases(self) -> int:
+        """Number of cases carried by this difficulty description."""
+        return int(self._machine.size)
+
+    @property
+    def mean_machine_difficulty(self) -> float:
+        """``E[pMf(x)]`` over the class — the class-level ``PMf``."""
+        return float(np.dot(self._weights, self._machine))
+
+    @property
+    def mean_human_difficulty(self) -> float:
+        """``E[pHmiss(x)]`` over the class — the class-level ``PHmiss``."""
+        return float(np.dot(self._weights, self._human))
+
+    @property
+    def covariance(self) -> float:
+        """``cov(pMf(x), pHmiss(x))`` — the extra term of equation (3)."""
+        return float(
+            np.dot(self._weights, self._machine * self._human)
+            - self.mean_machine_difficulty * self.mean_human_difficulty
+        )
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation of the two difficulty functions (0 if constant)."""
+        return difficulty_correlation(
+            self._machine.tolist(), self._human.tolist(), self._weights.tolist()
+        )
+
+    @property
+    def joint_detection_failure(self) -> float:
+        """``P(Mf AND Hmiss)`` assuming conditional independence per case.
+
+        Per case the two components fail independently (the paper's
+        conditional-independence premise for the parallel model); the
+        within-class variation alone produces the covariance term.
+        """
+        return float(np.dot(self._weights, self._machine * self._human))
+
+    def to_parallel_parameters(
+        self, p_human_misclassify: float
+    ) -> ParallelClassParameters:
+        """The class-level parallel-model parameters this variation implies."""
+        return ParallelClassParameters(
+            p_machine_miss=self.mean_machine_difficulty,
+            p_human_miss=self.mean_human_difficulty,
+            p_human_misclassify=p_human_misclassify,
+            detection_covariance=self.covariance,
+        )
+
+
+def decompose(
+    model: SequentialModel, profile: DemandProfile
+) -> CovarianceDecomposition:
+    """Equation (10)'s three-term decomposition of ``PHf``.
+
+    Convenience wrapper around
+    :meth:`SequentialModel.covariance_decomposition`.
+    """
+    return model.covariance_decomposition(profile)

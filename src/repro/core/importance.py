@@ -1,0 +1,160 @@
+"""The importance / coherence index ``t(x)`` of Section 6.1.
+
+``t(x) = PHf|Mf(x) - PHf|Ms(x)`` measures how much the machine's failure
+on a case of class ``x`` changes the probability of the human (and hence
+the system) failing.  The paper is careful to note that ``t(x)`` should be
+read as a *coherence* index rather than a causal importance: a class with
+high apparent ``t(x)`` may simply be an inhomogeneous mixture of easy cases
+(where both succeed) and hard cases (where both fail), with no per-case
+influence at all.  :func:`merge_classes` constructs exactly that
+confounder, and is also the building block of the class-granularity
+ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Mapping, Union
+
+from ..exceptions import ParameterError
+from .case_class import CaseClass
+from .parameters import ClassParameters, ModelParameters
+from .profile import DemandProfile
+
+__all__ = [
+    "InfluenceKind",
+    "importance_index",
+    "classify_influence",
+    "importance_table",
+    "machine_relevance",
+    "merge_classes",
+]
+
+ClassKey = Union[CaseClass, str]
+
+
+class InfluenceKind(enum.Enum):
+    """Qualitative reading of an importance index value."""
+
+    #: ``t > 0``: machine failures make human failure more likely — the
+    #: reader's success is (statistically) coherent with the machine's, so
+    #: improving the machine improves the system.
+    COHERENT = "coherent"
+    #: ``t == 0``: the reader's failure probability is the same whether the
+    #: machine fails or succeeds — e.g. readers who ignore the tool.
+    INDIFFERENT = "indifferent"
+    #: ``t < 0``: machine failures are associated with *better* reader
+    #: performance — e.g. obviously-broken output putting readers on guard.
+    CONTRARIAN = "contrarian"
+
+
+def importance_index(parameters: ClassParameters) -> float:
+    """``t(x) = PHf|Mf(x) - PHf|Ms(x)`` for one class."""
+    return parameters.importance_index
+
+
+def classify_influence(t: float, atol: float = 1e-12) -> InfluenceKind:
+    """Qualitative classification of an importance index value."""
+    if t > atol:
+        return InfluenceKind.COHERENT
+    if t < -atol:
+        return InfluenceKind.CONTRARIAN
+    return InfluenceKind.INDIFFERENT
+
+
+def importance_table(parameters: ModelParameters) -> dict[CaseClass, float]:
+    """Importance index of every class in a parameter table."""
+    return {cls: params.importance_index for cls, params in parameters.items()}
+
+
+def machine_relevance(parameters: ClassParameters) -> float:
+    """``PMf(x) * t(x)``: how much a perfect machine would gain on this class.
+
+    By equation (9) the class-conditional system failure probability is
+    ``PHf|Ms(x) + PMf(x)*t(x)``; driving ``PMf(x)`` to zero removes exactly
+    ``PMf(x)*t(x)``.  A useful screening quantity when deciding which
+    classes to target for CADT improvement (Section 6.2) — it must still be
+    weighted by the class frequency ``p(x)``.
+    """
+    return parameters.p_machine_failure * parameters.importance_index
+
+
+def merge_classes(
+    parameters: ModelParameters,
+    weights: Union[DemandProfile, Mapping[ClassKey, float]],
+) -> ClassParameters:
+    """Collapse several classes into one, as a coarser classification would.
+
+    Given the true per-class parameters and the relative frequencies of
+    the subclasses (conditional on the case falling in the merged class),
+    this computes the parameters an experimenter would *measure* for the
+    merged class:
+
+    * ``PMf`` is the frequency-weighted mean of the subclass ``PMf``;
+    * ``PHf|Mf`` is ``P(Hf AND Mf) / P(Mf)`` over the mixture — i.e. the
+      subclass values weighted by how often each subclass *produces* a
+      machine failure;
+    * ``PHf|Ms`` analogously with machine successes.
+
+    This realises the Section 6.2 caveat: merging an easy subclass (both
+    components succeed) with a hard one (both fail), each individually
+    indifferent (``t = 0``), yields a merged class with large apparent
+    ``t`` even though the machine's output influences nobody.
+
+    Args:
+        parameters: The fine-grained parameter table.
+        weights: Relative frequencies of the subclasses to merge; a
+            :class:`DemandProfile` or any non-negative mapping (normalised
+            internally).  Every weighted class must appear in ``parameters``.
+
+    Raises:
+        ParameterError: if a weighted class has no parameters, or if the
+            merged machine failure/success probability is zero while the
+            corresponding conditional is needed (degenerate mixtures).
+    """
+    if isinstance(weights, DemandProfile):
+        profile = weights
+    else:
+        profile = DemandProfile.from_weights(dict(weights))
+    missing = [cls for cls in profile.support if cls not in parameters]
+    if missing:
+        names = ", ".join(sorted(c.name for c in missing))
+        raise ParameterError(f"cannot merge classes without parameters: {names}")
+
+    p_mf = profile.expectation(lambda cls: parameters[cls].p_machine_failure)
+    p_ms = 1.0 - p_mf
+    joint_hf_mf = math.fsum(
+        w
+        * parameters[cls].p_machine_failure
+        * parameters[cls].p_human_failure_given_machine_failure
+        for cls, w in profile.items()
+    )
+    joint_hf_ms = math.fsum(
+        w
+        * parameters[cls].p_machine_success
+        * parameters[cls].p_human_failure_given_machine_success
+        for cls, w in profile.items()
+    )
+
+    if p_mf > 0.0:
+        p_hf_given_mf = joint_hf_mf / p_mf
+    else:
+        # The machine never fails on the merged class; the conditional is
+        # unidentifiable, and irrelevant to every prediction.  Use the
+        # frequency-weighted mean as a harmless convention.
+        p_hf_given_mf = profile.expectation(
+            lambda cls: parameters[cls].p_human_failure_given_machine_failure
+        )
+    if p_ms > 0.0:
+        p_hf_given_ms = joint_hf_ms / p_ms
+    else:
+        p_hf_given_ms = profile.expectation(
+            lambda cls: parameters[cls].p_human_failure_given_machine_success
+        )
+
+    return ClassParameters(
+        p_machine_failure=p_mf,
+        p_human_failure_given_machine_failure=p_hf_given_mf,
+        p_human_failure_given_machine_success=p_hf_given_ms,
+    )

@@ -1,0 +1,139 @@
+"""JSON persistence for model parameters, profiles and studies.
+
+Trial estimates are expensive to obtain; analysts need to save a fitted
+parameter table, share it, and reload it in later sessions.  The format is
+deliberately plain JSON (versioned, human-diffable)::
+
+    {
+      "format": "repro-model/1",
+      "classes": {
+        "easy": {"description": "...", "p_machine_failure": 0.07,
+                  "p_human_failure_given_machine_failure": 0.18,
+                  "p_human_failure_given_machine_success": 0.14}
+      },
+      "profiles": {"trial": {"easy": 0.8, "difficult": 0.2}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from ..exceptions import ParameterError
+from .case_class import CaseClass
+from .parameters import ClassParameters, ModelParameters
+from .profile import DemandProfile
+
+__all__ = [
+    "model_to_dict",
+    "model_from_dict",
+    "dump_model",
+    "load_model",
+    "FORMAT_TAG",
+]
+
+#: Format marker written into every file; bumped on breaking changes.
+FORMAT_TAG = "repro-model/1"
+
+PathLike = Union[str, Path]
+
+
+def model_to_dict(
+    parameters: ModelParameters,
+    profiles: Mapping[str, DemandProfile] | None = None,
+) -> dict[str, Any]:
+    """Serialise a parameter table (and optional named profiles) to a dict."""
+    classes: dict[str, Any] = {}
+    for case_class, params in parameters.items():
+        classes[case_class.name] = {
+            "description": case_class.description,
+            "p_machine_failure": params.p_machine_failure,
+            "p_human_failure_given_machine_failure": (
+                params.p_human_failure_given_machine_failure
+            ),
+            "p_human_failure_given_machine_success": (
+                params.p_human_failure_given_machine_success
+            ),
+        }
+    document: dict[str, Any] = {"format": FORMAT_TAG, "classes": classes}
+    if profiles is not None:
+        document["profiles"] = {
+            name: {cls.name: weight for cls, weight in profile.items()}
+            for name, profile in profiles.items()
+        }
+    return document
+
+
+def model_from_dict(
+    document: Mapping[str, Any],
+) -> tuple[ModelParameters, dict[str, DemandProfile]]:
+    """Reconstruct a parameter table and its profiles from a dict.
+
+    Returns:
+        ``(parameters, profiles)``; ``profiles`` is empty if the document
+        carried none.
+
+    Raises:
+        ParameterError: on a missing/unknown format tag or malformed body.
+    """
+    tag = document.get("format")
+    if tag != FORMAT_TAG:
+        raise ParameterError(
+            f"unsupported model document format {tag!r}; expected {FORMAT_TAG!r}"
+        )
+    raw_classes = document.get("classes")
+    if not isinstance(raw_classes, Mapping) or not raw_classes:
+        raise ParameterError("model document must contain a non-empty 'classes' map")
+    table: dict[CaseClass, ClassParameters] = {}
+    for name, body in raw_classes.items():
+        if not isinstance(body, Mapping):
+            raise ParameterError(f"class {name!r} body must be a mapping")
+        try:
+            case_class = CaseClass(name, str(body.get("description", "")))
+            table[case_class] = ClassParameters(
+                p_machine_failure=body["p_machine_failure"],
+                p_human_failure_given_machine_failure=body[
+                    "p_human_failure_given_machine_failure"
+                ],
+                p_human_failure_given_machine_success=body[
+                    "p_human_failure_given_machine_success"
+                ],
+            )
+        except KeyError as exc:
+            raise ParameterError(
+                f"class {name!r} is missing parameter {exc.args[0]!r}"
+            ) from exc
+    parameters = ModelParameters(table)
+
+    profiles: dict[str, DemandProfile] = {}
+    raw_profiles = document.get("profiles", {})
+    if not isinstance(raw_profiles, Mapping):
+        raise ParameterError("'profiles' must be a mapping of name -> weights")
+    for name, weights in raw_profiles.items():
+        if not isinstance(weights, Mapping):
+            raise ParameterError(f"profile {name!r} must map class names to weights")
+        profiles[name] = DemandProfile(dict(weights))
+    return parameters, profiles
+
+
+def dump_model(
+    path: PathLike,
+    parameters: ModelParameters,
+    profiles: Mapping[str, DemandProfile] | None = None,
+) -> None:
+    """Write a parameter table (and optional profiles) to a JSON file."""
+    document = model_to_dict(parameters, profiles)
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_model(path: PathLike) -> tuple[ModelParameters, dict[str, DemandProfile]]:
+    """Read a parameter table (and profiles) from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ParameterError(f"cannot read model file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"{path}: not valid JSON ({exc})") from exc
+    return model_from_dict(document)

@@ -1,0 +1,307 @@
+"""Analytic models for multi-reader configurations (Section 7's programme).
+
+The paper's conclusions propose modelling "more complex combinations ...
+e.g. with two readers assisted by a CADT, or less qualified readers
+assisted by CADTs".  This module extends the sequential model to a *team*
+of readers who all see the same machine output:
+
+* each reader ``i`` is characterised, per class, by conditional failure
+  probabilities ``PHf_i|Mf(x)`` and ``PHf_i|Ms(x)``;
+* the machine's output is a **common influence**: conditional on the
+  machine outcome and the class, reader failures are assumed independent
+  (the machine and the class carry all the modelled common factors; any
+  residual reader-to-reader correlation needs finer classes, exactly as
+  in the single-reader model);
+* a recall policy combines the readers' recall decisions.
+
+Because false negatives are "nobody recalls a cancer" while false
+positives are "somebody recalls a healthy patient", each policy combines
+the two failure kinds differently; :class:`TeamPolicy` carries both
+combinators.  The central construction is
+:meth:`MultiReaderClassParameters.team_parameters`: the team collapses
+into an equivalent *super-reader* parameter triple, so all of the
+single-reader machinery — importance index, Figure 4's line, equation
+(10), extrapolation studies — applies to teams unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence, Union
+
+from .._validation import check_probability
+from ..exceptions import ParameterError
+from .case_class import CaseClass
+from .parameters import ClassParameters, ModelParameters
+from .profile import DemandProfile
+from .sequential import SequentialModel
+
+__all__ = [
+    "TeamPolicy",
+    "ReaderConditionals",
+    "MultiReaderClassParameters",
+    "MultiReaderModel",
+]
+
+ClassKey = Union[CaseClass, str]
+
+
+def _as_case_class(key: ClassKey) -> CaseClass:
+    if isinstance(key, CaseClass):
+        return key
+    if isinstance(key, str):
+        return CaseClass(key)
+    raise TypeError(f"keys must be CaseClass or str, got {type(key).__name__}")
+
+
+class TeamPolicy(enum.Enum):
+    """How the team's recall decisions combine into the system decision."""
+
+    #: Recall if any reader recalls: a cancer is missed only if *every*
+    #: reader misses it; a healthy patient is recalled if *any* reader errs.
+    RECALL_IF_ANY = "recall_if_any"
+    #: Recall only if all readers recall: one dissenting reader clears the
+    #: patient — maximal specificity, minimal sensitivity.
+    RECALL_IF_ALL = "recall_if_all"
+
+    def false_negative_probability(self, failures: Sequence[float]) -> float:
+        """P(no recall on a cancer) from per-reader FN probabilities."""
+        if self is TeamPolicy.RECALL_IF_ANY:
+            return math.prod(failures)
+        # Recall requires unanimity: any single miss produces no recall.
+        return 1.0 - math.prod(1.0 - p for p in failures)
+
+    def false_positive_probability(self, failures: Sequence[float]) -> float:
+        """P(recall of a healthy patient) from per-reader FP probabilities."""
+        if self is TeamPolicy.RECALL_IF_ANY:
+            return 1.0 - math.prod(1.0 - p for p in failures)
+        return math.prod(failures)
+
+
+@dataclass(frozen=True)
+class ReaderConditionals:
+    """One reader's conditional failure probabilities for one class.
+
+    Attributes:
+        given_machine_failure: ``PHf_i|Mf(x)``.
+        given_machine_success: ``PHf_i|Ms(x)``.
+    """
+
+    given_machine_failure: float
+    given_machine_success: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "given_machine_failure",
+            check_probability(self.given_machine_failure, "given_machine_failure"),
+        )
+        object.__setattr__(
+            self,
+            "given_machine_success",
+            check_probability(self.given_machine_success, "given_machine_success"),
+        )
+
+    @classmethod
+    def from_class_parameters(cls, parameters: ClassParameters) -> "ReaderConditionals":
+        """Extract a single reader's conditionals from a parameter triple."""
+        return cls(
+            given_machine_failure=parameters.p_human_failure_given_machine_failure,
+            given_machine_success=parameters.p_human_failure_given_machine_success,
+        )
+
+
+@dataclass(frozen=True)
+class MultiReaderClassParameters:
+    """A reader team's parameters for one class of cases.
+
+    Attributes:
+        p_machine_failure: ``PMf(x)``, shared by the whole team (they see
+            the same films and the same prompts).
+        readers: Per-reader conditional failure probabilities.
+        failure_kind: ``"false_negative"`` (cancer side, the default) or
+            ``"false_positive"`` (healthy side); selects the policy
+            combinator.
+    """
+
+    p_machine_failure: float
+    readers: tuple[ReaderConditionals, ...]
+    failure_kind: str = "false_negative"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "p_machine_failure",
+            check_probability(self.p_machine_failure, "p_machine_failure"),
+        )
+        object.__setattr__(self, "readers", tuple(self.readers))
+        if not self.readers:
+            raise ParameterError("a reader team needs at least one reader")
+        for reader in self.readers:
+            if not isinstance(reader, ReaderConditionals):
+                raise ParameterError(
+                    f"readers must be ReaderConditionals, got {type(reader).__name__}"
+                )
+        if self.failure_kind not in ("false_negative", "false_positive"):
+            raise ParameterError(
+                f"failure_kind must be 'false_negative' or 'false_positive', "
+                f"got {self.failure_kind!r}"
+            )
+
+    def _combine(self, policy: TeamPolicy, failures: Sequence[float]) -> float:
+        if self.failure_kind == "false_negative":
+            return policy.false_negative_probability(failures)
+        return policy.false_positive_probability(failures)
+
+    def team_failure_given_machine_failure(self, policy: TeamPolicy) -> float:
+        """The team's ``PHf|Mf(x)`` under a policy."""
+        return self._combine(
+            policy, [r.given_machine_failure for r in self.readers]
+        )
+
+    def team_failure_given_machine_success(self, policy: TeamPolicy) -> float:
+        """The team's ``PHf|Ms(x)`` under a policy."""
+        return self._combine(
+            policy, [r.given_machine_success for r in self.readers]
+        )
+
+    def team_parameters(self, policy: TeamPolicy) -> ClassParameters:
+        """The equivalent super-reader parameter triple.
+
+        The collapsed triple plugs into every single-reader analysis:
+        the team's importance index, Figure 4 line, and equation (10)
+        decomposition come for free.
+        """
+        return ClassParameters(
+            p_machine_failure=self.p_machine_failure,
+            p_human_failure_given_machine_failure=(
+                self.team_failure_given_machine_failure(policy)
+            ),
+            p_human_failure_given_machine_success=(
+                self.team_failure_given_machine_success(policy)
+            ),
+        )
+
+    def p_system_failure(self, policy: TeamPolicy) -> float:
+        """Class-conditional system failure probability under a policy."""
+        return self.team_parameters(policy).p_system_failure
+
+
+class MultiReaderModel:
+    """Profile-weighted evaluation of a reader team across classes.
+
+    Args:
+        by_class: Mapping from case class to the team's parameters there.
+        policy: The recall policy in force.
+    """
+
+    __slots__ = ("_by_class", "policy")
+
+    def __init__(
+        self,
+        by_class: Mapping[ClassKey, MultiReaderClassParameters],
+        policy: TeamPolicy = TeamPolicy.RECALL_IF_ANY,
+    ):
+        if not by_class:
+            raise ParameterError("MultiReaderModel needs at least one class")
+        normalised = {_as_case_class(k): v for k, v in by_class.items()}
+        if len(normalised) != len(by_class):
+            raise ParameterError("duplicate case classes in parameter table")
+        for cls, params in normalised.items():
+            if not isinstance(params, MultiReaderClassParameters):
+                raise ParameterError(
+                    f"parameters for {cls.name!r} must be MultiReaderClassParameters"
+                )
+        sizes = {len(params.readers) for params in normalised.values()}
+        if len(sizes) != 1:
+            raise ParameterError(
+                f"all classes must describe the same team; got team sizes {sorted(sizes)}"
+            )
+        self._by_class = {cls: normalised[cls] for cls in sorted(normalised)}
+        self.policy = TeamPolicy(policy)
+
+    def __getitem__(self, key: ClassKey) -> MultiReaderClassParameters:
+        cls = _as_case_class(key)
+        try:
+            return self._by_class[cls]
+        except KeyError:
+            raise ParameterError(f"no parameters for case class {cls.name!r}") from None
+
+    def __iter__(self) -> Iterator[CaseClass]:
+        return iter(self._by_class)
+
+    def __len__(self) -> int:
+        return len(self._by_class)
+
+    @property
+    def classes(self) -> tuple[CaseClass, ...]:
+        """All case classes, sorted."""
+        return tuple(self._by_class)
+
+    @property
+    def team_size(self) -> int:
+        """Number of readers in the team."""
+        return len(next(iter(self._by_class.values())).readers)
+
+    def to_sequential_model(self) -> SequentialModel:
+        """The equivalent single-super-reader sequential model."""
+        return SequentialModel(
+            ModelParameters(
+                {
+                    cls: params.team_parameters(self.policy)
+                    for cls, params in self._by_class.items()
+                }
+            )
+        )
+
+    def system_failure_probability(self, profile: DemandProfile) -> float:
+        """Equation (8) for the team under a demand profile."""
+        return self.to_sequential_model().system_failure_probability(profile)
+
+    def with_policy(self, policy: TeamPolicy) -> "MultiReaderModel":
+        """The same team under a different recall policy."""
+        return MultiReaderModel(self._by_class, policy)
+
+    @classmethod
+    def from_single_reader_tables(
+        cls,
+        tables: Sequence[ModelParameters],
+        policy: TeamPolicy = TeamPolicy.RECALL_IF_ANY,
+        failure_kind: str = "false_negative",
+    ) -> "MultiReaderModel":
+        """Build a team from per-reader single-reader parameter tables.
+
+        All tables must share the same machine (same ``PMf`` per class —
+        the team reads the same prompted films) and the same classes.
+
+        Raises:
+            ParameterError: if the tables disagree on classes or machine
+                failure probabilities.
+        """
+        if not tables:
+            raise ParameterError("at least one reader table is required")
+        first = tables[0]
+        for table in tables[1:]:
+            if set(table.classes) != set(first.classes):
+                raise ParameterError("reader tables must share the same classes")
+        by_class: dict[CaseClass, MultiReaderClassParameters] = {}
+        for case_class in first.classes:
+            machine_failures = {
+                round(table[case_class].p_machine_failure, 12) for table in tables
+            }
+            if len(machine_failures) != 1:
+                raise ParameterError(
+                    f"reader tables disagree on PMf for class {case_class.name!r}: "
+                    f"{sorted(machine_failures)} (the team shares one machine)"
+                )
+            by_class[case_class] = MultiReaderClassParameters(
+                p_machine_failure=first[case_class].p_machine_failure,
+                readers=tuple(
+                    ReaderConditionals.from_class_parameters(table[case_class])
+                    for table in tables
+                ),
+                failure_kind=failure_kind,
+            )
+        return cls(by_class, policy)

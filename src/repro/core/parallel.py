@@ -1,0 +1,321 @@
+"""The "parallel detection" model of Section 3 (equations 1-3).
+
+This model follows the CADT's *intended* procedure of use: the reader first
+examines the films alone, then reviews the machine's prompts.  Detection is
+then 1-out-of-2 parallel redundancy between reader and machine, in series
+with the reader's classification step (Figure 2's reliability block
+diagram)::
+
+    P(system false negative) =
+        P(Mf AND Hmiss) + P(NOT(Mf AND Hmiss) AND Hmisclass)     (1)
+
+With *conditional* independence of the detection failures given the case,
+the joint detection failure probability over a class of cases is (3)::
+
+    P(detection failure) = PMf * PHmiss + cov(pMf, pHmiss)
+
+where the covariance term is taken over the distribution of cases within
+the class: it is positive when cases that are hard for the reader tend to
+be hard for the machine too, and negative when the two fail *diversely*.
+
+The paper ultimately prefers the sequential model because the parallel
+model's assumptions (separable detect/classify steps, classification
+unaffected by who detected the feature) may not hold; this module also
+provides the exact bridge to sequential parameters
+(:meth:`ParallelClassParameters.to_sequential`) so the two models can be
+compared on identical ground.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping, Sequence, Union
+
+from .._validation import check_probability
+from ..exceptions import ModelAssumptionError, ParameterError
+from .case_class import CaseClass
+from .parameters import ClassParameters, ModelParameters
+from .profile import DemandProfile
+
+__all__ = [
+    "ParallelClassParameters",
+    "ParallelModel",
+    "detection_covariance_bounds",
+    "covariance_from_case_difficulties",
+]
+
+ClassKey = Union[CaseClass, str]
+
+
+def _as_case_class(key: ClassKey) -> CaseClass:
+    if isinstance(key, CaseClass):
+        return key
+    if isinstance(key, str):
+        return CaseClass(key)
+    raise TypeError(f"parameter keys must be CaseClass or str, got {type(key).__name__}")
+
+
+def detection_covariance_bounds(
+    p_machine_miss: float, p_human_miss: float
+) -> tuple[float, float]:
+    """Feasible range of ``cov(pMf, pHmiss)`` for given marginals.
+
+    The joint probability ``P(Mf AND Hmiss) = PMf*PHmiss + cov`` must obey
+    the Frechet bounds ``max(0, PMf+PHmiss-1) <= joint <= min(PMf, PHmiss)``,
+    which bounds the covariance correspondingly.
+
+    Returns:
+        ``(lower, upper)`` bounds, inclusive.
+    """
+    p_machine_miss = check_probability(p_machine_miss, "p_machine_miss")
+    p_human_miss = check_probability(p_human_miss, "p_human_miss")
+    product = p_machine_miss * p_human_miss
+    lower = max(0.0, p_machine_miss + p_human_miss - 1.0) - product
+    upper = min(p_machine_miss, p_human_miss) - product
+    return lower, upper
+
+
+def covariance_from_case_difficulties(
+    machine_difficulties: Sequence[float],
+    human_difficulties: Sequence[float],
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Covariance of per-case failure probabilities within a class.
+
+    Args:
+        machine_difficulties: ``pMf(x)`` for each case ``x`` in the class.
+        human_difficulties: ``pHmiss(x)`` for each case, same order.
+        weights: Optional non-negative case weights (normalised internally);
+            uniform when omitted.
+
+    Returns:
+        ``E[pMf(x)*pHmiss(x)] - E[pMf(x)]*E[pHmiss(x)]`` — the covariance
+        term of equation (3).
+    """
+    if len(machine_difficulties) != len(human_difficulties):
+        raise ParameterError(
+            "machine and human difficulty sequences must have the same length"
+        )
+    if not machine_difficulties:
+        raise ParameterError("difficulty sequences must be non-empty")
+    machine = [check_probability(v, "machine_difficulties") for v in machine_difficulties]
+    human = [check_probability(v, "human_difficulties") for v in human_difficulties]
+    if weights is None:
+        weights = [1.0] * len(machine)
+    if len(weights) != len(machine):
+        raise ParameterError("weights must match the difficulty sequences in length")
+    total = math.fsum(weights)
+    if total <= 0:
+        raise ParameterError("weights must have a positive sum")
+    normalised = [w / total for w in weights]
+    mean_machine = math.fsum(w * m for w, m in zip(normalised, machine))
+    mean_human = math.fsum(w * h for w, h in zip(normalised, human))
+    mean_product = math.fsum(w * m * h for w, m, h in zip(normalised, machine, human))
+    return mean_product - mean_machine * mean_human
+
+
+@dataclass(frozen=True)
+class ParallelClassParameters:
+    """Parallel-detection model parameters for one class of cases.
+
+    Attributes:
+        p_machine_miss: ``PMf``, probability the CADT fails to prompt the
+            relevant features (detection subtask).
+        p_human_miss: ``PHmiss``, probability the reader alone fails to
+            notice the relevant features (detection subtask).
+        p_human_misclassify: ``PHmisclass``, probability the reader takes a
+            wrong decision although the relevant features were identified.
+        detection_covariance: ``cov(pMf, pHmiss)`` within the class — zero
+            means the conditional-independence-plus-homogeneity ideal of
+            equation (2); see :func:`detection_covariance_bounds` for the
+            feasible range.
+    """
+
+    p_machine_miss: float
+    p_human_miss: float
+    p_human_misclassify: float
+    detection_covariance: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "p_machine_miss", check_probability(self.p_machine_miss, "p_machine_miss")
+        )
+        object.__setattr__(
+            self, "p_human_miss", check_probability(self.p_human_miss, "p_human_miss")
+        )
+        object.__setattr__(
+            self,
+            "p_human_misclassify",
+            check_probability(self.p_human_misclassify, "p_human_misclassify"),
+        )
+        lower, upper = detection_covariance_bounds(self.p_machine_miss, self.p_human_miss)
+        tolerance = 1e-12
+        if not (lower - tolerance <= self.detection_covariance <= upper + tolerance):
+            raise ModelAssumptionError(
+                f"detection covariance {self.detection_covariance!r} outside the "
+                f"feasible range [{lower!r}, {upper!r}] for marginals "
+                f"PMf={self.p_machine_miss!r}, PHmiss={self.p_human_miss!r}"
+            )
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def p_joint_detection_failure(self) -> float:
+        """``P(Mf AND Hmiss)`` — equation (3) with the covariance term."""
+        joint = self.p_machine_miss * self.p_human_miss + self.detection_covariance
+        return check_probability(joint, "joint detection failure probability")
+
+    @property
+    def p_detection_failure_independent(self) -> float:
+        """``PMf * PHmiss`` — the joint probability if failures were independent."""
+        return self.p_machine_miss * self.p_human_miss
+
+    @property
+    def p_system_failure(self) -> float:
+        """Equation (1): detection failure, or detection success then misclassification."""
+        joint = self.p_joint_detection_failure
+        return joint + (1.0 - joint) * self.p_human_misclassify
+
+    @property
+    def p_system_failure_independent(self) -> float:
+        """Equation (2): the system failure probability under assumed independence."""
+        product = self.p_detection_failure_independent
+        return product + self.p_human_misclassify * (1.0 - product)
+
+    @property
+    def independence_assumption_error(self) -> float:
+        """How much equation (2) under-/over-states equation (1)'s truth."""
+        return self.p_system_failure - self.p_system_failure_independent
+
+    # -- bridge to the sequential model ------------------------------------------
+
+    def to_sequential(self) -> ClassParameters:
+        """Exact sequential-model parameters implied by this parallel model.
+
+        Conditional on machine success the detection subtask cannot fail,
+        so ``PHf|Ms = PHmisclass``.  Conditional on machine failure the
+        reader misses with probability ``P(Hmiss|Mf) = joint / PMf`` and
+        otherwise may still misclassify::
+
+            PHf|Mf = P(Hmiss|Mf) + (1 - P(Hmiss|Mf)) * PHmisclass
+
+        When ``PMf = 0`` the conditioning event has probability zero; we
+        take ``P(Hmiss|Mf) = PHmiss`` (the unconditional value) by
+        convention, which leaves all predictions unchanged.
+        """
+        if self.p_machine_miss > 0.0:
+            # Mathematically joint <= PMf, so the ratio is <= 1; clamp the
+            # floating-point excess that appears at the Frechet boundary
+            # with a tiny PMf before validating.
+            p_miss_given_mf = min(
+                1.0, self.p_joint_detection_failure / self.p_machine_miss
+            )
+        else:
+            p_miss_given_mf = self.p_human_miss
+        p_miss_given_mf = check_probability(p_miss_given_mf, "P(Hmiss|Mf)")
+        p_hf_given_mf = p_miss_given_mf + (1.0 - p_miss_given_mf) * self.p_human_misclassify
+        return ClassParameters(
+            p_machine_failure=self.p_machine_miss,
+            p_human_failure_given_machine_failure=p_hf_given_mf,
+            p_human_failure_given_machine_success=self.p_human_misclassify,
+        )
+
+    # -- transformations ---------------------------------------------------------
+
+    def with_covariance(self, detection_covariance: float) -> "ParallelClassParameters":
+        """Copy with a different within-class detection covariance."""
+        return replace(self, detection_covariance=detection_covariance)
+
+    def with_machine_miss(self, p_machine_miss: float) -> "ParallelClassParameters":
+        """Copy with ``PMf`` replaced (covariance reset to zero for safety).
+
+        Changing a marginal silently invalidates a previously feasible
+        covariance, so this transformation deliberately drops it; callers
+        who know the new covariance should chain :meth:`with_covariance`.
+        """
+        return replace(self, p_machine_miss=p_machine_miss, detection_covariance=0.0)
+
+
+class ParallelModel:
+    """Profile-weighted evaluation of the parallel-detection model.
+
+    Args:
+        by_class: Mapping from case class (or name) to
+            :class:`ParallelClassParameters`.
+    """
+
+    __slots__ = ("_by_class",)
+
+    def __init__(self, by_class: Mapping[ClassKey, ParallelClassParameters]):
+        if not by_class:
+            raise ParameterError("ParallelModel needs at least one class")
+        normalised = {_as_case_class(k): v for k, v in by_class.items()}
+        if len(normalised) != len(by_class):
+            raise ParameterError("duplicate case classes in parameter table")
+        for cls, params in normalised.items():
+            if not isinstance(params, ParallelClassParameters):
+                raise ParameterError(
+                    f"parameters for {cls.name!r} must be ParallelClassParameters, "
+                    f"got {type(params).__name__}"
+                )
+        self._by_class: dict[CaseClass, ParallelClassParameters] = {
+            cls: normalised[cls] for cls in sorted(normalised)
+        }
+
+    def __getitem__(self, key: ClassKey) -> ParallelClassParameters:
+        cls = _as_case_class(key)
+        try:
+            return self._by_class[cls]
+        except KeyError:
+            raise ParameterError(f"no parameters for case class {cls.name!r}") from None
+
+    def __iter__(self) -> Iterator[CaseClass]:
+        return iter(self._by_class)
+
+    def __len__(self) -> int:
+        return len(self._by_class)
+
+    def items(self) -> Iterator[tuple[CaseClass, ParallelClassParameters]]:
+        """Iterate over ``(case class, parameters)`` pairs."""
+        return iter(self._by_class.items())
+
+    @property
+    def classes(self) -> tuple[CaseClass, ...]:
+        """All case classes in the table, in sorted order."""
+        return tuple(self._by_class)
+
+    def _check_profile(self, profile: DemandProfile) -> None:
+        missing = [cls for cls in profile.support if cls not in self._by_class]
+        if missing:
+            names = ", ".join(sorted(c.name for c in missing))
+            raise ParameterError(f"profile mentions classes without parameters: {names}")
+
+    def detection_failure_probability(self, profile: DemandProfile) -> float:
+        """Profile-weighted ``P(Mf AND Hmiss)`` (equation 3 per class)."""
+        self._check_profile(profile)
+        return profile.expectation(lambda cls: self[cls].p_joint_detection_failure)
+
+    def system_failure_probability(self, profile: DemandProfile) -> float:
+        """Profile-weighted false-negative probability (equation 1 per class)."""
+        self._check_profile(profile)
+        return profile.expectation(lambda cls: self[cls].p_system_failure)
+
+    def system_failure_probability_independent(self, profile: DemandProfile) -> float:
+        """Profile-weighted equation (2): what naive independence predicts."""
+        self._check_profile(profile)
+        return profile.expectation(lambda cls: self[cls].p_system_failure_independent)
+
+    def to_sequential_parameters(self) -> ModelParameters:
+        """The exact sequential parameter table implied by this model."""
+        return ModelParameters(
+            {cls: params.to_sequential() for cls, params in self.items()}
+        )
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{cls.name}: (PMf={p.p_machine_miss:.4g}, PHmiss={p.p_human_miss:.4g}, "
+            f"PHmisclass={p.p_human_misclassify:.4g}, cov={p.detection_covariance:.4g})"
+            for cls, p in self.items()
+        )
+        return f"ParallelModel({{{rows}}})"

@@ -1,0 +1,321 @@
+"""Per-class parameters of the sequential-operation model.
+
+Section 4 of the paper characterises each class of cases ``x`` by three
+conditional probabilities:
+
+* ``PMf(x)`` — probability of false-negative failure of the machine (CADT)
+  on a case of class ``x``;
+* ``PHf|Mf(x)`` — probability of false-negative failure of the human reader
+  given that the machine failed on the case;
+* ``PHf|Ms(x)`` — probability of false-negative failure of the reader given
+  that the machine succeeded.
+
+:class:`ClassParameters` holds this triple for one class, together with the
+derived quantities the paper uses: the machine success probability
+``PMs(x) = 1 - PMf(x)``, the unconditional (on machine outcome) human
+failure probability for the class, and the importance/coherence index
+``t(x) = PHf|Mf(x) - PHf|Ms(x)`` of Section 6.1.
+
+:class:`ModelParameters` is the full per-class table (the paper's Table 1
+without the demand-profile columns), with transformation helpers used by
+the what-if machinery of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator, Mapping, Union
+
+from .._validation import check_positive, check_probability
+from ..exceptions import ParameterError
+from .case_class import DIFFICULT, EASY, CaseClass
+
+__all__ = ["ClassParameters", "ModelParameters", "paper_example_parameters"]
+
+ClassKey = Union[CaseClass, str]
+
+
+def _as_case_class(key: ClassKey) -> CaseClass:
+    if isinstance(key, CaseClass):
+        return key
+    if isinstance(key, str):
+        return CaseClass(key)
+    raise TypeError(f"parameter keys must be CaseClass or str, got {type(key).__name__}")
+
+
+@dataclass(frozen=True)
+class ClassParameters:
+    """The sequential model's parameter triple for one class of cases.
+
+    Attributes:
+        p_machine_failure: ``PMf(x)``, probability that the CADT fails to
+            prompt the features indicating cancer on a case of this class.
+        p_human_failure_given_machine_failure: ``PHf|Mf(x)``.
+        p_human_failure_given_machine_success: ``PHf|Ms(x)``.
+    """
+
+    p_machine_failure: float
+    p_human_failure_given_machine_failure: float
+    p_human_failure_given_machine_success: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "p_machine_failure",
+            check_probability(self.p_machine_failure, "p_machine_failure"),
+        )
+        object.__setattr__(
+            self,
+            "p_human_failure_given_machine_failure",
+            check_probability(
+                self.p_human_failure_given_machine_failure,
+                "p_human_failure_given_machine_failure",
+            ),
+        )
+        object.__setattr__(
+            self,
+            "p_human_failure_given_machine_success",
+            check_probability(
+                self.p_human_failure_given_machine_success,
+                "p_human_failure_given_machine_success",
+            ),
+        )
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def p_machine_success(self) -> float:
+        """``PMs(x) = 1 - PMf(x)``."""
+        return 1.0 - self.p_machine_failure
+
+    @property
+    def importance_index(self) -> float:
+        """The paper's ``t(x) = PHf|Mf(x) - PHf|Ms(x)`` (Section 6.1).
+
+        Positive values mean machine failures make human failure more
+        likely (the reader's success is *coherent* with the machine's);
+        ``t(x) = 1`` means the reader fails exactly when the machine does;
+        ``t(x) = 0`` means the reader's failure probability does not depend
+        on the machine outcome at all; negative values mean machine failures
+        somehow *help* the reader.
+        """
+        return (
+            self.p_human_failure_given_machine_failure
+            - self.p_human_failure_given_machine_success
+        )
+
+    @property
+    def p_system_failure(self) -> float:
+        """Probability of system (reader) failure on a case of this class.
+
+        This is the bracketed term of equation (8):
+        ``PHf|Ms(x)·PMs(x) + PHf|Mf(x)·PMf(x)``.
+        """
+        return (
+            self.p_human_failure_given_machine_success * self.p_machine_success
+            + self.p_human_failure_given_machine_failure * self.p_machine_failure
+        )
+
+    # -- transformations -------------------------------------------------------
+
+    def with_machine_failure(self, p_machine_failure: float) -> "ClassParameters":
+        """Copy of these parameters with ``PMf(x)`` replaced.
+
+        The reader's conditional behaviour (``PHf|Mf``, ``PHf|Ms``) is kept
+        fixed — exactly the assumption behind Figure 4's straight line.
+        """
+        return replace(self, p_machine_failure=p_machine_failure)
+
+    def with_machine_improved(self, factor: float) -> "ClassParameters":
+        """Copy with ``PMf(x)`` divided by ``factor`` (> 1 improves the CADT).
+
+        This is the operation of the paper's Section 5 example, where the
+        designers consider "a reduction by 10 of the failure probability
+        PMf" for one class of cases.
+        """
+        factor = check_positive(factor, "improvement factor")
+        return self.with_machine_failure(self.p_machine_failure / factor)
+
+    def with_reader_shift(
+        self,
+        delta_given_machine_failure: float = 0.0,
+        delta_given_machine_success: float = 0.0,
+    ) -> "ClassParameters":
+        """Copy with the reader's conditional failure probabilities shifted.
+
+        Used to represent indirect effects (Section 5): reader adaptation,
+        complacency, or skill changes alter ``PHf|Mf`` and ``PHf|Ms``.
+        Results are validated, so shifts that leave ``[0, 1]`` raise.
+        """
+        return replace(
+            self,
+            p_human_failure_given_machine_failure=(
+                self.p_human_failure_given_machine_failure
+                + delta_given_machine_failure
+            ),
+            p_human_failure_given_machine_success=(
+                self.p_human_failure_given_machine_success
+                + delta_given_machine_success
+            ),
+        )
+
+    def is_close(self, other: "ClassParameters", atol: float = 1e-9) -> bool:
+        """Whether all three probabilities agree with ``other`` within ``atol``."""
+        return (
+            abs(self.p_machine_failure - other.p_machine_failure) <= atol
+            and abs(
+                self.p_human_failure_given_machine_failure
+                - other.p_human_failure_given_machine_failure
+            )
+            <= atol
+            and abs(
+                self.p_human_failure_given_machine_success
+                - other.p_human_failure_given_machine_success
+            )
+            <= atol
+        )
+
+
+class ModelParameters:
+    """The full per-class parameter table of the sequential model.
+
+    This corresponds to the "Model parameters" columns of the paper's
+    Table 1: one :class:`ClassParameters` triple per case class.
+
+    Args:
+        by_class: Mapping from case class (or name) to its parameters.
+    """
+
+    __slots__ = ("_by_class",)
+
+    def __init__(self, by_class: Mapping[ClassKey, ClassParameters]):
+        if not by_class:
+            raise ParameterError("ModelParameters needs at least one class")
+        normalised = {_as_case_class(k): v for k, v in by_class.items()}
+        if len(normalised) != len(by_class):
+            raise ParameterError("duplicate case classes in parameter table")
+        for cls, params in normalised.items():
+            if not isinstance(params, ClassParameters):
+                raise ParameterError(
+                    f"parameters for {cls.name!r} must be ClassParameters, "
+                    f"got {type(params).__name__}"
+                )
+        self._by_class: dict[CaseClass, ClassParameters] = {
+            cls: normalised[cls] for cls in sorted(normalised)
+        }
+
+    # -- mapping interface --------------------------------------------------
+
+    def __getitem__(self, key: ClassKey) -> ClassParameters:
+        cls = _as_case_class(key)
+        try:
+            return self._by_class[cls]
+        except KeyError:
+            raise ParameterError(f"no parameters for case class {cls.name!r}") from None
+
+    def __contains__(self, key: ClassKey) -> bool:
+        return _as_case_class(key) in self._by_class
+
+    def __iter__(self) -> Iterator[CaseClass]:
+        return iter(self._by_class)
+
+    def __len__(self) -> int:
+        return len(self._by_class)
+
+    def items(self) -> Iterator[tuple[CaseClass, ClassParameters]]:
+        """Iterate over ``(case class, parameters)`` pairs."""
+        return iter(self._by_class.items())
+
+    @property
+    def classes(self) -> tuple[CaseClass, ...]:
+        """All case classes in the table, in sorted order."""
+        return tuple(self._by_class)
+
+    # -- transformations ------------------------------------------------------
+
+    def transform(
+        self,
+        transformation: Callable[[CaseClass, ClassParameters], ClassParameters],
+    ) -> "ModelParameters":
+        """New table obtained by applying ``transformation`` to every class."""
+        return ModelParameters(
+            {cls: transformation(cls, params) for cls, params in self.items()}
+        )
+
+    def with_machine_improved(
+        self, factor: float, classes: Iterable[ClassKey] | None = None
+    ) -> "ModelParameters":
+        """New table with ``PMf`` divided by ``factor`` on selected classes.
+
+        Args:
+            factor: Improvement factor (> 1 reduces machine failures).
+            classes: Classes to improve; all classes when ``None``.
+        """
+        targets = (
+            set(self._by_class)
+            if classes is None
+            else {_as_case_class(c) for c in classes}
+        )
+        missing = targets - set(self._by_class)
+        if missing:
+            names = ", ".join(sorted(c.name for c in missing))
+            raise ParameterError(f"cannot improve unknown classes: {names}")
+        return self.transform(
+            lambda cls, params: params.with_machine_improved(factor)
+            if cls in targets
+            else params
+        )
+
+    def with_class(self, key: ClassKey, params: ClassParameters) -> "ModelParameters":
+        """New table with the parameters of one class replaced or added."""
+        table = dict(self._by_class)
+        table[_as_case_class(key)] = params
+        return ModelParameters(table)
+
+    def is_close(self, other: "ModelParameters", atol: float = 1e-9) -> bool:
+        """Whether both tables have the same classes and close parameters."""
+        if set(self._by_class) != set(other._by_class):
+            return False
+        return all(
+            params.is_close(other[cls], atol) for cls, params in self.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModelParameters):
+            return NotImplemented
+        return self.is_close(other, atol=0.0)
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{cls.name}: (PMf={p.p_machine_failure:.4g}, "
+            f"PHf|Mf={p.p_human_failure_given_machine_failure:.4g}, "
+            f"PHf|Ms={p.p_human_failure_given_machine_success:.4g})"
+            for cls, p in self.items()
+        )
+        return f"ModelParameters({{{rows}}})"
+
+
+def paper_example_parameters() -> ModelParameters:
+    """The model-parameter columns of the paper's Table 1 (Section 5).
+
+    ======== ===== ===== ======= =======
+    class    PMf   PMs   PHf|Mf  PHf|Ms
+    ======== ===== ===== ======= =======
+    easy     0.07  0.93  0.18    0.14
+    difficult 0.41 0.59  0.90    0.40
+    ======== ===== ===== ======= =======
+    """
+    return ModelParameters(
+        {
+            EASY: ClassParameters(
+                p_machine_failure=0.07,
+                p_human_failure_given_machine_failure=0.18,
+                p_human_failure_given_machine_success=0.14,
+            ),
+            DIFFICULT: ClassParameters(
+                p_machine_failure=0.41,
+                p_human_failure_given_machine_failure=0.90,
+                p_human_failure_given_machine_success=0.40,
+            ),
+        }
+    )

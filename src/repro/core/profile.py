@@ -1,0 +1,208 @@
+"""Demand profiles: the distribution of case classes seen by the system.
+
+The paper (Section 4) defines the *demand profile* ``p(x)`` as the
+probability that the input case given to the system belongs to class ``x``.
+Extrapolating from a controlled trial to the field (Section 5) amounts to
+replacing the trial's demand profile with the field's while keeping the
+conditional model parameters fixed.
+
+:class:`DemandProfile` is an immutable distribution over
+:class:`~repro.core.case_class.CaseClass` objects with the operations that
+the models and the extrapolation machinery need: lookup, support
+enumeration, mixing, re-weighting, expectation, and construction from
+observed counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Mapping, Union
+
+from .._validation import check_distribution, check_probability
+from ..exceptions import ProfileError
+from .case_class import DIFFICULT, EASY, CaseClass
+
+__all__ = ["DemandProfile", "PAPER_TRIAL_PROFILE", "PAPER_FIELD_PROFILE"]
+
+ClassKey = Union[CaseClass, str]
+
+
+def _as_case_class(key: ClassKey) -> CaseClass:
+    """Coerce a string key to a :class:`CaseClass` (idempotent for classes)."""
+    if isinstance(key, CaseClass):
+        return key
+    if isinstance(key, str):
+        return CaseClass(key)
+    raise TypeError(f"profile keys must be CaseClass or str, got {type(key).__name__}")
+
+
+class DemandProfile:
+    """An immutable probability distribution over case classes.
+
+    Args:
+        weights: Mapping from case class (or class name) to its probability.
+            The probabilities must sum to one; use :meth:`from_weights` to
+            normalise arbitrary non-negative weights instead.
+
+    Raises:
+        ProfileError: if the mapping is empty or does not sum to one.
+        ProbabilityError: if any weight is not a probability.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: Mapping[ClassKey, float]):
+        by_class = {_as_case_class(key): float(value) for key, value in weights.items()}
+        if len(by_class) != len(weights):
+            raise ProfileError("duplicate case classes in profile weights")
+        validated = check_distribution(
+            {cls.name: p for cls, p in by_class.items()}, "demand profile"
+        )
+        self._weights: dict[CaseClass, float] = {
+            cls: validated[cls.name] for cls in sorted(by_class)
+        }
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_weights(cls, weights: Mapping[ClassKey, float]) -> "DemandProfile":
+        """Build a profile from arbitrary non-negative weights, normalising them."""
+        if not weights:
+            raise ProfileError("demand profile must contain at least one entry")
+        total = math.fsum(float(v) for v in weights.values())
+        if total <= 0 or math.isnan(total) or math.isinf(total):
+            raise ProfileError(f"profile weights must have a positive finite sum, got {total!r}")
+        for key, value in weights.items():
+            if float(value) < 0:
+                raise ProfileError(f"profile weight for {key!r} is negative: {value!r}")
+        return cls({key: float(value) / total for key, value in weights.items()})
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[ClassKey, int]) -> "DemandProfile":
+        """Build the empirical profile of an observed sample of cases."""
+        for key, value in counts.items():
+            if int(value) != value or value < 0:
+                raise ProfileError(f"count for {key!r} must be a non-negative integer, got {value!r}")
+        return cls.from_weights({key: float(value) for key, value in counts.items()})
+
+    @classmethod
+    def uniform(cls, classes: Iterable[ClassKey]) -> "DemandProfile":
+        """Build the uniform profile over ``classes``."""
+        classes = [_as_case_class(c) for c in classes]
+        if not classes:
+            raise ProfileError("uniform profile needs at least one class")
+        return cls({c: 1.0 / len(classes) for c in classes})
+
+    @classmethod
+    def degenerate(cls, case_class: ClassKey) -> "DemandProfile":
+        """Build the profile that puts all mass on a single class."""
+        return cls({_as_case_class(case_class): 1.0})
+
+    # -- mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: ClassKey) -> float:
+        return self._weights.get(_as_case_class(key), 0.0)
+
+    def __contains__(self, key: ClassKey) -> bool:
+        return self[key] > 0.0
+
+    def __iter__(self) -> Iterator[CaseClass]:
+        return iter(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def items(self) -> Iterator[tuple[CaseClass, float]]:
+        """Iterate over ``(case class, probability)`` pairs."""
+        return iter(self._weights.items())
+
+    @property
+    def support(self) -> tuple[CaseClass, ...]:
+        """The case classes with non-zero probability, in sorted order."""
+        return tuple(cls for cls, p in self._weights.items() if p > 0.0)
+
+    @property
+    def classes(self) -> tuple[CaseClass, ...]:
+        """All case classes the profile mentions, in sorted order."""
+        return tuple(self._weights)
+
+    # -- algebra -----------------------------------------------------------
+
+    def expectation(self, value: Callable[[CaseClass], float]) -> float:
+        """Expected value of ``value(x)`` under this profile, ``E_p[value]``."""
+        return math.fsum(p * value(cls) for cls, p in self._weights.items())
+
+    def covariance(
+        self,
+        first: Callable[[CaseClass], float],
+        second: Callable[[CaseClass], float],
+    ) -> float:
+        """Covariance of two per-class quantities under this profile.
+
+        This is the ``cov_x(.,.)`` operator of the paper's equation (10),
+        taken with respect to the demand profile.
+        """
+        mean_first = self.expectation(first)
+        mean_second = self.expectation(second)
+        return math.fsum(
+            p * (first(cls) - mean_first) * (second(cls) - mean_second)
+            for cls, p in self._weights.items()
+        )
+
+    def mix(self, other: "DemandProfile", weight: float) -> "DemandProfile":
+        """Convex mixture ``weight * self + (1 - weight) * other``."""
+        weight = check_probability(weight, "mixture weight")
+        classes = set(self._weights) | set(other._weights)
+        return DemandProfile(
+            {cls: weight * self[cls] + (1.0 - weight) * other[cls] for cls in classes}
+        )
+
+    def reweighted(self, factors: Mapping[ClassKey, float]) -> "DemandProfile":
+        """Multiply class weights by ``factors`` and renormalise.
+
+        Classes absent from ``factors`` keep factor 1.  Useful to represent
+        changes in the frequency of kinds of cases (Section 5, item 1).
+        """
+        by_class = {_as_case_class(k): float(v) for k, v in factors.items()}
+        return DemandProfile.from_weights(
+            {cls: p * by_class.get(cls, 1.0) for cls, p in self._weights.items()}
+        )
+
+    def restricted(self, classes: Iterable[ClassKey]) -> "DemandProfile":
+        """Condition the profile on the case falling in ``classes``."""
+        keep = {_as_case_class(c) for c in classes}
+        weights = {cls: p for cls, p in self._weights.items() if cls in keep}
+        if not weights or math.fsum(weights.values()) <= 0:
+            raise ProfileError("restriction has zero probability under this profile")
+        return DemandProfile.from_weights(weights)
+
+    # -- comparisons and display -------------------------------------------
+
+    def total_variation_distance(self, other: "DemandProfile") -> float:
+        """Total variation distance to ``other`` (0 = identical, 1 = disjoint)."""
+        classes = set(self._weights) | set(other._weights)
+        return 0.5 * math.fsum(abs(self[cls] - other[cls]) for cls in classes)
+
+    def is_close(self, other: "DemandProfile", atol: float = 1e-9) -> bool:
+        """Whether the two profiles agree within ``atol`` on every class."""
+        classes = set(self._weights) | set(other._weights)
+        return all(abs(self[cls] - other[cls]) <= atol for cls in classes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DemandProfile):
+            return NotImplemented
+        return self.is_close(other, atol=0.0)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((cls.name, p) for cls, p in self._weights.items())))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{cls.name}: {p:.6g}" for cls, p in self._weights.items())
+        return f"DemandProfile({{{body}}})"
+
+
+#: Demand profile of the paper's controlled trial: 80% easy, 20% difficult.
+PAPER_TRIAL_PROFILE = DemandProfile({EASY: 0.8, DIFFICULT: 0.2})
+
+#: Demand profile of the paper's hypothetical field use: 90% easy, 10% difficult.
+PAPER_FIELD_PROFILE = DemandProfile({EASY: 0.9, DIFFICULT: 0.1})

@@ -1,0 +1,276 @@
+"""The "sequential operation" model of Section 4 (equations 4-10).
+
+This is the paper's preferred model for the human-machine system: the
+reader receives information pre-processed by the CADT, and no assumption is
+made about *how* the CADT's output influences the reader.  All influence is
+captured by the two conditional probabilities ``PHf|Mf(x)`` and
+``PHf|Ms(x)`` per class of cases, and the machine's own failure
+probability ``PMf(x)``.
+
+The key equation is (8)::
+
+    PHf = sum_x p(x) * [ PHf|Ms(x)*PMs(x) + PHf|Mf(x)*PMf(x) ]
+
+together with its rewritings in terms of the importance index
+``t(x) = PHf|Mf(x) - PHf|Ms(x)`` (equation 9) and the covariance
+decomposition (equation 10), which this module also computes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from ..exceptions import ParameterError
+from .case_class import CaseClass
+from .parameters import ClassParameters, ModelParameters
+from .profile import DemandProfile
+
+__all__ = ["SequentialModel", "SequentialPrediction", "CovarianceDecomposition"]
+
+ClassKey = Union[CaseClass, str]
+
+
+@dataclass(frozen=True)
+class CovarianceDecomposition:
+    """The three-term decomposition of equation (10).
+
+    ``PHf = E[PHf|Ms(x)] + PMf * E[t(x)] + cov_x(PMf(x), t(x))``
+
+    Attributes:
+        expected_human_failure_given_machine_success: ``E[PHf|Ms(x)]`` — the
+            irreducible part: no machine improvement can push system failure
+            below it while the reader's conditional behaviour is unchanged.
+        mean_machine_failure: ``PMf = E[PMf(x)]`` — the machine's marginal
+            failure probability under the demand profile.
+        mean_importance: ``E[t(x)]`` — average importance/coherence index.
+        covariance: ``cov_x(PMf(x), t(x))`` — positive when the machine tends
+            to fail exactly on the classes where its failures hurt the reader
+            most; negative covariance is beneficial *diversity*.
+    """
+
+    expected_human_failure_given_machine_success: float
+    mean_machine_failure: float
+    mean_importance: float
+    covariance: float
+
+    @property
+    def independent_term(self) -> float:
+        """``PMf * E[t]`` — the contribution if PMf and t were uncorrelated."""
+        return self.mean_machine_failure * self.mean_importance
+
+    @property
+    def total(self) -> float:
+        """The reassembled system failure probability ``PHf``."""
+        return (
+            self.expected_human_failure_given_machine_success
+            + self.independent_term
+            + self.covariance
+        )
+
+
+@dataclass(frozen=True)
+class SequentialPrediction:
+    """A system failure probability with its per-class breakdown.
+
+    Attributes:
+        probability: The overall ``PHf`` under the demand profile.
+        per_class: Conditional failure probability for each class (the
+            bracketed term of equation 8), keyed by case class.
+        contributions: ``p(x)`` times the per-class probability — the terms
+            that sum to :attr:`probability`.
+    """
+
+    probability: float
+    per_class: Mapping[CaseClass, float]
+    contributions: Mapping[CaseClass, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "per_class", dict(self.per_class))
+        object.__setattr__(self, "contributions", dict(self.contributions))
+
+
+class SequentialModel:
+    """Clear-box reliability model for sequential human-machine operation.
+
+    Args:
+        parameters: Per-class parameter table (``PMf``, ``PHf|Mf``,
+            ``PHf|Ms`` for every class the demand profiles may mention).
+
+    Example (the paper's worked example)::
+
+        >>> from repro.core import paper_example_parameters, PAPER_TRIAL_PROFILE
+        >>> model = SequentialModel(paper_example_parameters())
+        >>> round(model.system_failure_probability(PAPER_TRIAL_PROFILE), 3)
+        0.235
+    """
+
+    __slots__ = ("_parameters",)
+
+    def __init__(self, parameters: ModelParameters):
+        if not isinstance(parameters, ModelParameters):
+            raise ParameterError(
+                f"SequentialModel needs ModelParameters, got {type(parameters).__name__}"
+            )
+        self._parameters = parameters
+
+    @property
+    def parameters(self) -> ModelParameters:
+        """The per-class parameter table this model evaluates."""
+        return self._parameters
+
+    # -- core evaluation (equation 8) ---------------------------------------
+
+    def class_parameters(self, case_class: ClassKey) -> ClassParameters:
+        """Parameters for one class (raises ParameterError if unknown)."""
+        return self._parameters[case_class]
+
+    def class_failure_probability(self, case_class: ClassKey) -> float:
+        """``PHf|Ms(x)*PMs(x) + PHf|Mf(x)*PMf(x)`` for one class.
+
+        This is the system failure probability conditional on the case
+        belonging to ``case_class`` (equation 8's bracketed term).
+        """
+        return self._parameters[case_class].p_system_failure
+
+    def _check_profile(self, profile: DemandProfile) -> None:
+        missing = [cls for cls in profile.support if cls not in self._parameters]
+        if missing:
+            names = ", ".join(sorted(c.name for c in missing))
+            raise ParameterError(f"profile mentions classes without parameters: {names}")
+
+    def system_failure_probability(self, profile: DemandProfile) -> float:
+        """The overall false-negative probability ``PHf`` (equation 8)."""
+        self._check_profile(profile)
+        return math.fsum(
+            p * self.class_failure_probability(cls)
+            for cls, p in profile.items()
+            if p > 0.0
+        )
+
+    def predict(self, profile: DemandProfile) -> SequentialPrediction:
+        """Evaluate equation (8) with a per-class breakdown."""
+        self._check_profile(profile)
+        per_class = {
+            cls: self.class_failure_probability(cls) for cls in profile.classes
+        }
+        contributions = {cls: profile[cls] * per_class[cls] for cls in profile.classes}
+        return SequentialPrediction(
+            probability=math.fsum(contributions.values()),
+            per_class=per_class,
+            contributions=contributions,
+        )
+
+    # -- profile-level summaries --------------------------------------------
+
+    def mean_machine_failure(self, profile: DemandProfile) -> float:
+        """Marginal machine failure probability ``PMf = E_p[PMf(x)]``."""
+        self._check_profile(profile)
+        return profile.expectation(lambda cls: self._parameters[cls].p_machine_failure)
+
+    def mean_importance(self, profile: DemandProfile) -> float:
+        """Average importance index ``E_p[t(x)]`` (Section 6.1)."""
+        self._check_profile(profile)
+        return profile.expectation(lambda cls: self._parameters[cls].importance_index)
+
+    def machine_improvement_floor(self, profile: DemandProfile) -> float:
+        """``E_p[PHf|Ms(x)]`` — the lower bound of Section 6.1.
+
+        No improvement of the machine alone (leaving the reader's
+        conditional behaviour unchanged) can reduce the system failure
+        probability below this value: it is what remains when ``PMf(x) = 0``
+        for every class.
+        """
+        self._check_profile(profile)
+        return profile.expectation(
+            lambda cls: self._parameters[cls].p_human_failure_given_machine_success
+        )
+
+    # -- equation (10) --------------------------------------------------------
+
+    def covariance_decomposition(self, profile: DemandProfile) -> CovarianceDecomposition:
+        """Decompose ``PHf`` per equation (10).
+
+        Returns the three terms ``E[PHf|Ms]``, ``PMf * E[t]`` and
+        ``cov_x(PMf(x), t(x))``; their sum equals
+        :meth:`system_failure_probability` exactly (up to float rounding).
+        """
+        self._check_profile(profile)
+        return CovarianceDecomposition(
+            expected_human_failure_given_machine_success=(
+                self.machine_improvement_floor(profile)
+            ),
+            mean_machine_failure=self.mean_machine_failure(profile),
+            mean_importance=self.mean_importance(profile),
+            covariance=profile.covariance(
+                lambda cls: self._parameters[cls].p_machine_failure,
+                lambda cls: self._parameters[cls].importance_index,
+            ),
+        )
+
+    def failure_attribution(
+        self, profile: DemandProfile
+    ) -> dict[tuple[CaseClass, str], float]:
+        """Where do the system's failures come from?
+
+        The posterior distribution, *given that a failure occurred*, over
+        (case class, machine outcome) pairs::
+
+            P(x, Mf | Hf) = p(x) * PMf(x) * PHf|Mf(x) / PHf
+
+        Keys are ``(case_class, "machine_failure")`` and
+        ``(case_class, "machine_success")``; values sum to 1.  The
+        machine-success entries are the fraction of failures the machine
+        could never have prevented — the operational reading of the
+        Section 6.1 floor.
+
+        Raises:
+            ParameterError: if the profile has classes without parameters,
+                or the failure probability is zero (nothing to attribute).
+        """
+        total = self.system_failure_probability(profile)
+        if total <= 0.0:
+            raise ParameterError(
+                "the system never fails under this profile; nothing to attribute"
+            )
+        attribution: dict[tuple[CaseClass, str], float] = {}
+        for cls, weight in profile.items():
+            if weight <= 0.0:
+                continue
+            params = self._parameters[cls]
+            attribution[(cls, "machine_failure")] = (
+                weight
+                * params.p_machine_failure
+                * params.p_human_failure_given_machine_failure
+                / total
+            )
+            attribution[(cls, "machine_success")] = (
+                weight
+                * params.p_machine_success
+                * params.p_human_failure_given_machine_success
+                / total
+            )
+        return attribution
+
+    # -- what-if helpers ------------------------------------------------------
+
+    def with_parameters(self, parameters: ModelParameters) -> "SequentialModel":
+        """A new model over a different parameter table."""
+        return SequentialModel(parameters)
+
+    def with_machine_improved(
+        self, factor: float, classes=None
+    ) -> "SequentialModel":
+        """A new model whose CADT is ``factor`` times less likely to fail.
+
+        Args:
+            factor: Improvement factor applied to ``PMf`` (> 1 improves).
+            classes: Iterable of classes to improve; all when ``None``.
+        """
+        return SequentialModel(
+            self._parameters.with_machine_improved(factor, classes)
+        )
+
+    def __repr__(self) -> str:
+        return f"SequentialModel({self._parameters!r})"

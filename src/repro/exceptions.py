@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch every failure raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ProbabilityError",
+    "ProfileError",
+    "ParameterError",
+    "ModelAssumptionError",
+    "EstimationError",
+    "SimulationError",
+    "StructureError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ProbabilityError(ReproError, ValueError):
+    """A value that must be a probability lies outside ``[0, 1]``."""
+
+
+class ProfileError(ReproError, ValueError):
+    """A demand profile is malformed (wrong support, does not sum to one)."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Model parameters are malformed or inconsistent with one another."""
+
+
+class ModelAssumptionError(ReproError, ValueError):
+    """A model was applied in a regime where its assumptions cannot hold.
+
+    Example: asking the parallel-detection model for an exact system failure
+    probability when the supplied covariance would push the joint detection
+    failure probability outside ``[0, 1]``.
+    """
+
+
+class EstimationError(ReproError, ValueError):
+    """A statistical estimate could not be formed from the supplied data."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation was configured inconsistently or failed to run."""
+
+
+class StructureError(ReproError, ValueError):
+    """A reliability block diagram structure is malformed."""

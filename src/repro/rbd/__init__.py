@@ -1,0 +1,47 @@
+"""Exact reliability-block-diagram engine (the substrate behind Figure 2).
+
+Blocks compose with ``>>`` (series) and ``|`` (parallel)::
+
+    >>> from repro.rbd import Component
+    >>> system = (Component("machine") | Component("human")) >> Component("classify")
+    >>> round(system.failure_probability(
+    ...     {"machine": 0.1, "human": 0.2, "classify": 0.05}), 4)
+    0.069
+"""
+
+from .blocks import Block, Component, KOutOfN, Parallel, Series
+from .builders import (
+    HUMAN_CLASSIFIES,
+    HUMAN_DETECTS,
+    MACHINE_DETECTS,
+    double_reading_diagram,
+    parallel_detection_diagram,
+    two_readers_with_cadt_diagram,
+)
+from .importance import (
+    birnbaum_importance,
+    birnbaum_importances,
+    fussell_vesely_importance,
+    improvement_potential,
+)
+from .paths import minimal_cut_sets, minimal_path_sets
+
+__all__ = [
+    "Block",
+    "Component",
+    "Series",
+    "Parallel",
+    "KOutOfN",
+    "parallel_detection_diagram",
+    "double_reading_diagram",
+    "two_readers_with_cadt_diagram",
+    "MACHINE_DETECTS",
+    "HUMAN_DETECTS",
+    "HUMAN_CLASSIFIES",
+    "birnbaum_importance",
+    "birnbaum_importances",
+    "improvement_potential",
+    "fussell_vesely_importance",
+    "minimal_path_sets",
+    "minimal_cut_sets",
+]

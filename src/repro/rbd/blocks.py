@@ -1,0 +1,257 @@
+"""Reliability block diagram (RBD) structures.
+
+Figure 2 of the paper reads as a reliability block diagram: "the system
+does not fail on a case iff there is at least one path joining the points
+at the left-hand and right-hand ends of the diagram without encountering a
+component that fails on that case".  This module provides a small, exact
+RBD engine:
+
+* :class:`Component` — a named leaf block;
+* :class:`Series` — works iff *all* children work;
+* :class:`Parallel` — works iff *any* child works (1-out-of-N);
+* :class:`KOutOfN` — works iff at least ``k`` children work.
+
+Evaluation (:meth:`Block.failure_probability`) is exact for independent
+component failures, including diagrams where the *same* component name
+appears in several places: repeated components are handled by Shannon
+factoring (conditioning on the shared component's state) rather than by
+the incorrect per-subtree product.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .._validation import check_probability
+from ..exceptions import StructureError
+
+__all__ = ["Block", "Component", "Series", "Parallel", "KOutOfN"]
+
+
+class Block:
+    """Abstract node of a reliability block diagram."""
+
+    def component_names(self) -> frozenset[str]:
+        """Names of all components appearing in this (sub)diagram."""
+        raise NotImplementedError
+
+    def works(self, state: Mapping[str, bool]) -> bool:
+        """Whether the (sub)system works given each component's state.
+
+        Args:
+            state: Mapping from component name to ``True`` (works) /
+                ``False`` (fails).  Every component in the diagram must be
+                present.
+        """
+        raise NotImplementedError
+
+    def _duplicated_components(self) -> list[str]:
+        """Component names appearing more than once in the diagram."""
+        counts: dict[str, int] = {}
+        for name in self._component_occurrences():
+            counts[name] = counts.get(name, 0) + 1
+        return sorted(name for name, count in counts.items() if count > 1)
+
+    def _component_occurrences(self) -> list[str]:
+        """All component-name occurrences, with repetition."""
+        raise NotImplementedError
+
+    def _structural_success(self, probabilities: Mapping[str, float]) -> float:
+        """Success probability assuming every occurrence is independent.
+
+        Only correct when no component name is repeated; the public entry
+        point factors out repeats first.
+        """
+        raise NotImplementedError
+
+    def success_probability(self, probabilities: Mapping[str, float]) -> float:
+        """Exact probability that the system works.
+
+        Args:
+            probabilities: Mapping from component name to its *failure*
+                probability (independent across components).
+
+        Raises:
+            StructureError: if a component lacks a probability.
+            ProbabilityError: if a supplied value is not a probability.
+        """
+        missing = self.component_names() - set(probabilities)
+        if missing:
+            raise StructureError(
+                f"missing failure probabilities for components: {sorted(missing)}"
+            )
+        validated = {
+            name: check_probability(probabilities[name], f"failure probability of {name!r}")
+            for name in self.component_names()
+        }
+        return self._success_with_factoring(validated)
+
+    def failure_probability(self, probabilities: Mapping[str, float]) -> float:
+        """Exact probability that the system fails (1 - success)."""
+        return 1.0 - self.success_probability(probabilities)
+
+    def _success_with_factoring(
+        self,
+        probabilities: Mapping[str, float],
+        pinned: frozenset[str] = frozenset(),
+    ) -> float:
+        duplicated = [c for c in self._duplicated_components() if c not in pinned]
+        if not duplicated:
+            return self._structural_success(probabilities)
+        # Shannon decomposition on the first duplicated component: condition
+        # on it working / failing.  Pinned components have their probability
+        # fixed at 0 or 1, which makes the naive per-occurrence product
+        # exact for them (0*0 = 0 and 1*1 = 1).
+        pivot = duplicated[0]
+        p_fail = probabilities[pivot]
+        now_pinned = pinned | {pivot}
+        works = dict(probabilities)
+        works[pivot] = 0.0
+        fails = dict(probabilities)
+        fails[pivot] = 1.0
+        return (1.0 - p_fail) * self._success_with_factoring(works, now_pinned) + (
+            p_fail * self._success_with_factoring(fails, now_pinned)
+        )
+
+    # -- composition sugar ---------------------------------------------------
+
+    def __rshift__(self, other: "Block") -> "Series":
+        """``a >> b``: series composition (both must work)."""
+        return Series([self, other])
+
+    def __or__(self, other: "Block") -> "Parallel":
+        """``a | b``: parallel composition (either suffices)."""
+        return Parallel([self, other])
+
+
+class Component(Block):
+    """A leaf block: one named component.
+
+    Args:
+        name: Unique identifier; the key into probability and state maps.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise StructureError(f"component name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def component_names(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def _component_occurrences(self) -> list[str]:
+        return [self.name]
+
+    def works(self, state: Mapping[str, bool]) -> bool:
+        try:
+            return bool(state[self.name])
+        except KeyError:
+            raise StructureError(f"no state supplied for component {self.name!r}") from None
+
+    def _structural_success(self, probabilities: Mapping[str, float]) -> float:
+        return 1.0 - probabilities[self.name]
+
+    def __repr__(self) -> str:
+        return f"Component({self.name!r})"
+
+
+class _Composite(Block):
+    """Shared machinery for blocks with children."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Block]):
+        children = tuple(children)
+        if not children:
+            raise StructureError(f"{type(self).__name__} needs at least one child block")
+        for child in children:
+            if not isinstance(child, Block):
+                raise StructureError(
+                    f"{type(self).__name__} children must be Blocks, got {child!r}"
+                )
+        self.children = children
+
+    def component_names(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for child in self.children:
+            names |= child.component_names()
+        return names
+
+    def _component_occurrences(self) -> list[str]:
+        occurrences: list[str] = []
+        for child in self.children:
+            occurrences.extend(child._component_occurrences())
+        return occurrences
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}([{body}])"
+
+
+class Series(_Composite):
+    """Series composition: the system works iff every child works."""
+
+    def works(self, state: Mapping[str, bool]) -> bool:
+        return all(child.works(state) for child in self.children)
+
+    def _structural_success(self, probabilities: Mapping[str, float]) -> float:
+        product = 1.0
+        for child in self.children:
+            product *= child._structural_success(probabilities)
+        return product
+
+
+class Parallel(_Composite):
+    """Parallel (1-out-of-N) composition: works iff any child works."""
+
+    def works(self, state: Mapping[str, bool]) -> bool:
+        return any(child.works(state) for child in self.children)
+
+    def _structural_success(self, probabilities: Mapping[str, float]) -> float:
+        product_of_failures = 1.0
+        for child in self.children:
+            product_of_failures *= 1.0 - child._structural_success(probabilities)
+        return 1.0 - product_of_failures
+
+
+class KOutOfN(_Composite):
+    """k-out-of-n composition: works iff at least ``k`` children work.
+
+    Args:
+        k: Minimum number of working children (1 <= k <= n).
+        children: The n child blocks.
+    """
+
+    __slots__ = ("k",)
+
+    def __init__(self, k: int, children: Iterable[Block]):
+        super().__init__(children)
+        n = len(self.children)
+        if not isinstance(k, int) or not 1 <= k <= n:
+            raise StructureError(f"k must be an integer in [1, {n}], got {k!r}")
+        self.k = k
+
+    def works(self, state: Mapping[str, bool]) -> bool:
+        working = sum(1 for child in self.children if child.works(state))
+        return working >= self.k
+
+    def _structural_success(self, probabilities: Mapping[str, float]) -> float:
+        # Children are disjoint subtrees here (repeats are factored out by
+        # the caller), so their successes are independent; sum over subsets
+        # of working children of size >= k via dynamic programming.
+        success = [child._structural_success(probabilities) for child in self.children]
+        # counts[j] = probability exactly j of the children seen so far work.
+        counts = [1.0]
+        for p in success:
+            counts = [
+                (counts[j] * (1.0 - p) if j < len(counts) else 0.0)
+                + (counts[j - 1] * p if j >= 1 else 0.0)
+                for j in range(len(counts) + 1)
+            ]
+        return sum(counts[self.k :])
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(c) for c in self.children)
+        return f"KOutOfN(k={self.k}, [{body}])"

@@ -1,0 +1,83 @@
+"""Ready-made diagrams for the paper's system structures.
+
+These builders make the paper's figures executable:
+
+* :func:`parallel_detection_diagram` — Figure 2: machine detection in
+  parallel with human detection, in series with human classification.
+* :func:`double_reading_diagram` — the U.K. practice baseline: two human
+  readers in parallel (a cancer is caught if either reader catches it,
+  under a "recall if either recalls" policy).
+* :func:`two_readers_with_cadt_diagram` — the Section 7 extension: two
+  readers each assisted by the CADT.
+"""
+
+from __future__ import annotations
+
+from .blocks import Block, Component, Parallel, Series
+
+__all__ = [
+    "MACHINE_DETECTS",
+    "HUMAN_DETECTS",
+    "HUMAN_CLASSIFIES",
+    "parallel_detection_diagram",
+    "double_reading_diagram",
+    "two_readers_with_cadt_diagram",
+]
+
+#: Component name: the CADT prompts the relevant features (detection subtask).
+MACHINE_DETECTS = "machine_detects"
+#: Component name: the reader notices the relevant features unaided.
+HUMAN_DETECTS = "human_detects"
+#: Component name: the reader classifies detected features correctly.
+HUMAN_CLASSIFIES = "human_classifies"
+
+
+def parallel_detection_diagram() -> Block:
+    """Figure 2's RBD: (machine || human) detection, then human classification.
+
+    The system does not fail iff at least one of the two detectors notices
+    the relevant features *and* the reader then classifies them correctly.
+    """
+    detection = Parallel([Component(MACHINE_DETECTS), Component(HUMAN_DETECTS)])
+    return Series([detection, Component(HUMAN_CLASSIFIES)])
+
+
+def double_reading_diagram(
+    first_reader: str = "reader_1", second_reader: str = "reader_2"
+) -> Block:
+    """Two independent readers under a "recall if either recalls" policy.
+
+    Each reader is modelled end-to-end (detection and classification
+    together); the case is handled correctly if either reader handles it
+    correctly.
+    """
+    return Parallel([Component(first_reader), Component(second_reader)])
+
+
+def two_readers_with_cadt_diagram(
+    first_reader: str = "reader_1",
+    second_reader: str = "reader_2",
+    machine: str = MACHINE_DETECTS,
+) -> Block:
+    """Section 7's richer configuration: two readers, each CADT-assisted.
+
+    Under the parallel-detection reading of the aid, the relevant features
+    are detected if the machine prompts them or either reader spots them;
+    each reader must still classify correctly, and the case is saved if
+    either reader's final decision is correct.  The machine component is
+    shared between the two branches — the engine factors the repetition
+    exactly rather than double-counting it.
+    """
+    first_branch = Series(
+        [
+            Parallel([Component(machine), Component(f"{first_reader}_detects")]),
+            Component(f"{first_reader}_classifies"),
+        ]
+    )
+    second_branch = Series(
+        [
+            Parallel([Component(machine), Component(f"{second_reader}_detects")]),
+            Component(f"{second_reader}_classifies"),
+        ]
+    )
+    return Parallel([first_branch, second_branch])

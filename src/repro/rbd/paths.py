@@ -1,0 +1,77 @@
+"""Minimal path sets and minimal cut sets of a block diagram.
+
+A *path set* is a set of components whose joint working guarantees system
+success; a *cut set* is a set whose joint failure guarantees system
+failure.  Both are computed exactly by truth-table enumeration over the
+component state space, which is fine for the coarse-grained diagrams this
+library deals in (the paper's Figure 2 has three components) and guarded
+against accidental blow-ups.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..exceptions import StructureError
+from .blocks import Block
+
+__all__ = ["minimal_path_sets", "minimal_cut_sets"]
+
+#: Enumeration guard: diagrams with more components than this raise.
+MAX_ENUMERATED_COMPONENTS = 20
+
+
+def _minimise(sets: list[frozenset[str]]) -> tuple[frozenset[str], ...]:
+    """Keep only the inclusion-minimal sets, sorted for determinism."""
+    minimal = [
+        s for s in sets if not any(other < s for other in sets)
+    ]
+    unique = sorted(set(minimal), key=lambda s: (len(s), tuple(sorted(s))))
+    return tuple(unique)
+
+
+def _check_size(block: Block) -> tuple[str, ...]:
+    names = tuple(sorted(block.component_names()))
+    if len(names) > MAX_ENUMERATED_COMPONENTS:
+        raise StructureError(
+            f"path/cut set enumeration supports at most "
+            f"{MAX_ENUMERATED_COMPONENTS} components, got {len(names)}"
+        )
+    return names
+
+
+def minimal_path_sets(block: Block) -> tuple[frozenset[str], ...]:
+    """All minimal path sets of the diagram.
+
+    Returns:
+        Inclusion-minimal sets of component names such that the system
+        works whenever all components in one of the sets work (regardless
+        of the others), sorted by size then name.
+    """
+    names = _check_size(block)
+    paths: list[frozenset[str]] = []
+    for pattern in itertools.product((True, False), repeat=len(names)):
+        working = frozenset(n for n, up in zip(names, pattern) if up)
+        # A candidate path set: system must work when exactly these work.
+        state = {n: (n in working) for n in names}
+        if block.works(state):
+            paths.append(working)
+    return _minimise(paths)
+
+
+def minimal_cut_sets(block: Block) -> tuple[frozenset[str], ...]:
+    """All minimal cut sets of the diagram.
+
+    Returns:
+        Inclusion-minimal sets of component names such that the system
+        fails whenever all components in one of the sets fail (regardless
+        of the others), sorted by size then name.
+    """
+    names = _check_size(block)
+    cuts: list[frozenset[str]] = []
+    for pattern in itertools.product((True, False), repeat=len(names)):
+        failed = frozenset(n for n, up in zip(names, pattern) if not up)
+        state = {n: (n not in failed) for n in names}
+        if not block.works(state):
+            cuts.append(failed)
+    return _minimise(cuts)

@@ -1,0 +1,32 @@
+"""Stochastic human-reader substrate.
+
+Replaces the clinical readers of the paper's trials with parameterised
+behavioural models: a two-stage (detect, classify) decision process with
+analytic conditional probabilities, automation-bias effects, asymmetric
+trust dynamics, and panels of readers with varying qualification.
+"""
+
+from .adaptation import AdaptiveReader, AdaptiveTrust, simulate_trust_trajectory
+from .fatigue import FatiguedReader, FatigueModel
+from .bias import MILD_BIAS, NO_BIAS, STRONG_BIAS, AutomationBiasProfile
+from .panel import QualificationLevel, ReaderPanel, SkillDistribution
+from .reader import ReaderDecision, ReaderModel, ReaderSkill, ReadingProcedure
+
+__all__ = [
+    "ReaderModel",
+    "ReaderSkill",
+    "ReaderDecision",
+    "ReadingProcedure",
+    "AutomationBiasProfile",
+    "NO_BIAS",
+    "MILD_BIAS",
+    "STRONG_BIAS",
+    "AdaptiveTrust",
+    "AdaptiveReader",
+    "simulate_trust_trajectory",
+    "QualificationLevel",
+    "SkillDistribution",
+    "ReaderPanel",
+    "FatigueModel",
+    "FatiguedReader",
+]

@@ -1,0 +1,83 @@
+"""Automation-bias profiles: how the CADT's output sways the reader.
+
+The paper stresses that the reader's task may not be "unaffected by the
+CADT's output" (Section 4) and cites the automation-bias literature
+(Skitka, Mosier & Burdick [7]).  An :class:`AutomationBiasProfile` groups
+the three distinct effects the modelling needs, each on the logit scale:
+
+* **complacency** — on cases where the machine placed no prompt on the
+  relevant features, a biased reader scrutinises the unprompted film less
+  than an unaided reader would (raises the miss probability given machine
+  failure — raising ``PHf|Mf`` and hence ``t(x)``);
+* **prompt persuasion** — a prompt on the relevant features makes the
+  reader more willing to recall once they are seen (lowers
+  misclassification given machine success);
+* **false-prompt persuasion** — each false prompt on a healthy film pushes
+  the reader toward an unnecessary recall (raises the false-positive
+  probability per prompt).
+
+Profiles are immutable; the presets span the range used in the examples
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+
+__all__ = ["AutomationBiasProfile", "NO_BIAS", "MILD_BIAS", "STRONG_BIAS"]
+
+
+@dataclass(frozen=True)
+class AutomationBiasProfile:
+    """Strengths of the three automation-bias effects (logit scale).
+
+    Attributes:
+        complacency_shift: Added to the reader's miss logit on relevant
+            features the machine failed to prompt (>= 0; 0 disables).
+        prompt_persuasion: Subtracted from the misclassification logit when
+            the relevant features carry a prompt (>= 0; 0 disables).
+        false_prompt_persuasion: Added to the recall logit of a healthy
+            case per false prompt shown (>= 0; 0 disables).
+    """
+
+    complacency_shift: float = 0.0
+    prompt_persuasion: float = 0.0
+    false_prompt_persuasion: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("complacency_shift", "prompt_persuasion", "false_prompt_persuasion"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0.0):
+                raise ParameterError(f"{name} must be finite and >= 0, got {value!r}")
+
+    def scaled(self, factor: float) -> "AutomationBiasProfile":
+        """A profile with every effect multiplied by ``factor`` (>= 0).
+
+        Used by trust dynamics: growing trust in the tool scales all three
+        effects up together.
+        """
+        if not (math.isfinite(factor) and factor >= 0.0):
+            raise ParameterError(f"factor must be finite and >= 0, got {factor!r}")
+        return AutomationBiasProfile(
+            complacency_shift=self.complacency_shift * factor,
+            prompt_persuasion=self.prompt_persuasion * factor,
+            false_prompt_persuasion=self.false_prompt_persuasion * factor,
+        )
+
+
+#: An idealised reader: entirely unaffected by what the tool shows
+#: (the parallel-detection model's behavioural assumption).
+NO_BIAS = AutomationBiasProfile()
+
+#: A realistic reader: noticeable but moderate reliance on the tool.
+MILD_BIAS = AutomationBiasProfile(
+    complacency_shift=0.5, prompt_persuasion=0.4, false_prompt_persuasion=0.25
+)
+
+#: A heavily reliant reader: treats the absence of prompts as reassurance.
+STRONG_BIAS = AutomationBiasProfile(
+    complacency_shift=1.2, prompt_persuasion=0.9, false_prompt_persuasion=0.6
+)

@@ -1,0 +1,155 @@
+"""Time-on-task effects: vigilance decrement within a reading session.
+
+Screening readers work through long lists of films in one sitting, and
+detection vigilance is known to decay with time on task.  This is one of
+the "indirect effects" family of Section 5: like trust drift, it changes
+the reader's conditional failure probabilities between the conditions
+parameters were measured in and the conditions they are applied to — a
+trial with short sessions underestimates the failure probabilities of
+marathon clinic sessions.
+
+:class:`FatigueModel` is a small state machine (decrement per case,
+saturating at a maximum, reset by a break); :class:`FatiguedReader` wraps
+a :class:`~repro.reader.reader.ReaderModel`, applying the current
+decrement to its detection and specificity skills before each decision.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..cadt.algorithm import CadtOutput
+from ..exceptions import ParameterError
+from ..screening.case import Case
+from .reader import ReaderDecision, ReaderModel, ReaderSkill
+
+__all__ = ["FatigueModel", "FatiguedReader"]
+
+
+class FatigueModel:
+    """Saturating vigilance decrement with break recovery.
+
+    The decrement (a logit penalty applied to detection and specificity
+    skill) approaches ``max_decrement`` exponentially: after each case it
+    moves a fraction ``rate`` of the remaining distance.  A break resets
+    it to zero.
+
+    Args:
+        rate: Fractional step toward ``max_decrement`` per case (in
+            ``[0, 1]``; 0 disables fatigue).
+        max_decrement: Asymptotic logit penalty (>= 0).
+    """
+
+    def __init__(self, rate: float = 0.01, max_decrement: float = 0.8):
+        if not 0.0 <= rate <= 1.0:
+            raise ParameterError(f"rate must be in [0, 1], got {rate!r}")
+        if not (math.isfinite(max_decrement) and max_decrement >= 0.0):
+            raise ParameterError(
+                f"max_decrement must be finite and >= 0, got {max_decrement!r}"
+            )
+        self.rate = float(rate)
+        self.max_decrement = float(max_decrement)
+        self._decrement = 0.0
+        self._cases_this_session = 0
+
+    @property
+    def decrement(self) -> float:
+        """The current logit penalty."""
+        return self._decrement
+
+    @property
+    def cases_this_session(self) -> int:
+        """Cases read since the last break."""
+        return self._cases_this_session
+
+    def advance(self) -> None:
+        """Register one more case read."""
+        self._decrement += self.rate * (self.max_decrement - self._decrement)
+        self._cases_this_session += 1
+
+    def rest(self) -> None:
+        """Take a break: vigilance fully recovers."""
+        self._decrement = 0.0
+        self._cases_this_session = 0
+
+
+class FatiguedReader:
+    """A reader whose vigilance decays over a session.
+
+    Args:
+        reader: The rested baseline reader.
+        fatigue: Fatigue dynamics (a default instance when omitted).
+        seed: Seed for this wrapper's private random generator.
+    """
+
+    def __init__(
+        self,
+        reader: ReaderModel,
+        fatigue: FatigueModel | None = None,
+        seed: int | None = None,
+    ):
+        self._base_reader = reader
+        self.fatigue = fatigue if fatigue is not None else FatigueModel()
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        """The wrapped reader's name."""
+        return self._base_reader.name
+
+    @property
+    def base_reader(self) -> ReaderModel:
+        """The rested baseline reader."""
+        return self._base_reader
+
+    def current_reader(self) -> ReaderModel:
+        """A snapshot reader at the current fatigue level.
+
+        The decrement subtracts from detection and specificity skill
+        (vigilance tasks); classification skill — a judgement task — is
+        left untouched, consistent with the vigilance-decrement
+        literature's focus on detection.
+        """
+        decrement = self.fatigue.decrement
+        if decrement == 0.0:
+            return self._base_reader
+        skill = self._base_reader.skill
+        tired_skill = ReaderSkill(
+            detection=skill.detection - decrement,
+            classification=skill.classification,
+            specificity=skill.specificity - decrement,
+            lapse_rate=skill.lapse_rate,
+        )
+        return ReaderModel(
+            skill=tired_skill,
+            bias=self._base_reader.bias,
+            procedure=self._base_reader.procedure,
+            prompt_effectiveness=self._base_reader.prompt_effectiveness,
+            name=self._base_reader.name,
+        )
+
+    def decide(
+        self,
+        case: Case,
+        cadt_output: CadtOutput | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ReaderDecision:
+        """Decide one case at the current fatigue, then tire a little more."""
+        decision = self.current_reader().decide(
+            case, cadt_output, rng if rng is not None else self._rng
+        )
+        self.fatigue.advance()
+        return decision
+
+    def take_break(self) -> None:
+        """Rest: vigilance recovers fully."""
+        self.fatigue.rest()
+
+    def __repr__(self) -> str:
+        return (
+            f"FatiguedReader({self._base_reader!r}, "
+            f"decrement={self.fatigue.decrement:.3f}, "
+            f"session={self.fatigue.cases_this_session})"
+        )

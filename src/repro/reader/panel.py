@@ -1,0 +1,195 @@
+"""Populations of readers with varying ability.
+
+Section 5 (item 2) requires representing that "the readers have varying
+levels of ability ... and if these affect different categories of demands
+differently".  A :class:`ReaderPanel` samples readers around a
+:class:`QualificationLevel` — expert consultant radiologists, standard
+film readers, or the "less qualified readers assisted by CADTs" that the
+paper's conclusions raise as a cost-effectiveness option.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .bias import AutomationBiasProfile, MILD_BIAS
+from .reader import ReaderModel, ReaderSkill, ReadingProcedure
+
+__all__ = ["QualificationLevel", "SkillDistribution", "ReaderPanel"]
+
+
+@dataclass(frozen=True)
+class SkillDistribution:
+    """Normal distributions over a qualification level's skills.
+
+    Attributes:
+        detection_mean: Mean detection-skill logit shift.
+        classification_mean: Mean classification-skill logit shift.
+        specificity_mean: Mean specificity-skill logit shift.
+        spread: Standard deviation shared by the three skill draws.
+        lapse_rate: Attention-lapse probability for this level.
+    """
+
+    detection_mean: float
+    classification_mean: float
+    specificity_mean: float
+    spread: float
+    lapse_rate: float
+
+    def __post_init__(self) -> None:
+        if self.spread < 0:
+            raise ParameterError(f"spread must be >= 0, got {self.spread!r}")
+        if not 0.0 <= self.lapse_rate <= 1.0:
+            raise ParameterError(f"lapse_rate must be in [0, 1], got {self.lapse_rate!r}")
+
+    def sample(self, rng: np.random.Generator) -> ReaderSkill:
+        """Draw one reader's skill from the distribution."""
+        return ReaderSkill(
+            detection=float(rng.normal(self.detection_mean, self.spread)),
+            classification=float(rng.normal(self.classification_mean, self.spread)),
+            specificity=float(rng.normal(self.specificity_mean, self.spread)),
+            lapse_rate=self.lapse_rate,
+        )
+
+
+class QualificationLevel(enum.Enum):
+    """Reader qualification tiers with associated skill distributions."""
+
+    EXPERT = "expert"
+    STANDARD = "standard"
+    TRAINEE = "trainee"
+
+    @property
+    def distribution(self) -> SkillDistribution:
+        """The skill distribution of this tier."""
+        return _DISTRIBUTIONS[self]
+
+
+_DISTRIBUTIONS = {
+    QualificationLevel.EXPERT: SkillDistribution(
+        detection_mean=0.8,
+        classification_mean=0.7,
+        specificity_mean=0.6,
+        spread=0.25,
+        lapse_rate=0.01,
+    ),
+    QualificationLevel.STANDARD: SkillDistribution(
+        detection_mean=0.0,
+        classification_mean=0.0,
+        specificity_mean=0.0,
+        spread=0.35,
+        lapse_rate=0.02,
+    ),
+    QualificationLevel.TRAINEE: SkillDistribution(
+        detection_mean=-0.9,
+        classification_mean=-0.8,
+        specificity_mean=-0.5,
+        spread=0.45,
+        lapse_rate=0.04,
+    ),
+}
+
+
+class ReaderPanel:
+    """A sampled panel of readers from one or more qualification tiers.
+
+    Args:
+        readers: The panel members, in seniority order.
+    """
+
+    def __init__(self, readers: Sequence[ReaderModel]):
+        if not readers:
+            raise ParameterError("a reader panel needs at least one reader")
+        names = [r.name for r in readers]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"reader names must be unique, got {names!r}")
+        self._readers = tuple(readers)
+
+    @classmethod
+    def sample(
+        cls,
+        num_readers: int,
+        level: QualificationLevel = QualificationLevel.STANDARD,
+        bias: AutomationBiasProfile = MILD_BIAS,
+        procedure: ReadingProcedure = ReadingProcedure.SEQUENTIAL,
+        prompt_effectiveness: float = 0.9,
+        seed: int | None = None,
+    ) -> "ReaderPanel":
+        """Sample a homogeneous panel from one qualification tier.
+
+        Args:
+            num_readers: Panel size (>= 1).
+            level: Qualification tier to draw skills from.
+            bias: Automation-bias profile shared by the panel.
+            procedure: Reading procedure shared by the panel.
+            prompt_effectiveness: Prompt effectiveness shared by the panel.
+            seed: Seed controlling both the skill draws and each reader's
+                private decision stream.
+        """
+        if num_readers < 1:
+            raise ParameterError(f"num_readers must be >= 1, got {num_readers!r}")
+        rng = np.random.default_rng(seed)
+        readers = [
+            ReaderModel(
+                skill=level.distribution.sample(rng),
+                bias=bias,
+                procedure=procedure,
+                prompt_effectiveness=prompt_effectiveness,
+                name=f"{level.value}_{index}",
+                seed=int(rng.integers(0, 2**63 - 1)),
+            )
+            for index in range(num_readers)
+        ]
+        return cls(readers)
+
+    @classmethod
+    def sample_mixed(
+        cls,
+        counts: dict[QualificationLevel, int],
+        bias: AutomationBiasProfile = MILD_BIAS,
+        procedure: ReadingProcedure = ReadingProcedure.SEQUENTIAL,
+        seed: int | None = None,
+    ) -> "ReaderPanel":
+        """Sample a panel mixing qualification tiers.
+
+        Args:
+            counts: Number of readers per tier (tiers with 0 are skipped).
+            bias: Shared bias profile.
+            procedure: Shared reading procedure.
+            seed: Master seed.
+        """
+        rng = np.random.default_rng(seed)
+        readers: list[ReaderModel] = []
+        for level, count in counts.items():
+            if count < 0:
+                raise ParameterError(f"count for {level} must be >= 0, got {count!r}")
+            for index in range(count):
+                readers.append(
+                    ReaderModel(
+                        skill=level.distribution.sample(rng),
+                        bias=bias,
+                        procedure=procedure,
+                        name=f"{level.value}_{index}",
+                        seed=int(rng.integers(0, 2**63 - 1)),
+                    )
+                )
+        return cls(readers)
+
+    @property
+    def readers(self) -> tuple[ReaderModel, ...]:
+        """The panel members."""
+        return self._readers
+
+    def __len__(self) -> int:
+        return len(self._readers)
+
+    def __iter__(self) -> Iterator[ReaderModel]:
+        return iter(self._readers)
+
+    def __getitem__(self, index: int) -> ReaderModel:
+        return self._readers[index]

@@ -1,0 +1,381 @@
+"""The stochastic human reader model.
+
+A :class:`ReaderModel` produces recall/no-recall decisions on screening
+cases, with or without CADT support, through an explicit two-stage
+cognitive process (detection, then classification) whose conditional
+probabilities are available *analytically* as well as by sampling.  The
+analytic side is what lets the test suite verify that simulated trials
+estimate exactly the probabilities the model defines.
+
+For a cancer case the reader:
+
+1. may suffer an attention lapse (misses regardless of skill);
+2. otherwise notices the relevant features with a probability set by the
+   case's latent human detection difficulty, the reader's detection skill,
+   and — when reading with the CADT — the bias effects: prompted features
+   are found almost surely (``prompt_effectiveness``), unprompted ones are
+   missed more often under complacency;
+3. if the features are noticed, classifies them correctly with a
+   probability set by the case's classification difficulty, the reader's
+   classification skill, and prompt persuasion.
+
+For a healthy case the reader recalls (false positive) with a probability
+set by the case's benign "suspiciousness", the reader's specificity skill,
+and false-prompt persuasion per false prompt shown.
+
+The reading *procedure* (Section 3 vs Section 4 of the paper) is a
+behavioural switch: under :attr:`ReadingProcedure.PARALLEL` the reader
+first reads unaided and only then looks at prompts — so complacency and
+persuasion cannot act (the parallel-detection model's premise); under
+:attr:`ReadingProcedure.SEQUENTIAL` the reader sees the prompted films
+directly and all bias effects apply.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_probability
+from ..cadt.algorithm import CadtOutput
+from ..exceptions import ParameterError, SimulationError
+from ..screening.case import Case
+from .bias import NO_BIAS, AutomationBiasProfile
+
+__all__ = ["ReadingProcedure", "ReaderSkill", "ReaderDecision", "ReaderModel"]
+
+
+def _logit(p: float, epsilon: float = 1e-12) -> float:
+    p = min(max(p, epsilon), 1.0 - epsilon)
+    return math.log(p / (1.0 - p))
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+class ReadingProcedure(enum.Enum):
+    """How the reader combines their own reading with the CADT's output."""
+
+    #: Read unaided first, then review the prompts (the tool's intended
+    #: procedure; bias effects are structurally impossible).
+    PARALLEL = "parallel"
+    #: Read the prompted films directly (faster, and the realistic default;
+    #: bias effects apply).
+    SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class ReaderSkill:
+    """A reader's ability, as logit shifts against case difficulty.
+
+    All skills default to 0 (the "average reader" the case difficulties
+    are calibrated against); positive values reduce the corresponding
+    error probability.
+
+    Attributes:
+        detection: Reduces the miss probability on relevant features.
+        classification: Reduces the misclassification probability.
+        specificity: Reduces false recalls of healthy cases.
+        lapse_rate: Probability of an attention lapse per case (a lapse
+            misses the relevant features regardless of skill) — the failure
+            mode the CADT was designed to compensate ("e.g. for lapses of
+            attention").
+    """
+
+    detection: float = 0.0
+    classification: float = 0.0
+    specificity: float = 0.0
+    lapse_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("detection", "classification", "specificity"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ParameterError(f"skill {name} must be finite, got {value!r}")
+        object.__setattr__(
+            self, "lapse_rate", check_probability(self.lapse_rate, "lapse_rate")
+        )
+
+
+@dataclass(frozen=True)
+class ReaderDecision:
+    """The reader's output on one case, with process annotations.
+
+    Attributes:
+        case_id: The decided case.
+        recall: The 1-bit system output: recall the patient or not.
+        noticed_relevant: Whether the relevant features were noticed
+            (``None`` for healthy cases, which have none).
+        lapsed: Whether an attention lapse occurred.
+    """
+
+    case_id: int
+    recall: bool
+    noticed_relevant: bool | None
+    lapsed: bool
+
+
+class ReaderModel:
+    """A stochastic reader with analytic conditional failure probabilities.
+
+    Args:
+        skill: The reader's ability profile.
+        bias: Automation-bias strengths; ignored under the parallel
+            procedure and for unaided reading.
+        procedure: Reading procedure (sequential by default).
+        prompt_effectiveness: Probability in ``[0, 1]`` that a prompt on
+            the relevant features makes the reader examine them regardless
+            of unaided detection — the design goal of the CADT ("to aid the
+            reader to notice all the features ... that ought to be
+            examined").
+        name: Identifier used in trial records.
+        seed: Seed for the reader's private random generator.
+    """
+
+    def __init__(
+        self,
+        skill: ReaderSkill | None = None,
+        bias: AutomationBiasProfile = NO_BIAS,
+        procedure: ReadingProcedure = ReadingProcedure.SEQUENTIAL,
+        prompt_effectiveness: float = 0.9,
+        name: str = "reader",
+        seed: int | None = None,
+    ):
+        self.skill = skill if skill is not None else ReaderSkill()
+        if not isinstance(bias, AutomationBiasProfile):
+            raise ParameterError(f"bias must be an AutomationBiasProfile, got {bias!r}")
+        self.bias = bias
+        self.procedure = ReadingProcedure(procedure)
+        self.prompt_effectiveness = check_probability(
+            prompt_effectiveness, "prompt_effectiveness"
+        )
+        if not name:
+            raise ParameterError("reader name must be non-empty")
+        self.name = name
+        self._rng = np.random.default_rng(seed)
+
+    # -- effective bias -----------------------------------------------------------
+
+    def _active_bias(self, aided: bool) -> AutomationBiasProfile:
+        """The bias actually in force for a reading mode."""
+        if not aided or self.procedure is ReadingProcedure.PARALLEL:
+            return NO_BIAS
+        return self.bias
+
+    # -- analytic probabilities: cancer cases ---------------------------------------
+
+    def p_miss_unaided(self, case: Case) -> float:
+        """Probability of failing to notice the relevant features, unaided."""
+        if not case.has_cancer:
+            raise SimulationError("p_miss_unaided is defined for cancer cases only")
+        attentive_miss = _sigmoid(
+            _logit(case.human_detection_difficulty) - self.skill.detection
+        )
+        return self.skill.lapse_rate + (1.0 - self.skill.lapse_rate) * attentive_miss
+
+    def p_miss_aided(self, case: Case, machine_prompted_relevant: bool) -> float:
+        """Probability of failing to notice the features, reading with the CADT.
+
+        Args:
+            case: A cancer case.
+            machine_prompted_relevant: Whether the CADT prompted the
+                relevant features (machine success) or not (machine
+                failure).
+        """
+        if not case.has_cancer:
+            raise SimulationError("p_miss_aided is defined for cancer cases only")
+        bias = self._active_bias(aided=True)
+        if machine_prompted_relevant:
+            # The prompt drags attention to the features; residual misses
+            # happen when the prompt fails to register AND the reader's own
+            # reading (possibly lapsed) also misses them.
+            return (1.0 - self.prompt_effectiveness) * self.p_miss_unaided(case)
+        # Machine failure: no prompt on the features; complacency makes the
+        # unprompted film less scrutinised than unaided reading would.
+        attentive_miss = _sigmoid(
+            _logit(case.human_detection_difficulty)
+            - self.skill.detection
+            + bias.complacency_shift
+        )
+        return self.skill.lapse_rate + (1.0 - self.skill.lapse_rate) * attentive_miss
+
+    def p_misclassify(self, case: Case, feature_prompted: bool, aided: bool) -> float:
+        """Probability of a wrong decision once the features are noticed."""
+        if not case.has_cancer:
+            raise SimulationError("p_misclassify is defined for cancer cases only")
+        bias = self._active_bias(aided)
+        persuasion = bias.prompt_persuasion if feature_prompted else 0.0
+        return _sigmoid(
+            _logit(case.human_classification_difficulty)
+            - self.skill.classification
+            - persuasion
+        )
+
+    def p_false_negative(
+        self, case: Case, machine_prompted_relevant: bool | None
+    ) -> float:
+        """Overall probability of a false-negative decision on a cancer case.
+
+        Args:
+            case: A cancer case.
+            machine_prompted_relevant: ``True``/``False`` for aided reading
+                with machine success/failure; ``None`` for unaided reading.
+
+        This is the reader-level realisation of the paper's ``PHf|Ms(x)``
+        (``True``), ``PHf|Mf(x)`` (``False``) and the unaided baseline
+        (``None``), evaluated per case rather than per class.
+        """
+        if not case.has_cancer:
+            raise SimulationError("p_false_negative is defined for cancer cases only")
+        if machine_prompted_relevant is None:
+            p_miss = self.p_miss_unaided(case)
+            p_misclass = self.p_misclassify(case, feature_prompted=False, aided=False)
+        else:
+            p_miss = self.p_miss_aided(case, machine_prompted_relevant)
+            p_misclass = self.p_misclassify(
+                case, feature_prompted=machine_prompted_relevant, aided=True
+            )
+        return p_miss + (1.0 - p_miss) * p_misclass
+
+    # -- analytic probabilities: healthy cases ----------------------------------------
+
+    def p_false_positive(self, case: Case, num_false_prompts: int | None) -> float:
+        """Probability of recalling a healthy case.
+
+        Args:
+            case: A healthy case.
+            num_false_prompts: False prompts shown (aided reading), or
+                ``None`` for unaided reading.
+        """
+        if case.has_cancer:
+            raise SimulationError("p_false_positive is defined for healthy cases only")
+        logit = _logit(case.human_classification_difficulty) - self.skill.specificity
+        if num_false_prompts is not None:
+            if num_false_prompts < 0:
+                raise SimulationError(
+                    f"num_false_prompts must be >= 0, got {num_false_prompts!r}"
+                )
+            bias = self._active_bias(aided=True)
+            logit += bias.false_prompt_persuasion * num_false_prompts
+        return _sigmoid(logit)
+
+    # -- sampling -----------------------------------------------------------------------
+
+    def decide(
+        self,
+        case: Case,
+        cadt_output: CadtOutput | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ReaderDecision:
+        """Produce a recall decision on one case.
+
+        Args:
+            case: The case under review.
+            cadt_output: The CADT's annotations, or ``None`` for unaided
+                reading.
+            rng: Random generator; the reader's private one when omitted.
+        """
+        if cadt_output is not None and cadt_output.case_id != case.case_id:
+            raise SimulationError(
+                f"CADT output is for case {cadt_output.case_id}, not {case.case_id}"
+            )
+        rng = rng if rng is not None else self._rng
+
+        if not case.has_cancer:
+            prompts = cadt_output.num_false_prompts if cadt_output is not None else None
+            p_recall = self.p_false_positive(case, prompts)
+            return ReaderDecision(
+                case_id=case.case_id,
+                recall=bool(rng.random() < p_recall),
+                noticed_relevant=None,
+                lapsed=False,
+            )
+
+        lapsed = bool(rng.random() < self.skill.lapse_rate)
+        if cadt_output is None:
+            prompted = None
+            if lapsed:
+                noticed = False
+            else:
+                attentive_miss = _sigmoid(
+                    _logit(case.human_detection_difficulty) - self.skill.detection
+                )
+                noticed = bool(rng.random() >= attentive_miss)
+        else:
+            prompted = cadt_output.prompted_relevant
+            if prompted:
+                # Prompt registers with probability prompt_effectiveness;
+                # otherwise fall back to (possibly lapsed) unaided reading.
+                if rng.random() < self.prompt_effectiveness:
+                    noticed = True
+                elif lapsed:
+                    noticed = False
+                else:
+                    attentive_miss = _sigmoid(
+                        _logit(case.human_detection_difficulty) - self.skill.detection
+                    )
+                    noticed = bool(rng.random() >= attentive_miss)
+            else:
+                if lapsed:
+                    noticed = False
+                else:
+                    bias = self._active_bias(aided=True)
+                    attentive_miss = _sigmoid(
+                        _logit(case.human_detection_difficulty)
+                        - self.skill.detection
+                        + bias.complacency_shift
+                    )
+                    noticed = bool(rng.random() >= attentive_miss)
+
+        if not noticed:
+            return ReaderDecision(
+                case_id=case.case_id, recall=False, noticed_relevant=False, lapsed=lapsed
+            )
+        p_misclass = self.p_misclassify(
+            case,
+            feature_prompted=bool(prompted),
+            aided=cadt_output is not None,
+        )
+        return ReaderDecision(
+            case_id=case.case_id,
+            recall=bool(rng.random() >= p_misclass),
+            noticed_relevant=True,
+            lapsed=lapsed,
+        )
+
+    # -- variants --------------------------------------------------------------------------
+
+    def with_bias(self, bias: AutomationBiasProfile) -> "ReaderModel":
+        """A copy of this reader with a different bias profile (fresh RNG)."""
+        return ReaderModel(
+            skill=self.skill,
+            bias=bias,
+            procedure=self.procedure,
+            prompt_effectiveness=self.prompt_effectiveness,
+            name=self.name,
+        )
+
+    def with_procedure(self, procedure: ReadingProcedure) -> "ReaderModel":
+        """A copy of this reader using a different reading procedure."""
+        return ReaderModel(
+            skill=self.skill,
+            bias=self.bias,
+            procedure=procedure,
+            prompt_effectiveness=self.prompt_effectiveness,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReaderModel(name={self.name!r}, procedure={self.procedure.value!r}, "
+            f"skill=({self.skill.detection:+.2f}, {self.skill.classification:+.2f}, "
+            f"{self.skill.specificity:+.2f}), lapse={self.skill.lapse_rate:.3f})"
+        )

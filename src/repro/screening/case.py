@@ -1,0 +1,122 @@
+"""Synthetic screening cases (the "demands" of the composite system).
+
+The paper's demands are sets of X-ray films about a single patient.  We
+cannot ship clinical images, so a :class:`Case` carries instead the
+*latent structure* that the paper's models actually consume: descriptive
+attributes (lesion type, breast density, lesion subtlety) and the per-case
+conditional failure probabilities they induce — the machine's and the
+reader's "difficulty" on the case, in the sense of Section 4's
+``pMf(x)``-style per-case parameters.
+
+The descriptive attributes matter because classifiers
+(:mod:`repro.screening.classifier`) may only use *observable* features to
+group cases into classes, exactly as an experimenter would; the latent
+difficulties are the ground truth the simulators sample against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .._validation import check_probability
+
+__all__ = ["LesionType", "Case"]
+
+
+class LesionType(enum.Enum):
+    """Radiological lesion categories with distinct difficulty signatures.
+
+    The relative difficulty patterns follow the mammography CAD
+    literature's qualitative consensus: pattern-matching algorithms are
+    strong on microcalcification clusters, weaker on masses, and weakest on
+    architectural distortions and asymmetries, while human difficulty is
+    driven more by subtlety and tissue density.
+    """
+
+    MICROCALCIFICATION = "microcalcification"
+    MASS = "mass"
+    ARCHITECTURAL_DISTORTION = "architectural_distortion"
+    ASYMMETRY = "asymmetry"
+
+
+@dataclass(frozen=True)
+class Case:
+    """One patient's screening episode.
+
+    Attributes:
+        case_id: Unique identifier within the generating population.
+        has_cancer: Ground truth; decisions are judged against this.
+        lesion_type: The cancer's radiological appearance; ``None`` for
+            healthy cases.
+        breast_density: Observable tissue density in ``[0, 1]``; dense
+            tissue obscures lesions for both components.
+        subtlety: How faint the cancer's signs are, in ``[0, 1]``
+            (0 = obvious, 1 = near-invisible); 0 for healthy cases.
+        machine_difficulty: Per-case probability that the CADT fails to
+            prompt the relevant features (``pMf(x)``); for healthy cases
+            this is instead the probability of *no* false prompt being
+            relevant, and is kept at 0 by convention.
+        human_detection_difficulty: Per-case probability that an average
+            unaided reader fails to notice the relevant features
+            (``pHmiss(x)``); 0 for healthy cases.
+        human_classification_difficulty: Per-case probability that the
+            reader mis-judges the features once seen (``pHmisclass(x)``
+            for cancers; for healthy cases, the probability that benign
+            features look suspicious enough to recall).
+        distractor_level: Density of benign features that attract false
+            prompts and false recalls, in ``[0, 1]``.
+    """
+
+    case_id: int
+    has_cancer: bool
+    lesion_type: LesionType | None
+    breast_density: float
+    subtlety: float
+    machine_difficulty: float
+    human_detection_difficulty: float
+    human_classification_difficulty: float
+    distractor_level: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "breast_density", check_probability(self.breast_density, "breast_density")
+        )
+        object.__setattr__(self, "subtlety", check_probability(self.subtlety, "subtlety"))
+        object.__setattr__(
+            self,
+            "machine_difficulty",
+            check_probability(self.machine_difficulty, "machine_difficulty"),
+        )
+        object.__setattr__(
+            self,
+            "human_detection_difficulty",
+            check_probability(
+                self.human_detection_difficulty, "human_detection_difficulty"
+            ),
+        )
+        object.__setattr__(
+            self,
+            "human_classification_difficulty",
+            check_probability(
+                self.human_classification_difficulty, "human_classification_difficulty"
+            ),
+        )
+        object.__setattr__(
+            self,
+            "distractor_level",
+            check_probability(self.distractor_level, "distractor_level"),
+        )
+        if self.has_cancer and self.lesion_type is None:
+            raise ValueError(f"cancer case {self.case_id} must have a lesion type")
+        if not self.has_cancer and self.lesion_type is not None:
+            raise ValueError(f"healthy case {self.case_id} must not have a lesion type")
+
+    @property
+    def overall_difficulty(self) -> float:
+        """A scalar summary used by coarse classifiers: mean of the latent difficulties."""
+        return (
+            self.machine_difficulty
+            + self.human_detection_difficulty
+            + self.human_classification_difficulty
+        ) / 3.0

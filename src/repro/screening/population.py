@@ -1,0 +1,247 @@
+"""Synthetic screening-population generator.
+
+Generates :class:`~repro.screening.case.Case` streams with the statistical
+structure the paper's analysis depends on:
+
+* low cancer prevalence in the field (< 1% in the paper's screened
+  population), with enriched sampling available for trials;
+* per-case difficulty that varies systematically with observable features
+  (lesion type, subtlety, breast density);
+* a controllable *correlation* between difficulty-for-the-machine and
+  difficulty-for-the-reader — the knob behind all the diversity analysis:
+  at high correlation the two components fail on the same cases
+  (common-mode weakness), at zero they fail diversely.
+
+Difficulties are produced by a logistic transform of a linear latent
+model: a shared standard-normal factor (weighted by
+``difficulty_correlation``) plus independent component-specific noise,
+shifted by lesion-type base levels and the observable covariates.  The
+logistic keeps every per-case probability in ``(0, 1)`` smoothly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._validation import check_probability
+from ..exceptions import SimulationError
+from .case import Case, LesionType
+
+__all__ = ["LesionProfile", "PopulationModel", "DEFAULT_LESION_PROFILES"]
+
+
+def _sigmoid(x: float) -> float:
+    """Numerically stable logistic function."""
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+@dataclass(frozen=True)
+class LesionProfile:
+    """Base difficulty signature of one lesion type.
+
+    The values are logits: 0 maps to difficulty 0.5, -2 to ~0.12, +2 to
+    ~0.88.  Covariate effects are added on top before the logistic.
+
+    Attributes:
+        lesion_type: The lesion category this profile describes.
+        frequency: Relative frequency of this lesion type among cancers.
+        machine_base: Base logit of the CADT's per-case miss probability.
+        human_detection_base: Base logit of the reader's unaided miss
+            probability.
+        human_classification_base: Base logit of the reader's
+            misclassification probability once features are seen.
+    """
+
+    lesion_type: LesionType
+    frequency: float
+    machine_base: float
+    human_detection_base: float
+    human_classification_base: float
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0:
+            raise SimulationError(
+                f"lesion frequency must be non-negative, got {self.frequency!r}"
+            )
+
+
+#: Literature-flavoured default mix: CADTs excel at microcalcifications,
+#: struggle with distortions; readers are the other way around for
+#: classification.  Frequencies are a plausible screening mix.
+DEFAULT_LESION_PROFILES: tuple[LesionProfile, ...] = (
+    LesionProfile(LesionType.MICROCALCIFICATION, 0.30, -3.2, -1.6, -2.2),
+    LesionProfile(LesionType.MASS, 0.45, -2.0, -1.9, -2.0),
+    LesionProfile(LesionType.ARCHITECTURAL_DISTORTION, 0.15, -0.6, -1.0, -1.4),
+    LesionProfile(LesionType.ASYMMETRY, 0.10, -0.9, -1.2, -1.6),
+)
+
+
+class PopulationModel:
+    """Generator of synthetic screening cases.
+
+    Args:
+        prevalence: Fraction of screened patients with cancer (the paper
+            cites < 1%; default 0.006).
+        lesion_profiles: Difficulty signatures and mix of lesion types.
+        difficulty_correlation: Weight in ``[0, 1]`` of the latent factor
+            shared between machine and reader detection difficulty; 0 makes
+            the components' per-case difficulties (conditionally on the
+            covariates) independent, 1 makes them move together.
+        subtlety_spread: Scale of the subtlety effect on detection logits.
+        density_spread: Scale of the breast-density effect.
+        noise_scale: Scale of the component-specific latent noise.
+        seed: Seed for the internal random generator (streams are
+            reproducible per seed).
+    """
+
+    def __init__(
+        self,
+        prevalence: float = 0.006,
+        lesion_profiles: Sequence[LesionProfile] = DEFAULT_LESION_PROFILES,
+        difficulty_correlation: float = 0.5,
+        subtlety_spread: float = 3.0,
+        density_spread: float = 1.2,
+        noise_scale: float = 0.6,
+        seed: int | None = None,
+    ):
+        self.prevalence = check_probability(prevalence, "prevalence")
+        if not lesion_profiles:
+            raise SimulationError("at least one lesion profile is required")
+        total_frequency = math.fsum(p.frequency for p in lesion_profiles)
+        if total_frequency <= 0:
+            raise SimulationError("lesion frequencies must have a positive sum")
+        self.lesion_profiles = tuple(lesion_profiles)
+        self._lesion_weights = np.array(
+            [p.frequency / total_frequency for p in lesion_profiles]
+        )
+        self.difficulty_correlation = check_probability(
+            difficulty_correlation, "difficulty_correlation"
+        )
+        if subtlety_spread < 0 or density_spread < 0 or noise_scale < 0:
+            raise SimulationError("spread and noise parameters must be non-negative")
+        self.subtlety_spread = float(subtlety_spread)
+        self.density_spread = float(density_spread)
+        self.noise_scale = float(noise_scale)
+        self._rng = np.random.default_rng(seed)
+        self._next_id = 0
+
+    # -- single-case generation -------------------------------------------------
+
+    def _new_id(self) -> int:
+        case_id = self._next_id
+        self._next_id += 1
+        return case_id
+
+    def _draw_density(self) -> float:
+        # Beta(2.2, 2.8): most women mid-density, tails in both directions.
+        return float(self._rng.beta(2.2, 2.8))
+
+    def generate_cancer_case(self) -> Case:
+        """Generate one case that truly has cancer."""
+        profile_index = int(self._rng.choice(len(self.lesion_profiles), p=self._lesion_weights))
+        profile = self.lesion_profiles[profile_index]
+        density = self._draw_density()
+        # Beta(1.8, 2.4): most screening-detected cancers are moderately
+        # subtle; frank cancers (low subtlety) are commoner than invisible ones.
+        subtlety = float(self._rng.beta(1.8, 2.4))
+
+        shared = float(self._rng.normal())
+        rho = self.difficulty_correlation
+        machine_latent = rho * shared + math.sqrt(1.0 - rho * rho) * float(
+            self._rng.normal()
+        )
+        human_latent = rho * shared + math.sqrt(1.0 - rho * rho) * float(
+            self._rng.normal()
+        )
+
+        covariates = self.subtlety_spread * (subtlety - 0.5) + self.density_spread * (
+            density - 0.5
+        )
+        machine_difficulty = _sigmoid(
+            profile.machine_base + covariates + self.noise_scale * machine_latent
+        )
+        human_detection = _sigmoid(
+            profile.human_detection_base + covariates + self.noise_scale * human_latent
+        )
+        human_classification = _sigmoid(
+            profile.human_classification_base
+            + 0.5 * covariates
+            + self.noise_scale * 0.5 * human_latent
+        )
+        return Case(
+            case_id=self._new_id(),
+            has_cancer=True,
+            lesion_type=profile.lesion_type,
+            breast_density=density,
+            subtlety=subtlety,
+            machine_difficulty=machine_difficulty,
+            human_detection_difficulty=human_detection,
+            human_classification_difficulty=human_classification,
+            distractor_level=float(self._rng.beta(2.0, 5.0)),
+        )
+
+    def generate_healthy_case(self) -> Case:
+        """Generate one case without cancer.
+
+        Healthy cases carry a ``distractor_level`` (benign features that
+        attract false prompts and false recalls) and a classification
+        difficulty (the probability an average reader finds the benign
+        features suspicious); detection difficulties are zero by
+        convention since there is nothing to detect.
+        """
+        density = self._draw_density()
+        distractors = float(self._rng.beta(2.0, 4.0))
+        suspiciousness = _sigmoid(
+            -3.0 + 2.2 * distractors + 1.0 * (density - 0.5)
+            + self.noise_scale * float(self._rng.normal())
+        )
+        return Case(
+            case_id=self._new_id(),
+            has_cancer=False,
+            lesion_type=None,
+            breast_density=density,
+            subtlety=0.0,
+            machine_difficulty=0.0,
+            human_detection_difficulty=0.0,
+            human_classification_difficulty=suspiciousness,
+            distractor_level=distractors,
+        )
+
+    def generate_case(self) -> Case:
+        """Generate one case with cancer at the model's prevalence."""
+        if float(self._rng.random()) < self.prevalence:
+            return self.generate_cancer_case()
+        return self.generate_healthy_case()
+
+    # -- batch generation ---------------------------------------------------------
+
+    def generate(self, num_cases: int) -> list[Case]:
+        """Generate ``num_cases`` cases at the field prevalence."""
+        if num_cases < 0:
+            raise SimulationError(f"num_cases must be non-negative, got {num_cases!r}")
+        return [self.generate_case() for _ in range(num_cases)]
+
+    def generate_cancers(self, num_cases: int) -> list[Case]:
+        """Generate ``num_cases`` cancer cases (for enriched trial sets)."""
+        if num_cases < 0:
+            raise SimulationError(f"num_cases must be non-negative, got {num_cases!r}")
+        return [self.generate_cancer_case() for _ in range(num_cases)]
+
+    def generate_healthy(self, num_cases: int) -> list[Case]:
+        """Generate ``num_cases`` healthy cases."""
+        if num_cases < 0:
+            raise SimulationError(f"num_cases must be non-negative, got {num_cases!r}")
+        return [self.generate_healthy_case() for _ in range(num_cases)]
+
+    def stream(self) -> Iterator[Case]:
+        """Endless stream of cases at the field prevalence."""
+        while True:
+            yield self.generate_case()

@@ -1,0 +1,96 @@
+"""Named screening-scenario presets.
+
+Ready-made population configurations for the situations the paper's
+Section 5 extrapolation items describe — different environments of use
+differ in prevalence, case mix, and how correlated the machine's and the
+readers' difficulties are.  Each preset returns a fresh, independently
+seeded :class:`~repro.screening.population.PopulationModel` so studies can
+hold everything else fixed and vary only the environment.
+
+The parameter choices are synthetic but directionally faithful to the
+screening literature: routine screening has very low prevalence; younger
+populations have denser tissue (harder for everyone — higher correlation);
+symptomatic/diagnostic clinics see far more cancers and more obvious ones.
+"""
+
+from __future__ import annotations
+
+from .population import DEFAULT_LESION_PROFILES, LesionProfile, PopulationModel
+
+__all__ = [
+    "routine_screening_population",
+    "young_cohort_population",
+    "symptomatic_clinic_population",
+    "low_correlation_population",
+]
+
+
+def routine_screening_population(seed: int | None = None) -> PopulationModel:
+    """A routine national screening programme.
+
+    Prevalence well under 1% (the paper: "cancers are rare in the screened
+    population, less than 1%"), a standard lesion mix, and moderate
+    machine-human difficulty correlation.
+    """
+    return PopulationModel(
+        prevalence=0.006,
+        difficulty_correlation=0.5,
+        seed=seed,
+    )
+
+
+def young_cohort_population(seed: int | None = None) -> PopulationModel:
+    """A younger screening cohort (e.g. extending the age range down).
+
+    Lower prevalence, denser tissue (density effect amplified), and higher
+    machine-human correlation: density obscures lesions for the algorithm
+    and the reader alike, so their failures cluster — the common-mode
+    regime Section 6.2 warns about.
+    """
+    return PopulationModel(
+        prevalence=0.003,
+        difficulty_correlation=0.75,
+        density_spread=1.8,
+        seed=seed,
+    )
+
+
+def symptomatic_clinic_population(seed: int | None = None) -> PopulationModel:
+    """A symptomatic (diagnostic) clinic rather than a screening programme.
+
+    Much higher prevalence and generally less subtle presentations — the
+    environment where FN-heavy operating points become defensible
+    (compare :func:`repro.core.tradeoff.expected_cost` at 5-30%
+    prevalence).
+    """
+    profiles = tuple(
+        LesionProfile(
+            lesion_type=p.lesion_type,
+            frequency=p.frequency,
+            machine_base=p.machine_base - 0.6,
+            human_detection_base=p.human_detection_base - 0.8,
+            human_classification_base=p.human_classification_base - 0.4,
+        )
+        for p in DEFAULT_LESION_PROFILES
+    )
+    return PopulationModel(
+        prevalence=0.15,
+        lesion_profiles=profiles,
+        difficulty_correlation=0.5,
+        seed=seed,
+    )
+
+
+def low_correlation_population(seed: int | None = None) -> PopulationModel:
+    """A population where machine and reader difficulties are independent.
+
+    The "useful diversity" regime: the cases the algorithm struggles with
+    are not the ones the readers struggle with, so redundancy buys close
+    to its independent-failure maximum (equation (3) with cov ~ 0).  Used
+    by the diversity ablations as the favourable contrast case.
+    """
+    return PopulationModel(
+        prevalence=0.006,
+        difficulty_correlation=0.0,
+        seed=seed,
+    )

@@ -1,0 +1,207 @@
+"""Workloads: concrete sequences of cases with known composition.
+
+A :class:`Workload` is what actually gets fed to simulated systems and
+trials — a finite, materialised sequence of cases plus bookkeeping.  The
+two builders mirror the paper's central contrast:
+
+* :func:`field_workload` — cases drawn at the population's natural
+  prevalence (cancers are rare, < 1%);
+* :func:`trial_workload` — the enriched mix used in controlled trials,
+  "chosen to have a much higher proportion of cancers ... to make the
+  trial reasonably short".
+
+:func:`empirical_profile` recovers the demand profile a classifier induces
+over a workload's cancer cases, which is the ``p(x)`` the models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .._validation import check_probability
+from ..core.profile import DemandProfile
+from ..exceptions import SimulationError
+from .case import Case
+from .classifier import CaseClassifier
+from .population import PopulationModel
+
+__all__ = ["Workload", "field_workload", "trial_workload", "empirical_profile"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, finite sequence of screening cases.
+
+    Attributes:
+        name: Human-readable label (e.g. ``"field"``, ``"trial"``).
+        cases: The cases, in presentation order.
+    """
+
+    name: str
+    cases: tuple[Case, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cases", tuple(self.cases))
+        if not self.name:
+            raise SimulationError("workload name must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self) -> Iterator[Case]:
+        return iter(self.cases)
+
+    @property
+    def cancer_cases(self) -> tuple[Case, ...]:
+        """The subset of cases with cancer, in order."""
+        return tuple(case for case in self.cases if case.has_cancer)
+
+    @property
+    def healthy_cases(self) -> tuple[Case, ...]:
+        """The subset of cases without cancer, in order."""
+        return tuple(case for case in self.cases if not case.has_cancer)
+
+    @property
+    def cancer_fraction(self) -> float:
+        """Observed fraction of cancer cases (0 for an empty workload)."""
+        if not self.cases:
+            return 0.0
+        return len(self.cancer_cases) / len(self.cases)
+
+    def split_by_truth(self) -> tuple["Workload", "Workload"]:
+        """Split into (cancers, healthy) sub-workloads."""
+        return (
+            Workload(f"{self.name}/cancers", self.cancer_cases),
+            Workload(f"{self.name}/healthy", self.healthy_cases),
+        )
+
+
+def field_workload(
+    population: PopulationModel, num_cases: int, name: str = "field"
+) -> Workload:
+    """Cases at the population's natural prevalence.
+
+    Args:
+        population: The generating population model (carries its own RNG).
+        num_cases: How many cases to draw.
+        name: Workload label.
+    """
+    return Workload(name, tuple(population.generate(num_cases)))
+
+
+def trial_workload(
+    population: PopulationModel,
+    num_cases: int,
+    cancer_fraction: float = 0.5,
+    name: str = "trial",
+    subtlety_enrichment: float = 0.0,
+    selection_seed: int | None = None,
+) -> Workload:
+    """An enriched case mix, as used in controlled trials.
+
+    The number of cancers is the expected count rounded to nearest, so the
+    realised fraction matches ``cancer_fraction`` as closely as an integer
+    split allows.
+
+    Besides enriching the cancer *fraction*, real trial case sets are also
+    deliberately selected for composition — typically overweighting subtle
+    presentations to stress the tool (the paper's Table 1 trial has twice
+    the field's share of "difficult" cases).  ``subtlety_enrichment``
+    models that selection: cancers are rejection-sampled with acceptance
+    probability ``exp(subtlety_enrichment * (subtlety - 1))``, so positive
+    values tilt the mix toward subtle (difficult) cancers while 0 keeps
+    the population's natural cancer mix.
+
+    Args:
+        population: The generating population model.
+        num_cases: Total number of cases.
+        cancer_fraction: Target fraction of cancer cases (the paper's
+            trials used a "much higher proportion of cancers" than <1%).
+        name: Workload label.
+        subtlety_enrichment: Strength (>= 0) of the selection bias toward
+            subtle cancer presentations; 0 disables selection.
+        selection_seed: Seed for the rejection-sampling draws (only used
+            when ``subtlety_enrichment`` > 0).
+    """
+    cancer_fraction = check_probability(cancer_fraction, "cancer_fraction")
+    if num_cases < 0:
+        raise SimulationError(f"num_cases must be non-negative, got {num_cases!r}")
+    if subtlety_enrichment < 0:
+        raise SimulationError(
+            f"subtlety_enrichment must be >= 0, got {subtlety_enrichment!r}"
+        )
+    num_cancers = round(num_cases * cancer_fraction)
+    if subtlety_enrichment > 0:
+        import math
+
+        import numpy as np
+
+        selection_rng = np.random.default_rng(selection_seed)
+        cancers: list[Case] = []
+        attempts = 0
+        max_attempts = max(1000, num_cancers * 200)
+        while len(cancers) < num_cancers:
+            if attempts >= max_attempts:
+                raise SimulationError(
+                    "subtlety enrichment rejection sampling did not converge; "
+                    "lower subtlety_enrichment or check the population model"
+                )
+            candidate = population.generate_cancer_case()
+            attempts += 1
+            acceptance = math.exp(subtlety_enrichment * (candidate.subtlety - 1.0))
+            if float(selection_rng.random()) < acceptance:
+                cancers.append(candidate)
+    else:
+        cancers = population.generate_cancers(num_cancers)
+    healthy = population.generate_healthy(num_cases - num_cancers)
+    # Interleave deterministically so truth is not correlated with position.
+    combined: list[Case] = []
+    cancer_iter, healthy_iter = iter(cancers), iter(healthy)
+    remaining_cancers, remaining_healthy = len(cancers), len(healthy)
+    credit = 0.0
+    for _ in range(num_cases):
+        take_cancer = remaining_cancers > 0 and (
+            remaining_healthy == 0 or credit + cancer_fraction >= 1.0
+        )
+        if take_cancer:
+            combined.append(next(cancer_iter))
+            remaining_cancers -= 1
+            credit += cancer_fraction - 1.0
+        else:
+            combined.append(next(healthy_iter))
+            remaining_healthy -= 1
+            credit += cancer_fraction
+    return Workload(name, tuple(combined))
+
+
+def empirical_profile(
+    cases: Iterable[Case],
+    classifier: CaseClassifier,
+    cancers_only: bool = True,
+) -> DemandProfile:
+    """The demand profile a classifier induces over a set of cases.
+
+    Args:
+        cases: Cases to classify (a workload iterates as its cases).
+        classifier: The classification criterion.
+        cancers_only: Restrict to cancer cases (the false-negative model's
+            demand space) — the default, matching the paper's Section 2.3
+            restriction; set ``False`` for the false-positive side.
+
+    Raises:
+        SimulationError: if no (matching) cases are supplied.
+    """
+    counts: dict[str, int] = {}
+    for case in cases:
+        if cancers_only and not case.has_cancer:
+            continue
+        if not cancers_only and case.has_cancer:
+            continue
+        counts[classifier.classify(case).name] = (
+            counts.get(classifier.classify(case).name, 0) + 1
+        )
+    if not counts:
+        kind = "cancer" if cancers_only else "healthy"
+        raise SimulationError(f"no {kind} cases supplied; cannot form a profile")
+    return DemandProfile.from_counts(counts)

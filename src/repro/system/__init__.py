@@ -1,0 +1,45 @@
+"""Composite human-machine screening systems and their empirical evaluation.
+
+The configurations the paper discusses, as runnable simulators: unaided
+reading, the CADT-assisted single reader (Figure 1), double reading, and
+the Section 7 extension of two readers sharing a CADT.
+"""
+
+from .analytic import (
+    derive_class_parameters,
+    derive_false_positive_class_parameters,
+    derive_model,
+    derive_operating_point,
+    derive_two_sided_model,
+)
+from .economics import ConfigurationCost, CostModel, price_configuration
+from .multireader import AssistedDoubleReading, DoubleReading, RecallPolicy
+from .simulate import (
+    RateEstimate,
+    SystemEvaluation,
+    compare_systems,
+    evaluate_system,
+)
+from .single import AssistedReading, ScreeningSystem, SystemDecision, UnaidedReading
+
+__all__ = [
+    "SystemDecision",
+    "ScreeningSystem",
+    "UnaidedReading",
+    "AssistedReading",
+    "RecallPolicy",
+    "DoubleReading",
+    "AssistedDoubleReading",
+    "RateEstimate",
+    "SystemEvaluation",
+    "evaluate_system",
+    "compare_systems",
+    "derive_class_parameters",
+    "derive_model",
+    "derive_false_positive_class_parameters",
+    "derive_two_sided_model",
+    "derive_operating_point",
+    "CostModel",
+    "ConfigurationCost",
+    "price_configuration",
+]

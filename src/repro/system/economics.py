@@ -1,0 +1,149 @@
+"""Screening-programme economics: cost-effectiveness of configurations.
+
+The paper's conclusions motivate the richer configurations economically:
+"more complex combinations have also been considered ... to improve the
+cost-effectiveness of screening programmes; e.g. with two readers assisted
+by a CADT, or less qualified readers assisted by CADTs".  This module
+prices a configuration's operation and failures so those comparisons can
+be made on one axis.
+
+The cost model is deliberately simple and fully explicit:
+
+* **reading cost** — reader-minutes per case, priced per reader tier and
+  multiplied by the number of readers (and arbitration rate, if any);
+* **machine cost** — per-case processing cost when a CADT is used;
+* **recall cost** — every recalled patient triggers assessment costs
+  (and, for healthy patients, is also the false-positive harm);
+* **missed-cancer cost** — the dominant harm, per false negative.
+
+Costs are in abstract "units"; only ratios matter to the comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_probability
+from ..exceptions import SimulationError
+
+__all__ = ["CostModel", "ConfigurationCost", "price_configuration"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs of running a screening configuration.
+
+    Attributes:
+        reader_cost_per_case: Cost of one reader reading one case (use the
+            tier's wage; trainees cost less than consultants).
+        machine_cost_per_case: Cost of CADT processing per case.
+        recall_cost: Assessment cost per recalled patient.
+        missed_cancer_cost: Harm cost per false negative.
+    """
+
+    reader_cost_per_case: float = 1.0
+    machine_cost_per_case: float = 0.1
+    recall_cost: float = 20.0
+    missed_cancer_cost: float = 2000.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "reader_cost_per_case",
+            "machine_cost_per_case",
+            "recall_cost",
+            "missed_cancer_cost",
+        ):
+            value = getattr(self, name)
+            if not value >= 0:
+                raise SimulationError(f"{name} must be >= 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ConfigurationCost:
+    """The per-screened-patient economics of one configuration.
+
+    Attributes:
+        name: The configuration priced.
+        operating_cost: Reading + machine cost per case.
+        failure_cost: Expected recall + missed-cancer cost per case.
+        cancers_detected_per_case: Expected true positives per screened
+            patient (prevalence times sensitivity).
+    """
+
+    name: str
+    operating_cost: float
+    failure_cost: float
+    cancers_detected_per_case: float
+
+    @property
+    def total_cost(self) -> float:
+        """Total expected cost per screened patient."""
+        return self.operating_cost + self.failure_cost
+
+    @property
+    def cost_per_cancer_detected(self) -> float:
+        """The programme's headline cost-effectiveness figure.
+
+        Infinite when the configuration detects nothing.
+        """
+        if self.cancers_detected_per_case <= 0.0:
+            return float("inf")
+        return self.total_cost / self.cancers_detected_per_case
+
+
+def price_configuration(
+    name: str,
+    p_false_negative: float,
+    p_false_positive: float,
+    prevalence: float,
+    cost_model: CostModel,
+    num_readers: int = 1,
+    uses_machine: bool = False,
+    reader_cost_multiplier: float = 1.0,
+    arbitration_rate: float = 0.0,
+) -> ConfigurationCost:
+    """Price one configuration from its system-level error rates.
+
+    Args:
+        name: Label for the configuration.
+        p_false_negative: System FN probability (per cancer case).
+        p_false_positive: System FP probability (per healthy case).
+        prevalence: Fraction of screened patients with cancer.
+        cost_model: The unit costs.
+        num_readers: Readers per case (2 for double reading).
+        uses_machine: Whether a CADT processes every case.
+        reader_cost_multiplier: Relative cost of this configuration's
+            readers (e.g. 0.5 for trainees, 1.5 for consultants).
+        arbitration_rate: Fraction of cases needing a third (arbiter)
+            reading.
+    """
+    p_false_negative = check_probability(p_false_negative, "p_false_negative")
+    p_false_positive = check_probability(p_false_positive, "p_false_positive")
+    prevalence = check_probability(prevalence, "prevalence")
+    arbitration_rate = check_probability(arbitration_rate, "arbitration_rate")
+    if num_readers < 1:
+        raise SimulationError(f"num_readers must be >= 1, got {num_readers!r}")
+    if reader_cost_multiplier < 0:
+        raise SimulationError(
+            f"reader_cost_multiplier must be >= 0, got {reader_cost_multiplier!r}"
+        )
+
+    readings_per_case = num_readers + arbitration_rate
+    operating = (
+        readings_per_case * cost_model.reader_cost_per_case * reader_cost_multiplier
+    )
+    if uses_machine:
+        operating += cost_model.machine_cost_per_case
+
+    sensitivity = 1.0 - p_false_negative
+    recall_rate = prevalence * sensitivity + (1.0 - prevalence) * p_false_positive
+    failure = (
+        recall_rate * cost_model.recall_cost
+        + prevalence * p_false_negative * cost_model.missed_cancer_cost
+    )
+    return ConfigurationCost(
+        name=name,
+        operating_cost=operating,
+        failure_cost=failure,
+        cancers_detected_per_case=prevalence * sensitivity,
+    )

@@ -1,0 +1,154 @@
+"""Multi-reader screening configurations (Section 7's extensions).
+
+The paper's conclusions point at "more complex combinations ... e.g. with
+two readers assisted by a CADT, or less qualified readers assisted by
+CADTs", against the U.K. practice baseline of double reading.  This module
+implements those configurations over the same reader/CADT substrates:
+
+* :class:`DoubleReading` — two unaided readers with a recall policy;
+* :class:`AssistedDoubleReading` — two readers who both see the same
+  CADT output for each case (the films are processed once);
+* recall policies: recall if *either* recalls (maximises sensitivity),
+  only if *both* agree (maximises specificity), or *arbitration* by a
+  third reader on disagreements (common U.K. practice).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from ..cadt.tool import Cadt
+from ..exceptions import SimulationError
+from ..reader.reader import ReaderModel
+from ..screening.case import Case
+from .single import SystemDecision
+
+__all__ = ["RecallPolicy", "DoubleReading", "AssistedDoubleReading"]
+
+
+class RecallPolicy(enum.Enum):
+    """How two readers' decisions combine into the system decision."""
+
+    #: Recall if either reader recalls (1-out-of-2 on detection of cancer).
+    EITHER = "either"
+    #: Recall only if both readers recall (2-out-of-2).
+    UNANIMOUS = "unanimous"
+    #: On disagreement, a third reader (the arbiter) decides.
+    ARBITRATION = "arbitration"
+
+
+def _combine(
+    first_recall: bool,
+    second_recall: bool,
+    policy: RecallPolicy,
+    arbiter_recall,
+) -> bool:
+    if policy is RecallPolicy.EITHER:
+        return first_recall or second_recall
+    if policy is RecallPolicy.UNANIMOUS:
+        return first_recall and second_recall
+    if first_recall == second_recall:
+        return first_recall
+    return bool(arbiter_recall())
+
+
+class DoubleReading:
+    """Two unaided readers with a recall policy (U.K. practice baseline).
+
+    Args:
+        readers: Exactly two reader models.
+        policy: How the two decisions combine.
+        arbiter: Third reader deciding disagreements; required for the
+            arbitration policy, ignored otherwise.
+        name: Evaluation label.
+    """
+
+    def __init__(
+        self,
+        readers: Sequence[ReaderModel],
+        policy: RecallPolicy = RecallPolicy.EITHER,
+        arbiter: ReaderModel | None = None,
+        name: str | None = None,
+    ):
+        if len(readers) != 2:
+            raise SimulationError(f"double reading needs exactly 2 readers, got {len(readers)}")
+        self.readers = tuple(readers)
+        self.policy = RecallPolicy(policy)
+        if self.policy is RecallPolicy.ARBITRATION and arbiter is None:
+            raise SimulationError("the arbitration policy requires an arbiter reader")
+        self.arbiter = arbiter
+        self._name = name if name is not None else f"double_{self.policy.value}"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def decide(self, case: Case) -> SystemDecision:
+        first = self.readers[0].decide(case, None)
+        second = self.readers[1].decide(case, None)
+        recall = _combine(
+            first.recall,
+            second.recall,
+            self.policy,
+            lambda: self.arbiter.decide(case, None).recall,
+        )
+        return SystemDecision(case_id=case.case_id, recall=recall, machine_failed=None)
+
+
+class AssistedDoubleReading:
+    """Two readers, each seeing the same CADT output, with a recall policy.
+
+    The CADT processes each case once; both readers review the same
+    prompted films — so the machine's failures are a *common* influence on
+    both readers, the system-level analogue of common-mode failure.
+
+    Args:
+        readers: Exactly two reader models.
+        cadt: The shared advisory tool.
+        policy: How the two decisions combine.
+        arbiter: Third reader for the arbitration policy; the arbiter also
+            sees the CADT output.
+        name: Evaluation label.
+    """
+
+    def __init__(
+        self,
+        readers: Sequence[ReaderModel],
+        cadt: Cadt,
+        policy: RecallPolicy = RecallPolicy.EITHER,
+        arbiter: ReaderModel | None = None,
+        name: str | None = None,
+    ):
+        if len(readers) != 2:
+            raise SimulationError(f"double reading needs exactly 2 readers, got {len(readers)}")
+        self.readers = tuple(readers)
+        self.cadt = cadt
+        self.policy = RecallPolicy(policy)
+        if self.policy is RecallPolicy.ARBITRATION and arbiter is None:
+            raise SimulationError("the arbitration policy requires an arbiter reader")
+        self.arbiter = arbiter
+        self._name = name if name is not None else f"assisted_double_{self.policy.value}"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def decide(self, case: Case) -> SystemDecision:
+        output = self.cadt.process(case)
+        machine_failed = (
+            output.is_false_negative(case)
+            if case.has_cancer
+            else output.is_false_positive(case)
+        )
+        first = self.readers[0].decide(case, output)
+        second = self.readers[1].decide(case, output)
+        recall = _combine(
+            first.recall,
+            second.recall,
+            self.policy,
+            lambda: self.arbiter.decide(case, output).recall,
+        )
+        return SystemDecision(
+            case_id=case.case_id, recall=recall, machine_failed=machine_failed
+        )

@@ -1,0 +1,159 @@
+"""Empirical evaluation of screening systems over workloads.
+
+Runs any :class:`~repro.system.single.ScreeningSystem` over a workload and
+summarises its false-negative and false-positive behaviour, overall and
+per case class, with confidence intervals — the simulation-side
+counterpart of the sequential model's analytic predictions, and the thing
+the end-to-end benchmarks compare against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.case_class import CaseClass
+from ..exceptions import SimulationError
+from ..screening.classifier import CaseClassifier, SingleClassClassifier
+from ..screening.workload import Workload
+from ..trial.intervals import ConfidenceInterval, wilson_interval
+from .single import ScreeningSystem
+
+__all__ = ["RateEstimate", "SystemEvaluation", "evaluate_system", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """An observed failure rate with its sample size and interval.
+
+    Attributes:
+        failures: Number of failures observed.
+        trials: Number of opportunities.
+        interval: Wilson confidence interval for the underlying rate.
+    """
+
+    failures: int
+    trials: int
+    interval: ConfidenceInterval
+
+    @property
+    def rate(self) -> float:
+        """The observed failure proportion."""
+        return self.interval.point
+
+    @classmethod
+    def from_counts(cls, failures: int, trials: int, level: float = 0.95) -> "RateEstimate":
+        """Build from raw counts (trials must be positive)."""
+        return cls(
+            failures=failures,
+            trials=trials,
+            interval=wilson_interval(failures, trials, level),
+        )
+
+
+@dataclass(frozen=True)
+class SystemEvaluation:
+    """Empirical error rates of one system over one workload.
+
+    Attributes:
+        system_name: The evaluated system.
+        workload_name: The workload it was run on.
+        false_negative: Rate over cancer cases (``None`` if none present).
+        false_positive: Rate over healthy cases (``None`` if none present).
+        per_class_false_negative: Cancer-case rates per case class.
+    """
+
+    system_name: str
+    workload_name: str
+    false_negative: RateEstimate | None
+    false_positive: RateEstimate | None
+    per_class_false_negative: Mapping[CaseClass, RateEstimate]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "per_class_false_negative", dict(self.per_class_false_negative)
+        )
+
+
+def evaluate_system(
+    system: ScreeningSystem,
+    workload: Workload,
+    classifier: CaseClassifier | None = None,
+    level: float = 0.95,
+) -> SystemEvaluation:
+    """Run a system over a workload and summarise its failures.
+
+    Args:
+        system: The system to drive.
+        workload: The cases, in order (order matters for systems with
+            drifting or adapting components).
+        classifier: Criterion for the per-class breakdown; a single class
+            when omitted.
+        level: Confidence level for all intervals.
+    """
+    if len(workload) == 0:
+        raise SimulationError("cannot evaluate a system on an empty workload")
+    classifier = classifier if classifier is not None else SingleClassClassifier()
+
+    cancer_failures = 0
+    cancer_trials = 0
+    healthy_failures = 0
+    healthy_trials = 0
+    class_failures: dict[CaseClass, int] = {}
+    class_trials: dict[CaseClass, int] = {}
+
+    for case in workload:
+        decision = system.decide(case)
+        failed = decision.is_failure(case)
+        if case.has_cancer:
+            cancer_trials += 1
+            cancer_failures += int(failed)
+            case_class = classifier.classify(case)
+            class_trials[case_class] = class_trials.get(case_class, 0) + 1
+            class_failures[case_class] = class_failures.get(case_class, 0) + int(failed)
+        else:
+            healthy_trials += 1
+            healthy_failures += int(failed)
+
+    return SystemEvaluation(
+        system_name=system.name,
+        workload_name=workload.name,
+        false_negative=(
+            RateEstimate.from_counts(cancer_failures, cancer_trials, level)
+            if cancer_trials
+            else None
+        ),
+        false_positive=(
+            RateEstimate.from_counts(healthy_failures, healthy_trials, level)
+            if healthy_trials
+            else None
+        ),
+        per_class_false_negative={
+            cls: RateEstimate.from_counts(class_failures[cls], class_trials[cls], level)
+            for cls in class_trials
+        },
+    )
+
+
+def compare_systems(
+    systems: Sequence[ScreeningSystem],
+    workload: Workload,
+    classifier: CaseClassifier | None = None,
+    level: float = 0.95,
+) -> dict[str, SystemEvaluation]:
+    """Evaluate several systems on the *same* workload.
+
+    Every system sees the identical case sequence (common random cases),
+    which sharpens comparisons: differences come from the systems, not the
+    draw of cases.
+
+    Raises:
+        SimulationError: if two systems share a name.
+    """
+    names = [s.name for s in systems]
+    if len(set(names)) != len(names):
+        raise SimulationError(f"system names must be unique, got {names!r}")
+    return {
+        system.name: evaluate_system(system, workload, classifier, level)
+        for system in systems
+    }

@@ -1,0 +1,122 @@
+"""Single-reader screening systems (Figure 1's composite system).
+
+A *screening system* is anything that turns a case into the 1-bit
+recall/no-recall decision.  The two basic configurations are the unaided
+reader and the paper's subject — a reader assisted by a CADT, where "the
+reader's decision is the output of the whole system".
+
+Every system exposes ``decide(case) -> SystemDecision``; the decision
+carries the machine's behaviour on the case (when a machine was involved)
+so evaluations can condition on machine failure exactly as the sequential
+model does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..cadt.tool import Cadt
+from ..exceptions import SimulationError
+from ..reader.reader import ReaderModel
+from ..screening.case import Case
+
+__all__ = ["SystemDecision", "ScreeningSystem", "UnaidedReading", "AssistedReading"]
+
+
+@dataclass(frozen=True)
+class SystemDecision:
+    """A screening system's output on one case.
+
+    Attributes:
+        case_id: The decided case.
+        recall: The system's 1-bit decision.
+        machine_failed: Whether the machine component failed on the case
+            (false negative on cancers, false prompt on healthy cases);
+            ``None`` for systems without a machine.
+    """
+
+    case_id: int
+    recall: bool
+    machine_failed: bool | None
+
+    def is_failure(self, case: Case) -> bool:
+        """Whether the decision is wrong for the case's ground truth."""
+        if case.case_id != self.case_id:
+            raise SimulationError(
+                f"decision for case {self.case_id} checked against case {case.case_id}"
+            )
+        return self.recall != case.has_cancer
+
+
+class ScreeningSystem(Protocol):
+    """Anything that produces recall decisions on screening cases."""
+
+    @property
+    def name(self) -> str:
+        """Identifier used in evaluations."""
+        ...
+
+    def decide(self, case: Case) -> SystemDecision:
+        """Decide one case."""
+        ...
+
+
+class UnaidedReading:
+    """A single reader with no computer support (the historical baseline).
+
+    Args:
+        reader: The reader model.
+        name: Evaluation label (defaults to ``unaided(<reader>)``).
+    """
+
+    def __init__(self, reader: ReaderModel, name: str | None = None):
+        self.reader = reader
+        self._name = name if name is not None else f"unaided({reader.name})"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def decide(self, case: Case) -> SystemDecision:
+        decision = self.reader.decide(case, None)
+        return SystemDecision(
+            case_id=case.case_id, recall=decision.recall, machine_failed=None
+        )
+
+
+class AssistedReading:
+    """The paper's system: one reader assisted by a CADT.
+
+    The machine processes the films first; the reader decides from the
+    original and prompted films (the "sequential operation" of Section 4 —
+    or, if the reader's procedure is
+    :attr:`~repro.reader.reader.ReadingProcedure.PARALLEL`, the intended
+    Section 3 procedure).
+
+    Args:
+        reader: The reader model.
+        cadt: The advisory tool.
+        name: Evaluation label (defaults to ``assisted(<reader>)``).
+    """
+
+    def __init__(self, reader: ReaderModel, cadt: Cadt, name: str | None = None):
+        self.reader = reader
+        self.cadt = cadt
+        self._name = name if name is not None else f"assisted({reader.name})"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def decide(self, case: Case) -> SystemDecision:
+        output = self.cadt.process(case)
+        machine_failed = (
+            output.is_false_negative(case)
+            if case.has_cancer
+            else output.is_false_positive(case)
+        )
+        decision = self.reader.decide(case, output)
+        return SystemDecision(
+            case_id=case.case_id, recall=decision.recall, machine_failed=machine_failed
+        )

@@ -1,0 +1,280 @@
+"""Trial design: sample sizes, power, and cell-count feasibility.
+
+The paper repeatedly runs into measurement feasibility: machine false
+negatives "are very rare", conditional cells may be empty, and "more
+extensive trials [are] possibly infeasible" (Section 6.2).  This module
+turns those complaints into arithmetic a trial designer can act on:
+
+* :func:`sample_size_for_half_width` — readings needed to estimate one
+  proportion to a target confidence-interval half-width;
+* :func:`sample_size_for_difference` — readings per cell needed to detect
+  ``PHf|Mf - PHf|Ms`` (i.e. a non-zero importance index) with given power;
+* :class:`TrialDesign` — a declarative design whose
+  :meth:`~TrialDesign.feasibility` report predicts the expected count in
+  every estimation cell *before* anyone reads a film, flagging the cells
+  that will come out too thin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from .._stats import normal_quantile
+from .._validation import check_probability
+from ..core.case_class import CaseClass
+from ..core.parameters import ModelParameters
+from ..core.profile import DemandProfile
+from ..exceptions import EstimationError
+
+__all__ = [
+    "sample_size_for_half_width",
+    "sample_size_for_difference",
+    "CellForecast",
+    "FeasibilityReport",
+    "TrialDesign",
+]
+
+
+def sample_size_for_half_width(
+    proportion: float, half_width: float, level: float = 0.95
+) -> int:
+    """Readings needed so a proportion's CI half-width meets a target.
+
+    Uses the normal approximation ``n = z^2 p(1-p) / h^2`` with the
+    worst case ``p(1-p) <= 0.25`` when the anticipated proportion is 0 or
+    1 (no information).
+
+    Args:
+        proportion: Anticipated value of the proportion being estimated.
+        half_width: Target half-width (e.g. 0.05 for +-5 points).
+        level: Confidence level of the interval.
+    """
+    proportion = check_probability(proportion, "proportion")
+    if not 0.0 < half_width < 1.0:
+        raise EstimationError(f"half_width must be in (0, 1), got {half_width!r}")
+    if not 0.0 < level < 1.0:
+        raise EstimationError(f"level must be in (0, 1), got {level!r}")
+    z = normal_quantile(1.0 - (1.0 - level) / 2.0)
+    variance = proportion * (1.0 - proportion)
+    if variance == 0.0:
+        variance = 0.25
+    return math.ceil(z * z * variance / (half_width * half_width))
+
+
+def sample_size_for_difference(
+    p_first: float,
+    p_second: float,
+    power: float = 0.8,
+    alpha: float = 0.05,
+) -> int:
+    """Readings *per cell* to detect a difference of two proportions.
+
+    The classical two-proportion z-test sample size; in this library's
+    context the two cells are typically the machine-failure and
+    machine-success conditions of one class, and the detectable difference
+    is the importance index ``t(x)``.
+
+    Args:
+        p_first: Anticipated proportion in the first cell (e.g. PHf|Mf).
+        p_second: Anticipated proportion in the second cell (e.g. PHf|Ms).
+        power: Desired probability of detecting the difference.
+        alpha: Two-sided significance level.
+
+    Raises:
+        EstimationError: if the two proportions are equal (no effect to
+            detect) or power/alpha are out of range.
+    """
+    p_first = check_probability(p_first, "p_first")
+    p_second = check_probability(p_second, "p_second")
+    if not 0.0 < power < 1.0:
+        raise EstimationError(f"power must be in (0, 1), got {power!r}")
+    if not 0.0 < alpha < 1.0:
+        raise EstimationError(f"alpha must be in (0, 1), got {alpha!r}")
+    difference = abs(p_first - p_second)
+    if difference == 0.0:
+        raise EstimationError("cannot size a trial to detect a zero difference")
+    z_alpha = normal_quantile(1.0 - alpha / 2.0)
+    z_power = normal_quantile(power)
+    pooled = (p_first + p_second) / 2.0
+    numerator = (
+        z_alpha * math.sqrt(2.0 * pooled * (1.0 - pooled))
+        + z_power
+        * math.sqrt(p_first * (1.0 - p_first) + p_second * (1.0 - p_second))
+    ) ** 2
+    return math.ceil(numerator / (difference * difference))
+
+
+@dataclass(frozen=True)
+class CellForecast:
+    """Expected readings in one estimation cell of a planned trial.
+
+    Attributes:
+        case_class: The class the cell belongs to.
+        cell: ``"machine_failure"`` or ``"machine_success"``.
+        expected_readings: Expected number of conditioning events.
+        required_readings: Readings needed for the target precision on the
+            conditional failure probability estimated from this cell.
+    """
+
+    case_class: CaseClass
+    cell: str
+    expected_readings: float
+    required_readings: int
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the design is expected to produce enough readings."""
+        return self.expected_readings >= self.required_readings
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Per-cell forecasts for a planned trial.
+
+    Attributes:
+        cells: Every (class, conditioning cell) forecast.
+        total_readings: Total reading events the design produces.
+    """
+
+    cells: tuple[CellForecast, ...]
+    total_readings: int
+
+    @property
+    def infeasible_cells(self) -> tuple[CellForecast, ...]:
+        """Cells expected to come out too thin, rarest first."""
+        thin = [cell for cell in self.cells if not cell.feasible]
+        return tuple(sorted(thin, key=lambda c: c.expected_readings))
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether every cell is expected to be estimable at target precision."""
+        return not self.infeasible_cells
+
+
+@dataclass(frozen=True)
+class TrialDesign:
+    """A declarative controlled-trial design.
+
+    Attributes:
+        num_cases: Cases in the trial set.
+        num_readers: Panel size (each reader reads every case).
+        cancer_fraction: Enrichment of the case set.
+        half_width: Target CI half-width for conditional estimates.
+        level: Confidence level for the precision target.
+    """
+
+    num_cases: int
+    num_readers: int
+    cancer_fraction: float = 0.5
+    half_width: float = 0.1
+    level: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.num_cases <= 0:
+            raise EstimationError(f"num_cases must be positive, got {self.num_cases!r}")
+        if self.num_readers <= 0:
+            raise EstimationError(
+                f"num_readers must be positive, got {self.num_readers!r}"
+            )
+        check_probability(self.cancer_fraction, "cancer_fraction")
+        if not 0.0 < self.half_width < 1.0:
+            raise EstimationError(
+                f"half_width must be in (0, 1), got {self.half_width!r}"
+            )
+
+    @property
+    def cancer_readings(self) -> int:
+        """Total cancer reading events (cases x readers)."""
+        return round(self.num_cases * self.cancer_fraction) * self.num_readers
+
+    def feasibility(
+        self,
+        anticipated_parameters: ModelParameters,
+        anticipated_profile: DemandProfile,
+    ) -> FeasibilityReport:
+        """Forecast every estimation cell's expected count.
+
+        Args:
+            anticipated_parameters: Best-guess per-class parameters (from
+                pilot data, the literature, or the vendor's claims).
+            anticipated_profile: Anticipated class mix of the trial's
+                cancer cases.
+
+        The machine-failure cell of class ``x`` receives on average
+        ``readings * p(x) * PMf(x)`` events — the quantity that collapses
+        for rare machine failures, which is exactly the paper's concern.
+        """
+        cells: list[CellForecast] = []
+        readings = self.cancer_readings
+        for case_class, weight in anticipated_profile.items():
+            if weight == 0.0 or case_class not in anticipated_parameters:
+                continue
+            params = anticipated_parameters[case_class]
+            class_readings = readings * weight
+            for cell_name, cell_probability, conditional in (
+                (
+                    "machine_failure",
+                    params.p_machine_failure,
+                    params.p_human_failure_given_machine_failure,
+                ),
+                (
+                    "machine_success",
+                    params.p_machine_success,
+                    params.p_human_failure_given_machine_success,
+                ),
+            ):
+                cells.append(
+                    CellForecast(
+                        case_class=case_class,
+                        cell=cell_name,
+                        expected_readings=class_readings * cell_probability,
+                        required_readings=sample_size_for_half_width(
+                            conditional, self.half_width, self.level
+                        ),
+                    )
+                )
+        return FeasibilityReport(
+            cells=tuple(cells),
+            total_readings=self.num_cases * self.num_readers,
+        )
+
+    def scaled_to_feasibility(
+        self,
+        anticipated_parameters: ModelParameters,
+        anticipated_profile: DemandProfile,
+        max_cases: int = 1_000_000,
+    ) -> "TrialDesign":
+        """The smallest scaled-up design whose every cell is feasible.
+
+        Scales ``num_cases`` (keeping readers and mix fixed) until the
+        feasibility report is clean.
+
+        Raises:
+            EstimationError: if no design up to ``max_cases`` suffices —
+                the paper's "more extensive trials, possibly infeasible".
+        """
+        design = self
+        while True:
+            report = design.feasibility(anticipated_parameters, anticipated_profile)
+            if report.is_feasible:
+                return design
+            worst_ratio = max(
+                cell.required_readings / max(cell.expected_readings, 1e-12)
+                for cell in report.infeasible_cells
+            )
+            # A 1% margin absorbs the integer rounding of the cancer count,
+            # which would otherwise make the scaled design land just short.
+            scaled_cases = math.ceil(design.num_cases * worst_ratio * 1.01)
+            if scaled_cases > max_cases:
+                raise EstimationError(
+                    f"no feasible design below {max_cases} cases (needed about "
+                    f"{scaled_cases}); coarsen the classification, relax the "
+                    f"precision target, or pool sparse cells"
+                )
+            design = TrialDesign(
+                num_cases=scaled_cases,
+                num_readers=design.num_readers,
+                cancer_fraction=design.cancer_fraction,
+                half_width=design.half_width,
+                level=design.level,
+            )

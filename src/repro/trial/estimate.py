@@ -1,0 +1,266 @@
+"""Estimating the sequential model's parameters from trial records.
+
+Given the reading events of a controlled trial (aided arm), this module
+estimates, per case class ``x``:
+
+* ``PMf(x)`` — from the machine's behaviour on cancer cases of the class;
+* ``PHf|Mf(x)`` — the reader failure rate among machine-failure events;
+* ``PHf|Ms(x)`` — the reader failure rate among machine-success events;
+
+each with a confidence interval, plus the empirical demand profile.  The
+result converts directly into the point-estimate
+:class:`~repro.core.parameters.ModelParameters`, the Beta-posterior
+:class:`~repro.core.uncertainty.UncertainModel`, or a ready
+:class:`~repro.core.sequential.SequentialModel`.
+
+Sparse cells are a real methodological issue the paper flags (machine
+false negatives "are very rare"): by default an inestimable cell (zero
+conditioning events) raises, but the ``on_empty_cell="pool"`` policy
+substitutes the pooled across-class rate, mirroring what a pragmatic
+analyst would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..core.case_class import CaseClass
+from ..core.parameters import ClassParameters, ModelParameters
+from ..core.profile import DemandProfile
+from ..core.sequential import SequentialModel
+from ..core.uncertainty import (
+    BetaPosterior,
+    UncertainClassParameters,
+    UncertainModel,
+)
+from ..exceptions import EstimationError
+from .intervals import ConfidenceInterval, wilson_interval
+from .records import TrialRecords
+
+__all__ = ["ParameterEstimate", "ClassEstimate", "EstimationResult", "estimate_model"]
+
+
+@dataclass(frozen=True)
+class ParameterEstimate:
+    """One estimated proportion with its provenance.
+
+    Attributes:
+        events: Observed occurrences of the event.
+        trials: Number of conditioning opportunities.
+        interval: Confidence interval around the sample proportion.
+        pooled: Whether this estimate was substituted from pooled data
+            because the class's own cell was empty.
+    """
+
+    events: int
+    trials: int
+    interval: ConfidenceInterval
+    pooled: bool = False
+
+    @property
+    def point(self) -> float:
+        """The sample proportion."""
+        return self.interval.point
+
+    def posterior(self) -> BetaPosterior:
+        """Jeffreys-prior Beta posterior for this proportion."""
+        return BetaPosterior.from_counts(self.events, self.trials)
+
+
+@dataclass(frozen=True)
+class ClassEstimate:
+    """The three estimated parameters of one case class.
+
+    Attributes:
+        case_class: The class estimated.
+        machine_failure: Estimate of ``PMf(x)``.
+        human_failure_given_machine_failure: Estimate of ``PHf|Mf(x)``.
+        human_failure_given_machine_success: Estimate of ``PHf|Ms(x)``.
+    """
+
+    case_class: CaseClass
+    machine_failure: ParameterEstimate
+    human_failure_given_machine_failure: ParameterEstimate
+    human_failure_given_machine_success: ParameterEstimate
+
+    def to_class_parameters(self) -> ClassParameters:
+        """Point-estimate parameters for the sequential model."""
+        return ClassParameters(
+            p_machine_failure=self.machine_failure.point,
+            p_human_failure_given_machine_failure=(
+                self.human_failure_given_machine_failure.point
+            ),
+            p_human_failure_given_machine_success=(
+                self.human_failure_given_machine_success.point
+            ),
+        )
+
+    def to_uncertain_parameters(self) -> UncertainClassParameters:
+        """Beta-posterior parameters for uncertainty propagation."""
+        return UncertainClassParameters(
+            p_machine_failure=self.machine_failure.posterior(),
+            p_human_failure_given_machine_failure=(
+                self.human_failure_given_machine_failure.posterior()
+            ),
+            p_human_failure_given_machine_success=(
+                self.human_failure_given_machine_success.posterior()
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """Everything estimated from one trial's aided cancer records.
+
+    Attributes:
+        by_class: Per-class estimates.
+        profile: The empirical demand profile of the trial's cancer cases.
+        total_records: Number of reading events used.
+    """
+
+    by_class: dict[CaseClass, ClassEstimate]
+    profile: DemandProfile
+    total_records: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "by_class", dict(self.by_class))
+
+    def __getitem__(self, key: CaseClass | str) -> ClassEstimate:
+        name = key.name if isinstance(key, CaseClass) else key
+        for cls, estimate in self.by_class.items():
+            if cls.name == name:
+                return estimate
+        raise EstimationError(f"no estimate for case class {name!r}")
+
+    @property
+    def classes(self) -> tuple[CaseClass, ...]:
+        """All estimated classes, sorted."""
+        return tuple(sorted(self.by_class))
+
+    def to_model_parameters(self) -> ModelParameters:
+        """The point-estimate parameter table."""
+        return ModelParameters(
+            {cls: est.to_class_parameters() for cls, est in self.by_class.items()}
+        )
+
+    def to_uncertain_model(self) -> UncertainModel:
+        """The Beta-posterior model for uncertainty propagation."""
+        return UncertainModel(
+            {cls: est.to_uncertain_parameters() for cls, est in self.by_class.items()}
+        )
+
+    def to_sequential_model(self) -> SequentialModel:
+        """A sequential model at the point estimates."""
+        return SequentialModel(self.to_model_parameters())
+
+    def pooled_cells(self) -> tuple[tuple[CaseClass, str], ...]:
+        """Which (class, parameter) cells were filled by pooling."""
+        pooled: list[tuple[CaseClass, str]] = []
+        for cls, estimate in self.by_class.items():
+            if estimate.machine_failure.pooled:
+                pooled.append((cls, "p_machine_failure"))
+            if estimate.human_failure_given_machine_failure.pooled:
+                pooled.append((cls, "p_human_failure_given_machine_failure"))
+            if estimate.human_failure_given_machine_success.pooled:
+                pooled.append((cls, "p_human_failure_given_machine_success"))
+        return tuple(pooled)
+
+
+def _proportion(
+    events: int, trials: int, level: float, pooled: bool = False
+) -> ParameterEstimate:
+    return ParameterEstimate(
+        events=events,
+        trials=trials,
+        interval=wilson_interval(events, trials, level),
+        pooled=pooled,
+    )
+
+
+def estimate_model(
+    records: TrialRecords,
+    level: float = 0.95,
+    on_empty_cell: Literal["raise", "pool"] = "raise",
+) -> EstimationResult:
+    """Estimate the sequential model from a trial's records.
+
+    Only aided cancer records are used (the false-negative model's demand
+    space, Section 2.3); pass ``records.healthy()`` through the same
+    function to estimate the false-positive side — the equations are
+    identical, with "machine failed" meaning a false prompt and "reader
+    failed" meaning an unnecessary recall.
+
+    Args:
+        records: Trial records (filtered internally to aided cancers —
+            or aided healthy cases if only those are present).
+        level: Confidence level for all intervals.
+        on_empty_cell: Policy for classes where a conditional has no
+            conditioning events: ``"raise"`` (default) or ``"pool"`` (use
+            the across-class pooled rate, flagged in the estimate).
+
+    Raises:
+        EstimationError: if there are no usable records, or an empty cell
+            is found under the ``"raise"`` policy.
+    """
+    aided = records.aided()
+    cancers = aided.cancers()
+    usable = cancers if len(cancers) > 0 else aided.healthy()
+    if len(usable) == 0:
+        raise EstimationError("no aided records to estimate from")
+
+    # Pooled conditional rates, for the "pool" policy.
+    pooled_mf = usable.filter(lambda r: r.machine_failed)
+    pooled_ms = usable.filter(lambda r: not r.machine_failed)
+    pooled_rate_given_mf = (
+        pooled_mf.failure_rate() if len(pooled_mf) > 0 else None
+    )
+    pooled_rate_given_ms = (
+        pooled_ms.failure_rate() if len(pooled_ms) > 0 else None
+    )
+
+    by_class: dict[CaseClass, ClassEstimate] = {}
+    for case_class in usable.case_classes:
+        class_records = usable.for_class(case_class)
+        n = len(class_records)
+        machine_failures = class_records.count(lambda r: r.machine_failed)
+        machine_estimate = _proportion(machine_failures, n, level)
+
+        given_mf = class_records.filter(lambda r: r.machine_failed)
+        given_ms = class_records.filter(lambda r: not r.machine_failed)
+
+        def conditional(
+            subset: TrialRecords,
+            pooled_rate: float | None,
+            pooled_trials: int,
+            label: str,
+        ) -> ParameterEstimate:
+            if len(subset) > 0:
+                failures = subset.count(lambda r: r.system_failed)
+                return _proportion(failures, len(subset), level)
+            if on_empty_cell == "pool" and pooled_rate is not None:
+                events = round(pooled_rate * pooled_trials)
+                return _proportion(events, pooled_trials, level, pooled=True)
+            raise EstimationError(
+                f"class {case_class.name!r} has no records to estimate {label}; "
+                f"re-run with on_empty_cell='pool', coarsen the classification, "
+                f"or enlarge the trial"
+            )
+
+        estimate_given_mf = conditional(
+            given_mf, pooled_rate_given_mf, len(pooled_mf), "PHf|Mf"
+        )
+        estimate_given_ms = conditional(
+            given_ms, pooled_rate_given_ms, len(pooled_ms), "PHf|Ms"
+        )
+        by_class[case_class] = ClassEstimate(
+            case_class=case_class,
+            machine_failure=machine_estimate,
+            human_failure_given_machine_failure=estimate_given_mf,
+            human_failure_given_machine_success=estimate_given_ms,
+        )
+
+    profile = DemandProfile.from_counts(
+        {cls.name: count for cls, count in usable.class_counts().items()}
+    )
+    return EstimationResult(by_class=by_class, profile=profile, total_records=len(usable))

@@ -1,0 +1,178 @@
+"""Per-reader estimation and reader-variability analysis.
+
+Section 5 (item 2): "the readers have varying levels of ability
+(represented by the parameters PHf|Ms(x) and PHf|Mf(x)).  The trial data
+can indicate the range of these abilities, show whether there are strong
+discrepancies between humans, and if these affect different categories of
+demands differently."
+
+This module estimates a *separate* parameter table per reader from a
+crossed trial's records, summarises the spread of each conditional across
+the panel, and assembles the per-reader tables into the analytic team
+model of :mod:`repro.core.multireader` (forcing the shared machine
+estimate, since all readers saw the same tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Mapping
+
+from ..core.case_class import CaseClass
+from ..core.multireader import MultiReaderModel, TeamPolicy
+from ..core.parameters import ClassParameters, ModelParameters
+from ..exceptions import EstimationError
+from .estimate import EstimationResult, estimate_model
+from .records import TrialRecords
+
+__all__ = ["ReaderSpread", "PanelEstimate", "estimate_per_reader"]
+
+
+@dataclass(frozen=True)
+class ReaderSpread:
+    """The across-panel spread of one conditional on one class.
+
+    Attributes:
+        case_class: The class examined.
+        parameter: ``"p_human_failure_given_machine_failure"`` or
+            ``"p_human_failure_given_machine_success"``.
+        by_reader: Point estimate per reader name.
+    """
+
+    case_class: CaseClass
+    parameter: str
+    by_reader: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "by_reader", dict(self.by_reader))
+
+    @property
+    def minimum(self) -> float:
+        """The best reader's value."""
+        return min(self.by_reader.values())
+
+    @property
+    def maximum(self) -> float:
+        """The worst reader's value."""
+        return max(self.by_reader.values())
+
+    @property
+    def spread(self) -> float:
+        """Best-to-worst range — the "strong discrepancies" indicator."""
+        return self.maximum - self.minimum
+
+    @property
+    def best_reader(self) -> str:
+        """Name of the reader with the lowest failure probability."""
+        return min(self.by_reader, key=lambda name: (self.by_reader[name], name))
+
+    @property
+    def worst_reader(self) -> str:
+        """Name of the reader with the highest failure probability."""
+        return max(self.by_reader, key=lambda name: (self.by_reader[name], name))
+
+
+@dataclass(frozen=True)
+class PanelEstimate:
+    """Per-reader estimates from one crossed trial.
+
+    Attributes:
+        by_reader: Full estimation result per reader name.
+        pooled: The panel-pooled estimation (all readers together).
+    """
+
+    by_reader: Mapping[str, EstimationResult]
+    pooled: EstimationResult
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "by_reader", dict(self.by_reader))
+
+    @property
+    def reader_names(self) -> tuple[str, ...]:
+        """All reader names, sorted."""
+        return tuple(sorted(self.by_reader))
+
+    def spread(self, case_class: CaseClass | str, parameter: str) -> ReaderSpread:
+        """Across-panel spread of one conditional on one class."""
+        if parameter not in (
+            "p_human_failure_given_machine_failure",
+            "p_human_failure_given_machine_success",
+        ):
+            raise EstimationError(f"unknown reader parameter {parameter!r}")
+        name = case_class.name if isinstance(case_class, CaseClass) else case_class
+        values: dict[str, float] = {}
+        for reader_name, estimation in self.by_reader.items():
+            class_estimate = estimation[name]
+            values[reader_name] = getattr(
+                class_estimate.to_class_parameters(), parameter
+            )
+        return ReaderSpread(
+            case_class=CaseClass(name), parameter=parameter, by_reader=values
+        )
+
+    def reader_tables(self) -> dict[str, ModelParameters]:
+        """Point-estimate parameter table per reader, with the machine's
+        failure probability forced to the pooled estimate.
+
+        The readers all used the same machine; their per-reader ``PMf``
+        estimates differ only by sampling noise (each reader's sessions
+        sampled the CADT's output independently), and the team model
+        requires them equal.
+        """
+        pooled_params = self.pooled.to_model_parameters()
+        tables: dict[str, ModelParameters] = {}
+        for reader_name, estimation in self.by_reader.items():
+            adjusted: dict[CaseClass, ClassParameters] = {}
+            for case_class in pooled_params.classes:
+                reader_class = estimation[case_class.name].to_class_parameters()
+                adjusted[case_class] = ClassParameters(
+                    p_machine_failure=pooled_params[case_class].p_machine_failure,
+                    p_human_failure_given_machine_failure=(
+                        reader_class.p_human_failure_given_machine_failure
+                    ),
+                    p_human_failure_given_machine_success=(
+                        reader_class.p_human_failure_given_machine_success
+                    ),
+                )
+            tables[reader_name] = ModelParameters(adjusted)
+        return tables
+
+    def to_team_model(
+        self, policy: TeamPolicy = TeamPolicy.RECALL_IF_ANY
+    ) -> MultiReaderModel:
+        """The analytic team model of the whole estimated panel."""
+        tables = self.reader_tables()
+        return MultiReaderModel.from_single_reader_tables(
+            [tables[name] for name in self.reader_names], policy
+        )
+
+
+def estimate_per_reader(
+    records: TrialRecords,
+    level: float = 0.95,
+    on_empty_cell: Literal["raise", "pool"] = "pool",
+) -> PanelEstimate:
+    """Estimate each reader's parameters from a crossed trial's records.
+
+    Args:
+        records: The trial's reading events (aided arm; every reader must
+            have read the full case set for the estimates to be
+            comparable).
+        level: Confidence level for the per-reader intervals.
+        on_empty_cell: Per-reader cells are thinner than pooled ones, so
+            pooling (within the reader's own records) is the default here.
+
+    Raises:
+        EstimationError: if the records contain no readers.
+    """
+    reader_names = records.aided().reader_names
+    if not reader_names:
+        raise EstimationError("no aided records to estimate readers from")
+    by_reader = {
+        name: estimate_model(
+            records.for_reader(name), level=level, on_empty_cell=on_empty_cell
+        )
+        for name in reader_names
+    }
+    pooled = estimate_model(records, level=level, on_empty_cell=on_empty_cell)
+    return PanelEstimate(by_reader=by_reader, pooled=pooled)

@@ -1,0 +1,199 @@
+"""Running simulated reading sessions and controlled trials.
+
+:func:`run_reading_session` is the primitive: one reader works through a
+workload, with or without CADT support, producing
+:class:`~repro.trial.records.TrialRecords`.  :class:`ControlledTrial`
+composes sessions into the paper's measurement instrument: an enriched
+case set read by a panel of readers with the CADT, optionally alongside an
+unaided control arm, yielding estimates of every model parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_probability
+from ..cadt.tool import Cadt
+from ..exceptions import SimulationError
+from ..reader.panel import ReaderPanel
+from ..reader.reader import ReaderModel
+from ..screening.classifier import CaseClassifier
+from ..screening.population import PopulationModel
+from ..screening.workload import Workload, trial_workload
+from .estimate import EstimationResult, estimate_model
+from .records import CaseRecord, TrialRecords
+
+__all__ = ["run_reading_session", "TrialOutcome", "ControlledTrial"]
+
+
+def run_reading_session(
+    workload: Workload,
+    reader: ReaderModel,
+    classifier: CaseClassifier,
+    cadt: Cadt | None = None,
+    rng: np.random.Generator | None = None,
+) -> TrialRecords:
+    """One reader reads a workload, producing per-case records.
+
+    Args:
+        workload: The cases, in reading order.
+        reader: The reader (or any object with a compatible ``decide``).
+        classifier: Classification criterion recorded with each case.
+        cadt: The advisory tool; ``None`` for unaided reading.
+        rng: Random generator for the reader's decisions (the reader's
+            private generator when omitted).
+    """
+    records = TrialRecords()
+    for case in workload:
+        if cadt is not None:
+            output = cadt.process(case)
+            machine_failed = (
+                output.is_false_negative(case)
+                if case.has_cancer
+                else output.is_false_positive(case)
+            )
+            decision = reader.decide(case, output, rng)
+            records.append(
+                CaseRecord(
+                    case_id=case.case_id,
+                    reader_name=reader.name,
+                    case_class=classifier.classify(case),
+                    has_cancer=case.has_cancer,
+                    aided=True,
+                    machine_failed=machine_failed,
+                    machine_false_prompts=output.num_false_prompts,
+                    recalled=decision.recall,
+                )
+            )
+        else:
+            decision = reader.decide(case, None, rng)
+            records.append(
+                CaseRecord(
+                    case_id=case.case_id,
+                    reader_name=reader.name,
+                    case_class=classifier.classify(case),
+                    has_cancer=case.has_cancer,
+                    aided=False,
+                    machine_failed=None,
+                    machine_false_prompts=None,
+                    recalled=decision.recall,
+                )
+            )
+    return records
+
+
+@dataclass
+class TrialOutcome:
+    """Everything a controlled trial produced.
+
+    Attributes:
+        workload: The case set that was read.
+        aided_records: Reading events of the CADT-assisted arm.
+        unaided_records: Reading events of the control arm (empty if the
+            trial had none).
+        estimation: Model parameters estimated from the aided cancer
+            records.
+    """
+
+    workload: Workload
+    aided_records: TrialRecords
+    unaided_records: TrialRecords
+    estimation: EstimationResult
+
+    @property
+    def all_records(self) -> TrialRecords:
+        """Both arms' records combined."""
+        return self.aided_records + self.unaided_records
+
+
+class ControlledTrial:
+    """A simulated controlled trial of the human-machine system.
+
+    Mirrors the paper's measurement setting: a case set enriched in
+    cancers ("a much higher proportion of cancers than that (less than 1%)
+    of the screened population"), read by every panel member with the
+    CADT, and optionally also unaided (a crossed control arm).
+
+    Args:
+        population: Source of synthetic cases.
+        panel: The participating readers.
+        cadt: The advisory tool under trial.
+        classifier: Criterion dividing cases into classes for analysis.
+        num_cases: Size of the trial case set.
+        cancer_fraction: Enrichment level of the case set.
+        include_unaided_arm: Whether each reader also reads every case
+            without the tool (provides the without-CADT baseline).
+        subtlety_enrichment: Selection bias of the trial's cancer case set
+            toward subtle presentations (see
+            :func:`~repro.screening.workload.trial_workload`); real trial
+            sets overweight difficult cases relative to the field.
+        on_empty_cell: Estimation policy for sparse cells (see
+            :func:`~repro.trial.estimate.estimate_model`).
+        seed: Master seed for the trial's own randomness.
+    """
+
+    def __init__(
+        self,
+        population: PopulationModel,
+        panel: ReaderPanel,
+        cadt: Cadt,
+        classifier: CaseClassifier,
+        num_cases: int = 400,
+        cancer_fraction: float = 0.5,
+        include_unaided_arm: bool = False,
+        subtlety_enrichment: float = 0.0,
+        on_empty_cell: str = "raise",
+        seed: int | None = None,
+    ):
+        if num_cases <= 0:
+            raise SimulationError(f"num_cases must be positive, got {num_cases!r}")
+        self.population = population
+        self.panel = panel
+        self.cadt = cadt
+        self.classifier = classifier
+        self.num_cases = int(num_cases)
+        self.cancer_fraction = check_probability(cancer_fraction, "cancer_fraction")
+        self.include_unaided_arm = bool(include_unaided_arm)
+        self.subtlety_enrichment = float(subtlety_enrichment)
+        self.on_empty_cell = on_empty_cell
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> TrialOutcome:
+        """Generate the case set, run all reading sessions, and estimate.
+
+        Each reader reads the full case set; the CADT output for a given
+        case is sampled once per (reader, case) pair, reflecting that
+        prompts are produced on each reading session's film copies.
+        """
+        workload = trial_workload(
+            self.population,
+            self.num_cases,
+            self.cancer_fraction,
+            subtlety_enrichment=self.subtlety_enrichment,
+            selection_seed=int(self._rng.integers(0, 2**63 - 1)),
+        )
+        aided = TrialRecords()
+        unaided = TrialRecords()
+        for reader in self.panel:
+            session_rng = np.random.default_rng(self._rng.integers(0, 2**63 - 1))
+            aided.extend(
+                run_reading_session(
+                    workload, reader, self.classifier, self.cadt, session_rng
+                )
+            )
+            if self.include_unaided_arm:
+                control_rng = np.random.default_rng(self._rng.integers(0, 2**63 - 1))
+                unaided.extend(
+                    run_reading_session(
+                        workload, reader, self.classifier, None, control_rng
+                    )
+                )
+        estimation = estimate_model(aided, on_empty_cell=self.on_empty_cell)
+        return TrialOutcome(
+            workload=workload,
+            aided_records=aided,
+            unaided_records=unaided,
+            estimation=estimation,
+        )

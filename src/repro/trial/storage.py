@@ -1,0 +1,136 @@
+"""CSV persistence for trial records.
+
+Trial data outlives analysis sessions and moves between tools; records
+round-trip through a plain CSV with a fixed header, one reading event per
+row.  Booleans are stored as ``0``/``1`` and the nullable machine columns
+as empty cells, so the files load cleanly in any spreadsheet or dataframe
+library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from ..core.case_class import CaseClass
+from ..exceptions import EstimationError
+from .records import CaseRecord, TrialRecords
+
+__all__ = ["dump_records_csv", "load_records_csv", "CSV_COLUMNS"]
+
+PathLike = Union[str, Path]
+
+#: Column order of the CSV format (also its implicit version).
+CSV_COLUMNS = (
+    "case_id",
+    "reader_name",
+    "case_class",
+    "has_cancer",
+    "aided",
+    "machine_failed",
+    "machine_false_prompts",
+    "recalled",
+)
+
+
+def _bool_cell(value: bool) -> str:
+    return "1" if value else "0"
+
+
+def _parse_bool(cell: str, column: str, row_number: int) -> bool:
+    if cell == "1":
+        return True
+    if cell == "0":
+        return False
+    raise EstimationError(
+        f"row {row_number}: column {column!r} must be 0 or 1, got {cell!r}"
+    )
+
+
+def dump_records_csv(path: PathLike, records: TrialRecords) -> None:
+    """Write trial records to a CSV file (header + one row per event)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for record in records:
+            writer.writerow(
+                [
+                    record.case_id,
+                    record.reader_name,
+                    record.case_class.name,
+                    _bool_cell(record.has_cancer),
+                    _bool_cell(record.aided),
+                    "" if record.machine_failed is None else _bool_cell(record.machine_failed),
+                    "" if record.machine_false_prompts is None else record.machine_false_prompts,
+                    _bool_cell(record.recalled),
+                ]
+            )
+
+
+def load_records_csv(path: PathLike) -> TrialRecords:
+    """Read trial records from a CSV file written by :func:`dump_records_csv`.
+
+    Raises:
+        EstimationError: on a missing/garbled header or malformed row.
+    """
+    records = TrialRecords()
+    try:
+        handle = open(path, newline="")
+    except OSError as exc:
+        raise EstimationError(f"cannot read records file {path}: {exc}") from exc
+    with handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise EstimationError(f"{path}: empty records file") from None
+        if tuple(header) != CSV_COLUMNS:
+            raise EstimationError(
+                f"{path}: unexpected header {header!r}; expected {list(CSV_COLUMNS)}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(CSV_COLUMNS):
+                raise EstimationError(
+                    f"row {row_number}: expected {len(CSV_COLUMNS)} cells, got {len(row)}"
+                )
+            (
+                case_id,
+                reader_name,
+                class_name,
+                has_cancer,
+                aided,
+                machine_failed,
+                false_prompts,
+                recalled,
+            ) = row
+            try:
+                parsed_id = int(case_id)
+            except ValueError:
+                raise EstimationError(
+                    f"row {row_number}: case_id must be an integer, got {case_id!r}"
+                ) from None
+            try:
+                parsed_prompts = None if false_prompts == "" else int(false_prompts)
+            except ValueError:
+                raise EstimationError(
+                    f"row {row_number}: machine_false_prompts must be an integer "
+                    f"or empty, got {false_prompts!r}"
+                ) from None
+            records.append(
+                CaseRecord(
+                    case_id=parsed_id,
+                    reader_name=reader_name,
+                    case_class=CaseClass(class_name),
+                    has_cancer=_parse_bool(has_cancer, "has_cancer", row_number),
+                    aided=_parse_bool(aided, "aided", row_number),
+                    machine_failed=(
+                        None
+                        if machine_failed == ""
+                        else _parse_bool(machine_failed, "machine_failed", row_number)
+                    ),
+                    machine_false_prompts=parsed_prompts,
+                    recalled=_parse_bool(recalled, "recalled", row_number),
+                )
+            )
+    return records

@@ -1,0 +1,144 @@
+"""Tests for repro.analysis.ablation."""
+
+import pytest
+
+from repro.analysis import (
+    class_granularity_study,
+    independence_assumption_error,
+    marginal_vs_conditional_error,
+    mixture_confound,
+)
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    ParallelClassParameters,
+    ParallelModel,
+    SequentialModel,
+    paper_example_parameters,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+)
+from repro.exceptions import ParameterError
+
+
+class TestIndependenceAssumptionError:
+    def test_zero_at_independence(self):
+        model = ParallelModel({"only": ParallelClassParameters(0.3, 0.4, 0.1)})
+        result = independence_assumption_error(model, DemandProfile({"only": 1.0}))
+        assert result.error == pytest.approx(0.0)
+
+    def test_positive_covariance_understates_failure(self):
+        model = ParallelModel(
+            {"only": ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=0.08)}
+        )
+        result = independence_assumption_error(model, DemandProfile({"only": 1.0}))
+        assert result.error < 0  # naive prediction is optimistic
+        assert result.relative_error < 0
+
+    def test_negative_covariance_overstates_failure(self):
+        model = ParallelModel(
+            {"only": ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=-0.08)}
+        )
+        result = independence_assumption_error(model, DemandProfile({"only": 1.0}))
+        assert result.error > 0
+
+
+class TestMarginalVsConditional:
+    def test_marginal_cannot_react_to_profile_change(self):
+        result = marginal_vs_conditional_error(
+            paper_example_parameters(), PAPER_TRIAL_PROFILE, PAPER_FIELD_PROFILE
+        )
+        # Marginal prediction equals the trial figure (0.235), conditional
+        # correctly drops to 0.189.
+        assert result["marginal_field"] == pytest.approx(0.235, abs=5e-4)
+        assert result["conditional_field"] == pytest.approx(0.189, abs=5e-4)
+        assert result["error"] == pytest.approx(0.046, abs=1e-3)
+
+    def test_no_error_when_profiles_agree(self):
+        result = marginal_vs_conditional_error(
+            paper_example_parameters(), PAPER_TRIAL_PROFILE, PAPER_TRIAL_PROFILE
+        )
+        assert result["error"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestClassGranularity:
+    @pytest.fixture
+    def fine_setup(self):
+        parameters = ModelParameters(
+            {
+                "a": ClassParameters(0.05, 0.2, 0.1),
+                "b": ClassParameters(0.15, 0.4, 0.2),
+                "c": ClassParameters(0.4, 0.7, 0.3),
+                "d": ClassParameters(0.7, 0.95, 0.5),
+            }
+        )
+        trial = DemandProfile({"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1})
+        field = DemandProfile({"a": 0.7, "b": 0.2, "c": 0.08, "d": 0.02})
+        return parameters, trial, field
+
+    def test_finest_grouping_is_exact(self, fine_setup):
+        parameters, trial, field = fine_setup
+        points = class_granularity_study(
+            parameters,
+            trial,
+            field,
+            {"4 classes": {"a": ["a"], "b": ["b"], "c": ["c"], "d": ["d"]}},
+        )
+        assert points[0].absolute_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_error_grows_as_classes_merge(self, fine_setup):
+        parameters, trial, field = fine_setup
+        points = class_granularity_study(
+            parameters,
+            trial,
+            field,
+            {
+                "4 classes": {"a": ["a"], "b": ["b"], "c": ["c"], "d": ["d"]},
+                "2 classes": {"easyish": ["a", "b"], "hardish": ["c", "d"]},
+                "1 class": {"all": ["a", "b", "c", "d"]},
+            },
+        )
+        by_name = {p.name: p for p in points}
+        assert by_name["4 classes"].absolute_error <= by_name["2 classes"].absolute_error
+        assert by_name["2 classes"].absolute_error <= by_name["1 class"].absolute_error
+        assert by_name["1 class"].absolute_error > 0.005
+
+    def test_incomplete_grouping_rejected(self, fine_setup):
+        parameters, trial, field = fine_setup
+        with pytest.raises(ParameterError):
+            class_granularity_study(
+                parameters, trial, field, {"bad": {"x": ["a", "b"]}}
+            )
+
+    def test_duplicated_fine_class_rejected(self, fine_setup):
+        parameters, trial, field = fine_setup
+        with pytest.raises(ParameterError):
+            class_granularity_study(
+                parameters,
+                trial,
+                field,
+                {"bad": {"x": ["a", "b"], "y": ["b", "c", "d"]}},
+            )
+
+
+class TestMixtureConfound:
+    def test_spurious_importance_from_merging(self):
+        result = mixture_confound(
+            {
+                "easy_sub": ClassParameters(0.05, 0.1, 0.1),
+                "hard_sub": ClassParameters(0.8, 0.9, 0.9),
+            },
+            {"easy_sub": 0.5, "hard_sub": 0.5},
+        )
+        assert result.subclass_importances == (0.0, 0.0)
+        assert result.merged_importance > 0.3
+        assert result.spurious_gain == pytest.approx(result.merged_importance)
+
+    def test_no_confound_for_homogeneous_subclasses(self):
+        params = ClassParameters(0.3, 0.6, 0.2)
+        result = mixture_confound(
+            {"x": params, "y": params}, {"x": 0.4, "y": 0.6}
+        )
+        assert result.merged_importance == pytest.approx(0.4)
+        assert result.spurious_gain == pytest.approx(0.0)

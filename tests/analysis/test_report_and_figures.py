@@ -1,0 +1,182 @@
+"""Tests for repro.analysis.report and repro.analysis.figures."""
+
+import pytest
+
+from repro.analysis import (
+    build_figure4,
+    build_table1,
+    build_table2,
+    build_table3,
+    frontier_series,
+    render_table,
+    trust_series,
+)
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    SystemOperatingPoint,
+    TradeoffFrontier,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", "+"}
+        # All rows equal width (ignoring trailing strip of last cell).
+        assert lines[0].split(" | ")[0].strip() == "a"
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        table = build_table1()
+        rows = {row["class"]: row for row in table.rows()}
+        assert rows["easy"]["trial"] == pytest.approx(0.8)
+        assert rows["easy"]["field"] == pytest.approx(0.9)
+        assert rows["easy"]["PMf"] == pytest.approx(0.07)
+        assert rows["easy"]["PMs"] == pytest.approx(0.93)
+        assert rows["difficult"]["PHf|Mf"] == pytest.approx(0.9)
+        assert rows["difficult"]["PHf|Ms"] == pytest.approx(0.4)
+
+    def test_render_contains_all_columns(self):
+        text = build_table1().render()
+        for token in ("PMf", "PMs", "PHf|Mf", "PHf|Ms", "easy", "difficult"):
+            assert token in text
+
+
+class TestTable2:
+    def test_paper_values(self):
+        table = build_table2()
+        assert table.per_class[EASY] == pytest.approx(0.143, abs=5e-4)
+        assert table.per_class[DIFFICULT] == pytest.approx(0.605, abs=5e-4)
+        assert table.trial == pytest.approx(0.235, abs=5e-4)
+        assert table.field == pytest.approx(0.189, abs=5e-4)
+
+    def test_render(self):
+        text = build_table2().render()
+        assert "0.235" in text and "0.189" in text
+
+
+class TestTable3:
+    def test_paper_values(self):
+        table = build_table3()
+        assert table.improve_easy.per_class[EASY] == pytest.approx(0.140, abs=5e-4)
+        assert table.improve_easy.trial == pytest.approx(0.233, abs=5e-4)
+        assert table.improve_easy.field == pytest.approx(0.187, abs=5e-4)
+        assert table.improve_difficult.per_class[DIFFICULT] == pytest.approx(
+            0.4205, abs=5e-4
+        )
+        assert table.improve_difficult.trial == pytest.approx(0.198, abs=5e-4)
+        assert table.improve_difficult.field == pytest.approx(0.171, abs=5e-4)
+
+    def test_unimproved_class_untouched(self):
+        table = build_table3()
+        assert table.improve_easy.per_class[DIFFICULT] == pytest.approx(0.605, abs=5e-4)
+        assert table.improve_difficult.per_class[EASY] == pytest.approx(0.143, abs=5e-4)
+
+    def test_render(self):
+        text = build_table3().render()
+        assert "improved easy" in text and "improved difficult" in text
+
+    def test_custom_factor(self):
+        table = build_table3(factor=2.0)
+        assert table.factor == 2.0
+        # Half the machine failures on easy: PMf .035.
+        assert table.improve_easy.per_class[EASY] == pytest.approx(
+            0.14 * 0.965 + 0.18 * 0.035, abs=1e-6
+        )
+
+
+class TestFigure4:
+    def test_lines_for_both_classes(self):
+        lines = build_figure4()
+        assert set(lines) == {EASY, DIFFICULT}
+
+    def test_paper_intercepts_and_slopes(self):
+        lines = build_figure4()
+        assert lines[EASY].intercept == pytest.approx(0.14)
+        assert lines[EASY].slope == pytest.approx(0.04)
+        assert lines[DIFFICULT].intercept == pytest.approx(0.40)
+        assert lines[DIFFICULT].slope == pytest.approx(0.50)
+
+    def test_operating_point_on_line(self):
+        for line in build_figure4().values():
+            pmf, probability = line.operating_point
+            assert probability == pytest.approx(line.intercept + line.slope * pmf)
+
+    def test_series_spans_unit_interval(self):
+        line = build_figure4(num_points=5)[EASY]
+        xs = [x for x, _ in line.series]
+        assert xs[0] == 0.0 and xs[-1] == 1.0
+        assert len(line.series) == 5
+
+
+class TestFrontierAndTrustSeries:
+    def test_frontier_series_sorted_by_fp(self):
+        frontier = TradeoffFrontier(
+            [
+                SystemOperatingPoint("b", 0.1, 0.3),
+                SystemOperatingPoint("a", 0.3, 0.1),
+            ]
+        )
+        series = frontier_series(frontier)
+        assert [label for _, _, label in series] == ["a", "b"]
+        fps = [fp for fp, _, _ in series]
+        assert fps == sorted(fps)
+
+    def test_trust_series_indexing(self):
+        series = trust_series([1.0, 1.1, 1.2])
+        assert series == ((1, 1.0), (2, 1.1), (3, 1.2))
+
+
+class TestAuxiliaryRenderers:
+    def test_render_feasibility(self):
+        from repro.analysis import render_feasibility
+        from repro.core import PAPER_TRIAL_PROFILE, paper_example_parameters
+        from repro.trial import TrialDesign
+
+        report = TrialDesign(num_cases=400, num_readers=4).feasibility(
+            paper_example_parameters(), PAPER_TRIAL_PROFILE
+        )
+        text = render_feasibility(report)
+        assert "machine_failure" in text
+        assert "THIN" in text or "ok" in text
+
+    def test_render_monitoring(self):
+        from repro.analysis import monitor_records, render_monitoring
+        from repro.core import CaseClass, ClassParameters, DemandProfile, ModelParameters
+        from repro.trial import CaseRecord, TrialRecords
+
+        records = TrialRecords(
+            [
+                CaseRecord(i, "r", CaseClass("x"), True, True, i % 5 == 0, 0, i % 3 != 0)
+                for i in range(60)
+            ]
+        )
+        report = monitor_records(
+            records,
+            ModelParameters({"x": ClassParameters(0.2, 0.5, 0.3)}),
+            DemandProfile({"x": 1.0}),
+        )
+        text = render_monitoring(report)
+        assert "monitor" in text and "p-value" in text
+
+    def test_render_calibration(self, rng):
+        from repro.analysis import calibrate_against_simulation, render_calibration
+        from repro.cadt import DetectionAlgorithm
+        from repro.reader import ReaderModel
+        from repro.screening import PopulationModel
+
+        cancers = PopulationModel(seed=1901).generate_cancers(30)
+        report = calibrate_against_simulation(
+            ReaderModel(name="r", seed=1902), DetectionAlgorithm(), cancers,
+            repeats=5, rng=rng,
+        )
+        text = render_calibration(report)
+        assert "predicted" in text and "observed" in text

@@ -1,0 +1,123 @@
+"""Tests for repro.analysis.sensitivity."""
+
+import pytest
+
+from repro.analysis import parameter_sensitivities, tornado
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    SequentialModel,
+    paper_example_parameters,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def model():
+    return SequentialModel(paper_example_parameters())
+
+
+class TestParameterSensitivities:
+    def test_derivatives_are_the_analytic_formulas(self, model):
+        entries = {
+            (e.case_class.name, e.parameter): e
+            for e in parameter_sensitivities(model, PAPER_TRIAL_PROFILE)
+        }
+        # dPHf/dPMf(difficult) = p(x)*t(x) = 0.2 * 0.5.
+        assert entries[("difficult", "p_machine_failure")].derivative == pytest.approx(
+            0.1
+        )
+        # dPHf/dPHf|Mf(easy) = p(x)*PMf(x) = 0.8 * 0.07.
+        assert entries[
+            ("easy", "p_human_failure_given_machine_failure")
+        ].derivative == pytest.approx(0.056)
+        # dPHf/dPHf|Ms(easy) = p(x)*PMs(x) = 0.8 * 0.93.
+        assert entries[
+            ("easy", "p_human_failure_given_machine_success")
+        ].derivative == pytest.approx(0.744)
+
+    def test_derivatives_match_finite_differences(self, model):
+        from repro.core import ClassParameters
+
+        h = 1e-7
+        for entry in parameter_sensitivities(model, PAPER_FIELD_PROFILE):
+            params = model.parameters[entry.case_class]
+            values = {
+                name: getattr(params, name)
+                for name in (
+                    "p_machine_failure",
+                    "p_human_failure_given_machine_failure",
+                    "p_human_failure_given_machine_success",
+                )
+            }
+            values[entry.parameter] += h
+            bumped = SequentialModel(
+                model.parameters.with_class(entry.case_class, ClassParameters(**values))
+            )
+            numeric = (
+                bumped.system_failure_probability(PAPER_FIELD_PROFILE)
+                - model.system_failure_probability(PAPER_FIELD_PROFILE)
+            ) / h
+            assert numeric == pytest.approx(entry.derivative, abs=1e-5)
+
+    def test_dominant_parameter_is_easy_phf_ms(self, model):
+        """The paper's practical point: PHf|Ms on the frequent easy class
+        dominates system failure — that is where reader training pays."""
+        entries = parameter_sensitivities(model, PAPER_FIELD_PROFILE)
+        top = entries[0]
+        assert top.case_class == EASY
+        assert top.parameter == "p_human_failure_given_machine_success"
+
+    def test_elasticity_definition(self, model):
+        total = model.system_failure_probability(PAPER_TRIAL_PROFILE)
+        for entry in parameter_sensitivities(model, PAPER_TRIAL_PROFILE):
+            assert entry.elasticity == pytest.approx(
+                entry.derivative * entry.value / total
+            )
+
+    def test_sorted_by_absolute_derivative(self, model):
+        entries = parameter_sensitivities(model, PAPER_TRIAL_PROFILE)
+        magnitudes = [abs(e.derivative) for e in entries]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestTornado:
+    def test_bars_bracket_baseline(self, model):
+        for bar in tornado(model, PAPER_TRIAL_PROFILE):
+            assert bar.low <= bar.baseline + 1e-12
+            assert bar.high >= bar.baseline - 1e-12
+
+    def test_sorted_by_swing(self, model):
+        bars = tornado(model, PAPER_TRIAL_PROFILE)
+        swings = [b.swing for b in bars]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_swing_matches_linear_prediction(self, model):
+        """Equation (8) is linear, so a +-10% swing of a parameter moves
+        PHf by 2 * 0.1 * derivative * value (when no clipping occurs)."""
+        entries = {
+            (e.case_class.name, e.parameter): e
+            for e in parameter_sensitivities(model, PAPER_TRIAL_PROFILE)
+        }
+        for bar in tornado(model, PAPER_TRIAL_PROFILE, relative_change=0.1):
+            entry = entries[(bar.case_class.name, bar.parameter)]
+            if 0.0 < entry.value * 1.1 <= 1.0:
+                assert bar.swing == pytest.approx(
+                    abs(2 * 0.1 * entry.derivative * entry.value), abs=1e-9
+                )
+
+    def test_perturbation_clipped_to_unit_interval(self):
+        from repro.core import ClassParameters, DemandProfile, ModelParameters
+
+        extreme = SequentialModel(
+            ModelParameters({"x": ClassParameters(0.99, 0.99, 0.5)})
+        )
+        bars = tornado(extreme, DemandProfile({"x": 1.0}), relative_change=0.5)
+        for bar in bars:
+            assert 0.0 <= bar.low <= bar.high <= 1.0
+
+    def test_invalid_relative_change(self, model):
+        with pytest.raises(ParameterError):
+            tornado(model, PAPER_TRIAL_PROFILE, relative_change=0.0)

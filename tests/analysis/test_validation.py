@@ -1,0 +1,127 @@
+"""Tests for repro.analysis.validation (calibration harness)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CalibrationReport, CellCalibration, calibrate_against_simulation
+from repro.cadt import DetectionAlgorithm
+from repro.core import CaseClass
+from repro.exceptions import SimulationError
+from repro.reader import MILD_BIAS, ReaderModel
+from repro.screening import PopulationModel, SubtletyClassifier
+
+
+@pytest.fixture(scope="module")
+def cancers():
+    return PopulationModel(seed=1301).generate_cancers(150)
+
+
+class TestCellCalibration:
+    def test_observed_and_z(self):
+        cell = CellCalibration(
+            case_class=CaseClass("x"),
+            condition="machine_failure",
+            predicted=0.5,
+            observed_failures=60,
+            observed_trials=100,
+        )
+        assert cell.observed == pytest.approx(0.6)
+        assert cell.z_score == pytest.approx(0.1 / np.sqrt(0.25 / 100))
+
+    def test_empty_cell_is_neutral(self):
+        cell = CellCalibration(CaseClass("x"), "machine_failure", 0.5, 0, 0)
+        assert np.isnan(cell.observed)
+        assert cell.z_score == 0.0
+
+    def test_degenerate_prediction(self):
+        exact = CellCalibration(CaseClass("x"), "machine_success", 0.0, 0, 50)
+        assert exact.z_score == 0.0
+        wrong = CellCalibration(CaseClass("x"), "machine_success", 0.0, 5, 50)
+        assert wrong.z_score == float("inf")
+
+
+class TestCalibration:
+    def test_well_specified_model_is_calibrated(self, cancers):
+        """Simulating the exact same reader/algorithm the model was derived
+        from must pass calibration."""
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=1302)
+        algorithm = DetectionAlgorithm()
+        report = calibrate_against_simulation(
+            reader,
+            algorithm,
+            cancers,
+            SubtletyClassifier(),
+            repeats=40,
+            rng=np.random.default_rng(1303),
+        )
+        assert report.total_readings == 150 * 40
+        assert report.is_calibrated(z_threshold=3.5), (
+            report.hottest_cell.case_class,
+            report.hottest_cell.condition,
+            report.hottest_cell.z_score,
+        )
+
+    def test_misspecified_model_is_flagged(self, cancers):
+        """Simulating a *different* reader than the one the predictions
+        came from must blow the calibration check: predict with a vigilant
+        reader, simulate with a strongly biased one."""
+        from repro.reader import STRONG_BIAS
+
+        algorithm = DetectionAlgorithm()
+        vigilant = ReaderModel(name="vigilant", seed=1304)
+        report_against_wrong_truth = calibrate_against_simulation(
+            vigilant.with_bias(STRONG_BIAS),  # simulated behaviour
+            algorithm,
+            cancers,
+            repeats=40,
+            rng=np.random.default_rng(1305),
+        )
+        # Self-calibration of the biased reader passes...
+        assert report_against_wrong_truth.is_calibrated(z_threshold=3.5)
+        # ...but scoring the biased reader's records against the vigilant
+        # reader's predictions fails in the machine_failure cell.
+        from repro.system import derive_class_parameters
+
+        derived_vigilant = derive_class_parameters(vigilant, algorithm, cancers)
+        biased = vigilant.with_bias(STRONG_BIAS)
+        rng = np.random.default_rng(1306)
+        failures = trials = 0
+        for case in cancers:
+            for _ in range(40):
+                output = algorithm.process(case, rng)
+                if output.is_false_negative(case):
+                    decision = biased.decide(case, output, rng)
+                    trials += 1
+                    failures += int(not decision.recall)
+        cell = CellCalibration(
+            CaseClass("all"),
+            "machine_failure",
+            derived_vigilant.p_human_failure_given_machine_failure,
+            failures,
+            trials,
+        )
+        assert abs(cell.z_score) > 3.0
+
+    def test_hottest_cell_reported(self, cancers):
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=1307)
+        report = calibrate_against_simulation(
+            reader,
+            DetectionAlgorithm(),
+            cancers[:50],
+            repeats=10,
+            rng=np.random.default_rng(1308),
+        )
+        hottest = report.hottest_cell
+        assert abs(hottest.z_score) == report.max_abs_z
+
+    def test_validation_errors(self, cancers):
+        reader = ReaderModel(name="r")
+        healthy = PopulationModel(seed=1309).generate_healthy(5)
+        with pytest.raises(SimulationError):
+            calibrate_against_simulation(reader, DetectionAlgorithm(), [])
+        with pytest.raises(SimulationError):
+            calibrate_against_simulation(reader, DetectionAlgorithm(), healthy)
+        with pytest.raises(SimulationError):
+            calibrate_against_simulation(
+                reader, DetectionAlgorithm(), cancers, repeats=0
+            )

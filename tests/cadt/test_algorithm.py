@@ -1,0 +1,171 @@
+"""Tests for repro.cadt.algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cadt import CadtOutput, DetectionAlgorithm
+from repro.exceptions import SimulationError
+from repro.screening import LesionType
+from tests.screening.test_case_and_population import make_cancer_case
+
+
+def make_healthy_case(**overrides):
+    defaults = dict(
+        case_id=2,
+        has_cancer=False,
+        lesion_type=None,
+        breast_density=0.5,
+        subtlety=0.0,
+        machine_difficulty=0.0,
+        human_detection_difficulty=0.0,
+        human_classification_difficulty=0.2,
+        distractor_level=0.4,
+    )
+    defaults.update(overrides)
+    from repro.screening import Case
+
+    return Case(**defaults)
+
+
+class TestCadtOutput:
+    def test_false_negative_on_cancer(self):
+        case = make_cancer_case()
+        output = CadtOutput(case_id=1, prompted_relevant=False, num_false_prompts=0)
+        assert output.is_false_negative(case)
+        assert not output.is_false_positive(case)
+
+    def test_false_positive_on_healthy(self):
+        case = make_healthy_case()
+        output = CadtOutput(case_id=2, prompted_relevant=False, num_false_prompts=2)
+        assert output.is_false_positive(case)
+        assert not output.is_false_negative(case)
+
+    def test_has_any_prompt(self):
+        assert CadtOutput(1, True, 0).has_any_prompt
+        assert CadtOutput(1, False, 3).has_any_prompt
+        assert not CadtOutput(1, False, 0).has_any_prompt
+
+    def test_negative_prompts_rejected(self):
+        with pytest.raises(SimulationError):
+            CadtOutput(1, True, -1)
+
+
+class TestMissProbability:
+    def test_nominal_threshold_matches_case_difficulty(self):
+        algorithm = DetectionAlgorithm(threshold_shift=0.0)
+        case = make_cancer_case(machine_difficulty=0.3)
+        assert algorithm.miss_probability(case) == pytest.approx(0.3)
+
+    def test_healthy_case_never_missed(self):
+        algorithm = DetectionAlgorithm()
+        assert algorithm.miss_probability(make_healthy_case()) == 0.0
+
+    def test_threshold_shift_monotone(self):
+        case = make_cancer_case(machine_difficulty=0.3)
+        conservative = DetectionAlgorithm(threshold_shift=1.0)
+        aggressive = DetectionAlgorithm(threshold_shift=-1.0)
+        nominal = DetectionAlgorithm()
+        assert (
+            aggressive.miss_probability(case)
+            < nominal.miss_probability(case)
+            < conservative.miss_probability(case)
+        )
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=-5.0, max_value=5.0),
+    )
+    def test_miss_probability_valid(self, difficulty, shift):
+        algorithm = DetectionAlgorithm(threshold_shift=shift)
+        case = make_cancer_case(machine_difficulty=difficulty)
+        assert 0.0 < algorithm.miss_probability(case) < 1.0
+
+
+class TestFalsePrompts:
+    def test_rate_grows_with_distractors(self):
+        algorithm = DetectionAlgorithm()
+        calm = make_healthy_case(distractor_level=0.1)
+        busy = make_healthy_case(distractor_level=0.9)
+        assert algorithm.false_prompt_rate(busy) > algorithm.false_prompt_rate(calm)
+
+    def test_threshold_suppresses_false_prompts(self):
+        case = make_healthy_case()
+        conservative = DetectionAlgorithm(threshold_shift=1.0)
+        nominal = DetectionAlgorithm()
+        assert conservative.false_prompt_rate(case) < nominal.false_prompt_rate(case)
+
+    def test_false_positive_probability_formula(self):
+        algorithm = DetectionAlgorithm()
+        case = make_healthy_case()
+        rate = algorithm.false_prompt_rate(case)
+        assert algorithm.false_positive_probability(case) == pytest.approx(
+            1 - np.exp(-rate)
+        )
+
+    def test_tradeoff_between_error_kinds(self):
+        """Raising the threshold trades FNs up for FPs down — the Section 7
+        compromise the tool's designers must pick."""
+        cancer = make_cancer_case(machine_difficulty=0.3)
+        healthy = make_healthy_case()
+        low = DetectionAlgorithm(threshold_shift=-1.0)
+        high = DetectionAlgorithm(threshold_shift=1.0)
+        assert high.miss_probability(cancer) > low.miss_probability(cancer)
+        assert high.false_positive_probability(healthy) < low.false_positive_probability(
+            healthy
+        )
+
+
+class TestProcessing:
+    def test_output_case_id_matches(self, rng):
+        algorithm = DetectionAlgorithm()
+        output = algorithm.process(make_cancer_case(), rng)
+        assert output.case_id == 1
+
+    def test_healthy_never_prompted_relevant(self, rng):
+        algorithm = DetectionAlgorithm()
+        for _ in range(20):
+            assert not algorithm.process(make_healthy_case(), rng).prompted_relevant
+
+    def test_empirical_miss_rate_matches_probability(self, rng):
+        algorithm = DetectionAlgorithm()
+        case = make_cancer_case(machine_difficulty=0.3)
+        misses = sum(
+            not algorithm.process(case, rng).prompted_relevant for _ in range(5000)
+        )
+        assert misses / 5000 == pytest.approx(0.3, abs=0.02)
+
+    def test_empirical_false_prompt_rate(self, rng):
+        algorithm = DetectionAlgorithm()
+        case = make_healthy_case()
+        counts = [algorithm.process(case, rng).num_false_prompts for _ in range(5000)]
+        assert float(np.mean(counts)) == pytest.approx(
+            algorithm.false_prompt_rate(case), rel=0.1
+        )
+
+
+class TestRetuning:
+    def test_with_threshold_shift(self):
+        retuned = DetectionAlgorithm().with_threshold_shift(0.7)
+        assert retuned.threshold_shift == pytest.approx(0.7)
+        assert "@+0.700" in retuned.version
+
+    def test_improved_reduces_both_errors(self):
+        base = DetectionAlgorithm()
+        improved = base.improved(1.0)
+        cancer = make_cancer_case(machine_difficulty=0.3)
+        healthy = make_healthy_case()
+        assert improved.miss_probability(cancer) < base.miss_probability(cancer)
+        assert improved.false_prompt_rate(healthy) < base.false_prompt_rate(healthy)
+
+    def test_improved_rejects_negative_gain(self):
+        with pytest.raises(SimulationError):
+            DetectionAlgorithm().improved(-0.5)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DetectionAlgorithm(threshold_shift=float("nan"))
+        with pytest.raises(SimulationError):
+            DetectionAlgorithm(base_false_prompt_rate=-0.1)
+        with pytest.raises(SimulationError):
+            DetectionAlgorithm(distractor_gain=-1.0)

@@ -1,0 +1,136 @@
+"""Tests for repro.cadt.tool and repro.cadt.tuning."""
+
+import numpy as np
+import pytest
+
+from repro.cadt import (
+    Cadt,
+    DetectionAlgorithm,
+    machine_operating_point,
+    threshold_for_miss_rate,
+    threshold_sweep,
+)
+from repro.exceptions import ParameterError, SimulationError
+from repro.screening import PopulationModel
+from tests.cadt.test_algorithm import make_healthy_case
+from tests.screening.test_case_and_population import make_cancer_case
+
+
+@pytest.fixture
+def mixed_cases(population):
+    return population.generate_cancers(150) + population.generate_healthy(150)
+
+
+class TestCadtTool:
+    def test_processes_and_counts(self):
+        tool = Cadt(seed=1)
+        tool.process(make_cancer_case())
+        tool.process(make_healthy_case())
+        assert tool.cases_processed == 2
+
+    def test_no_drift_by_default(self):
+        tool = Cadt(seed=1)
+        for _ in range(100):
+            tool.process(make_healthy_case())
+        assert tool.accumulated_drift == 0.0
+        assert tool.effective_algorithm is tool.algorithm
+
+    def test_drift_accumulates_and_degrades(self):
+        tool = Cadt(drift_per_case=0.01, seed=1)
+        case = make_cancer_case(machine_difficulty=0.3)
+        baseline = tool.miss_probability(case)
+        for _ in range(200):
+            tool.process(make_healthy_case())
+        assert tool.accumulated_drift == pytest.approx(2.0)
+        assert tool.miss_probability(case) > baseline
+
+    def test_maintenance_resets_drift(self):
+        tool = Cadt(drift_per_case=0.01, seed=1)
+        case = make_cancer_case(machine_difficulty=0.3)
+        baseline = tool.miss_probability(case)
+        for _ in range(100):
+            tool.process(make_healthy_case())
+        tool.perform_maintenance()
+        assert tool.accumulated_drift == 0.0
+        assert tool.miss_probability(case) == pytest.approx(baseline)
+        assert tool.cases_processed == 100
+
+    def test_film_quality_offset(self):
+        good_site = Cadt(seed=1)
+        bad_site = Cadt(film_quality_offset=0.8, seed=1)
+        case = make_cancer_case(machine_difficulty=0.3)
+        assert bad_site.miss_probability(case) > good_site.miss_probability(case)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Cadt(drift_per_case=float("inf"))
+        with pytest.raises(SimulationError):
+            Cadt(film_quality_offset=float("nan"))
+
+    def test_repr(self):
+        assert "processed=0" in repr(Cadt(seed=1))
+
+
+class TestMachineOperatingPoint:
+    def test_rates_in_bounds(self, mixed_cases):
+        point = machine_operating_point(DetectionAlgorithm(), mixed_cases)
+        assert 0.0 <= point.miss_rate <= 1.0
+        assert 0.0 <= point.false_positive_rate <= 1.0
+        assert point.mean_false_prompts >= 0.0
+
+    def test_needs_both_kinds(self, population):
+        with pytest.raises(SimulationError):
+            machine_operating_point(
+                DetectionAlgorithm(), population.generate_cancers(10)
+            )
+
+    def test_matches_manual_mean(self, population):
+        cases = population.generate_cancers(50) + population.generate_healthy(50)
+        algorithm = DetectionAlgorithm()
+        point = machine_operating_point(algorithm, cases)
+        cancers = [c for c in cases if c.has_cancer]
+        manual = float(np.mean([algorithm.miss_probability(c) for c in cancers]))
+        assert point.miss_rate == pytest.approx(manual)
+
+
+class TestThresholdSweep:
+    def test_monotone_tradeoff(self, mixed_cases):
+        points = threshold_sweep(
+            DetectionAlgorithm(), mixed_cases, np.linspace(-2.0, 2.0, 9)
+        )
+        miss_rates = [p.miss_rate for p in points]
+        fp_rates = [p.false_positive_rate for p in points]
+        assert miss_rates == sorted(miss_rates)
+        assert fp_rates == sorted(fp_rates, reverse=True)
+
+    def test_empty_sweep_rejected(self, mixed_cases):
+        with pytest.raises(ParameterError):
+            threshold_sweep(DetectionAlgorithm(), mixed_cases, [])
+
+
+class TestThresholdForMissRate:
+    def test_achieves_target(self, population):
+        cancers = population.generate_cancers(300)
+        algorithm = DetectionAlgorithm()
+        shift = threshold_for_miss_rate(algorithm, cancers, target_miss_rate=0.10)
+        retuned = algorithm.with_threshold_shift(shift)
+        achieved = float(np.mean([retuned.miss_probability(c) for c in cancers]))
+        assert achieved == pytest.approx(0.10, abs=1e-3)
+
+    def test_lower_target_needs_lower_threshold(self, population):
+        cancers = population.generate_cancers(300)
+        algorithm = DetectionAlgorithm()
+        strict = threshold_for_miss_rate(algorithm, cancers, 0.05)
+        loose = threshold_for_miss_rate(algorithm, cancers, 0.30)
+        assert strict < loose
+
+    def test_invalid_target(self, population):
+        cancers = population.generate_cancers(10)
+        with pytest.raises(ParameterError):
+            threshold_for_miss_rate(DetectionAlgorithm(), cancers, 0.0)
+
+    def test_no_cancers_rejected(self, population):
+        with pytest.raises(SimulationError):
+            threshold_for_miss_rate(
+                DetectionAlgorithm(), population.generate_healthy(10), 0.1
+            )

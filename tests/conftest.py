@@ -1,0 +1,82 @@
+"""Shared fixtures: the paper's worked example and small substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import (
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    ClassParameters,
+    ModelParameters,
+    SequentialModel,
+    paper_example_parameters,
+)
+from repro.reader import MILD_BIAS, ReaderModel, ReaderSkill
+from repro.screening import PopulationModel, SubtletyClassifier
+
+
+@pytest.fixture
+def paper_parameters() -> ModelParameters:
+    """The paper's Table 1 model parameters."""
+    return paper_example_parameters()
+
+
+@pytest.fixture
+def paper_model(paper_parameters) -> SequentialModel:
+    """A sequential model at the paper's Table 1 parameters."""
+    return SequentialModel(paper_parameters)
+
+
+@pytest.fixture
+def trial_profile():
+    """The paper's trial demand profile (80/20)."""
+    return PAPER_TRIAL_PROFILE
+
+
+@pytest.fixture
+def field_profile():
+    """The paper's field demand profile (90/10)."""
+    return PAPER_FIELD_PROFILE
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator for deterministic sampling tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def population() -> PopulationModel:
+    """A seeded synthetic population."""
+    return PopulationModel(seed=2024)
+
+
+@pytest.fixture
+def classifier() -> SubtletyClassifier:
+    """The default easy/difficult classification criterion."""
+    return SubtletyClassifier()
+
+
+@pytest.fixture
+def cadt() -> Cadt:
+    """A seeded CADT at nominal tuning."""
+    return Cadt(DetectionAlgorithm(), seed=77)
+
+
+@pytest.fixture
+def reader() -> ReaderModel:
+    """A seeded average reader with mild automation bias."""
+    return ReaderModel(skill=ReaderSkill(), bias=MILD_BIAS, name="fixture_reader", seed=55)
+
+
+@pytest.fixture
+def example_class_parameters() -> ClassParameters:
+    """A generic, asymmetric parameter triple for single-class tests."""
+    return ClassParameters(
+        p_machine_failure=0.2,
+        p_human_failure_given_machine_failure=0.7,
+        p_human_failure_given_machine_success=0.1,
+    )

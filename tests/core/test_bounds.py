@@ -1,0 +1,196 @@
+"""Tests for repro.core.bounds (Figure 4's line and improvement limits)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    ClassParameters,
+    FailureLine,
+    SequentialModel,
+    failure_line,
+    figure4_series,
+    machine_improvement_floor,
+    machine_improvement_headroom,
+    paper_example_parameters,
+)
+from repro.exceptions import ParameterError, ProbabilityError
+
+
+class TestFailureLine:
+    def test_intercept_and_slope_from_parameters(self, example_class_parameters):
+        line = failure_line(example_class_parameters)
+        assert line.intercept == pytest.approx(0.1)
+        assert line.slope == pytest.approx(0.6)
+
+    def test_evaluation(self, example_class_parameters):
+        line = failure_line(example_class_parameters)
+        assert line(0.0) == pytest.approx(0.1)
+        assert line(0.5) == pytest.approx(0.4)
+        assert line(1.0) == pytest.approx(0.7)
+
+    def test_current_operating_point_on_line(self, example_class_parameters):
+        line = failure_line(example_class_parameters)
+        assert line(example_class_parameters.p_machine_failure) == pytest.approx(
+            example_class_parameters.p_system_failure
+        )
+
+    def test_endpoints(self, example_class_parameters):
+        line = failure_line(example_class_parameters)
+        assert line.at_perfect_machine == pytest.approx(0.1)
+        assert line.at_useless_machine == pytest.approx(0.7)
+
+    def test_at_useless_machine_equals_phf_given_mf(self, example_class_parameters):
+        line = failure_line(example_class_parameters)
+        assert line.at_useless_machine == pytest.approx(
+            example_class_parameters.p_human_failure_given_machine_failure
+        )
+
+    def test_negative_slope_allowed(self):
+        line = FailureLine(intercept=0.5, slope=-0.3)
+        assert line(1.0) == pytest.approx(0.2)
+
+    def test_invalid_intercept_rejected(self):
+        with pytest.raises(ProbabilityError):
+            FailureLine(intercept=1.2, slope=0.0)
+
+    def test_invalid_slope_rejected(self):
+        with pytest.raises(ParameterError):
+            FailureLine(intercept=0.5, slope=1.5)
+
+    def test_invalid_machine_probability_rejected(self):
+        line = FailureLine(intercept=0.1, slope=0.2)
+        with pytest.raises(ProbabilityError):
+            line(1.5)
+
+    def test_series(self):
+        line = FailureLine(intercept=0.1, slope=0.5)
+        series = line.series([0.0, 0.5, 1.0])
+        assert series == [
+            (0.0, pytest.approx(0.1)),
+            (0.5, pytest.approx(0.35)),
+            (1.0, pytest.approx(0.6)),
+        ]
+
+
+class TestFigure4Series:
+    def test_length_and_range(self, example_class_parameters):
+        series = figure4_series(example_class_parameters, num_points=11)
+        assert len(series) == 11
+        assert series[0][0] == 0.0
+        assert series[-1][0] == 1.0
+
+    def test_monotone_for_positive_importance(self, example_class_parameters):
+        series = figure4_series(example_class_parameters, num_points=21)
+        ys = [y for _, y in series]
+        assert ys == sorted(ys)
+
+    def test_paper_difficult_line(self):
+        params = paper_example_parameters()[DIFFICULT]
+        series = figure4_series(params, num_points=3)
+        assert series[0][1] == pytest.approx(0.4)   # intercept = PHf|Ms
+        assert series[-1][1] == pytest.approx(0.9)  # PHf|Mf at PMf = 1
+
+    def test_too_few_points_rejected(self, example_class_parameters):
+        with pytest.raises(ParameterError):
+            figure4_series(example_class_parameters, num_points=1)
+
+
+class TestImprovementBounds:
+    def test_floor_matches_model_method(self, paper_model):
+        assert machine_improvement_floor(
+            paper_model, PAPER_TRIAL_PROFILE
+        ) == pytest.approx(paper_model.machine_improvement_floor(PAPER_TRIAL_PROFILE))
+
+    def test_headroom_formula(self, paper_model):
+        headroom = machine_improvement_headroom(paper_model, PAPER_FIELD_PROFILE)
+        expected = paper_model.system_failure_probability(
+            PAPER_FIELD_PROFILE
+        ) - paper_model.machine_improvement_floor(PAPER_FIELD_PROFILE)
+        assert headroom == pytest.approx(expected)
+
+    def test_headroom_equals_expected_relevance(self, paper_model):
+        """Headroom = E_p[PMf(x) * t(x)] by equation (9)."""
+        params = paper_model.parameters
+        expected = PAPER_FIELD_PROFILE.expectation(
+            lambda cls: params[cls].p_machine_failure * params[cls].importance_index
+        )
+        assert machine_improvement_headroom(
+            paper_model, PAPER_FIELD_PROFILE
+        ) == pytest.approx(expected)
+
+    def test_no_machine_improvement_beats_floor(self, paper_model):
+        """Even a 10^6-fold machine improvement cannot cross the floor."""
+        hugely_improved = paper_model.with_machine_improved(1e6)
+        assert hugely_improved.system_failure_probability(
+            PAPER_TRIAL_PROFILE
+        ) >= machine_improvement_floor(paper_model, PAPER_TRIAL_PROFILE) - 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_floor_invariant_under_machine_improvement(self, pmf, phf_mf, phf_ms, factor):
+        from repro.core import DemandProfile, ModelParameters
+
+        model = SequentialModel(
+            ModelParameters({"only": ClassParameters(pmf, phf_mf, phf_ms)})
+        )
+        profile = DemandProfile({"only": 1.0})
+        improved = model.with_machine_improved(factor)
+        assert machine_improvement_floor(improved, profile) == pytest.approx(
+            machine_improvement_floor(model, profile)
+        )
+
+
+class TestRequiredMachineImprovement:
+    def test_closed_form_round_trip(self, paper_model):
+        """The computed factor, applied uniformly, hits the target exactly."""
+        from repro.core import required_machine_improvement
+
+        current = paper_model.system_failure_probability(PAPER_FIELD_PROFILE)
+        floor = machine_improvement_floor(paper_model, PAPER_FIELD_PROFILE)
+        target = (current + floor) / 2.0
+        factor = required_machine_improvement(
+            paper_model, PAPER_FIELD_PROFILE, target
+        )
+        improved = paper_model.with_machine_improved(factor)
+        assert improved.system_failure_probability(
+            PAPER_FIELD_PROFILE
+        ) == pytest.approx(target, abs=1e-12)
+
+    def test_no_improvement_needed_gives_factor_one(self, paper_model):
+        from repro.core import required_machine_improvement
+
+        current = paper_model.system_failure_probability(PAPER_FIELD_PROFILE)
+        assert required_machine_improvement(
+            paper_model, PAPER_FIELD_PROFILE, current
+        ) == pytest.approx(1.0)
+
+    def test_target_below_floor_rejected(self, paper_model):
+        from repro.core import required_machine_improvement
+
+        floor = machine_improvement_floor(paper_model, PAPER_FIELD_PROFILE)
+        with pytest.raises(ParameterError):
+            required_machine_improvement(
+                paper_model, PAPER_FIELD_PROFILE, floor * 0.5
+            )
+
+    def test_zero_headroom_rejected(self):
+        from repro.core import (
+            DemandProfile,
+            ModelParameters,
+            required_machine_improvement,
+        )
+
+        indifferent = SequentialModel(
+            ModelParameters({"x": ClassParameters(0.3, 0.2, 0.2)})
+        )
+        profile = DemandProfile({"x": 1.0})
+        with pytest.raises(ParameterError):
+            required_machine_improvement(indifferent, profile, 0.21)

@@ -1,0 +1,57 @@
+"""Tests for repro.core.case_class."""
+
+import pytest
+
+from repro.core import DIFFICULT, EASY, PAPER_CLASSES, CaseClass
+
+
+class TestCaseClass:
+    def test_name_and_description(self):
+        cls = CaseClass("dense", "dense tissue cases")
+        assert cls.name == "dense"
+        assert cls.description == "dense tissue cases"
+
+    def test_str_is_name(self):
+        assert str(CaseClass("easy")) == "easy"
+
+    def test_equality_ignores_description(self):
+        assert CaseClass("x", "one") == CaseClass("x", "two")
+
+    def test_inequality_by_name(self):
+        assert CaseClass("x") != CaseClass("y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(CaseClass("x", "a")) == hash(CaseClass("x", "b"))
+        assert {CaseClass("x", "a"), CaseClass("x", "b")} == {CaseClass("x")}
+
+    def test_ordering_by_name(self):
+        assert CaseClass("a") < CaseClass("b")
+        assert sorted([CaseClass("z"), CaseClass("a")]) == [CaseClass("a"), CaseClass("z")]
+
+    def test_usable_as_dict_key(self):
+        table = {CaseClass("easy"): 1, CaseClass("difficult"): 2}
+        assert table[CaseClass("easy")] == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            CaseClass("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            CaseClass(3)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CaseClass("x").name = "y"  # type: ignore[misc]
+
+
+class TestPaperClasses:
+    def test_names(self):
+        assert EASY.name == "easy"
+        assert DIFFICULT.name == "difficult"
+
+    def test_paper_classes_tuple(self):
+        assert PAPER_CLASSES == (EASY, DIFFICULT)
+
+    def test_distinct(self):
+        assert EASY != DIFFICULT

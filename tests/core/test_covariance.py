@@ -1,0 +1,122 @@
+"""Tests for repro.core.covariance (diversity analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    PAPER_TRIAL_PROFILE,
+    ParallelClassParameters,
+    SequentialModel,
+    WithinClassDifficulty,
+    decompose,
+    difficulty_correlation,
+    diversity_gain,
+    paper_example_parameters,
+)
+from repro.exceptions import ParameterError
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestDifficultyCorrelation:
+    def test_perfectly_correlated(self):
+        assert difficulty_correlation([0.1, 0.9], [0.1, 0.9]) == pytest.approx(1.0)
+
+    def test_perfectly_anticorrelated(self):
+        assert difficulty_correlation([0.1, 0.9], [0.9, 0.1]) == pytest.approx(-1.0)
+
+    def test_constant_sequence_gives_zero(self):
+        assert difficulty_correlation([0.5, 0.5], [0.1, 0.9]) == 0.0
+
+    @given(
+        st.lists(unit_floats, min_size=2, max_size=20),
+        st.lists(unit_floats, min_size=2, max_size=20),
+    )
+    def test_bounded(self, machine, human):
+        n = min(len(machine), len(human))
+        r = difficulty_correlation(machine[:n], human[:n])
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestDiversityGain:
+    def test_positive_for_negative_covariance(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=-0.05)
+        assert diversity_gain(params) == pytest.approx(0.05)
+
+    def test_negative_for_common_mode(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=0.08)
+        assert diversity_gain(params) == pytest.approx(-0.08)
+
+    def test_zero_at_independence(self):
+        assert diversity_gain(ParallelClassParameters(0.3, 0.4, 0.1)) == 0.0
+
+
+class TestWithinClassDifficulty:
+    @pytest.fixture
+    def varied(self):
+        return WithinClassDifficulty(
+            machine_difficulties=[0.05, 0.1, 0.6, 0.8],
+            human_difficulties=[0.1, 0.15, 0.5, 0.7],
+        )
+
+    def test_means(self, varied):
+        assert varied.mean_machine_difficulty == pytest.approx(np.mean([0.05, 0.1, 0.6, 0.8]))
+        assert varied.mean_human_difficulty == pytest.approx(np.mean([0.1, 0.15, 0.5, 0.7]))
+
+    def test_covariance_positive_for_comonotone(self, varied):
+        assert varied.covariance > 0
+
+    def test_joint_failure_exceeds_product_for_positive_covariance(self, varied):
+        product = varied.mean_machine_difficulty * varied.mean_human_difficulty
+        assert varied.joint_detection_failure == pytest.approx(
+            product + varied.covariance
+        )
+        assert varied.joint_detection_failure > product
+
+    def test_correlation_in_bounds(self, varied):
+        assert 0.9 < varied.correlation <= 1.0
+
+    def test_to_parallel_parameters(self, varied):
+        params = varied.to_parallel_parameters(p_human_misclassify=0.1)
+        assert params.p_machine_miss == pytest.approx(varied.mean_machine_difficulty)
+        assert params.p_human_miss == pytest.approx(varied.mean_human_difficulty)
+        assert params.detection_covariance == pytest.approx(varied.covariance)
+        assert params.p_joint_detection_failure == pytest.approx(
+            varied.joint_detection_failure
+        )
+
+    def test_weights(self):
+        varied = WithinClassDifficulty([0.0, 1.0], [0.0, 1.0], weights=[1.0, 3.0])
+        assert varied.mean_machine_difficulty == pytest.approx(0.75)
+
+    def test_num_cases(self, varied):
+        assert varied.num_cases == 4
+
+    def test_validation_errors(self):
+        with pytest.raises(ParameterError):
+            WithinClassDifficulty([0.5], [0.5, 0.5])
+        with pytest.raises(ParameterError):
+            WithinClassDifficulty([], [])
+        with pytest.raises(ParameterError):
+            WithinClassDifficulty([1.5], [0.5])
+        with pytest.raises(ParameterError):
+            WithinClassDifficulty([0.5], [0.5], weights=[-1.0])
+
+    @given(st.lists(st.tuples(unit_floats, unit_floats), min_size=1, max_size=30))
+    def test_covariance_always_feasible(self, pairs):
+        """The implied joint probability is always a valid probability."""
+        machine = [m for m, _ in pairs]
+        human = [h for _, h in pairs]
+        varied = WithinClassDifficulty(machine, human)
+        assert 0.0 <= varied.joint_detection_failure <= 1.0
+        params = varied.to_parallel_parameters(0.1)  # must not raise
+        assert 0.0 <= params.p_system_failure <= 1.0
+
+
+class TestDecomposeWrapper:
+    def test_matches_model_method(self):
+        model = SequentialModel(paper_example_parameters())
+        via_wrapper = decompose(model, PAPER_TRIAL_PROFILE)
+        via_method = model.covariance_decomposition(PAPER_TRIAL_PROFILE)
+        assert via_wrapper == via_method

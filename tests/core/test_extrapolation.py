@@ -1,0 +1,199 @@
+"""Tests for repro.core.extrapolation (Section 5 what-ifs)."""
+
+import pytest
+
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    ClassParameters,
+    DemandProfile,
+    ExtrapolationStudy,
+    ImproveMachine,
+    ReplaceClassParameters,
+    ReplaceProfile,
+    ReweightProfile,
+    Scenario,
+    SequentialModel,
+    SetMachineFailure,
+    ShiftReader,
+    paper_example_parameters,
+    paper_improvement_scenarios,
+)
+from repro.exceptions import ParameterError
+
+
+class TestChanges:
+    def test_improve_machine_all_classes(self, paper_parameters):
+        change = ImproveMachine(factor=10.0)
+        params, profile = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params[EASY].p_machine_failure == pytest.approx(0.007)
+        assert params[DIFFICULT].p_machine_failure == pytest.approx(0.041)
+        assert profile == PAPER_TRIAL_PROFILE
+
+    def test_improve_machine_selected(self, paper_parameters):
+        change = ImproveMachine(factor=10.0, classes=("easy",))
+        params, _ = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params[EASY].p_machine_failure == pytest.approx(0.007)
+        assert params[DIFFICULT].p_machine_failure == pytest.approx(0.41)
+
+    def test_set_machine_failure(self, paper_parameters):
+        change = SetMachineFailure("easy", 0.5)
+        params, _ = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params[EASY].p_machine_failure == pytest.approx(0.5)
+
+    def test_shift_reader(self, paper_parameters):
+        change = ShiftReader("easy", 0.05, -0.02)
+        params, _ = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params[EASY].p_human_failure_given_machine_failure == pytest.approx(0.23)
+        assert params[EASY].p_human_failure_given_machine_success == pytest.approx(0.12)
+
+    def test_replace_class_parameters(self, paper_parameters, example_class_parameters):
+        change = ReplaceClassParameters("easy", example_class_parameters)
+        params, _ = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params[EASY] == example_class_parameters
+
+    def test_reweight_profile(self, paper_parameters):
+        change = ReweightProfile({"difficult": 2.0})
+        _, profile = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        # 0.8 : 0.4 normalised.
+        assert profile[EASY] == pytest.approx(2.0 / 3.0)
+        assert profile[DIFFICULT] == pytest.approx(1.0 / 3.0)
+
+    def test_replace_profile(self, paper_parameters):
+        change = ReplaceProfile(PAPER_FIELD_PROFILE)
+        _, profile = change.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert profile == PAPER_FIELD_PROFILE
+
+
+class TestScenario:
+    def test_changes_compose_in_order(self, paper_parameters):
+        scenario = Scenario(
+            "composite",
+            (
+                SetMachineFailure("easy", 0.5),
+                ImproveMachine(10.0, ("easy",)),
+            ),
+        )
+        params, _ = scenario.apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params[EASY].p_machine_failure == pytest.approx(0.05)
+
+    def test_empty_scenario_is_identity(self, paper_parameters):
+        params, profile = Scenario("noop").apply(paper_parameters, PAPER_TRIAL_PROFILE)
+        assert params == paper_parameters
+        assert profile == PAPER_TRIAL_PROFILE
+
+    def test_name_required(self):
+        with pytest.raises(ParameterError):
+            Scenario("")
+
+    def test_non_change_rejected(self):
+        with pytest.raises(ParameterError):
+            Scenario("bad", ("not a change",))  # type: ignore[arg-type]
+
+
+class TestExtrapolationStudy:
+    @pytest.fixture
+    def study(self, paper_parameters):
+        improve_easy, improve_difficult = paper_improvement_scenarios()
+        return ExtrapolationStudy(
+            paper_parameters,
+            profiles={"trial": PAPER_TRIAL_PROFILE, "field": PAPER_FIELD_PROFILE},
+            scenarios=[improve_easy, improve_difficult],
+        )
+
+    def test_baseline_automatically_included(self, study):
+        names = [s.name for s in study.scenarios]
+        assert names[0] == "baseline"
+        assert set(names) == {"baseline", "improve_easy", "improve_difficult"}
+
+    def test_reproduces_table2_and_table3(self, study):
+        result = study.evaluate()
+        assert result.probability("baseline", "trial") == pytest.approx(0.235, abs=5e-4)
+        assert result.probability("baseline", "field") == pytest.approx(0.189, abs=5e-4)
+        assert result.probability("improve_easy", "trial") == pytest.approx(0.233, abs=5e-4)
+        assert result.probability("improve_easy", "field") == pytest.approx(0.187, abs=5e-4)
+        assert result.probability("improve_difficult", "trial") == pytest.approx(
+            0.198, abs=5e-4
+        )
+        assert result.probability("improve_difficult", "field") == pytest.approx(
+            0.171, abs=5e-4
+        )
+
+    def test_best_scenario_is_improve_difficult(self, study):
+        name, probability = study.best_scenario("field")
+        assert name == "improve_difficult"
+        assert probability == pytest.approx(0.171, abs=5e-4)
+
+    def test_best_scenario_unknown_profile_rejected(self, study):
+        with pytest.raises(ParameterError):
+            study.best_scenario("mars")
+
+    def test_as_table_structure(self, study):
+        table = study.evaluate().as_table()
+        assert set(table) == {"baseline", "improve_easy", "improve_difficult"}
+        assert set(table["baseline"]) == {"trial", "field"}
+
+    def test_result_names_in_order(self, study):
+        result = study.evaluate()
+        assert result.scenario_names[0] == "baseline"
+        assert result.profile_names == ("trial", "field")
+
+    def test_outcome_carries_transformed_parameters(self, study):
+        result = study.evaluate()
+        outcome = result[("improve_easy", "field")]
+        assert outcome.parameters[EASY].p_machine_failure == pytest.approx(0.007)
+        assert outcome.profile == PAPER_FIELD_PROFILE
+
+    def test_missing_outcome_raises_keyerror(self, study):
+        result = study.evaluate()
+        with pytest.raises(KeyError):
+            result[("baseline", "moon")]
+
+    def test_duplicate_scenario_names_rejected(self, paper_parameters):
+        s = Scenario("twin")
+        with pytest.raises(ParameterError):
+            ExtrapolationStudy(
+                paper_parameters, {"trial": PAPER_TRIAL_PROFILE}, [s, s]
+            )
+
+    def test_no_profiles_rejected(self, paper_parameters):
+        with pytest.raises(ParameterError):
+            ExtrapolationStudy(paper_parameters, {})
+
+    def test_explicit_baseline_not_duplicated(self, paper_parameters):
+        study = ExtrapolationStudy(
+            paper_parameters,
+            {"trial": PAPER_TRIAL_PROFILE},
+            [Scenario("baseline")],
+        )
+        assert [s.name for s in study.scenarios] == ["baseline"]
+
+
+class TestIndirectEffects:
+    def test_complacency_can_cancel_machine_improvement(self, paper_parameters):
+        """Section 5's indirect effect: improving the machine while readers
+        grow complacent can leave the system no better."""
+        direct_only = Scenario("direct", (ImproveMachine(10.0, ("difficult",)),))
+        with_complacency = Scenario(
+            "with_complacency",
+            (
+                ImproveMachine(10.0, ("difficult",)),
+                # Readers rely more on the machine: worse when it fails,
+                # and noticeably worse scrutiny overall.
+                ShiftReader("difficult", 0.10, 0.20),
+            ),
+        )
+        study = ExtrapolationStudy(
+            paper_parameters,
+            {"field": PAPER_FIELD_PROFILE},
+            [direct_only, with_complacency],
+        )
+        result = study.evaluate()
+        baseline = result.probability("baseline", "field")
+        direct = result.probability("direct", "field")
+        indirect = result.probability("with_complacency", "field")
+        assert direct < baseline
+        assert indirect > direct
+        assert indirect >= baseline - 5e-3

@@ -1,0 +1,162 @@
+"""Tests for repro.core.importance (the t(x) index, Section 6.1-6.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    ClassParameters,
+    DemandProfile,
+    InfluenceKind,
+    ModelParameters,
+    SequentialModel,
+    classify_influence,
+    importance_index,
+    importance_table,
+    machine_relevance,
+    merge_classes,
+    paper_example_parameters,
+)
+from repro.exceptions import ParameterError
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestImportanceIndex:
+    def test_paper_values(self):
+        params = paper_example_parameters()
+        assert importance_index(params[EASY]) == pytest.approx(0.04)
+        assert importance_index(params[DIFFICULT]) == pytest.approx(0.5)
+
+    def test_perfect_coherence(self):
+        params = ClassParameters(0.3, 1.0, 0.0)
+        assert importance_index(params) == 1.0
+
+    def test_table(self):
+        table = importance_table(paper_example_parameters())
+        assert table[EASY] == pytest.approx(0.04)
+        assert table[DIFFICULT] == pytest.approx(0.5)
+
+
+class TestClassifyInfluence:
+    def test_coherent(self):
+        assert classify_influence(0.3) is InfluenceKind.COHERENT
+
+    def test_indifferent(self):
+        assert classify_influence(0.0) is InfluenceKind.INDIFFERENT
+        assert classify_influence(1e-15) is InfluenceKind.INDIFFERENT
+
+    def test_contrarian(self):
+        assert classify_influence(-0.2) is InfluenceKind.CONTRARIAN
+
+
+class TestMachineRelevance:
+    def test_formula(self):
+        params = ClassParameters(0.2, 0.7, 0.1)
+        assert machine_relevance(params) == pytest.approx(0.2 * 0.6)
+
+    def test_equals_gain_from_perfect_machine(self):
+        params = ClassParameters(0.2, 0.7, 0.1)
+        perfect = params.with_machine_failure(0.0)
+        assert machine_relevance(params) == pytest.approx(
+            params.p_system_failure - perfect.p_system_failure
+        )
+
+    def test_paper_relevances_explain_table3(self):
+        """PMf*t is much larger for difficult cases — that is why improving
+        the CADT there wins despite the class being rarer."""
+        params = paper_example_parameters()
+        assert machine_relevance(params[DIFFICULT]) > 5 * machine_relevance(params[EASY])
+
+
+class TestMergeClasses:
+    def test_merging_identical_classes_is_identity(self):
+        params = ClassParameters(0.2, 0.7, 0.1)
+        table = ModelParameters({"a": params, "b": params})
+        merged = merge_classes(table, {"a": 0.3, "b": 0.7})
+        assert merged.is_close(params, atol=1e-12)
+
+    def test_merged_machine_failure_is_weighted_mean(self):
+        table = ModelParameters(
+            {
+                "a": ClassParameters(0.1, 0.5, 0.5),
+                "b": ClassParameters(0.5, 0.5, 0.5),
+            }
+        )
+        merged = merge_classes(table, {"a": 0.5, "b": 0.5})
+        assert merged.p_machine_failure == pytest.approx(0.3)
+
+    def test_conditional_weights_by_conditioning_event(self):
+        """PHf|Mf of the merge weights subclasses by how often they *cause* Mf."""
+        table = ModelParameters(
+            {
+                "rarely_fails": ClassParameters(0.01, 1.0, 0.0),
+                "often_fails": ClassParameters(0.99, 0.0, 0.0),
+            }
+        )
+        merged = merge_classes(table, {"rarely_fails": 0.5, "often_fails": 0.5})
+        # Given Mf, the case is almost surely from "often_fails" where PHf|Mf=0.
+        expected = (0.5 * 0.01 * 1.0 + 0.5 * 0.99 * 0.0) / (0.5 * 0.01 + 0.5 * 0.99)
+        assert merged.p_human_failure_given_machine_failure == pytest.approx(expected)
+
+    def test_mixture_confound_creates_spurious_importance(self):
+        """Section 6.2: merging two t=0 subclasses can show t > 0."""
+        table = ModelParameters(
+            {
+                # Both subclasses have PHf|Mf == PHf|Ms (t = 0).
+                "easy_sub": ClassParameters(0.05, 0.1, 0.1),
+                "hard_sub": ClassParameters(0.8, 0.9, 0.9),
+            }
+        )
+        assert table["easy_sub"].importance_index == 0.0
+        assert table["hard_sub"].importance_index == 0.0
+        merged = merge_classes(table, {"easy_sub": 0.5, "hard_sub": 0.5})
+        assert merged.importance_index > 0.3
+
+    def test_merge_preserves_profile_weighted_failure_probability(self):
+        """The merged class predicts the same overall PHf as the fine model
+        under the merging weights (consistency of the coarsening)."""
+        table = paper_example_parameters()
+        weights = DemandProfile({"easy": 0.8, "difficult": 0.2})
+        merged = merge_classes(table, weights)
+        fine = SequentialModel(table).system_failure_probability(weights)
+        assert merged.p_system_failure == pytest.approx(fine, abs=1e-12)
+
+    def test_merge_with_degenerate_machine(self):
+        table = ModelParameters(
+            {
+                "a": ClassParameters(0.0, 0.5, 0.2),
+                "b": ClassParameters(0.0, 0.7, 0.4),
+            }
+        )
+        merged = merge_classes(table, {"a": 0.5, "b": 0.5})
+        assert merged.p_machine_failure == 0.0
+        assert merged.p_human_failure_given_machine_success == pytest.approx(0.3)
+
+    def test_merge_unknown_class_rejected(self):
+        table = paper_example_parameters()
+        with pytest.raises(ParameterError):
+            merge_classes(table, {"easy": 0.5, "mystery": 0.5})
+
+    @given(
+        st.lists(
+            st.tuples(probabilities, probabilities, probabilities),
+            min_size=2,
+            max_size=5,
+        ),
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=5),
+    )
+    def test_merge_consistency_property(self, triples, weights):
+        """Fine model and merged class agree on overall failure probability."""
+        n = min(len(triples), len(weights))
+        table = ModelParameters(
+            {
+                f"c{i}": ClassParameters(*triples[i])
+                for i in range(n)
+            }
+        )
+        profile = DemandProfile.from_weights({f"c{i}": weights[i] for i in range(n)})
+        merged = merge_classes(table, profile)
+        fine = SequentialModel(table).system_failure_probability(profile)
+        assert merged.p_system_failure == pytest.approx(fine, abs=1e-9)

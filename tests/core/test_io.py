@@ -1,0 +1,111 @@
+"""Tests for repro.core.io (JSON persistence)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    dump_model,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    paper_example_parameters,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def profiles():
+    return {"trial": PAPER_TRIAL_PROFILE, "field": PAPER_FIELD_PROFILE}
+
+
+class TestDictRoundTrip:
+    def test_parameters_round_trip(self, profiles):
+        original = paper_example_parameters()
+        document = model_to_dict(original, profiles)
+        restored, restored_profiles = model_from_dict(document)
+        assert restored == original
+        assert restored_profiles["trial"] == PAPER_TRIAL_PROFILE
+        assert restored_profiles["field"] == PAPER_FIELD_PROFILE
+
+    def test_descriptions_preserved(self):
+        original = paper_example_parameters()
+        document = model_to_dict(original)
+        assert "cases" in document["classes"]["easy"]["description"]
+
+    def test_without_profiles(self):
+        document = model_to_dict(paper_example_parameters())
+        assert "profiles" not in document
+        _, restored_profiles = model_from_dict(document)
+        assert restored_profiles == {}
+
+    def test_document_is_json_serialisable(self, profiles):
+        document = model_to_dict(paper_example_parameters(), profiles)
+        text = json.dumps(document)
+        assert "repro-model/1" in text
+
+
+class TestValidation:
+    def test_wrong_format_tag(self):
+        with pytest.raises(ParameterError):
+            model_from_dict({"format": "other/9", "classes": {}})
+
+    def test_missing_classes(self):
+        with pytest.raises(ParameterError):
+            model_from_dict({"format": "repro-model/1"})
+
+    def test_missing_parameter_in_class(self):
+        with pytest.raises(ParameterError):
+            model_from_dict(
+                {
+                    "format": "repro-model/1",
+                    "classes": {"easy": {"p_machine_failure": 0.1}},
+                }
+            )
+
+    def test_malformed_profile(self):
+        document = model_to_dict(paper_example_parameters())
+        document["profiles"] = {"bad": "not a mapping"}
+        with pytest.raises(ParameterError):
+            model_from_dict(document)
+
+    def test_profile_must_sum_to_one(self):
+        document = model_to_dict(paper_example_parameters())
+        document["profiles"] = {"bad": {"easy": 0.5, "difficult": 0.1}}
+        with pytest.raises(Exception):
+            model_from_dict(document)
+
+
+class TestFileRoundTrip:
+    def test_dump_and_load(self, tmp_path, profiles):
+        path = tmp_path / "model.json"
+        dump_model(path, paper_example_parameters(), profiles)
+        restored, restored_profiles = load_model(path)
+        assert restored == paper_example_parameters()
+        assert set(restored_profiles) == {"trial", "field"}
+
+    def test_file_is_human_readable_json(self, tmp_path):
+        path = tmp_path / "model.json"
+        dump_model(path, paper_example_parameters())
+        body = json.loads(path.read_text())
+        assert body["format"] == "repro-model/1"
+        assert body["classes"]["difficult"]["p_machine_failure"] == pytest.approx(0.41)
+
+    def test_loading_garbage_raises(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ParameterError):
+            load_model(path)
+
+    def test_predictions_survive_round_trip(self, tmp_path, profiles):
+        from repro.core import SequentialModel
+
+        path = tmp_path / "model.json"
+        dump_model(path, paper_example_parameters(), profiles)
+        restored, restored_profiles = load_model(path)
+        model = SequentialModel(restored)
+        assert model.system_failure_probability(
+            restored_profiles["trial"]
+        ) == pytest.approx(0.235, abs=5e-4)

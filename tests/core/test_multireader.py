@@ -1,0 +1,223 @@
+"""Tests for repro.core.multireader (analytic reader teams)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    MultiReaderClassParameters,
+    MultiReaderModel,
+    ReaderConditionals,
+    TeamPolicy,
+)
+from repro.exceptions import ParameterError
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestTeamPolicy:
+    def test_recall_if_any_fn_is_product(self):
+        # All must miss for the system to miss.
+        assert TeamPolicy.RECALL_IF_ANY.false_negative_probability(
+            [0.3, 0.2]
+        ) == pytest.approx(0.06)
+
+    def test_recall_if_all_fn_is_union(self):
+        assert TeamPolicy.RECALL_IF_ALL.false_negative_probability(
+            [0.3, 0.2]
+        ) == pytest.approx(0.44)
+
+    def test_recall_if_any_fp_is_union(self):
+        assert TeamPolicy.RECALL_IF_ANY.false_positive_probability(
+            [0.1, 0.2]
+        ) == pytest.approx(0.28)
+
+    def test_recall_if_all_fp_is_product(self):
+        assert TeamPolicy.RECALL_IF_ALL.false_positive_probability(
+            [0.1, 0.2]
+        ) == pytest.approx(0.02)
+
+    @given(st.lists(unit_floats, min_size=1, max_size=5))
+    def test_policies_bracket_single_reader(self, failures):
+        any_policy = TeamPolicy.RECALL_IF_ANY.false_negative_probability(failures)
+        all_policy = TeamPolicy.RECALL_IF_ALL.false_negative_probability(failures)
+        assert any_policy <= min(failures) + 1e-12
+        assert all_policy >= max(failures) - 1e-12
+
+
+class TestMultiReaderClassParameters:
+    @pytest.fixture
+    def team(self):
+        return MultiReaderClassParameters(
+            p_machine_failure=0.2,
+            readers=(
+                ReaderConditionals(0.6, 0.2),
+                ReaderConditionals(0.5, 0.1),
+            ),
+        )
+
+    def test_team_conditionals_recall_if_any(self, team):
+        assert team.team_failure_given_machine_failure(
+            TeamPolicy.RECALL_IF_ANY
+        ) == pytest.approx(0.3)
+        assert team.team_failure_given_machine_success(
+            TeamPolicy.RECALL_IF_ANY
+        ) == pytest.approx(0.02)
+
+    def test_team_parameters_plug_into_sequential_machinery(self, team):
+        params = team.team_parameters(TeamPolicy.RECALL_IF_ANY)
+        assert isinstance(params, ClassParameters)
+        assert params.p_machine_failure == pytest.approx(0.2)
+        assert params.importance_index == pytest.approx(0.28)
+
+    def test_system_failure(self, team):
+        # 0.02*0.8 + 0.3*0.2
+        assert team.p_system_failure(TeamPolicy.RECALL_IF_ANY) == pytest.approx(0.076)
+
+    def test_team_beats_best_member_under_recall_if_any(self, team):
+        team_params = team.team_parameters(TeamPolicy.RECALL_IF_ANY)
+        single_best = ClassParameters(0.2, 0.5, 0.1)
+        assert team_params.p_system_failure < single_best.p_system_failure
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MultiReaderClassParameters(0.2, ())
+        with pytest.raises(ParameterError):
+            MultiReaderClassParameters(0.2, (ReaderConditionals(0.5, 0.1),), "typo")
+        with pytest.raises(ParameterError):
+            MultiReaderClassParameters(0.2, ((0.5, 0.1),))  # type: ignore[arg-type]
+
+    def test_false_positive_kind_flips_combinators(self):
+        team = MultiReaderClassParameters(
+            p_machine_failure=0.3,
+            readers=(ReaderConditionals(0.4, 0.1), ReaderConditionals(0.2, 0.05)),
+            failure_kind="false_positive",
+        )
+        # Recall-if-any on healthy cases: failure if ANY recalls.
+        assert team.team_failure_given_machine_failure(
+            TeamPolicy.RECALL_IF_ANY
+        ) == pytest.approx(1 - 0.6 * 0.8)
+
+
+class TestMultiReaderModel:
+    @pytest.fixture
+    def tables(self):
+        strong = ModelParameters(
+            {
+                "easy": ClassParameters(0.07, 0.18, 0.14),
+                "difficult": ClassParameters(0.41, 0.9, 0.4),
+            }
+        )
+        weak = ModelParameters(
+            {
+                "easy": ClassParameters(0.07, 0.3, 0.25),
+                "difficult": ClassParameters(0.41, 0.95, 0.6),
+            }
+        )
+        return strong, weak
+
+    @pytest.fixture
+    def profile(self):
+        return DemandProfile({"easy": 0.8, "difficult": 0.2})
+
+    def test_from_single_reader_tables(self, tables, profile):
+        strong, weak = tables
+        team = MultiReaderModel.from_single_reader_tables([strong, weak])
+        assert team.team_size == 2
+        assert set(c.name for c in team.classes) == {"easy", "difficult"}
+
+    def test_team_beats_either_single_reader(self, tables, profile):
+        from repro.core import SequentialModel
+
+        strong, weak = tables
+        team = MultiReaderModel.from_single_reader_tables([strong, weak])
+        team_failure = team.system_failure_probability(profile)
+        assert team_failure < SequentialModel(strong).system_failure_probability(profile)
+        assert team_failure < SequentialModel(weak).system_failure_probability(profile)
+
+    def test_policy_ordering(self, tables, profile):
+        strong, weak = tables
+        team = MultiReaderModel.from_single_reader_tables([strong, weak])
+        recall_any = team.system_failure_probability(profile)
+        recall_all = team.with_policy(
+            TeamPolicy.RECALL_IF_ALL
+        ).system_failure_probability(profile)
+        assert recall_any < recall_all
+
+    def test_machine_improvement_floor_applies_to_teams(self, tables, profile):
+        """Section 6.1's bound carries over: the team's floor is the
+        product of individual PHf|Ms (recall-if-any)."""
+        strong, weak = tables
+        team = MultiReaderModel.from_single_reader_tables([strong, weak])
+        sequential = team.to_sequential_model()
+        floor = sequential.machine_improvement_floor(profile)
+        expected = profile.expectation(
+            lambda cls: strong[cls].p_human_failure_given_machine_success
+            * weak[cls].p_human_failure_given_machine_success
+        )
+        assert floor == pytest.approx(expected)
+
+    def test_mismatched_machines_rejected(self, tables):
+        strong, _ = tables
+        different_machine = ModelParameters(
+            {
+                "easy": ClassParameters(0.10, 0.3, 0.25),
+                "difficult": ClassParameters(0.41, 0.95, 0.6),
+            }
+        )
+        with pytest.raises(ParameterError):
+            MultiReaderModel.from_single_reader_tables([strong, different_machine])
+
+    def test_mismatched_classes_rejected(self, tables):
+        strong, _ = tables
+        other = ModelParameters({"weird": ClassParameters(0.07, 0.3, 0.2)})
+        with pytest.raises(ParameterError):
+            MultiReaderModel.from_single_reader_tables([strong, other])
+
+    def test_inconsistent_team_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            MultiReaderModel(
+                {
+                    "a": MultiReaderClassParameters(
+                        0.1, (ReaderConditionals(0.5, 0.1),)
+                    ),
+                    "b": MultiReaderClassParameters(
+                        0.1,
+                        (ReaderConditionals(0.5, 0.1), ReaderConditionals(0.4, 0.1)),
+                    ),
+                }
+            )
+
+    def test_single_reader_team_equals_sequential_model(self, tables, profile):
+        from repro.core import SequentialModel
+
+        strong, _ = tables
+        team = MultiReaderModel.from_single_reader_tables([strong])
+        assert team.system_failure_probability(profile) == pytest.approx(
+            SequentialModel(strong).system_failure_probability(profile)
+        )
+
+    @given(
+        st.lists(
+            st.tuples(unit_floats, unit_floats, unit_floats),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_adding_a_reader_never_hurts_recall_if_any(self, triples):
+        """Under recall-if-any, a bigger team has no higher FN probability
+        (monotone redundancy)."""
+        machine = 0.3
+        readers = tuple(
+            ReaderConditionals(given_mf, given_ms)
+            for given_mf, given_ms, _ in triples
+        )
+        team = MultiReaderClassParameters(machine, readers)
+        extended = MultiReaderClassParameters(
+            machine, readers + (ReaderConditionals(0.5, 0.2),)
+        )
+        assert extended.p_system_failure(
+            TeamPolicy.RECALL_IF_ANY
+        ) <= team.p_system_failure(TeamPolicy.RECALL_IF_ANY) + 1e-12

@@ -1,0 +1,237 @@
+"""Tests for repro.core.parallel (equations 1-3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ParallelClassParameters,
+    ParallelModel,
+    SequentialModel,
+    ModelParameters,
+    detection_covariance_bounds,
+)
+from repro.core.parallel import covariance_from_case_difficulties
+from repro.exceptions import ModelAssumptionError, ParameterError
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def parallel_parameters(draw, allow_covariance: bool = True):
+    """Random valid ParallelClassParameters, with feasible covariance."""
+    p_machine = draw(probabilities)
+    p_human = draw(probabilities)
+    p_misclass = draw(probabilities)
+    if allow_covariance:
+        lower, upper = detection_covariance_bounds(p_machine, p_human)
+        # Guard against bounds inverted by floating-point rounding.
+        lower, upper = min(lower, upper), max(lower, upper)
+        cov = draw(st.floats(min_value=lower, max_value=upper))
+    else:
+        cov = 0.0
+    return ParallelClassParameters(p_machine, p_human, p_misclass, cov)
+
+
+class TestCovarianceBounds:
+    def test_independent_midpoint_feasible(self):
+        lower, upper = detection_covariance_bounds(0.3, 0.4)
+        assert lower <= 0.0 <= upper
+
+    def test_bounds_formula(self):
+        lower, upper = detection_covariance_bounds(0.3, 0.4)
+        assert upper == pytest.approx(0.3 - 0.12)  # min marginal - product
+        assert lower == pytest.approx(0.0 - 0.12)  # max(0, 0.3+0.4-1) - product
+
+    def test_high_marginals_positive_lower_bound(self):
+        lower, _ = detection_covariance_bounds(0.9, 0.9)
+        # joint >= 0.8 forced, so cov >= 0.8 - 0.81 = -0.01
+        assert lower == pytest.approx(-0.01)
+
+    def test_degenerate_zero_marginal(self):
+        lower, upper = detection_covariance_bounds(0.0, 0.5)
+        assert lower == pytest.approx(0.0)
+        assert upper == pytest.approx(0.0)
+
+    @given(probabilities, probabilities)
+    def test_bounds_ordered(self, p, q):
+        lower, upper = detection_covariance_bounds(p, q)
+        assert lower <= upper + 1e-15
+
+
+class TestCovarianceFromDifficulties:
+    def test_matches_manual_computation(self):
+        machine = [0.1, 0.9]
+        human = [0.2, 0.8]
+        # E[mh] = (0.02 + 0.72)/2 = 0.37; E[m]=0.5, E[h]=0.5 -> cov = 0.12
+        assert covariance_from_case_difficulties(machine, human) == pytest.approx(0.12)
+
+    def test_weighted(self):
+        cov = covariance_from_case_difficulties([0.0, 1.0], [0.0, 1.0], [3.0, 1.0])
+        # E[mh]=0.25, E[m]=E[h]=0.25 -> 0.25 - 0.0625
+        assert cov == pytest.approx(0.1875)
+
+    def test_anticorrelated_negative(self):
+        cov = covariance_from_case_difficulties([0.1, 0.9], [0.9, 0.1])
+        assert cov < 0
+
+    def test_constant_difficulty_zero(self):
+        assert covariance_from_case_difficulties([0.5, 0.5], [0.1, 0.9]) == pytest.approx(
+            0.0
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            covariance_from_case_difficulties([0.5], [0.5, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            covariance_from_case_difficulties([], [])
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ParameterError):
+            covariance_from_case_difficulties([0.5], [0.5], [0.0])
+
+
+class TestParallelClassParameters:
+    def test_joint_detection_failure_with_covariance(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=0.05)
+        assert params.p_joint_detection_failure == pytest.approx(0.17)
+
+    def test_equation_1_system_failure(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=0.0)
+        joint = 0.12
+        assert params.p_system_failure == pytest.approx(joint + (1 - joint) * 0.1)
+
+    def test_equation_2_equals_equation_1_at_zero_covariance(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1)
+        assert params.p_system_failure == pytest.approx(
+            params.p_system_failure_independent
+        )
+
+    def test_positive_covariance_raises_failure(self):
+        independent = ParallelClassParameters(0.3, 0.4, 0.1)
+        correlated = independent.with_covariance(0.05)
+        assert correlated.p_system_failure > independent.p_system_failure
+        assert correlated.independence_assumption_error > 0
+
+    def test_negative_covariance_is_diversity(self):
+        independent = ParallelClassParameters(0.3, 0.4, 0.1)
+        diverse = independent.with_covariance(-0.05)
+        assert diverse.p_system_failure < independent.p_system_failure
+
+    def test_infeasible_covariance_rejected(self):
+        with pytest.raises(ModelAssumptionError):
+            ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=0.5)
+        with pytest.raises(ModelAssumptionError):
+            ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=-0.2)
+
+    def test_with_machine_miss_resets_covariance(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1, detection_covariance=0.05)
+        changed = params.with_machine_miss(0.5)
+        assert changed.detection_covariance == 0.0
+        assert changed.p_machine_miss == pytest.approx(0.5)
+
+    @given(parallel_parameters())
+    def test_joint_in_unit_interval(self, params):
+        assert 0.0 <= params.p_joint_detection_failure <= 1.0
+
+    @given(parallel_parameters())
+    def test_system_failure_at_least_misclassification_floor(self, params):
+        # Even perfect detection leaves the misclassification failure mode.
+        assert params.p_system_failure >= params.p_human_misclassify * (
+            1.0 - params.p_joint_detection_failure
+        ) - 1e-12
+
+
+class TestSequentialBridge:
+    def test_machine_success_side_is_misclassification(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1)
+        sequential = params.to_sequential()
+        assert sequential.p_human_failure_given_machine_success == pytest.approx(0.1)
+
+    def test_machine_failure_side_formula(self):
+        params = ParallelClassParameters(0.3, 0.4, 0.1)
+        sequential = params.to_sequential()
+        # Independent: P(Hmiss|Mf) = PHmiss = 0.4.
+        assert sequential.p_human_failure_given_machine_failure == pytest.approx(
+            0.4 + 0.6 * 0.1
+        )
+
+    def test_zero_machine_failure_convention(self):
+        params = ParallelClassParameters(0.0, 0.4, 0.1)
+        sequential = params.to_sequential()
+        assert sequential.p_machine_failure == 0.0
+        assert sequential.p_human_failure_given_machine_failure == pytest.approx(
+            0.4 + 0.6 * 0.1
+        )
+
+    @given(parallel_parameters())
+    def test_bridge_preserves_system_failure_probability(self, params):
+        """Equation (1) and the sequential rewrite agree exactly."""
+        sequential = params.to_sequential()
+        assert sequential.p_system_failure == pytest.approx(
+            params.p_system_failure, abs=1e-9
+        )
+
+    @given(parallel_parameters())
+    def test_bridge_importance_nonnegative(self, params):
+        """In the parallel model the machine can only help: t(x) >= 0."""
+        assert params.to_sequential().importance_index >= -1e-12
+
+
+class TestParallelModel:
+    @pytest.fixture
+    def model(self):
+        return ParallelModel(
+            {
+                "easy": ParallelClassParameters(0.1, 0.2, 0.05),
+                "hard": ParallelClassParameters(0.5, 0.6, 0.2, detection_covariance=0.05),
+            }
+        )
+
+    def test_profile_weighted_failure(self, model):
+        profile = DemandProfile({"easy": 0.5, "hard": 0.5})
+        expected = 0.5 * model["easy"].p_system_failure + 0.5 * model["hard"].p_system_failure
+        assert model.system_failure_probability(profile) == pytest.approx(expected)
+
+    def test_detection_failure_probability(self, model):
+        profile = DemandProfile({"easy": 0.25, "hard": 0.75})
+        expected = (
+            0.25 * model["easy"].p_joint_detection_failure
+            + 0.75 * model["hard"].p_joint_detection_failure
+        )
+        assert model.detection_failure_probability(profile) == pytest.approx(expected)
+
+    def test_independent_prediction_below_truth_for_positive_covariance(self, model):
+        profile = DemandProfile({"hard": 1.0})
+        assert model.system_failure_probability_independent(
+            profile
+        ) < model.system_failure_probability(profile)
+
+    def test_to_sequential_parameters_agree_under_any_profile(self, model):
+        sequential = SequentialModel(model.to_sequential_parameters())
+        for weights in ({"easy": 0.9, "hard": 0.1}, {"easy": 0.2, "hard": 0.8}):
+            profile = DemandProfile(weights)
+            assert sequential.system_failure_probability(profile) == pytest.approx(
+                model.system_failure_probability(profile), abs=1e-9
+            )
+
+    def test_unknown_class_rejected(self, model):
+        with pytest.raises(ParameterError):
+            model["nonexistent"]
+        with pytest.raises(ParameterError):
+            model.system_failure_probability(DemandProfile({"other": 1.0}))
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ParameterError):
+            ParallelModel({})
+
+    def test_wrong_parameter_type_rejected(self, example_class_parameters):
+        with pytest.raises(ParameterError):
+            ParallelModel({"easy": example_class_parameters})  # type: ignore[dict-item]
+
+    def test_len_iter_classes(self, model):
+        assert len(model) == 2
+        assert [c.name for c in model.classes] == ["easy", "hard"]

@@ -1,0 +1,207 @@
+"""Tests for repro.core.parameters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    ClassParameters,
+    ModelParameters,
+    paper_example_parameters,
+)
+from repro.exceptions import ParameterError, ProbabilityError
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def class_parameters(draw):
+    """Random valid ClassParameters triples."""
+    return ClassParameters(
+        p_machine_failure=draw(probabilities),
+        p_human_failure_given_machine_failure=draw(probabilities),
+        p_human_failure_given_machine_success=draw(probabilities),
+    )
+
+
+class TestClassParameters:
+    def test_derived_machine_success(self, example_class_parameters):
+        assert example_class_parameters.p_machine_success == pytest.approx(0.8)
+
+    def test_importance_index(self, example_class_parameters):
+        assert example_class_parameters.importance_index == pytest.approx(0.6)
+
+    def test_system_failure_probability(self, example_class_parameters):
+        # 0.1*0.8 + 0.7*0.2 = 0.22
+        assert example_class_parameters.p_system_failure == pytest.approx(0.22)
+
+    def test_paper_easy_class_failure(self):
+        easy = paper_example_parameters()[EASY]
+        assert easy.p_system_failure == pytest.approx(0.1428)
+
+    def test_paper_difficult_class_failure(self):
+        difficult = paper_example_parameters()[DIFFICULT]
+        assert difficult.p_system_failure == pytest.approx(0.605)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ProbabilityError):
+            ClassParameters(1.5, 0.5, 0.5)
+        with pytest.raises(ProbabilityError):
+            ClassParameters(0.5, -0.1, 0.5)
+        with pytest.raises(ProbabilityError):
+            ClassParameters(0.5, 0.5, float("nan"))
+
+    def test_with_machine_failure(self, example_class_parameters):
+        changed = example_class_parameters.with_machine_failure(0.05)
+        assert changed.p_machine_failure == pytest.approx(0.05)
+        # Reader behaviour untouched.
+        assert changed.p_human_failure_given_machine_failure == pytest.approx(0.7)
+        assert changed.p_human_failure_given_machine_success == pytest.approx(0.1)
+
+    def test_with_machine_improved(self, example_class_parameters):
+        improved = example_class_parameters.with_machine_improved(10.0)
+        assert improved.p_machine_failure == pytest.approx(0.02)
+
+    def test_improvement_factor_must_be_positive(self, example_class_parameters):
+        with pytest.raises(ProbabilityError):
+            example_class_parameters.with_machine_improved(0.0)
+        with pytest.raises(ProbabilityError):
+            example_class_parameters.with_machine_improved(-2.0)
+
+    def test_improvement_below_one_degrades(self, example_class_parameters):
+        degraded = example_class_parameters.with_machine_improved(0.5)
+        assert degraded.p_machine_failure == pytest.approx(0.4)
+
+    def test_with_reader_shift(self, example_class_parameters):
+        shifted = example_class_parameters.with_reader_shift(0.1, -0.05)
+        assert shifted.p_human_failure_given_machine_failure == pytest.approx(0.8)
+        assert shifted.p_human_failure_given_machine_success == pytest.approx(0.05)
+
+    def test_reader_shift_out_of_range_rejected(self, example_class_parameters):
+        with pytest.raises(ProbabilityError):
+            example_class_parameters.with_reader_shift(0.5)  # 0.7 + 0.5 > 1
+
+    def test_is_close(self, example_class_parameters):
+        nearly = ClassParameters(0.2 + 1e-12, 0.7, 0.1)
+        assert example_class_parameters.is_close(nearly)
+        far = ClassParameters(0.3, 0.7, 0.1)
+        assert not example_class_parameters.is_close(far)
+
+    @given(class_parameters())
+    def test_system_failure_is_convex_combination(self, params):
+        low = min(
+            params.p_human_failure_given_machine_failure,
+            params.p_human_failure_given_machine_success,
+        )
+        high = max(
+            params.p_human_failure_given_machine_failure,
+            params.p_human_failure_given_machine_success,
+        )
+        assert low - 1e-12 <= params.p_system_failure <= high + 1e-12
+
+    @given(class_parameters())
+    def test_importance_bounded(self, params):
+        assert -1.0 <= params.importance_index <= 1.0
+
+    @given(class_parameters(), st.floats(min_value=1.0, max_value=100.0))
+    def test_improving_machine_never_hurts_when_t_positive(self, params, factor):
+        improved = params.with_machine_improved(factor)
+        if params.importance_index >= 0:
+            assert improved.p_system_failure <= params.p_system_failure + 1e-12
+        else:
+            assert improved.p_system_failure >= params.p_system_failure - 1e-12
+
+
+class TestModelParameters:
+    def test_lookup_by_class_and_name(self, paper_parameters):
+        assert paper_parameters[EASY].p_machine_failure == pytest.approx(0.07)
+        assert paper_parameters["difficult"].p_machine_failure == pytest.approx(0.41)
+
+    def test_unknown_class_raises(self, paper_parameters):
+        with pytest.raises(ParameterError):
+            paper_parameters["nonexistent"]
+
+    def test_contains(self, paper_parameters):
+        assert EASY in paper_parameters
+        assert "difficult" in paper_parameters
+        assert "weird" not in paper_parameters
+
+    def test_iteration_sorted(self, paper_parameters):
+        assert [c.name for c in paper_parameters] == ["difficult", "easy"]
+
+    def test_len(self, paper_parameters):
+        assert len(paper_parameters) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ModelParameters({})
+
+    def test_wrong_value_type_rejected(self):
+        with pytest.raises(ParameterError):
+            ModelParameters({"a": (0.1, 0.2, 0.3)})  # type: ignore[dict-item]
+
+    def test_duplicate_class_and_name_rejected(self, example_class_parameters):
+        with pytest.raises(ParameterError):
+            ModelParameters(
+                {EASY: example_class_parameters, "easy": example_class_parameters}
+            )
+
+    def test_with_machine_improved_all_classes(self, paper_parameters):
+        improved = paper_parameters.with_machine_improved(10.0)
+        assert improved[EASY].p_machine_failure == pytest.approx(0.007)
+        assert improved[DIFFICULT].p_machine_failure == pytest.approx(0.041)
+
+    def test_with_machine_improved_selected_class(self, paper_parameters):
+        improved = paper_parameters.with_machine_improved(10.0, ["easy"])
+        assert improved[EASY].p_machine_failure == pytest.approx(0.007)
+        assert improved[DIFFICULT].p_machine_failure == pytest.approx(0.41)
+
+    def test_improving_unknown_class_rejected(self, paper_parameters):
+        with pytest.raises(ParameterError):
+            paper_parameters.with_machine_improved(10.0, ["nope"])
+
+    def test_with_class_replaces(self, paper_parameters, example_class_parameters):
+        updated = paper_parameters.with_class("easy", example_class_parameters)
+        assert updated[EASY].p_machine_failure == pytest.approx(0.2)
+        # Original untouched (immutability).
+        assert paper_parameters[EASY].p_machine_failure == pytest.approx(0.07)
+
+    def test_with_class_adds(self, paper_parameters, example_class_parameters):
+        updated = paper_parameters.with_class("new", example_class_parameters)
+        assert len(updated) == 3
+
+    def test_transform(self, paper_parameters):
+        doubled = paper_parameters.transform(
+            lambda cls, p: p.with_machine_failure(min(1.0, 2 * p.p_machine_failure))
+        )
+        assert doubled[EASY].p_machine_failure == pytest.approx(0.14)
+
+    def test_equality(self, paper_parameters):
+        assert paper_parameters == paper_example_parameters()
+        assert paper_parameters != paper_parameters.with_machine_improved(2.0)
+
+    def test_repr_mentions_classes(self, paper_parameters):
+        text = repr(paper_parameters)
+        assert "easy" in text and "difficult" in text
+
+
+class TestPaperExampleParameters:
+    def test_table1_values(self):
+        params = paper_example_parameters()
+        easy, difficult = params[EASY], params[DIFFICULT]
+        assert easy.p_machine_failure == pytest.approx(0.07)
+        assert easy.p_machine_success == pytest.approx(0.93)
+        assert easy.p_human_failure_given_machine_failure == pytest.approx(0.18)
+        assert easy.p_human_failure_given_machine_success == pytest.approx(0.14)
+        assert difficult.p_machine_failure == pytest.approx(0.41)
+        assert difficult.p_machine_success == pytest.approx(0.59)
+        assert difficult.p_human_failure_given_machine_failure == pytest.approx(0.9)
+        assert difficult.p_human_failure_given_machine_success == pytest.approx(0.4)
+
+    def test_paper_importance_indices(self):
+        params = paper_example_parameters()
+        # The paper notes the difference PHf|Mf - PHf|Ms is "only 0.04" for
+        # easy cases and larger (0.5) for difficult ones.
+        assert params[EASY].importance_index == pytest.approx(0.04)
+        assert params[DIFFICULT].importance_index == pytest.approx(0.5)

@@ -1,0 +1,246 @@
+"""Tests for repro.core.profile (demand profiles)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    CaseClass,
+    DemandProfile,
+)
+from repro.exceptions import ProbabilityError, ProfileError
+
+
+class TestConstruction:
+    def test_from_mapping_of_classes(self):
+        profile = DemandProfile({EASY: 0.8, DIFFICULT: 0.2})
+        assert profile[EASY] == pytest.approx(0.8)
+        assert profile[DIFFICULT] == pytest.approx(0.2)
+
+    def test_string_keys_coerced(self):
+        profile = DemandProfile({"easy": 0.5, "difficult": 0.5})
+        assert profile[EASY] == pytest.approx(0.5)
+
+    def test_lookup_by_string(self):
+        profile = DemandProfile({EASY: 1.0})
+        assert profile["easy"] == pytest.approx(1.0)
+
+    def test_unknown_class_has_zero_probability(self):
+        profile = DemandProfile({EASY: 1.0})
+        assert profile[DIFFICULT] == 0.0
+        assert DIFFICULT not in profile
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ProfileError):
+            DemandProfile({EASY: 0.5, DIFFICULT: 0.4})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            DemandProfile({})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ProbabilityError):
+            DemandProfile({EASY: 1.2, DIFFICULT: -0.2})
+
+    def test_duplicate_keys_via_string_and_class_rejected(self):
+        with pytest.raises(ProfileError):
+            DemandProfile({EASY: 0.5, "easy": 0.5})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            DemandProfile({3: 1.0})  # type: ignore[dict-item]
+
+
+class TestAlternativeConstructors:
+    def test_from_weights_normalises(self):
+        profile = DemandProfile.from_weights({"a": 3.0, "b": 1.0})
+        assert profile["a"] == pytest.approx(0.75)
+        assert profile["b"] == pytest.approx(0.25)
+
+    def test_from_weights_rejects_zero_total(self):
+        with pytest.raises(ProfileError):
+            DemandProfile.from_weights({"a": 0.0})
+
+    def test_from_weights_rejects_negative(self):
+        with pytest.raises(ProfileError):
+            DemandProfile.from_weights({"a": 2.0, "b": -1.0})
+
+    def test_from_counts(self):
+        profile = DemandProfile.from_counts({"a": 30, "b": 10})
+        assert profile["a"] == pytest.approx(0.75)
+
+    def test_from_counts_rejects_fractional(self):
+        with pytest.raises(ProfileError):
+            DemandProfile.from_counts({"a": 1.5})  # type: ignore[dict-item]
+
+    def test_uniform(self):
+        profile = DemandProfile.uniform(["a", "b", "c", "d"])
+        assert all(profile[name] == pytest.approx(0.25) for name in "abcd")
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            DemandProfile.uniform([])
+
+    def test_degenerate(self):
+        profile = DemandProfile.degenerate("only")
+        assert profile["only"] == 1.0
+        assert len(profile) == 1
+
+
+class TestMappingInterface:
+    def test_len_and_iter(self):
+        profile = DemandProfile({"a": 0.5, "b": 0.5})
+        assert len(profile) == 2
+        assert {cls.name for cls in profile} == {"a", "b"}
+
+    def test_support_excludes_zero_classes(self):
+        profile = DemandProfile({"a": 1.0, "b": 0.0})
+        assert [c.name for c in profile.support] == ["a"]
+        assert {c.name for c in profile.classes} == {"a", "b"}
+
+    def test_classes_sorted(self):
+        profile = DemandProfile({"z": 0.5, "a": 0.5})
+        assert [c.name for c in profile.classes] == ["a", "z"]
+
+
+class TestAlgebra:
+    def test_expectation(self):
+        profile = DemandProfile({"a": 0.25, "b": 0.75})
+        values = {"a": 4.0, "b": 8.0}
+        assert profile.expectation(lambda c: values[c.name]) == pytest.approx(7.0)
+
+    def test_covariance_zero_for_constant(self):
+        profile = DemandProfile({"a": 0.3, "b": 0.7})
+        assert profile.covariance(lambda c: 1.0, lambda c: c.name == "a") == pytest.approx(
+            0.0
+        )
+
+    def test_covariance_matches_manual(self):
+        profile = DemandProfile({"a": 0.5, "b": 0.5})
+        f = {"a": 0.0, "b": 1.0}
+        g = {"a": 0.0, "b": 2.0}
+        # cov = E[fg] - E[f]E[g] = 1.0 - 0.5*1.0 = 0.5
+        assert profile.covariance(
+            lambda c: f[c.name], lambda c: g[c.name]
+        ) == pytest.approx(0.5)
+
+    def test_mix(self):
+        mixed = PAPER_TRIAL_PROFILE.mix(PAPER_FIELD_PROFILE, 0.5)
+        assert mixed[EASY] == pytest.approx(0.85)
+        assert mixed[DIFFICULT] == pytest.approx(0.15)
+
+    def test_mix_weight_endpoints(self):
+        assert PAPER_TRIAL_PROFILE.mix(PAPER_FIELD_PROFILE, 1.0) == PAPER_TRIAL_PROFILE
+        assert PAPER_TRIAL_PROFILE.mix(PAPER_FIELD_PROFILE, 0.0) == PAPER_FIELD_PROFILE
+
+    def test_mix_invalid_weight(self):
+        with pytest.raises(ProbabilityError):
+            PAPER_TRIAL_PROFILE.mix(PAPER_FIELD_PROFILE, 1.5)
+
+    def test_reweighted(self):
+        profile = DemandProfile({"a": 0.5, "b": 0.5}).reweighted({"a": 3.0})
+        assert profile["a"] == pytest.approx(0.75)
+        assert profile["b"] == pytest.approx(0.25)
+
+    def test_reweighted_unknown_factor_ignored(self):
+        profile = DemandProfile({"a": 1.0}).reweighted({"zzz": 5.0})
+        assert profile["a"] == pytest.approx(1.0)
+
+    def test_restricted(self):
+        profile = DemandProfile({"a": 0.6, "b": 0.2, "c": 0.2}).restricted(["a", "b"])
+        assert profile["a"] == pytest.approx(0.75)
+        assert profile["b"] == pytest.approx(0.25)
+        assert profile["c"] == 0.0
+
+    def test_restricted_to_nothing_rejected(self):
+        with pytest.raises(ProfileError):
+            DemandProfile({"a": 1.0}).restricted(["b"])
+
+
+class TestComparisons:
+    def test_total_variation_distance(self):
+        assert PAPER_TRIAL_PROFILE.total_variation_distance(
+            PAPER_FIELD_PROFILE
+        ) == pytest.approx(0.1)
+
+    def test_total_variation_distance_self_is_zero(self):
+        assert PAPER_TRIAL_PROFILE.total_variation_distance(PAPER_TRIAL_PROFILE) == 0.0
+
+    def test_equality_and_hash(self):
+        first = DemandProfile({"a": 0.5, "b": 0.5})
+        second = DemandProfile({"b": 0.5, "a": 0.5})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_is_close_tolerance(self):
+        first = DemandProfile({"a": 0.5, "b": 0.5})
+        second = DemandProfile({"a": 0.5 + 1e-12, "b": 0.5 - 1e-12})
+        assert first.is_close(second, atol=1e-9)
+
+    def test_repr_contains_weights(self):
+        assert "easy" in repr(PAPER_TRIAL_PROFILE)
+
+
+class TestPaperProfiles:
+    def test_trial_profile(self):
+        assert PAPER_TRIAL_PROFILE[EASY] == pytest.approx(0.8)
+        assert PAPER_TRIAL_PROFILE[DIFFICULT] == pytest.approx(0.2)
+
+    def test_field_profile(self):
+        assert PAPER_FIELD_PROFILE[EASY] == pytest.approx(0.9)
+        assert PAPER_FIELD_PROFILE[DIFFICULT] == pytest.approx(0.1)
+
+
+@st.composite
+def profiles(draw, max_classes: int = 6):
+    """Random valid demand profiles."""
+    n = draw(st.integers(min_value=1, max_value=max_classes))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return DemandProfile.from_weights(
+        {f"class_{i}": w for i, w in enumerate(weights)}
+    )
+
+
+class TestProfileProperties:
+    @given(profiles())
+    def test_weights_sum_to_one(self, profile):
+        assert math.fsum(p for _, p in profile.items()) == pytest.approx(1.0)
+
+    @given(profiles(), profiles(), st.floats(min_value=0.0, max_value=1.0))
+    def test_mixture_is_valid_and_convex(self, first, second, weight):
+        mixed = first.mix(second, weight)
+        for cls in set(first.classes) | set(second.classes):
+            expected = weight * first[cls] + (1.0 - weight) * second[cls]
+            assert mixed[cls] == pytest.approx(expected, abs=1e-9)
+
+    @given(profiles())
+    def test_tvd_symmetric_and_bounded(self, profile):
+        other = DemandProfile.uniform([c.name for c in profile.classes])
+        d1 = profile.total_variation_distance(other)
+        d2 = other.total_variation_distance(profile)
+        assert d1 == pytest.approx(d2)
+        assert 0.0 <= d1 <= 1.0
+
+    @given(profiles())
+    def test_expectation_of_one_is_one(self, profile):
+        assert profile.expectation(lambda c: 1.0) == pytest.approx(1.0)
+
+    @given(profiles())
+    def test_covariance_cauchy_schwarz(self, profile):
+        f = lambda c: hash(c.name) % 7 / 7.0  # noqa: E731
+        g = lambda c: hash(c.name) % 5 / 5.0  # noqa: E731
+        cov = profile.covariance(f, g)
+        var_f = profile.covariance(f, f)
+        var_g = profile.covariance(g, g)
+        assert cov * cov <= var_f * var_g + 1e-12

@@ -1,0 +1,306 @@
+"""Tests for repro.core.sequential (equations 4-10)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DIFFICULT,
+    EASY,
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    SequentialModel,
+)
+from repro.exceptions import ParameterError
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def models_and_profiles(draw, max_classes: int = 5):
+    """Random (SequentialModel, DemandProfile) pairs over shared classes."""
+    n = draw(st.integers(min_value=1, max_value=max_classes))
+    names = [f"class_{i}" for i in range(n)]
+    params = {
+        name: ClassParameters(
+            p_machine_failure=draw(probabilities),
+            p_human_failure_given_machine_failure=draw(probabilities),
+            p_human_failure_given_machine_success=draw(probabilities),
+        )
+        for name in names
+    }
+    weights = draw(
+        st.lists(st.floats(min_value=1e-3, max_value=1.0), min_size=n, max_size=n)
+    )
+    profile = DemandProfile.from_weights(dict(zip(names, weights)))
+    return SequentialModel(ModelParameters(params)), profile
+
+
+class TestPaperNumbers:
+    """The sequential model must reproduce the paper's Section 5 example."""
+
+    def test_easy_class_failure(self, paper_model):
+        assert paper_model.class_failure_probability(EASY) == pytest.approx(
+            0.143, abs=5e-4
+        )
+
+    def test_difficult_class_failure(self, paper_model):
+        assert paper_model.class_failure_probability(DIFFICULT) == pytest.approx(
+            0.605, abs=5e-4
+        )
+
+    def test_trial_failure_probability(self, paper_model):
+        assert paper_model.system_failure_probability(
+            PAPER_TRIAL_PROFILE
+        ) == pytest.approx(0.235, abs=5e-4)
+
+    def test_field_failure_probability(self, paper_model):
+        assert paper_model.system_failure_probability(
+            PAPER_FIELD_PROFILE
+        ) == pytest.approx(0.189, abs=5e-4)
+
+    def test_improved_easy_matches_table3(self, paper_model):
+        improved = paper_model.with_machine_improved(10.0, ["easy"])
+        assert improved.class_failure_probability(EASY) == pytest.approx(0.140, abs=5e-4)
+        assert improved.system_failure_probability(
+            PAPER_TRIAL_PROFILE
+        ) == pytest.approx(0.233, abs=5e-4)
+        assert improved.system_failure_probability(
+            PAPER_FIELD_PROFILE
+        ) == pytest.approx(0.187, abs=5e-4)
+
+    def test_improved_difficult_matches_table3(self, paper_model):
+        improved = paper_model.with_machine_improved(10.0, ["difficult"])
+        # Exact value 0.4205; the paper prints 0.421.
+        assert improved.class_failure_probability(DIFFICULT) == pytest.approx(
+            0.4205, abs=5e-4
+        )
+        assert improved.system_failure_probability(
+            PAPER_TRIAL_PROFILE
+        ) == pytest.approx(0.198, abs=5e-4)
+        assert improved.system_failure_probability(
+            PAPER_FIELD_PROFILE
+        ) == pytest.approx(0.171, abs=5e-4)
+
+    def test_difficult_improvement_beats_easy_improvement(self, paper_model):
+        """The paper's headline non-intuitive result."""
+        easy_improved = paper_model.with_machine_improved(10.0, ["easy"])
+        difficult_improved = paper_model.with_machine_improved(10.0, ["difficult"])
+        for profile in (PAPER_TRIAL_PROFILE, PAPER_FIELD_PROFILE):
+            assert difficult_improved.system_failure_probability(
+                profile
+            ) < easy_improved.system_failure_probability(profile)
+
+
+class TestEvaluation:
+    def test_predict_breakdown_sums_to_total(self, paper_model):
+        prediction = paper_model.predict(PAPER_TRIAL_PROFILE)
+        assert prediction.probability == pytest.approx(
+            math.fsum(prediction.contributions.values())
+        )
+
+    def test_predict_contributions_are_weighted_class_probabilities(self, paper_model):
+        prediction = paper_model.predict(PAPER_TRIAL_PROFILE)
+        assert prediction.contributions[EASY] == pytest.approx(0.8 * 0.1428)
+        assert prediction.per_class[DIFFICULT] == pytest.approx(0.605)
+
+    def test_profile_missing_parameters_rejected(self, paper_model):
+        stranger = DemandProfile({"weird": 1.0})
+        with pytest.raises(ParameterError):
+            paper_model.system_failure_probability(stranger)
+
+    def test_profile_with_zero_weight_unknown_class_allowed(self, paper_model):
+        # Zero-probability classes need no parameters.
+        profile = DemandProfile({"easy": 1.0, "weird": 0.0})
+        assert paper_model.system_failure_probability(profile) == pytest.approx(
+            0.1428
+        )
+
+    def test_model_requires_model_parameters(self):
+        with pytest.raises(ParameterError):
+            SequentialModel({"easy": None})  # type: ignore[arg-type]
+
+    def test_degenerate_profile_matches_class_probability(self, paper_model):
+        profile = DemandProfile.degenerate("difficult")
+        assert paper_model.system_failure_probability(profile) == pytest.approx(
+            paper_model.class_failure_probability("difficult")
+        )
+
+
+class TestSummaries:
+    def test_mean_machine_failure(self, paper_model):
+        expected = 0.8 * 0.07 + 0.2 * 0.41
+        assert paper_model.mean_machine_failure(PAPER_TRIAL_PROFILE) == pytest.approx(
+            expected
+        )
+
+    def test_mean_importance(self, paper_model):
+        expected = 0.8 * 0.04 + 0.2 * 0.5
+        assert paper_model.mean_importance(PAPER_TRIAL_PROFILE) == pytest.approx(expected)
+
+    def test_machine_improvement_floor(self, paper_model):
+        expected = 0.8 * 0.14 + 0.2 * 0.40
+        assert paper_model.machine_improvement_floor(
+            PAPER_TRIAL_PROFILE
+        ) == pytest.approx(expected)
+
+    def test_floor_equals_perfect_machine_model(self, paper_model):
+        perfect = SequentialModel(
+            paper_model.parameters.transform(
+                lambda cls, p: p.with_machine_failure(0.0)
+            )
+        )
+        assert paper_model.machine_improvement_floor(
+            PAPER_FIELD_PROFILE
+        ) == pytest.approx(
+            perfect.system_failure_probability(PAPER_FIELD_PROFILE)
+        )
+
+
+class TestCovarianceDecomposition:
+    def test_reassembles_exactly(self, paper_model):
+        for profile in (PAPER_TRIAL_PROFILE, PAPER_FIELD_PROFILE):
+            decomposition = paper_model.covariance_decomposition(profile)
+            assert decomposition.total == pytest.approx(
+                paper_model.system_failure_probability(profile), abs=1e-12
+            )
+
+    def test_terms_match_summaries(self, paper_model):
+        decomposition = paper_model.covariance_decomposition(PAPER_TRIAL_PROFILE)
+        assert decomposition.mean_machine_failure == pytest.approx(
+            paper_model.mean_machine_failure(PAPER_TRIAL_PROFILE)
+        )
+        assert decomposition.mean_importance == pytest.approx(
+            paper_model.mean_importance(PAPER_TRIAL_PROFILE)
+        )
+        assert (
+            decomposition.expected_human_failure_given_machine_success
+            == pytest.approx(paper_model.machine_improvement_floor(PAPER_TRIAL_PROFILE))
+        )
+
+    def test_paper_covariance_is_positive(self, paper_model):
+        """The machine fails more exactly where its failures hurt more."""
+        decomposition = paper_model.covariance_decomposition(PAPER_TRIAL_PROFILE)
+        assert decomposition.covariance > 0
+
+    def test_single_class_covariance_is_zero(self, example_class_parameters):
+        model = SequentialModel(ModelParameters({"only": example_class_parameters}))
+        decomposition = model.covariance_decomposition(DemandProfile({"only": 1.0}))
+        assert decomposition.covariance == pytest.approx(0.0, abs=1e-12)
+
+    @given(models_and_profiles())
+    def test_decomposition_exact_for_random_models(self, model_and_profile):
+        model, profile = model_and_profile
+        decomposition = model.covariance_decomposition(profile)
+        assert decomposition.total == pytest.approx(
+            model.system_failure_probability(profile), abs=1e-9
+        )
+
+
+class TestModelProperties:
+    @given(models_and_profiles())
+    def test_failure_probability_in_unit_interval(self, model_and_profile):
+        model, profile = model_and_profile
+        assert 0.0 <= model.system_failure_probability(profile) <= 1.0
+
+    @given(models_and_profiles())
+    def test_floor_is_a_lower_bound_when_importance_nonnegative(self, model_and_profile):
+        model, profile = model_and_profile
+        if all(model.parameters[c].importance_index >= 0 for c in profile.support):
+            assert model.system_failure_probability(
+                profile
+            ) >= model.machine_improvement_floor(profile) - 1e-12
+
+    @given(models_and_profiles(), st.floats(min_value=1.0, max_value=50.0))
+    def test_machine_improvement_monotone_when_importance_nonnegative(
+        self, model_and_profile, factor
+    ):
+        model, profile = model_and_profile
+        if all(model.parameters[c].importance_index >= 0 for c in profile.support):
+            improved = model.with_machine_improved(factor)
+            assert improved.system_failure_probability(
+                profile
+            ) <= model.system_failure_probability(profile) + 1e-12
+
+    @given(models_and_profiles())
+    def test_profile_mixture_linearity(self, model_and_profile):
+        """PHf is linear in the demand profile (equation 8 is a weighted sum)."""
+        model, profile = model_and_profile
+        other = DemandProfile.uniform([c.name for c in profile.classes])
+        mixed = profile.mix(other, 0.3)
+        expected = 0.3 * model.system_failure_probability(
+            profile
+        ) + 0.7 * model.system_failure_probability(other)
+        assert model.system_failure_probability(mixed) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    @given(models_and_profiles())
+    def test_indifferent_reader_makes_machine_irrelevant(self, model_and_profile):
+        """If PHf|Mf == PHf|Ms on every class, improving the machine does nothing."""
+        model, profile = model_and_profile
+        flattened = SequentialModel(
+            model.parameters.transform(
+                lambda cls, p: ClassParameters(
+                    p.p_machine_failure,
+                    p.p_human_failure_given_machine_success,
+                    p.p_human_failure_given_machine_success,
+                )
+            )
+        )
+        improved = flattened.with_machine_improved(100.0)
+        assert improved.system_failure_probability(profile) == pytest.approx(
+            flattened.system_failure_probability(profile), abs=1e-9
+        )
+
+
+class TestFailureAttribution:
+    def test_sums_to_one(self, paper_model):
+        attribution = paper_model.failure_attribution(PAPER_FIELD_PROFILE)
+        assert math.fsum(attribution.values()) == pytest.approx(1.0)
+
+    def test_machine_success_share_formula(self, paper_model):
+        """Failures that happened despite correct machine output:
+        sum_x p(x)*PMs(x)*PHf|Ms(x) / PHf."""
+        attribution = paper_model.failure_attribution(PAPER_FIELD_PROFILE)
+        unpreventable = sum(
+            value
+            for (cls, outcome), value in attribution.items()
+            if outcome == "machine_success"
+        )
+        params = paper_model.parameters
+        expected = PAPER_FIELD_PROFILE.expectation(
+            lambda cls: params[cls].p_machine_success
+            * params[cls].p_human_failure_given_machine_success
+        ) / paper_model.system_failure_probability(PAPER_FIELD_PROFILE)
+        assert unpreventable == pytest.approx(expected)
+        # Most failures happen on machine successes (PMf is small): the
+        # operational face of the Section 6.1 floor.
+        assert unpreventable > 0.7
+
+    def test_paper_attribution_values(self, paper_model):
+        attribution = paper_model.failure_attribution(PAPER_FIELD_PROFILE)
+        # Easy/machine-success dominates: frequent class, machine fine,
+        # reader just misses - most failures are not the machine's fault.
+        top = max(attribution, key=attribution.get)
+        assert top == (EASY, "machine_success")
+        # Difficult/machine-failure: 0.1 * 0.41 * 0.9 / 0.18902.
+        assert attribution[(DIFFICULT, "machine_failure")] == pytest.approx(
+            0.1 * 0.41 * 0.9 / 0.18902, abs=1e-6
+        )
+
+    def test_never_failing_system_rejected(self):
+        model = SequentialModel(
+            ModelParameters({"x": ClassParameters(0.5, 0.0, 0.0)})
+        )
+        with pytest.raises(ParameterError):
+            model.failure_attribution(DemandProfile({"x": 1.0}))
+
+    def test_zero_weight_classes_excluded(self, paper_model):
+        profile = DemandProfile({"easy": 1.0, "difficult": 0.0})
+        attribution = paper_model.failure_attribution(profile)
+        assert all(cls.name == "easy" for cls, _ in attribution)

@@ -1,0 +1,197 @@
+"""Tests for repro.core.tradeoff (FN/FP trade-offs, Section 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    SequentialModel,
+    SystemOperatingPoint,
+    TradeoffFrontier,
+    TwoSidedModel,
+    expected_cost,
+)
+from repro.exceptions import ParameterError, ProbabilityError
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestSystemOperatingPoint:
+    def test_sensitivity_specificity(self):
+        point = SystemOperatingPoint("a", p_false_negative=0.2, p_false_positive=0.1)
+        assert point.sensitivity == pytest.approx(0.8)
+        assert point.specificity == pytest.approx(0.9)
+
+    def test_dominance(self):
+        better = SystemOperatingPoint("b", 0.1, 0.1)
+        worse = SystemOperatingPoint("w", 0.2, 0.2)
+        mixed = SystemOperatingPoint("m", 0.05, 0.3)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(mixed)
+        assert not mixed.dominates(better)
+
+    def test_no_self_domination(self):
+        point = SystemOperatingPoint("a", 0.2, 0.1)
+        twin = SystemOperatingPoint("b", 0.2, 0.1)
+        assert not point.dominates(twin)
+
+    def test_recall_rate(self):
+        point = SystemOperatingPoint("a", p_false_negative=0.2, p_false_positive=0.1)
+        # 1% prevalence: 0.01*0.8 + 0.99*0.1
+        assert point.recall_rate(0.01) == pytest.approx(0.107)
+
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            SystemOperatingPoint("a", 1.5, 0.1)
+
+
+class TestExpectedCost:
+    def test_formula(self):
+        point = SystemOperatingPoint("a", 0.2, 0.1)
+        cost = expected_cost(
+            point, prevalence=0.01, cost_false_negative=100.0, cost_false_positive=1.0
+        )
+        assert cost == pytest.approx(0.01 * 0.2 * 100.0 + 0.99 * 0.1 * 1.0)
+
+    def test_rejects_nonpositive_costs(self):
+        point = SystemOperatingPoint("a", 0.2, 0.1)
+        with pytest.raises(ProbabilityError):
+            expected_cost(point, 0.01, 0.0, 1.0)
+
+    @given(unit_floats, unit_floats, unit_floats)
+    def test_cost_nonnegative(self, fn, fp, prevalence):
+        point = SystemOperatingPoint("a", fn, fp)
+        assert expected_cost(point, prevalence, 10.0, 1.0) >= 0.0
+
+
+class TestTwoSidedModel:
+    @pytest.fixture
+    def two_sided(self):
+        fn_model = SequentialModel(
+            ModelParameters(
+                {
+                    "subtle": ClassParameters(0.4, 0.8, 0.3),
+                    "obvious": ClassParameters(0.05, 0.2, 0.05),
+                }
+            )
+        )
+        fp_model = SequentialModel(
+            ModelParameters(
+                {
+                    "busy_film": ClassParameters(0.5, 0.3, 0.15),
+                    "clean_film": ClassParameters(0.1, 0.1, 0.03),
+                }
+            )
+        )
+        return TwoSidedModel(
+            fn_model,
+            fp_model,
+            cancer_profile=DemandProfile({"subtle": 0.3, "obvious": 0.7}),
+            healthy_profile=DemandProfile({"busy_film": 0.4, "clean_film": 0.6}),
+        )
+
+    def test_false_negative_probability(self, two_sided):
+        expected = 0.3 * (0.3 * 0.6 + 0.8 * 0.4) + 0.7 * (0.05 * 0.95 + 0.2 * 0.05)
+        assert two_sided.p_false_negative() == pytest.approx(expected)
+
+    def test_false_positive_probability(self, two_sided):
+        expected = 0.4 * (0.15 * 0.5 + 0.3 * 0.5) + 0.6 * (0.03 * 0.9 + 0.1 * 0.1)
+        assert two_sided.p_false_positive() == pytest.approx(expected)
+
+    def test_operating_point(self, two_sided):
+        point = two_sided.operating_point("nominal")
+        assert point.label == "nominal"
+        assert point.p_false_negative == pytest.approx(two_sided.p_false_negative())
+        assert point.p_false_positive == pytest.approx(two_sided.p_false_positive())
+
+    def test_profile_mismatch_rejected(self, two_sided):
+        with pytest.raises(ParameterError):
+            TwoSidedModel(
+                two_sided.false_negative_model,
+                two_sided.false_positive_model,
+                cancer_profile=DemandProfile({"nonexistent": 1.0}),
+                healthy_profile=DemandProfile({"busy_film": 1.0}),
+            )
+
+
+class TestTradeoffFrontier:
+    @pytest.fixture
+    def frontier(self):
+        return TradeoffFrontier(
+            [
+                SystemOperatingPoint("conservative", 0.30, 0.02),
+                SystemOperatingPoint("nominal", 0.15, 0.08),
+                SystemOperatingPoint("aggressive", 0.05, 0.30),
+                SystemOperatingPoint("dominated", 0.20, 0.10),
+                SystemOperatingPoint("terrible", 0.40, 0.40),
+            ]
+        )
+
+    def test_non_dominated(self, frontier):
+        labels = [p.label for p in frontier.non_dominated()]
+        assert labels == ["aggressive", "nominal", "conservative"]
+
+    def test_best_under_fn_heavy_costs(self, frontier):
+        best = frontier.best(
+            prevalence=0.01, cost_false_negative=10_000.0, cost_false_positive=1.0
+        )
+        assert best.label == "aggressive"
+
+    def test_best_under_fp_heavy_costs(self, frontier):
+        best = frontier.best(
+            prevalence=0.01, cost_false_negative=1.0, cost_false_positive=100.0
+        )
+        assert best.label == "conservative"
+
+    def test_sensitivity_at_specificity(self, frontier):
+        point = frontier.sensitivity_at_specificity(0.90)
+        assert point.label == "nominal"
+
+    def test_sensitivity_at_impossible_specificity(self, frontier):
+        with pytest.raises(ParameterError):
+            frontier.sensitivity_at_specificity(0.999)
+
+    def test_auc_between_zero_and_one(self, frontier):
+        assert 0.0 <= frontier.area_under_curve() <= 1.0
+
+    def test_auc_better_frontier_larger(self, frontier):
+        better = TradeoffFrontier(
+            [
+                SystemOperatingPoint("a", 0.02, 0.02),
+                SystemOperatingPoint("b", 0.01, 0.10),
+            ]
+        )
+        assert better.area_under_curve() > frontier.area_under_curve()
+
+    def test_duplicate_labels_rejected(self):
+        point = SystemOperatingPoint("x", 0.1, 0.1)
+        with pytest.raises(ParameterError):
+            TradeoffFrontier([point, point])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            TradeoffFrontier([])
+
+    def test_iteration_and_len(self, frontier):
+        assert len(frontier) == 5
+        assert len(list(frontier)) == 5
+
+    @given(
+        st.lists(
+            st.tuples(unit_floats, unit_floats), min_size=1, max_size=20, unique=True
+        )
+    )
+    def test_frontier_points_mutually_non_dominating(self, rates):
+        frontier = TradeoffFrontier(
+            [SystemOperatingPoint(f"p{i}", fn, fp) for i, (fn, fp) in enumerate(rates)]
+        )
+        pareto = frontier.non_dominated()
+        for p in pareto:
+            for q in pareto:
+                assert not p.dominates(q) or p.label == q.label or (
+                    p.p_false_negative == q.p_false_negative
+                    and p.p_false_positive == q.p_false_positive
+                )

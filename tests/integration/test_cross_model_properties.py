@@ -1,0 +1,198 @@
+"""Cross-model consistency properties (hypothesis).
+
+These properties tie the library's independent implementations together:
+different routes to the same quantity must agree exactly, for *arbitrary*
+valid inputs — the strongest guard against silent modelling drift.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    MultiReaderModel,
+    ParallelClassParameters,
+    ParallelModel,
+    SequentialModel,
+    TeamPolicy,
+    detection_covariance_bounds,
+    merge_classes,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.rbd import (
+    HUMAN_CLASSIFIES,
+    HUMAN_DETECTS,
+    MACHINE_DETECTS,
+    parallel_detection_diagram,
+)
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def parameter_tables(draw, max_classes=5):
+    n = draw(st.integers(min_value=1, max_value=max_classes))
+    return ModelParameters(
+        {
+            f"c{i}": ClassParameters(
+                draw(unit_floats), draw(unit_floats), draw(unit_floats)
+            )
+            for i in range(n)
+        }
+    )
+
+
+@st.composite
+def tables_with_profiles(draw, max_classes=5):
+    table = draw(parameter_tables(max_classes))
+    weights = {
+        cls.name: draw(st.floats(min_value=1e-3, max_value=1.0))
+        for cls in table.classes
+    }
+    return table, DemandProfile.from_weights(weights)
+
+
+class TestRbdVersusParallelModel:
+    @given(unit_floats, unit_floats, unit_floats)
+    def test_fig2_rbd_equals_equation_2(self, p_machine, p_human, p_misclass):
+        """The RBD engine and equation (2) are independent implementations
+        of the same structure; at independence they must agree exactly."""
+        params = ParallelClassParameters(p_machine, p_human, p_misclass)
+        diagram = parallel_detection_diagram()
+        rbd_failure = diagram.failure_probability(
+            {
+                MACHINE_DETECTS: p_machine,
+                HUMAN_DETECTS: p_human,
+                HUMAN_CLASSIFIES: p_misclass,
+            }
+        )
+        assert rbd_failure == pytest.approx(
+            params.p_system_failure_independent, abs=1e-9
+        )
+
+
+class TestParallelSequentialBridge:
+    @given(unit_floats, unit_floats, unit_floats, unit_floats)
+    def test_bridge_commutes_with_profile_weighting(
+        self, p_machine, p_human, p_misclass, weight
+    ):
+        """Converting to sequential per class then weighting equals
+        weighting the parallel model directly."""
+        other = ParallelClassParameters(
+            min(p_machine + 0.1, 1.0), p_human, min(p_misclass + 0.2, 1.0)
+        )
+        model = ParallelModel(
+            {"a": ParallelClassParameters(p_machine, p_human, p_misclass), "b": other}
+        )
+        profile = DemandProfile.from_weights({"a": max(weight, 1e-3), "b": 1.0})
+        sequential = SequentialModel(model.to_sequential_parameters())
+        assert sequential.system_failure_probability(profile) == pytest.approx(
+            model.system_failure_probability(profile), abs=1e-9
+        )
+
+
+class TestMergeConsistency:
+    @given(tables_with_profiles())
+    @settings(max_examples=50)
+    def test_full_merge_preserves_overall_failure(self, table_and_profile):
+        table, profile = table_and_profile
+        merged = merge_classes(table, profile)
+        fine = SequentialModel(table).system_failure_probability(profile)
+        assert merged.p_system_failure == pytest.approx(fine, abs=1e-9)
+
+    @given(tables_with_profiles(max_classes=4))
+    @settings(max_examples=50)
+    def test_pairwise_merge_preserves_overall_failure(self, table_and_profile):
+        """Merging any two classes (correctly re-profiled) leaves the
+        profile-weighted failure probability unchanged."""
+        table, profile = table_and_profile
+        classes = [c.name for c in table.classes]
+        if len(classes) < 2:
+            return
+        first, second, *rest = classes
+        pair_weight = profile[first] + profile[second]
+        if pair_weight <= 0:
+            return
+        merged_params = merge_classes(
+            table,
+            DemandProfile.from_weights(
+                {first: max(profile[first], 1e-12), second: max(profile[second], 1e-12)}
+            ),
+        )
+        coarse_table = {"merged": merged_params}
+        coarse_weights = {"merged": pair_weight}
+        for name in rest:
+            coarse_table[name] = table[name]
+            coarse_weights[name] = profile[name]
+        coarse_model = SequentialModel(ModelParameters(coarse_table))
+        coarse_profile = DemandProfile.from_weights(
+            {k: max(v, 1e-12) for k, v in coarse_weights.items()}
+        )
+        fine = SequentialModel(table).system_failure_probability(profile)
+        coarse = coarse_model.system_failure_probability(coarse_profile)
+        assert coarse == pytest.approx(fine, abs=1e-7)
+
+
+class TestSerializationRoundTrip:
+    @given(tables_with_profiles())
+    @settings(max_examples=50)
+    def test_round_trip_preserves_predictions(self, table_and_profile):
+        table, profile = table_and_profile
+        document = model_to_dict(table, {"p": profile})
+        restored_table, restored_profiles = model_from_dict(document)
+        original = SequentialModel(table).system_failure_probability(profile)
+        restored = SequentialModel(restored_table).system_failure_probability(
+            restored_profiles["p"]
+        )
+        assert restored == pytest.approx(original, abs=1e-12)
+
+
+class TestTeamConsistency:
+    @given(parameter_tables(max_classes=3))
+    @settings(max_examples=50)
+    def test_homogeneous_pair_under_recall_if_any(self, table):
+        """A team of two identical readers: the collapsed conditionals are
+        the squares of the individual ones."""
+        team = MultiReaderModel.from_single_reader_tables(
+            [table, table], TeamPolicy.RECALL_IF_ANY
+        )
+        collapsed = team.to_sequential_model().parameters
+        for cls in table.classes:
+            single = table[cls]
+            pair = collapsed[cls]
+            assert pair.p_human_failure_given_machine_failure == pytest.approx(
+                single.p_human_failure_given_machine_failure ** 2, abs=1e-12
+            )
+            assert pair.p_human_failure_given_machine_success == pytest.approx(
+                single.p_human_failure_given_machine_success ** 2, abs=1e-12
+            )
+
+    @given(parameter_tables(max_classes=3))
+    @settings(max_examples=50)
+    def test_policies_bracket_single_reader_systemwide(self, table):
+        profile = DemandProfile.uniform([c.name for c in table.classes])
+        single = SequentialModel(table).system_failure_probability(profile)
+        pair = MultiReaderModel.from_single_reader_tables([table, table])
+        recall_any = pair.system_failure_probability(profile)
+        recall_all = pair.with_policy(
+            TeamPolicy.RECALL_IF_ALL
+        ).system_failure_probability(profile)
+        assert recall_any <= single + 1e-12
+        assert recall_all >= single - 1e-12
+
+
+class TestCovarianceFeasibility:
+    @given(unit_floats, unit_floats, unit_floats)
+    def test_extreme_covariances_are_constructible(self, p_machine, p_human, p_misclass):
+        """Both Frechet endpoints must yield valid parameter objects with
+        joint probabilities inside [0, 1]."""
+        lower, upper = detection_covariance_bounds(p_machine, p_human)
+        for cov in (lower, upper):
+            params = ParallelClassParameters(p_machine, p_human, p_misclass, cov)
+            assert 0.0 <= params.p_joint_detection_failure <= 1.0
+            assert 0.0 <= params.p_system_failure <= 1.0

@@ -1,0 +1,145 @@
+"""Integration: the full trial -> estimate -> extrapolate -> verify loop.
+
+This is the paper's Section 5 methodology executed end-to-end on the
+simulation substrates: run an enriched controlled trial, estimate the
+per-class parameters, predict the field failure probability by reweighting
+with the field demand profile, and verify against direct field simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import ExtrapolationStudy, ImproveMachine, Scenario
+from repro.reader import MILD_BIAS, QualificationLevel, ReaderPanel
+from repro.screening import (
+    PopulationModel,
+    SubtletyClassifier,
+    empirical_profile,
+    field_workload,
+)
+from repro.system import AssistedReading, evaluate_system
+from repro.trial import ControlledTrial
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Run the trial once for all tests in this module (it is expensive)."""
+    classifier = SubtletyClassifier()
+    panel = ReaderPanel.sample(
+        4, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=201
+    )
+    trial = ControlledTrial(
+        population=PopulationModel(seed=202),
+        panel=panel,
+        cadt=Cadt(DetectionAlgorithm(), seed=203),
+        classifier=classifier,
+        num_cases=800,
+        cancer_fraction=0.5,
+        subtlety_enrichment=1.5,
+        on_empty_cell="pool",
+        seed=204,
+    )
+    outcome = trial.run()
+
+    # An independent field population (same statistical law, fresh draws).
+    field_population = PopulationModel(seed=205)
+    field_cases = field_workload(field_population, 40_000)
+    field_profile = empirical_profile(field_cases, classifier)
+    return classifier, panel, outcome, field_cases, field_profile
+
+
+class TestTrialToFieldExtrapolation:
+    def test_trial_and_field_profiles_differ(self, pipeline):
+        """Enrichment distorts the demand profile — the paper's motivation
+        for reweighting (trials oversample difficult presentations)."""
+        _, _, outcome, _, field_profile = pipeline
+        trial_profile = outcome.estimation.profile
+        assert trial_profile.total_variation_distance(field_profile) > 0.01
+
+    def test_field_prediction_matches_field_simulation(self, pipeline):
+        classifier, panel, outcome, field_cases, field_profile = pipeline
+        model = outcome.estimation.to_sequential_model()
+        predicted = model.system_failure_probability(field_profile)
+
+        # Simulate the same panel reading the field's cancer cases (the FN
+        # demand space) with fresh CADT streams.
+        rng = np.random.default_rng(206)
+        failures = 0
+        total = 0
+        cancers = field_cases.cancer_cases
+        for reader in panel:
+            cadt = Cadt(DetectionAlgorithm(), seed=int(rng.integers(1 << 30)))
+            for case in cancers:
+                output = cadt.process(case)
+                decision = reader.decide(case, output, rng)
+                failures += int(not decision.recall)
+                total += 1
+        observed = failures / total
+        # Shape-level agreement: the prediction is within a few points.
+        assert observed == pytest.approx(predicted, abs=0.04)
+
+    def test_uncertain_interval_covers_field_simulation(self, pipeline):
+        classifier, panel, outcome, field_cases, field_profile = pipeline
+        uncertain = outcome.estimation.to_uncertain_model()
+        interval = uncertain.failure_probability_interval(
+            field_profile, level=0.99, num_samples=3000, rng=np.random.default_rng(207)
+        )
+        model = outcome.estimation.to_sequential_model()
+        assert model.system_failure_probability(field_profile) in interval
+
+    def test_extrapolation_study_over_estimated_parameters(self, pipeline):
+        """The Section 5 decision question answered with estimated data:
+        which class should the CADT designers target?"""
+        classifier, _, outcome, _, field_profile = pipeline
+        parameters = outcome.estimation.to_model_parameters()
+        study = ExtrapolationStudy(
+            parameters,
+            profiles={"trial": outcome.estimation.profile, "field": field_profile},
+            scenarios=[
+                Scenario("improve_easy", (ImproveMachine(10.0, ("easy",)),)),
+                Scenario("improve_difficult", (ImproveMachine(10.0, ("difficult",)),)),
+            ],
+        )
+        result = study.evaluate()
+        baseline = result.probability("baseline", "field")
+        improved_easy = result.probability("improve_easy", "field")
+        improved_difficult = result.probability("improve_difficult", "field")
+        # Both improvements help...
+        assert improved_easy <= baseline
+        assert improved_difficult <= baseline
+        # ...and targeting the difficult class helps more, as in the paper
+        # (its machine failures are more frequent and more consequential).
+        assert improved_difficult < improved_easy
+
+    def test_covariance_term_positive_on_estimated_model(self, pipeline):
+        """Difficulty for the machine and importance to the reader correlate
+        positively across classes, as the paper's example assumes."""
+        _, _, outcome, _, field_profile = pipeline
+        model = outcome.estimation.to_sequential_model()
+        decomposition = model.covariance_decomposition(field_profile)
+        assert decomposition.covariance > 0
+        assert decomposition.total == pytest.approx(
+            model.system_failure_probability(field_profile), abs=1e-12
+        )
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_numbers(self):
+        import repro
+
+        model = repro.SequentialModel(repro.paper_example_parameters())
+        assert round(
+            model.system_failure_probability(repro.PAPER_TRIAL_PROFILE), 3
+        ) == pytest.approx(0.235)

@@ -1,0 +1,139 @@
+"""Failure injection: degenerate components must produce sane extremes.
+
+Reliability tooling is judged at the corners: a dead machine, a blind
+reader, a trigger-happy reader, a drifted-to-uselessness tool.  These
+tests drive the composite systems with pathological components and assert
+the boundary behaviour the models predict.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import ClassParameters, DemandProfile, ModelParameters, SequentialModel
+from repro.reader import NO_BIAS, STRONG_BIAS, ReaderModel, ReaderSkill
+from repro.screening import PopulationModel, trial_workload
+from repro.system import AssistedReading, UnaidedReading, evaluate_system
+
+
+@pytest.fixture(scope="module")
+def cancer_workload():
+    return trial_workload(PopulationModel(seed=1401), 300, cancer_fraction=1.0)
+
+
+@pytest.fixture(scope="module")
+def healthy_workload():
+    return trial_workload(PopulationModel(seed=1402), 300, cancer_fraction=0.0)
+
+
+class TestDeadMachine:
+    def test_always_failing_cadt_equals_complacent_unaided_reader(self, cancer_workload):
+        """A CADT at threshold +inf prompts nothing: the assisted reader
+        behaves like an unaided reader (no bias) — the machine contributes
+        nothing but also costs nothing for an unbiased reader."""
+        dead_algorithm = DetectionAlgorithm(
+            threshold_shift=50.0, base_false_prompt_rate=0.0
+        )
+        reader_a = ReaderModel(bias=NO_BIAS, name="a", seed=1)
+        reader_b = ReaderModel(bias=NO_BIAS, name="b", seed=1)  # same seed/stream
+        assisted = AssistedReading(reader_a, Cadt(dead_algorithm, seed=2))
+        unaided = UnaidedReading(reader_b)
+        assisted_eval = evaluate_system(assisted, cancer_workload)
+        unaided_eval = evaluate_system(unaided, cancer_workload)
+        assert assisted_eval.false_negative.rate == pytest.approx(
+            unaided_eval.false_negative.rate, abs=0.02
+        )
+
+    def test_dead_machine_hurts_biased_reader(self, cancer_workload):
+        """With complacency, a never-prompting machine is actively harmful:
+        every case is an unprompted case."""
+        dead_algorithm = DetectionAlgorithm(
+            threshold_shift=50.0, base_false_prompt_rate=0.0
+        )
+        biased = ReaderModel(bias=STRONG_BIAS, name="biased", seed=3)
+        unbiased = ReaderModel(bias=NO_BIAS, name="unbiased", seed=3)
+        biased_eval = evaluate_system(
+            AssistedReading(biased, Cadt(dead_algorithm, seed=4)), cancer_workload
+        )
+        unbiased_eval = evaluate_system(
+            AssistedReading(unbiased, Cadt(dead_algorithm, seed=4)), cancer_workload
+        )
+        assert biased_eval.false_negative.rate > unbiased_eval.false_negative.rate
+
+    def test_model_predicts_dead_machine_limit(self):
+        """PMf -> 1 drives the system to PHf|Mf exactly (Figure 4's right
+        end)."""
+        params = ClassParameters(1.0, 0.7, 0.1)
+        model = SequentialModel(ModelParameters({"x": params}))
+        assert model.system_failure_probability(
+            DemandProfile({"x": 1.0})
+        ) == pytest.approx(0.7)
+
+
+class TestPerfectMachine:
+    def test_perfect_machine_reaches_the_floor(self):
+        params = ClassParameters(0.0, 0.7, 0.1)
+        model = SequentialModel(ModelParameters({"x": params}))
+        profile = DemandProfile({"x": 1.0})
+        assert model.system_failure_probability(profile) == pytest.approx(0.1)
+        assert model.system_failure_probability(profile) == pytest.approx(
+            model.machine_improvement_floor(profile)
+        )
+
+
+class TestPathologicalReaders:
+    def test_always_recall_reader(self, cancer_workload, healthy_workload):
+        """A reader who recalls everyone: zero false negatives, total false
+        positives — the degenerate end of the FN/FP trade-off."""
+        trigger_happy = ReaderModel(
+            skill=ReaderSkill(
+                detection=30.0, classification=30.0, specificity=-30.0, lapse_rate=0.0
+            ),
+            name="recall_all",
+            seed=5,
+        )
+        system = UnaidedReading(trigger_happy)
+        fn_eval = evaluate_system(system, cancer_workload)
+        fp_eval = evaluate_system(system, healthy_workload)
+        assert fn_eval.false_negative.rate == pytest.approx(0.0, abs=0.01)
+        assert fp_eval.false_positive.rate == pytest.approx(1.0, abs=0.01)
+
+    def test_blind_reader_saved_only_by_prompts(self, cancer_workload):
+        """A reader who detects nothing unaided but follows prompts: the
+        system FN rate approaches the machine's own miss rate (times
+        residual misclassification)."""
+        blind_but_obedient = ReaderModel(
+            skill=ReaderSkill(detection=-30.0, classification=30.0, lapse_rate=0.0),
+            bias=NO_BIAS,
+            prompt_effectiveness=1.0,
+            name="blind",
+            seed=6,
+        )
+        algorithm = DetectionAlgorithm()
+        system = AssistedReading(blind_but_obedient, Cadt(algorithm, seed=7))
+        evaluation = evaluate_system(system, cancer_workload)
+        expected_machine_miss = float(
+            np.mean([algorithm.miss_probability(c) for c in cancer_workload.cases])
+        )
+        assert evaluation.false_negative.rate == pytest.approx(
+            expected_machine_miss, abs=0.05
+        )
+
+
+class TestDriftToUselessness:
+    def test_unmaintained_tool_degrades_measurably(self):
+        """Strong calibration drift without maintenance visibly raises the
+        tool's miss probability over a long workload; maintenance restores
+        it (Section 5 item 4's 'maintenance practices')."""
+        workload = trial_workload(
+            PopulationModel(seed=1403), 400, cancer_fraction=1.0
+        )
+        drifting = Cadt(DetectionAlgorithm(), drift_per_case=0.01, seed=8)
+        probe = workload.cases[0]
+        fresh_miss = drifting.miss_probability(probe)
+        for case in workload:
+            drifting.process(case)
+        drifted_miss = drifting.miss_probability(probe)
+        assert drifted_miss > min(fresh_miss * 2, 0.9)
+        drifting.perform_maintenance()
+        assert drifting.miss_probability(probe) == pytest.approx(fresh_miss)

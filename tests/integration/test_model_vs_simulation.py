@@ -1,0 +1,144 @@
+"""Integration: the analytic models must agree with brute-force simulation.
+
+These tests close the loop the paper could not: because our readers and
+CADT are simulators with known analytic conditionals, the sequential
+model's predictions can be checked against observed frequencies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, CadtOutput, DetectionAlgorithm
+from repro.core import ClassParameters, DemandProfile, ModelParameters, SequentialModel
+from repro.reader import MILD_BIAS, ReaderModel, ReaderSkill, ReadingProcedure
+from repro.screening import PopulationModel, SubtletyClassifier
+from repro.system import AssistedReading, evaluate_system
+from repro.screening import trial_workload
+from repro.trial import estimate_model, run_reading_session
+
+
+def analytic_class_parameters(reader, algorithm, cases):
+    """Exact per-class parameters implied by reader+algorithm on a case set.
+
+    Averages the per-case analytic conditionals the way the sequential
+    model's class parameters are defined: PMf is the mean miss probability;
+    the conditionals are weighted by the probability of the conditioning
+    machine outcome per case.
+    """
+    p_mf = [algorithm.miss_probability(c) for c in cases]
+    p_hf_mf = [reader.p_false_negative(c, False) for c in cases]
+    p_hf_ms = [reader.p_false_negative(c, True) for c in cases]
+    mean_mf = float(np.mean(p_mf))
+    joint_mf = float(np.mean([m * h for m, h in zip(p_mf, p_hf_mf)]))
+    joint_ms = float(np.mean([(1 - m) * h for m, h in zip(p_mf, p_hf_ms)]))
+    return ClassParameters(
+        p_machine_failure=mean_mf,
+        p_human_failure_given_machine_failure=joint_mf / mean_mf,
+        p_human_failure_given_machine_success=joint_ms / (1 - mean_mf),
+    )
+
+
+class TestAnalyticModelMatchesSimulation:
+    def test_sequential_model_predicts_simulated_fn_rate(self):
+        """Build the model from analytic per-case probabilities, then check
+        a large simulation hits the predicted rate."""
+        population = PopulationModel(seed=101)
+        classifier = SubtletyClassifier()
+        cancers = population.generate_cancers(400)
+        algorithm = DetectionAlgorithm()
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=5)
+
+        by_class: dict = {}
+        weights: dict = {}
+        for cls in classifier.classes:
+            members = [c for c in cancers if classifier.classify(c) == cls]
+            if not members:
+                continue
+            by_class[cls] = analytic_class_parameters(reader, algorithm, members)
+            weights[cls.name] = len(members)
+        model = SequentialModel(ModelParameters(by_class))
+        profile = DemandProfile.from_counts(weights)
+        predicted = model.system_failure_probability(profile)
+
+        # Simulate: each cancer case read many times with fresh CADT output.
+        rng = np.random.default_rng(9)
+        repeats = 60
+        failures = 0
+        total = 0
+        for case in cancers:
+            for _ in range(repeats):
+                output = algorithm.process(case, rng)
+                decision = reader.decide(case, output, rng)
+                failures += int(not decision.recall)
+                total += 1
+        observed = failures / total
+        assert observed == pytest.approx(predicted, abs=0.01)
+
+    def test_estimated_parameters_converge_to_analytic(self):
+        """Trial-based estimation must converge to the analytic parameters."""
+        population = PopulationModel(seed=102)
+        classifier = SubtletyClassifier()
+        workload = trial_workload(population, 800, cancer_fraction=1.0)
+        algorithm = DetectionAlgorithm()
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=6)
+
+        rng = np.random.default_rng(10)
+        records = None
+        for _ in range(12):  # re-read the same case set to pile up counts
+            session = run_reading_session(
+                workload, reader, classifier, Cadt(algorithm, seed=rng.integers(1 << 30)), rng
+            )
+            records = session if records is None else records + session
+        estimation = estimate_model(records, on_empty_cell="pool")
+
+        for cls in estimation.classes:
+            members = [c for c in workload.cancer_cases if classifier.classify(c) == cls]
+            analytic = analytic_class_parameters(reader, algorithm, members)
+            estimate = estimation[cls]
+            assert estimate.machine_failure.point == pytest.approx(
+                analytic.p_machine_failure, abs=0.03
+            )
+            assert estimate.human_failure_given_machine_success.point == pytest.approx(
+                analytic.p_human_failure_given_machine_success, abs=0.03
+            )
+            assert estimate.human_failure_given_machine_failure.point == pytest.approx(
+                analytic.p_human_failure_given_machine_failure, abs=0.06
+            )
+
+
+class TestProcedureComparison:
+    def test_parallel_procedure_immune_to_machine_failures_bias(self):
+        """Under the parallel procedure, PHf|Mf equals the unaided failure
+        probability composed with classification — complacency cannot act."""
+        case_population = PopulationModel(seed=103)
+        cancers = case_population.generate_cancers(100)
+        sequential_reader = ReaderModel(
+            bias=MILD_BIAS, procedure=ReadingProcedure.SEQUENTIAL, name="s"
+        )
+        parallel_reader = ReaderModel(
+            bias=MILD_BIAS, procedure=ReadingProcedure.PARALLEL, name="p"
+        )
+        for case in cancers[:20]:
+            assert parallel_reader.p_false_negative(case, False) <= (
+                sequential_reader.p_false_negative(case, False) + 1e-12
+            )
+
+    def test_sequential_procedure_higher_importance_index(self):
+        """Bias raises t(x): the sequential procedure couples reader failure
+        to machine failure more strongly than the parallel procedure."""
+        population = PopulationModel(seed=104)
+        cancers = population.generate_cancers(300)
+        algorithm = DetectionAlgorithm()
+        sequential_reader = ReaderModel(
+            bias=MILD_BIAS, procedure=ReadingProcedure.SEQUENTIAL, name="s"
+        )
+        parallel_reader = ReaderModel(
+            bias=MILD_BIAS, procedure=ReadingProcedure.PARALLEL, name="p"
+        )
+        t_sequential = analytic_class_parameters(
+            sequential_reader, algorithm, cancers
+        ).importance_index
+        t_parallel = analytic_class_parameters(
+            parallel_reader, algorithm, cancers
+        ).importance_index
+        assert t_sequential > t_parallel > 0

@@ -1,0 +1,35 @@
+"""Execute the README's Python code blocks so the front page stays honest."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python blocks to check"
+    return blocks
+
+
+def test_readme_python_blocks_run():
+    """Blocks form one narrative session: execute them cumulatively."""
+    namespace: dict = {}
+    for index, block in enumerate(python_blocks()):
+        exec(compile(block, f"README block {index}", "exec"), namespace)  # noqa: S102
+
+
+def test_readme_quickstart_values():
+    """The inline result comments in the quickstart block are correct."""
+    import repro
+
+    model = repro.SequentialModel(repro.paper_example_parameters())
+    assert round(model.system_failure_probability(repro.PAPER_TRIAL_PROFILE), 3) == 0.235
+    assert round(model.system_failure_probability(repro.PAPER_FIELD_PROFILE), 3) == 0.189
+    improved = model.with_machine_improved(10.0, ["difficult"])
+    assert round(
+        improved.system_failure_probability(repro.PAPER_FIELD_PROFILE), 3
+    ) == 0.171

@@ -1,0 +1,70 @@
+"""Scale sanity: the core models stay exact on large inputs."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    SequentialModel,
+    optimal_improvement_allocation,
+)
+
+
+@pytest.fixture(scope="module")
+def big_model():
+    rng = np.random.default_rng(2101)
+    n = 5000
+    params = {}
+    weights = {}
+    for i in range(n):
+        low = float(rng.uniform(0, 0.5))
+        params[f"c{i}"] = ClassParameters(
+            p_machine_failure=float(rng.uniform(0, 1)),
+            p_human_failure_given_machine_failure=float(
+                min(1.0, low + rng.uniform(0, 0.5))
+            ),
+            p_human_failure_given_machine_success=low,
+        )
+        weights[f"c{i}"] = float(rng.uniform(0.1, 1.0))
+    return SequentialModel(ModelParameters(params)), DemandProfile.from_weights(weights)
+
+
+class TestLargeModels:
+    def test_matches_manual_weighted_sum(self, big_model):
+        model, profile = big_model
+        manual = math.fsum(
+            profile[cls] * model.parameters[cls].p_system_failure
+            for cls in profile.classes
+        )
+        assert model.system_failure_probability(profile) == pytest.approx(
+            manual, abs=1e-12
+        )
+
+    def test_decomposition_exact_at_scale(self, big_model):
+        model, profile = big_model
+        decomposition = model.covariance_decomposition(profile)
+        assert decomposition.total == pytest.approx(
+            model.system_failure_probability(profile), abs=1e-9
+        )
+
+    def test_allocation_scales(self, big_model):
+        model, profile = big_model
+        result = optimal_improvement_allocation(model, profile, math.log(100.0))
+        assert result.optimal_failure_probability <= result.uniform_failure_probability
+        spent = sum(math.log(f) for f in result.factors.values() if f > 1.0)
+        assert spent == pytest.approx(math.log(100.0), rel=1e-6)
+
+    def test_evaluation_is_fast_enough(self, big_model):
+        """5000 classes must evaluate in well under a second (guards against
+        accidental quadratic behaviour, with a generous CI-safe bound)."""
+        model, profile = big_model
+        start = time.perf_counter()
+        for _ in range(10):
+            model.system_failure_probability(profile)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0

@@ -1,0 +1,190 @@
+"""Tests for repro.rbd.blocks (exact RBD evaluation)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ProbabilityError, StructureError
+from repro.rbd import Component, KOutOfN, Parallel, Series
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestComponent:
+    def test_failure_probability_is_own(self):
+        block = Component("a")
+        assert block.failure_probability({"a": 0.3}) == pytest.approx(0.3)
+
+    def test_works_follows_state(self):
+        block = Component("a")
+        assert block.works({"a": True})
+        assert not block.works({"a": False})
+
+    def test_missing_state_raises(self):
+        with pytest.raises(StructureError):
+            Component("a").works({})
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(StructureError):
+            Component("a").failure_probability({})
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ProbabilityError):
+            Component("a").failure_probability({"a": 1.5})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StructureError):
+            Component("")
+
+
+class TestSeries:
+    def test_fails_if_any_fails(self):
+        block = Series([Component("a"), Component("b")])
+        assert block.failure_probability({"a": 0.1, "b": 0.2}) == pytest.approx(
+            1 - 0.9 * 0.8
+        )
+
+    def test_works_requires_all(self):
+        block = Series([Component("a"), Component("b")])
+        assert block.works({"a": True, "b": True})
+        assert not block.works({"a": True, "b": False})
+
+    def test_empty_rejected(self):
+        with pytest.raises(StructureError):
+            Series([])
+
+    def test_rshift_sugar(self):
+        block = Component("a") >> Component("b")
+        assert isinstance(block, Series)
+        assert block.component_names() == {"a", "b"}
+
+
+class TestParallel:
+    def test_fails_only_if_all_fail(self):
+        block = Parallel([Component("a"), Component("b")])
+        assert block.failure_probability({"a": 0.1, "b": 0.2}) == pytest.approx(0.02)
+
+    def test_works_if_any_works(self):
+        block = Parallel([Component("a"), Component("b")])
+        assert block.works({"a": False, "b": True})
+        assert not block.works({"a": False, "b": False})
+
+    def test_or_sugar(self):
+        block = Component("a") | Component("b")
+        assert isinstance(block, Parallel)
+
+    def test_non_block_child_rejected(self):
+        with pytest.raises(StructureError):
+            Parallel([Component("a"), "b"])  # type: ignore[list-item]
+
+
+class TestKOutOfN:
+    def test_two_of_three(self):
+        block = KOutOfN(2, [Component("a"), Component("b"), Component("c")])
+        p = {"a": 0.1, "b": 0.1, "c": 0.1}
+        # Works iff >= 2 of 3 work: 3*(0.9^2*0.1) + 0.9^3
+        expected_success = 3 * 0.81 * 0.1 + 0.729
+        assert block.failure_probability(p) == pytest.approx(1 - expected_success)
+
+    def test_one_of_n_equals_parallel(self):
+        children = [Component("a"), Component("b"), Component("c")]
+        k_block = KOutOfN(1, children)
+        p_block = Parallel(children)
+        probs = {"a": 0.2, "b": 0.5, "c": 0.7}
+        assert k_block.failure_probability(probs) == pytest.approx(
+            p_block.failure_probability(probs)
+        )
+
+    def test_n_of_n_equals_series(self):
+        children = [Component("a"), Component("b")]
+        k_block = KOutOfN(2, children)
+        s_block = Series(children)
+        probs = {"a": 0.2, "b": 0.5}
+        assert k_block.failure_probability(probs) == pytest.approx(
+            s_block.failure_probability(probs)
+        )
+
+    def test_works_counting(self):
+        block = KOutOfN(2, [Component("a"), Component("b"), Component("c")])
+        assert block.works({"a": True, "b": True, "c": False})
+        assert not block.works({"a": True, "b": False, "c": False})
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(StructureError):
+            KOutOfN(0, [Component("a")])
+        with pytest.raises(StructureError):
+            KOutOfN(3, [Component("a"), Component("b")])
+
+
+class TestRepeatedComponents:
+    def test_repeated_component_factored_exactly(self):
+        """(a||b) >> (a||c): 'a' shared; naive per-subtree product is wrong."""
+        shared = Parallel([Component("a"), Component("b")]) >> Parallel(
+            [Component("a"), Component("c")]
+        )
+        probs = {"a": 0.5, "b": 0.5, "c": 0.5}
+        # Exact by conditioning on a: a works (p .5) -> system works iff True
+        # (both parallels contain a); a fails -> need b AND c: 0.25.
+        expected_success = 0.5 * 1.0 + 0.5 * 0.25
+        assert shared.success_probability(probs) == pytest.approx(expected_success)
+
+    def test_repeated_equals_truth_table(self):
+        shared = Parallel([Component("a"), Component("b")]) >> Parallel(
+            [Component("a"), Component("c")]
+        )
+        probs = {"a": 0.3, "b": 0.6, "c": 0.8}
+        total = 0.0
+        for states in itertools.product([True, False], repeat=3):
+            state = dict(zip("abc", states))
+            weight = 1.0
+            for name, up in state.items():
+                weight *= (1 - probs[name]) if up else probs[name]
+            if shared.works(state):
+                total += weight
+        assert shared.success_probability(probs) == pytest.approx(total)
+
+    def test_component_in_series_with_itself(self):
+        block = Component("a") >> Component("a")
+        assert block.failure_probability({"a": 0.3}) == pytest.approx(0.3)
+
+    def test_component_in_parallel_with_itself(self):
+        block = Component("a") | Component("a")
+        # Not 0.09: the same component cannot fail "twice independently".
+        assert block.failure_probability({"a": 0.3}) == pytest.approx(0.3)
+
+
+class TestAgainstTruthTable:
+    @given(
+        st.lists(unit_floats, min_size=3, max_size=3),
+    )
+    def test_fig2_structure_matches_enumeration(self, probs):
+        names = ["machine", "human_detect", "human_classify"]
+        block = (Component("machine") | Component("human_detect")) >> Component(
+            "human_classify"
+        )
+        probabilities = dict(zip(names, probs))
+        total = 0.0
+        for states in itertools.product([True, False], repeat=3):
+            state = dict(zip(names, states))
+            weight = 1.0
+            for name, up in state.items():
+                weight *= (1 - probabilities[name]) if up else probabilities[name]
+            if block.works(state):
+                total += weight
+        assert block.success_probability(probabilities) == pytest.approx(total, abs=1e-9)
+
+    @given(st.lists(unit_floats, min_size=4, max_size=4), st.integers(1, 4))
+    def test_k_of_n_matches_enumeration(self, probs, k):
+        names = [f"c{i}" for i in range(4)]
+        block = KOutOfN(k, [Component(n) for n in names])
+        probabilities = dict(zip(names, probs))
+        total = 0.0
+        for states in itertools.product([True, False], repeat=4):
+            state = dict(zip(names, states))
+            weight = 1.0
+            for name, up in state.items():
+                weight *= (1 - probabilities[name]) if up else probabilities[name]
+            if block.works(state):
+                total += weight
+        assert block.success_probability(probabilities) == pytest.approx(total, abs=1e-9)

@@ -1,0 +1,113 @@
+"""Tests for repro.rbd.builders (the paper's diagrams as structures)."""
+
+import pytest
+
+from repro.core import ParallelClassParameters
+from repro.rbd import (
+    HUMAN_CLASSIFIES,
+    HUMAN_DETECTS,
+    MACHINE_DETECTS,
+    double_reading_diagram,
+    parallel_detection_diagram,
+    two_readers_with_cadt_diagram,
+)
+
+
+class TestParallelDetectionDiagram:
+    def test_components(self):
+        diagram = parallel_detection_diagram()
+        assert diagram.component_names() == {
+            MACHINE_DETECTS,
+            HUMAN_DETECTS,
+            HUMAN_CLASSIFIES,
+        }
+
+    def test_matches_equation_1(self):
+        """The RBD evaluates to equation (1)/(2) at independence."""
+        diagram = parallel_detection_diagram()
+        params = ParallelClassParameters(
+            p_machine_miss=0.07, p_human_miss=0.2, p_human_misclassify=0.14
+        )
+        rbd_failure = diagram.failure_probability(
+            {
+                MACHINE_DETECTS: params.p_machine_miss,
+                HUMAN_DETECTS: params.p_human_miss,
+                HUMAN_CLASSIFIES: params.p_human_misclassify,
+            }
+        )
+        assert rbd_failure == pytest.approx(params.p_system_failure_independent)
+
+    def test_detection_redundancy(self):
+        """A failed machine alone does not fail the system."""
+        diagram = parallel_detection_diagram()
+        assert diagram.works(
+            {MACHINE_DETECTS: False, HUMAN_DETECTS: True, HUMAN_CLASSIFIES: True}
+        )
+        assert not diagram.works(
+            {MACHINE_DETECTS: False, HUMAN_DETECTS: False, HUMAN_CLASSIFIES: True}
+        )
+
+    def test_classification_is_serial(self):
+        diagram = parallel_detection_diagram()
+        assert not diagram.works(
+            {MACHINE_DETECTS: True, HUMAN_DETECTS: True, HUMAN_CLASSIFIES: False}
+        )
+
+
+class TestDoubleReadingDiagram:
+    def test_recall_if_either(self):
+        diagram = double_reading_diagram()
+        assert diagram.works({"reader_1": True, "reader_2": False})
+        assert not diagram.works({"reader_1": False, "reader_2": False})
+
+    def test_failure_probability_is_product(self):
+        diagram = double_reading_diagram()
+        assert diagram.failure_probability(
+            {"reader_1": 0.2, "reader_2": 0.3}
+        ) == pytest.approx(0.06)
+
+    def test_custom_names(self):
+        diagram = double_reading_diagram("alice", "bob")
+        assert diagram.component_names() == {"alice", "bob"}
+
+
+class TestTwoReadersWithCadt:
+    def test_machine_is_shared(self):
+        diagram = two_readers_with_cadt_diagram()
+        occurrences = diagram._component_occurrences()
+        assert occurrences.count(MACHINE_DETECTS) == 2
+        assert len(diagram.component_names()) == 5
+
+    def test_shared_machine_not_double_counted(self):
+        """With both readers blind, the system succeeds iff the machine
+        prompts AND at least one reader classifies: conditioning on the
+        shared machine must not square its failure probability."""
+        diagram = two_readers_with_cadt_diagram()
+        probs = {
+            MACHINE_DETECTS: 0.4,
+            "reader_1_detects": 1.0,
+            "reader_2_detects": 1.0,
+            "reader_1_classifies": 0.0,
+            "reader_2_classifies": 0.0,
+        }
+        assert diagram.failure_probability(probs) == pytest.approx(0.4)
+
+    def test_better_than_single_assisted_reader(self):
+        """Two assisted readers strictly beat one on the same probabilities."""
+        single = parallel_detection_diagram()
+        double = two_readers_with_cadt_diagram()
+        single_probs = {
+            MACHINE_DETECTS: 0.2,
+            HUMAN_DETECTS: 0.3,
+            HUMAN_CLASSIFIES: 0.1,
+        }
+        double_probs = {
+            MACHINE_DETECTS: 0.2,
+            "reader_1_detects": 0.3,
+            "reader_2_detects": 0.3,
+            "reader_1_classifies": 0.1,
+            "reader_2_classifies": 0.1,
+        }
+        assert double.failure_probability(double_probs) < single.failure_probability(
+            single_probs
+        )

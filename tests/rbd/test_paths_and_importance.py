@@ -1,0 +1,158 @@
+"""Tests for repro.rbd.paths and repro.rbd.importance."""
+
+import pytest
+
+from repro.exceptions import StructureError
+from repro.rbd import (
+    Component,
+    KOutOfN,
+    Parallel,
+    Series,
+    birnbaum_importance,
+    birnbaum_importances,
+    fussell_vesely_importance,
+    improvement_potential,
+    minimal_cut_sets,
+    minimal_path_sets,
+    parallel_detection_diagram,
+)
+
+
+@pytest.fixture
+def fig2():
+    return parallel_detection_diagram()
+
+
+@pytest.fixture
+def fig2_probs():
+    return {"machine_detects": 0.07, "human_detects": 0.2, "human_classifies": 0.14}
+
+
+class TestPathSets:
+    def test_series_single_path(self):
+        block = Component("a") >> Component("b")
+        assert minimal_path_sets(block) == (frozenset({"a", "b"}),)
+
+    def test_parallel_two_paths(self):
+        block = Component("a") | Component("b")
+        assert set(minimal_path_sets(block)) == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_fig2_paths(self, fig2):
+        paths = set(minimal_path_sets(fig2))
+        assert paths == {
+            frozenset({"machine_detects", "human_classifies"}),
+            frozenset({"human_detects", "human_classifies"}),
+        }
+
+    def test_k_of_n_paths(self):
+        block = KOutOfN(2, [Component("a"), Component("b"), Component("c")])
+        assert set(minimal_path_sets(block)) == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+
+class TestCutSets:
+    def test_series_cuts_are_singletons(self):
+        block = Component("a") >> Component("b")
+        assert set(minimal_cut_sets(block)) == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_parallel_single_cut(self):
+        block = Component("a") | Component("b")
+        assert minimal_cut_sets(block) == (frozenset({"a", "b"}),)
+
+    def test_fig2_cuts(self, fig2):
+        cuts = set(minimal_cut_sets(fig2))
+        # The classifier alone is a single point of failure; the two
+        # detectors only fail the system together.
+        assert cuts == {
+            frozenset({"human_classifies"}),
+            frozenset({"machine_detects", "human_detects"}),
+        }
+
+    def test_human_is_single_point_of_failure(self, fig2):
+        """The paper's floor result, structurally: a cut set containing only
+        the human classification step exists, so no machine improvement can
+        eliminate system failures."""
+        singleton_cuts = [c for c in minimal_cut_sets(fig2) if len(c) == 1]
+        assert frozenset({"human_classifies"}) in singleton_cuts
+        assert all("machine" not in next(iter(c)) for c in singleton_cuts)
+
+    def test_enumeration_guard(self):
+        block = Series([Component(f"c{i}") for i in range(25)])
+        with pytest.raises(StructureError):
+            minimal_path_sets(block)
+
+
+class TestBirnbaumImportance:
+    def test_series_importance_formula(self):
+        block = Component("a") >> Component("b")
+        probs = {"a": 0.2, "b": 0.4}
+        # dP(success)/dp_a_success = success prob of rest = 0.6
+        assert birnbaum_importance(block, probs, "a") == pytest.approx(0.6)
+
+    def test_parallel_importance_formula(self):
+        block = Component("a") | Component("b")
+        probs = {"a": 0.2, "b": 0.4}
+        # Matters only when the other fails.
+        assert birnbaum_importance(block, probs, "a") == pytest.approx(0.4)
+
+    def test_fig2_classifier_most_important(self, fig2, fig2_probs):
+        importances = birnbaum_importances(fig2, fig2_probs)
+        assert importances["human_classifies"] == max(importances.values())
+
+    def test_importance_via_finite_difference(self, fig2, fig2_probs):
+        component = "machine_detects"
+        h = 1e-6
+        up = dict(fig2_probs)
+        up[component] += h
+        down = dict(fig2_probs)
+        down[component] -= h
+        derivative = (
+            fig2.failure_probability(up) - fig2.failure_probability(down)
+        ) / (2 * h)
+        assert birnbaum_importance(fig2, fig2_probs, component) == pytest.approx(
+            derivative, abs=1e-5
+        )
+
+    def test_unknown_component_rejected(self, fig2, fig2_probs):
+        with pytest.raises(StructureError):
+            birnbaum_importance(fig2, fig2_probs, "nonexistent")
+
+
+class TestImprovementPotential:
+    def test_matches_direct_computation(self, fig2, fig2_probs):
+        perfect = dict(fig2_probs, machine_detects=0.0)
+        expected = fig2.failure_probability(fig2_probs) - fig2.failure_probability(
+            perfect
+        )
+        assert improvement_potential(fig2, fig2_probs, "machine_detects") == pytest.approx(
+            expected
+        )
+
+    def test_perfecting_machine_leaves_classifier_floor(self, fig2, fig2_probs):
+        """RBD analogue of Section 6.1's bound: with a perfect machine the
+        system still fails at the misclassification rate."""
+        gain = improvement_potential(fig2, fig2_probs, "machine_detects")
+        residual = fig2.failure_probability(fig2_probs) - gain
+        assert residual >= fig2_probs["human_classifies"] * 0.99
+
+
+class TestFussellVesely:
+    def test_zero_when_system_cannot_fail(self):
+        block = Component("a") | Component("b")
+        assert fussell_vesely_importance(block, {"a": 0.0, "b": 0.5}, "b") == 0.0
+
+    def test_series_component_fv(self):
+        block = Component("a") >> Component("b")
+        probs = {"a": 0.2, "b": 0.1}
+        system_failure = 1 - 0.8 * 0.9
+        assert fussell_vesely_importance(block, probs, "a") == pytest.approx(
+            0.2 / system_failure
+        )
+
+    def test_bounded_by_one(self, fig2, fig2_probs):
+        for name in fig2.component_names():
+            fv = fussell_vesely_importance(fig2, fig2_probs, name)
+            assert 0.0 <= fv <= 1.0

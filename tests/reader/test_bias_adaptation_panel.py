@@ -1,0 +1,167 @@
+"""Tests for repro.reader.bias, .adaptation and .panel."""
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, CadtOutput, DetectionAlgorithm
+from repro.exceptions import ParameterError
+from repro.reader import (
+    MILD_BIAS,
+    NO_BIAS,
+    STRONG_BIAS,
+    AdaptiveReader,
+    AdaptiveTrust,
+    AutomationBiasProfile,
+    QualificationLevel,
+    ReaderModel,
+    ReaderPanel,
+    simulate_trust_trajectory,
+)
+from tests.screening.test_case_and_population import make_cancer_case
+
+
+class TestAutomationBiasProfile:
+    def test_presets_ordered(self):
+        assert NO_BIAS.complacency_shift == 0.0
+        assert MILD_BIAS.complacency_shift < STRONG_BIAS.complacency_shift
+        assert MILD_BIAS.prompt_persuasion < STRONG_BIAS.prompt_persuasion
+
+    def test_scaled(self):
+        doubled = MILD_BIAS.scaled(2.0)
+        assert doubled.complacency_shift == pytest.approx(
+            2 * MILD_BIAS.complacency_shift
+        )
+        zeroed = MILD_BIAS.scaled(0.0)
+        assert zeroed.complacency_shift == 0.0
+
+    def test_negative_effect_rejected(self):
+        with pytest.raises(ParameterError):
+            AutomationBiasProfile(complacency_shift=-0.5)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ParameterError):
+            MILD_BIAS.scaled(-1.0)
+
+
+class TestAdaptiveTrust:
+    def test_successes_grow_trust_toward_max(self):
+        trust = AdaptiveTrust(initial_trust=1.0, growth_rate=0.1, max_trust=2.0)
+        for _ in range(100):
+            trust.observe_success()
+        assert 1.9 < trust.trust <= 2.0
+
+    def test_caught_failure_cuts_trust(self):
+        trust = AdaptiveTrust(initial_trust=1.0, failure_penalty=0.5)
+        trust.observe_caught_failure()
+        assert trust.trust == pytest.approx(0.5)
+        assert trust.caught_failures == 1
+
+    def test_asymmetry(self):
+        """One caught failure outweighs many successes — the paper's point
+        that failures are informative but rarely seen."""
+        trust = AdaptiveTrust(growth_rate=0.01, failure_penalty=0.5)
+        for _ in range(20):
+            trust.observe_success()
+        grown = trust.trust
+        trust.observe_caught_failure()
+        assert trust.trust < 1.0 < grown
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AdaptiveTrust(initial_trust=5.0, max_trust=2.0)
+        with pytest.raises(ParameterError):
+            AdaptiveTrust(max_trust=-1.0)
+
+
+class TestAdaptiveReader:
+    def test_trust_rises_without_caught_failures(self):
+        base = ReaderModel(bias=MILD_BIAS, name="r", seed=1)
+        adaptive = AdaptiveReader(base, AdaptiveTrust(growth_rate=0.05), seed=2)
+        case = make_cancer_case(human_detection_difficulty=0.05)
+        output = CadtOutput(case_id=1, prompted_relevant=True, num_false_prompts=0)
+        for _ in range(50):
+            adaptive.decide(case, output)
+        assert adaptive.trust.trust > 1.0
+
+    def test_current_bias_scales_with_trust(self):
+        base = ReaderModel(bias=MILD_BIAS, name="r", seed=1)
+        adaptive = AdaptiveReader(base, AdaptiveTrust(initial_trust=2.0, max_trust=2.0))
+        assert adaptive.current_bias().complacency_shift == pytest.approx(
+            2 * MILD_BIAS.complacency_shift
+        )
+
+    def test_caught_failure_reduces_trust(self):
+        base = ReaderModel(
+            bias=MILD_BIAS,
+            # A sharp-eyed reader: will notice the missed cancer.
+            skill=None,
+            name="r",
+            seed=1,
+        )
+        adaptive = AdaptiveReader(base, AdaptiveTrust(failure_penalty=0.3), seed=3)
+        obvious_cancer = make_cancer_case(
+            human_detection_difficulty=0.001, human_classification_difficulty=0.001
+        )
+        missed = CadtOutput(case_id=1, prompted_relevant=False, num_false_prompts=0)
+        # Reader almost surely notices and recalls -> catches the failure.
+        adaptive.decide(obvious_cancer, missed)
+        assert adaptive.trust.trust < 1.0
+
+    def test_unaided_decisions_do_not_update_trust(self):
+        base = ReaderModel(bias=MILD_BIAS, name="r", seed=1)
+        adaptive = AdaptiveReader(base, seed=3)
+        adaptive.decide(make_cancer_case(), None)
+        assert adaptive.trust.observed_successes == 0
+        assert adaptive.trust.caught_failures == 0
+
+    def test_trajectory_length(self):
+        base = ReaderModel(bias=MILD_BIAS, name="r", seed=1)
+        adaptive = AdaptiveReader(base, seed=4)
+        cases = [make_cancer_case() for _ in range(10)]
+        cadt = Cadt(DetectionAlgorithm(), seed=5)
+        trajectory = simulate_trust_trajectory(adaptive, cases, cadt)
+        assert len(trajectory) == 10
+        assert all(t >= 0 for t in trajectory)
+
+
+class TestReaderPanel:
+    def test_sample_sizes_and_names(self):
+        panel = ReaderPanel.sample(5, seed=1)
+        assert len(panel) == 5
+        assert len({r.name for r in panel}) == 5
+
+    def test_reproducible(self):
+        first = ReaderPanel.sample(3, seed=9)
+        second = ReaderPanel.sample(3, seed=9)
+        assert [r.skill.detection for r in first] == [r.skill.detection for r in second]
+
+    def test_qualification_ordering(self):
+        experts = ReaderPanel.sample(40, QualificationLevel.EXPERT, seed=2)
+        trainees = ReaderPanel.sample(40, QualificationLevel.TRAINEE, seed=2)
+        assert np.mean([r.skill.detection for r in experts]) > np.mean(
+            [r.skill.detection for r in trainees]
+        )
+
+    def test_mixed_panel(self):
+        panel = ReaderPanel.sample_mixed(
+            {QualificationLevel.EXPERT: 2, QualificationLevel.TRAINEE: 3}, seed=3
+        )
+        assert len(panel) == 5
+        names = {r.name for r in panel}
+        assert any(n.startswith("expert") for n in names)
+        assert any(n.startswith("trainee") for n in names)
+
+    def test_indexing(self):
+        panel = ReaderPanel.sample(3, seed=1)
+        assert panel[0] is panel.readers[0]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ReaderPanel([])
+        with pytest.raises(ParameterError):
+            ReaderPanel.sample(0)
+        reader = ReaderModel(name="twin")
+        with pytest.raises(ParameterError):
+            ReaderPanel([reader, ReaderModel(name="twin")])
+        with pytest.raises(ParameterError):
+            ReaderPanel.sample_mixed({QualificationLevel.EXPERT: -1})

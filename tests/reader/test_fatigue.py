@@ -1,0 +1,88 @@
+"""Tests for repro.reader.fatigue (vigilance decrement)."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.reader import FatigueModel, FatiguedReader, MILD_BIAS, ReaderModel
+from tests.cadt.test_algorithm import make_healthy_case
+from tests.screening.test_case_and_population import make_cancer_case
+
+
+class TestFatigueModel:
+    def test_decrement_saturates(self):
+        fatigue = FatigueModel(rate=0.1, max_decrement=0.8)
+        for _ in range(200):
+            fatigue.advance()
+        assert fatigue.decrement == pytest.approx(0.8, abs=1e-6)
+
+    def test_rest_resets(self):
+        fatigue = FatigueModel(rate=0.1)
+        for _ in range(10):
+            fatigue.advance()
+        assert fatigue.decrement > 0
+        fatigue.rest()
+        assert fatigue.decrement == 0.0
+        assert fatigue.cases_this_session == 0
+
+    def test_zero_rate_never_tires(self):
+        fatigue = FatigueModel(rate=0.0)
+        for _ in range(100):
+            fatigue.advance()
+        assert fatigue.decrement == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FatigueModel(rate=1.5)
+        with pytest.raises(ParameterError):
+            FatigueModel(max_decrement=-1.0)
+
+
+class TestFatiguedReader:
+    @pytest.fixture
+    def reader(self):
+        base = ReaderModel(bias=MILD_BIAS, name="tired", seed=1)
+        return FatiguedReader(base, FatigueModel(rate=0.05, max_decrement=1.0), seed=2)
+
+    def test_fresh_reader_matches_base(self, reader):
+        assert reader.current_reader() is reader.base_reader
+
+    def test_fatigue_raises_miss_probability(self, reader):
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        fresh_miss = reader.current_reader().p_miss_unaided(case)
+        for _ in range(100):
+            reader.decide(make_healthy_case(), None)
+        tired_miss = reader.current_reader().p_miss_unaided(case)
+        assert tired_miss > fresh_miss
+
+    def test_fatigue_raises_false_positives_too(self, reader):
+        case = make_healthy_case(human_classification_difficulty=0.2)
+        fresh = reader.current_reader().p_false_positive(case, None)
+        for _ in range(100):
+            reader.decide(make_healthy_case(), None)
+        tired = reader.current_reader().p_false_positive(case, None)
+        assert tired > fresh
+
+    def test_classification_skill_untouched(self, reader):
+        case = make_cancer_case(human_classification_difficulty=0.3)
+        fresh = reader.current_reader().p_misclassify(case, False, aided=False)
+        for _ in range(100):
+            reader.decide(make_healthy_case(), None)
+        tired = reader.current_reader().p_misclassify(case, False, aided=False)
+        assert tired == pytest.approx(fresh)
+
+    def test_break_restores_performance(self, reader):
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        fresh_miss = reader.current_reader().p_miss_unaided(case)
+        for _ in range(50):
+            reader.decide(make_healthy_case(), None)
+        reader.take_break()
+        assert reader.current_reader().p_miss_unaided(case) == pytest.approx(fresh_miss)
+
+    def test_decisions_advance_fatigue(self, reader):
+        assert reader.fatigue.cases_this_session == 0
+        reader.decide(make_healthy_case(), None)
+        reader.decide(make_cancer_case(), None)
+        assert reader.fatigue.cases_this_session == 2
+
+    def test_repr(self, reader):
+        assert "session=0" in repr(reader)

@@ -1,0 +1,246 @@
+"""Tests for repro.reader.reader (the stochastic reader model)."""
+
+import numpy as np
+import pytest
+
+from repro.cadt import CadtOutput
+from repro.exceptions import ParameterError, SimulationError
+from repro.reader import (
+    MILD_BIAS,
+    NO_BIAS,
+    STRONG_BIAS,
+    ReaderModel,
+    ReaderSkill,
+    ReadingProcedure,
+)
+from tests.cadt.test_algorithm import make_healthy_case
+from tests.screening.test_case_and_population import make_cancer_case
+
+
+def success_output(case_id=1):
+    return CadtOutput(case_id=case_id, prompted_relevant=True, num_false_prompts=0)
+
+
+def failure_output(case_id=1):
+    return CadtOutput(case_id=case_id, prompted_relevant=False, num_false_prompts=0)
+
+
+class TestReaderSkill:
+    def test_defaults(self):
+        skill = ReaderSkill()
+        assert skill.detection == 0.0
+        assert skill.lapse_rate == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ReaderSkill(detection=float("nan"))
+        with pytest.raises(Exception):
+            ReaderSkill(lapse_rate=1.5)
+
+
+class TestAnalyticDetection:
+    def test_unaided_miss_reflects_difficulty(self):
+        reader = ReaderModel(name="r")
+        easy = make_cancer_case(human_detection_difficulty=0.05)
+        hard = make_cancer_case(human_detection_difficulty=0.6)
+        assert reader.p_miss_unaided(hard) > reader.p_miss_unaided(easy)
+
+    def test_skill_reduces_miss(self):
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        expert = ReaderModel(skill=ReaderSkill(detection=1.0), name="e")
+        novice = ReaderModel(skill=ReaderSkill(detection=-1.0), name="n")
+        assert expert.p_miss_unaided(case) < novice.p_miss_unaided(case)
+
+    def test_lapse_rate_floors_miss(self):
+        reader = ReaderModel(skill=ReaderSkill(lapse_rate=0.1), name="r")
+        trivial = make_cancer_case(human_detection_difficulty=0.0)
+        assert reader.p_miss_unaided(trivial) >= 0.1 * 0.999
+
+    def test_prompt_cuts_miss_dramatically(self):
+        reader = ReaderModel(prompt_effectiveness=0.9, name="r")
+        case = make_cancer_case(human_detection_difficulty=0.4)
+        aided = reader.p_miss_aided(case, machine_prompted_relevant=True)
+        unaided = reader.p_miss_unaided(case)
+        assert aided == pytest.approx(0.1 * unaided)
+
+    def test_complacency_raises_miss_on_machine_failure(self):
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        vigilant = ReaderModel(bias=NO_BIAS, name="v")
+        complacent = ReaderModel(bias=STRONG_BIAS, name="c")
+        assert complacent.p_miss_aided(case, False) > vigilant.p_miss_aided(case, False)
+
+    def test_no_bias_machine_failure_equals_unaided(self):
+        """Without bias, an unprompted film is read exactly like unaided film."""
+        reader = ReaderModel(bias=NO_BIAS, name="r")
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        assert reader.p_miss_aided(case, False) == pytest.approx(
+            reader.p_miss_unaided(case)
+        )
+
+    def test_parallel_procedure_disables_bias(self):
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        sequential = ReaderModel(
+            bias=STRONG_BIAS, procedure=ReadingProcedure.SEQUENTIAL, name="s"
+        )
+        parallel = ReaderModel(
+            bias=STRONG_BIAS, procedure=ReadingProcedure.PARALLEL, name="p"
+        )
+        assert parallel.p_miss_aided(case, False) == pytest.approx(
+            parallel.p_miss_unaided(case)
+        )
+        assert sequential.p_miss_aided(case, False) > parallel.p_miss_aided(case, False)
+
+    def test_detection_methods_reject_healthy_cases(self):
+        reader = ReaderModel(name="r")
+        with pytest.raises(SimulationError):
+            reader.p_miss_unaided(make_healthy_case())
+        with pytest.raises(SimulationError):
+            reader.p_miss_aided(make_healthy_case(), True)
+
+
+class TestAnalyticFalseNegative:
+    def test_conditional_ordering(self):
+        """PHf|Mf > PHf|Ms: machine failures must hurt (t > 0)."""
+        reader = ReaderModel(bias=MILD_BIAS, name="r")
+        case = make_cancer_case(
+            human_detection_difficulty=0.3, human_classification_difficulty=0.15
+        )
+        assert reader.p_false_negative(case, False) > reader.p_false_negative(case, True)
+
+    def test_aided_success_beats_unaided(self):
+        reader = ReaderModel(bias=MILD_BIAS, name="r")
+        case = make_cancer_case(human_detection_difficulty=0.3)
+        assert reader.p_false_negative(case, True) < reader.p_false_negative(case, None)
+
+    def test_composition_formula(self):
+        reader = ReaderModel(bias=MILD_BIAS, name="r")
+        case = make_cancer_case()
+        p_miss = reader.p_miss_aided(case, False)
+        p_misclass = reader.p_misclassify(case, feature_prompted=False, aided=True)
+        assert reader.p_false_negative(case, False) == pytest.approx(
+            p_miss + (1 - p_miss) * p_misclass
+        )
+
+    def test_persuasion_reduces_misclassification(self):
+        reader = ReaderModel(bias=STRONG_BIAS, name="r")
+        case = make_cancer_case(human_classification_difficulty=0.3)
+        prompted = reader.p_misclassify(case, feature_prompted=True, aided=True)
+        unprompted = reader.p_misclassify(case, feature_prompted=False, aided=True)
+        assert prompted < unprompted
+
+
+class TestAnalyticFalsePositive:
+    def test_false_prompts_raise_recall_probability(self):
+        reader = ReaderModel(bias=MILD_BIAS, name="r")
+        case = make_healthy_case(human_classification_difficulty=0.15)
+        assert reader.p_false_positive(case, 3) > reader.p_false_positive(case, 0)
+
+    def test_no_bias_ignores_false_prompts(self):
+        reader = ReaderModel(bias=NO_BIAS, name="r")
+        case = make_healthy_case()
+        assert reader.p_false_positive(case, 5) == pytest.approx(
+            reader.p_false_positive(case, 0)
+        )
+
+    def test_specificity_skill_reduces_recalls(self):
+        case = make_healthy_case(human_classification_difficulty=0.3)
+        cautious = ReaderModel(skill=ReaderSkill(specificity=1.5), name="c")
+        trigger_happy = ReaderModel(skill=ReaderSkill(specificity=-1.5), name="t")
+        assert cautious.p_false_positive(case, None) < trigger_happy.p_false_positive(
+            case, None
+        )
+
+    def test_rejects_cancer_case(self):
+        reader = ReaderModel(name="r")
+        with pytest.raises(SimulationError):
+            reader.p_false_positive(make_cancer_case(), None)
+
+    def test_rejects_negative_prompt_count(self):
+        reader = ReaderModel(name="r")
+        with pytest.raises(SimulationError):
+            reader.p_false_positive(make_healthy_case(), -1)
+
+
+class TestSampledDecisions:
+    def test_decision_matches_analytic_probability_machine_failed(self, rng):
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=0)
+        case = make_cancer_case(
+            human_detection_difficulty=0.3, human_classification_difficulty=0.2
+        )
+        n = 8000
+        failures = sum(
+            not reader.decide(case, failure_output(), rng).recall for _ in range(n)
+        )
+        assert failures / n == pytest.approx(
+            reader.p_false_negative(case, False), abs=0.02
+        )
+
+    def test_decision_matches_analytic_probability_machine_succeeded(self, rng):
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=0)
+        case = make_cancer_case(
+            human_detection_difficulty=0.3, human_classification_difficulty=0.2
+        )
+        n = 8000
+        failures = sum(
+            not reader.decide(case, success_output(), rng).recall for _ in range(n)
+        )
+        assert failures / n == pytest.approx(
+            reader.p_false_negative(case, True), abs=0.02
+        )
+
+    def test_decision_matches_analytic_unaided(self, rng):
+        reader = ReaderModel(name="r", seed=0)
+        case = make_cancer_case(human_detection_difficulty=0.4)
+        n = 8000
+        failures = sum(not reader.decide(case, None, rng).recall for _ in range(n))
+        assert failures / n == pytest.approx(
+            reader.p_false_negative(case, None), abs=0.02
+        )
+
+    def test_healthy_decision_matches_analytic(self, rng):
+        reader = ReaderModel(bias=MILD_BIAS, name="r", seed=0)
+        case = make_healthy_case(human_classification_difficulty=0.2)
+        output = CadtOutput(case_id=2, prompted_relevant=False, num_false_prompts=2)
+        n = 8000
+        recalls = sum(reader.decide(case, output, rng).recall for _ in range(n))
+        assert recalls / n == pytest.approx(reader.p_false_positive(case, 2), abs=0.02)
+
+    def test_decision_annotations(self, rng):
+        reader = ReaderModel(name="r", seed=0)
+        healthy_decision = reader.decide(make_healthy_case(), None, rng)
+        assert healthy_decision.noticed_relevant is None
+        cancer_decision = reader.decide(make_cancer_case(), None, rng)
+        assert cancer_decision.noticed_relevant in (True, False)
+
+    def test_mismatched_output_rejected(self, rng):
+        reader = ReaderModel(name="r")
+        with pytest.raises(SimulationError):
+            reader.decide(make_cancer_case(), success_output(case_id=99), rng)
+
+    def test_private_rng_reproducible(self):
+        case = make_cancer_case()
+        first = ReaderModel(name="r", seed=42)
+        second = ReaderModel(name="r", seed=42)
+        decisions_first = [first.decide(case, None).recall for _ in range(20)]
+        decisions_second = [second.decide(case, None).recall for _ in range(20)]
+        assert decisions_first == decisions_second
+
+
+class TestVariants:
+    def test_with_bias(self):
+        reader = ReaderModel(bias=NO_BIAS, name="r")
+        biased = reader.with_bias(STRONG_BIAS)
+        assert biased.bias is STRONG_BIAS
+        assert biased.name == reader.name
+        assert reader.bias is NO_BIAS
+
+    def test_with_procedure(self):
+        reader = ReaderModel(name="r")
+        parallel = reader.with_procedure(ReadingProcedure.PARALLEL)
+        assert parallel.procedure is ReadingProcedure.PARALLEL
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            ReaderModel(bias="strong", name="r")  # type: ignore[arg-type]
+        with pytest.raises(ParameterError):
+            ReaderModel(name="")

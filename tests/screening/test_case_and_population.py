@@ -1,0 +1,194 @@
+"""Tests for repro.screening.case and repro.screening.population."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.screening import (
+    DEFAULT_LESION_PROFILES,
+    Case,
+    LesionProfile,
+    LesionType,
+    PopulationModel,
+)
+from repro.screening.population import _sigmoid
+
+
+def make_cancer_case(**overrides) -> Case:
+    defaults = dict(
+        case_id=1,
+        has_cancer=True,
+        lesion_type=LesionType.MASS,
+        breast_density=0.5,
+        subtlety=0.4,
+        machine_difficulty=0.1,
+        human_detection_difficulty=0.2,
+        human_classification_difficulty=0.1,
+        distractor_level=0.3,
+    )
+    defaults.update(overrides)
+    return Case(**defaults)
+
+
+class TestCase:
+    def test_valid_cancer_case(self):
+        case = make_cancer_case()
+        assert case.has_cancer
+        assert case.lesion_type is LesionType.MASS
+
+    def test_cancer_requires_lesion_type(self):
+        with pytest.raises(ValueError):
+            make_cancer_case(lesion_type=None)
+
+    def test_healthy_must_not_have_lesion_type(self):
+        with pytest.raises(ValueError):
+            make_cancer_case(has_cancer=False)
+
+    def test_probability_fields_validated(self):
+        with pytest.raises(Exception):
+            make_cancer_case(machine_difficulty=1.5)
+        with pytest.raises(Exception):
+            make_cancer_case(breast_density=-0.1)
+
+    def test_overall_difficulty_is_mean(self):
+        case = make_cancer_case(
+            machine_difficulty=0.3,
+            human_detection_difficulty=0.6,
+            human_classification_difficulty=0.9,
+        )
+        assert case.overall_difficulty == pytest.approx(0.6)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_cancer_case().subtlety = 0.9  # type: ignore[misc]
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert _sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert _sigmoid(2.0) == pytest.approx(1.0 - _sigmoid(-2.0))
+
+    def test_extremes_stay_finite(self):
+        assert 0.0 < _sigmoid(-500.0) < 1e-100 or _sigmoid(-500.0) == 0.0
+        assert _sigmoid(500.0) == pytest.approx(1.0)
+
+
+class TestLesionProfile:
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            LesionProfile(LesionType.MASS, -0.1, 0.0, 0.0, 0.0)
+
+    def test_defaults_cover_all_types(self):
+        assert {p.lesion_type for p in DEFAULT_LESION_PROFILES} == set(LesionType)
+
+
+class TestPopulationModel:
+    def test_reproducible_with_seed(self):
+        first = PopulationModel(seed=5).generate(50)
+        second = PopulationModel(seed=5).generate(50)
+        assert [c.machine_difficulty for c in first] == [
+            c.machine_difficulty for c in second
+        ]
+
+    def test_different_seeds_differ(self):
+        first = PopulationModel(seed=1).generate(50)
+        second = PopulationModel(seed=2).generate(50)
+        assert [c.case_id for c in first] == [c.case_id for c in second]
+        assert [c.breast_density for c in first] != [c.breast_density for c in second]
+
+    def test_case_ids_unique_and_sequential(self):
+        population = PopulationModel(seed=0)
+        cases = population.generate(20) + population.generate_cancers(5)
+        ids = [c.case_id for c in cases]
+        assert ids == list(range(25))
+
+    def test_prevalence_respected(self):
+        population = PopulationModel(prevalence=0.3, seed=9)
+        cases = population.generate(3000)
+        fraction = sum(c.has_cancer for c in cases) / len(cases)
+        assert fraction == pytest.approx(0.3, abs=0.03)
+
+    def test_default_prevalence_below_one_percent(self):
+        population = PopulationModel(seed=3)
+        cases = population.generate(20_000)
+        fraction = sum(c.has_cancer for c in cases) / len(cases)
+        assert fraction < 0.01
+
+    def test_generate_cancers_all_cancer(self):
+        cases = PopulationModel(seed=4).generate_cancers(100)
+        assert all(c.has_cancer for c in cases)
+        assert all(c.lesion_type is not None for c in cases)
+
+    def test_generate_healthy_all_healthy(self):
+        cases = PopulationModel(seed=4).generate_healthy(100)
+        assert all(not c.has_cancer for c in cases)
+        assert all(c.machine_difficulty == 0.0 for c in cases)
+        assert all(c.subtlety == 0.0 for c in cases)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            PopulationModel(seed=0).generate(-1)
+
+    def test_stream_yields_cases(self):
+        stream = PopulationModel(seed=0).stream()
+        cases = [next(stream) for _ in range(10)]
+        assert len({c.case_id for c in cases}) == 10
+
+    def test_lesion_mix_follows_frequencies(self):
+        population = PopulationModel(seed=6)
+        cancers = population.generate_cancers(4000)
+        mass_fraction = sum(
+            c.lesion_type is LesionType.MASS for c in cancers
+        ) / len(cancers)
+        assert mass_fraction == pytest.approx(0.45, abs=0.04)
+
+    def test_subtlety_raises_difficulty(self):
+        """Subtle cancers must be harder for both components (covariate effect)."""
+        population = PopulationModel(seed=8, noise_scale=0.0)
+        cancers = population.generate_cancers(2000)
+        subtle = [c for c in cancers if c.subtlety > 0.6]
+        frank = [c for c in cancers if c.subtlety < 0.3]
+        assert np.mean([c.machine_difficulty for c in subtle]) > np.mean(
+            [c.machine_difficulty for c in frank]
+        )
+        assert np.mean([c.human_detection_difficulty for c in subtle]) > np.mean(
+            [c.human_detection_difficulty for c in frank]
+        )
+
+    def test_difficulty_correlation_knob(self):
+        """Higher correlation setting must produce higher realised
+        correlation between machine and human difficulty residuals."""
+
+        def realised_correlation(rho: float) -> float:
+            population = PopulationModel(
+                seed=10, difficulty_correlation=rho, noise_scale=2.0
+            )
+            cancers = population.generate_cancers(3000)
+            machine = [c.machine_difficulty for c in cancers]
+            human = [c.human_detection_difficulty for c in cancers]
+            return float(np.corrcoef(machine, human)[0, 1])
+
+        assert realised_correlation(0.95) > realised_correlation(0.0) + 0.2
+
+    def test_microcalcifications_easiest_for_machine(self):
+        population = PopulationModel(seed=11, noise_scale=0.0)
+        cancers = population.generate_cancers(3000)
+
+        def mean_difficulty(lesion: LesionType) -> float:
+            subset = [c for c in cancers if c.lesion_type is lesion]
+            return float(np.mean([c.machine_difficulty for c in subset]))
+
+        assert mean_difficulty(LesionType.MICROCALCIFICATION) < mean_difficulty(
+            LesionType.MASS
+        )
+        assert mean_difficulty(LesionType.MASS) < mean_difficulty(
+            LesionType.ARCHITECTURAL_DISTORTION
+        )
+
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            PopulationModel(lesion_profiles=[])
+        with pytest.raises(SimulationError):
+            PopulationModel(noise_scale=-1.0)

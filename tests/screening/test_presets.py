@@ -1,0 +1,66 @@
+"""Tests for repro.screening.presets."""
+
+import numpy as np
+import pytest
+
+from repro.screening import (
+    low_correlation_population,
+    routine_screening_population,
+    symptomatic_clinic_population,
+    young_cohort_population,
+)
+
+
+class TestPrevalences:
+    def test_routine_screening_rare_cancers(self):
+        population = routine_screening_population(seed=1)
+        cases = population.generate(20_000)
+        fraction = sum(c.has_cancer for c in cases) / len(cases)
+        assert fraction < 0.01
+
+    def test_young_cohort_rarer_still(self):
+        assert (
+            young_cohort_population(seed=1).prevalence
+            < routine_screening_population(seed=1).prevalence
+        )
+
+    def test_symptomatic_clinic_much_higher(self):
+        population = symptomatic_clinic_population(seed=2)
+        cases = population.generate(4000)
+        fraction = sum(c.has_cancer for c in cases) / len(cases)
+        assert fraction > 0.08
+
+
+class TestDifficultyStructure:
+    @staticmethod
+    def realised_correlation(population) -> float:
+        cancers = population.generate_cancers(3000)
+        machine = [c.machine_difficulty for c in cancers]
+        human = [c.human_detection_difficulty for c in cancers]
+        return float(np.corrcoef(machine, human)[0, 1])
+
+    def test_young_cohort_common_mode(self):
+        young = self.realised_correlation(young_cohort_population(seed=3))
+        diverse = self.realised_correlation(low_correlation_population(seed=3))
+        assert young > diverse + 0.1
+
+    def test_symptomatic_cases_easier(self):
+        routine = routine_screening_population(seed=4).generate_cancers(2000)
+        symptomatic = symptomatic_clinic_population(seed=4).generate_cancers(2000)
+        assert np.mean(
+            [c.human_detection_difficulty for c in symptomatic]
+        ) < np.mean([c.human_detection_difficulty for c in routine])
+        assert np.mean([c.machine_difficulty for c in symptomatic]) < np.mean(
+            [c.machine_difficulty for c in routine]
+        )
+
+
+class TestIndependence:
+    def test_presets_return_fresh_models(self):
+        first = routine_screening_population(seed=5)
+        second = routine_screening_population(seed=5)
+        assert first is not second
+        # Same seed -> same stream; models do not share RNG state.
+        assert [c.breast_density for c in first.generate(10)] == [
+            c.breast_density for c in second.generate(10)
+        ]

@@ -1,0 +1,167 @@
+"""Tests for repro.system.analytic (exact model derivation)."""
+
+import numpy as np
+import pytest
+
+from repro.cadt import DetectionAlgorithm
+from repro.exceptions import SimulationError
+from repro.reader import MILD_BIAS, ReaderModel
+from repro.screening import PopulationModel, SubtletyClassifier
+from repro.system import (
+    derive_class_parameters,
+    derive_false_positive_class_parameters,
+    derive_model,
+    derive_operating_point,
+    derive_two_sided_model,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    population = PopulationModel(seed=1101)
+    cancers = population.generate_cancers(300)
+    healthy = population.generate_healthy(300)
+    reader = ReaderModel(bias=MILD_BIAS, name="r")
+    return cancers, healthy, reader, DetectionAlgorithm()
+
+
+class TestDeriveClassParameters:
+    def test_machine_failure_is_mean_miss(self, world):
+        cancers, _, reader, algorithm = world
+        params = derive_class_parameters(reader, algorithm, cancers)
+        expected = float(np.mean([algorithm.miss_probability(c) for c in cancers]))
+        assert params.p_machine_failure == pytest.approx(expected)
+
+    def test_single_case_class_matches_per_case_conditionals(self, world):
+        cancers, _, reader, algorithm = world
+        case = cancers[0]
+        params = derive_class_parameters(reader, algorithm, [case])
+        assert params.p_human_failure_given_machine_failure == pytest.approx(
+            reader.p_false_negative(case, False)
+        )
+        assert params.p_human_failure_given_machine_success == pytest.approx(
+            reader.p_false_negative(case, True)
+        )
+
+    def test_importance_positive_for_biased_reader(self, world):
+        cancers, _, reader, algorithm = world
+        params = derive_class_parameters(reader, algorithm, cancers)
+        assert params.importance_index > 0
+
+    def test_rejects_empty_and_healthy(self, world):
+        _, healthy, reader, algorithm = world
+        with pytest.raises(SimulationError):
+            derive_class_parameters(reader, algorithm, [])
+        with pytest.raises(SimulationError):
+            derive_class_parameters(reader, algorithm, healthy[:3])
+
+
+class TestDeriveModel:
+    def test_prediction_equals_per_case_average(self, world):
+        """The class-level model must reproduce the exact per-case mixture:
+        the conditional weighting in derive_class_parameters is what makes
+        this identity hold despite within-class heterogeneity."""
+        cancers, _, reader, algorithm = world
+        model, profile = derive_model(
+            reader, algorithm, cancers, SubtletyClassifier()
+        )
+        predicted = model.system_failure_probability(profile)
+        per_case = np.mean(
+            [
+                algorithm.miss_probability(c) * reader.p_false_negative(c, False)
+                + (1 - algorithm.miss_probability(c)) * reader.p_false_negative(c, True)
+                for c in cancers
+            ]
+        )
+        assert predicted == pytest.approx(float(per_case), abs=1e-12)
+
+    def test_profile_matches_class_counts(self, world):
+        cancers, _, reader, algorithm = world
+        classifier = SubtletyClassifier()
+        _, profile = derive_model(reader, algorithm, cancers, classifier)
+        difficult_count = sum(
+            classifier.classify(c).name == "difficult" for c in cancers
+        )
+        assert profile["difficult"] == pytest.approx(difficult_count / len(cancers))
+
+    def test_default_single_class(self, world):
+        cancers, _, reader, algorithm = world
+        model, profile = derive_model(reader, algorithm, cancers)
+        assert len(profile) == 1
+
+    def test_rejects_healthy_cases(self, world):
+        _, healthy, reader, algorithm = world
+        with pytest.raises(SimulationError):
+            derive_model(reader, algorithm, healthy[:5])
+
+
+class TestDeriveFalsePositiveSide:
+    def test_machine_failure_is_false_prompt_probability(self, world):
+        _, healthy, reader, algorithm = world
+        params = derive_false_positive_class_parameters(reader, algorithm, healthy)
+        expected = float(
+            np.mean([algorithm.false_positive_probability(c) for c in healthy])
+        )
+        assert params.p_machine_failure == pytest.approx(expected)
+
+    def test_false_prompts_raise_recall_conditional(self, world):
+        """PHf|Mf (recall given prompts) must exceed PHf|Ms (clean film)
+        for a persuadable reader."""
+        _, healthy, reader, algorithm = world
+        params = derive_false_positive_class_parameters(reader, algorithm, healthy)
+        assert (
+            params.p_human_failure_given_machine_failure
+            > params.p_human_failure_given_machine_success
+        )
+
+    def test_empirical_agreement(self, world, rng):
+        """The analytic FP probability matches sampled reading."""
+        _, healthy, reader, algorithm = world
+        params = derive_false_positive_class_parameters(reader, algorithm, healthy)
+        analytic = params.p_system_failure
+        recalls = 0
+        trials = 0
+        for case in healthy:
+            for _ in range(30):
+                output = algorithm.process(case, rng)
+                recalls += int(reader.decide(case, output, rng).recall)
+                trials += 1
+        assert recalls / trials == pytest.approx(analytic, abs=0.01)
+
+    def test_rejects_cancers(self, world):
+        cancers, _, reader, algorithm = world
+        with pytest.raises(SimulationError):
+            derive_false_positive_class_parameters(reader, algorithm, cancers[:5])
+
+
+class TestTwoSidedDerivation:
+    def test_operating_point_consistency(self, world):
+        cancers, healthy, reader, algorithm = world
+        model = derive_two_sided_model(reader, algorithm, cancers, healthy)
+        point = derive_operating_point("nominal", reader, algorithm, cancers, healthy)
+        assert point.p_false_negative == pytest.approx(model.p_false_negative())
+        assert point.p_false_positive == pytest.approx(model.p_false_positive())
+
+    def test_threshold_sweep_monotone_at_system_level(self, world):
+        cancers, healthy, reader, _ = world
+        base = DetectionAlgorithm()
+        points = [
+            derive_operating_point(
+                f"{shift:+.1f}",
+                reader,
+                base.with_threshold_shift(shift),
+                cancers,
+                healthy,
+            )
+            for shift in (-1.0, 0.0, 1.0)
+        ]
+        assert (
+            points[0].p_false_negative
+            < points[1].p_false_negative
+            < points[2].p_false_negative
+        )
+        assert (
+            points[0].p_false_positive
+            > points[1].p_false_positive
+            > points[2].p_false_positive
+        )

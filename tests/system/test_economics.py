@@ -1,0 +1,115 @@
+"""Tests for repro.system.economics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.system import ConfigurationCost, CostModel, price_configuration
+
+
+@pytest.fixture
+def costs():
+    return CostModel(
+        reader_cost_per_case=1.0,
+        machine_cost_per_case=0.1,
+        recall_cost=20.0,
+        missed_cancer_cost=2000.0,
+    )
+
+
+class TestCostModel:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SimulationError):
+            CostModel(reader_cost_per_case=-1.0)
+
+
+class TestPriceConfiguration:
+    def test_operating_cost_components(self, costs):
+        priced = price_configuration(
+            "double+cadt",
+            p_false_negative=0.1,
+            p_false_positive=0.1,
+            prevalence=0.006,
+            cost_model=costs,
+            num_readers=2,
+            uses_machine=True,
+        )
+        assert priced.operating_cost == pytest.approx(2 * 1.0 + 0.1)
+
+    def test_arbitration_adds_partial_reading(self, costs):
+        priced = price_configuration(
+            "double+arb",
+            0.1,
+            0.1,
+            0.006,
+            costs,
+            num_readers=2,
+            arbitration_rate=0.05,
+        )
+        assert priced.operating_cost == pytest.approx(2.05)
+
+    def test_trainee_multiplier(self, costs):
+        trainees = price_configuration(
+            "trainees",
+            0.1,
+            0.1,
+            0.006,
+            costs,
+            num_readers=2,
+            reader_cost_multiplier=0.5,
+        )
+        assert trainees.operating_cost == pytest.approx(1.0)
+
+    def test_failure_cost_formula(self, costs):
+        priced = price_configuration(
+            "single", p_false_negative=0.2, p_false_positive=0.1,
+            prevalence=0.01, cost_model=costs,
+        )
+        recall_rate = 0.01 * 0.8 + 0.99 * 0.1
+        expected = recall_rate * 20.0 + 0.01 * 0.2 * 2000.0
+        assert priced.failure_cost == pytest.approx(expected)
+
+    def test_cost_per_cancer_detected(self, costs):
+        priced = price_configuration("single", 0.2, 0.1, 0.01, costs)
+        assert priced.cancers_detected_per_case == pytest.approx(0.008)
+        assert priced.cost_per_cancer_detected == pytest.approx(
+            priced.total_cost / 0.008
+        )
+
+    def test_detecting_nothing_costs_infinite_per_cancer(self, costs):
+        blind = price_configuration("blind", 1.0, 0.0, 0.01, costs)
+        assert blind.cost_per_cancer_detected == float("inf")
+
+    def test_validation(self, costs):
+        with pytest.raises(SimulationError):
+            price_configuration("x", 0.1, 0.1, 0.01, costs, num_readers=0)
+        with pytest.raises(SimulationError):
+            price_configuration(
+                "x", 0.1, 0.1, 0.01, costs, reader_cost_multiplier=-1.0
+            )
+
+
+class TestEconomicComparisons:
+    def test_cadt_pays_for_itself_when_misses_are_expensive(self, costs):
+        """A single reader + cheap CADT that halves the FN rate beats the
+        unaided reader on total cost at screening prevalence."""
+        unaided = price_configuration("unaided", 0.30, 0.10, 0.006, costs)
+        assisted = price_configuration(
+            "assisted", 0.15, 0.12, 0.006, costs, uses_machine=True
+        )
+        assert assisted.total_cost < unaided.total_cost
+        assert assisted.cost_per_cancer_detected < unaided.cost_per_cancer_detected
+
+    def test_assisted_trainees_cheaper_than_consultant_double_reading(self, costs):
+        """The paper's cost-effectiveness hypothesis, priced: two assisted
+        trainees with near-equal error rates undercut consultant double
+        reading on operating cost."""
+        double = price_configuration(
+            "double consultants", 0.10, 0.08, 0.006, costs,
+            num_readers=2, reader_cost_multiplier=1.5,
+        )
+        trainees = price_configuration(
+            "assisted trainees", 0.11, 0.10, 0.006, costs,
+            num_readers=2, reader_cost_multiplier=0.5, uses_machine=True,
+        )
+        assert trainees.operating_cost < double.operating_cost
+        assert trainees.total_cost < double.total_cost

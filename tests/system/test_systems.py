@@ -1,0 +1,190 @@
+"""Tests for repro.system (composite system simulators and evaluation)."""
+
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.exceptions import SimulationError
+from repro.reader import (
+    MILD_BIAS,
+    NO_BIAS,
+    QualificationLevel,
+    ReaderModel,
+    ReaderPanel,
+    ReaderSkill,
+)
+from repro.screening import PopulationModel, SubtletyClassifier, trial_workload
+from repro.system import (
+    AssistedDoubleReading,
+    AssistedReading,
+    DoubleReading,
+    RecallPolicy,
+    SystemDecision,
+    UnaidedReading,
+    compare_systems,
+    evaluate_system,
+)
+from tests.screening.test_case_and_population import make_cancer_case
+
+
+def fresh_reader(name: str, seed: int, **skill_kwargs) -> ReaderModel:
+    return ReaderModel(
+        skill=ReaderSkill(**skill_kwargs), bias=MILD_BIAS, name=name, seed=seed
+    )
+
+
+class TestSystemDecision:
+    def test_is_failure(self):
+        case = make_cancer_case()
+        recall = SystemDecision(case_id=1, recall=True, machine_failed=False)
+        miss = SystemDecision(case_id=1, recall=False, machine_failed=False)
+        assert not recall.is_failure(case)
+        assert miss.is_failure(case)
+
+    def test_case_mismatch_rejected(self):
+        case = make_cancer_case()
+        decision = SystemDecision(case_id=99, recall=True, machine_failed=None)
+        with pytest.raises(SimulationError):
+            decision.is_failure(case)
+
+
+class TestSingleSystems:
+    def test_unaided_has_no_machine(self):
+        system = UnaidedReading(fresh_reader("r", 1))
+        decision = system.decide(make_cancer_case())
+        assert decision.machine_failed is None
+
+    def test_assisted_reports_machine_outcome(self):
+        system = AssistedReading(fresh_reader("r", 1), Cadt(seed=2))
+        decision = system.decide(make_cancer_case())
+        assert isinstance(decision.machine_failed, bool)
+
+    def test_names(self):
+        reader = fresh_reader("alice", 1)
+        assert UnaidedReading(reader).name == "unaided(alice)"
+        assert AssistedReading(reader, Cadt(seed=1)).name == "assisted(alice)"
+        assert UnaidedReading(reader, name="custom").name == "custom"
+
+
+class TestDoubleReading:
+    @pytest.fixture
+    def readers(self):
+        return [fresh_reader("r1", 1), fresh_reader("r2", 2)]
+
+    def test_either_policy_recalls_when_any_recalls(self, readers):
+        # Use an obvious cancer: both readers will essentially always recall.
+        system = DoubleReading(readers, RecallPolicy.EITHER)
+        case = make_cancer_case(
+            human_detection_difficulty=0.001, human_classification_difficulty=0.001
+        )
+        decisions = [system.decide(case).recall for _ in range(50)]
+        assert all(decisions)
+
+    def test_requires_two_readers(self, readers):
+        with pytest.raises(SimulationError):
+            DoubleReading(readers[:1])
+
+    def test_arbitration_requires_arbiter(self, readers):
+        with pytest.raises(SimulationError):
+            DoubleReading(readers, RecallPolicy.ARBITRATION)
+
+    def test_arbitration_with_arbiter_runs(self, readers):
+        system = DoubleReading(
+            readers, RecallPolicy.ARBITRATION, arbiter=fresh_reader("arb", 3)
+        )
+        decision = system.decide(make_cancer_case())
+        assert isinstance(decision.recall, bool)
+
+    def test_policies_ordered_by_sensitivity(self):
+        """EITHER must catch at least as many cancers as UNANIMOUS."""
+        population = PopulationModel(seed=41)
+        workload = trial_workload(population, 400, cancer_fraction=1.0)
+        either = DoubleReading(
+            [fresh_reader("r1", 1), fresh_reader("r2", 2)], RecallPolicy.EITHER
+        )
+        unanimous = DoubleReading(
+            [fresh_reader("r3", 1), fresh_reader("r4", 2)], RecallPolicy.UNANIMOUS
+        )
+        either_eval = evaluate_system(either, workload)
+        unanimous_eval = evaluate_system(unanimous, workload)
+        assert (
+            either_eval.false_negative.rate <= unanimous_eval.false_negative.rate
+        )
+
+    def test_unanimous_more_specific(self):
+        population = PopulationModel(seed=42)
+        workload = trial_workload(population, 400, cancer_fraction=0.0)
+        either = DoubleReading(
+            [fresh_reader("r1", 1, specificity=-1.0), fresh_reader("r2", 2, specificity=-1.0)],
+            RecallPolicy.EITHER,
+        )
+        unanimous = DoubleReading(
+            [fresh_reader("r3", 1, specificity=-1.0), fresh_reader("r4", 2, specificity=-1.0)],
+            RecallPolicy.UNANIMOUS,
+        )
+        either_eval = evaluate_system(either, workload)
+        unanimous_eval = evaluate_system(unanimous, workload)
+        assert unanimous_eval.false_positive.rate <= either_eval.false_positive.rate
+
+
+class TestAssistedDoubleReading:
+    def test_machine_outcome_shared(self):
+        system = AssistedDoubleReading(
+            [fresh_reader("r1", 1), fresh_reader("r2", 2)],
+            Cadt(DetectionAlgorithm(), seed=3),
+        )
+        decision = system.decide(make_cancer_case())
+        assert isinstance(decision.machine_failed, bool)
+
+    def test_requires_two_readers(self):
+        with pytest.raises(SimulationError):
+            AssistedDoubleReading([fresh_reader("r1", 1)], Cadt(seed=1))
+
+
+class TestEvaluateSystem:
+    def test_rates_and_breakdown(self, classifier):
+        population = PopulationModel(seed=43)
+        workload = trial_workload(population, 300, cancer_fraction=0.5)
+        system = AssistedReading(fresh_reader("r", 5), Cadt(seed=6))
+        evaluation = evaluate_system(system, workload, classifier)
+        assert evaluation.false_negative is not None
+        assert evaluation.false_positive is not None
+        assert 0.0 <= evaluation.false_negative.rate <= 1.0
+        total_class_trials = sum(
+            r.trials for r in evaluation.per_class_false_negative.values()
+        )
+        assert total_class_trials == evaluation.false_negative.trials
+
+    def test_cancer_only_workload_has_no_fp(self):
+        population = PopulationModel(seed=44)
+        workload = trial_workload(population, 50, cancer_fraction=1.0)
+        system = UnaidedReading(fresh_reader("r", 5))
+        evaluation = evaluate_system(system, workload)
+        assert evaluation.false_positive is None
+        assert evaluation.false_negative.trials == 50
+
+    def test_empty_workload_rejected(self):
+        from repro.screening import Workload
+
+        system = UnaidedReading(fresh_reader("r", 5))
+        with pytest.raises(SimulationError):
+            evaluate_system(system, Workload("empty", ()))
+
+    def test_assisted_beats_unaided_on_detection(self):
+        """The headline effect: CADT assistance reduces false negatives."""
+        population = PopulationModel(seed=45)
+        workload = trial_workload(population, 600, cancer_fraction=1.0)
+        unaided = UnaidedReading(fresh_reader("u", 7))
+        assisted = AssistedReading(fresh_reader("a", 7), Cadt(seed=8))
+        results = compare_systems([unaided, assisted], workload)
+        assert (
+            results[assisted.name].false_negative.rate
+            < results[unaided.name].false_negative.rate
+        )
+
+    def test_compare_systems_duplicate_names_rejected(self):
+        population = PopulationModel(seed=46)
+        workload = trial_workload(population, 10, cancer_fraction=0.5)
+        a = UnaidedReading(fresh_reader("same", 1), name="x")
+        b = UnaidedReading(fresh_reader("other", 2), name="x")
+        with pytest.raises(SimulationError):
+            compare_systems([a, b], workload)

@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in module docstrings.
+
+The quickstart snippets in the package docstrings are part of the public
+documentation; this keeps them executable and correct.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.sequential
+import repro.rbd
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.sequential, repro.rbd],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

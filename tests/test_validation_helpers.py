@@ -1,0 +1,106 @@
+"""Tests for the internal validation helpers (repro._validation)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._validation import (
+    PROBABILITY_ATOL,
+    check_distribution,
+    check_positive,
+    check_probabilities,
+    check_probability,
+    clip_probability,
+)
+from repro.exceptions import ProbabilityError, ProfileError
+
+
+class TestCheckProbability:
+    def test_accepts_interior_values(self):
+        assert check_probability(0.5) == 0.5
+        assert check_probability(0) == 0.0
+        assert check_probability(1) == 1.0
+
+    def test_clips_rounding_noise(self):
+        assert check_probability(1.0 + PROBABILITY_ATOL / 2) == 1.0
+        assert check_probability(-PROBABILITY_ATOL / 2) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ProbabilityError):
+            check_probability(1.1)
+        with pytest.raises(ProbabilityError):
+            check_probability(-0.1)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ProbabilityError):
+            check_probability(float("nan"))
+        with pytest.raises(ProbabilityError):
+            check_probability(float("inf"))
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ProbabilityError):
+            check_probability("half")  # type: ignore[arg-type]
+        with pytest.raises(ProbabilityError):
+            check_probability(None)  # type: ignore[arg-type]
+
+    def test_error_message_names_the_parameter(self):
+        with pytest.raises(ProbabilityError, match="my_param"):
+            check_probability(2.0, "my_param")
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_idempotent(self, value):
+        assert check_probability(check_probability(value)) == check_probability(value)
+
+
+class TestCheckProbabilities:
+    def test_validates_each_element(self):
+        assert check_probabilities([0.1, 0.9]) == [0.1, 0.9]
+
+    def test_reports_offending_index(self):
+        with pytest.raises(ProbabilityError, match=r"\[1\]"):
+            check_probabilities([0.1, 1.9])
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3.5) == 3.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ProbabilityError):
+            check_positive(0.0)
+        with pytest.raises(ProbabilityError):
+            check_positive(-1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ProbabilityError):
+            check_positive(float("inf"))
+
+
+class TestCheckDistribution:
+    def test_accepts_valid_distribution(self):
+        validated = check_distribution({"a": 0.25, "b": 0.75})
+        assert validated == {"a": 0.25, "b": 0.75}
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ProfileError):
+            check_distribution({"a": 0.3, "b": 0.3})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProfileError):
+            check_distribution({})
+
+    def test_tolerance_scales_with_size(self):
+        n = 100
+        weights = {f"k{i}": 1.0 / n for i in range(n)}
+        # fsum of 100 x 0.01 is fine; tiny per-entry noise must not trip it.
+        weights["k0"] += 5 * PROBABILITY_ATOL
+        weights["k1"] -= 5 * PROBABILITY_ATOL
+        assert math.fsum(check_distribution(weights).values()) == pytest.approx(1.0)
+
+
+class TestClipProbability:
+    def test_clips_both_ends(self):
+        assert clip_probability(-0.0001) == 0.0
+        assert clip_probability(1.0001) == 1.0
+        assert clip_probability(0.5) == 0.5

@@ -1,0 +1,163 @@
+"""Tests for repro.trial.design (sample sizes, power, feasibility)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ClassParameters,
+    DemandProfile,
+    ModelParameters,
+    PAPER_TRIAL_PROFILE,
+    paper_example_parameters,
+)
+from repro.exceptions import EstimationError
+from repro.trial import (
+    TrialDesign,
+    sample_size_for_difference,
+    sample_size_for_half_width,
+)
+from repro._stats import normal_quantile
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert normal_quantile(0.8) == pytest.approx(0.841621, abs=1e-4)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.1) == pytest.approx(-normal_quantile(0.9), abs=1e-9)
+
+    def test_tails(self):
+        assert normal_quantile(1e-6) == pytest.approx(-4.7534, abs=1e-2)
+
+    def test_invalid(self):
+        with pytest.raises(EstimationError):
+            normal_quantile(0.0)
+        with pytest.raises(EstimationError):
+            normal_quantile(1.0)
+
+
+class TestSampleSizeForHalfWidth:
+    def test_classic_value(self):
+        # p=0.5, h=0.05, 95%: n ~ 385.
+        assert sample_size_for_half_width(0.5, 0.05) == 385
+
+    def test_smaller_proportion_needs_fewer(self):
+        assert sample_size_for_half_width(0.1, 0.05) < sample_size_for_half_width(
+            0.5, 0.05
+        )
+
+    def test_tighter_width_needs_more(self):
+        assert sample_size_for_half_width(0.3, 0.02) > sample_size_for_half_width(
+            0.3, 0.1
+        )
+
+    def test_degenerate_proportion_uses_worst_case(self):
+        assert sample_size_for_half_width(0.0, 0.05) == sample_size_for_half_width(
+            0.5, 0.05
+        )
+
+    def test_invalid(self):
+        with pytest.raises(EstimationError):
+            sample_size_for_half_width(0.5, 0.0)
+        with pytest.raises(EstimationError):
+            sample_size_for_half_width(0.5, 0.1, level=1.0)
+
+
+class TestSampleSizeForDifference:
+    def test_textbook_value(self):
+        # p1=0.2, p2=0.1, alpha=.05, power=.8: n ~ 199 per group.
+        n = sample_size_for_difference(0.2, 0.1)
+        assert 190 <= n <= 220
+
+    def test_smaller_effect_needs_more(self):
+        assert sample_size_for_difference(0.22, 0.18) > sample_size_for_difference(
+            0.3, 0.1
+        )
+
+    def test_higher_power_needs_more(self):
+        assert sample_size_for_difference(0.2, 0.1, power=0.95) > (
+            sample_size_for_difference(0.2, 0.1, power=0.8)
+        )
+
+    def test_symmetric_in_arguments(self):
+        assert sample_size_for_difference(0.2, 0.1) == sample_size_for_difference(
+            0.1, 0.2
+        )
+
+    def test_paper_easy_class_needs_huge_trial(self):
+        """Detecting the easy class's t = 0.04 (0.18 vs 0.14) takes
+        thousands of readings per cell — the paper's feasibility worry made
+        concrete."""
+        n = sample_size_for_difference(0.18, 0.14)
+        assert n > 1000
+
+    def test_zero_difference_rejected(self):
+        with pytest.raises(EstimationError):
+            sample_size_for_difference(0.3, 0.3)
+
+
+class TestTrialDesign:
+    @pytest.fixture
+    def design(self):
+        return TrialDesign(num_cases=400, num_readers=4, half_width=0.1)
+
+    def test_cancer_readings(self, design):
+        assert design.cancer_readings == 200 * 4
+
+    def test_feasibility_report_structure(self, design):
+        report = design.feasibility(paper_example_parameters(), PAPER_TRIAL_PROFILE)
+        assert len(report.cells) == 4  # 2 classes x 2 cells
+        assert report.total_readings == 1600
+
+    def test_machine_failure_cells_are_the_thin_ones(self, design):
+        report = design.feasibility(paper_example_parameters(), PAPER_TRIAL_PROFILE)
+        by_key = {(c.case_class.name, c.cell): c for c in report.cells}
+        # Easy class: 800 cancer readings * 0.8 weight * PMf 0.07 = ~45 events.
+        assert by_key[("easy", "machine_failure")].expected_readings == pytest.approx(
+            design.cancer_readings * 0.8 * 0.07
+        )
+        assert (
+            by_key[("easy", "machine_failure")].expected_readings
+            < by_key[("easy", "machine_success")].expected_readings
+        )
+
+    def test_infeasible_cells_sorted_rarest_first(self, design):
+        report = design.feasibility(paper_example_parameters(), PAPER_TRIAL_PROFILE)
+        thin = report.infeasible_cells
+        expected = [c.expected_readings for c in thin]
+        assert expected == sorted(expected)
+
+    def test_scaling_to_feasibility(self, design):
+        parameters = paper_example_parameters()
+        scaled = design.scaled_to_feasibility(parameters, PAPER_TRIAL_PROFILE)
+        report = scaled.feasibility(parameters, PAPER_TRIAL_PROFILE)
+        assert report.is_feasible
+        assert scaled.num_cases > design.num_cases
+
+    def test_already_feasible_design_unchanged(self):
+        design = TrialDesign(num_cases=100_000, num_readers=4, half_width=0.1)
+        scaled = design.scaled_to_feasibility(
+            paper_example_parameters(), PAPER_TRIAL_PROFILE
+        )
+        assert scaled is design
+
+    def test_infeasible_beyond_cap_raises(self):
+        design = TrialDesign(num_cases=10, num_readers=1, half_width=0.01)
+        rare_machine_failures = ModelParameters(
+            {"only": ClassParameters(0.001, 0.9, 0.1)}
+        )
+        with pytest.raises(EstimationError):
+            design.scaled_to_feasibility(
+                rare_machine_failures, DemandProfile({"only": 1.0}), max_cases=10_000
+            )
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            TrialDesign(num_cases=0, num_readers=1)
+        with pytest.raises(EstimationError):
+            TrialDesign(num_cases=10, num_readers=0)
+        with pytest.raises(EstimationError):
+            TrialDesign(num_cases=10, num_readers=1, half_width=2.0)

@@ -1,0 +1,258 @@
+"""Tests for repro.trial.estimate and repro.trial.run."""
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import CaseClass
+from repro.exceptions import EstimationError
+from repro.reader import MILD_BIAS, QualificationLevel, ReaderModel, ReaderPanel
+from repro.screening import (
+    PopulationModel,
+    SingleClassClassifier,
+    SubtletyClassifier,
+    trial_workload,
+)
+from repro.trial import (
+    CaseRecord,
+    ControlledTrial,
+    TrialRecords,
+    estimate_model,
+    run_reading_session,
+)
+
+EASY = CaseClass("easy")
+
+
+def synthetic_records(
+    n_per_cell: int,
+    p_failure_given_mf: float,
+    p_failure_given_ms: float,
+    case_class=EASY,
+) -> TrialRecords:
+    """Deterministic record sets with exact conditional failure fractions."""
+    records = TrialRecords()
+    case_id = 0
+    for machine_failed, p_fail in (
+        (True, p_failure_given_mf),
+        (False, p_failure_given_ms),
+    ):
+        failures = round(n_per_cell * p_fail)
+        for i in range(n_per_cell):
+            records.append(
+                CaseRecord(
+                    case_id=case_id,
+                    reader_name="r1",
+                    case_class=case_class,
+                    has_cancer=True,
+                    aided=True,
+                    machine_failed=machine_failed,
+                    machine_false_prompts=0,
+                    recalled=(i >= failures),
+                )
+            )
+            case_id += 1
+    return records
+
+
+class TestEstimateModel:
+    def test_exact_recovery_from_synthetic_records(self):
+        records = synthetic_records(100, p_failure_given_mf=0.3, p_failure_given_ms=0.1)
+        result = estimate_model(records)
+        estimate = result[EASY]
+        assert estimate.machine_failure.point == pytest.approx(0.5)
+        assert estimate.human_failure_given_machine_failure.point == pytest.approx(0.3)
+        assert estimate.human_failure_given_machine_success.point == pytest.approx(0.1)
+
+    def test_profile_from_class_counts(self):
+        records = synthetic_records(50, 0.2, 0.1, EASY) + synthetic_records(
+            25, 0.8, 0.4, CaseClass("difficult")
+        )
+        result = estimate_model(records)
+        assert result.profile["easy"] == pytest.approx(2 / 3)
+        assert result.profile["difficult"] == pytest.approx(1 / 3)
+
+    def test_to_sequential_model_prediction_matches_observed(self):
+        records = synthetic_records(200, 0.4, 0.1)
+        result = estimate_model(records)
+        model = result.to_sequential_model()
+        assert model.system_failure_probability(result.profile) == pytest.approx(
+            records.failure_rate()
+        )
+
+    def test_intervals_attached(self):
+        result = estimate_model(synthetic_records(100, 0.3, 0.1))
+        estimate = result[EASY]
+        assert estimate.machine_failure.interval.lower < 0.5
+        assert estimate.machine_failure.interval.upper > 0.5
+
+    def test_uncertain_model_centres_on_point(self):
+        result = estimate_model(synthetic_records(500, 0.3, 0.1))
+        uncertain = result.to_uncertain_model()
+        mean_model = uncertain.mean_model()
+        point_model = result.to_sequential_model()
+        assert mean_model.system_failure_probability(
+            result.profile
+        ) == pytest.approx(
+            point_model.system_failure_probability(result.profile), abs=0.01
+        )
+
+    def test_no_records_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_model(TrialRecords())
+
+    def test_empty_cell_raises_by_default(self):
+        # Machine never fails in these records -> PHf|Mf inestimable.
+        records = TrialRecords(
+            [
+                CaseRecord(i, "r1", EASY, True, True, False, 0, True)
+                for i in range(20)
+            ]
+        )
+        with pytest.raises(EstimationError):
+            estimate_model(records)
+
+    def test_empty_cell_pooling_policy(self):
+        good_class = synthetic_records(50, 0.5, 0.1, EASY)
+        # "clean" class: machine never fails there.
+        clean = TrialRecords(
+            [
+                CaseRecord(1000 + i, "r1", CaseClass("clean"), True, True, False, 0, True)
+                for i in range(30)
+            ]
+        )
+        result = estimate_model(good_class + clean, on_empty_cell="pool")
+        pooled = result[CaseClass("clean")].human_failure_given_machine_failure
+        assert pooled.pooled
+        # The pooled rate comes from the only class with Mf events.
+        assert pooled.point == pytest.approx(0.5, abs=0.02)
+        assert result.pooled_cells() == ((CaseClass("clean"), "p_human_failure_given_machine_failure"),)
+
+    def test_unknown_class_lookup_rejected(self):
+        result = estimate_model(synthetic_records(10, 0.5, 0.1))
+        with pytest.raises(EstimationError):
+            result["mystery"]
+
+    def test_healthy_side_estimation(self):
+        """The same estimator works for the false-positive model."""
+        records = TrialRecords(
+            [
+                CaseRecord(
+                    i,
+                    "r1",
+                    EASY,
+                    has_cancer=False,
+                    aided=True,
+                    machine_failed=(i % 2 == 0),  # false prompt present
+                    machine_false_prompts=(1 if i % 2 == 0 else 0),
+                    recalled=(i % 4 == 0),  # recall = failure on healthy
+                )
+                for i in range(100)
+            ]
+        )
+        result = estimate_model(records)
+        estimate = result[EASY]
+        assert estimate.machine_failure.point == pytest.approx(0.5)
+        # Failures among machine-failed (even ids): ids divisible by 4 -> 0.5.
+        assert estimate.human_failure_given_machine_failure.point == pytest.approx(0.5)
+        assert estimate.human_failure_given_machine_success.point == pytest.approx(0.0)
+
+
+class TestRunReadingSession:
+    def test_produces_record_per_case(self, population, classifier, cadt, reader, rng):
+        workload = trial_workload(population, 60, 0.5)
+        records = run_reading_session(workload, reader, classifier, cadt, rng)
+        assert len(records) == 60
+        assert all(r.aided for r in records)
+        assert all(r.reader_name == reader.name for r in records)
+
+    def test_unaided_session(self, population, classifier, reader, rng):
+        workload = trial_workload(population, 30, 0.5)
+        records = run_reading_session(workload, reader, classifier, None, rng)
+        assert all(not r.aided for r in records)
+        assert all(r.machine_failed is None for r in records)
+
+    def test_machine_failure_recorded_for_cancers(
+        self, population, classifier, cadt, reader, rng
+    ):
+        workload = trial_workload(population, 100, 1.0)
+        records = run_reading_session(workload, reader, classifier, cadt, rng)
+        assert all(isinstance(r.machine_failed, bool) for r in records)
+
+
+class TestControlledTrial:
+    @pytest.fixture
+    def trial(self, population, classifier):
+        panel = ReaderPanel.sample(3, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=5)
+        return ControlledTrial(
+            population=population,
+            panel=panel,
+            cadt=Cadt(DetectionAlgorithm(), seed=6),
+            classifier=classifier,
+            num_cases=200,
+            cancer_fraction=0.5,
+            include_unaided_arm=True,
+            on_empty_cell="pool",
+            seed=7,
+        )
+
+    def test_outcome_structure(self, trial):
+        outcome = trial.run()
+        assert len(outcome.workload) == 200
+        # 3 readers x 200 cases per arm.
+        assert len(outcome.aided_records) == 600
+        assert len(outcome.unaided_records) == 600
+        assert len(outcome.all_records) == 1200
+
+    def test_estimates_cover_observed_classes(self, trial):
+        outcome = trial.run()
+        observed = set(outcome.aided_records.cancers().case_classes)
+        assert set(outcome.estimation.classes) == observed
+
+    def test_estimated_conditionals_ordered(self, trial):
+        """With biased readers, PHf|Mf must exceed PHf|Ms in a decent trial."""
+        outcome = trial.run()
+        for cls in outcome.estimation.classes:
+            estimate = outcome.estimation[cls]
+            if (
+                estimate.human_failure_given_machine_failure.trials >= 30
+                and estimate.human_failure_given_machine_success.trials >= 30
+            ):
+                assert (
+                    estimate.human_failure_given_machine_failure.point
+                    > estimate.human_failure_given_machine_success.point
+                )
+
+    def test_prediction_matches_observed_rate_exactly(self, trial):
+        """The estimator is exactly the MLE: plugging the empirical profile
+        back in reproduces the observed aided cancer failure rate."""
+        outcome = trial.run()
+        model = outcome.estimation.to_sequential_model()
+        predicted = model.system_failure_probability(outcome.estimation.profile)
+        observed = outcome.aided_records.cancers().failure_rate()
+        assert predicted == pytest.approx(observed, abs=1e-9)
+
+    def test_aided_beats_unaided_for_cancers(self, population, classifier):
+        """The CADT should help detection overall (trial-level sanity)."""
+        panel = ReaderPanel.sample(4, QualificationLevel.STANDARD, bias=MILD_BIAS, seed=8)
+        trial = ControlledTrial(
+            population=PopulationModel(seed=31),
+            panel=panel,
+            cadt=Cadt(DetectionAlgorithm(), seed=9),
+            classifier=classifier,
+            num_cases=400,
+            include_unaided_arm=True,
+            on_empty_cell="pool",
+            seed=10,
+        )
+        outcome = trial.run()
+        aided_rate = outcome.aided_records.cancers().failure_rate()
+        unaided_rate = outcome.unaided_records.cancers().failure_rate()
+        assert aided_rate < unaided_rate
+
+    def test_invalid_num_cases(self, population, classifier):
+        panel = ReaderPanel.sample(1, seed=1)
+        with pytest.raises(Exception):
+            ControlledTrial(
+                population, panel, Cadt(seed=1), classifier, num_cases=0
+            )

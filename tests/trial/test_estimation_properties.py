@@ -1,0 +1,134 @@
+"""Statistical properties of the estimator against known ground truth.
+
+These tests bypass the simulators entirely: records are sampled directly
+from known ``ClassParameters``, so the estimator's consistency and the
+confidence intervals' coverage can be checked against exact truth.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CaseClass, ClassParameters, DemandProfile, ModelParameters
+from repro.trial import CaseRecord, TrialRecords, estimate_model
+
+
+def sample_records(
+    parameters: ModelParameters,
+    profile: DemandProfile,
+    num_cases: int,
+    rng: np.random.Generator,
+) -> TrialRecords:
+    """Sample reading events directly from the sequential model's law."""
+    records = TrialRecords()
+    class_names = [cls.name for cls in profile.classes]
+    weights = [profile[name] for name in class_names]
+    for case_id in range(num_cases):
+        name = class_names[int(rng.choice(len(class_names), p=weights))]
+        params = parameters[name]
+        machine_failed = bool(rng.random() < params.p_machine_failure)
+        p_fail = (
+            params.p_human_failure_given_machine_failure
+            if machine_failed
+            else params.p_human_failure_given_machine_success
+        )
+        failed = bool(rng.random() < p_fail)
+        records.append(
+            CaseRecord(
+                case_id=case_id,
+                reader_name="r",
+                case_class=CaseClass(name),
+                has_cancer=True,
+                aided=True,
+                machine_failed=machine_failed,
+                machine_false_prompts=0,
+                recalled=not failed,
+            )
+        )
+    return records
+
+
+TRUE_PARAMETERS = ModelParameters(
+    {
+        "easy": ClassParameters(0.07, 0.18, 0.14),
+        "difficult": ClassParameters(0.41, 0.90, 0.40),
+    }
+)
+TRUE_PROFILE = DemandProfile({"easy": 0.8, "difficult": 0.2})
+
+
+class TestConsistency:
+    def test_estimates_converge_to_truth(self):
+        rng = np.random.default_rng(1601)
+        records = sample_records(TRUE_PARAMETERS, TRUE_PROFILE, 60_000, rng)
+        estimation = estimate_model(records)
+        for name in ("easy", "difficult"):
+            estimate = estimation[name].to_class_parameters()
+            truth = TRUE_PARAMETERS[name]
+            assert estimate.p_machine_failure == pytest.approx(
+                truth.p_machine_failure, abs=0.02
+            )
+            assert estimate.p_human_failure_given_machine_failure == pytest.approx(
+                truth.p_human_failure_given_machine_failure, abs=0.04
+            )
+            assert estimate.p_human_failure_given_machine_success == pytest.approx(
+                truth.p_human_failure_given_machine_success, abs=0.02
+            )
+
+    def test_profile_estimate_converges(self):
+        rng = np.random.default_rng(1602)
+        records = sample_records(TRUE_PARAMETERS, TRUE_PROFILE, 40_000, rng)
+        estimation = estimate_model(records)
+        assert estimation.profile["easy"] == pytest.approx(0.8, abs=0.02)
+
+    def test_error_shrinks_with_sample_size(self):
+        def max_error(n: int, seed: int) -> float:
+            rng = np.random.default_rng(seed)
+            records = sample_records(TRUE_PARAMETERS, TRUE_PROFILE, n, rng)
+            estimation = estimate_model(records, on_empty_cell="pool")
+            errors = []
+            for name in ("easy", "difficult"):
+                estimate = estimation[name].to_class_parameters()
+                truth = TRUE_PARAMETERS[name]
+                errors.append(
+                    abs(estimate.p_machine_failure - truth.p_machine_failure)
+                )
+            return max(errors)
+
+        small = np.mean([max_error(400, seed) for seed in range(5)])
+        large = np.mean([max_error(40_000, seed) for seed in range(5)])
+        assert large < small
+
+    def test_interval_coverage(self):
+        """95% Wilson intervals should cover the true PMf in roughly 95% of
+        repeated trials (checked loosely over 60 replications)."""
+        covered = 0
+        replications = 60
+        for seed in range(replications):
+            rng = np.random.default_rng(2000 + seed)
+            records = sample_records(TRUE_PARAMETERS, TRUE_PROFILE, 2_000, rng)
+            estimation = estimate_model(records, on_empty_cell="pool")
+            interval = estimation["difficult"].machine_failure.interval
+            covered += int(0.41 in interval)
+        assert covered / replications >= 0.85
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_plugin_identity_holds_for_any_truth(self, pmf, hf_mf, hf_ms, seed):
+        """For any generating parameters, predicting with the estimates and
+        the empirical profile reproduces the observed failure rate exactly
+        (the estimator is the MLE of a saturated model)."""
+        truth = ModelParameters({"only": ClassParameters(pmf, hf_mf, hf_ms)})
+        profile = DemandProfile({"only": 1.0})
+        rng = np.random.default_rng(seed)
+        records = sample_records(truth, profile, 500, rng)
+        estimation = estimate_model(records, on_empty_cell="pool")
+        predicted = estimation.to_sequential_model().system_failure_probability(
+            estimation.profile
+        )
+        assert predicted == pytest.approx(records.failure_rate(), abs=1e-9)

@@ -1,0 +1,91 @@
+"""Tests for repro.trial.readers (per-reader estimation)."""
+
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.core import CaseClass, TeamPolicy
+from repro.exceptions import EstimationError
+from repro.reader import MILD_BIAS, ReaderModel, ReaderPanel, ReaderSkill
+from repro.screening import PopulationModel, SubtletyClassifier
+from repro.trial import ControlledTrial, TrialRecords, estimate_per_reader
+
+
+@pytest.fixture(scope="module")
+def crossed_trial_outcome():
+    """A crossed trial with one deliberately weak and one strong reader."""
+    strong = ReaderModel(
+        skill=ReaderSkill(detection=0.8, classification=0.6),
+        bias=MILD_BIAS,
+        name="strong",
+        seed=1501,
+    )
+    weak = ReaderModel(
+        skill=ReaderSkill(detection=-0.8, classification=-0.6),
+        bias=MILD_BIAS,
+        name="weak",
+        seed=1502,
+    )
+    trial = ControlledTrial(
+        population=PopulationModel(seed=1503),
+        panel=ReaderPanel([strong, weak]),
+        cadt=Cadt(DetectionAlgorithm(), seed=1504),
+        classifier=SubtletyClassifier(),
+        num_cases=500,
+        cancer_fraction=1.0,
+        on_empty_cell="pool",
+        seed=1505,
+    )
+    return trial.run()
+
+
+@pytest.fixture(scope="module")
+def panel_estimate(crossed_trial_outcome):
+    return estimate_per_reader(crossed_trial_outcome.aided_records)
+
+
+class TestEstimatePerReader:
+    def test_both_readers_estimated(self, panel_estimate):
+        assert panel_estimate.reader_names == ("strong", "weak")
+
+    def test_weak_reader_measurably_worse(self, panel_estimate):
+        spread = panel_estimate.spread(
+            "difficult", "p_human_failure_given_machine_success"
+        )
+        assert spread.worst_reader == "weak"
+        assert spread.best_reader == "strong"
+        assert spread.spread > 0.05
+
+    def test_spread_bounds(self, panel_estimate):
+        spread = panel_estimate.spread(
+            "easy", "p_human_failure_given_machine_failure"
+        )
+        assert spread.minimum <= spread.maximum
+        assert spread.spread == pytest.approx(spread.maximum - spread.minimum)
+
+    def test_unknown_parameter_rejected(self, panel_estimate):
+        with pytest.raises(EstimationError):
+            panel_estimate.spread("easy", "p_machine_failure")
+
+    def test_reader_tables_share_machine(self, panel_estimate):
+        tables = panel_estimate.reader_tables()
+        pooled = panel_estimate.pooled.to_model_parameters()
+        for table in tables.values():
+            for case_class in pooled.classes:
+                assert table[case_class].p_machine_failure == pytest.approx(
+                    pooled[case_class].p_machine_failure
+                )
+
+    def test_team_model_beats_each_member(self, panel_estimate):
+        from repro.core import SequentialModel
+
+        team = panel_estimate.to_team_model(TeamPolicy.RECALL_IF_ANY)
+        profile = panel_estimate.pooled.profile
+        team_failure = team.system_failure_probability(profile)
+        for table in panel_estimate.reader_tables().values():
+            assert team_failure <= SequentialModel(table).system_failure_probability(
+                profile
+            ) + 1e-12
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_per_reader(TrialRecords())

@@ -1,0 +1,130 @@
+"""Tests for repro.trial.records."""
+
+import pytest
+
+from repro.core import CaseClass
+from repro.exceptions import EstimationError
+from repro.trial import CaseRecord, TrialRecords
+
+EASY = CaseClass("easy")
+DIFFICULT = CaseClass("difficult")
+
+
+def record(
+    case_id=1,
+    reader="r1",
+    case_class=EASY,
+    has_cancer=True,
+    aided=True,
+    machine_failed=False,
+    prompts=0,
+    recalled=True,
+):
+    return CaseRecord(
+        case_id=case_id,
+        reader_name=reader,
+        case_class=case_class,
+        has_cancer=has_cancer,
+        aided=aided,
+        machine_failed=machine_failed if aided else None,
+        machine_false_prompts=prompts if aided else None,
+        recalled=recalled,
+    )
+
+
+class TestCaseRecord:
+    def test_cancer_failure_is_no_recall(self):
+        assert record(has_cancer=True, recalled=False).human_failed
+        assert not record(has_cancer=True, recalled=True).human_failed
+
+    def test_healthy_failure_is_recall(self):
+        assert record(has_cancer=False, recalled=True).human_failed
+        assert not record(has_cancer=False, recalled=False).human_failed
+
+    def test_system_failed_aliases_human_failed(self):
+        r = record(recalled=False)
+        assert r.system_failed == r.human_failed
+
+    def test_aided_requires_machine_outcome(self):
+        with pytest.raises(EstimationError):
+            CaseRecord(1, "r", EASY, True, True, None, 0, True)
+
+    def test_unaided_forbids_machine_outcome(self):
+        with pytest.raises(EstimationError):
+            CaseRecord(1, "r", EASY, True, False, True, 0, True)
+
+    def test_negative_prompts_rejected(self):
+        with pytest.raises(EstimationError):
+            CaseRecord(1, "r", EASY, True, True, False, -2, True)
+
+
+class TestTrialRecords:
+    @pytest.fixture
+    def records(self):
+        return TrialRecords(
+            [
+                record(1, "r1", EASY, True, True, False, 0, True),
+                record(2, "r1", EASY, True, True, True, 1, False),
+                record(3, "r1", DIFFICULT, True, True, True, 0, False),
+                record(4, "r2", DIFFICULT, True, True, False, 2, True),
+                record(5, "r2", EASY, False, True, False, 0, False),
+                record(6, "r2", EASY, True, False, None, None, False),
+            ]
+        )
+
+    def test_len_and_iter(self, records):
+        assert len(records) == 6
+        assert len(list(records)) == 6
+
+    def test_filters_compose(self, records):
+        assert len(records.cancers()) == 5
+        assert len(records.healthy()) == 1
+        assert len(records.aided()) == 5
+        assert len(records.unaided()) == 1
+        assert len(records.aided().cancers()) == 4
+
+    def test_for_class(self, records):
+        assert len(records.for_class(EASY)) == 4
+        assert len(records.for_class("difficult")) == 2
+
+    def test_for_reader(self, records):
+        assert len(records.for_reader("r1")) == 3
+
+    def test_case_classes_sorted(self, records):
+        assert records.case_classes == (DIFFICULT, EASY)
+
+    def test_reader_names(self, records):
+        assert records.reader_names == ("r1", "r2")
+
+    def test_failure_rate(self, records):
+        cancers = records.aided().cancers()
+        # Failures: ids 2 and 3 (no recall on cancer) out of 4.
+        assert cancers.failure_rate() == pytest.approx(0.5)
+
+    def test_failure_rate_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            TrialRecords().failure_rate()
+
+    def test_count_with_predicate(self, records):
+        assert records.count(lambda r: r.recalled) == 2
+
+    def test_class_counts(self, records):
+        counts = records.class_counts()
+        assert counts[EASY] == 4
+        assert counts[DIFFICULT] == 2
+
+    def test_append_and_extend(self):
+        records = TrialRecords()
+        records.append(record(1))
+        records.extend([record(2), record(3)])
+        assert len(records) == 3
+
+    def test_append_wrong_type(self):
+        with pytest.raises(EstimationError):
+            TrialRecords().append("nope")  # type: ignore[arg-type]
+
+    def test_addition(self, records):
+        combined = records + TrialRecords([record(7)])
+        assert len(combined) == 7
+        # Original unchanged.
+        assert len(records) == 6

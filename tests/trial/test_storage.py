@@ -1,0 +1,107 @@
+"""Tests for repro.trial.storage (CSV round-trips)."""
+
+import pytest
+
+from repro.core import CaseClass
+from repro.exceptions import EstimationError
+from repro.trial import (
+    CaseRecord,
+    TrialRecords,
+    dump_records_csv,
+    estimate_model,
+    load_records_csv,
+)
+
+
+@pytest.fixture
+def sample_records():
+    return TrialRecords(
+        [
+            CaseRecord(1, "alice", CaseClass("easy"), True, True, False, 0, True),
+            CaseRecord(2, "alice", CaseClass("difficult"), True, True, True, 2, False),
+            CaseRecord(3, "bob", CaseClass("easy"), False, True, True, 1, True),
+            CaseRecord(4, "bob", CaseClass("easy"), True, False, None, None, False),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, tmp_path, sample_records):
+        path = tmp_path / "records.csv"
+        dump_records_csv(path, sample_records)
+        restored = load_records_csv(path)
+        assert len(restored) == len(sample_records)
+        for original, loaded in zip(sample_records, restored):
+            assert loaded == original
+
+    def test_estimates_survive_round_trip(self, tmp_path, population, classifier, cadt, reader, rng):
+        from repro.screening import trial_workload
+        from repro.trial import run_reading_session
+
+        workload = trial_workload(population, 200, cancer_fraction=1.0)
+        records = run_reading_session(workload, reader, classifier, cadt, rng)
+        path = tmp_path / "trial.csv"
+        dump_records_csv(path, records)
+        restored = load_records_csv(path)
+        original_estimate = estimate_model(records, on_empty_cell="pool")
+        restored_estimate = estimate_model(restored, on_empty_cell="pool")
+        assert original_estimate.to_model_parameters() == (
+            restored_estimate.to_model_parameters()
+        )
+
+    def test_file_is_plain_csv(self, tmp_path, sample_records):
+        path = tmp_path / "records.csv"
+        dump_records_csv(path, sample_records)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("case_id,reader_name,case_class")
+        assert len(lines) == 5
+        # Unaided row has empty machine cells.
+        assert ",,," in lines[4] or ",," in lines[4]
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EstimationError):
+            load_records_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(EstimationError):
+            load_records_csv(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(EstimationError):
+            load_records_csv(path)
+
+    def test_malformed_boolean(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "case_id,reader_name,case_class,has_cancer,aided,machine_failed,"
+            "machine_false_prompts,recalled\n"
+            "1,r,easy,yes,1,0,0,1\n"
+        )
+        with pytest.raises(EstimationError):
+            load_records_csv(path)
+
+    def test_malformed_case_id(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "case_id,reader_name,case_class,has_cancer,aided,machine_failed,"
+            "machine_false_prompts,recalled\n"
+            "xyz,r,easy,1,1,0,0,1\n"
+        )
+        with pytest.raises(EstimationError):
+            load_records_csv(path)
+
+    def test_short_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "case_id,reader_name,case_class,has_cancer,aided,machine_failed,"
+            "machine_false_prompts,recalled\n"
+            "1,r,easy\n"
+        )
+        with pytest.raises(EstimationError):
+            load_records_csv(path)
