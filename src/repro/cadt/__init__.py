@@ -7,7 +7,7 @@ tunable operating threshold — plus the operational effects Section 5
 attributes to field use (drift, maintenance, film quality).
 """
 
-from .algorithm import CadtOutput, DetectionAlgorithm
+from .algorithm import CadtBatchOutput, CadtOutput, DetectionAlgorithm
 from .tool import Cadt
 from .tuning import (
     MachineOperatingPoint,
@@ -18,6 +18,7 @@ from .tuning import (
 
 __all__ = [
     "CadtOutput",
+    "CadtBatchOutput",
     "DetectionAlgorithm",
     "Cadt",
     "MachineOperatingPoint",

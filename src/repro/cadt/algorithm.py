@@ -21,27 +21,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._numeric import logit as _logit
+from .._numeric import poisson_from_uniform
+from .._numeric import sigmoid as _sigmoid
 from ..exceptions import SimulationError
 from ..screening.case import Case
 
-__all__ = ["CadtOutput", "DetectionAlgorithm"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
 
-
-def _logit(p: float, epsilon: float = 1e-12) -> float:
-    """Logit with clamping so endpoint probabilities stay finite."""
-    p = min(max(p, epsilon), 1.0 - epsilon)
-    return math.log(p / (1.0 - p))
-
-
-def _sigmoid(x: float) -> float:
-    if x >= 0:
-        z = math.exp(-x)
-        return 1.0 / (1.0 + z)
-    z = math.exp(x)
-    return z / (1.0 + z)
+__all__ = ["CadtOutput", "CadtBatchOutput", "DetectionAlgorithm"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +72,42 @@ class CadtOutput:
     def is_false_positive(self, case: Case) -> bool:
         """Machine false positive: any prompt on a healthy case."""
         return (not case.has_cancer) and self.num_false_prompts > 0
+
+
+@dataclass(frozen=True)
+class CadtBatchOutput:
+    """The CADT's annotations over a whole batch of cases (struct of arrays).
+
+    The batch analogue of :class:`CadtOutput`: element ``i`` of every
+    array describes the machine's behaviour on case ``i`` of the batch.
+
+    Attributes:
+        case_id: Case identifiers, ``int64[n]``.
+        prompted_relevant: Whether the relevant features were prompted;
+            always ``False`` on healthy cases.
+        num_false_prompts: Count of prompts on irrelevant features.
+    """
+
+    case_id: np.ndarray
+    prompted_relevant: np.ndarray
+    num_false_prompts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.case_id) == len(self.prompted_relevant) == len(self.num_false_prompts)
+        ):
+            raise SimulationError("CadtBatchOutput arrays must have equal length")
+        if self.num_false_prompts.size and int(self.num_false_prompts.min()) < 0:
+            raise SimulationError("num_false_prompts must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.case_id)
+
+    def machine_failed(self, has_cancer: np.ndarray) -> np.ndarray:
+        """Per-case machine failure: FN on cancers, any false prompt on healthy."""
+        return np.where(
+            has_cancer, ~self.prompted_relevant, self.num_false_prompts > 0
+        )
 
 
 @dataclass(frozen=True)
@@ -131,23 +160,68 @@ class DetectionAlgorithm:
             1.0 + self.distractor_gain * case.distractor_level
         )
         # Raising the threshold suppresses false prompts exponentially.
-        return rate * math.exp(-self.threshold_shift)
+        # np.exp, not math.exp: the batch kernel must see the same bits.
+        return rate * float(np.exp(-self.threshold_shift))
 
     def false_positive_probability(self, case: Case) -> float:
         """Probability of at least one false prompt on this case."""
         return 1.0 - math.exp(-self.false_prompt_rate(case))
 
     # -- sampling ---------------------------------------------------------------
+    #
+    # The scalar and batch samplers share one fixed randomness layout:
+    # every case consumes exactly two uniforms -- [u_miss, u_prompts] --
+    # regardless of ground truth, and the false-prompt count comes from
+    # Poisson inversion of the second uniform.  A per-case loop and a
+    # single ``rng.random((n, 2))`` draw therefore consume the generator
+    # stream identically, which is what makes the batch engine's results
+    # bit-identical to the scalar loop's.
 
     def process(self, case: Case, rng: np.random.Generator) -> CadtOutput:
         """Run the algorithm on one case, sampling its stochastic behaviour."""
-        prompted_relevant = False
-        if case.has_cancer:
-            prompted_relevant = float(rng.random()) >= self.miss_probability(case)
-        num_false = int(rng.poisson(self.false_prompt_rate(case)))
+        u_miss, u_prompts = rng.random(2)
+        prompted_relevant = bool(
+            case.has_cancer and float(u_miss) >= self.miss_probability(case)
+        )
+        num_false = poisson_from_uniform(float(u_prompts), self.false_prompt_rate(case))
         return CadtOutput(
             case_id=case.case_id,
             prompted_relevant=prompted_relevant,
+            num_false_prompts=num_false,
+        )
+
+    # -- batch counterparts (the vectorized hot path) ---------------------------
+
+    def miss_probability_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """``pMf(x)`` for every case of a batch; 0 on healthy cases."""
+        missed = _sigmoid(_logit(arrays.machine_difficulty) + self.threshold_shift)
+        return np.where(arrays.has_cancer, missed, 0.0)
+
+    def false_prompt_rate_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Per-case expected false prompts (Poisson rates) for a batch."""
+        rate = self.base_false_prompt_rate * (
+            1.0 + self.distractor_gain * arrays.distractor_level
+        )
+        return rate * float(np.exp(-self.threshold_shift))
+
+    def process_batch(self, arrays: "CaseArrays", u: np.ndarray) -> CadtBatchOutput:
+        """Run the algorithm over a batch, consuming pre-drawn uniforms.
+
+        Args:
+            arrays: The batch, as a struct of arrays.
+            u: Uniform variates of shape ``(n, 2)`` — per case
+                ``[u_miss, u_prompts]``, the same layout :meth:`process`
+                consumes from its generator.
+        """
+        if u.shape != (len(arrays), 2):
+            raise SimulationError(
+                f"expected uniforms of shape {(len(arrays), 2)!r}, got {u.shape!r}"
+            )
+        prompted = arrays.has_cancer & (u[:, 0] >= self.miss_probability_batch(arrays))
+        num_false = poisson_from_uniform(u[:, 1], self.false_prompt_rate_batch(arrays))
+        return CadtBatchOutput(
+            case_id=arrays.case_id,
+            prompted_relevant=prompted,
             num_false_prompts=num_false,
         )
 

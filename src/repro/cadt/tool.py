@@ -20,12 +20,16 @@ maintenance schedules see identical machine behaviour.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import SimulationError
 from ..screening.case import Case
-from .algorithm import CadtOutput, DetectionAlgorithm
+from .algorithm import CadtBatchOutput, CadtOutput, DetectionAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
 
 __all__ = ["Cadt"]
 
@@ -114,6 +118,37 @@ class Cadt:
         )
         self._cases_processed += 1
         self._cases_since_maintenance += 1
+        return output
+
+    def process_batch(
+        self,
+        arrays: "CaseArrays",
+        u: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> CadtBatchOutput:
+        """Process a whole batch of cases in one vectorized step.
+
+        Only valid for a drift-free tool: per-case drift makes the
+        effective threshold depend on processing order, which is exactly
+        the statefulness the batch engine's scalar fallback exists for.
+
+        Args:
+            arrays: The batch, as a struct of arrays.
+            u: Pre-drawn uniforms of shape ``(n, 2)``; drawn from ``rng``
+                (or the tool's private generator) when omitted.
+            rng: Random generator used when ``u`` is omitted.
+        """
+        if self.drift_per_case != 0.0:
+            raise SimulationError(
+                "process_batch requires drift_per_case == 0; a drifting tool "
+                "is stateful and must go through the per-case scalar path"
+            )
+        n = len(arrays)
+        if u is None:
+            u = (rng if rng is not None else self._rng).random((n, 2))
+        output = self.effective_algorithm.process_batch(arrays, u)
+        self._cases_processed += n
+        self._cases_since_maintenance += n
         return output
 
     def __repr__(self) -> str:

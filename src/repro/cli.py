@@ -12,6 +12,9 @@ Commands:
   probability under one of its stored profiles.
 * ``design``    — feasibility report for a planned trial against a saved
   (anticipated) model file.
+* ``simulate``  — evaluate screening systems over a synthetic workload,
+  on the vectorized batch engine (``--engine batch``, the default) or
+  the per-case scalar loop (``--engine scalar``).
 
 Every command is a thin shell over the public API; anything printed here
 can be computed programmatically with the same names.
@@ -98,6 +101,52 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--readers", type=int, default=4)
     design.add_argument("--cancer-fraction", type=float, default=0.5)
     design.add_argument("--half-width", type=float, default=0.1)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="evaluate screening systems over a synthetic workload",
+    )
+    simulate.add_argument(
+        "--population",
+        default="routine",
+        choices=["routine", "young", "symptomatic", "low-correlation"],
+        help="population preset generating the workload",
+    )
+    simulate.add_argument(
+        "--system",
+        default="both",
+        choices=["unaided", "assisted", "both"],
+        help="which system configuration(s) to evaluate",
+    )
+    simulate.add_argument("--cases", type=int, default=10000, help="workload size")
+    simulate.add_argument(
+        "--cancer-fraction",
+        type=float,
+        default=0.3,
+        help="workload enrichment (trial-style case mix)",
+    )
+    simulate.add_argument(
+        "--engine",
+        default="batch",
+        choices=["batch", "scalar"],
+        help="vectorized batch engine or the per-case scalar loop",
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the batch engine (>1 requires --seed)",
+    )
+    simulate.add_argument(
+        "--chunk-size", type=int, default=None, help="batch engine cases per chunk"
+    )
+    simulate.add_argument(
+        "--bias",
+        default="mild",
+        choices=["none", "mild", "strong"],
+        help="reader automation-bias profile",
+    )
+    simulate.add_argument("--seed", type=int, default=0, help="master seed")
 
     monitor = subparsers.add_parser(
         "monitor", help="drift monitoring of field records against a model"
@@ -292,6 +341,86 @@ def _command_design(args: argparse.Namespace) -> None:
         )
 
 
+def _command_simulate(args: argparse.Namespace) -> None:
+    import time
+
+    from .cadt import Cadt, DetectionAlgorithm
+    from .engine import DEFAULT_CHUNK_SIZE, evaluate_system_batch
+    from .reader import MILD_BIAS, NO_BIAS, STRONG_BIAS, ReaderModel, ReaderSkill
+    from .screening import (
+        SubtletyClassifier,
+        low_correlation_population,
+        routine_screening_population,
+        symptomatic_clinic_population,
+        trial_workload,
+        young_cohort_population,
+    )
+    from .system import AssistedReading, UnaidedReading, evaluate_system
+
+    populations = {
+        "routine": routine_screening_population,
+        "young": young_cohort_population,
+        "symptomatic": symptomatic_clinic_population,
+        "low-correlation": low_correlation_population,
+    }
+    biases = {"none": NO_BIAS, "mild": MILD_BIAS, "strong": STRONG_BIAS}
+
+    workload = trial_workload(
+        populations[args.population](seed=args.seed),
+        args.cases,
+        cancer_fraction=args.cancer_fraction,
+        name=args.population,
+    )
+    reader = ReaderModel(
+        skill=ReaderSkill(), bias=biases[args.bias], name="reader", seed=args.seed + 1
+    )
+    systems = []
+    if args.system in ("unaided", "both"):
+        systems.append(UnaidedReading(reader))
+    if args.system in ("assisted", "both"):
+        systems.append(
+            AssistedReading(reader, Cadt(DetectionAlgorithm(), seed=args.seed + 2))
+        )
+
+    classifier = SubtletyClassifier()
+    rows = []
+    for system in systems:
+        start = time.perf_counter()
+        if args.engine == "batch":
+            evaluation = evaluate_system_batch(
+                system,
+                workload,
+                classifier,
+                seed=args.seed + 3,
+                workers=args.workers,
+                chunk_size=(
+                    args.chunk_size
+                    if args.chunk_size is not None
+                    else DEFAULT_CHUNK_SIZE
+                ),
+            )
+        else:
+            evaluation = evaluate_system(
+                system, workload, classifier, seed=args.seed + 3
+            )
+        elapsed = time.perf_counter() - start
+        fn = evaluation.false_negative
+        fp = evaluation.false_positive
+        rows.append(
+            [
+                system.name,
+                f"{fn.rate:.4f} ({fn.failures}/{fn.trials})" if fn else "-",
+                f"{fp.rate:.4f} ({fp.failures}/{fp.trials})" if fp else "-",
+                f"{len(workload) / elapsed:,.0f}",
+            ]
+        )
+    print(
+        f"workload: {args.population}, {len(workload)} cases "
+        f"({workload.cancer_fraction:.1%} cancers); engine: {args.engine}"
+    )
+    print(render_table(["system", "FN rate", "FP rate", "cases/s"], rows))
+
+
 def _command_monitor(args: argparse.Namespace) -> None:
     from .analysis import monitor_records, render_monitoring
     from .trial import load_records_csv
@@ -316,6 +445,7 @@ _COMMANDS = {
     "predict": _command_predict,
     "sensitivity": _command_sensitivity,
     "design": _command_design,
+    "simulate": _command_simulate,
     "monitor": _command_monitor,
 }
 

@@ -1,0 +1,28 @@
+"""Vectorized batch simulation engine.
+
+The scalar loop in :mod:`repro.system.simulate` pays Python-interpreter
+cost per case; this package runs the same models as NumPy array kernels
+over whole workloads at once, with bit-identical failure counts for
+stateless systems and a transparent scalar fallback for stateful ones
+(fatigue, adaptation, drift).  See ``docs/engine.md`` for the randomness
+layout that makes the equivalence exact.
+"""
+
+from .arrays import LESION_CODES, CaseArrays
+from .executor import (
+    DEFAULT_CHUNK_SIZE,
+    compare_systems_batch,
+    evaluate_system_batch,
+    plan_chunks,
+    supports_batch,
+)
+
+__all__ = [
+    "CaseArrays",
+    "LESION_CODES",
+    "DEFAULT_CHUNK_SIZE",
+    "plan_chunks",
+    "supports_batch",
+    "evaluate_system_batch",
+    "compare_systems_batch",
+]

@@ -36,29 +36,22 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._numeric import logit as _logit
+from .._numeric import sigmoid as _sigmoid
 from .._validation import check_probability
-from ..cadt.algorithm import CadtOutput
+from ..cadt.algorithm import CadtBatchOutput, CadtOutput
 from ..exceptions import ParameterError, SimulationError
 from ..screening.case import Case
 from .bias import NO_BIAS, AutomationBiasProfile
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
+
 __all__ = ["ReadingProcedure", "ReaderSkill", "ReaderDecision", "ReaderModel"]
-
-
-def _logit(p: float, epsilon: float = 1e-12) -> float:
-    p = min(max(p, epsilon), 1.0 - epsilon)
-    return math.log(p / (1.0 - p))
-
-
-def _sigmoid(x: float) -> float:
-    if x >= 0:
-        z = math.exp(-x)
-        return 1.0 / (1.0 + z)
-    z = math.exp(x)
-    return z / (1.0 + z)
 
 
 class ReadingProcedure(enum.Enum):
@@ -268,6 +261,15 @@ class ReaderModel:
         return _sigmoid(logit)
 
     # -- sampling -----------------------------------------------------------------------
+    #
+    # The scalar and batch samplers share one fixed randomness layout: a
+    # cancer case consumes exactly four uniforms -- [u_lapse, u_prompt,
+    # u_detect, u_classify] -- whether or not every branch needs its
+    # draw, and a healthy case consumes exactly one.  Because the layout
+    # depends only on the case's ground truth (known before sampling), a
+    # per-case loop and one flat ``rng.random(total)`` draw consume the
+    # generator stream identically, which is what makes the batch
+    # engine's results bit-identical to the scalar loop's.
 
     def decide(
         self,
@@ -299,57 +301,123 @@ class ReaderModel:
                 lapsed=False,
             )
 
-        lapsed = bool(rng.random() < self.skill.lapse_rate)
-        if cadt_output is None:
-            prompted = None
-            if lapsed:
-                noticed = False
-            else:
-                attentive_miss = _sigmoid(
-                    _logit(case.human_detection_difficulty) - self.skill.detection
-                )
-                noticed = bool(rng.random() >= attentive_miss)
+        u_lapse, u_prompt, u_detect, u_classify = rng.random(4)
+        aided = cadt_output is not None
+        prompted = cadt_output.prompted_relevant if aided else None
+        lapsed = bool(u_lapse < self.skill.lapse_rate)
+        bias = self._active_bias(aided)
+        if aided and not prompted:
+            # Machine failure: complacency makes the unprompted film less
+            # scrutinised.  (A registering prompt instead drags attention
+            # straight to the features; the fallback reading of the
+            # original films is plain unaided detection.)
+            detection_shift = bias.complacency_shift
         else:
-            prompted = cadt_output.prompted_relevant
-            if prompted:
-                # Prompt registers with probability prompt_effectiveness;
-                # otherwise fall back to (possibly lapsed) unaided reading.
-                if rng.random() < self.prompt_effectiveness:
-                    noticed = True
-                elif lapsed:
-                    noticed = False
-                else:
-                    attentive_miss = _sigmoid(
-                        _logit(case.human_detection_difficulty) - self.skill.detection
-                    )
-                    noticed = bool(rng.random() >= attentive_miss)
-            else:
-                if lapsed:
-                    noticed = False
-                else:
-                    bias = self._active_bias(aided=True)
-                    attentive_miss = _sigmoid(
-                        _logit(case.human_detection_difficulty)
-                        - self.skill.detection
-                        + bias.complacency_shift
-                    )
-                    noticed = bool(rng.random() >= attentive_miss)
+            detection_shift = 0.0
+        attentive_miss = _sigmoid(
+            _logit(case.human_detection_difficulty)
+            - self.skill.detection
+            + detection_shift
+        )
+        registered = bool(prompted) and bool(u_prompt < self.prompt_effectiveness)
+        noticed = registered or (not lapsed and bool(u_detect >= attentive_miss))
 
         if not noticed:
             return ReaderDecision(
                 case_id=case.case_id, recall=False, noticed_relevant=False, lapsed=lapsed
             )
         p_misclass = self.p_misclassify(
-            case,
-            feature_prompted=bool(prompted),
-            aided=cadt_output is not None,
+            case, feature_prompted=bool(prompted), aided=aided
         )
         return ReaderDecision(
             case_id=case.case_id,
-            recall=bool(rng.random() >= p_misclass),
+            recall=bool(u_classify >= p_misclass),
             noticed_relevant=True,
             lapsed=lapsed,
         )
+
+    def decide_batch(
+        self,
+        arrays: "CaseArrays",
+        cadt_output: CadtBatchOutput | None = None,
+        u: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`decide` over a whole batch of cases.
+
+        Args:
+            arrays: The batch, as a struct of arrays.
+            cadt_output: Batch CADT annotations, or ``None`` for unaided
+                reading.
+            u: Pre-drawn flat uniforms in the fixed layout (four per
+                cancer case, one per healthy case, in case order); drawn
+                from ``rng`` (or the reader's private generator) when
+                omitted.
+            rng: Random generator used when ``u`` is omitted.
+
+        Returns:
+            Boolean recall decisions, one per case.
+        """
+        if cadt_output is not None and not np.array_equal(
+            cadt_output.case_id, arrays.case_id
+        ):
+            raise SimulationError("CADT batch output does not match the case batch")
+        cancer = arrays.has_cancer
+        counts = np.where(cancer, 4, 1)
+        offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+        total = int(counts.sum())
+        if u is None:
+            u = (rng if rng is not None else self._rng).random(total)
+        if u.shape != (total,):
+            raise SimulationError(
+                f"expected a flat array of {total} uniforms, got shape {u.shape!r}"
+            )
+        aided = cadt_output is not None
+        recall = np.zeros(len(arrays), dtype=bool)
+
+        healthy = np.flatnonzero(~cancer)
+        if healthy.size:
+            recall_logit = (
+                _logit(arrays.human_classification_difficulty[healthy])
+                - self.skill.specificity
+            )
+            if aided:
+                bias = self._active_bias(aided=True)
+                recall_logit = recall_logit + (
+                    bias.false_prompt_persuasion
+                    * cadt_output.num_false_prompts[healthy]
+                )
+            recall[healthy] = u[offsets[healthy]] < _sigmoid(recall_logit)
+
+        cancers = np.flatnonzero(cancer)
+        if cancers.size:
+            start = offsets[cancers]
+            u_lapse = u[start]
+            u_prompt = u[start + 1]
+            u_detect = u[start + 2]
+            u_classify = u[start + 3]
+            bias = self._active_bias(aided)
+            if aided:
+                prompted = cadt_output.prompted_relevant[cancers]
+                detection_shift = np.where(prompted, 0.0, bias.complacency_shift)
+            else:
+                prompted = np.zeros(cancers.size, dtype=bool)
+                detection_shift = 0.0
+            attentive_miss = _sigmoid(
+                _logit(arrays.human_detection_difficulty[cancers])
+                - self.skill.detection
+                + detection_shift
+            )
+            lapsed = u_lapse < self.skill.lapse_rate
+            registered = prompted & (u_prompt < self.prompt_effectiveness)
+            noticed = registered | (~lapsed & (u_detect >= attentive_miss))
+            p_misclass = _sigmoid(
+                _logit(arrays.human_classification_difficulty[cancers])
+                - self.skill.classification
+                - np.where(prompted, bias.prompt_persuasion, 0.0)
+            )
+            recall[cancers] = noticed & (u_classify >= p_misclass)
+        return recall
 
     # -- variants --------------------------------------------------------------------------
 

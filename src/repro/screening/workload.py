@@ -76,6 +76,18 @@ class Workload:
             Workload(f"{self.name}/healthy", self.healthy_cases),
         )
 
+    def to_arrays(self):
+        """The workload as a struct of arrays for the batch engine.
+
+        Returns:
+            :class:`repro.engine.arrays.CaseArrays` over :attr:`cases`,
+            in presentation order.
+        """
+        # Imported lazily: the engine imports this module at load time.
+        from ..engine.arrays import CaseArrays
+
+        return CaseArrays.from_cases(self.cases)
+
 
 def field_workload(
     population: PopulationModel, num_cases: int, name: str = "field"

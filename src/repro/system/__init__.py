@@ -15,15 +15,23 @@ from .analytic import (
 from .economics import ConfigurationCost, CostModel, price_configuration
 from .multireader import AssistedDoubleReading, DoubleReading, RecallPolicy
 from .simulate import (
+    FailureTally,
     RateEstimate,
     SystemEvaluation,
     compare_systems,
     evaluate_system,
 )
-from .single import AssistedReading, ScreeningSystem, SystemDecision, UnaidedReading
+from .single import (
+    AssistedReading,
+    BatchDecisions,
+    ScreeningSystem,
+    SystemDecision,
+    UnaidedReading,
+)
 
 __all__ = [
     "SystemDecision",
+    "BatchDecisions",
     "ScreeningSystem",
     "UnaidedReading",
     "AssistedReading",
@@ -32,6 +40,7 @@ __all__ = [
     "AssistedDoubleReading",
     "RateEstimate",
     "SystemEvaluation",
+    "FailureTally",
     "evaluate_system",
     "compare_systems",
     "derive_class_parameters",

@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from typing import Sequence
 
+import numpy as np
+
 from ..cadt.tool import Cadt
 from ..exceptions import SimulationError
 from ..reader.reader import ReaderModel
@@ -84,14 +86,16 @@ class DoubleReading:
     def name(self) -> str:
         return self._name
 
-    def decide(self, case: Case) -> SystemDecision:
-        first = self.readers[0].decide(case, None)
-        second = self.readers[1].decide(case, None)
+    def decide(
+        self, case: Case, rng: np.random.Generator | None = None
+    ) -> SystemDecision:
+        first = self.readers[0].decide(case, None, rng)
+        second = self.readers[1].decide(case, None, rng)
         recall = _combine(
             first.recall,
             second.recall,
             self.policy,
-            lambda: self.arbiter.decide(case, None).recall,
+            lambda: self.arbiter.decide(case, None, rng).recall,
         )
         return SystemDecision(case_id=case.case_id, recall=recall, machine_failed=None)
 
@@ -134,20 +138,22 @@ class AssistedDoubleReading:
     def name(self) -> str:
         return self._name
 
-    def decide(self, case: Case) -> SystemDecision:
-        output = self.cadt.process(case)
+    def decide(
+        self, case: Case, rng: np.random.Generator | None = None
+    ) -> SystemDecision:
+        output = self.cadt.process(case, rng)
         machine_failed = (
             output.is_false_negative(case)
             if case.has_cancer
             else output.is_false_positive(case)
         )
-        first = self.readers[0].decide(case, output)
-        second = self.readers[1].decide(case, output)
+        first = self.readers[0].decide(case, output, rng)
+        second = self.readers[1].decide(case, output, rng)
         recall = _combine(
             first.recall,
             second.recall,
             self.policy,
-            lambda: self.arbiter.decide(case, output).recall,
+            lambda: self.arbiter.decide(case, output, rng).recall,
         )
         return SystemDecision(
             case_id=case.case_id, recall=recall, machine_failed=machine_failed

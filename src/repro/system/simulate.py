@@ -5,12 +5,18 @@ summarises its false-negative and false-positive behaviour, overall and
 per case class, with confidence intervals — the simulation-side
 counterpart of the sequential model's analytic predictions, and the thing
 the end-to-end benchmarks compare against it.
+
+The counting machinery lives in :class:`FailureTally` so the scalar loop
+here and the vectorized engine (:mod:`repro.engine`) accumulate — and can
+merge — failure counts identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from ..core.case_class import CaseClass
 from ..exceptions import SimulationError
@@ -19,7 +25,16 @@ from ..screening.workload import Workload
 from ..trial.intervals import ConfidenceInterval, wilson_interval
 from .single import ScreeningSystem
 
-__all__ = ["RateEstimate", "SystemEvaluation", "evaluate_system", "compare_systems"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..screening.case import Case
+
+__all__ = [
+    "RateEstimate",
+    "SystemEvaluation",
+    "FailureTally",
+    "evaluate_system",
+    "compare_systems",
+]
 
 
 @dataclass(frozen=True)
@@ -75,11 +90,115 @@ class SystemEvaluation:
         )
 
 
+@dataclass
+class FailureTally:
+    """Mutable accumulator of a system's failures over (part of) a workload.
+
+    Both evaluation paths fill one of these — the scalar loop case by
+    case, the batch engine chunk by chunk — and chunk tallies merge
+    associatively, so a workload split across processes sums to exactly
+    the counts a single pass would produce.
+    """
+
+    cancer_failures: int = 0
+    cancer_trials: int = 0
+    healthy_failures: int = 0
+    healthy_trials: int = 0
+    class_failures: dict[CaseClass, int] = field(default_factory=dict)
+    class_trials: dict[CaseClass, int] = field(default_factory=dict)
+
+    def record(self, case: "Case", failed: bool, classifier: CaseClassifier) -> None:
+        """Count one decided case."""
+        if case.has_cancer:
+            self.cancer_trials += 1
+            self.cancer_failures += int(failed)
+            case_class = classifier.classify(case)
+            self.class_trials[case_class] = self.class_trials.get(case_class, 0) + 1
+            self.class_failures[case_class] = (
+                self.class_failures.get(case_class, 0) + int(failed)
+            )
+        else:
+            self.healthy_trials += 1
+            self.healthy_failures += int(failed)
+
+    def record_batch(
+        self,
+        has_cancer: np.ndarray,
+        failed: np.ndarray,
+        case_classes: Sequence[CaseClass],
+    ) -> None:
+        """Count a whole decided batch.
+
+        Args:
+            has_cancer: Ground truth per case.
+            failed: System failure per case.
+            case_classes: Class of each *cancer* case, in batch order
+                (length = number of cancer cases in the batch).
+        """
+        cancer_failed = failed[has_cancer]
+        if len(case_classes) != cancer_failed.shape[0]:
+            raise SimulationError(
+                f"got {len(case_classes)} case classes for "
+                f"{cancer_failed.shape[0]} cancer cases"
+            )
+        self.cancer_trials += int(cancer_failed.shape[0])
+        self.cancer_failures += int(cancer_failed.sum())
+        healthy_failed = failed[~has_cancer]
+        self.healthy_trials += int(healthy_failed.shape[0])
+        self.healthy_failures += int(healthy_failed.sum())
+        for case_class, one_failed in zip(case_classes, cancer_failed):
+            self.class_trials[case_class] = self.class_trials.get(case_class, 0) + 1
+            self.class_failures[case_class] = (
+                self.class_failures.get(case_class, 0) + int(one_failed)
+            )
+
+    def merge(self, other: "FailureTally") -> None:
+        """Fold another tally (e.g. a chunk's) into this one."""
+        self.cancer_failures += other.cancer_failures
+        self.cancer_trials += other.cancer_trials
+        self.healthy_failures += other.healthy_failures
+        self.healthy_trials += other.healthy_trials
+        for case_class, trials in other.class_trials.items():
+            self.class_trials[case_class] = (
+                self.class_trials.get(case_class, 0) + trials
+            )
+        for case_class, failures in other.class_failures.items():
+            self.class_failures[case_class] = (
+                self.class_failures.get(case_class, 0) + failures
+            )
+
+    def to_evaluation(
+        self, system_name: str, workload_name: str, level: float = 0.95
+    ) -> SystemEvaluation:
+        """Summarise the counts as a :class:`SystemEvaluation`."""
+        return SystemEvaluation(
+            system_name=system_name,
+            workload_name=workload_name,
+            false_negative=(
+                RateEstimate.from_counts(self.cancer_failures, self.cancer_trials, level)
+                if self.cancer_trials
+                else None
+            ),
+            false_positive=(
+                RateEstimate.from_counts(self.healthy_failures, self.healthy_trials, level)
+                if self.healthy_trials
+                else None
+            ),
+            per_class_false_negative={
+                cls: RateEstimate.from_counts(
+                    self.class_failures[cls], self.class_trials[cls], level
+                )
+                for cls in self.class_trials
+            },
+        )
+
+
 def evaluate_system(
     system: ScreeningSystem,
     workload: Workload,
     classifier: CaseClassifier | None = None,
     level: float = 0.95,
+    seed: int | None = None,
 ) -> SystemEvaluation:
     """Run a system over a workload and summarise its failures.
 
@@ -90,49 +209,23 @@ def evaluate_system(
         classifier: Criterion for the per-class breakdown; a single class
             when omitted.
         level: Confidence level for all intervals.
+        seed: When given, all stochastic components draw from one fresh
+            ``numpy.random.default_rng(seed)`` threaded through
+            ``system.decide`` instead of their private generators, making
+            the evaluation reproducible regardless of prior *generator*
+            state.  Non-random component state (fatigue, trust, drift) is
+            not reset — stateful systems stay order-dependent.
     """
     if len(workload) == 0:
         raise SimulationError("cannot evaluate a system on an empty workload")
     classifier = classifier if classifier is not None else SingleClassClassifier()
+    rng = np.random.default_rng(seed) if seed is not None else None
 
-    cancer_failures = 0
-    cancer_trials = 0
-    healthy_failures = 0
-    healthy_trials = 0
-    class_failures: dict[CaseClass, int] = {}
-    class_trials: dict[CaseClass, int] = {}
-
+    tally = FailureTally()
     for case in workload:
-        decision = system.decide(case)
-        failed = decision.is_failure(case)
-        if case.has_cancer:
-            cancer_trials += 1
-            cancer_failures += int(failed)
-            case_class = classifier.classify(case)
-            class_trials[case_class] = class_trials.get(case_class, 0) + 1
-            class_failures[case_class] = class_failures.get(case_class, 0) + int(failed)
-        else:
-            healthy_trials += 1
-            healthy_failures += int(failed)
-
-    return SystemEvaluation(
-        system_name=system.name,
-        workload_name=workload.name,
-        false_negative=(
-            RateEstimate.from_counts(cancer_failures, cancer_trials, level)
-            if cancer_trials
-            else None
-        ),
-        false_positive=(
-            RateEstimate.from_counts(healthy_failures, healthy_trials, level)
-            if healthy_trials
-            else None
-        ),
-        per_class_false_negative={
-            cls: RateEstimate.from_counts(class_failures[cls], class_trials[cls], level)
-            for cls in class_trials
-        },
-    )
+        decision = system.decide(case, rng)
+        tally.record(case, decision.is_failure(case), classifier)
+    return tally.to_evaluation(system.name, workload.name, level)
 
 
 def compare_systems(
@@ -140,12 +233,21 @@ def compare_systems(
     workload: Workload,
     classifier: CaseClassifier | None = None,
     level: float = 0.95,
+    seed: int | None = None,
 ) -> dict[str, SystemEvaluation]:
     """Evaluate several systems on the *same* workload.
 
     Every system sees the identical case sequence (common random cases),
     which sharpens comparisons: differences come from the systems, not the
     draw of cases.
+
+    With ``seed`` given, the comparison also uses common random *numbers*:
+    each system is evaluated with its own fresh
+    ``numpy.random.default_rng(seed)``, so two systems sharing a component
+    see that component behave identically — without the seed, components
+    draw from private generators whose state depends on whatever ran
+    before, and a "comparison" can silently measure stale generator state
+    instead of the systems.
 
     Raises:
         SimulationError: if two systems share a name.
@@ -154,6 +256,6 @@ def compare_systems(
     if len(set(names)) != len(names):
         raise SimulationError(f"system names must be unique, got {names!r}")
     return {
-        system.name: evaluate_system(system, workload, classifier, level)
+        system.name: evaluate_system(system, workload, classifier, level, seed=seed)
         for system in systems
     }

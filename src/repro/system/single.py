@@ -14,14 +14,25 @@ model does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+import numpy as np
 
 from ..cadt.tool import Cadt
 from ..exceptions import SimulationError
 from ..reader.reader import ReaderModel
 from ..screening.case import Case
 
-__all__ = ["SystemDecision", "ScreeningSystem", "UnaidedReading", "AssistedReading"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
+
+__all__ = [
+    "SystemDecision",
+    "BatchDecisions",
+    "ScreeningSystem",
+    "UnaidedReading",
+    "AssistedReading",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +60,37 @@ class SystemDecision:
         return self.recall != case.has_cancer
 
 
+@dataclass(frozen=True)
+class BatchDecisions:
+    """A screening system's output over a whole batch (struct of arrays).
+
+    The batch analogue of :class:`SystemDecision`: element ``i`` of every
+    array describes the system's behaviour on case ``i`` of the batch.
+
+    Attributes:
+        case_id: Case identifiers, ``int64[n]``.
+        recall: The system's 1-bit decisions.
+        machine_failed: Per-case machine failure (``None`` for systems
+            without a machine component).
+    """
+
+    case_id: np.ndarray
+    recall: np.ndarray
+    machine_failed: np.ndarray | None
+
+    def __len__(self) -> int:
+        return len(self.case_id)
+
+    def failures(self, has_cancer: np.ndarray) -> np.ndarray:
+        """Per-case system failure against ground truth."""
+        if len(has_cancer) != len(self.recall):
+            raise SimulationError(
+                f"ground truth for {len(has_cancer)} cases checked against "
+                f"{len(self.recall)} decisions"
+            )
+        return self.recall != has_cancer
+
+
 class ScreeningSystem(Protocol):
     """Anything that produces recall decisions on screening cases."""
 
@@ -57,8 +99,19 @@ class ScreeningSystem(Protocol):
         """Identifier used in evaluations."""
         ...
 
-    def decide(self, case: Case) -> SystemDecision:
-        """Decide one case."""
+    def decide(
+        self, case: Case, rng: np.random.Generator | None = None
+    ) -> SystemDecision:
+        """Decide one case.
+
+        Args:
+            case: The case under review.
+            rng: Random generator for every stochastic component of the
+                decision; each component's private generator when omitted.
+                Threading an explicit generator is what makes seeded
+                common-random-number comparisons possible (see
+                :func:`repro.system.simulate.compare_systems`).
+        """
         ...
 
 
@@ -78,10 +131,36 @@ class UnaidedReading:
     def name(self) -> str:
         return self._name
 
-    def decide(self, case: Case) -> SystemDecision:
-        decision = self.reader.decide(case, None)
+    @property
+    def supports_batch(self) -> bool:
+        """Whether :meth:`decide_batch` is available (stateless reader)."""
+        return isinstance(self.reader, ReaderModel)
+
+    def decide(
+        self, case: Case, rng: np.random.Generator | None = None
+    ) -> SystemDecision:
+        decision = self.reader.decide(case, None, rng)
         return SystemDecision(
             case_id=case.case_id, recall=decision.recall, machine_failed=None
+        )
+
+    def decide_batch(
+        self, arrays: "CaseArrays", rng: np.random.Generator | None = None
+    ) -> BatchDecisions:
+        """Vectorized :meth:`decide` over a batch of cases.
+
+        With ``rng`` omitted, draws from the reader's private generator in
+        the same fixed layout the scalar loop consumes — so the results
+        are bit-identical to calling :meth:`decide` case by case.
+        """
+        if not self.supports_batch:
+            raise SimulationError(
+                f"system {self.name!r} wraps a stateful reader "
+                f"({type(self.reader).__name__}); use the scalar path"
+            )
+        recall = self.reader.decide_batch(arrays, None, rng=rng)
+        return BatchDecisions(
+            case_id=arrays.case_id, recall=recall, machine_failed=None
         )
 
 
@@ -109,14 +188,64 @@ class AssistedReading:
     def name(self) -> str:
         return self._name
 
-    def decide(self, case: Case) -> SystemDecision:
-        output = self.cadt.process(case)
+    @property
+    def supports_batch(self) -> bool:
+        """Whether :meth:`decide_batch` is available.
+
+        Requires a stateless reader and a drift-free tool; a drifting
+        CADT or a fatigued/adapting reader is order-dependent and must go
+        through the scalar loop.
+        """
+        return isinstance(self.reader, ReaderModel) and self.cadt.drift_per_case == 0.0
+
+    def decide(
+        self, case: Case, rng: np.random.Generator | None = None
+    ) -> SystemDecision:
+        output = self.cadt.process(case, rng)
         machine_failed = (
             output.is_false_negative(case)
             if case.has_cancer
             else output.is_false_positive(case)
         )
-        decision = self.reader.decide(case, output)
+        decision = self.reader.decide(case, output, rng)
         return SystemDecision(
             case_id=case.case_id, recall=decision.recall, machine_failed=machine_failed
+        )
+
+    def decide_batch(
+        self, arrays: "CaseArrays", rng: np.random.Generator | None = None
+    ) -> BatchDecisions:
+        """Vectorized :meth:`decide` over a batch of cases.
+
+        With ``rng`` omitted, the CADT and the reader draw from their own
+        private generators in the same fixed layouts the scalar loop
+        consumes, so the results are bit-identical to calling
+        :meth:`decide` case by case.  With a shared ``rng``, one flat
+        draw is split per case into ``[u_miss, u_prompts]`` for the tool
+        followed by the reader's uniforms — the same interleaving
+        :meth:`decide` consumes from a shared generator.
+        """
+        if not self.supports_batch:
+            raise SimulationError(
+                f"system {self.name!r} has stateful components "
+                f"(reader={type(self.reader).__name__}, "
+                f"drift={self.cadt.drift_per_case!r}); use the scalar path"
+            )
+        if rng is None:
+            output = self.cadt.process_batch(arrays)
+            recall = self.reader.decide_batch(arrays, output)
+        else:
+            counts = np.where(arrays.has_cancer, 6, 3)
+            offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+            flat = rng.random(int(counts.sum()))
+            cadt_u = np.stack((flat[offsets], flat[offsets + 1]), axis=1)
+            reader_mask = np.ones(flat.shape[0], dtype=bool)
+            reader_mask[offsets] = False
+            reader_mask[offsets + 1] = False
+            output = self.cadt.process_batch(arrays, u=cadt_u)
+            recall = self.reader.decide_batch(arrays, output, u=flat[reader_mask])
+        return BatchDecisions(
+            case_id=arrays.case_id,
+            recall=recall,
+            machine_failed=output.machine_failed(arrays.has_cancer),
         )

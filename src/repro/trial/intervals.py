@@ -103,10 +103,12 @@ def wilson_interval(events: int, trials: int, level: float = 0.95) -> Confidence
         * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
         / denominator
     )
+    # The Wilson interval provably contains p_hat; clamp away the one-ulp
+    # violations that centre +/- margin can produce at boundary counts.
     return ConfidenceInterval(
         point=p_hat,
-        lower=max(0.0, centre - margin),
-        upper=min(1.0, centre + margin),
+        lower=min(max(0.0, centre - margin), p_hat),
+        upper=max(min(1.0, centre + margin), p_hat),
         level=level,
         method="wilson",
     )

@@ -1,0 +1,85 @@
+"""Property-based tests for demand-profile normalization."""
+
+import math
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.profile import DemandProfile
+
+class_names = st.sampled_from(["easy", "difficult", "subtle", "dense", "obvious"])
+weight_maps = st.dictionaries(
+    class_names,
+    st.floats(min_value=0.0, max_value=1e9),
+    min_size=1,
+    max_size=5,
+)
+count_maps = st.dictionaries(
+    class_names,
+    st.integers(min_value=0, max_value=10**9),
+    min_size=1,
+    max_size=5,
+)
+
+
+def total_mass(profile: DemandProfile) -> float:
+    return math.fsum(p for _, p in profile.items())
+
+
+class TestNormalization:
+    @given(weight_maps)
+    def test_from_weights_normalises_to_one(self, weights):
+        assume(math.fsum(weights.values()) > 0)
+        profile = DemandProfile.from_weights(weights)
+        assert total_mass(profile) == pytest.approx(1.0, abs=1e-12)
+        for _, p in profile.items():
+            assert 0.0 <= p <= 1.0
+
+    @given(weight_maps)
+    def test_from_weights_preserves_proportions(self, weights):
+        total = math.fsum(weights.values())
+        assume(total > 0)
+        profile = DemandProfile.from_weights(weights)
+        for name, weight in weights.items():
+            assert profile[name] == pytest.approx(weight / total, rel=1e-9, abs=1e-15)
+
+    @given(weight_maps, st.floats(min_value=1e-6, max_value=1e6))
+    def test_from_weights_scale_invariant(self, weights, scale):
+        assume(math.fsum(weights.values()) > 0)
+        assume(math.fsum(v * scale for v in weights.values()) > 0)
+        base = DemandProfile.from_weights(weights)
+        scaled = DemandProfile.from_weights(
+            {name: value * scale for name, value in weights.items()}
+        )
+        assert base.is_close(scaled, atol=1e-9)
+
+    @given(count_maps)
+    def test_from_counts_matches_from_weights(self, counts):
+        assume(sum(counts.values()) > 0)
+        from_counts = DemandProfile.from_counts(counts)
+        from_weights = DemandProfile.from_weights(
+            {name: float(value) for name, value in counts.items()}
+        )
+        assert from_counts.is_close(from_weights, atol=0.0)
+        assert total_mass(from_counts) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestAlgebraPreservesNormalization:
+    @given(weight_maps, weight_maps, st.floats(min_value=0.0, max_value=1.0))
+    def test_mix_stays_normalised(self, first, second, weight):
+        assume(math.fsum(first.values()) > 0)
+        assume(math.fsum(second.values()) > 0)
+        mixed = DemandProfile.from_weights(first).mix(
+            DemandProfile.from_weights(second), weight
+        )
+        assert total_mass(mixed) == pytest.approx(1.0, abs=1e-9)
+
+    @given(weight_maps, st.floats(min_value=1e-3, max_value=1e3))
+    def test_reweighted_stays_normalised(self, weights, factor):
+        assume(math.fsum(weights.values()) > 0)
+        profile = DemandProfile.from_weights(weights)
+        reweighted = profile.reweighted({cls: factor for cls in profile.classes})
+        assert total_mass(reweighted) == pytest.approx(1.0, abs=1e-9)
+        # Uniform reweighting is a no-op after renormalisation.
+        assert reweighted.is_close(profile, atol=1e-9)

@@ -1,0 +1,92 @@
+"""Shared numeric primitives: the kernels both simulation paths sample with."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._numeric import MAX_POISSON_RATE, logit, poisson_from_uniform, sigmoid
+
+
+class TestLogitSigmoid:
+    @given(st.floats(min_value=1e-9, max_value=1.0 - 1e-9))
+    def test_roundtrip(self, p):
+        assert sigmoid(logit(p)) == pytest.approx(p, rel=1e-9)
+
+    @given(st.floats(min_value=-700.0, max_value=700.0))
+    def test_sigmoid_bounded_and_monotone_branches_agree(self, x):
+        value = sigmoid(x)
+        assert 0.0 <= value <= 1.0
+        # The two-branch form must agree with the naive form where the
+        # naive form is stable.
+        if abs(x) < 30:
+            assert value == pytest.approx(1.0 / (1.0 + math.exp(-x)), rel=1e-12)
+
+    def test_scalar_and_array_paths_bit_identical(self):
+        xs = np.linspace(-40.0, 40.0, 101)
+        vector = sigmoid(xs)
+        scalars = np.array([sigmoid(float(x)) for x in xs])
+        assert (vector == scalars).all()
+        ps = np.linspace(0.001, 0.999, 101)
+        assert (logit(ps) == np.array([logit(float(p)) for p in ps])).all()
+
+    def test_logit_clips_boundaries(self):
+        assert math.isfinite(logit(0.0))
+        assert math.isfinite(logit(1.0))
+        assert logit(0.0) < logit(0.5) < logit(1.0)
+
+
+class TestPoissonFromUniform:
+    @given(
+        st.floats(min_value=0.0, max_value=0.999999),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_matches_cdf_inversion(self, u, rate):
+        k = poisson_from_uniform(u, rate)
+        assert k >= 0
+        # k is the smallest count with u < CDF(k).
+        cdf = 0.0
+        pmf = math.exp(-rate)
+        for i in range(k + 1):
+            if i > 0:
+                pmf *= rate / i
+            cdf += pmf
+        assert u < cdf or math.isclose(u, cdf)
+        if k > 0:
+            assert u >= cdf - pmf
+
+    def test_zero_rate_always_zero(self):
+        assert poisson_from_uniform(0.999, 0.0) == 0
+        assert (poisson_from_uniform(np.array([0.1, 0.9]), 0.0) == 0).all()
+
+    def test_monotone_in_u(self):
+        us = np.linspace(0.0, 0.9999, 500)
+        counts = poisson_from_uniform(us, 3.0)
+        assert (np.diff(counts) >= 0).all()
+
+    def test_scalar_and_array_paths_bit_identical(self):
+        rng = np.random.default_rng(0)
+        us = rng.random(300)
+        rates = rng.random(300) * 8.0
+        vector = poisson_from_uniform(us, rates)
+        scalars = np.array(
+            [poisson_from_uniform(float(u), float(r)) for u, r in zip(us, rates)]
+        )
+        assert (vector == scalars).all()
+
+    def test_reproduces_poisson_distribution(self):
+        # Inversion of uniforms must give exactly Poisson marginals.
+        rng = np.random.default_rng(1)
+        sample = poisson_from_uniform(rng.random(20000), 2.5)
+        assert float(np.mean(sample)) == pytest.approx(2.5, abs=0.05)
+        assert float(np.var(sample)) == pytest.approx(2.5, abs=0.1)
+
+    def test_rejects_extreme_rates(self):
+        with pytest.raises(ValueError):
+            poisson_from_uniform(0.5, MAX_POISSON_RATE * 2)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            poisson_from_uniform(0.5, -1.0)

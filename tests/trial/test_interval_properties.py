@@ -1,0 +1,65 @@
+"""Property-based tests for Wilson intervals and rate estimates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.system import RateEstimate
+from repro.trial.intervals import wilson_interval
+
+counts = st.integers(min_value=1, max_value=100000).flatmap(
+    lambda trials: st.tuples(st.integers(min_value=0, max_value=trials), st.just(trials))
+)
+levels = st.floats(min_value=0.01, max_value=0.995)
+
+
+class TestWilsonProperties:
+    @given(counts, levels)
+    def test_bounds_in_unit_interval_and_ordered(self, count_pair, level):
+        events, trials = count_pair
+        interval = wilson_interval(events, trials, level)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    @given(counts, levels)
+    def test_interval_contains_point_estimate(self, count_pair, level):
+        events, trials = count_pair
+        interval = wilson_interval(events, trials, level)
+        assert interval.point == events / trials
+        assert interval.point in interval
+
+    @given(counts, levels, levels)
+    def test_width_monotone_in_level(self, count_pair, level_a, level_b):
+        events, trials = count_pair
+        low, high = sorted((level_a, level_b))
+        narrow = wilson_interval(events, trials, low)
+        wide = wilson_interval(events, trials, high)
+        assert narrow.lower >= wide.lower - 1e-15
+        assert narrow.upper <= wide.upper + 1e-15
+        assert narrow.width <= wide.width + 1e-15
+
+    @given(counts, levels)
+    def test_symmetric_under_event_complement(self, count_pair, level):
+        # Swapping events <-> non-events mirrors the interval around 1/2.
+        events, trials = count_pair
+        interval = wilson_interval(events, trials, level)
+        mirrored = wilson_interval(trials - events, trials, level)
+        assert interval.lower == pytest.approx(1.0 - mirrored.upper, abs=1e-12)
+        assert interval.upper == pytest.approx(1.0 - mirrored.lower, abs=1e-12)
+
+
+class TestRateEstimateProperties:
+    @given(counts, levels)
+    def test_from_counts_preserves_counts_and_contains_rate(self, count_pair, level):
+        failures, trials = count_pair
+        estimate = RateEstimate.from_counts(failures, trials, level)
+        assert estimate.failures == failures
+        assert estimate.trials == trials
+        assert estimate.rate == failures / trials
+        assert estimate.rate in estimate.interval
+        assert 0.0 <= estimate.interval.lower <= estimate.interval.upper <= 1.0
+
+    @given(counts)
+    def test_default_level_is_95(self, count_pair):
+        failures, trials = count_pair
+        estimate = RateEstimate.from_counts(failures, trials)
+        assert estimate.interval.level == 0.95
