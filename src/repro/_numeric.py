@@ -17,18 +17,59 @@ equals the corresponding array element.
 
 from __future__ import annotations
 
-from typing import Union
-
 import numpy as np
 
-__all__ = ["logit", "sigmoid", "poisson_from_uniform", "MAX_POISSON_RATE"]
+__all__ = [
+    "exp",
+    "log",
+    "sqrt",
+    "logit",
+    "sigmoid",
+    "poisson_from_uniform",
+    "MAX_POISSON_RATE",
+]
 
-ArrayLike = Union[float, np.ndarray]
+ArrayLike = float | np.ndarray
 
 #: Largest Poisson rate :func:`poisson_from_uniform` accepts.  Far above
 #: anything the false-prompt model produces; the guard exists so extreme
 #: threshold tunings fail loudly instead of iterating forever.
 MAX_POISSON_RATE = 1.0e3
+
+
+def exp(x: ArrayLike) -> ArrayLike:
+    """Elementwise ``e**x`` through the shared numpy backend.
+
+    Sampling paths call this instead of ``math.exp``/``np.exp`` directly
+    (replint rule REP002): both spellings are correct in isolation, but
+    they may disagree in the last ulp, and mixing them across the scalar
+    and batch paths breaks their bit-equality.
+    """
+    out = np.exp(np.asarray(x, dtype=np.float64))
+    if np.ndim(x) == 0:
+        return float(out)
+    return out
+
+
+def log(x: ArrayLike) -> ArrayLike:
+    """Elementwise natural logarithm through the shared numpy backend."""
+    out = np.log(np.asarray(x, dtype=np.float64))
+    if np.ndim(x) == 0:
+        return float(out)
+    return out
+
+
+def sqrt(x: ArrayLike) -> ArrayLike:
+    """Elementwise square root through the shared numpy backend.
+
+    IEEE 754 requires sqrt to be correctly rounded, so ``math.sqrt`` and
+    ``np.sqrt`` agree bit for bit; the wrapper exists so sampling-path
+    modules can stay entirely inside the :mod:`repro._numeric` seam.
+    """
+    out = np.sqrt(np.asarray(x, dtype=np.float64))
+    if np.ndim(x) == 0:
+        return float(out)
+    return out
 
 
 def logit(p: ArrayLike, epsilon: float = 1e-12) -> ArrayLike:

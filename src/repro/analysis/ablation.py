@@ -60,7 +60,7 @@ class IndependenceError:
     @property
     def relative_error(self) -> float:
         """Error relative to the true probability (0 when truth is 0)."""
-        if self.true_probability == 0.0:
+        if self.true_probability <= 0.0:
             return 0.0
         return self.error / self.true_probability
 

@@ -111,6 +111,7 @@ def calibrate_against_simulation(
     classifier: CaseClassifier | None = None,
     repeats: int = 20,
     rng: np.random.Generator | None = None,
+    seed: int | None = None,
 ) -> CalibrationReport:
     """Compare the derived analytic model against direct simulation.
 
@@ -127,6 +128,8 @@ def calibrate_against_simulation(
         classifier: Class criterion; single-class when omitted.
         repeats: Readings per case.
         rng: Random generator for the simulation.
+        seed: Seed used to construct a generator when ``rng`` is omitted;
+            leaving both unset draws irreproducible OS entropy.
     """
     if not cases:
         raise SimulationError("calibration needs at least one case")
@@ -135,7 +138,7 @@ def calibrate_against_simulation(
     if repeats <= 0:
         raise SimulationError(f"repeats must be positive, got {repeats!r}")
     classifier = classifier if classifier is not None else SingleClassClassifier()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(seed)
 
     by_class: dict[CaseClass, list[Case]] = {}
     for case in cases:

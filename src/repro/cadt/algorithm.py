@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._numeric import exp as _exp
 from .._numeric import logit as _logit
 from .._numeric import poisson_from_uniform
 from .._numeric import sigmoid as _sigmoid
@@ -160,12 +161,13 @@ class DetectionAlgorithm:
             1.0 + self.distractor_gain * case.distractor_level
         )
         # Raising the threshold suppresses false prompts exponentially.
-        # np.exp, not math.exp: the batch kernel must see the same bits.
-        return rate * float(np.exp(-self.threshold_shift))
+        # _numeric.exp, never math.exp: the batch kernel must see the
+        # same bits (replint REP002).
+        return rate * _exp(-self.threshold_shift)
 
     def false_positive_probability(self, case: Case) -> float:
         """Probability of at least one false prompt on this case."""
-        return 1.0 - math.exp(-self.false_prompt_rate(case))
+        return 1.0 - _exp(-self.false_prompt_rate(case))
 
     # -- sampling ---------------------------------------------------------------
     #
@@ -202,7 +204,7 @@ class DetectionAlgorithm:
         rate = self.base_false_prompt_rate * (
             1.0 + self.distractor_gain * arrays.distractor_level
         )
-        return rate * float(np.exp(-self.threshold_shift))
+        return rate * _exp(-self.threshold_shift)
 
     def process_batch(self, arrays: "CaseArrays", u: np.ndarray) -> CadtBatchOutput:
         """Run the algorithm over a batch, consuming pre-drawn uniforms.
@@ -249,6 +251,6 @@ class DetectionAlgorithm:
             self,
             threshold_shift=self.threshold_shift - logit_gain,
             base_false_prompt_rate=self.base_false_prompt_rate
-            * math.exp(-2.0 * logit_gain),
+            * _exp(-2.0 * logit_gain),
             version=f"{self.version.split('@')[0]}-improved{logit_gain:.2f}",
         )

@@ -20,7 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .._validation import check_probability
+from .._validation import check_probabilities, check_probability
 from ..exceptions import ParameterError
 from .parameters import ClassParameters
 from .profile import DemandProfile
@@ -78,7 +78,8 @@ class FailureLine:
         self, p_machine_failures: Sequence[float]
     ) -> list[tuple[float, float]]:
         """Sample the line at the given machine failure probabilities."""
-        return [(float(p), self(p)) for p in p_machine_failures]
+        validated = check_probabilities(p_machine_failures, "p_machine_failures")
+        return [(p, self(p)) for p in validated]
 
 
 def failure_line(parameters: ClassParameters) -> FailureLine:

@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .._validation import check_probability
 from ..exceptions import ParameterError
 from .parallel import ParallelClassParameters, covariance_from_case_difficulties
 from .profile import DemandProfile
@@ -178,6 +179,9 @@ class WithinClassDifficulty:
         self, p_human_misclassify: float
     ) -> ParallelClassParameters:
         """The class-level parallel-model parameters this variation implies."""
+        p_human_misclassify = check_probability(
+            p_human_misclassify, "p_human_misclassify"
+        )
         return ParallelClassParameters(
             p_machine_miss=self.mean_machine_difficulty,
             p_human_miss=self.mean_human_difficulty,

@@ -17,7 +17,7 @@ Section 5's example tables show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Sequence
 
 from ..exceptions import ParameterError
 from .case_class import CaseClass
@@ -39,7 +39,7 @@ __all__ = [
     "StudyResult",
 ]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 State = tuple[ModelParameters, DemandProfile]
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Mapping, Union
+from typing import Mapping
 
 from ..exceptions import ParameterError
 from .case_class import CaseClass
@@ -31,7 +31,7 @@ __all__ = [
     "merge_classes",
 ]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 
 class InfluenceKind(enum.Enum):
@@ -82,7 +82,7 @@ def machine_relevance(parameters: ClassParameters) -> float:
 
 def merge_classes(
     parameters: ModelParameters,
-    weights: Union[DemandProfile, Mapping[ClassKey, float]],
+    weights: DemandProfile | Mapping[ClassKey, float],
 ) -> ClassParameters:
     """Collapse several classes into one, as a coarser classification would.
 

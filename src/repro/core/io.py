@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping, Union
+from typing import Any, Mapping
 
 from ..exceptions import ParameterError
 from .case_class import CaseClass
@@ -37,7 +37,7 @@ __all__ = [
 #: Format marker written into every file; bumped on breaking changes.
 FORMAT_TAG = "repro-model/1"
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def model_to_dict(

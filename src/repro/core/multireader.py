@@ -29,7 +29,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence, Union
+from typing import Iterator, Mapping, Sequence
 
 from .._validation import check_probability
 from ..exceptions import ParameterError
@@ -45,7 +45,7 @@ __all__ = [
     "MultiReaderModel",
 ]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 
 def _as_case_class(key: ClassKey) -> CaseClass:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Iterator, Mapping, Sequence, Union
+from typing import Iterator, Mapping, Sequence
 
 from .._validation import check_probability
 from ..exceptions import ModelAssumptionError, ParameterError
@@ -45,7 +45,7 @@ __all__ = [
     "covariance_from_case_difficulties",
 ]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 
 def _as_case_class(key: ClassKey) -> CaseClass:
@@ -234,6 +234,7 @@ class ParallelClassParameters:
         covariance, so this transformation deliberately drops it; callers
         who know the new covariance should chain :meth:`with_covariance`.
         """
+        p_machine_miss = check_probability(p_machine_miss, "p_machine_miss")
         return replace(self, p_machine_miss=p_machine_miss, detection_covariance=0.0)
 
 

@@ -24,7 +24,7 @@ the what-if machinery of Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Iterator, Mapping, Union
+from typing import Callable, Iterable, Iterator, Mapping
 
 from .._validation import check_positive, check_probability
 from ..exceptions import ParameterError
@@ -32,7 +32,7 @@ from .case_class import DIFFICULT, EASY, CaseClass
 
 __all__ = ["ClassParameters", "ModelParameters", "paper_example_parameters"]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 
 def _as_case_class(key: ClassKey) -> CaseClass:
@@ -124,6 +124,7 @@ class ClassParameters:
         The reader's conditional behaviour (``PHf|Mf``, ``PHf|Ms``) is kept
         fixed — exactly the assumption behind Figure 4's straight line.
         """
+        p_machine_failure = check_probability(p_machine_failure, "p_machine_failure")
         return replace(self, p_machine_failure=p_machine_failure)
 
     def with_machine_improved(self, factor: float) -> "ClassParameters":

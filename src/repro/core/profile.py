@@ -16,7 +16,7 @@ observed counts.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Iterator, Mapping, Union
+from typing import Callable, Iterable, Iterator, Mapping
 
 from .._validation import check_distribution, check_probability
 from ..exceptions import ProfileError
@@ -24,7 +24,7 @@ from .case_class import DIFFICULT, EASY, CaseClass
 
 __all__ = ["DemandProfile", "PAPER_TRIAL_PROFILE", "PAPER_FIELD_PROFILE"]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 
 def _as_case_class(key: ClassKey) -> CaseClass:

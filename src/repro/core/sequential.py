@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Mapping
 
 from ..exceptions import ParameterError
 from .case_class import CaseClass
@@ -29,7 +29,7 @@ from .profile import DemandProfile
 
 __all__ = ["SequentialModel", "SequentialPrediction", "CovarianceDecomposition"]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 
 @dataclass(frozen=True)

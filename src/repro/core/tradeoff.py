@@ -208,6 +208,7 @@ class TradeoffFrontier:
         cost_false_positive: float,
     ) -> SystemOperatingPoint:
         """The point minimising expected cost at the given prevalence/costs."""
+        prevalence = check_probability(prevalence, "prevalence")
         return min(
             self._points,
             key=lambda p: (

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Mapping
 
 import numpy as np
 
@@ -39,7 +39,7 @@ __all__ = [
     "CredibleInterval",
 ]
 
-ClassKey = Union[CaseClass, str]
+ClassKey = CaseClass | str
 
 #: Jeffreys prior pseudo-counts, the default non-informative prior.
 JEFFREYS_PRIOR = (0.5, 0.5)
@@ -304,12 +304,21 @@ class UncertainModel:
         profile: DemandProfile,
         num_samples: int = 10_000,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
     ) -> np.ndarray:
-        """Posterior samples of the system failure probability under a profile."""
+        """Posterior samples of the system failure probability under a profile.
+
+        Args:
+            profile: Demand profile to evaluate under.
+            num_samples: Number of posterior draws.
+            rng: Random generator; built from ``seed`` when omitted.
+            seed: Seed used when ``rng`` is omitted; leaving both unset
+                draws irreproducible OS entropy.
+        """
         if num_samples <= 0:
             raise EstimationError(f"num_samples must be positive, got {num_samples!r}")
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng(seed)
         samples = np.empty(num_samples, dtype=float)
         for i in range(num_samples):
             samples[i] = self.sample_model(rng).system_failure_probability(profile)
@@ -341,6 +350,7 @@ class UncertainModel:
         profile: DemandProfile,
         num_samples: int = 10_000,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
     ) -> float:
         """Posterior probability that one design scenario beats another.
 
@@ -358,7 +368,9 @@ class UncertainModel:
                 ``lambda p: p`` for the unimproved baseline.
             profile: Demand profile both scenarios are evaluated under.
             num_samples: Number of posterior draws.
-            rng: Random generator.
+            rng: Random generator; built from ``seed`` when omitted.
+            seed: Seed used when ``rng`` is omitted; leaving both unset
+                draws irreproducible OS entropy.
 
         Returns:
             ``P(PHf_first < PHf_second | trial data)`` — 0.5 means the data
@@ -367,7 +379,7 @@ class UncertainModel:
         if num_samples <= 0:
             raise EstimationError(f"num_samples must be positive, got {num_samples!r}")
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng(seed)
         wins = 0
         for _ in range(num_samples):
             draw = ModelParameters(

@@ -1,0 +1,53 @@
+"""replint: domain-aware static analysis for the repro codebase.
+
+The batch engine's headline guarantee — bit-identical scalar/batch
+results under seeded common-random-number comparison — rests on coding
+conventions that ordinary linters cannot see: every sampling-path
+transcendental goes through :mod:`repro._numeric`, randomness is always
+threaded through explicit ``Generator``/``seed`` parameters, and every
+probability parameter is validated at the boundary.  replint turns those
+conventions into machine-checked rules:
+
+========  ==============================================================
+REP001    no ``random``-module use or unseeded ``default_rng()`` outside
+          approved seams — randomness must be threaded, not conjured
+REP002    no ``math.exp/log/sqrt`` or ``np.exp/log`` in sampling-path
+          modules; use :mod:`repro._numeric` (the bit-equality seam)
+REP003    public functions with probability-named parameters must call a
+          :mod:`repro._validation` helper
+REP004    no float ``==``/``!=`` on probability expressions; no mutable
+          default arguments
+REP005    public ``decide``/``evaluate``/``compare`` entry points must
+          accept and forward ``seed``/``rng``
+========  ==============================================================
+
+Run it as ``python -m repro.lint [paths]``, or through the
+pytest-collected self-check in ``tests/lint/test_self_check.py``.
+Findings can be suppressed per line (``# replint: disable=REP002``), per
+file (``# replint: disable-file=REP002``), or grandfathered in a JSON
+baseline file (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry
+from .config import DEFAULT_BASELINE_NAME, LintConfig
+from .engine import LintResult, lint_paths, lint_source
+from .findings import Finding
+from .registry import all_rules, get_rule
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,139 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline entry identifies findings by ``(rule, path, source line)``
+with a count — deliberately *not* by line number, so unrelated edits
+that shift code up or down do not invalidate the baseline.  Matching is
+multiset subtraction: each finding consumes one unit of its
+fingerprint's budget; findings beyond the budget are new (and fail the
+run), leftover budget is *stale* (the grandfathered violation was fixed
+— expire the entry so it cannot mask a regression elsewhere).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One grandfathered finding fingerprint.
+
+    Attributes:
+        rule_id: The rule that produced the grandfathered finding.
+        path: File path as reported by the engine.
+        source_line: Stripped text of the offending line.
+        count: How many identical findings are grandfathered.
+    """
+
+    rule_id: str
+    path: str
+    source_line: str
+    count: int = 1
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule_id, self.path, self.source_line)
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of grandfathered findings."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline that exactly covers ``findings``."""
+        counts = Counter(finding.fingerprint for finding in findings)
+        return cls(
+            entries=tuple(
+                sorted(
+                    BaselineEntry(rule_id, path, source_line, count)
+                    for (rule_id, path, source_line), count in counts.items()
+                )
+            )
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            ValueError: on an unrecognised format version or malformed
+                entries.
+        """
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = []
+        for raw in data.get("findings", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule_id=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        source_line=str(raw["code"]),
+                        count=int(raw.get("count", 1)),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"malformed baseline entry {raw!r} in {path}") from exc
+        return cls(entries=tuple(sorted(entries)))
+
+    def write(self, path: Path) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                {
+                    "rule": entry.rule_id,
+                    "path": entry.path,
+                    "code": entry.source_line,
+                    "count": entry.count,
+                }
+                for entry in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return sum(entry.count for entry in self.entries)
+
+    def match(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split ``findings`` against the baseline.
+
+        Returns:
+            ``(new, baselined, stale)``: findings not covered by the
+            baseline, findings the baseline absorbed, and baseline
+            entries (with residual counts) that matched nothing — fixed
+            violations whose entries should be expired.
+        """
+        budget: Counter[tuple[str, str, str]] = Counter()
+        for entry in self.entries:
+            budget[entry.fingerprint] += entry.count
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            BaselineEntry(rule_id, path, source_line, count)
+            for (rule_id, path, source_line), count in sorted(budget.items())
+            if count > 0
+        ]
+        return new, baselined, stale

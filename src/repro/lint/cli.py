@@ -1,0 +1,141 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes follow the compiler convention: 0 clean, 1 findings (or, with
+``--strict-baseline``, stale baseline entries), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import Baseline
+from .config import DEFAULT_BASELINE_NAME, LintConfig
+from .engine import lint_paths
+from .registry import all_rules
+from .reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "replint: domain-aware static analysis enforcing the repro "
+            "codebase's determinism and probability-domain invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            f"baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE_NAME} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when the baseline contains stale (fixed) entries",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined and suppressed findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(argument: str | None) -> Path | None:
+    if argument is not None:
+        return Path(argument)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.exists() else None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, rule in all_rules().items():
+            print(f"{rule_id}  {rule.summary}")
+        return 0
+
+    select: tuple[str, ...] | None = None
+    if options.select:
+        select = tuple(
+            part.strip().upper() for part in options.select.split(",") if part.strip()
+        )
+        unknown = set(select) - set(all_rules())
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    config = LintConfig(select=select)
+
+    baseline_path = _resolve_baseline_path(options.baseline)
+    baseline = None
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(options.paths, config=config, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if options.write_baseline:
+        target = baseline_path if baseline_path is not None else Path(
+            DEFAULT_BASELINE_NAME
+        )
+        # The new baseline covers everything currently firing: new
+        # findings plus the still-live part of the old baseline.
+        Baseline.from_findings(result.findings + result.baselined).write(target)
+        print(
+            f"wrote {len(result.findings) + len(result.baselined)} finding(s) "
+            f"to {target}"
+        )
+        return 0
+
+    if options.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=options.verbose))
+
+    if not result.clean:
+        return 1
+    if options.strict_baseline and result.stale_baseline:
+        return 1
+    return 0

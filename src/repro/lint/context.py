@@ -1,0 +1,86 @@
+"""Per-module context handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .config import LintConfig
+from .findings import Finding
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus everything a rule needs to judge it.
+
+    Attributes:
+        path: Display path for findings (posix-style).
+        module: Dotted module name (``repro.screening.population``); rules
+            use it to decide whether seam/package scoping applies.
+        source: Full source text.
+        tree: The parsed AST.
+        config: The active :class:`~repro.lint.config.LintConfig`.
+    """
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    _lines: list[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lines = self.source.splitlines()
+
+    def source_line(self, lineno: int) -> str:
+        """The stripped text of 1-based ``lineno`` (empty when absent)."""
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=lineno,
+            column=column,
+            rule_id=rule_id,
+            message=message,
+            source_line=self.source_line(lineno),
+        )
+
+    def import_aliases(self) -> dict[str, str]:
+        """Map of local names to the dotted origin they were imported as.
+
+        ``import numpy as np`` yields ``{"np": "numpy"}``; ``from math
+        import exp as e`` yields ``{"e": "math.exp"}``.  Only top-level
+        and function-local plain imports are collected — enough to
+        resolve the call shapes the rules care about.
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    aliases[name.asname or name.name.split(".")[0]] = (
+                        name.name if name.asname else name.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+        return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted name of a ``Name``/``Attribute`` chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,195 @@
+"""The lint engine: file discovery, parsing, rule dispatch, filtering.
+
+The pipeline per module: parse → run selected rules → drop suppressed
+findings → (at the run level) subtract the baseline.  Files that fail to
+parse produce a synthetic ``SYNTAX`` finding rather than crashing the
+run, so one broken file cannot hide findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .config import LintConfig
+from .context import ModuleContext
+from .findings import Finding
+from .registry import all_rules
+from .suppress import Suppressions
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: Non-suppressed, non-baselined findings — what fails CI.
+        suppressed: Findings silenced by an inline directive.
+        baselined: Findings covered by the baseline.
+        stale_baseline: Baseline entries that matched nothing (expired).
+        files_checked: How many files were parsed.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no actionable findings."""
+        return not self.findings
+
+    @property
+    def clean_and_fresh(self) -> bool:
+        """Clean *and* the baseline has no stale (fixed) entries."""
+        return self.clean and not self.stale_baseline
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises:
+        FileNotFoundError: for a path that is neither a directory nor a
+            ``.py`` file.
+    """
+    collected: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    collected.add(candidate)
+        elif path.suffix == ".py" and path.is_file():
+            collected.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(collected)
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for a source file.
+
+    Walks the path parts for a ``src`` layout root (or a leading
+    ``repro`` package directory) and joins everything below it; falls
+    back to the stem, which keeps package-scoped rules inert for files
+    outside the package — exactly right for scratch scripts.
+    """
+    parts = Path(path).with_suffix("").parts
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == "src" and index + 1 < len(parts):
+            anchor = index + 1
+            break
+        if part == "repro" and anchor is None:
+            anchor = index
+    if anchor is None:
+        return parts[-1]
+    module_parts = [part for part in parts[anchor:] if part != "__init__"]
+    return ".".join(module_parts) if module_parts else parts[-1]
+
+
+def _analyse(
+    source: str, path: str, module: str, config: LintConfig
+) -> tuple[list[Finding], list[Finding]]:
+    """Run the rules over one source text.
+
+    Returns:
+        ``(kept, suppressed)`` findings, each sorted by location.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            column=(exc.offset or 1) - 1,
+            rule_id="SYNTAX",
+            message=f"file does not parse: {exc.msg}",
+            source_line=(exc.text or "").strip(),
+        )
+        return [finding], []
+    context = ModuleContext(
+        path=path, module=module, source=source, tree=tree, config=config
+    )
+    suppressions = Suppressions.from_source(source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule_id, rule in all_rules().items():
+        if not config.rule_selected(rule_id):
+            continue
+        for finding in rule.check(context):
+            if suppressions.is_suppressed(finding):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return sorted(kept), sorted(suppressed)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one source string (the test-fixture entry point).
+
+    Args:
+        source: Python source text.
+        path: Display path used in findings.
+        module: Dotted module name for package-scoped rules; derived from
+            ``path`` when omitted.
+        config: Lint configuration; defaults apply when omitted.
+
+    Returns:
+        Non-suppressed findings, sorted by location.
+    """
+    config = config if config is not None else LintConfig()
+    module = module if module is not None else module_name_for(Path(path))
+    kept, _ = _analyse(source, path, module, config)
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint files and directories and apply the baseline.
+
+    Args:
+        paths: Files or directories to lint (directories recurse).
+        config: Lint configuration; defaults apply when omitted.
+        baseline: Grandfathered findings; ``None`` means an empty one.
+
+    Returns:
+        The aggregated :class:`LintResult`.
+    """
+    config = config if config is not None else LintConfig()
+    result = LintResult()
+    raw_findings: list[Finding] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        kept, suppressed = _analyse(
+            file_path.read_text(),
+            file_path.as_posix(),
+            module_name_for(file_path),
+            config,
+        )
+        raw_findings.extend(kept)
+        result.suppressed.extend(suppressed)
+        result.files_checked += 1
+    baseline = baseline if baseline is not None else Baseline()
+    new, baselined, stale = baseline.match(sorted(raw_findings))
+    result.findings = new
+    result.baselined = baselined
+    result.stale_baseline = stale
+    return result

@@ -1,0 +1,43 @@
+"""The finding record shared by rules, reporters, and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: File path as given to the engine (posix-style, repo-relative
+            when linting from the repo root).
+        line: 1-based line of the offending node.
+        column: 0-based column of the offending node.
+        rule_id: The rule that fired (``REP001`` … ``REP005``).
+        message: Human-readable explanation with the fix direction.
+        source_line: The stripped text of the offending line — the
+            line-number-independent ingredient of :attr:`fingerprint`.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: survives unrelated edits that renumber lines.
+
+        Two findings with the same rule, file, and offending source text
+        are interchangeable for baseline matching; the baseline stores a
+        count per fingerprint so duplicates on different lines still
+        balance out.
+        """
+        return (self.rule_id, self.path, self.source_line)
+
+    def location(self) -> str:
+        """``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.column + 1}"

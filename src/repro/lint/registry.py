@@ -1,0 +1,77 @@
+"""Rule protocol and registry.
+
+A rule is a class with a ``rule_id``, a one-line ``summary``, and a
+``check(context)`` generator of findings.  Registration happens at import
+time via the :func:`register` decorator; :func:`all_rules` imports the
+rule modules on first use so the registry is always populated.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from typing import Iterator, Protocol
+
+from .context import ModuleContext
+from .findings import Finding
+
+_RULE_MODULES = (
+    "repro.lint.rules.rep001_randomness",
+    "repro.lint.rules.rep002_numeric",
+    "repro.lint.rules.rep003_validation",
+    "repro.lint.rules.rep004_comparisons",
+    "repro.lint.rules.rep005_seed_threading",
+)
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule(Protocol):
+    """What the engine requires of a rule."""
+
+    rule_id: str
+    summary: str
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield the rule's findings for one module."""
+        ...
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and register a rule."""
+    instance = cls()
+    rule_id = instance.rule_id
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = instance
+    return cls
+
+
+def _ensure_loaded() -> None:
+    for module in _RULE_MODULES:
+        importlib.import_module(module)
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, keyed by id, in id order."""
+    _ensure_loaded()
+    return {rule_id: _REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)}
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id.
+
+    Raises:
+        KeyError: if no rule with that id is registered.
+    """
+    _ensure_loaded()
+    return _REGISTRY[rule_id.upper()]
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """All function definitions in a module, including methods."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,80 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Compiler-style ``path:line:col: RULE message`` lines plus a summary.
+
+    Args:
+        result: The lint run to render.
+        verbose: Also list baselined and suppressed findings (prefixed so
+            they are visually distinct from actionable ones).
+    """
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.location()}: {finding.rule_id} {finding.message}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.location()}: {finding.rule_id} [baselined] "
+                f"{finding.message}"
+            )
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule_id} [suppressed] "
+                f"{finding.message}"
+            )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry {entry.rule_id} x{entry.count} "
+            f"({entry.source_line!r}) — the violation is fixed; remove the "
+            f"entry (re-run with --write-baseline)"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.stale_baseline)} stale baseline entr(ies) "
+        f"across {result.files_checked} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The run as a stable JSON document (for tooling and CI artifacts)."""
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column + 1,
+                "rule": finding.rule_id,
+                "message": finding.message,
+                "code": finding.source_line,
+            }
+            for finding in result.findings
+        ],
+        "stale_baseline": [
+            {
+                "rule": entry.rule_id,
+                "path": entry.path,
+                "code": entry.source_line,
+                "count": entry.count,
+            }
+            for entry in result.stale_baseline
+        ],
+        "summary": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(result.stale_baseline),
+            "files_checked": result.files_checked,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,7 @@
+"""The REP rule implementations.
+
+Each module defines one rule and registers it with
+:mod:`repro.lint.registry` at import time; the registry imports these
+modules lazily, so importing :mod:`repro.lint` is enough to get the full
+rule set.
+"""

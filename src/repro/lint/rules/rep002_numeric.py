@@ -1,0 +1,73 @@
+"""REP002: sampling-path transcendentals go through ``repro._numeric``.
+
+``math.exp`` and ``numpy.exp`` may disagree in the last ulp.  On a
+sampling path a one-ulp difference in a probability flips a decision
+whenever a uniform draw lands in the gap, which silently breaks the
+scalar/batch bit-equality the engine's equivalence suite — and the
+paper's covariance analysis under common random numbers — depends on.
+Every logit, sigmoid, exp, and log used by a sampling-path module
+therefore goes through :mod:`repro._numeric`, the single numpy-backed
+implementation both paths share.
+
+``np.sqrt`` is deliberately allowed: IEEE 754 requires square root to be
+correctly rounded, so it cannot introduce divergence.  ``math.sqrt`` is
+still flagged because scalar ``math.*`` calls on a sampling path signal
+a scalar-only code shape; route it through ``repro._numeric.sqrt``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import BANNED_MATH_ATTRS, BANNED_NUMPY_ATTRS
+from ..context import ModuleContext, dotted_name
+from ..findings import Finding
+from ..registry import register
+
+_NUMPY_MODULES = ("numpy", "np")
+
+
+@register
+class NumericSeamRule:
+    rule_id = "REP002"
+    summary = (
+        "no math.exp/log/sqrt or np.exp/log in sampling-path modules; "
+        "use repro._numeric"
+    )
+
+    def _banned_origins(self) -> frozenset[str]:
+        origins = {f"math.{attr}" for attr in BANNED_MATH_ATTRS}
+        origins.update(f"numpy.{attr}" for attr in BANNED_NUMPY_ATTRS)
+        return frozenset(origins)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        config = context.config
+        if context.module in config.numeric_seam_modules:
+            return
+        if not config.in_packages(context.module, config.sampling_path_packages):
+            return
+        aliases = context.import_aliases()
+        banned = self._banned_origins()
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, rest = name.partition(".")
+            origin = aliases.get(head, head) + ("." + rest if rest else "")
+            # Normalise the conventional numpy alias even when the import
+            # is out of scope of this module (e.g. fixtures).
+            if origin.startswith("np."):
+                origin = "numpy." + origin[3:]
+            if origin in banned:
+                func = origin.split(".", 1)[1]
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"{name}() on a sampling path can differ from the batch "
+                    f"kernel in the last ulp and break scalar/batch "
+                    f"bit-equality; route it through repro._numeric "
+                    f"(e.g. _numeric.{func}, adding the helper if needed)",
+                )

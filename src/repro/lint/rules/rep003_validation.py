@@ -1,0 +1,75 @@
+"""REP003: probability parameters are validated at the boundary.
+
+Every public function that accepts a probability-named parameter
+(``p_*``, ``*_prob``, ``*_probability``, ``prevalence``, ``sensitivity``,
+``specificity``) must call one of the :mod:`repro._validation` helpers
+before using it.  Centralised validation is what keeps the domain
+invariant — probabilities live in ``[0, 1]``, distributions sum to one —
+checked in exactly one place with uniform error messages, instead of
+drifting into per-call-site ad-hoc guards.
+
+Private helpers (leading underscore) are exempt: they sit behind an
+already-validated public boundary.  The check is syntactic — any call to
+a validator name anywhere in the function body (including nested
+functions) satisfies it — which keeps the rule cheap and predictable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import iter_function_defs, register
+
+
+def _call_names(node: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+@register
+class ProbabilityValidationRule:
+    rule_id = "REP003"
+    summary = (
+        "public functions with probability-named parameters must call a "
+        "repro._validation helper"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        config = context.config
+        validators = set(config.validator_names)
+        for node in iter_function_defs(context.tree):
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            arguments = node.args
+            params = [
+                arg.arg
+                for arg in (
+                    arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+                )
+            ]
+            probability_params = [
+                name for name in params if config.is_probability_name(name)
+            ]
+            if not probability_params:
+                continue
+            if _call_names(node) & validators:
+                continue
+            joined = ", ".join(probability_params)
+            yield context.finding(
+                node,
+                self.rule_id,
+                f"{node.name}() takes probability parameter(s) {joined} but "
+                f"never calls a repro._validation helper; validate at the "
+                f"boundary (e.g. check_probability) so domain errors fail "
+                f"loudly and uniformly",
+            )

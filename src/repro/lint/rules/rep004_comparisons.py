@@ -1,0 +1,99 @@
+"""REP004: no float equality on probabilities; no mutable defaults.
+
+Probabilities in this codebase are floats produced by arithmetic
+(``1 - (1 - p)``, profile-weighted sums, logistic transforms), so exact
+``==``/``!=`` comparisons are at the mercy of rounding — the precise
+failure mode :data:`repro._validation.PROBABILITY_ATOL` exists to
+absorb.  Compare against tolerances or use ordered comparisons instead.
+
+The rule also flags mutable default arguments (``def f(xs=[])``): a
+shared-across-calls accumulator corrupts reproducibility in a way that
+is invisible at the call site — the simulation-state analogue of the
+global-RNG problem REP001 guards against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import iter_function_defs, register
+
+_EXEMPT_CONSTANTS = (bool, str, bytes, type(None))
+
+
+def _probability_operand(config, node: ast.AST) -> str | None:
+    """The probability name an operand refers to, if any."""
+    if isinstance(node, ast.Name) and config.is_probability_name(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and config.is_probability_name(node.attr):
+        return node.attr
+    return None
+
+
+def _is_exempt_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, _EXEMPT_CONSTANTS
+    )
+
+
+@register
+class ProbabilityComparisonRule:
+    rule_id = "REP004"
+    summary = (
+        "no float ==/!= on probability expressions; no mutable default "
+        "arguments"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_comparisons(context)
+        yield from self._check_mutable_defaults(context)
+
+    def _check_comparisons(self, context: ModuleContext) -> Iterator[Finding]:
+        config = context.config
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                name = _probability_operand(config, left) or _probability_operand(
+                    config, right
+                )
+                if name is None:
+                    continue
+                if _is_exempt_constant(left) or _is_exempt_constant(right):
+                    continue
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"exact ==/!= on probability {name!r} is at the mercy of "
+                    f"float rounding; compare with a tolerance "
+                    f"(PROBABILITY_ATOL) or an ordered comparison",
+                )
+
+    def _check_mutable_defaults(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in iter_function_defs(context.tree):
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield context.finding(
+                        default,
+                        self.rule_id,
+                        f"mutable default argument in {node.name}() is shared "
+                        f"across calls and silently accumulates state; "
+                        f"default to None and construct inside the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"list", "dict", "set", "bytearray", "defaultdict"}
+        return False

@@ -1,0 +1,109 @@
+"""REP005: public decision entry points thread ``seed``/``rng``.
+
+Seeded common-random-number comparison — the engine's variance-reduction
+workhorse and the precondition for the paper's covariance analysis on
+simulated data — only works if every public ``decide``/``evaluate*``/
+``compare*`` entry point in the simulation packages accepts a ``seed``
+or ``rng`` parameter *and actually uses it*.  An entry point that
+silently ignores its generator (or never takes one) forces callers back
+onto private component RNGs, where CRN coupling is impossible.
+
+Protocol stubs and abstract methods (bodies that are just ``...`` or a
+docstring) are checked for the parameter only; concrete bodies must also
+reference it somewhere, which catches "accepted but dropped" mistakes.
+Properties are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import iter_function_defs, register
+
+_ENTRY_PREFIXES = ("evaluate", "compare")
+_ENTRY_NAMES = ("decide", "decide_batch")
+_THREAD_PARAMS = {"seed", "rng"}
+_EXEMPT_DECORATORS = {"property", "cached_property", "staticmethod", "abstractmethod"}
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _is_stub_body(body: list[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or bare `...`
+        if isinstance(statement, (ast.Pass, ast.Raise)):
+            continue  # `pass` bodies and raise-only abstract methods
+        return False
+    return True
+
+
+@register
+class SeedThreadingRule:
+    rule_id = "REP005"
+    summary = (
+        "public decide/evaluate/compare entry points must accept and "
+        "forward seed/rng"
+    )
+
+    def _is_entry_point(self, name: str) -> bool:
+        if name.startswith("_"):
+            return False
+        return name in _ENTRY_NAMES or name.startswith(_ENTRY_PREFIXES)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        config = context.config
+        if not config.in_packages(context.module, config.seed_threading_packages):
+            return
+        for node in iter_function_defs(context.tree):
+            if not self._is_entry_point(node.name):
+                continue
+            if _decorator_names(node) & _EXEMPT_DECORATORS:
+                continue
+            arguments = node.args
+            params = {
+                arg.arg
+                for arg in (
+                    arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+                )
+            }
+            threaded = params & _THREAD_PARAMS
+            if not threaded:
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"entry point {node.name}() takes neither 'seed' nor "
+                    f"'rng'; seeded CRN comparison needs every public "
+                    f"decision path to thread its randomness",
+                )
+                continue
+            if _is_stub_body(node.body):
+                continue
+            used = {
+                sub.id
+                for sub in ast.walk(ast.Module(body=node.body, type_ignores=[]))
+                if isinstance(sub, ast.Name)
+            }
+            if not (threaded & used):
+                names = ", ".join(sorted(threaded))
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"entry point {node.name}() accepts {names} but never "
+                    f"references it; forward the generator/seed to the "
+                    f"components it drives",
+                )

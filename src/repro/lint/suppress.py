@@ -1,0 +1,94 @@
+"""Suppression directives: ``# replint: disable[-file][=REP00x,...]``.
+
+Two scopes:
+
+* **Line**: a trailing ``# replint: disable=REP002`` suppresses the named
+  rules for findings reported *on that exact line*; ``# replint:
+  disable`` with no rule list suppresses every rule on the line.
+* **File**: a ``# replint: disable-file=REP002`` comment anywhere in the
+  file (conventionally at the top) suppresses the named rules for the
+  whole file; bare ``disable-file`` suppresses everything.
+
+Directives are parsed with the :mod:`tokenize` module, so a directive
+spelled inside a string literal is ignored rather than honoured.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_DIRECTIVE = re.compile(
+    r"#\s*replint:\s*(?P<scope>disable-file|disable)"
+    r"\s*(?:=\s*(?P<rules>[A-Za-z0-9_,\s]+?))?\s*(?:#.*)?$"
+)
+
+#: Sentinel meaning "every rule".
+ALL_RULES = "*"
+
+
+def _parse_rule_list(raw: str | None) -> frozenset[str]:
+    if raw is None:
+        return frozenset({ALL_RULES})
+    rules = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    return rules or frozenset({ALL_RULES})
+
+
+@dataclass
+class Suppressions:
+    """The suppression directives of one source file.
+
+    Attributes:
+        file_rules: Rules disabled for the whole file.
+        line_rules: Rules disabled per (1-based) line.
+    """
+
+    file_rules: frozenset[str] = frozenset()
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Collect the directives from ``source``'s comment tokens."""
+        file_rules: frozenset[str] = frozenset()
+        line_rules: dict[int, frozenset[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # Unparseable files are reported by the engine as syntax
+            # findings; a best-effort line scan keeps suppressions usable.
+            comments = [
+                (lineno, stripped[stripped.index("#"):])
+                for lineno, stripped in (
+                    (i + 1, line.strip()) for i, line in enumerate(source.splitlines())
+                )
+                if "#" in stripped
+            ]
+        for lineno, comment in comments:
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            rules = _parse_rule_list(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                file_rules = file_rules | rules
+            else:
+                line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+        return cls(file_rules=file_rules, line_rules=line_rules)
+
+    def _matches(self, rules: frozenset[str], rule_id: str) -> bool:
+        return ALL_RULES in rules or rule_id.upper() in rules
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a file- or line-directive."""
+        if self._matches(self.file_rules, finding.rule_id):
+            return True
+        line = self.line_rules.get(finding.line)
+        return line is not None and self._matches(line, finding.rule_id)

@@ -27,20 +27,13 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from .._numeric import sigmoid as _sigmoid
+from .._numeric import sqrt as _sqrt
 from .._validation import check_probability
 from ..exceptions import SimulationError
 from .case import Case, LesionType
 
 __all__ = ["LesionProfile", "PopulationModel", "DEFAULT_LESION_PROFILES"]
-
-
-def _sigmoid(x: float) -> float:
-    """Numerically stable logistic function."""
-    if x >= 0:
-        z = math.exp(-x)
-        return 1.0 / (1.0 + z)
-    z = math.exp(x)
-    return z / (1.0 + z)
 
 
 @dataclass(frozen=True)
@@ -155,10 +148,10 @@ class PopulationModel:
 
         shared = float(self._rng.normal())
         rho = self.difficulty_correlation
-        machine_latent = rho * shared + math.sqrt(1.0 - rho * rho) * float(
+        machine_latent = rho * shared + _sqrt(1.0 - rho * rho) * float(
             self._rng.normal()
         )
-        human_latent = rho * shared + math.sqrt(1.0 - rho * rho) * float(
+        human_latent = rho * shared + _sqrt(1.0 - rho * rho) * float(
             self._rng.normal()
         )
 

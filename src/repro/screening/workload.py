@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from .._numeric import exp as _exp
 from .._validation import check_probability
 from ..core.profile import DemandProfile
 from ..exceptions import SimulationError
@@ -145,8 +146,6 @@ def trial_workload(
         )
     num_cancers = round(num_cases * cancer_fraction)
     if subtlety_enrichment > 0:
-        import math
-
         import numpy as np
 
         selection_rng = np.random.default_rng(selection_seed)
@@ -161,7 +160,7 @@ def trial_workload(
                 )
             candidate = population.generate_cancer_case()
             attempts += 1
-            acceptance = math.exp(subtlety_enrichment * (candidate.subtlety - 1.0))
+            acceptance = _exp(subtlety_enrichment * (candidate.subtlety - 1.0))
             if float(selection_rng.random()) < acceptance:
                 cancers.append(candidate)
     else:

@@ -22,11 +22,11 @@ Poisson false prompts) for the Section 7 trade-off analysis.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .._numeric import exp as _exp
 from ..cadt.algorithm import DetectionAlgorithm
 from ..core.case_class import CaseClass
 from ..core.parameters import ClassParameters, ModelParameters
@@ -159,7 +159,7 @@ def derive_false_positive_class_parameters(
     recall_given_clean = []
     for case in cases:
         rate = algorithm.false_prompt_rate(case)
-        p_zero = math.exp(-rate)
+        p_zero = _exp(-rate)
         p_fp.append(1.0 - p_zero)
         recall_given_clean.append(reader.p_false_positive(case, 0))
         if rate > 0.0 and p_zero < 1.0:

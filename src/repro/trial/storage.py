@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
+
 
 from ..core.case_class import CaseClass
 from ..exceptions import EstimationError
@@ -19,7 +19,7 @@ from .records import CaseRecord, TrialRecords
 
 __all__ = ["dump_records_csv", "load_records_csv", "CSV_COLUMNS"]
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 #: Column order of the CSV format (also its implicit version).
 CSV_COLUMNS = (

@@ -7,7 +7,63 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro._numeric import MAX_POISSON_RATE, logit, poisson_from_uniform, sigmoid
+from repro._numeric import (
+    MAX_POISSON_RATE,
+    exp,
+    log,
+    logit,
+    poisson_from_uniform,
+    sigmoid,
+    sqrt,
+)
+
+
+class TestTranscendentalSeam:
+    """exp/log/sqrt: the REP002 seam both simulation paths share."""
+
+    def test_scalar_input_returns_float(self):
+        for fn, value in ((exp, 0.3), (log, 0.3), (sqrt, 0.3)):
+            result = fn(value)
+            assert isinstance(result, float)
+
+    def test_array_input_returns_array(self):
+        xs = np.linspace(0.1, 3.0, 7)
+        for fn in (exp, log, sqrt):
+            result = fn(xs)
+            assert isinstance(result, np.ndarray)
+            assert result.shape == xs.shape
+
+    def test_scalar_and_array_paths_bit_identical(self):
+        xs = np.linspace(-30.0, 30.0, 201)
+        assert (exp(xs) == np.array([exp(float(x)) for x in xs])).all()
+        positives = np.linspace(1e-6, 50.0, 201)
+        assert (log(positives) == np.array([log(float(x)) for x in positives])).all()
+        assert (
+            sqrt(positives) == np.array([sqrt(float(x)) for x in positives])
+        ).all()
+
+    def test_seam_matches_numpy_bit_for_bit(self):
+        # The seam is a thin wrapper: it must equal np.* exactly, so
+        # batch code calling np.exp on arrays and scalar code calling
+        # _numeric.exp agree by construction.
+        xs = np.linspace(-10.0, 10.0, 101)
+        assert (exp(xs) == np.exp(xs)).all()
+        ps = np.linspace(0.01, 0.99, 101)
+        assert (log(ps) == np.log(ps)).all()
+        assert (sqrt(ps) == np.sqrt(ps)).all()
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_exp_agrees_with_math_to_one_ulp(self, x):
+        # math.exp and np.exp may differ, but never by more than 1 ulp —
+        # this documents why the seam exists (exact equality can fail)
+        # while bounding how far apart the two libraries can drift.
+        ours = exp(x)
+        theirs = math.exp(x)
+        assert ours == theirs or math.isclose(ours, theirs, rel_tol=1e-15)
+
+    def test_log_exp_roundtrip(self):
+        xs = np.linspace(-20.0, 20.0, 81)
+        assert np.allclose(log(exp(xs)), xs, atol=1e-12)
 
 
 class TestLogitSigmoid:

@@ -1,0 +1,144 @@
+"""Baseline mechanics: fingerprints, matching, round-trips, expiry."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, Finding, lint_paths
+
+
+def finding(rule="REP001", path="src/repro/x.py", line=3, code="import random"):
+    return Finding(
+        path=path, line=line, column=0, rule_id=rule,
+        message="m", source_line=code,
+    )
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_line_number(self):
+        a = finding(line=3)
+        b = finding(line=300)
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_rule_path_and_code(self):
+        base = finding()
+        assert finding(rule="REP002").fingerprint != base.fingerprint
+        assert finding(path="src/repro/y.py").fingerprint != base.fingerprint
+        assert finding(code="import random  # old").fingerprint != base.fingerprint
+
+
+class TestMatching:
+    def test_baselined_finding_is_absorbed(self):
+        baseline = Baseline.from_findings([finding()])
+        new, baselined, stale = baseline.match([finding(line=99)])
+        assert new == []
+        assert len(baselined) == 1
+        assert stale == []
+
+    def test_unknown_finding_is_new(self):
+        baseline = Baseline.from_findings([finding()])
+        new, baselined, stale = baseline.match(
+            [finding(), finding(rule="REP004", code="xs=[]")]
+        )
+        assert [f.rule_id for f in new] == ["REP004"]
+        assert [f.rule_id for f in baselined] == ["REP001"]
+
+    def test_count_budget_is_a_multiset(self):
+        # Two identical findings baselined; a third with the same
+        # fingerprint exceeds the budget and fails the run.
+        baseline = Baseline.from_findings([finding(line=1), finding(line=2)])
+        assert len(baseline) == 2
+        new, baselined, stale = baseline.match(
+            [finding(line=1), finding(line=2), finding(line=3)]
+        )
+        assert len(baselined) == 2
+        assert len(new) == 1
+        assert stale == []
+
+    def test_fixed_violation_becomes_stale_entry(self):
+        baseline = Baseline.from_findings([finding(), finding(rule="REP002")])
+        new, baselined, stale = baseline.match([finding()])
+        assert new == []
+        assert len(baselined) == 1
+        assert [entry.rule_id for entry in stale] == ["REP002"]
+
+    def test_partial_budget_staleness_keeps_residual_count(self):
+        baseline = Baseline(entries=(BaselineEntry("REP001", "p.py", "c", count=3),))
+        new, baselined, stale = baseline.match(
+            [finding(rule="REP001", path="p.py", code="c")]
+        )
+        assert new == []
+        assert stale == [BaselineEntry("REP001", "p.py", "c", count=2)]
+
+
+class TestRoundTrip:
+    def test_write_then_load_is_identity(self, tmp_path):
+        baseline = Baseline.from_findings(
+            [finding(), finding(line=9), finding(rule="REP003", code="def f(p_x):")]
+        )
+        target = tmp_path / "baseline.json"
+        baseline.write(target)
+        assert Baseline.load(target) == baseline
+
+    def test_written_file_is_deterministic_json(self, tmp_path):
+        baseline = Baseline.from_findings([finding()])
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        baseline.write(first)
+        baseline.write(second)
+        assert first.read_text() == second.read_text()
+        payload = json.loads(first.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"][0]["count"] == 1
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+    def test_load_rejects_malformed_entries(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps({"version": 1, "findings": [{"rule": "REP001"}]})
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            Baseline.load(target)
+
+
+class TestAddExpireWorkflow:
+    """The grandfather-then-fix lifecycle against real linted files."""
+
+    @staticmethod
+    def _write_module(tmp_path, body):
+        package = tmp_path / "src" / "repro" / "cadt"
+        package.mkdir(parents=True, exist_ok=True)
+        module = package / "fixture.py"
+        module.write_text(body)
+        return module
+
+    def test_lifecycle(self, tmp_path):
+        module = self._write_module(tmp_path, "import random\n")
+
+        # 1. A violation with no baseline fails the run.
+        result = lint_paths([module])
+        assert not result.clean
+        assert [f.rule_id for f in result.findings] == ["REP001"]
+
+        # 2. Grandfather it: the same run is now clean and fresh.
+        baseline = Baseline.from_findings(result.findings)
+        grandfathered = lint_paths([module], baseline=baseline)
+        assert grandfathered.clean_and_fresh
+        assert len(grandfathered.baselined) == 1
+
+        # 3. Unrelated edits that shift the line keep the entry live.
+        self._write_module(tmp_path, "\n\n\nimport random\n")
+        shifted = lint_paths([module], baseline=baseline)
+        assert shifted.clean_and_fresh
+
+        # 4. Fixing the violation makes the entry stale (clean but not
+        #    fresh), so --strict-baseline can force its removal.
+        self._write_module(tmp_path, "import numpy as np\n")
+        fixed = lint_paths([module], baseline=baseline)
+        assert fixed.clean
+        assert not fixed.clean_and_fresh
+        assert [entry.rule_id for entry in fixed.stale_baseline] == ["REP001"]

@@ -1,0 +1,118 @@
+"""The ``python -m repro.lint`` command line: exit codes and formats."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+
+@pytest.fixture
+def sampling_module(tmp_path):
+    """A file whose derived module name sits on the sampling path."""
+    package = tmp_path / "src" / "repro" / "cadt"
+    package.mkdir(parents=True)
+    module = package / "fixture.py"
+    module.write_text("import random\n")
+    return module
+
+
+@pytest.fixture
+def clean_module(tmp_path):
+    package = tmp_path / "src" / "repro" / "cadt"
+    package.mkdir(parents=True, exist_ok=True)
+    module = package / "clean.py"
+    module.write_text("import numpy as np\n\n\ndef f(rng):\n    return rng.random()\n")
+    return module
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, clean_module, capsys):
+        assert main([str(clean_module)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, sampling_module, capsys):
+        assert main([str(sampling_module)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "1 finding(s)" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_select_is_usage_error(self, clean_module, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(clean_module), "--select", "REP999"])
+        assert excinfo.value.code == 2
+
+    def test_corrupt_baseline_exits_two(self, sampling_module, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{\"version\": 7}")
+        assert main([str(sampling_module), "--baseline", str(bad)]) == 2
+
+
+class TestSelect:
+    def test_select_runs_only_named_rules(self, sampling_module, capsys):
+        assert main([str(sampling_module), "--select", "REP002"]) == 0
+        assert main([str(sampling_module), "--select", "rep001"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+
+
+class TestJsonFormat:
+    def test_json_payload_structure(self, sampling_module, capsys):
+        assert main([str(sampling_module), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "REP001"
+        assert entry["path"].endswith("fixture.py")
+        assert entry["line"] >= 1
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_clean(self, sampling_module, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(sampling_module), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert baseline.exists()
+        # The grandfathered violation no longer fails the run.
+        assert main([str(sampling_module), "--baseline", str(baseline)]) == 0
+
+    def test_strict_baseline_fails_on_stale_entries(
+        self, sampling_module, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main([str(sampling_module), "--baseline", str(baseline), "--write-baseline"])
+        sampling_module.write_text("import numpy as np\n")
+        assert main([str(sampling_module), "--baseline", str(baseline)]) == 0
+        assert (
+            main(
+                [
+                    str(sampling_module),
+                    "--baseline",
+                    str(baseline),
+                    "--strict-baseline",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "stale" in out
+
+    def test_verbose_lists_baselined_findings(
+        self, sampling_module, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main([str(sampling_module), "--baseline", str(baseline), "--write-baseline"])
+        capsys.readouterr()
+        assert main(
+            [str(sampling_module), "--baseline", str(baseline), "--verbose"]
+        ) == 0
+        assert "[baselined]" in capsys.readouterr().out

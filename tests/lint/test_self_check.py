@@ -1,0 +1,40 @@
+"""replint's self-check: the shipped tree must satisfy its own rules.
+
+This is the pytest face of the CI gate: linting ``src/repro`` against the
+committed baseline must produce no new findings *and* no stale baseline
+entries.  If a fix lands without expiring its baseline entry — or a new
+violation lands without a fix — this test fails before CI does.
+"""
+
+from pathlib import Path
+
+from repro.lint import DEFAULT_BASELINE_NAME, Baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SOURCE_TREE = REPO_ROOT / "src" / "repro"
+BASELINE_FILE = REPO_ROOT / DEFAULT_BASELINE_NAME
+
+
+def test_source_tree_is_clean_against_committed_baseline():
+    baseline = Baseline.load(BASELINE_FILE)
+    result = lint_paths([SOURCE_TREE], baseline=baseline)
+    assert result.files_checked > 50  # the whole package was scanned
+    new = "\n".join(
+        f"  {f.location()}: {f.rule_id} {f.message}" for f in result.findings
+    )
+    stale = "\n".join(
+        f"  {e.path}: {e.rule_id} ({e.source_line!r})" for e in result.stale_baseline
+    )
+    assert result.findings == [], f"new replint findings:\n{new}"
+    assert result.stale_baseline == [], (
+        f"stale baseline entries (violations fixed — re-run "
+        f"`python -m repro.lint src --write-baseline`):\n{stale}"
+    )
+
+
+def test_committed_baseline_round_trips(tmp_path):
+    """The committed file is byte-identical to what replint would write."""
+    baseline = Baseline.load(BASELINE_FILE)
+    rewritten = tmp_path / "baseline.json"
+    baseline.write(rewritten)
+    assert rewritten.read_text() == BASELINE_FILE.read_text()

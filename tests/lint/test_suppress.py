@@ -1,0 +1,102 @@
+"""Inline suppression directives: line scope, file scope, rule lists."""
+
+import textwrap
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.suppress import Suppressions
+
+
+def run(source, module="repro.cadt.algorithm", select=None):
+    return lint_source(
+        textwrap.dedent(source), path="fixture.py", module=module,
+        config=LintConfig(select=select),
+    )
+
+
+class TestLineDirectives:
+    def test_disable_on_offending_line_silences_finding(self):
+        findings = run("import random  # replint: disable=REP001\n")
+        assert findings == []
+
+    def test_disable_on_other_line_does_not_silence(self):
+        findings = run(
+            """
+            # replint: disable=REP001
+            import random
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REP001"]
+
+    def test_disable_is_rule_specific(self):
+        findings = run(
+            "import random  # replint: disable=REP002\n", select=("REP001",)
+        )
+        assert [f.rule_id for f in findings] == ["REP001"]
+
+    def test_bare_disable_silences_all_rules_on_line(self):
+        source = """
+        import math
+
+        def f(p_failure):  # replint: disable
+            return math.exp(p_failure)
+        """
+        findings = run(source)
+        # The REP003 finding anchors on the def line and is suppressed;
+        # the math.exp call on the next line still fires.
+        assert [f.rule_id for f in findings] == ["REP002"]
+
+    def test_comma_separated_rule_list(self):
+        findings = run(
+            """
+            def decide(case, p_detect):  # replint: disable=REP003, REP005
+                return case
+            """
+        )
+        assert findings == []
+
+
+class TestFileDirectives:
+    def test_disable_file_silences_rule_everywhere(self):
+        findings = run(
+            """
+            # replint: disable-file=REP001
+            import random
+            from random import choice
+            """
+        )
+        assert findings == []
+
+    def test_disable_file_leaves_other_rules_active(self):
+        findings = run(
+            """
+            # replint: disable-file=REP001
+            import random
+            import math
+
+            def f(x):
+                return math.exp(x)
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REP002"]
+
+
+class TestDirectiveParsing:
+    def test_directive_inside_string_is_ignored(self):
+        suppressions = Suppressions.from_source(
+            'text = "# replint: disable=REP001"\nimport random\n'
+        )
+        assert not suppressions.file_rules
+        assert not suppressions.line_rules
+
+    def test_directive_after_code_comment_chain(self):
+        source = "import random  # legacy  # replint: disable=REP001\n"
+        findings = run(source)
+        assert findings == []
+
+    def test_unparseable_source_still_scans_directives(self):
+        # tokenize fails on the broken line; the fallback scanner must
+        # still pick up directives so a syntax error cannot un-suppress.
+        suppressions = Suppressions.from_source(
+            "def broken(:\nimport random  # replint: disable=REP001\n"
+        )
+        assert 2 in suppressions.line_rules

@@ -192,3 +192,26 @@ class TestPopulationModel:
             PopulationModel(lesion_profiles=[])
         with pytest.raises(SimulationError):
             PopulationModel(noise_scale=-1.0)
+
+
+class TestNumericSeamSharing:
+    """The REP002 refactor: sampling modules share repro._numeric kernels.
+
+    Case generation must use the exact numpy-backed kernels the batch
+    engine uses, not a module-local math.* variant — otherwise the two
+    paths drift by ulps and scalar/batch bit-equality breaks.
+    """
+
+    def test_population_uses_shared_sigmoid_and_sqrt(self):
+        from repro import _numeric
+        from repro.screening import population as population_module
+
+        assert population_module._sigmoid is _numeric.sigmoid
+        assert population_module._sqrt is _numeric.sqrt
+
+    def test_generation_is_seed_deterministic_through_the_seam(self):
+        first = PopulationModel(seed=123).generate(64)
+        second = PopulationModel(seed=123).generate(64)
+        for a, b in zip(first, second):
+            assert a.machine_difficulty == b.machine_difficulty
+            assert a.human_detection_difficulty == b.human_detection_difficulty
