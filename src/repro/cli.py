@@ -15,6 +15,9 @@ Commands:
 * ``simulate``  — evaluate screening systems over a synthetic workload,
   on the vectorized batch engine (``--engine batch``, the default) or
   the per-case scalar loop (``--engine scalar``).
+* ``uncertainty`` — credible interval for the system failure
+  probability under parameter-estimation uncertainty, propagated on the
+  vectorized posterior kernel.
 
 Every command is a thin shell over the public API; anything printed here
 can be computed programmatically with the same names.
@@ -147,6 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="reader automation-bias profile",
     )
     simulate.add_argument("--seed", type=int, default=0, help="master seed")
+
+    uncertainty = subparsers.add_parser(
+        "uncertainty",
+        help="credible interval for the failure probability under parameter uncertainty",
+    )
+    uncertainty.add_argument("--model", help="model JSON file")
+    uncertainty.add_argument("--profile", default="field", help="stored profile name")
+    uncertainty.add_argument(
+        "--level", type=float, default=0.95, help="credibility level of the interval"
+    )
+    uncertainty.add_argument(
+        "--draws", type=int, default=10000, help="number of posterior draws"
+    )
+    uncertainty.add_argument(
+        "--trials",
+        type=int,
+        default=400,
+        help="pseudo trial readings per class behind each parameter's Beta posterior",
+    )
+    uncertainty.add_argument("--seed", type=int, default=0, help="sampling seed")
 
     monitor = subparsers.add_parser(
         "monitor", help="drift monitoring of field records against a model"
@@ -421,6 +444,46 @@ def _command_simulate(args: argparse.Namespace) -> None:
     print(render_table(["system", "FN rate", "FP rate", "cases/s"], rows))
 
 
+def _command_uncertainty(args: argparse.Namespace) -> None:
+    import time
+
+    from .core import BetaPosterior, UncertainClassParameters, UncertainModel
+
+    if args.trials < 1:
+        raise ReproError(f"--trials must be at least 1, got {args.trials}")
+    parameters, profiles = _load_parameters(args.model)
+    profile = _profiles_or_default(profiles, args.profile)
+    uncertain = UncertainModel(
+        {
+            cls: UncertainClassParameters(
+                *(
+                    BetaPosterior.from_counts(
+                        round(getattr(params, name) * args.trials), args.trials
+                    )
+                    for name in (
+                        "p_machine_failure",
+                        "p_human_failure_given_machine_failure",
+                        "p_human_failure_given_machine_success",
+                    )
+                )
+            )
+            for cls, params in parameters.items()
+        }
+    )
+    start = time.perf_counter()
+    interval = uncertain.failure_probability_interval(
+        profile, level=args.level, num_samples=args.draws, seed=args.seed
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"profile {args.profile!r}: {args.level:.0%} credible interval for "
+        f"P(system failure), {args.draws} posterior draws "
+        f"(~{args.trials} readings per class and parameter):"
+    )
+    print(f"  [{interval.lower:.6f}, {interval.upper:.6f}]  mean {interval.mean:.6f}")
+    print(f"  {args.draws / elapsed:,.0f} draws/s on the vectorized posterior kernel")
+
+
 def _command_monitor(args: argparse.Namespace) -> None:
     from .analysis import monitor_records, render_monitoring
     from .trial import load_records_csv
@@ -446,6 +509,7 @@ _COMMANDS = {
     "sensitivity": _command_sensitivity,
     "design": _command_design,
     "simulate": _command_simulate,
+    "uncertainty": _command_uncertainty,
     "monitor": _command_monitor,
 }
 

@@ -79,6 +79,7 @@ from .tradeoff import (
     TradeoffFrontier,
     TwoSidedModel,
     expected_cost,
+    sweep_machine_settings,
 )
 from .uncertainty import (
     BetaPosterior,
@@ -150,6 +151,7 @@ __all__ = [
     "TwoSidedModel",
     "TradeoffFrontier",
     "expected_cost",
+    "sweep_machine_settings",
     # multi-reader teams
     "TeamPolicy",
     "ReaderConditionals",

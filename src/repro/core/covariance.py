@@ -61,11 +61,15 @@ def difficulty_correlation(
     var_human = covariance_from_case_difficulties(
         human_difficulties, human_difficulties, weights
     )
+    # Rounding can leave a constant sequence with a tiny *negative*
+    # variance, so this guard must run before the square roots below.
+    if var_machine <= 0.0 or var_human <= 0.0:
+        return 0.0
     # Multiply the square roots rather than square-rooting the product:
     # with subnormal variances the product can underflow to exactly zero
     # even though both variances are positive.
     denominator = math.sqrt(var_machine) * math.sqrt(var_human)
-    if var_machine <= 0.0 or var_human <= 0.0 or denominator <= 0.0:
+    if denominator <= 0.0:
         return 0.0
     correlation = cov / denominator
     # Floating-point rounding can push perfectly (anti)correlated inputs a

@@ -18,7 +18,6 @@ decomposition (equation 10), which this module also computes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -141,13 +140,21 @@ class SequentialModel:
             raise ParameterError(f"profile mentions classes without parameters: {names}")
 
     def system_failure_probability(self, profile: DemandProfile) -> float:
-        """The overall false-negative probability ``PHf`` (equation 8)."""
+        """The overall false-negative probability ``PHf`` (equation 8).
+
+        Accumulates ``p(x) * PHf(x)`` left-to-right over the profile's
+        sorted classes.  The accumulation order is a contract: the array
+        kernel (:mod:`repro.engine.posterior`) replays exactly this loop
+        elementwise over whole batches of parameter tables, which is
+        what makes the scalar and vectorized uncertainty, sensitivity,
+        and sweep paths bit-identical rather than merely close.
+        """
         self._check_profile(profile)
-        return math.fsum(
-            p * self.class_failure_probability(cls)
-            for cls, p in profile.items()
-            if p > 0.0
-        )
+        total = 0.0
+        for cls, p in profile.items():
+            if p > 0.0:
+                total += p * self.class_failure_probability(cls)
+        return total
 
     def predict(self, profile: DemandProfile) -> SequentialPrediction:
         """Evaluate equation (8) with a per-class breakdown."""
@@ -156,8 +163,13 @@ class SequentialModel:
             cls: self.class_failure_probability(cls) for cls in profile.classes
         }
         contributions = {cls: profile[cls] * per_class[cls] for cls in profile.classes}
+        # Same left-to-right accumulation as system_failure_probability
+        # (zero-weight terms are exact no-ops), so the two agree bitwise.
+        probability = 0.0
+        for contribution in contributions.values():
+            probability += contribution
         return SequentialPrediction(
-            probability=math.fsum(contributions.values()),
+            probability=probability,
             per_class=per_class,
             contributions=contributions,
         )

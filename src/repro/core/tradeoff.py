@@ -19,10 +19,13 @@ explicit misclassification costs and prevalence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from .._validation import check_positive, check_probability
 from ..exceptions import ParameterError
+from .case_class import CaseClass
 from .profile import DemandProfile
 from .sequential import SequentialModel
 
@@ -31,6 +34,7 @@ __all__ = [
     "TwoSidedModel",
     "TradeoffFrontier",
     "expected_cost",
+    "sweep_machine_settings",
 ]
 
 
@@ -155,6 +159,16 @@ class TwoSidedModel:
         """The healthy-side model."""
         return self._fp_model
 
+    @property
+    def cancer_profile(self) -> DemandProfile:
+        """Demand profile of the cancer subpopulation."""
+        return self._cancer_profile
+
+    @property
+    def healthy_profile(self) -> DemandProfile:
+        """Demand profile of the healthy subpopulation."""
+        return self._healthy_profile
+
     def p_false_negative(self) -> float:
         """System false-negative probability (per cancer case)."""
         return self._fn_model.system_failure_probability(self._cancer_profile)
@@ -251,3 +265,88 @@ class TradeoffFrontier:
 
     def __iter__(self):
         return iter(self._points)
+
+
+def sweep_machine_settings(
+    model: TwoSidedModel,
+    settings: Mapping[str, tuple[float, float]],
+    classes: Sequence[CaseClass | str] | None = None,
+    method: str = "vectorized",
+) -> TradeoffFrontier:
+    """Evaluate a whole sweep of CADT settings into a trade-off frontier.
+
+    Each setting is a pair of improvement factors ``(fn_factor,
+    fp_factor)`` dividing the machine's failure probability on the
+    cancer-side and healthy-side models respectively — a factor above 1
+    improves that side, below 1 worsens it, which is how a threshold
+    compromise trades false negatives against false positives.
+
+    The vectorized path stacks all settings as rows of two
+    :class:`~repro.engine.posterior.ParameterTable` batches (one per
+    side) and evaluates each side's equation (8) once for the entire
+    sweep; ``method="scalar"`` is the per-setting reference loop, and
+    both return bit-identical operating points.
+
+    Args:
+        model: The two-sided screening model at its baseline setting.
+        settings: Mapping from setting label to ``(fn_factor, fp_factor)``.
+        classes: Classes whose machine failure probability the setting
+            changes; all classes of each side when ``None``.  Must exist
+            on both sides when given.
+        method: ``"vectorized"`` (default) or ``"scalar"``.
+
+    Returns:
+        A :class:`TradeoffFrontier` over one
+        :class:`SystemOperatingPoint` per setting, in ``settings`` order.
+    """
+    if not settings:
+        raise ParameterError("sweep_machine_settings needs at least one setting")
+    labels = list(settings)
+    factor_pairs = [settings[label] for label in labels]
+    for label, pair in zip(labels, factor_pairs):
+        if len(tuple(pair)) != 2:
+            raise ParameterError(
+                f"setting {label!r} must map to (fn_factor, fp_factor), got {pair!r}"
+            )
+    if method == "vectorized":
+        from ..engine.posterior import ParameterTable
+
+        rates: dict[str, np.ndarray] = {}
+        for side, factors, profile in (
+            ("fn", np.asarray([p[0] for p in factor_pairs], dtype=np.float64),
+             model.cancer_profile),
+            ("fp", np.asarray([p[1] for p in factor_pairs], dtype=np.float64),
+             model.healthy_profile),
+        ):
+            side_model = (
+                model.false_negative_model if side == "fn" else model.false_positive_model
+            )
+            table = ParameterTable.from_model_parameters(
+                side_model.parameters, num_rows=len(labels)
+            ).with_machine_improved(factors, classes)
+            rates[side] = table.system_failure_probability(profile)
+        points = [
+            SystemOperatingPoint(
+                label=label,
+                p_false_negative=float(rates["fn"][i]),
+                p_false_positive=float(rates["fp"][i]),
+            )
+            for i, label in enumerate(labels)
+        ]
+        return TradeoffFrontier(points)
+    if method == "scalar":
+        points = []
+        for label, (fn_factor, fp_factor) in zip(labels, factor_pairs):
+            fn = model.false_negative_model.with_machine_improved(
+                fn_factor, classes
+            ).system_failure_probability(model.cancer_profile)
+            fp = model.false_positive_model.with_machine_improved(
+                fp_factor, classes
+            ).system_failure_probability(model.healthy_profile)
+            points.append(
+                SystemOperatingPoint(
+                    label=label, p_false_negative=fn, p_false_positive=fp
+                )
+            )
+        return TradeoffFrontier(points)
+    raise ParameterError(f"method must be 'vectorized' or 'scalar', got {method!r}")

@@ -299,14 +299,39 @@ class UncertainModel:
             )
         )
 
+    def sample_table(
+        self,
+        num_draws: int,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ):
+        """Batched joint posterior draws as an array-backed parameter table.
+
+        Delegates to :func:`repro.engine.posterior.sample_parameter_table`
+        — the kernel's param-major randomness layout — and is the single
+        sampling entry point behind every propagation method below, both
+        vectorized and scalar reference.  See ``docs/uncertainty.md`` for
+        the layout contract.
+        """
+        from ..engine.posterior import sample_parameter_table
+
+        return sample_parameter_table(self, num_draws, rng=rng, seed=seed)
+
     def failure_probability_samples(
         self,
         profile: DemandProfile,
         num_samples: int = 10_000,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
+        method: str = "vectorized",
     ) -> np.ndarray:
         """Posterior samples of the system failure probability under a profile.
+
+        Both methods consume the *same* batched posterior table (one
+        param-major draw per class and parameter), so for a given seed
+        they return bit-identical samples; ``"scalar"`` is the slow
+        reference path that materialises one
+        :class:`~repro.core.sequential.SequentialModel` per draw.
 
         Args:
             profile: Demand profile to evaluate under.
@@ -314,15 +339,22 @@ class UncertainModel:
             rng: Random generator; built from ``seed`` when omitted.
             seed: Seed used when ``rng`` is omitted; leaving both unset
                 draws irreproducible OS entropy.
+            method: ``"vectorized"`` (the array kernel, default) or
+                ``"scalar"`` (the per-draw reference loop).
         """
-        if num_samples <= 0:
-            raise EstimationError(f"num_samples must be positive, got {num_samples!r}")
-        if rng is None:
-            rng = np.random.default_rng(seed)
-        samples = np.empty(num_samples, dtype=float)
-        for i in range(num_samples):
-            samples[i] = self.sample_model(rng).system_failure_probability(profile)
-        return samples
+        table = self.sample_table(num_samples, rng=rng, seed=seed)
+        if method == "vectorized":
+            return table.system_failure_probability(profile)
+        if method == "scalar":
+            samples = np.empty(num_samples, dtype=np.float64)
+            for i in range(num_samples):
+                samples[i] = SequentialModel(table.row(i)).system_failure_probability(
+                    profile
+                )
+            return samples
+        raise EstimationError(
+            f"method must be 'vectorized' or 'scalar', got {method!r}"
+        )
 
     def failure_probability_interval(
         self,
@@ -330,11 +362,26 @@ class UncertainModel:
         level: float = 0.95,
         num_samples: int = 10_000,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
+        method: str = "vectorized",
     ) -> CredibleInterval:
-        """Credible interval for the system failure probability under a profile."""
+        """Credible interval for the system failure probability under a profile.
+
+        Args:
+            profile: Demand profile to evaluate under.
+            level: Credibility level of the equal-tailed interval.
+            num_samples: Number of posterior draws.
+            rng: Random generator; built from ``seed`` when omitted.
+            seed: Seed used when ``rng`` is omitted; leaving both unset
+                draws irreproducible OS entropy.
+            method: ``"vectorized"`` (default) or ``"scalar"``; see
+                :meth:`failure_probability_samples`.
+        """
         if not 0.0 < level < 1.0:
             raise EstimationError(f"credibility level must be in (0, 1), got {level!r}")
-        samples = self.failure_probability_samples(profile, num_samples, rng)
+        samples = self.failure_probability_samples(
+            profile, num_samples, rng=rng, seed=seed, method=method
+        )
         tail = (1.0 - level) / 2.0
         return CredibleInterval(
             lower=float(np.quantile(samples, tail)),
@@ -351,19 +398,33 @@ class UncertainModel:
         num_samples: int = 10_000,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
+        method: str = "vectorized",
     ) -> float:
         """Posterior probability that one design scenario beats another.
 
         For Table-3-style decisions under estimation uncertainty: sample
         the parameter posteriors jointly, apply both candidate transforms
-        to each *same* draw (common random numbers), and count how often
-        the first yields the lower system failure probability.
+        to the *same* draws (common random numbers), and count how often
+        the first yields the lower system failure probability.  Exact
+        ties count as half a win each, so identical scenarios — or a
+        degenerate :meth:`from_point` posterior — score exactly 0.5.
+
+        The vectorized path applies each transform once to the whole
+        array-backed table; transforms that only speak the scalar
+        ``ModelParameters`` protocol (anything beyond the shared
+        ``with_*`` transform methods) fall back transparently to the
+        per-draw reference loop over the same table, preserving both the
+        seed and the result.
 
         Args:
-            first_transform: Callable mapping a
-                :class:`~repro.core.parameters.ModelParameters` draw to the
-                first scenario's parameters (e.g.
-                ``lambda p: p.with_machine_improved(10, ["difficult"])``).
+            first_transform: Callable mapping a parameter table draw to
+                the first scenario's table (e.g.
+                ``lambda p: p.with_machine_improved(10, ["difficult"])``);
+                applied to a
+                :class:`~repro.engine.posterior.ParameterTable` on the
+                vectorized path and to a
+                :class:`~repro.core.parameters.ModelParameters` per draw
+                on the scalar path.
             second_transform: Same for the second scenario; use
                 ``lambda p: p`` for the unimproved baseline.
             profile: Demand profile both scenarios are evaluated under.
@@ -371,28 +432,39 @@ class UncertainModel:
             rng: Random generator; built from ``seed`` when omitted.
             seed: Seed used when ``rng`` is omitted; leaving both unset
                 draws irreproducible OS entropy.
+            method: ``"vectorized"`` (default) or ``"scalar"``.
 
         Returns:
-            ``P(PHf_first < PHf_second | trial data)`` — 0.5 means the data
-            cannot distinguish the scenarios.
+            ``P(PHf_first < PHf_second | trial data)`` plus half the tie
+            mass — 0.5 means the data cannot distinguish the scenarios.
         """
-        if num_samples <= 0:
-            raise EstimationError(f"num_samples must be positive, got {num_samples!r}")
-        if rng is None:
-            rng = np.random.default_rng(seed)
-        wins = 0
-        for _ in range(num_samples):
-            draw = ModelParameters(
-                {
-                    cls: entry.sample_parameters(rng)
-                    for cls, entry in self._by_class.items()
-                }
+        from ..engine.posterior import ParameterTable, scenario_win_probability
+
+        if method not in ("vectorized", "scalar"):
+            raise EstimationError(
+                f"method must be 'vectorized' or 'scalar', got {method!r}"
             )
-            first = SequentialModel(first_transform(draw)).system_failure_probability(
-                profile
-            )
-            second = SequentialModel(
+        table = self.sample_table(num_samples, rng=rng, seed=seed)
+        if method == "vectorized":
+            try:
+                first_table = first_transform(table)
+                second_table = second_transform(table)
+                if isinstance(first_table, ParameterTable) and isinstance(
+                    second_table, ParameterTable
+                ):
+                    return scenario_win_probability(
+                        first_table, second_table, profile
+                    )
+            except (TypeError, AttributeError, NotImplementedError):
+                pass  # scalar-only transform: fall back to the reference loop
+        first_values = np.empty(num_samples, dtype=np.float64)
+        second_values = np.empty(num_samples, dtype=np.float64)
+        for i in range(num_samples):
+            draw = table.row(i)
+            first_values[i] = SequentialModel(
+                first_transform(draw)
+            ).system_failure_probability(profile)
+            second_values[i] = SequentialModel(
                 second_transform(draw)
             ).system_failure_probability(profile)
-            wins += int(first < second)
-        return wins / num_samples
+        return scenario_win_probability(first_values, second_values)

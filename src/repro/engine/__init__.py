@@ -6,6 +6,12 @@ over whole workloads at once, with bit-identical failure counts for
 stateless systems and a transparent scalar fallback for stateful ones
 (fatigue, adaptation, drift).  See ``docs/engine.md`` for the randomness
 layout that makes the equivalence exact.
+
+:mod:`repro.engine.posterior` applies the same playbook to the analytic
+side: array-backed parameter tables that evaluate equation (8) for whole
+batches of posterior draws, tornado perturbations, or setting sweeps in
+one contraction, bit-identical to the scalar model graph.  See
+``docs/uncertainty.md``.
 """
 
 from .arrays import LESION_CODES, CaseArrays
@@ -16,6 +22,12 @@ from .executor import (
     plan_chunks,
     supports_batch,
 )
+from .posterior import (
+    PARAMETER_FIELDS,
+    ParameterTable,
+    sample_parameter_table,
+    scenario_win_probability,
+)
 
 __all__ = [
     "CaseArrays",
@@ -25,4 +37,8 @@ __all__ = [
     "supports_batch",
     "evaluate_system_batch",
     "compare_systems_batch",
+    "PARAMETER_FIELDS",
+    "ParameterTable",
+    "sample_parameter_table",
+    "scenario_win_probability",
 ]

@@ -1,0 +1,444 @@
+"""Array-backed parameter tables: the posterior-propagation kernel.
+
+The analytic hot path of :mod:`repro.core.uncertainty` evaluates
+equation (8) once per posterior draw.  Done naively that means one
+``ClassParameters``/``ModelParameters``/``SequentialModel`` object graph
+— three validated dataclasses and a dict — per draw, 10,000 times per
+credible interval.  Equation (8) is a dot product, so the whole Monte
+Carlo is matrix math: this module holds the per-class parameters of
+*many* tables at once as ``(num_rows, num_classes)`` float64 arrays and
+evaluates all rows in one contraction.
+
+A row is whatever the caller wants a batch over — a joint posterior
+draw (:func:`sample_parameter_table`), a tornado perturbation
+(:func:`repro.analysis.sensitivity.tornado`), or a machine-setting
+sweep (:func:`repro.core.tradeoff.sweep_machine_settings`).
+
+**Randomness layout contract** (the bit-equality seam, PR 1's playbook):
+:func:`sample_parameter_table` draws *param-major* — for each case class
+in sorted order, for each of the three parameters in
+:data:`PARAMETER_FIELDS` order, one batched ``rng.beta(alpha, beta,
+size=num_draws)`` call.  The scalar reference paths consume **rows of
+the same table** instead of re-drawing, so scalar and vectorized results
+are bit-identical, not merely statistically equivalent.  The evaluation
+side of the contract lives in
+:meth:`~repro.core.sequential.SequentialModel.system_failure_probability`,
+which accumulates class contributions left-to-right in sorted-class
+order — exactly the loop :meth:`ParameterTable.system_failure_probability`
+replays elementwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from .._validation import PROBABILITY_ATOL, check_positive, check_probability
+from ..core.case_class import CaseClass
+from ..core.parameters import ClassParameters, ModelParameters
+from ..core.profile import DemandProfile
+from ..exceptions import EstimationError, ParameterError, ProbabilityError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..core.uncertainty import UncertainModel
+
+__all__ = [
+    "PARAMETER_FIELDS",
+    "ParameterTable",
+    "sample_parameter_table",
+    "scenario_win_probability",
+]
+
+ClassKey = CaseClass | str
+
+#: The three per-class parameters, in the canonical (storage, sampling,
+#: and reporting) order.
+PARAMETER_FIELDS: tuple[str, str, str] = (
+    "p_machine_failure",
+    "p_human_failure_given_machine_failure",
+    "p_human_failure_given_machine_success",
+)
+
+
+def _as_case_class(key: ClassKey) -> CaseClass:
+    if isinstance(key, CaseClass):
+        return key
+    if isinstance(key, str):
+        return CaseClass(key)
+    raise TypeError(f"table keys must be CaseClass or str, got {type(key).__name__}")
+
+
+def _checked_probability_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Array mirror of :func:`repro._validation.check_probability`.
+
+    Same tolerance, same clipping: values within ``PROBABILITY_ATOL`` of
+    an endpoint are clipped onto it, anything further out raises.  The
+    mirroring is what keeps an array transform bit-identical to the
+    scalar ``check_probability`` call it replaces.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(values)):
+        raise ProbabilityError(f"{name} must be finite")
+    if np.any(values < -PROBABILITY_ATOL) or np.any(values > 1.0 + PROBABILITY_ATOL):
+        bad = values[(values < -PROBABILITY_ATOL) | (values > 1.0 + PROBABILITY_ATOL)]
+        raise ProbabilityError(
+            f"{name} must lie in [0, 1], got {float(bad.flat[0])!r}"
+        )
+    return np.clip(values, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class ParameterTable:
+    """Many per-class parameter tables as a struct of arrays.
+
+    Row ``i``, column ``j`` of every array is the value of that parameter
+    for table variant ``i`` and class ``classes[j]``.  All three arrays
+    share one ``(num_rows, num_classes)`` float64 shape, and ``classes``
+    is sorted — the same canonical order
+    :class:`~repro.core.parameters.ModelParameters` uses.
+
+    The transform methods mirror ``ModelParameters``'s by name and
+    signature, so a callable like ``lambda p: p.with_machine_improved(10,
+    ["difficult"])`` works unchanged on either representation — that is
+    the array-transform protocol ``probability_scenario_beats`` relies
+    on for common-random-number scenario comparison.
+
+    Attributes:
+        classes: The case classes, sorted; one per column.
+        p_machine_failure: ``PMf`` values, ``float64[num_rows, num_classes]``.
+        p_human_failure_given_machine_failure: ``PHf|Mf`` values.
+        p_human_failure_given_machine_success: ``PHf|Ms`` values.
+    """
+
+    classes: tuple[CaseClass, ...]
+    p_machine_failure: np.ndarray
+    p_human_failure_given_machine_failure: np.ndarray
+    p_human_failure_given_machine_success: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ParameterError("ParameterTable needs at least one class")
+        if list(self.classes) != sorted(set(self.classes)):
+            raise ParameterError("ParameterTable classes must be sorted and unique")
+        shape = np.shape(self.p_machine_failure)
+        for name in PARAMETER_FIELDS:
+            values = np.asarray(getattr(self, name), dtype=np.float64)
+            if values.ndim != 2:
+                raise ParameterError(
+                    f"ParameterTable field {name!r} must be 2-D, got {values.ndim}-D"
+                )
+            if values.shape != shape:
+                raise ParameterError(
+                    f"ParameterTable field {name!r} has shape {values.shape}, "
+                    f"expected {shape}"
+                )
+            object.__setattr__(self, name, values)
+        if shape[1] != len(self.classes):
+            raise ParameterError(
+                f"ParameterTable has {len(self.classes)} classes but "
+                f"{shape[1]} parameter columns"
+            )
+
+    # -- shape and lookup ----------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of table variants (posterior draws, perturbations, ...)."""
+        return int(self.p_machine_failure.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of case classes (columns)."""
+        return len(self.classes)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def class_index(self, key: ClassKey) -> int:
+        """Column index of one class (raises ParameterError if unknown)."""
+        cls = _as_case_class(key)
+        try:
+            return self.classes.index(cls)
+        except ValueError:
+            raise ParameterError(f"no parameters for case class {cls.name!r}") from None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_model_parameters(
+        cls, parameters: ModelParameters, num_rows: int = 1
+    ) -> "ParameterTable":
+        """Broadcast one scalar parameter table to ``num_rows`` identical rows."""
+        if num_rows <= 0:
+            raise ParameterError(f"num_rows must be positive, got {num_rows!r}")
+        classes = parameters.classes
+        columns = {
+            name: np.array(
+                [[getattr(parameters[c], name) for c in classes]], dtype=np.float64
+            ).repeat(num_rows, axis=0)
+            for name in PARAMETER_FIELDS
+        }
+        return cls(classes=classes, **columns)
+
+    def row(self, index: int) -> ModelParameters:
+        """Materialise one row as the scalar ``ModelParameters`` object graph.
+
+        This is how the scalar reference paths consume the shared table:
+        same draws, per-row objects, so the evaluation is the only thing
+        the equivalence suite compares.
+        """
+        if not 0 <= index < self.num_rows:
+            raise ParameterError(
+                f"row {index!r} out of range for {self.num_rows} rows"
+            )
+        return ModelParameters(
+            {
+                cls: ClassParameters(
+                    p_machine_failure=float(self.p_machine_failure[index, j]),
+                    p_human_failure_given_machine_failure=float(
+                        self.p_human_failure_given_machine_failure[index, j]
+                    ),
+                    p_human_failure_given_machine_success=float(
+                        self.p_human_failure_given_machine_success[index, j]
+                    ),
+                )
+                for j, cls in enumerate(self.classes)
+            }
+        )
+
+    def _replace(self, **columns: np.ndarray) -> "ParameterTable":
+        merged = {name: getattr(self, name) for name in PARAMETER_FIELDS}
+        merged.update(columns)
+        return ParameterTable(classes=self.classes, **merged)
+
+    # -- transforms (the ModelParameters-mirroring protocol) -----------------
+
+    def with_machine_improved(
+        self,
+        factor: float | np.ndarray,
+        classes: Iterable[ClassKey] | None = None,
+    ) -> "ParameterTable":
+        """Divide ``PMf`` by ``factor`` on selected classes, rowwise.
+
+        Args:
+            factor: Improvement factor (> 1 reduces machine failures); a
+                scalar applies to every row, a ``(num_rows,)`` array gives
+                each row its own factor (machine-setting sweeps).
+            classes: Classes to improve; all classes when ``None``.
+        """
+        if np.ndim(factor) == 0:
+            factor = check_positive(float(np.asarray(factor)), "improvement factor")
+            per_row = np.float64(factor)
+        else:
+            factors = np.asarray(factor, dtype=np.float64)
+            if factors.shape != (self.num_rows,):
+                raise ParameterError(
+                    f"per-row factors must have shape ({self.num_rows},), "
+                    f"got {factors.shape}"
+                )
+            if not np.all(np.isfinite(factors)) or np.any(factors <= 0.0):
+                raise ProbabilityError(
+                    "improvement factor must be finite and positive"
+                )
+            per_row = factors[:, np.newaxis]
+        if classes is None:
+            targets = set(self.classes)
+        else:
+            targets = {_as_case_class(c) for c in classes}
+        missing = targets - set(self.classes)
+        if missing:
+            names = ", ".join(sorted(c.name for c in missing))
+            raise ParameterError(f"cannot improve unknown classes: {names}")
+        mask = np.array([cls in targets for cls in self.classes])
+        improved = self.p_machine_failure.copy()
+        improved[:, mask] = _checked_probability_array(
+            (self.p_machine_failure / per_row)[:, mask], "p_machine_failure"
+        )
+        return self._replace(p_machine_failure=improved)
+
+    def with_machine_failure(
+        self, key: ClassKey, p_machine_failure: float
+    ) -> "ParameterTable":
+        """Set ``PMf`` of one class to an absolute value on every row."""
+        p_machine_failure = check_probability(p_machine_failure, "p_machine_failure")
+        column = self.class_index(key)
+        values = self.p_machine_failure.copy()
+        values[:, column] = p_machine_failure
+        return self._replace(p_machine_failure=values)
+
+    def with_reader_shift(
+        self,
+        key: ClassKey,
+        delta_given_machine_failure: float = 0.0,
+        delta_given_machine_success: float = 0.0,
+    ) -> "ParameterTable":
+        """Shift one class's reader conditionals on every row.
+
+        The shifted values are validated like the scalar
+        :meth:`~repro.core.parameters.ClassParameters.with_reader_shift`:
+        shifts that leave ``[0, 1]`` (beyond tolerance) raise.
+        """
+        column = self.class_index(key)
+        given_failure = self.p_human_failure_given_machine_failure.copy()
+        given_failure[:, column] = _checked_probability_array(
+            given_failure[:, column] + delta_given_machine_failure,
+            "p_human_failure_given_machine_failure",
+        )
+        given_success = self.p_human_failure_given_machine_success.copy()
+        given_success[:, column] = _checked_probability_array(
+            given_success[:, column] + delta_given_machine_success,
+            "p_human_failure_given_machine_success",
+        )
+        return self._replace(
+            p_human_failure_given_machine_failure=given_failure,
+            p_human_failure_given_machine_success=given_success,
+        )
+
+    def with_class_parameters(
+        self, key: ClassKey, parameters: ClassParameters
+    ) -> "ParameterTable":
+        """Replace (or add) one class's parameter triple on every row."""
+        cls = _as_case_class(key)
+        if cls in self.classes:
+            columns = {}
+            j = self.class_index(cls)
+            for name in PARAMETER_FIELDS:
+                values = getattr(self, name).copy()
+                values[:, j] = getattr(parameters, name)
+                columns[name] = values
+            return self._replace(**columns)
+        classes = tuple(sorted((*self.classes, cls)))
+        insert_at = classes.index(cls)
+        columns = {
+            name: np.insert(
+                getattr(self, name), insert_at, getattr(parameters, name), axis=1
+            )
+            for name in PARAMETER_FIELDS
+        }
+        return ParameterTable(classes=classes, **columns)
+
+    # -- evaluation (equation 8, all rows at once) ---------------------------
+
+    def class_failure_probability(self) -> np.ndarray:
+        """``PHf|Ms(x)·PMs(x) + PHf|Mf(x)·PMf(x)`` for every (row, class).
+
+        Elementwise the same expression, in the same operation order, as
+        :attr:`~repro.core.parameters.ClassParameters.p_system_failure` —
+        part of the bit-equality contract with the scalar path.
+        """
+        return (
+            self.p_human_failure_given_machine_success
+            * (1.0 - self.p_machine_failure)
+            + self.p_human_failure_given_machine_failure * self.p_machine_failure
+        )
+
+    def system_failure_probability(self, profile: DemandProfile) -> np.ndarray:
+        """Equation (8) for every row under ``profile`` — one ``float64[num_rows]``.
+
+        Accumulates ``p(x) * PHf(x)`` left-to-right over the profile's
+        sorted classes, skipping zero weights: the elementwise replay of
+        the scalar
+        :meth:`~repro.core.sequential.SequentialModel.system_failure_probability`
+        loop, which is what makes the two paths bit-identical.
+        """
+        known = set(self.classes)
+        missing = [cls for cls in profile.support if cls not in known]
+        if missing:
+            names = ", ".join(sorted(c.name for c in missing))
+            raise ParameterError(f"profile mentions classes without parameters: {names}")
+        per_class = self.class_failure_probability()
+        total = np.zeros(self.num_rows, dtype=np.float64)
+        for cls, weight in profile.items():
+            if weight <= 0.0:
+                continue
+            total += weight * per_class[:, self.class_index(cls)]
+        return total
+
+
+def sample_parameter_table(
+    model: "UncertainModel",
+    num_draws: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> ParameterTable:
+    """One joint posterior sample of the whole parameter table, batched.
+
+    This is the kernel's randomness layout contract: draws are
+    *param-major* — for each case class in sorted order, for each
+    parameter in :data:`PARAMETER_FIELDS` order, one batched
+    ``rng.beta(alpha, beta, size=num_draws)`` call fills that column.
+    Every consumer (vectorized and scalar reference alike) shares one
+    table drawn this way, which is what makes seeded results identical
+    across paths.
+
+    Args:
+        model: The :class:`~repro.core.uncertainty.UncertainModel` whose
+            per-class Beta posteriors are sampled.
+        num_draws: Number of rows (joint posterior draws).
+        rng: Random generator; built from ``seed`` when omitted.
+        seed: Seed used when ``rng`` is omitted; leaving both unset draws
+            irreproducible OS entropy.
+    """
+    if num_draws <= 0:
+        raise EstimationError(f"num_draws must be positive, got {num_draws!r}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    classes = tuple(model.classes)
+    columns: dict[str, list[np.ndarray]] = {name: [] for name in PARAMETER_FIELDS}
+    for cls in classes:
+        entry = model[cls]
+        for name in PARAMETER_FIELDS:
+            posterior = getattr(entry, name)
+            columns[name].append(
+                rng.beta(posterior.alpha, posterior.beta, size=num_draws)
+            )
+    return ParameterTable(
+        classes=classes,
+        **{
+            name: np.column_stack(drawn).astype(np.float64, copy=False)
+            for name, drawn in columns.items()
+        },
+    )
+
+
+def scenario_win_probability(
+    first: ParameterTable | np.ndarray,
+    second: ParameterTable | np.ndarray,
+    profile: DemandProfile | None = None,
+) -> float:
+    """Fraction of rows where the first scenario strictly beats the second.
+
+    Exact ties count as half a win for each side, so two identical
+    scenarios — or a degenerate posterior that cannot distinguish them —
+    score exactly 0.5 ("the data cannot tell them apart").  By the same
+    accounting, ``P(A beats B) + P(B beats A) = 1`` holds exactly.
+
+    Args:
+        first: The first scenario's table (evaluated under ``profile``),
+            or an already-evaluated ``float64[num_rows]`` sample vector.
+        second: Same for the second scenario; must be the *same draws*
+            (common random numbers) for the comparison to be paired.
+        profile: Demand profile; required when tables are passed.
+    """
+    if isinstance(first, ParameterTable):
+        if profile is None:
+            raise EstimationError("profile is required when passing tables")
+        first_values = first.system_failure_probability(profile)
+    else:
+        first_values = np.asarray(first, dtype=np.float64)
+    if isinstance(second, ParameterTable):
+        if profile is None:
+            raise EstimationError("profile is required when passing tables")
+        second_values = second.system_failure_probability(profile)
+    else:
+        second_values = np.asarray(second, dtype=np.float64)
+    if first_values.shape != second_values.shape or first_values.ndim != 1:
+        raise EstimationError(
+            f"sample vectors must share one 1-D shape, got "
+            f"{first_values.shape} and {second_values.shape}"
+        )
+    wins = int(np.count_nonzero(first_values < second_values))
+    ties = int(np.count_nonzero(first_values == second_values))
+    return (wins + 0.5 * ties) / first_values.shape[0]

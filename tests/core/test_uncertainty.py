@@ -6,10 +6,8 @@ import pytest
 from repro.core import (
     PAPER_TRIAL_PROFILE,
     BetaPosterior,
-    ClassParameters,
     CredibleInterval,
     DemandProfile,
-    ModelParameters,
     SequentialModel,
     UncertainClassParameters,
     UncertainModel,
@@ -241,8 +239,40 @@ class TestScenarioComparison:
             num_samples=500,
             rng=rng,
         )
-        # Identical transforms give identical values: never strictly less.
-        assert probability == 0.0
+        # Identical transforms give identical values on every draw; exact
+        # ties count as half a win each, so the answer is exactly 0.5 —
+        # "the data cannot tell the scenarios apart" — rather than the
+        # misleading 0.0 that strict-win counting used to report.
+        assert probability == 0.5
+
+    def test_degenerate_posterior_cannot_distinguish_scenarios(self, rng):
+        """A from_point posterior compares near-identical draws: exactly 0.5."""
+        model = UncertainModel.from_point(paper_example_parameters())
+        probability = model.probability_scenario_beats(
+            lambda p: p,
+            lambda p: p,
+            PAPER_TRIAL_PROFILE,
+            num_samples=200,
+            rng=rng,
+        )
+        assert probability == 0.5
+
+    def test_interval_is_reproducible_with_seed(self, uncertain_paper_model):
+        first = uncertain_paper_model.failure_probability_interval(
+            PAPER_TRIAL_PROFILE, num_samples=400, seed=123
+        )
+        second = uncertain_paper_model.failure_probability_interval(
+            PAPER_TRIAL_PROFILE, num_samples=400, seed=123
+        )
+        assert (first.lower, first.upper, first.mean) == (
+            second.lower,
+            second.upper,
+            second.mean,
+        )
+        different = uncertain_paper_model.failure_probability_interval(
+            PAPER_TRIAL_PROFILE, num_samples=400, seed=124
+        )
+        assert (different.lower, different.upper) != (first.lower, first.upper)
 
     def test_any_improvement_beats_baseline(self, uncertain_paper_model, rng):
         probability = uncertain_paper_model.probability_scenario_beats(

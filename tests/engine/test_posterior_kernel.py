@@ -1,0 +1,267 @@
+"""Tests for repro.engine.posterior (the array-backed parameter-table kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_TRIAL_PROFILE,
+    CaseClass,
+    ClassParameters,
+    DemandProfile,
+    SequentialModel,
+    UncertainModel,
+    paper_example_parameters,
+)
+from repro.engine import (
+    PARAMETER_FIELDS,
+    ParameterTable,
+    sample_parameter_table,
+    scenario_win_probability,
+)
+from repro.exceptions import EstimationError, ParameterError, ProbabilityError
+
+
+@pytest.fixture
+def paper_table():
+    return ParameterTable.from_model_parameters(paper_example_parameters(), num_rows=4)
+
+
+class TestConstruction:
+    def test_from_model_parameters_broadcasts(self, paper_table):
+        assert paper_table.num_rows == 4
+        assert paper_table.num_classes == 2
+        assert len(paper_table) == 4
+        for name in PARAMETER_FIELDS:
+            values = getattr(paper_table, name)
+            assert values.shape == (4, 2)
+            assert values.dtype == np.float64
+            # every row is the broadcast of the same scalar table
+            assert np.array_equal(values, np.tile(values[0], (4, 1)))
+
+    def test_classes_are_sorted(self, paper_table):
+        assert paper_table.classes == tuple(sorted(paper_table.classes))
+        assert paper_table.class_index("difficult") == 0
+        assert paper_table.class_index("easy") == 1
+
+    def test_unknown_class_index(self, paper_table):
+        with pytest.raises(ParameterError):
+            paper_table.class_index("venus")
+
+    def test_rejects_bad_shapes(self):
+        good = np.zeros((3, 1))
+        with pytest.raises(ParameterError):
+            ParameterTable(
+                classes=(CaseClass("only"),),
+                p_machine_failure=np.zeros(3),  # 1-D
+                p_human_failure_given_machine_failure=good,
+                p_human_failure_given_machine_success=good,
+            )
+        with pytest.raises(ParameterError):
+            ParameterTable(
+                classes=(CaseClass("only"),),
+                p_machine_failure=np.zeros((2, 1)),  # mismatched rows
+                p_human_failure_given_machine_failure=good,
+                p_human_failure_given_machine_success=good,
+            )
+
+    def test_rejects_unsorted_or_duplicate_classes(self):
+        values = np.zeros((1, 2))
+        with pytest.raises(ParameterError):
+            ParameterTable(
+                classes=(CaseClass("easy"), CaseClass("difficult")),  # unsorted
+                p_machine_failure=values,
+                p_human_failure_given_machine_failure=values,
+                p_human_failure_given_machine_success=values,
+            )
+        with pytest.raises(ParameterError):
+            ParameterTable(
+                classes=(CaseClass("easy"), CaseClass("easy")),
+                p_machine_failure=values,
+                p_human_failure_given_machine_failure=values,
+                p_human_failure_given_machine_success=values,
+            )
+
+    def test_rejects_column_count_mismatch(self):
+        values = np.zeros((1, 3))
+        with pytest.raises(ParameterError):
+            ParameterTable(
+                classes=(CaseClass("a"), CaseClass("b")),
+                p_machine_failure=values,
+                p_human_failure_given_machine_failure=values,
+                p_human_failure_given_machine_success=values,
+            )
+
+    def test_bad_num_rows(self):
+        with pytest.raises(ParameterError):
+            ParameterTable.from_model_parameters(paper_example_parameters(), num_rows=0)
+
+
+class TestRowMaterialisation:
+    def test_row_roundtrips_the_scalar_table(self, paper_table):
+        parameters = paper_example_parameters()
+        for i in range(paper_table.num_rows):
+            row = paper_table.row(i)
+            assert row == parameters
+
+    def test_row_out_of_range(self, paper_table):
+        with pytest.raises(ParameterError):
+            paper_table.row(4)
+        with pytest.raises(ParameterError):
+            paper_table.row(-1)
+
+
+class TestTransforms:
+    def test_machine_improved_scalar_factor(self, paper_table):
+        improved = paper_table.with_machine_improved(10.0, ["difficult"])
+        j = paper_table.class_index("difficult")
+        assert np.array_equal(
+            improved.p_machine_failure[:, j], paper_table.p_machine_failure[:, j] / 10.0
+        )
+        k = paper_table.class_index("easy")
+        assert np.array_equal(
+            improved.p_machine_failure[:, k], paper_table.p_machine_failure[:, k]
+        )
+
+    def test_machine_improved_per_row_factors(self, paper_table):
+        factors = np.array([1.0, 2.0, 4.0, 8.0])
+        improved = paper_table.with_machine_improved(factors)
+        assert np.array_equal(
+            improved.p_machine_failure,
+            paper_table.p_machine_failure / factors[:, np.newaxis],
+        )
+
+    def test_machine_improved_matches_scalar_transform(self, paper_table):
+        improved = paper_table.with_machine_improved(3.0)
+        scalar = paper_example_parameters().with_machine_improved(3.0)
+        assert improved.row(0) == scalar
+
+    def test_machine_improved_rejects_unknown_class(self, paper_table):
+        with pytest.raises(ParameterError, match="cannot improve unknown classes"):
+            paper_table.with_machine_improved(10.0, ["venus"])
+
+    def test_machine_improved_rejects_bad_factors(self, paper_table):
+        with pytest.raises(ProbabilityError):
+            paper_table.with_machine_improved(np.array([1.0, -1.0, 1.0, 1.0]))
+        with pytest.raises(ParameterError):
+            paper_table.with_machine_improved(np.array([1.0, 2.0]))  # wrong shape
+        # a factor below one worsens the machine; leaving [0, 1] raises
+        with pytest.raises(ProbabilityError):
+            paper_table.with_machine_improved(1e-3)
+
+    def test_with_machine_failure(self, paper_table):
+        changed = paper_table.with_machine_failure("easy", 0.5)
+        j = paper_table.class_index("easy")
+        assert np.all(changed.p_machine_failure[:, j] == 0.5)
+        scalar = paper_example_parameters()
+        assert changed.row(0) == scalar.with_class(
+            "easy", scalar["easy"].with_machine_failure(0.5)
+        )
+
+    def test_with_reader_shift(self, paper_table):
+        shifted = paper_table.with_reader_shift("difficult", 0.05, -0.1)
+        scalar = paper_example_parameters()
+        assert shifted.row(0) == scalar.with_class(
+            "difficult", scalar["difficult"].with_reader_shift(0.05, -0.1)
+        )
+
+    def test_with_reader_shift_validates(self, paper_table):
+        with pytest.raises(ProbabilityError):
+            paper_table.with_reader_shift("difficult", 0.5)  # 0.9 + 0.5 > 1
+
+    def test_with_class_parameters_replaces(self, paper_table):
+        triple = ClassParameters(0.1, 0.2, 0.3)
+        replaced = paper_table.with_class_parameters("easy", triple)
+        assert replaced.classes == paper_table.classes
+        assert replaced.row(0) == paper_example_parameters().with_class("easy", triple)
+
+    def test_with_class_parameters_inserts_sorted(self, paper_table):
+        triple = ClassParameters(0.1, 0.2, 0.3)
+        extended = paper_table.with_class_parameters("average", triple)
+        assert extended.num_classes == 3
+        assert extended.classes == tuple(sorted(extended.classes))
+        assert extended.row(0) == paper_example_parameters().with_class("average", triple)
+
+    def test_transforms_do_not_mutate(self, paper_table):
+        before = paper_table.p_machine_failure.copy()
+        paper_table.with_machine_improved(10.0)
+        paper_table.with_machine_failure("easy", 0.5)
+        paper_table.with_reader_shift("easy", 0.01)
+        assert np.array_equal(paper_table.p_machine_failure, before)
+
+
+class TestEvaluation:
+    def test_matches_sequential_model(self, paper_table):
+        model = SequentialModel(paper_example_parameters())
+        expected = model.system_failure_probability(PAPER_TRIAL_PROFILE)
+        values = paper_table.system_failure_probability(PAPER_TRIAL_PROFILE)
+        assert values.shape == (4,)
+        assert np.all(values == expected)
+
+    def test_missing_class_raises(self, paper_table):
+        profile = DemandProfile({"easy": 0.5, "venus": 0.5})
+        with pytest.raises(ParameterError, match="without parameters"):
+            paper_table.system_failure_probability(profile)
+
+    def test_zero_weight_classes_are_skipped(self):
+        # A profile whose support omits a class the table has.
+        table = ParameterTable.from_model_parameters(paper_example_parameters())
+        profile = DemandProfile({"easy": 1.0})
+        expected = SequentialModel(
+            paper_example_parameters()
+        ).system_failure_probability(profile)
+        assert table.system_failure_probability(profile)[0] == expected
+
+
+class TestSampling:
+    def test_param_major_layout(self):
+        """The documented randomness contract: column draws in class-major,
+
+        then PARAMETER_FIELDS order, one batched beta call each."""
+        model = UncertainModel.from_point(paper_example_parameters())
+        table = sample_parameter_table(model, 16, seed=99)
+        rng = np.random.default_rng(99)
+        for j, cls in enumerate(table.classes):
+            entry = model[cls]
+            for name in PARAMETER_FIELDS:
+                posterior = getattr(entry, name)
+                expected = rng.beta(posterior.alpha, posterior.beta, size=16)
+                assert np.array_equal(getattr(table, name)[:, j], expected)
+
+    def test_same_seed_same_table(self):
+        model = UncertainModel.from_point(paper_example_parameters())
+        first = sample_parameter_table(model, 8, seed=5)
+        second = sample_parameter_table(model, 8, seed=5)
+        for name in PARAMETER_FIELDS:
+            assert np.array_equal(getattr(first, name), getattr(second, name))
+
+    def test_bad_draw_count(self):
+        model = UncertainModel.from_point(paper_example_parameters())
+        with pytest.raises(EstimationError):
+            sample_parameter_table(model, 0)
+
+
+class TestWinProbability:
+    def test_strict_wins(self):
+        first = np.array([0.1, 0.2, 0.3])
+        second = np.array([0.2, 0.3, 0.4])
+        assert scenario_win_probability(first, second) == 1.0
+        assert scenario_win_probability(second, first) == 0.0
+
+    def test_ties_count_half(self):
+        first = np.array([0.1, 0.2, 0.3, 0.4])
+        second = np.array([0.1, 0.2, 0.5, 0.3])
+        # one strict win, two exact ties -> (1 + 0.5 * 2) / 4
+        assert scenario_win_probability(first, second) == 0.5
+
+    def test_tables_need_a_profile(self):
+        table = ParameterTable.from_model_parameters(paper_example_parameters())
+        with pytest.raises(EstimationError):
+            scenario_win_probability(table, table)
+
+    def test_tables_with_profile(self):
+        table = ParameterTable.from_model_parameters(paper_example_parameters())
+        assert scenario_win_probability(table, table, PAPER_TRIAL_PROFILE) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            scenario_win_probability(np.zeros(3), np.zeros(4))

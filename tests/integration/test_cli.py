@@ -134,6 +134,40 @@ class TestSensitivityCommand:
         assert code == 0
 
 
+class TestUncertaintyCommand:
+    def test_interval_printed(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "uncertainty",
+            "--level", "0.95",
+            "--draws", "2000",
+            "--seed", "7",
+        )
+        assert code == 0
+        assert "95% credible interval" in out
+        assert "draws/s" in out
+        # The field-profile interval brackets the paper's 0.189 prediction.
+        assert "mean 0.1" in out
+
+    def test_seed_makes_output_reproducible(self, capsys):
+        _, first, _ = run_cli(capsys, "uncertainty", "--draws", "500", "--seed", "3")
+        _, second, _ = run_cli(capsys, "uncertainty", "--draws", "500", "--seed", "3")
+        # Everything except the timing line must match exactly.
+        assert first.splitlines()[:2] == second.splitlines()[:2]
+
+    def test_trial_profile(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "uncertainty", "--profile", "trial", "--draws", "500"
+        )
+        assert code == 0
+        assert "profile 'trial'" in out
+
+    def test_invalid_trials_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "uncertainty", "--trials", "0")
+        assert code == 1
+        assert "--trials" in err
+
+
 class TestMonitorCommand:
     def test_monitor_stable_records(self, capsys, tmp_path):
         import numpy as np
