@@ -138,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="processes for the batch engine (>1 requires --seed)",
+        help="processes for the batch engine (>1 shares one runtime pool)",
     )
     simulate.add_argument(
         "--chunk-size", type=int, default=None, help="batch engine cases per chunk"
@@ -170,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pseudo trial readings per class behind each parameter's Beta posterior",
     )
     uncertainty.add_argument("--seed", type=int, default=0, help="sampling seed")
+    uncertainty.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the study-grid evaluation (same interval either way)",
+    )
 
     monitor = subparsers.add_parser(
         "monitor", help="drift monitoring of field records against a model"
@@ -368,7 +374,7 @@ def _command_simulate(args: argparse.Namespace) -> None:
     import time
 
     from .cadt import Cadt, DetectionAlgorithm
-    from .engine import DEFAULT_CHUNK_SIZE, evaluate_system_batch
+    from .engine import DEFAULT_CHUNK_SIZE, EngineRuntime, evaluate_system_batch
     from .reader import MILD_BIAS, NO_BIAS, STRONG_BIAS, ReaderModel, ReaderSkill
     from .screening import (
         SubtletyClassifier,
@@ -406,37 +412,51 @@ def _command_simulate(args: argparse.Namespace) -> None:
         )
 
     classifier = SubtletyClassifier()
+    # One persistent runtime serves every system: the pool, the published
+    # workload, and the label cache are shared across the loop.  The
+    # seeded results are identical to the per-call path (same chunking,
+    # same chunk generators).
+    runtime = (
+        EngineRuntime(workers=args.workers)
+        if args.engine == "batch" and args.workers > 1
+        else None
+    )
     rows = []
-    for system in systems:
-        start = time.perf_counter()
-        if args.engine == "batch":
-            evaluation = evaluate_system_batch(
-                system,
-                workload,
-                classifier,
-                seed=args.seed + 3,
-                workers=args.workers,
-                chunk_size=(
-                    args.chunk_size
-                    if args.chunk_size is not None
-                    else DEFAULT_CHUNK_SIZE
-                ),
+    try:
+        for system in systems:
+            start = time.perf_counter()
+            if args.engine == "batch":
+                evaluation = evaluate_system_batch(
+                    system,
+                    workload,
+                    classifier,
+                    seed=args.seed + 3,
+                    workers=args.workers,
+                    chunk_size=(
+                        args.chunk_size
+                        if args.chunk_size is not None
+                        else DEFAULT_CHUNK_SIZE
+                    ),
+                    runtime=runtime,
+                )
+            else:
+                evaluation = evaluate_system(
+                    system, workload, classifier, seed=args.seed + 3
+                )
+            elapsed = time.perf_counter() - start
+            fn = evaluation.false_negative
+            fp = evaluation.false_positive
+            rows.append(
+                [
+                    system.name,
+                    f"{fn.rate:.4f} ({fn.failures}/{fn.trials})" if fn else "-",
+                    f"{fp.rate:.4f} ({fp.failures}/{fp.trials})" if fp else "-",
+                    f"{len(workload) / elapsed:,.0f}",
+                ]
             )
-        else:
-            evaluation = evaluate_system(
-                system, workload, classifier, seed=args.seed + 3
-            )
-        elapsed = time.perf_counter() - start
-        fn = evaluation.false_negative
-        fp = evaluation.false_positive
-        rows.append(
-            [
-                system.name,
-                f"{fn.rate:.4f} ({fn.failures}/{fn.trials})" if fn else "-",
-                f"{fp.rate:.4f} ({fp.failures}/{fp.trials})" if fp else "-",
-                f"{len(workload) / elapsed:,.0f}",
-            ]
-        )
+    finally:
+        if runtime is not None:
+            runtime.close()
     print(
         f"workload: {args.population}, {len(workload)} cases "
         f"({workload.cancer_fraction:.1%} cancers); engine: {args.engine}"
@@ -471,9 +491,28 @@ def _command_uncertainty(args: argparse.Namespace) -> None:
         }
     )
     start = time.perf_counter()
-    interval = uncertain.failure_probability_interval(
-        profile, level=args.level, num_samples=args.draws, seed=args.seed
-    )
+    if getattr(args, "workers", 1) > 1:
+        # Route through the extrapolation-study grid on a shared
+        # runtime.  The baseline scenario is a no-op transform and the
+        # interval formulas coincide, so the numbers are bit-identical
+        # to failure_probability_interval below.
+        from .core import ExtrapolationStudy
+        from .engine import EngineRuntime
+
+        study = ExtrapolationStudy(parameters, {args.profile: profile})
+        with EngineRuntime(workers=args.workers) as runtime:
+            intervals = study.credible_intervals(
+                uncertain,
+                level=args.level,
+                num_draws=args.draws,
+                seed=args.seed,
+                runtime=runtime,
+            )
+        interval = intervals[(ExtrapolationStudy.BASELINE_NAME, args.profile)]
+    else:
+        interval = uncertain.failure_probability_interval(
+            profile, level=args.level, num_samples=args.draws, seed=args.seed
+        )
     elapsed = time.perf_counter() - start
     print(
         f"profile {args.profile!r}: {args.level:.0%} credible interval for "

@@ -30,6 +30,7 @@ from .uncertainty import CredibleInterval, UncertainModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..engine.posterior import ParameterTable
+    from ..engine.runtime import EngineRuntime
 
 __all__ = [
     "Change",
@@ -329,6 +330,31 @@ class StudyResult:
         return tuple(seen)
 
 
+def _study_cell_samples(
+    job: "tuple[Scenario, DemandProfile, ParameterTable]",
+) -> np.ndarray:
+    """Failure-probability samples for one (scenario, profile) study cell.
+
+    Module-level so an :class:`~repro.engine.runtime.EngineRuntime` can
+    pickle it into pool workers; the serial path calls it directly, so
+    both paths run literally the same code per cell.
+    """
+    scenario, profile, table = job
+    try:
+        cell_table, cell_profile = scenario.apply_arrays(table, profile)
+        return np.asarray(
+            cell_table.system_failure_probability(cell_profile), dtype=np.float64
+        )
+    except NotImplementedError:
+        samples = np.empty(len(table), dtype=np.float64)
+        for i in range(len(table)):
+            parameters, cell_profile = scenario.apply(table.row(i), profile)
+            samples[i] = SequentialModel(parameters).system_failure_probability(
+                cell_profile
+            )
+        return samples
+
+
 class ExtrapolationStudy:
     """A baseline model, a set of demand profiles, and candidate scenarios.
 
@@ -406,6 +432,7 @@ class ExtrapolationStudy:
         num_draws: int = 10_000,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
+        runtime: "EngineRuntime | None" = None,
     ) -> dict[tuple[str, str], CredibleInterval]:
         """Credible intervals for every (scenario, profile) cell of the study.
 
@@ -428,6 +455,12 @@ class ExtrapolationStudy:
             rng: Random generator; built from ``seed`` when omitted.
             seed: Seed used when ``rng`` is omitted; leaving both unset
                 draws irreproducible OS entropy.
+            runtime: An :class:`~repro.engine.runtime.EngineRuntime` to
+                fan the grid cells out over.  The per-cell computation
+                is unchanged — every cell still sees the same shared
+                posterior table — so results are identical with or
+                without one; the runtime only parallelises and reuses
+                its persistent pool across repeated studies.
 
         Returns:
             Mapping from ``(scenario name, profile name)`` to the
@@ -438,25 +471,24 @@ class ExtrapolationStudy:
             raise EstimationError(f"credibility level must be in (0, 1), got {level!r}")
         table = uncertain.sample_table(num_draws, rng=rng, seed=seed)
         tail = (1.0 - level) / 2.0
+        cells = [
+            (scenario, profile_name, profile)
+            for scenario in self._scenarios
+            for profile_name, profile in self._profiles.items()
+        ]
+        jobs = [(scenario, profile, table) for scenario, _, profile in cells]
+        if runtime is not None:
+            sample_arrays = runtime.map(_study_cell_samples, jobs)
+        else:
+            sample_arrays = [_study_cell_samples(job) for job in jobs]
         intervals: dict[tuple[str, str], CredibleInterval] = {}
-        for scenario in self._scenarios:
-            for profile_name, profile in self._profiles.items():
-                try:
-                    cell_table, cell_profile = scenario.apply_arrays(table, profile)
-                    samples = cell_table.system_failure_probability(cell_profile)
-                except NotImplementedError:
-                    samples = np.empty(num_draws, dtype=np.float64)
-                    for i in range(num_draws):
-                        parameters, cell_profile = scenario.apply(table.row(i), profile)
-                        samples[i] = SequentialModel(
-                            parameters
-                        ).system_failure_probability(cell_profile)
-                intervals[(scenario.name, profile_name)] = CredibleInterval(
-                    lower=float(np.quantile(samples, tail)),
-                    upper=float(np.quantile(samples, 1.0 - tail)),
-                    level=level,
-                    mean=float(samples.mean()),
-                )
+        for (scenario, profile_name, _), samples in zip(cells, sample_arrays):
+            intervals[(scenario.name, profile_name)] = CredibleInterval(
+                lower=float(np.quantile(samples, tail)),
+                upper=float(np.quantile(samples, 1.0 - tail)),
+                level=level,
+                mean=float(samples.mean()),
+            )
         return intervals
 
     def best_scenario(self, profile_name: str) -> tuple[str, float]:

@@ -14,9 +14,10 @@ one contraction, bit-identical to the scalar model graph.  See
 ``docs/uncertainty.md``.
 """
 
-from .arrays import LESION_CODES, CaseArrays
+from .arrays import ARRAY_FIELDS, LESION_CODES, CaseArrays
 from .executor import (
     DEFAULT_CHUNK_SIZE,
+    cancer_class_labels,
     compare_systems_batch,
     evaluate_system_batch,
     plan_chunks,
@@ -28,15 +29,21 @@ from .posterior import (
     sample_parameter_table,
     scenario_win_probability,
 )
+from .runtime import EngineRuntime, plan_chunk_size, shared_memory_available
 
 __all__ = [
     "CaseArrays",
+    "ARRAY_FIELDS",
     "LESION_CODES",
     "DEFAULT_CHUNK_SIZE",
     "plan_chunks",
+    "plan_chunk_size",
     "supports_batch",
+    "cancer_class_labels",
     "evaluate_system_batch",
     "compare_systems_batch",
+    "EngineRuntime",
+    "shared_memory_available",
     "PARAMETER_FIELDS",
     "ParameterTable",
     "sample_parameter_table",

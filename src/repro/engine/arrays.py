@@ -18,7 +18,7 @@ import numpy as np
 from ..exceptions import SimulationError
 from ..screening.case import Case, LesionType
 
-__all__ = ["CaseArrays", "LESION_CODES"]
+__all__ = ["CaseArrays", "LESION_CODES", "ARRAY_FIELDS"]
 
 #: Stable integer coding of lesion types (index into this tuple);
 #: ``-1`` codes "no lesion" (healthy cases).
@@ -34,6 +34,10 @@ _FLOAT_FIELDS = (
     "human_classification_difficulty",
     "distractor_level",
 )
+
+#: Every column of a :class:`CaseArrays`, in the canonical order used by
+#: the shared-memory workload plane (:mod:`repro.engine.runtime`).
+ARRAY_FIELDS: tuple[str, ...] = ("case_id", "has_cancer", "lesion_code", *_FLOAT_FIELDS)
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,16 @@ class CaseArrays:
 
     def __len__(self) -> int:
         return len(self.case_id)
+
+    @property
+    def bytes_per_case(self) -> int:
+        """Bytes one case occupies across all columns (chunk budgeting)."""
+        return int(sum(getattr(self, name).dtype.itemsize for name in ARRAY_FIELDS))
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes of the batch (shared-memory sizing)."""
+        return len(self) * self.bytes_per_case
 
     @classmethod
     def from_cases(cls, cases: Iterable[Case]) -> "CaseArrays":

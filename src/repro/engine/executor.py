@@ -18,12 +18,19 @@ produces.  Three properties are load-bearing:
   adapting readers, drifting tools) are order-dependent; they are routed
   to the scalar loop unchanged, so callers can use one entry point for
   every system.
+
+The module-level functions here are the *per-call* entry points: each
+parallel call builds (and tears down) its own process pool.  Programs
+that evaluate repeatedly — multi-system comparisons, extrapolation
+sweeps — should hold a :class:`~repro.engine.runtime.EngineRuntime`
+instead, which keeps the pool and the columnised workload plane alive
+across calls; both entry points accept one via ``runtime=``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -35,16 +42,22 @@ from ..system.simulate import FailureTally, SystemEvaluation, evaluate_system
 from ..system.single import ScreeningSystem
 from .arrays import CaseArrays
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .runtime import EngineRuntime
+
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "plan_chunks",
     "supports_batch",
+    "cancer_class_labels",
     "evaluate_system_batch",
     "compare_systems_batch",
 ]
 
 #: Default cases per chunk.  Large enough that per-chunk Python overhead
 #: is negligible, small enough that chunk buffers stay cache-friendly.
+#: Pass ``chunk_size=None`` for adaptive planning
+#: (:func:`repro.engine.runtime.plan_chunk_size`).
 DEFAULT_CHUNK_SIZE = 16384
 
 
@@ -105,15 +118,61 @@ def _chunk_rngs(
     ]
 
 
-def _cancer_classes(
-    workload: Workload, classifier: CaseClassifier, start: int, stop: int
-) -> list[CaseClass]:
-    """Classes of the cancer cases in ``workload[start:stop]``, in order."""
-    return [
-        classifier.classify(case)
-        for case in workload.cases[start:stop]
-        if case.has_cancer
+def cancer_class_labels(
+    workload: Workload,
+    classifier: CaseClassifier,
+    arrays: CaseArrays | None = None,
+) -> tuple[np.ndarray, list[CaseClass]]:
+    """Positions and classes of the workload's cancer cases, in order.
+
+    Uses the classifier's vectorized ``classify_batch`` (indices into
+    ``classifier.classes``) when it offers one; classifiers that only
+    implement the per-case ``classify`` — including third-party ones —
+    fall back to the original case loop and produce identical labels.
+
+    Returns:
+        ``(positions, labels)`` where ``positions`` is the sorted
+        ``int64`` array of cancer-case indices into the workload and
+        ``labels[i]`` is the class of the cancer case at
+        ``positions[i]``.
+    """
+    if arrays is None:
+        arrays = workload.to_arrays()
+    positions = np.flatnonzero(arrays.has_cancer)
+    batch = getattr(classifier, "classify_batch", None)
+    if batch is not None:
+        try:
+            codes = np.asarray(batch(arrays))
+        except NotImplementedError:
+            codes = None
+        if codes is not None:
+            if codes.shape != (len(arrays),):
+                raise SimulationError(
+                    f"classify_batch returned shape {codes.shape}, expected "
+                    f"({len(arrays)},)"
+                )
+            classes = classifier.classes
+            return positions, [classes[int(code)] for code in codes[positions]]
+    return positions, [
+        classifier.classify(case) for case in workload.cases if case.has_cancer
     ]
+
+
+def _tally_chunks(
+    arrays: CaseArrays,
+    chunks: Sequence[tuple[int, int]],
+    chunk_failures: Sequence[np.ndarray],
+    positions: np.ndarray,
+    labels: list[CaseClass],
+) -> FailureTally:
+    """Merge per-chunk failure flags into one tally, classes attached."""
+    tally = FailureTally()
+    for (start, stop), failed in zip(chunks, chunk_failures):
+        low, high = np.searchsorted(positions, (start, stop))
+        tally.record_batch(
+            arrays.has_cancer[start:stop], failed, labels[low:high]
+        )
+    return tally
 
 
 def evaluate_system_batch(
@@ -123,7 +182,8 @@ def evaluate_system_batch(
     level: float = 0.95,
     seed: int | None = None,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = DEFAULT_CHUNK_SIZE,
+    runtime: "EngineRuntime | None" = None,
 ) -> SystemEvaluation:
     """Vectorized counterpart of :func:`~repro.system.simulate.evaluate_system`.
 
@@ -148,12 +208,24 @@ def evaluate_system_batch(
             the worker copies, not the caller's objects.
         chunk_size: Cases per chunk.  Seeded results depend only on
             ``(seed, chunk_size)``; unseeded serial results are
-            chunk-size-invariant.
+            chunk-size-invariant.  ``None`` plans the size adaptively
+            from the workload, worker count, and a bytes-per-chunk
+            budget (:func:`repro.engine.runtime.plan_chunk_size`) — note
+            the planned size, and therefore seeded multi-chunk results,
+            then varies with ``workers``.
+        runtime: A :class:`~repro.engine.runtime.EngineRuntime` to
+            execute on.  Supersedes ``workers`` (the runtime owns the
+            pool) and adds pooled-process reuse, a shared-memory
+            workload plane, and cached columnisation/classification.
 
     Raises:
         SimulationError: on an empty workload, or ``workers > 1`` without
             a seed.
     """
+    if runtime is not None:
+        return runtime.evaluate(
+            system, workload, classifier, level, seed=seed, chunk_size=chunk_size
+        )
     if not supports_batch(system):
         return evaluate_system(system, workload, classifier, level, seed=seed)
     if len(workload) == 0:
@@ -169,6 +241,12 @@ def evaluate_system_batch(
     classifier = classifier if classifier is not None else SingleClassClassifier()
 
     arrays = workload.to_arrays()
+    if chunk_size is None:
+        from .runtime import plan_chunk_size
+
+        chunk_size = plan_chunk_size(
+            len(arrays), workers, bytes_per_case=arrays.bytes_per_case
+        )
     chunks = plan_chunks(len(arrays), chunk_size)
     rngs = _chunk_rngs(seed, len(chunks))
 
@@ -185,13 +263,8 @@ def evaluate_system_batch(
             ]
             chunk_failures = [future.result() for future in futures]
 
-    tally = FailureTally()
-    for (start, stop), failed in zip(chunks, chunk_failures):
-        tally.record_batch(
-            arrays.has_cancer[start:stop],
-            failed,
-            _cancer_classes(workload, classifier, start, stop),
-        )
+    positions, labels = cancer_class_labels(workload, classifier, arrays)
+    tally = _tally_chunks(arrays, chunks, chunk_failures, positions, labels)
     return tally.to_evaluation(system.name, workload.name, level)
 
 
@@ -202,7 +275,8 @@ def compare_systems_batch(
     level: float = 0.95,
     seed: int | None = None,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = DEFAULT_CHUNK_SIZE,
+    runtime: "EngineRuntime | None" = None,
 ) -> dict[str, SystemEvaluation]:
     """Vectorized counterpart of :func:`~repro.system.simulate.compare_systems`.
 
@@ -212,12 +286,29 @@ def compare_systems_batch(
     Batch-incapable systems take the scalar fallback within the same
     comparison.
 
+    One process pool serves the whole comparison: with ``workers > 1``
+    and no ``runtime``, an ephemeral
+    :class:`~repro.engine.runtime.EngineRuntime` is created for the
+    call, so every system reuses the same workers and the same published
+    workload instead of paying pool startup per system.
+
     Raises:
         SimulationError: if two systems share a name.
     """
     names = [s.name for s in systems]
     if len(set(names)) != len(names):
         raise SimulationError(f"system names must be unique, got {names!r}")
+    if runtime is not None:
+        return runtime.compare(
+            systems, workload, classifier, level, seed=seed, chunk_size=chunk_size
+        )
+    if workers > 1:
+        from .runtime import EngineRuntime
+
+        with EngineRuntime(workers=workers) as shared:
+            return shared.compare(
+                systems, workload, classifier, level, seed=seed, chunk_size=chunk_size
+            )
     return {
         system.name: evaluate_system_batch(
             system,

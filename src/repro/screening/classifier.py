@@ -13,11 +13,16 @@ could.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, Sequence
+
+import numpy as np
 
 from ..core.case_class import DIFFICULT, EASY, CaseClass
 from ..exceptions import ParameterError
 from .case import Case, LesionType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..engine.arrays import CaseArrays
 
 __all__ = [
     "CaseClassifier",
@@ -48,6 +53,18 @@ class CaseClassifier(Protocol):
         ...
 
 
+# Optional extension of the protocol (not required of third parties):
+#
+#     def classify_batch(self, arrays: CaseArrays) -> np.ndarray
+#
+# returns, for every case of the batch, the *index* of its class in
+# ``self.classes`` as one ``int64[n]`` array — the same labels
+# ``classify`` assigns case by case, computed vectorized.  The engine
+# probes for it with ``getattr`` and falls back to the per-case loop
+# when it is absent or raises ``NotImplementedError``, so classifiers
+# that only implement ``classify`` keep working everywhere.
+
+
 class SingleClassClassifier:
     """The trivial classification: every case in one class.
 
@@ -60,6 +77,10 @@ class SingleClassClassifier:
 
     def classify(self, case: Case) -> CaseClass:
         return self._class
+
+    def classify_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Class indices of a whole batch (all zero: the single class)."""
+        return np.zeros(len(arrays), dtype=np.int64)
 
     @property
     def classes(self) -> tuple[CaseClass, ...]:
@@ -96,6 +117,12 @@ class SubtletyClassifier:
     def classify(self, case: Case) -> CaseClass:
         return DIFFICULT if self.score(case) > self.threshold else EASY
 
+    def classify_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Class indices of a whole batch; same scores, elementwise."""
+        base = np.where(arrays.has_cancer, arrays.subtlety, arrays.distractor_level)
+        scores = base + self.density_weight * arrays.breast_density
+        return (scores > self.threshold).astype(np.int64)
+
     @property
     def classes(self) -> tuple[CaseClass, ...]:
         return (EASY, DIFFICULT)
@@ -128,6 +155,17 @@ class DensityBandClassifier:
         band = sum(1 for b in self.boundaries if case.breast_density > b)
         return self._classes[band]
 
+    def classify_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Band indices of a whole batch.
+
+        ``searchsorted(..., side="left")`` counts boundaries strictly
+        below each density — the same strict ``>`` comparison
+        :meth:`classify` applies, ties included.
+        """
+        return np.searchsorted(
+            np.asarray(self.boundaries), arrays.breast_density, side="left"
+        ).astype(np.int64)
+
     @property
     def classes(self) -> tuple[CaseClass, ...]:
         return self._classes
@@ -147,6 +185,18 @@ class LesionTypeClassifier:
         if case.lesion_type is None:
             return self._normal
         return self._by_type[case.lesion_type]
+
+    def classify_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Class indices of a whole batch.
+
+        ``CaseArrays.lesion_code`` already indexes
+        :data:`~repro.engine.arrays.LESION_CODES` — the same
+        ``LesionType`` order :attr:`classes` uses — so cancer codes map
+        through unchanged and ``-1`` (healthy) maps to the trailing
+        ``normal`` class.
+        """
+        codes = arrays.lesion_code.astype(np.int64)
+        return np.where(codes < 0, np.int64(len(self._by_type)), codes)
 
     @property
     def classes(self) -> tuple[CaseClass, ...]:
@@ -174,6 +224,27 @@ class CompositeClassifier:
         a = self.first.classify(case)
         b = self.second.classify(case)
         return CaseClass(f"{a.name}/{b.name}")
+
+    def classify_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Cross-product indices of a whole batch.
+
+        :attr:`classes` enumerates the product with the second
+        classifier's classes varying fastest, so the joint index is
+        ``first * len(second.classes) + second``.
+
+        Raises:
+            NotImplementedError: when either underlying classifier lacks
+                ``classify_batch``; callers then take the per-case path.
+        """
+        first_batch = getattr(self.first, "classify_batch", None)
+        second_batch = getattr(self.second, "classify_batch", None)
+        if first_batch is None or second_batch is None:
+            raise NotImplementedError(
+                "both underlying classifiers must support classify_batch"
+            )
+        first_codes = np.asarray(first_batch(arrays), dtype=np.int64)
+        second_codes = np.asarray(second_batch(arrays), dtype=np.int64)
+        return first_codes * np.int64(len(self.second.classes)) + second_codes
 
     @property
     def classes(self) -> tuple[CaseClass, ...]:
@@ -218,6 +289,22 @@ class OracleDifficultyClassifier:
     def classify(self, case: Case) -> CaseClass:
         band = sum(1 for b in self.boundaries if case.overall_difficulty > b)
         return self._classes[band]
+
+    def classify_batch(self, arrays: "CaseArrays") -> np.ndarray:
+        """Band indices of a whole batch, from the same latent summary.
+
+        Replays :attr:`~repro.screening.case.Case.overall_difficulty`
+        elementwise (same operation order), then counts boundaries with
+        the same strict comparison as :meth:`classify`.
+        """
+        difficulty = (
+            arrays.machine_difficulty
+            + arrays.human_detection_difficulty
+            + arrays.human_classification_difficulty
+        ) / 3.0
+        return np.searchsorted(
+            np.asarray(self.boundaries), difficulty, side="left"
+        ).astype(np.int64)
 
     @property
     def classes(self) -> tuple[CaseClass, ...]:

@@ -77,8 +77,26 @@ class Workload:
             Workload(f"{self.name}/healthy", self.healthy_cases),
         )
 
+    def fingerprint(self) -> int:
+        """Content fingerprint of the case sequence.
+
+        Hashes the (frozen) cases themselves, so it changes whenever the
+        case contents change — which, for a well-behaved frozen
+        workload, is never.  Cheap relative to columnisation, which is
+        why :meth:`to_arrays` can afford to re-check it on every call.
+        """
+        return hash(self.cases)
+
     def to_arrays(self):
         """The workload as a struct of arrays for the batch engine.
+
+        Columnisation is cached on the workload: repeated calls return
+        the same :class:`~repro.engine.arrays.CaseArrays` object as long
+        as :meth:`fingerprint` is unchanged, so back-to-back evaluations
+        of one workload pay the nine-pass columnisation only once.  The
+        fingerprint re-check guards against out-of-band mutation (e.g.
+        ``object.__setattr__`` on a case); a changed fingerprint drops
+        the cache and recolumnises.
 
         Returns:
             :class:`repro.engine.arrays.CaseArrays` over :attr:`cases`,
@@ -87,7 +105,15 @@ class Workload:
         # Imported lazily: the engine imports this module at load time.
         from ..engine.arrays import CaseArrays
 
-        return CaseArrays.from_cases(self.cases)
+        fingerprint = self.fingerprint()
+        cached = getattr(self, "_columnised", None)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        arrays = CaseArrays.from_cases(self.cases)
+        # The dataclass is frozen; the cache is invisible bookkeeping
+        # (not a field), so it does not affect equality or hashing.
+        object.__setattr__(self, "_columnised", (fingerprint, arrays))
+        return arrays
 
 
 def field_workload(

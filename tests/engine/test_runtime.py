@@ -1,0 +1,387 @@
+"""EngineRuntime: pooled workers, shared-memory plane, caches, planning."""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt
+from repro.engine import (
+    EngineRuntime,
+    compare_systems_batch,
+    evaluate_system_batch,
+    plan_chunk_size,
+    shared_memory_available,
+)
+from repro.engine import runtime as runtime_module
+from repro.exceptions import SimulationError
+from repro.reader import MILD_BIAS, ReaderModel, ReaderSkill
+from repro.screening import SubtletyClassifier
+
+from tests.engine.test_equivalence import failure_counts
+from tests.engine.test_executor import make_system, make_workload
+from repro.system import AssistedReading
+
+
+def named_system(seed=4, name=None):
+    reader = ReaderModel(skill=ReaderSkill(), bias=MILD_BIAS, name="r", seed=seed)
+    return AssistedReading(reader, Cadt(seed=seed + 1000), name=name)
+
+
+class FailingBatchSystem:
+    """Picklable stateless system whose decide_batch always raises."""
+
+    name = "failing"
+    supports_batch = True
+
+    def decide_batch(self, chunk, rng=None):
+        raise ValueError("injected decide_batch failure")
+
+
+class TestPlanChunkSize:
+    def test_byte_budget_caps_the_chunk(self):
+        # 1 MiB budget / 64 B per case = 16384 cases; plenty of cases
+        # and one worker, so the budget is the binding constraint.
+        assert plan_chunk_size(10_000_000, 1, bytes_per_case=64) == 16384
+
+    def test_fair_share_splits_small_workloads(self):
+        # 100k cases over 4 workers x 4 chunks each -> 6250 per chunk.
+        assert plan_chunk_size(100_000, 4, bytes_per_case=58) == 6250
+
+    def test_floor_at_min_chunk_size(self):
+        assert plan_chunk_size(5000, 4, bytes_per_case=58) == 1024
+
+    def test_capped_at_workload(self):
+        assert plan_chunk_size(10, 1, bytes_per_case=58) == 10
+
+    def test_empty_workload_gets_the_floor(self):
+        assert plan_chunk_size(0, 2) == 1024
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(SimulationError):
+            plan_chunk_size(100, 0)
+
+    def test_pure_function_of_arguments(self):
+        a = plan_chunk_size(123_457, 3, bytes_per_case=58)
+        b = plan_chunk_size(123_457, 3, bytes_per_case=58)
+        assert a == b
+
+
+class TestDeterminism:
+    def test_seeded_bit_identical_across_worker_counts(self):
+        workload = make_workload(3000)
+        reference = evaluate_system_batch(
+            make_system(), workload, seed=11, chunk_size=512
+        )
+        for workers in (1, 2, 4):
+            with EngineRuntime(workers=workers) as runtime:
+                evaluation = evaluate_system_batch(
+                    make_system(),
+                    workload,
+                    seed=11,
+                    chunk_size=512,
+                    runtime=runtime,
+                )
+            assert failure_counts(evaluation) == failure_counts(reference)
+
+    def test_unseeded_runtime_matches_serial_batch(self):
+        workload = make_workload(800)
+        serial = evaluate_system_batch(make_system(), workload, seed=None)
+        with EngineRuntime(workers=2) as runtime:
+            pooled = evaluate_system_batch(
+                make_system(), workload, seed=None, runtime=runtime
+            )
+        assert failure_counts(pooled) == failure_counts(serial)
+
+    def test_fallback_path_matches_shared_memory_path(self):
+        workload = make_workload(2500)
+        with EngineRuntime(workers=2, use_shared_memory=False) as no_shm:
+            assert not no_shm.uses_shared_memory
+            pickled = evaluate_system_batch(
+                make_system(), workload, seed=7, chunk_size=500, runtime=no_shm
+            )
+            assert no_shm.active_segments == ()
+        with EngineRuntime(workers=2) as with_shm:
+            shared = evaluate_system_batch(
+                make_system(), workload, seed=7, chunk_size=500, runtime=with_shm
+            )
+        assert failure_counts(pickled) == failure_counts(shared)
+
+    def test_classifier_breakdown_identical_through_runtime(self):
+        workload = make_workload(1500)
+        classifier = SubtletyClassifier()
+        reference = evaluate_system_batch(
+            make_system(), workload, classifier, seed=3, chunk_size=300
+        )
+        with EngineRuntime(workers=2) as runtime:
+            pooled = evaluate_system_batch(
+                make_system(),
+                workload,
+                classifier,
+                seed=3,
+                chunk_size=300,
+                runtime=runtime,
+            )
+        assert failure_counts(pooled) == failure_counts(reference)
+
+
+class TestPoolReuse:
+    def test_one_pool_across_many_calls(self):
+        workload = make_workload(2500)
+        with EngineRuntime(workers=2) as runtime:
+            for seed in (1, 2, 3):
+                runtime.evaluate(make_system(), workload, seed=seed, chunk_size=500)
+            assert runtime.pool_launches == 1
+
+    def test_compare_systems_batch_uses_one_pool(self, monkeypatch):
+        launches = []
+        real_pool = runtime_module.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            launches.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_module, "ProcessPoolExecutor", counting_pool)
+        workload = make_workload(2500)
+        results = compare_systems_batch(
+            [named_system(1, "a"), named_system(2, "b"), named_system(3, "c")],
+            workload,
+            seed=11,
+            chunk_size=500,
+            workers=2,
+        )
+        assert set(results) == {"a", "b", "c"}
+        assert len(launches) == 1
+
+    def test_workload_cached_across_calls(self):
+        workload = make_workload(1200)
+        with EngineRuntime(workers=2) as runtime:
+            runtime.evaluate(make_system(), workload, seed=1, chunk_size=400)
+            runtime.evaluate(make_system(), workload, seed=2, chunk_size=400)
+            info = runtime.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] >= 1
+
+    def test_equal_workloads_share_one_cache_entry(self):
+        # Two distinct Workload instances with identical cases digest to
+        # the same key, so the second columnisation is a cache hit.
+        first = make_workload(600, seed=21)
+        second = make_workload(600, seed=21)
+        with EngineRuntime(workers=2) as runtime:
+            runtime.evaluate(make_system(), first, seed=1, chunk_size=200)
+            runtime.evaluate(make_system(), second, seed=1, chunk_size=200)
+            assert runtime.cache_info()["workloads"] == 1
+
+
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory in this environment"
+)
+class TestSegmentLifecycle:
+    def test_segments_cleaned_up_on_close(self):
+        workload = make_workload(2500)
+        runtime = EngineRuntime(workers=2)
+        try:
+            runtime.evaluate(make_system(), workload, seed=5, chunk_size=500)
+            names = runtime.active_segments
+            assert names  # the workload was published
+        finally:
+            runtime.close()
+        assert runtime.active_segments == ()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_segments_cleaned_up_after_worker_exception(self):
+        workload = make_workload(2500)
+        runtime = EngineRuntime(workers=2)
+        try:
+            with pytest.raises(ValueError, match="injected"):
+                runtime.evaluate(
+                    FailingBatchSystem(), workload, seed=5, chunk_size=500
+                )
+            names = runtime.active_segments
+            # The pool survives the worker exception and stays reusable.
+            evaluation = runtime.evaluate(
+                make_system(), workload, seed=5, chunk_size=500
+            )
+            assert evaluation.false_negative is not None
+        finally:
+            runtime.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent_and_final(self):
+        runtime = EngineRuntime(workers=1)
+        runtime.close()
+        runtime.close()
+        assert runtime.closed
+        with pytest.raises(SimulationError):
+            runtime.evaluate(make_system(), make_workload(50), seed=1)
+
+
+class TestRuntimeApi:
+    def test_compare_shares_everything(self):
+        workload = make_workload(2500)
+        with EngineRuntime(workers=2) as runtime:
+            pooled = runtime.compare(
+                [named_system(1, "a"), named_system(2, "b")],
+                workload,
+                seed=11,
+                chunk_size=500,
+            )
+            assert runtime.pool_launches == 1
+            assert runtime.cache_info()["workloads"] == 1
+        serial = compare_systems_batch(
+            [named_system(1, "a"), named_system(2, "b")],
+            workload,
+            seed=11,
+            chunk_size=500,
+        )
+        assert {k: failure_counts(v) for k, v in pooled.items()} == {
+            k: failure_counts(v) for k, v in serial.items()
+        }
+
+    def test_compare_rejects_duplicate_names(self):
+        with EngineRuntime(workers=1) as runtime:
+            with pytest.raises(SimulationError):
+                runtime.compare(
+                    [named_system(1, "same"), named_system(2, "same")],
+                    make_workload(100),
+                    seed=1,
+                )
+
+    def test_map_preserves_order(self):
+        with EngineRuntime(workers=2) as runtime:
+            assert runtime.map(abs, [-3, 1, -2]) == [3, 1, 2]
+
+    def test_map_falls_back_for_unpicklable_functions(self):
+        with EngineRuntime(workers=2) as runtime:
+            doubled = runtime.map(lambda x: 2 * x, [1, 2, 3])
+        assert doubled == [2, 4, 6]
+
+    def test_map_empty(self):
+        with EngineRuntime(workers=2) as runtime:
+            assert runtime.map(abs, []) == []
+
+    def test_adaptive_chunking_is_deterministic_per_runtime(self):
+        workload = make_workload(3000)
+        with EngineRuntime(workers=2) as runtime:
+            first = runtime.evaluate(
+                make_system(), workload, seed=11, chunk_size=None
+            )
+            second = runtime.evaluate(
+                make_system(), workload, seed=11, chunk_size=None
+            )
+        assert failure_counts(first) == failure_counts(second)
+
+    def test_stateful_system_falls_back_to_scalar(self):
+        # A system without batch support routes to the scalar loop even
+        # through the runtime; spot-check it completes and counts cases.
+        from repro.system import UnaidedReading
+        from repro.reader import FatiguedReader
+
+        reader = FatiguedReader(
+            ReaderModel(skill=ReaderSkill(), bias=MILD_BIAS, name="r", seed=2),
+            seed=2,
+        )
+        workload = make_workload(200)
+        with EngineRuntime(workers=2) as runtime:
+            evaluation = runtime.evaluate(
+                UnaidedReading(reader), workload, seed=3
+            )
+        total = (
+            evaluation.false_negative.trials + evaluation.false_positive.trials
+        )
+        assert total == len(workload)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(SimulationError):
+            EngineRuntime(workers=0)
+        with pytest.raises(SimulationError):
+            EngineRuntime(max_cached_workloads=0)
+
+    def test_lru_eviction_unlinks_segments(self):
+        runtime = EngineRuntime(workers=2, max_cached_workloads=1)
+        try:
+            first = make_workload(1500, seed=1)
+            second = make_workload(1500, seed=2)
+            runtime.evaluate(make_system(), first, seed=5, chunk_size=300)
+            evicted = runtime.active_segments
+            runtime.evaluate(make_system(), second, seed=5, chunk_size=300)
+            assert runtime.cache_info()["workloads"] == 1
+            if shared_memory_available():
+                for name in evicted:
+                    with pytest.raises(FileNotFoundError):
+                        shared_memory.SharedMemory(name=name)
+        finally:
+            runtime.close()
+
+
+class TestRoutedConsumers:
+    def test_credible_intervals_identical_with_runtime(self):
+        from repro.core import (
+            BetaPosterior,
+            ExtrapolationStudy,
+            UncertainClassParameters,
+            UncertainModel,
+        )
+        from repro.core.profile import DemandProfile
+
+        uncertain = UncertainModel(
+            {
+                "easy": UncertainClassParameters(
+                    BetaPosterior.from_counts(2, 100),
+                    BetaPosterior.from_counts(30, 100),
+                    BetaPosterior.from_counts(1, 100),
+                ),
+                "difficult": UncertainClassParameters(
+                    BetaPosterior.from_counts(20, 100),
+                    BetaPosterior.from_counts(40, 100),
+                    BetaPosterior.from_counts(5, 100),
+                ),
+            }
+        )
+        study = ExtrapolationStudy(
+            uncertain.mean_model().parameters,
+            {"field": DemandProfile({"easy": 0.9, "difficult": 0.1})},
+        )
+        serial = study.credible_intervals(uncertain, num_draws=500, seed=4)
+        with EngineRuntime(workers=2) as runtime:
+            pooled = study.credible_intervals(
+                uncertain, num_draws=500, seed=4, runtime=runtime
+            )
+        assert serial == pooled
+
+    def test_sweep_identical_with_runtime(self):
+        from repro.core import sweep_machine_settings
+        from repro.core.parameters import ClassParameters, ModelParameters
+        from repro.core.profile import DemandProfile
+        from repro.core.sequential import SequentialModel
+        from repro.core.tradeoff import TwoSidedModel
+
+        model = TwoSidedModel(
+            SequentialModel(
+                ModelParameters(
+                    {
+                        "subtle": ClassParameters(0.4, 0.8, 0.3),
+                        "obvious": ClassParameters(0.05, 0.2, 0.05),
+                    }
+                )
+            ),
+            SequentialModel(
+                ModelParameters(
+                    {
+                        "busy_film": ClassParameters(0.5, 0.3, 0.15),
+                        "clean_film": ClassParameters(0.1, 0.1, 0.03),
+                    }
+                )
+            ),
+            cancer_profile=DemandProfile({"subtle": 0.3, "obvious": 0.7}),
+            healthy_profile=DemandProfile({"busy_film": 0.4, "clean_film": 0.6}),
+        )
+        settings = {f"s{i}": (0.5 + 0.25 * i, 2.0 - 0.2 * i) for i in range(7)}
+        serial = sweep_machine_settings(model, settings)
+        with EngineRuntime(workers=2) as runtime:
+            pooled = sweep_machine_settings(model, settings, runtime=runtime)
+        assert serial.points == pooled.points
