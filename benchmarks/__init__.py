@@ -1,0 +1,7 @@
+"""Benchmark harness for the reproduction.
+
+Most modules here are pytest benchmarks (``pytest benchmarks/``); the
+throughput gates additionally write ``BENCH_<name>.json`` reports at the
+repo root through :mod:`benchmarks._report`, and ``python -m
+benchmarks.report`` prints the recorded trajectory.
+"""

@@ -1,0 +1,111 @@
+"""Shared writer for the throughput-gate reports.
+
+Every performance gate in this harness ends the same way: a measured
+speedup, the gate it must clear, and a handful of scenario numbers that
+make the measurement interpretable.  This module gives all of them one
+schema and one landing spot — ``BENCH_<name>.json`` at the repo root —
+so CI can upload the set uniformly and ``python -m benchmarks.report``
+can print the trajectory without per-benchmark parsing.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "name": "runtime",          # which gate
+      "speedup": 4.1,             # measured ratio (higher is better)
+      "gate": 3.0,                # required minimum for the ratio
+      "timestamp": "...Z",        # UTC, second resolution
+      "commit": "48845a2",        # short HEAD at measurement time
+      "metrics": {...}            # benchmark-specific scenario numbers
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+#: Reports land at the repo root so CI's artifact globs stay flat.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def current_commit(root: Path | None = None) -> str:
+    """Short hash of HEAD, or ``"unknown"`` outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root if root is not None else REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else "unknown"
+
+
+def report_path(name: str, root: Path | None = None) -> Path:
+    """Where the report for gate ``name`` lives."""
+    return (root if root is not None else REPO_ROOT) / f"BENCH_{name}.json"
+
+
+def write_benchmark_report(
+    name: str,
+    *,
+    speedup: float,
+    gate: float,
+    metrics: dict[str, Any],
+    root: Path | None = None,
+) -> Path:
+    """Write one gate's report; returns the path written.
+
+    ``speedup`` is stored at three decimals: coarse gates (3x, 10x) lose
+    nothing, and near-unity gates (the <=2% observability overhead
+    bound, stored as a >=0.98 throughput ratio) keep the digits that
+    matter.
+    """
+    path = report_path(name, root)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "speedup": round(float(speedup), 3),
+        "gate": float(gate),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": current_commit(root),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_benchmark_reports(root: Path | None = None) -> list[dict[str, Any]]:
+    """Every parseable ``BENCH_*.json`` under ``root``, sorted by name.
+
+    Unreadable or non-object files are reported as ``{"name": ...,
+    "error": ...}`` entries rather than raised, so one corrupt artifact
+    cannot hide the rest of the trajectory.
+    """
+    base = root if root is not None else REPO_ROOT
+    reports: list[dict[str, Any]] = []
+    for path in sorted(base.glob("BENCH_*.json")):
+        fallback_name = path.stem[len("BENCH_") :]
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            reports.append({"name": fallback_name, "error": str(error)})
+            continue
+        if not isinstance(payload, dict):
+            reports.append(
+                {"name": fallback_name, "error": "report is not a JSON object"}
+            )
+            continue
+        payload.setdefault("name", fallback_name)
+        reports.append(payload)
+    reports.sort(key=lambda report: str(report.get("name", "")))
+    return reports

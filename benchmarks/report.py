@@ -1,0 +1,90 @@
+"""Print the recorded benchmark trajectory; optionally gate on it.
+
+Usage::
+
+    python -m benchmarks.report           # print every BENCH_*.json
+    python -m benchmarks.report --check   # exit 1 on a missed gate
+
+``--check`` fails when any report's ``speedup`` is below its ``gate``
+or when a report file is unreadable, which lets CI assert "every
+performance gate still holds as recorded" without re-running the
+benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Any
+
+from benchmarks._report import load_benchmark_reports
+
+_COLUMNS = ("name", "speedup", "gate", "status", "commit", "timestamp")
+
+
+def _row(report: dict[str, Any]) -> tuple[str, ...]:
+    name = str(report.get("name", "?"))
+    if "error" in report:
+        return (name, "-", "-", f"error: {report['error']}", "-", "-")
+    speedup = report.get("speedup")
+    gate = report.get("gate")
+    if isinstance(speedup, (int, float)) and isinstance(gate, (int, float)):
+        status = "ok" if speedup >= gate else "FAIL"
+    else:
+        status = "incomplete"
+    return (
+        name,
+        f"{speedup:g}x" if isinstance(speedup, (int, float)) else "-",
+        f">={gate:g}x" if isinstance(gate, (int, float)) else "-",
+        status,
+        str(report.get("commit", "-")),
+        str(report.get("timestamp", "-")),
+    )
+
+
+def _render(rows: list[tuple[str, ...]]) -> str:
+    table = [_COLUMNS, *rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(_COLUMNS))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.report",
+        description="print the BENCH_*.json benchmark trajectory",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any recorded speedup misses its gate",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory holding BENCH_*.json (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = load_benchmark_reports(args.root)
+    if not reports:
+        print("no BENCH_*.json reports found")
+        return 1 if args.check else 0
+
+    rows = [_row(report) for report in reports]
+    print(_render(rows))
+
+    failed = [row[0] for row in rows if row[3] != "ok"]
+    if args.check and failed:
+        print(f"gate check failed for: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,14 +18,13 @@ Measured times are written to ``BENCH_runtime.json`` at the repo root
 
 from __future__ import annotations
 
-import json
 import time
 from concurrent.futures import ProcessPoolExecutor
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from benchmarks._report import write_benchmark_report
 from repro.cadt import Cadt
 from repro.engine import EngineRuntime, compare_systems_batch, evaluate_system_batch
 from repro.engine.arrays import CaseArrays
@@ -46,7 +45,6 @@ WORKERS = 4
 REPEATS = 3
 SEED = 2026
 REQUIRED_SPEEDUP = 3.0
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
 
 def make_systems():
@@ -189,28 +187,26 @@ def test_runtime_is_3x_faster_than_per_call_pools(workload):
         f"({NUM_SYSTEMS}-system comparison, best of {REPEATS}, "
         f"{NUM_CASES} cases, {-(-NUM_CASES // CHUNK_SIZE)} chunks)"
     )
-    RESULTS_PATH.write_text(
-        json.dumps(
-            {
-                "num_cases": NUM_CASES,
-                "chunk_size": CHUNK_SIZE,
-                "num_systems": NUM_SYSTEMS,
-                "workers": WORKERS,
-                "repeats": REPEATS,
-                "seed": SEED,
-                "per_call_pool_comparison_s": round(baseline_elapsed, 3),
-                "runtime_comparison_s": round(runtime_elapsed, 3),
-                "per_call_pool_ms_per_evaluation": round(
-                    baseline_elapsed / NUM_SYSTEMS * 1e3, 1
-                ),
-                "runtime_ms_per_evaluation": round(
-                    runtime_elapsed / NUM_SYSTEMS * 1e3, 1
-                ),
-                "speedup": round(speedup, 1),
-            },
-            indent=2,
-        )
-        + "\n"
+    write_benchmark_report(
+        "runtime",
+        speedup=speedup,
+        gate=REQUIRED_SPEEDUP,
+        metrics={
+            "num_cases": NUM_CASES,
+            "chunk_size": CHUNK_SIZE,
+            "num_systems": NUM_SYSTEMS,
+            "workers": WORKERS,
+            "repeats": REPEATS,
+            "seed": SEED,
+            "per_call_pool_comparison_s": round(baseline_elapsed, 3),
+            "runtime_comparison_s": round(runtime_elapsed, 3),
+            "per_call_pool_ms_per_evaluation": round(
+                baseline_elapsed / NUM_SYSTEMS * 1e3, 1
+            ),
+            "runtime_ms_per_evaluation": round(
+                runtime_elapsed / NUM_SYSTEMS * 1e3, 1
+            ),
+        },
     )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"persistent runtime only {speedup:.1f}x faster than per-call pools "

@@ -12,12 +12,11 @@ CI artifact).  Run with::
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks._report import write_benchmark_report
 from repro.core import (
     PAPER_FIELD_PROFILE,
     BetaPosterior,
@@ -28,7 +27,6 @@ from repro.core import (
 NUM_DRAWS = 10_000
 REQUIRED_SPEEDUP = 10.0
 SEED = 2026
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_uncertainty.json"
 
 
 @pytest.fixture(scope="module")
@@ -77,24 +75,22 @@ def test_kernel_is_10x_faster_than_scalar(uncertain_paper_model):
         f"scalar: {scalar_rate:,.0f} draws/s  speedup: {speedup:.1f}x "
         f"({NUM_DRAWS} draws)"
     )
-    RESULTS_PATH.write_text(
-        json.dumps(
-            {
-                "num_draws": NUM_DRAWS,
-                "seed": SEED,
-                "vectorized_draws_per_s": round(vectorized_rate),
-                "scalar_draws_per_s": round(scalar_rate),
-                "speedup": round(speedup, 1),
-                "interval": {
-                    "lower": vectorized.lower,
-                    "upper": vectorized.upper,
-                    "mean": vectorized.mean,
-                    "level": vectorized.level,
-                },
+    write_benchmark_report(
+        "uncertainty",
+        speedup=speedup,
+        gate=REQUIRED_SPEEDUP,
+        metrics={
+            "num_draws": NUM_DRAWS,
+            "seed": SEED,
+            "vectorized_draws_per_s": round(vectorized_rate),
+            "scalar_draws_per_s": round(scalar_rate),
+            "interval": {
+                "lower": vectorized.lower,
+                "upper": vectorized.upper,
+                "mean": vectorized.mean,
+                "level": vectorized.level,
             },
-            indent=2,
-        )
-        + "\n"
+        },
     )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"posterior kernel only {speedup:.1f}x faster than scalar "

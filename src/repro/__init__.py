@@ -38,7 +38,7 @@ Quickstart (the paper's worked example)::
     0.189
 """
 
-from . import analysis, cadt, core, engine, rbd, reader, screening, system, trial
+from . import analysis, cadt, core, engine, obs, rbd, reader, screening, system, trial
 from .core import *  # noqa: F401,F403 - the curated core API is the top-level API
 from .core import __all__ as _core_all
 from .exceptions import (
@@ -48,6 +48,7 @@ from .exceptions import (
     ProbabilityError,
     ProfileError,
     ReproError,
+    RuntimeDegradationWarning,
     SimulationError,
     StructureError,
 )
@@ -63,8 +64,10 @@ __all__ = list(_core_all) + [
     "EstimationError",
     "SimulationError",
     "StructureError",
+    "RuntimeDegradationWarning",
     "core",
     "engine",
+    "obs",
     "rbd",
     "screening",
     "cadt",

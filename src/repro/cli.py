@@ -29,13 +29,68 @@ import argparse
 import sys
 from typing import Sequence
 
+from contextlib import contextmanager
+from typing import Iterator
+
 from .analysis import build_figure4, build_table1, build_table2, build_table3, render_table
 from .core import PAPER_FIELD_PROFILE, PAPER_TRIAL_PROFILE, SequentialModel
 from .core.io import dump_model, load_model
 from .core.parameters import paper_example_parameters
 from .exceptions import ReproError
+from .obs import Instrumentation, use_instrumentation
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_observability_arguments(
+    parser: argparse.ArgumentParser, *, short_flag: bool = True
+) -> None:
+    """The shared ``--profile``/``--trace-out`` observability flags.
+
+    ``uncertainty`` already uses ``--profile`` for the stored demand
+    profile name, so there the report flag is spelled
+    ``--profile-report`` only; ``simulate`` accepts both spellings.
+    """
+    names = ["--profile", "--profile-report"] if short_flag else ["--profile-report"]
+    parser.add_argument(
+        *names,
+        dest="profile_report",
+        action="store_true",
+        help="print a run report (spans, counters, degraded paths) when done",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run report as JSON to PATH",
+    )
+
+
+@contextmanager
+def _observability(args: argparse.Namespace, command: str) -> Iterator[None]:
+    """Activate ambient instrumentation for one command when requested.
+
+    With neither ``--profile``/``--profile-report`` nor ``--trace-out``
+    given, nothing is created and every layer keeps its null
+    instrumentation.  Otherwise one :class:`~repro.obs.Instrumentation`
+    is made ambient for the command's body, and its
+    :class:`~repro.obs.RunReport` is printed and/or written afterwards.
+    """
+    wants_report = bool(getattr(args, "profile_report", False))
+    trace_out = getattr(args, "trace_out", None)
+    if not wants_report and not trace_out:
+        yield
+        return
+    obs = Instrumentation(name=command)
+    with use_instrumentation(obs):
+        yield
+    report = obs.report()
+    if trace_out:
+        report.save(trace_out)
+        print(f"run report written to {trace_out}")
+    if wants_report:
+        print()
+        print(report.to_text())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reader automation-bias profile",
     )
     simulate.add_argument("--seed", type=int, default=0, help="master seed")
+    _add_observability_arguments(simulate)
 
     uncertainty = subparsers.add_parser(
         "uncertainty",
@@ -176,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="processes for the study-grid evaluation (same interval either way)",
     )
+    _add_observability_arguments(uncertainty, short_flag=False)
 
     monitor = subparsers.add_parser(
         "monitor", help="drift monitoring of field records against a model"
@@ -412,56 +469,58 @@ def _command_simulate(args: argparse.Namespace) -> None:
         )
 
     classifier = SubtletyClassifier()
-    # One persistent runtime serves every system: the pool, the published
-    # workload, and the label cache are shared across the loop.  The
-    # seeded results are identical to the per-call path (same chunking,
-    # same chunk generators).
-    runtime = (
-        EngineRuntime(workers=args.workers)
-        if args.engine == "batch" and args.workers > 1
-        else None
-    )
-    rows = []
-    try:
-        for system in systems:
-            start = time.perf_counter()
-            if args.engine == "batch":
-                evaluation = evaluate_system_batch(
-                    system,
-                    workload,
-                    classifier,
-                    seed=args.seed + 3,
-                    workers=args.workers,
-                    chunk_size=(
-                        args.chunk_size
-                        if args.chunk_size is not None
-                        else DEFAULT_CHUNK_SIZE
-                    ),
-                    runtime=runtime,
+    with _observability(args, "simulate"):
+        # One persistent runtime serves every system: the pool, the
+        # published workload, and the label cache are shared across the
+        # loop.  The seeded results are identical to the per-call path
+        # (same chunking, same chunk generators) — and identical with
+        # instrumentation on or off.
+        runtime = (
+            EngineRuntime(workers=args.workers)
+            if args.engine == "batch" and args.workers > 1
+            else None
+        )
+        rows = []
+        try:
+            for system in systems:
+                start = time.perf_counter()
+                if args.engine == "batch":
+                    evaluation = evaluate_system_batch(
+                        system,
+                        workload,
+                        classifier,
+                        seed=args.seed + 3,
+                        workers=args.workers,
+                        chunk_size=(
+                            args.chunk_size
+                            if args.chunk_size is not None
+                            else DEFAULT_CHUNK_SIZE
+                        ),
+                        runtime=runtime,
+                    )
+                else:
+                    evaluation = evaluate_system(
+                        system, workload, classifier, seed=args.seed + 3
+                    )
+                elapsed = time.perf_counter() - start
+                fn = evaluation.false_negative
+                fp = evaluation.false_positive
+                rows.append(
+                    [
+                        system.name,
+                        f"{fn.rate:.4f} ({fn.failures}/{fn.trials})" if fn else "-",
+                        f"{fp.rate:.4f} ({fp.failures}/{fp.trials})" if fp else "-",
+                        f"{len(workload) / elapsed:,.0f}",
+                    ]
                 )
-            else:
-                evaluation = evaluate_system(
-                    system, workload, classifier, seed=args.seed + 3
-                )
-            elapsed = time.perf_counter() - start
-            fn = evaluation.false_negative
-            fp = evaluation.false_positive
-            rows.append(
-                [
-                    system.name,
-                    f"{fn.rate:.4f} ({fn.failures}/{fn.trials})" if fn else "-",
-                    f"{fp.rate:.4f} ({fp.failures}/{fp.trials})" if fp else "-",
-                    f"{len(workload) / elapsed:,.0f}",
-                ]
-            )
-    finally:
-        if runtime is not None:
-            runtime.close()
-    print(
-        f"workload: {args.population}, {len(workload)} cases "
-        f"({workload.cancer_fraction:.1%} cancers); engine: {args.engine}"
-    )
-    print(render_table(["system", "FN rate", "FP rate", "cases/s"], rows))
+        finally:
+            if runtime is not None:
+                runtime.close()
+        print(
+            f"workload: {args.population}, {len(workload)} cases "
+            f"({workload.cancer_fraction:.1%} cancers); engine: {args.engine}"
+        )
+        print(render_table(["system", "FN rate", "FP rate", "cases/s"], rows))
 
 
 def _command_uncertainty(args: argparse.Namespace) -> None:
@@ -490,37 +549,43 @@ def _command_uncertainty(args: argparse.Namespace) -> None:
             for cls, params in parameters.items()
         }
     )
-    start = time.perf_counter()
-    if getattr(args, "workers", 1) > 1:
-        # Route through the extrapolation-study grid on a shared
-        # runtime.  The baseline scenario is a no-op transform and the
-        # interval formulas coincide, so the numbers are bit-identical
-        # to failure_probability_interval below.
-        from .core import ExtrapolationStudy
-        from .engine import EngineRuntime
+    with _observability(args, "uncertainty"):
+        start = time.perf_counter()
+        if getattr(args, "workers", 1) > 1:
+            # Route through the extrapolation-study grid on a shared
+            # runtime.  The baseline scenario is a no-op transform and the
+            # interval formulas coincide, so the numbers are bit-identical
+            # to failure_probability_interval below.
+            from .core import ExtrapolationStudy
+            from .engine import EngineRuntime
 
-        study = ExtrapolationStudy(parameters, {args.profile: profile})
-        with EngineRuntime(workers=args.workers) as runtime:
-            intervals = study.credible_intervals(
-                uncertain,
-                level=args.level,
-                num_draws=args.draws,
-                seed=args.seed,
-                runtime=runtime,
+            study = ExtrapolationStudy(parameters, {args.profile: profile})
+            with EngineRuntime(workers=args.workers) as runtime:
+                intervals = study.credible_intervals(
+                    uncertain,
+                    level=args.level,
+                    num_draws=args.draws,
+                    seed=args.seed,
+                    runtime=runtime,
+                )
+            interval = intervals[(ExtrapolationStudy.BASELINE_NAME, args.profile)]
+        else:
+            interval = uncertain.failure_probability_interval(
+                profile, level=args.level, num_samples=args.draws, seed=args.seed
             )
-        interval = intervals[(ExtrapolationStudy.BASELINE_NAME, args.profile)]
-    else:
-        interval = uncertain.failure_probability_interval(
-            profile, level=args.level, num_samples=args.draws, seed=args.seed
+        elapsed = time.perf_counter() - start
+        print(
+            f"profile {args.profile!r}: {args.level:.0%} credible interval for "
+            f"P(system failure), {args.draws} posterior draws "
+            f"(~{args.trials} readings per class and parameter):"
         )
-    elapsed = time.perf_counter() - start
-    print(
-        f"profile {args.profile!r}: {args.level:.0%} credible interval for "
-        f"P(system failure), {args.draws} posterior draws "
-        f"(~{args.trials} readings per class and parameter):"
-    )
-    print(f"  [{interval.lower:.6f}, {interval.upper:.6f}]  mean {interval.mean:.6f}")
-    print(f"  {args.draws / elapsed:,.0f} draws/s on the vectorized posterior kernel")
+        print(
+            f"  [{interval.lower:.6f}, {interval.upper:.6f}]  "
+            f"mean {interval.mean:.6f}"
+        )
+        print(
+            f"  {args.draws / elapsed:,.0f} draws/s on the vectorized posterior kernel"
+        )
 
 
 def _command_monitor(args: argparse.Namespace) -> None:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import EstimationError, ParameterError
+from ..obs import get_instrumentation
 from .case_class import CaseClass
 from .parameters import ClassParameters, ModelParameters
 from .profile import DemandProfile
@@ -346,6 +347,11 @@ def _study_cell_samples(
             cell_table.system_failure_probability(cell_profile), dtype=np.float64
         )
     except NotImplementedError:
+        # A custom Change without an array transform: per-row scalar
+        # loop over the same shared table (identical results, slower).
+        # The counter is best-effort — it records in-process, while pool
+        # workers see the null ambient instrumentation.
+        get_instrumentation().count("study.degraded.scalar_cell")
         samples = np.empty(len(table), dtype=np.float64)
         for i in range(len(table)):
             parameters, cell_profile = scenario.apply(table.row(i), profile)
@@ -477,19 +483,22 @@ class ExtrapolationStudy:
             for profile_name, profile in self._profiles.items()
         ]
         jobs = [(scenario, profile, table) for scenario, _, profile in cells]
-        if runtime is not None:
-            sample_arrays = runtime.map(_study_cell_samples, jobs)
-        else:
-            sample_arrays = [_study_cell_samples(job) for job in jobs]
-        intervals: dict[tuple[str, str], CredibleInterval] = {}
-        for (scenario, profile_name, _), samples in zip(cells, sample_arrays):
-            intervals[(scenario.name, profile_name)] = CredibleInterval(
-                lower=float(np.quantile(samples, tail)),
-                upper=float(np.quantile(samples, 1.0 - tail)),
-                level=level,
-                mean=float(samples.mean()),
-            )
-        return intervals
+        with get_instrumentation().span(
+            "study.credible_intervals", cells=len(cells), draws=num_draws
+        ):
+            if runtime is not None:
+                sample_arrays = runtime.map(_study_cell_samples, jobs)
+            else:
+                sample_arrays = [_study_cell_samples(job) for job in jobs]
+            intervals: dict[tuple[str, str], CredibleInterval] = {}
+            for (scenario, profile_name, _), samples in zip(cells, sample_arrays):
+                intervals[(scenario.name, profile_name)] = CredibleInterval(
+                    lower=float(np.quantile(samples, tail)),
+                    upper=float(np.quantile(samples, 1.0 - tail)),
+                    level=level,
+                    mean=float(samples.mean()),
+                )
+            return intervals
 
     def best_scenario(self, profile_name: str) -> tuple[str, float]:
         """The scenario with the lowest failure probability under a profile."""

@@ -345,41 +345,45 @@ def sweep_machine_settings(
             )
     if method == "vectorized":
         from ..engine.posterior import ParameterTable
+        from ..obs import get_instrumentation
 
         rates: dict[str, np.ndarray] = {}
-        for side, factors, profile in (
-            ("fn", np.asarray([p[0] for p in factor_pairs], dtype=np.float64),
-             model.cancer_profile),
-            ("fp", np.asarray([p[1] for p in factor_pairs], dtype=np.float64),
-             model.healthy_profile),
-        ):
-            side_model = (
-                model.false_negative_model if side == "fn" else model.false_positive_model
-            )
-            if runtime is not None and len(labels) > 1:
-                class_key = tuple(classes) if classes is not None else None
-                n_blocks = min(runtime.workers, len(labels))
-                bounds = np.linspace(0, len(labels), n_blocks + 1, dtype=int)
-                jobs = [
-                    (side_model.parameters, factors[lo:hi], class_key, profile)
-                    for lo, hi in zip(bounds, bounds[1:])
-                    if hi > lo
-                ]
-                rates[side] = np.concatenate(runtime.map(_sweep_block, jobs))
-            else:
-                table = ParameterTable.from_model_parameters(
-                    side_model.parameters, num_rows=len(labels)
-                ).with_machine_improved(factors, classes)
-                rates[side] = table.system_failure_probability(profile)
-        points = [
-            SystemOperatingPoint(
-                label=label,
-                p_false_negative=float(rates["fn"][i]),
-                p_false_positive=float(rates["fp"][i]),
-            )
-            for i, label in enumerate(labels)
-        ]
-        return TradeoffFrontier(points)
+        with get_instrumentation().span("tradeoff.sweep", settings=len(labels)):
+            for side, factors, profile in (
+                ("fn", np.asarray([p[0] for p in factor_pairs], dtype=np.float64),
+                 model.cancer_profile),
+                ("fp", np.asarray([p[1] for p in factor_pairs], dtype=np.float64),
+                 model.healthy_profile),
+            ):
+                side_model = (
+                    model.false_negative_model
+                    if side == "fn"
+                    else model.false_positive_model
+                )
+                if runtime is not None and len(labels) > 1:
+                    class_key = tuple(classes) if classes is not None else None
+                    n_blocks = min(runtime.workers, len(labels))
+                    bounds = np.linspace(0, len(labels), n_blocks + 1, dtype=int)
+                    jobs = [
+                        (side_model.parameters, factors[lo:hi], class_key, profile)
+                        for lo, hi in zip(bounds, bounds[1:])
+                        if hi > lo
+                    ]
+                    rates[side] = np.concatenate(runtime.map(_sweep_block, jobs))
+                else:
+                    table = ParameterTable.from_model_parameters(
+                        side_model.parameters, num_rows=len(labels)
+                    ).with_machine_improved(factors, classes)
+                    rates[side] = table.system_failure_probability(profile)
+            points = [
+                SystemOperatingPoint(
+                    label=label,
+                    p_false_negative=float(rates["fn"][i]),
+                    p_false_positive=float(rates["fp"][i]),
+                )
+                for i, label in enumerate(labels)
+            ]
+            return TradeoffFrontier(points)
     if method == "scalar":
         points = []
         for label, (fn_factor, fp_factor) in zip(labels, factor_pairs):

@@ -164,7 +164,11 @@ class BetaPosterior:
         if not 0.0 <= q <= 1.0:
             raise EstimationError(f"quantile level must be in [0, 1], got {q!r}")
         if _scipy_beta is not None:
-            return float(_scipy_beta.ppf(q, self.alpha, self.beta))
+            value = float(_scipy_beta.ppf(q, self.alpha, self.beta))
+            if math.isfinite(value):
+                return value
+            # boost's incomplete-beta inversion can give up (NaN) at
+            # subnormal levels; fall through to the Monte Carlo estimate.
         rng = np.random.default_rng(0)
         samples = self.sample(rng, num_samples)
         return float(np.quantile(samples, q))

@@ -30,12 +30,13 @@ across calls; both entry points accept one via ``runtime=``.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..core.case_class import CaseClass
 from ..exceptions import SimulationError
+from ..obs import get_instrumentation
 from ..screening.classifier import CaseClassifier, SingleClassClassifier
 from ..screening.workload import Workload
 from ..system.simulate import FailureTally, SystemEvaluation, evaluate_system
@@ -122,6 +123,8 @@ def cancer_class_labels(
     workload: Workload,
     classifier: CaseClassifier,
     arrays: CaseArrays | None = None,
+    *,
+    on_scalar_fallback: Callable[[], None] | None = None,
 ) -> tuple[np.ndarray, list[CaseClass]]:
     """Positions and classes of the workload's cancer cases, in order.
 
@@ -129,6 +132,8 @@ def cancer_class_labels(
     ``classifier.classes``) when it offers one; classifiers that only
     implement the per-case ``classify`` — including third-party ones —
     fall back to the original case loop and produce identical labels.
+    ``on_scalar_fallback`` (if given) is invoked exactly when that loop
+    is taken, so callers like the runtime can surface the degradation.
 
     Returns:
         ``(positions, labels)`` where ``positions`` is the sorted
@@ -153,6 +158,8 @@ def cancer_class_labels(
                 )
             classes = classifier.classes
             return positions, [classes[int(code)] for code in codes[positions]]
+    if on_scalar_fallback is not None:
+        on_scalar_fallback()
     return positions, [
         classifier.classify(case) for case in workload.cases if case.has_cancer
     ]
@@ -240,32 +247,44 @@ def evaluate_system_batch(
         )
     classifier = classifier if classifier is not None else SingleClassClassifier()
 
-    arrays = workload.to_arrays()
-    if chunk_size is None:
-        from .runtime import plan_chunk_size
+    obs = get_instrumentation()
+    with obs.span(
+        "executor.evaluate", system=system.name, cases=len(workload)
+    ) as span:
+        arrays = workload.to_arrays()
+        if chunk_size is None:
+            from .runtime import plan_chunk_size
 
-        chunk_size = plan_chunk_size(
-            len(arrays), workers, bytes_per_case=arrays.bytes_per_case
-        )
-    chunks = plan_chunks(len(arrays), chunk_size)
-    rngs = _chunk_rngs(seed, len(chunks))
+            chunk_size = plan_chunk_size(
+                len(arrays), workers, bytes_per_case=arrays.bytes_per_case
+            )
+        chunks = plan_chunks(len(arrays), chunk_size)
+        span.set(chunks=len(chunks), workers=workers)
+        rngs = _chunk_rngs(seed, len(chunks))
 
-    if workers == 1:
-        chunk_failures = [
-            _decide_chunk(system, arrays.chunk(start, stop), rng)
-            for (start, stop), rng in zip(chunks, rngs)
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_decide_chunk, system, arrays.chunk(start, stop), rng)
+        if workers == 1:
+            chunk_failures = [
+                _decide_chunk(system, arrays.chunk(start, stop), rng)
                 for (start, stop), rng in zip(chunks, rngs)
             ]
-            chunk_failures = [future.result() for future in futures]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _decide_chunk, system, arrays.chunk(start, stop), rng
+                    )
+                    for (start, stop), rng in zip(chunks, rngs)
+                ]
+                chunk_failures = [future.result() for future in futures]
 
-    positions, labels = cancer_class_labels(workload, classifier, arrays)
-    tally = _tally_chunks(arrays, chunks, chunk_failures, positions, labels)
-    return tally.to_evaluation(system.name, workload.name, level)
+        positions, labels = cancer_class_labels(
+            workload,
+            classifier,
+            arrays,
+            on_scalar_fallback=lambda: obs.count("executor.scalar_classify"),
+        )
+        tally = _tally_chunks(arrays, chunks, chunk_failures, positions, labels)
+        return tally.to_evaluation(system.name, workload.name, level)
 
 
 def compare_systems_batch(
@@ -309,15 +328,18 @@ def compare_systems_batch(
             return shared.compare(
                 systems, workload, classifier, level, seed=seed, chunk_size=chunk_size
             )
-    return {
-        system.name: evaluate_system_batch(
-            system,
-            workload,
-            classifier,
-            level,
-            seed=seed,
-            workers=workers,
-            chunk_size=chunk_size,
-        )
-        for system in systems
-    }
+    with get_instrumentation().span(
+        "executor.compare", systems=len(systems), cases=len(workload)
+    ):
+        return {
+            system.name: evaluate_system_batch(
+                system,
+                workload,
+                classifier,
+                level,
+                seed=seed,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            for system in systems
+        }

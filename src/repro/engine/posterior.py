@@ -40,6 +40,7 @@ from ..core.case_class import CaseClass
 from ..core.parameters import ClassParameters, ModelParameters
 from ..core.profile import DemandProfile
 from ..exceptions import EstimationError, ParameterError, ProbabilityError
+from ..obs import get_instrumentation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..core.uncertainty import UncertainModel
@@ -348,6 +349,7 @@ class ParameterTable:
         if missing:
             names = ", ".join(sorted(c.name for c in missing))
             raise ParameterError(f"profile mentions classes without parameters: {names}")
+        get_instrumentation().count("posterior.rows_evaluated", self.num_rows)
         per_class = self.class_failure_probability()
         total = np.zeros(self.num_rows, dtype=np.float64)
         for cls, weight in profile.items():
@@ -386,21 +388,26 @@ def sample_parameter_table(
     if rng is None:
         rng = np.random.default_rng(seed)
     classes = tuple(model.classes)
-    columns: dict[str, list[np.ndarray]] = {name: [] for name in PARAMETER_FIELDS}
-    for cls in classes:
-        entry = model[cls]
-        for name in PARAMETER_FIELDS:
-            posterior = getattr(entry, name)
-            columns[name].append(
-                rng.beta(posterior.alpha, posterior.beta, size=num_draws)
-            )
-    return ParameterTable(
-        classes=classes,
-        **{
-            name: np.column_stack(drawn).astype(np.float64, copy=False)
-            for name, drawn in columns.items()
-        },
-    )
+    with get_instrumentation().span(
+        "posterior.sample", draws=num_draws, classes=len(classes)
+    ):
+        columns: dict[str, list[np.ndarray]] = {
+            name: [] for name in PARAMETER_FIELDS
+        }
+        for cls in classes:
+            entry = model[cls]
+            for name in PARAMETER_FIELDS:
+                posterior = getattr(entry, name)
+                columns[name].append(
+                    rng.beta(posterior.alpha, posterior.beta, size=num_draws)
+                )
+        return ParameterTable(
+            classes=classes,
+            **{
+                name: np.column_stack(drawn).astype(np.float64, copy=False)
+                for name, drawn in columns.items()
+            },
+        )
 
 
 def scenario_win_probability(

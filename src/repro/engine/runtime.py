@@ -41,7 +41,10 @@ path.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import time
+import warnings
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -53,7 +56,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from ..core.case_class import CaseClass
-from ..exceptions import SimulationError
+from ..exceptions import RuntimeDegradationWarning, SimulationError
+from ..obs import Instrumentation, SpanPayload, get_instrumentation
 from ..screening.classifier import CaseClassifier, SingleClassClassifier
 from ..screening.workload import Workload
 from ..system.simulate import SystemEvaluation, evaluate_system
@@ -262,16 +266,23 @@ def _attached_arrays(spec: _SegmentSpec) -> CaseArrays:
 _Job = tuple[int, int, "np.random.Generator | None"]
 
 
+def _decide_job(
+    system: ScreeningSystem, arrays: CaseArrays, job: _Job
+) -> np.ndarray:
+    """Decide one chunk job.  The single decision kernel every execution
+    path — serial, pooled, traced or not — runs, which is what makes the
+    bit-identity guarantee structural rather than incidental."""
+    start, stop, rng = job
+    chunk = arrays.chunk(start, stop)
+    decisions = system.decide_batch(chunk, rng=rng)
+    return np.asarray(decisions.failures(chunk.has_cancer))
+
+
 def _decide_jobs(
     system: ScreeningSystem, arrays: CaseArrays, jobs: Sequence[_Job]
 ) -> list[np.ndarray]:
     """Run a group of chunk jobs over in-memory arrays, in order."""
-    out: list[np.ndarray] = []
-    for start, stop, rng in jobs:
-        chunk = arrays.chunk(start, stop)
-        decisions = system.decide_batch(chunk, rng=rng)
-        out.append(np.asarray(decisions.failures(chunk.has_cancer)))
-    return out
+    return [_decide_job(system, arrays, job) for job in jobs]
 
 
 def _decide_jobs_shared(
@@ -279,6 +290,61 @@ def _decide_jobs_shared(
 ) -> list[np.ndarray]:
     """Worker entry point: attach the shared plane, then run the jobs."""
     return _decide_jobs(system, _attached_arrays(spec), jobs)
+
+
+def _decide_jobs_traced(
+    system: ScreeningSystem, arrays: CaseArrays, jobs: Sequence[_Job]
+) -> tuple[list[np.ndarray], list[SpanPayload]]:
+    """Traced twin of :func:`_decide_jobs`: same kernel, plus one
+    ``runtime.chunk`` span payload per job for the parent to ingest.
+
+    Timing wraps the kernel call — it never reaches inside it and never
+    touches the job's generator, so results are those of
+    :func:`_decide_jobs` by construction.
+    """
+    pid = os.getpid()
+    results: list[np.ndarray] = []
+    payload: list[SpanPayload] = []
+    for job in jobs:
+        began = time.perf_counter()
+        results.append(_decide_job(system, arrays, job))
+        payload.append(
+            (
+                "runtime.chunk",
+                {"start": job[0], "stop": job[1]},
+                time.perf_counter() - began,
+                pid,
+            )
+        )
+    return results, payload
+
+
+def _decide_jobs_shared_traced(
+    system: ScreeningSystem, spec: _SegmentSpec, jobs: Sequence[_Job]
+) -> tuple[list[np.ndarray], list[SpanPayload]]:
+    """Traced twin of :func:`_decide_jobs_shared`.
+
+    Also reports a ``runtime.attach`` span (with the segment's byte
+    size) the first time this worker process attaches the segment, so
+    the parent can count shm bytes attached across the pool.
+    """
+    fresh = spec.name not in _WORKER_SEGMENTS
+    began = time.perf_counter()
+    arrays = _attached_arrays(spec)
+    payload: list[SpanPayload] = []
+    if fresh:
+        segment_bytes = _WORKER_SEGMENTS[spec.name][0].size
+        payload.append(
+            (
+                "runtime.attach",
+                {"segment": spec.name, "bytes": segment_bytes},
+                time.perf_counter() - began,
+                os.getpid(),
+            )
+        )
+    results, chunk_payload = _decide_jobs_traced(system, arrays, jobs)
+    payload.extend(chunk_payload)
+    return results, payload
 
 
 def _group_jobs(jobs: Sequence[_Job], n_groups: int) -> list[list[_Job]]:
@@ -373,6 +439,10 @@ class EngineRuntime:
             requests shared memory but still falls back if a segment
             cannot be created.
         max_cached_workloads: Distinct workloads kept resident (LRU).
+        obs: Instrumentation to record into.  ``None`` (the default)
+            resolves the ambient instrumentation at construction — the
+            null singleton unless :func:`repro.obs.use_instrumentation`
+            is active — so plain runtimes pay only no-op calls.
 
     Thread-safety: a runtime is not thread-safe; share it across calls,
     not across threads.
@@ -383,6 +453,7 @@ class EngineRuntime:
         workers: int = 2,
         use_shared_memory: bool | None = None,
         max_cached_workloads: int = 4,
+        obs: Instrumentation | None = None,
     ) -> None:
         if workers < 1:
             raise SimulationError(f"workers must be >= 1, got {workers!r}")
@@ -392,8 +463,16 @@ class EngineRuntime:
             )
         self._workers = int(workers)
         self._max_cached = int(max_cached_workloads)
+        self._obs = obs if obs is not None else get_instrumentation()
+        self._degraded: set[str] = set()
         if use_shared_memory is None or use_shared_memory:
             self._use_shm = shared_memory_available()
+            if not self._use_shm and self._workers > 1:
+                self._note_degradation(
+                    "no_shm",
+                    "shared memory is unavailable; workloads will be pickled "
+                    "into every task group (results are unaffected)",
+                )
         else:
             self._use_shm = False
         self._pool_box: list[ProcessPoolExecutor | None] = [None]
@@ -446,6 +525,16 @@ class EngineRuntime:
         return self._use_shm
 
     @property
+    def obs(self) -> Instrumentation:
+        """The instrumentation this runtime records into."""
+        return self._obs
+
+    @property
+    def degradations(self) -> frozenset[str]:
+        """Degradation reasons that have fired on this runtime."""
+        return frozenset(self._degraded)
+
+    @property
     def active_segments(self) -> tuple[str, ...]:
         """Names of the shared segments currently published."""
         return tuple(
@@ -493,21 +582,28 @@ class EngineRuntime:
         classifier = (
             classifier if classifier is not None else SingleClassClassifier()
         )
-        entry = self._workload_entry(workload)
-        arrays = entry.arrays
-        if chunk_size is None:
-            chunk_size = plan_chunk_size(
-                len(arrays), self._workers, bytes_per_case=arrays.bytes_per_case
-            )
-        chunks = plan_chunks(len(arrays), chunk_size)
-        rngs = _chunk_rngs(seed, len(chunks))
-        jobs: list[_Job] = [
-            (start, stop, rng) for (start, stop), rng in zip(chunks, rngs)
-        ]
-        chunk_failures = self._run_jobs(system, entry, jobs, seed)
-        positions, labels = self._cancer_labels(entry, workload, classifier)
-        tally = _tally_chunks(arrays, chunks, chunk_failures, positions, labels)
-        return tally.to_evaluation(system.name, workload.name, level)
+        with self._obs.span(
+            "runtime.evaluate", system=system.name, cases=len(workload)
+        ) as span:
+            entry = self._workload_entry(workload)
+            arrays = entry.arrays
+            if chunk_size is None:
+                chunk_size = plan_chunk_size(
+                    len(arrays), self._workers, bytes_per_case=arrays.bytes_per_case
+                )
+            chunks = plan_chunks(len(arrays), chunk_size)
+            span.set(chunks=len(chunks), chunk_size=chunk_size)
+            rngs = _chunk_rngs(seed, len(chunks))
+            jobs: list[_Job] = [
+                (start, stop, rng) for (start, stop), rng in zip(chunks, rngs)
+            ]
+            chunk_failures = self._run_jobs(system, entry, jobs, seed)
+            positions, labels = self._cancer_labels(entry, workload, classifier)
+            with self._obs.span("runtime.tally", chunks=len(chunks)):
+                tally = _tally_chunks(
+                    arrays, chunks, chunk_failures, positions, labels
+                )
+                return tally.to_evaluation(system.name, workload.name, level)
 
     def compare(
         self,
@@ -557,30 +653,70 @@ class EngineRuntime:
         work = list(items)
         if not work:
             return []
-        pool = self._ensure_pool()
-        if pool is not None:
+        with self._obs.span("runtime.map", items=len(work)):
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    pickle.dumps((fn, work[0]))
+                except Exception:
+                    pool = None
+                    self._note_degradation(
+                        "unpicklable_map",
+                        f"{getattr(fn, '__name__', fn)!r} (or its items) cannot "
+                        "be pickled; mapping in-process instead of on the pool",
+                    )
+            if pool is None:
+                return [fn(item) for item in work]
             try:
-                pickle.dumps((fn, work[0]))
-            except Exception:
-                pool = None
-        if pool is None:
-            return [fn(item) for item in work]
-        try:
-            futures = [pool.submit(fn, item) for item in work]
-            return [future.result() for future in futures]
-        except BrokenProcessPool:  # pragma: no cover - defensive recovery
-            self._discard_pool()
-            return [fn(item) for item in work]
+                futures = [pool.submit(fn, item) for item in work]
+                return [future.result() for future in futures]
+            except BrokenProcessPool:  # pragma: no cover - defensive recovery
+                self._discard_pool()
+                self._note_degradation(
+                    "broken_pool",
+                    "the worker pool broke mid-map; recomputing in-process "
+                    "(results are unaffected)",
+                )
+                return [fn(item) for item in work]
 
     # -- internals ------------------------------------------------------
+
+    def _note_degradation(self, reason: str, message: str) -> None:
+        """Count a degraded-path event; warn the first time per reason.
+
+        The counter (``runtime.degraded.<reason>``) records *every*
+        event so run reports show true frequencies; the
+        :class:`RuntimeDegradationWarning` fires once per runtime per
+        reason so a tight evaluation loop cannot flood the caller.
+        """
+        self._obs.count(f"runtime.degraded.{reason}")
+        if reason not in self._degraded:
+            self._degraded.add(reason)
+            warnings.warn(
+                f"EngineRuntime degraded ({reason}): {message}",
+                RuntimeDegradationWarning,
+                stacklevel=3,
+            )
+
+    def _ingest_worker_payload(self, payload: list[SpanPayload]) -> None:
+        """Fold a traced worker's spans into this runtime's instrumentation."""
+        self._obs.ingest_spans(payload)
+        for name, attrs, duration, _ in payload:
+            if name == "runtime.chunk":
+                self._obs.observe("runtime.chunk.wall_s", duration)
+            elif name == "runtime.attach":
+                self._obs.count("runtime.shm.bytes_attached", float(attrs["bytes"]))  # type: ignore[arg-type]
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         """The persistent pool, created on first parallel need (or None)."""
         if self._workers <= 1:
             return None
         if self._pool_box[0] is None:
-            self._pool_box[0] = ProcessPoolExecutor(max_workers=self._workers)
+            with self._obs.span("runtime.pool_launch", workers=self._workers):
+                self._pool_box[0] = ProcessPoolExecutor(max_workers=self._workers)
             self._pool_launches += 1
+            self._obs.gauge("runtime.pool.workers", self._workers)
+            self._obs.count("runtime.pool.launches")
         return self._pool_box[0]
 
     def _discard_pool(self) -> None:
@@ -601,9 +737,11 @@ class EngineRuntime:
         entry = self._cache.get(digest)
         if entry is not None:
             self._hits += 1
+            self._obs.count("runtime.workload_cache.hit")
             self._cache.move_to_end(digest)
             return entry
         self._misses += 1
+        self._obs.count("runtime.workload_cache.miss")
         entry = _CachedWorkload(arrays=arrays)
         self._cache[digest] = entry
         while len(self._cache) > self._max_cached:
@@ -631,8 +769,20 @@ class EngineRuntime:
         """
         cached = entry.labels.get(id(classifier))
         if cached is not None and cached[0] is classifier:
+            self._obs.count("runtime.label_cache.hit")
             return cached[1], cached[2]
-        positions, labels = cancer_class_labels(workload, classifier, entry.arrays)
+        self._obs.count("runtime.label_cache.miss")
+        positions, labels = cancer_class_labels(
+            workload,
+            classifier,
+            entry.arrays,
+            on_scalar_fallback=lambda: self._note_degradation(
+                "scalar_classify",
+                f"classifier {type(classifier).__name__} has no usable "
+                "classify_batch; cancer labels come from the per-case loop "
+                "(labels are identical, classification is slower)",
+            ),
+        )
         entry.labels[id(classifier)] = (classifier, positions, labels)
         return positions, labels
 
@@ -645,7 +795,14 @@ class EngineRuntime:
                 entry.segment, entry.spec = _publish_arrays(entry.arrays)
             except OSError:  # pragma: no cover - e.g. /dev/shm filled up
                 self._use_shm = False
+                self._note_degradation(
+                    "no_shm",
+                    "publishing a workload to shared memory failed; falling "
+                    "back to pickling arrays into tasks",
+                )
                 return None
+            self._obs.count("runtime.shm.bytes_published", entry.segment.size)
+            self._obs.gauge("runtime.shm.segments", len(self.active_segments))
         return entry.spec
 
     def _run_jobs(
@@ -669,27 +826,62 @@ class EngineRuntime:
                 pickle.dumps(system)
             except Exception:
                 parallel = False
+                self._note_degradation(
+                    "unpicklable_system",
+                    f"system {system.name!r} cannot be pickled; evaluating "
+                    "in-process instead of on the worker pool",
+                )
         pool = self._ensure_pool() if parallel else None
         if pool is None:
-            return _decide_jobs(system, entry.arrays, jobs)
+            return self._run_jobs_serial(system, entry.arrays, jobs)
         groups = _group_jobs(jobs, self._workers)
         spec = self._publish(entry)
+        traced = self._obs.enabled
         try:
             if spec is not None:
+                shared_fn = (
+                    _decide_jobs_shared_traced if traced else _decide_jobs_shared
+                )
                 futures = [
-                    pool.submit(_decide_jobs_shared, system, spec, group)
+                    pool.submit(shared_fn, system, spec, group)
                     for group in groups
                 ]
             else:
+                plain_fn = _decide_jobs_traced if traced else _decide_jobs
                 futures = [
-                    pool.submit(_decide_jobs, system, entry.arrays, group)
+                    pool.submit(plain_fn, system, entry.arrays, group)
                     for group in groups
                 ]
-            grouped = [future.result() for future in futures]
-        except BrokenProcessPool:  # pragma: no cover - defensive recovery
+            outputs = [future.result() for future in futures]
+        except BrokenProcessPool:
             self._discard_pool()
-            return _decide_jobs(system, entry.arrays, jobs)
+            self._note_degradation(
+                "broken_pool",
+                "the worker pool broke mid-evaluation; recomputing the "
+                "chunks in-process (results are unaffected)",
+            )
+            return self._run_jobs_serial(system, entry.arrays, jobs)
+        if traced:
+            grouped = []
+            for results, payload in outputs:
+                self._ingest_worker_payload(payload)
+                grouped.append(results)
+        else:
+            grouped = outputs
         return [failed for group in grouped for failed in group]
+
+    def _run_jobs_serial(
+        self,
+        system: ScreeningSystem,
+        arrays: CaseArrays,
+        jobs: list[_Job],
+    ) -> list[np.ndarray]:
+        """The in-process job loop, traced only when somebody is watching."""
+        if not self._obs.enabled:
+            return _decide_jobs(system, arrays, jobs)
+        results, payload = _decide_jobs_traced(system, arrays, jobs)
+        self._ingest_worker_payload(payload)
+        return results
 
 
 def _noop(value: _T) -> _T:  # pragma: no cover - trivial

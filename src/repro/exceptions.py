@@ -16,6 +16,7 @@ __all__ = [
     "EstimationError",
     "SimulationError",
     "StructureError",
+    "RuntimeDegradationWarning",
 ]
 
 
@@ -54,3 +55,15 @@ class SimulationError(ReproError, RuntimeError):
 
 class StructureError(ReproError, ValueError):
     """A reliability block diagram structure is malformed."""
+
+
+class RuntimeDegradationWarning(RuntimeWarning):
+    """The engine runtime silently fell back to a slower execution path.
+
+    Raised (as a warning, once per runtime per reason) when a fast path is
+    unavailable: shared memory missing, a worker pool broke, a system failed
+    to pickle, or a classifier forced the scalar classify fallback.  Results
+    are unaffected — only throughput degrades — so this is a warning, not an
+    error.  Each event also increments a ``runtime.degraded.<reason>``
+    counter on the active instrumentation (see :mod:`repro.obs`).
+    """

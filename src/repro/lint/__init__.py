@@ -19,6 +19,9 @@ REP004    no float ``==``/``!=`` on probability expressions; no mutable
           default arguments
 REP005    public ``decide``/``evaluate``/``compare`` entry points must
           accept and forward ``seed``/``rng``
+REP006    instrumentation never touches RNG state — no randomness
+          inside :mod:`repro.obs`, no generator objects handed to
+          instrumentation calls anywhere else
 ========  ==============================================================
 
 Run it as ``python -m repro.lint [paths]``, or through the

@@ -50,6 +50,10 @@ class LintConfig:
         seed_threading_packages: Packages whose public ``decide`` /
             ``evaluate*`` / ``compare*`` entry points must thread
             ``seed``/``rng`` (REP005).
+        observability_packages: Packages that implement instrumentation
+            (metrics, spans, run reports) and therefore must never touch
+            RNG state (REP006).  Outside these packages the same rule
+            forbids handing generator objects to instrumentation calls.
         validator_names: Call names that count as boundary validation
             for REP003.
         probability_name_regex: What parameter/variable names denote
@@ -75,6 +79,7 @@ class LintConfig:
         "repro.system",
         "repro.engine",
     )
+    observability_packages: tuple[str, ...] = ("repro.obs",)
     validator_names: tuple[str, ...] = VALIDATOR_NAMES
     probability_name_regex: str = (
         r"^(p_.+|.+_prob|.+_probability|prevalence|sensitivity|specificity)$"

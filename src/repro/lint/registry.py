@@ -21,6 +21,7 @@ _RULE_MODULES = (
     "repro.lint.rules.rep003_validation",
     "repro.lint.rules.rep004_comparisons",
     "repro.lint.rules.rep005_seed_threading",
+    "repro.lint.rules.rep006_observability",
 )
 
 _REGISTRY: dict[str, "Rule"] = {}

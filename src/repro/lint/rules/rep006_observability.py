@@ -1,0 +1,258 @@
+"""REP006: instrumentation must never touch RNG state.
+
+The observability subsystem (``repro.obs``) carries a hard guarantee:
+seeded results are bit-identical with instrumentation enabled or
+disabled.  That holds only if instrumentation code can neither draw
+randomness itself nor be handed a live generator whose state it could
+advance.  Two scopes enforce it:
+
+* **Inside observability packages** — no ``random``/``numpy.random``
+  imports, no ``default_rng`` construction, no sampling-method calls
+  (``.normal``, ``.choice``, ``.spawn`` …), and no function parameters
+  named like generators (``rng``, ``generator``): an instrumentation
+  layer that *accepts* a generator is one refactor away from advancing
+  it.
+* **Everywhere else** — instrumentation calls (``obs.span(...)``,
+  ``obs.count(...)``, ``get_instrumentation().observe(...)`` …) must
+  not capture generator objects as arguments or attribute values.
+  Span attributes are serialised and shipped across processes; a
+  generator smuggled through one would silently fork or advance the
+  stream the determinism contract depends on.
+
+Counting *derived scalars* (``obs.count("draws", n)``) is fine — the
+rule bans the generator object itself, not facts about the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext, dotted_name
+from ..findings import Finding
+from ..registry import register
+
+#: Generator methods whose call inside an observability package proves
+#: the instrumentation layer is consuming or mutating RNG state.
+_SAMPLING_ATTRS = frozenset(
+    {
+        "normal",
+        "standard_normal",
+        "uniform",
+        "beta",
+        "gamma",
+        "poisson",
+        "binomial",
+        "integers",
+        "random",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "spawn",
+        "jumped",
+        "bit_generator",
+    }
+)
+
+#: Methods on an instrumentation object that accept run data.
+_INSTRUMENTATION_METHODS = frozenset(
+    {"span", "count", "gauge", "observe", "ingest_spans", "increment", "set_gauge"}
+)
+
+#: Receiver names that conventionally hold an instrumentation object.
+_INSTRUMENTATION_RECEIVERS = frozenset(
+    {"obs", "_obs", "instrumentation", "_instrumentation"}
+)
+
+
+def _is_generator_name(name: str) -> bool:
+    """Whether ``name`` conventionally denotes a numpy Generator."""
+    return (
+        name in ("rng", "generator")
+        or name.endswith("_rng")
+        or name.endswith("_generator")
+    )
+
+
+def _resolve(name: str, aliases: dict[str, str]) -> str:
+    """Expand the leading segment of a dotted name through import aliases."""
+    head, _, rest = name.partition(".")
+    return aliases.get(head, head) + ("." + rest if rest else "")
+
+
+@register
+class ObservabilityPurityRule:
+    rule_id = "REP006"
+    summary = (
+        "instrumentation never touches RNG state: no randomness inside "
+        "observability packages, no generator objects handed to them"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        config = context.config
+        if config.in_packages(context.module, config.observability_packages):
+            yield from self._check_observability_module(context)
+        else:
+            yield from self._check_instrumentation_calls(context)
+
+    # ------------------------------------------------------------------
+    # Scope A: inside repro.obs — no randomness of any shape.
+    # ------------------------------------------------------------------
+
+    def _check_observability_module(
+        self, context: ModuleContext
+    ) -> Iterator[Finding]:
+        aliases = context.import_aliases()
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if self._is_random_module(name.name):
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"observability code must not import {name.name!r}; "
+                            "instrumentation may not touch RNG state",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    self._is_random_module(node.module)
+                    or any(
+                        self._is_random_module(f"{node.module}.{alias.name}")
+                        for alias in node.names
+                    )
+                ):
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"observability code must not import from {node.module!r}; "
+                        "instrumentation may not touch RNG state",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_obs_call(context, node, aliases)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_obs_signature(context, node)
+
+    @staticmethod
+    def _is_random_module(name: str) -> bool:
+        return (
+            name == "random"
+            or name.startswith("random.")
+            or name == "numpy.random"
+            or name.startswith("numpy.random.")
+        )
+
+    def _check_obs_call(
+        self,
+        context: ModuleContext,
+        node: ast.Call,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        resolved = _resolve(name, aliases)
+        if resolved == "default_rng" or resolved.endswith(".default_rng"):
+            yield context.finding(
+                node,
+                self.rule_id,
+                "observability code must not construct generators "
+                "(default_rng); instrumentation may not touch RNG state",
+            )
+            return
+        if "numpy.random" in resolved:
+            yield context.finding(
+                node,
+                self.rule_id,
+                "observability code must not call into numpy.random; "
+                "instrumentation may not touch RNG state",
+            )
+            return
+        tail = resolved.rsplit(".", 1)[-1]
+        if "." in name and tail in _SAMPLING_ATTRS:
+            receiver = name.rsplit(".", 1)[0].rsplit(".", 1)[-1]
+            if _is_generator_name(receiver) or tail in ("spawn", "jumped"):
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"observability code must not call generator method "
+                    f"{tail!r}; instrumentation may not advance RNG state",
+                )
+
+    def _check_obs_signature(
+        self,
+        context: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        arguments = node.args
+        params = [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]
+        for param in params:
+            if _is_generator_name(param.arg):
+                yield context.finding(
+                    param,
+                    self.rule_id,
+                    f"observability function {node.name!r} accepts generator "
+                    f"parameter {param.arg!r}; instrumentation must not hold "
+                    "RNG state — pass derived scalars instead",
+                )
+
+    # ------------------------------------------------------------------
+    # Scope B: everywhere else — no generators into instrumentation.
+    # ------------------------------------------------------------------
+
+    def _check_instrumentation_calls(
+        self, context: ModuleContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_instrumentation_call(node):
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and _is_generator_name(arg.id):
+                    yield context.finding(
+                        arg,
+                        self.rule_id,
+                        f"generator {arg.id!r} passed to instrumentation; "
+                        "record derived scalars (counts, seeds-as-ints), "
+                        "never the generator object",
+                    )
+            for keyword in node.keywords:
+                value_is_generator = isinstance(
+                    keyword.value, ast.Name
+                ) and _is_generator_name(keyword.value.id)
+                name_is_generator = keyword.arg is not None and _is_generator_name(
+                    keyword.arg
+                )
+                if value_is_generator or name_is_generator:
+                    label = keyword.arg or "**kwargs"
+                    yield context.finding(
+                        keyword.value,
+                        self.rule_id,
+                        f"generator captured by instrumentation attribute "
+                        f"{label!r}; record derived scalars, never the "
+                        "generator object",
+                    )
+
+    @staticmethod
+    def _is_instrumentation_call(node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in _INSTRUMENTATION_METHODS:
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in _INSTRUMENTATION_RECEIVERS
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in _INSTRUMENTATION_RECEIVERS
+        if isinstance(receiver, ast.Call):
+            name = dotted_name(receiver.func)
+            return name is not None and name.rsplit(".", 1)[-1] == (
+                "get_instrumentation"
+            )
+        return False

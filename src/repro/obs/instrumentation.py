@@ -1,0 +1,154 @@
+"""The instrumentation facade and the ambient-instrumentation context.
+
+:class:`Instrumentation` bundles the two halves of :mod:`repro.obs` —
+a :class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.spans.SpanCollector` — behind the handful of calls
+instrumented code actually makes (``span``/``count``/``gauge``/
+``observe``).  :data:`NULL_INSTRUMENTATION` is the disabled twin and the
+default everywhere: every call is a no-op, so hot paths pay only a few
+function calls when observability is off (gated at <= 2% overhead by
+``benchmarks/test_obs_overhead.py``).
+
+Instrumented entry points resolve their instrumentation in one of two
+ways, in priority order:
+
+1. an explicit object handed to them (``EngineRuntime(obs=...)``);
+2. the *ambient* instrumentation — a module-level slot set by
+   :func:`use_instrumentation`, which the CLI's ``--profile`` /
+   ``--trace-out`` flags use to light up every layer of one command
+   without threading a parameter through each call.
+
+The ambient slot is process-global, not thread-local, matching the
+engine's documented "share across calls, not across threads" contract.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .spans import NULL_SPAN_COLLECTOR, SpanCollector, SpanPayload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .report import RunReport
+    from .spans import _ActiveSpan
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "get_instrumentation",
+    "use_instrumentation",
+]
+
+
+class Instrumentation:
+    """A live metrics registry plus span collector for one run.
+
+    Args:
+        name: Label stamped onto the run report (e.g. the CLI command).
+
+    Attributes:
+        enabled: ``True`` — instrumented code may branch on this to skip
+            work that only matters when somebody is watching (e.g.
+            shipping span payloads back from workers).
+        metrics: The backing :class:`~repro.obs.metrics.MetricsRegistry`.
+        spans: The backing :class:`~repro.obs.spans.SpanCollector`.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, name: str = "run") -> None:
+        self.name = name
+        self.metrics: MetricsRegistry = MetricsRegistry()
+        self.spans: SpanCollector = SpanCollector()
+        self._started = time.perf_counter()
+
+    def span(self, name: str, **attrs: object) -> "_ActiveSpan":
+        """Open a timed region; record it when the ``with`` block exits."""
+        return self.spans.span(name, **attrs)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter ``name``."""
+        self.metrics.increment(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name``."""
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        self.metrics.observe(name, value)
+
+    def ingest_spans(self, payload: Mapping | list[SpanPayload]) -> None:
+        """Merge worker-process span payloads back into the collector."""
+        if payload:
+            self.spans.ingest(payload)  # type: ignore[arg-type]
+
+    def elapsed(self) -> float:
+        """Seconds since this instrumentation was created."""
+        return time.perf_counter() - self._started
+
+    def report(self, name: str | None = None) -> "RunReport":
+        """Snapshot everything recorded so far into a :class:`RunReport`."""
+        from .report import build_run_report
+
+        return build_run_report(self, name=name)
+
+
+class NullInstrumentation(Instrumentation):
+    """The disabled facade: shared null registry/collector, no-op calls."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # shared null backends, no clock
+        self.name = "null"
+        self.metrics = NULL_REGISTRY
+        self.spans = NULL_SPAN_COLLECTOR
+        self._started = 0.0
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def ingest_spans(self, payload: Mapping | list[SpanPayload]) -> None:
+        pass
+
+    def elapsed(self) -> float:
+        return 0.0
+
+
+#: The shared disabled instrumentation — the default everywhere.
+NULL_INSTRUMENTATION = NullInstrumentation()
+
+_ACTIVE: Instrumentation = NULL_INSTRUMENTATION
+
+
+def get_instrumentation() -> Instrumentation:
+    """The ambient instrumentation (the null singleton unless one is active)."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_instrumentation(obs: Instrumentation | None) -> Iterator[Instrumentation]:
+    """Make ``obs`` the ambient instrumentation for the enclosed block.
+
+    ``None`` leaves the current ambient instrumentation in place (so
+    callers can write ``with use_instrumentation(maybe_obs):`` without
+    branching).  The previous ambient object is always restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    if obs is not None:
+        _ACTIVE = obs
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,229 @@
+"""Run reports: "where did the time go and which degraded paths fired".
+
+A :class:`RunReport` is the JSON/text export of one
+:class:`~repro.obs.instrumentation.Instrumentation` lifetime: the
+metrics snapshot, every recorded span, a per-span-name time breakdown,
+and the degraded-path counters pulled out into their own section so a
+silently-degraded run is visible at a glance.
+
+The JSON form (``schema`` = :data:`REPORT_SCHEMA_VERSION`) is what the
+CLI's ``--trace-out PATH`` writes and what CI uploads as an artifact;
+the text form is what ``--profile`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from .instrumentation import Instrumentation
+
+__all__ = ["REPORT_SCHEMA_VERSION", "SpanSummary", "RunReport", "build_run_report"]
+
+#: Version stamp of the JSON export format.
+REPORT_SCHEMA_VERSION = 1
+
+#: Counter-name fragment that marks a degraded-path event.
+DEGRADED_MARKER = ".degraded."
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    max_s: float
+
+
+def _render_columns(headers: list[str], rows: list[list[str]]) -> str:
+    """A minimal fixed-width table (kept local: obs depends on nothing)."""
+    table = [headers, *rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class RunReport:
+    """The exportable record of one instrumented run.
+
+    Attributes:
+        name: Run label (e.g. the CLI command).
+        created: UTC timestamp (ISO 8601) the report was built.
+        duration_s: Seconds from instrumentation creation to the report.
+        metrics: The registry snapshot (counters/gauges/histograms).
+        spans: Every recorded span as a JSON-ready mapping.
+    """
+
+    name: str
+    created: str
+    duration_s: float
+    metrics: dict[str, dict[str, object]] = field(default_factory=dict)
+    spans: list[dict[str, object]] = field(default_factory=list)
+
+    # -- aggregation ----------------------------------------------------
+
+    def span_summaries(self) -> list[SpanSummary]:
+        """Per-name span aggregates, largest total time first."""
+        totals: dict[str, list[float]] = {}
+        for span in self.spans:
+            totals.setdefault(str(span["name"]), []).append(
+                float(span["duration_s"])  # type: ignore[arg-type]
+            )
+        summaries = [
+            SpanSummary(
+                name=name,
+                count=len(durations),
+                total_s=sum(durations),
+                mean_s=sum(durations) / len(durations),
+                max_s=max(durations),
+            )
+            for name, durations in totals.items()
+        ]
+        return sorted(summaries, key=lambda s: (-s.total_s, s.name))
+
+    def degraded_events(self) -> dict[str, float]:
+        """Counters marking degraded paths, keyed by reason suffix."""
+        counters = self.metrics.get("counters", {})
+        return {
+            name: float(value)  # type: ignore[arg-type]
+            for name, value in sorted(counters.items())
+            if DEGRADED_MARKER in name
+        }
+
+    # -- export ---------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON-ready mapping (``schema`` stamped)."""
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "name": self.name,
+            "created": self.created,
+            "duration_s": self.duration_s,
+            "metrics": self.metrics,
+            "spans": self.spans,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise the report as JSON."""
+        return json.dumps(self.as_dict(), indent=indent) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        """Write the JSON form to ``path``; returns the path written."""
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def from_dict(cls, body: dict[str, object]) -> "RunReport":
+        """Rebuild a report from its JSON mapping."""
+        return cls(
+            name=str(body.get("name", "run")),
+            created=str(body.get("created", "")),
+            duration_s=float(body.get("duration_s", 0.0)),  # type: ignore[arg-type]
+            metrics=dict(body.get("metrics", {})),  # type: ignore[arg-type]
+            spans=list(body.get("spans", [])),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a report from its JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def to_text(self) -> str:
+        """The human-readable breakdown ``--profile`` prints."""
+        lines = [f"run report: {self.name} ({self.created}, {self.duration_s:.3f}s)"]
+        summaries = self.span_summaries()
+        if summaries:
+            lines.append("")
+            lines.append("where the time went (spans):")
+            lines.append(
+                _render_columns(
+                    ["span", "count", "total ms", "mean ms", "max ms"],
+                    [
+                        [
+                            s.name,
+                            str(s.count),
+                            f"{s.total_s * 1e3:.1f}",
+                            f"{s.mean_s * 1e3:.2f}",
+                            f"{s.max_s * 1e3:.2f}",
+                        ]
+                        for s in summaries
+                    ],
+                )
+            )
+        counters = {
+            name: value
+            for name, value in self.metrics.get("counters", {}).items()
+            if DEGRADED_MARKER not in name
+        }
+        if counters:
+            lines.append("")
+            lines.append("counters:")
+            lines.append(
+                _render_columns(
+                    ["counter", "value"],
+                    [[name, f"{value:g}"] for name, value in sorted(counters.items())],  # type: ignore[arg-type]
+                )
+            )
+        gauges = self.metrics.get("gauges", {})
+        if gauges:
+            lines.append("")
+            lines.append("gauges:")
+            lines.append(
+                _render_columns(
+                    ["gauge", "value"],
+                    [[name, f"{value:g}"] for name, value in sorted(gauges.items())],  # type: ignore[arg-type]
+                )
+            )
+        histograms = self.metrics.get("histograms", {})
+        if histograms:
+            lines.append("")
+            lines.append("histograms:")
+            rows = []
+            for name, summary in sorted(histograms.items()):
+                rows.append(
+                    [
+                        name,
+                        f"{summary['count']:g}",  # type: ignore[index]
+                        f"{float(summary['total']) * 1e3:.1f}",  # type: ignore[index,arg-type]
+                        f"{float(summary['mean']) * 1e3:.2f}",  # type: ignore[index,arg-type]
+                        f"{float(summary['max']) * 1e3:.2f}",  # type: ignore[index,arg-type]
+                    ]
+                )
+            lines.append(
+                _render_columns(["histogram", "count", "total ms", "mean ms", "max ms"], rows)
+            )
+        degraded = self.degraded_events()
+        lines.append("")
+        if degraded:
+            lines.append("degraded paths fired:")
+            lines.append(
+                _render_columns(
+                    ["event", "count"],
+                    [[name, f"{value:g}"] for name, value in degraded.items()],
+                )
+            )
+        else:
+            lines.append("degraded paths fired: none")
+        return "\n".join(lines)
+
+
+def build_run_report(obs: Instrumentation, name: str | None = None) -> RunReport:
+    """Snapshot an :class:`Instrumentation` into a :class:`RunReport`."""
+    return RunReport(
+        name=name if name is not None else obs.name,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        duration_s=obs.elapsed(),
+        metrics=obs.metrics.snapshot(),
+        spans=[record.as_dict() for record in obs.spans.records()],
+    )

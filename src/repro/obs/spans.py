@@ -1,0 +1,202 @@
+"""Lightweight tracing spans: the timing half of :mod:`repro.obs`.
+
+A span is one timed region with a dotted name and a small bag of
+JSON-simple attributes::
+
+    with obs.span("compare.chunk", chunk=i):
+        ...
+
+Spans are recorded into a thread-safe in-memory
+:class:`SpanCollector`.  Worker processes cannot share the parent's
+collector, so instrumented worker entry points time their regions
+locally and return a plain-tuple payload alongside their results; the
+parent folds it back with :meth:`SpanCollector.ingest` — the "merge
+through the result channel" used by
+:class:`~repro.engine.runtime.EngineRuntime`.
+
+The determinism contract: spans observe wall-clock time only.  Nothing
+in this module imports, constructs, or advances a random generator, and
+REP006 (``repro.lint``) enforces that statically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Iterable
+
+__all__ = [
+    "SpanRecord",
+    "SpanCollector",
+    "NullSpanCollector",
+    "NULL_SPAN_COLLECTOR",
+    "SpanPayload",
+]
+
+#: The picklable cross-process form of one finished span:
+#: ``(name, attrs, duration_s, pid)``.
+SpanPayload = tuple[str, dict[str, object], float, int]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        name: Dotted region name (``"runtime.evaluate"``).
+        duration_s: Wall-clock duration in seconds.
+        attrs: JSON-simple attributes attached at entry or via ``set``.
+        started_s: ``time.perf_counter()`` at entry, in the *recording*
+            process's clock — comparable within a process, not across.
+        pid: Process id the span was recorded in.
+    """
+
+    name: str
+    duration_s: float
+    attrs: dict[str, object] = field(default_factory=dict)
+    started_s: float = 0.0
+    pid: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON-ready mapping used by run reports."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+        }
+
+    def as_payload(self) -> SpanPayload:
+        """The picklable tuple form for the cross-process result channel."""
+        return (self.name, dict(self.attrs), self.duration_s, self.pid)
+
+
+class _ActiveSpan:
+    """Context manager timing one region into a collector."""
+
+    __slots__ = ("_collector", "_name", "_attrs", "_started")
+
+    def __init__(
+        self, collector: "SpanCollector", name: str, attrs: dict[str, object]
+    ) -> None:
+        self._collector = collector
+        self._name = name
+        self._attrs = attrs
+        self._started = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach or overwrite attributes while the span is open."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        duration = time.perf_counter() - self._started
+        if exc_type is not None:
+            self._attrs.setdefault("error", exc_type.__name__)
+        self._collector.append(
+            SpanRecord(
+                name=self._name,
+                duration_s=duration,
+                attrs=self._attrs,
+                started_s=self._started,
+                pid=os.getpid(),
+            )
+        )
+
+
+class SpanCollector:
+    """A thread-safe, append-only store of finished spans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a span; it is recorded when the ``with`` block exits."""
+        return _ActiveSpan(self, name, dict(attrs))
+
+    def append(self, record: SpanRecord) -> None:
+        """Record one finished span."""
+        with self._lock:
+            self._records.append(record)
+
+    def ingest(self, payload: Iterable[SpanPayload]) -> None:
+        """Fold worker-process spans (tuple form) into this collector."""
+        records = [
+            SpanRecord(name=name, duration_s=duration, attrs=dict(attrs), pid=pid)
+            for name, attrs, duration, pid in payload
+        ]
+        with self._lock:
+            self._records.extend(records)
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        """All finished spans, in recording order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class _NullSpan:
+    """The shared do-nothing span for disabled instrumentation."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullSpanCollector(SpanCollector):
+    """The disabled collector: hands out one shared no-op span."""
+
+    def __init__(self) -> None:  # no lock, no list
+        pass
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def append(self, record: SpanRecord) -> None:
+        pass
+
+    def ingest(self, payload: Iterable[SpanPayload]) -> None:
+        pass
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        return ()
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled collector.
+NULL_SPAN_COLLECTOR = NullSpanCollector()

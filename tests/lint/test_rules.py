@@ -406,6 +406,129 @@ class TestRep005SeedThreading:
         assert findings == []
 
 
+class TestRep006Observability:
+    def test_flags_random_import_inside_obs(self):
+        findings = run(
+            "import random\n", module="repro.obs.metrics", select=("REP006",)
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_flags_numpy_random_import_inside_obs(self):
+        findings = run(
+            "from numpy.random import default_rng\n",
+            module="repro.obs.spans",
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_flags_seeded_default_rng_inside_obs(self):
+        # Even *seeded* construction is banned inside instrumentation:
+        # the observability layer has no business holding a generator.
+        findings = run(
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng(7)
+            """,
+            module="repro.obs.report",
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_flags_generator_method_call_inside_obs(self):
+        findings = run(
+            """
+            def sample_ids(rng):
+                return rng.integers(0, 10)
+            """,
+            module="repro.obs.metrics",
+            select=("REP006",),
+        )
+        # Both the rng-named parameter and the sampling call are findings.
+        assert rule_ids(findings) == ["REP006", "REP006"]
+
+    def test_flags_generator_parameter_inside_obs(self):
+        findings = run(
+            """
+            def record(name, generator):
+                return (name, generator)
+            """,
+            module="repro.obs.instrumentation",
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+        assert "generator" in findings[0].message
+
+    def test_allows_pure_timing_code_inside_obs(self):
+        findings = run(
+            """
+            import time
+
+            def stamp(counts):
+                return (time.perf_counter(), sum(counts.values()))
+            """,
+            module="repro.obs.spans",
+            select=("REP006",),
+        )
+        assert findings == []
+
+    def test_flags_generator_positional_arg_to_instrumentation(self):
+        findings = run(
+            """
+            def evaluate(obs, rng):
+                obs.count("draws", rng)
+            """,
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_flags_generator_span_attribute(self):
+        findings = run(
+            """
+            def evaluate(self, rng):
+                with self._obs.span("sample", rng=rng):
+                    return rng.random()
+            """,
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_flags_generator_through_get_instrumentation(self):
+        findings = run(
+            """
+            from repro.obs import get_instrumentation
+
+            def trace(generator):
+                get_instrumentation().observe("state", generator)
+            """,
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_allows_derived_scalars_to_instrumentation(self):
+        findings = run(
+            """
+            def evaluate(obs, rng, draws):
+                obs.count("posterior.rows", draws)
+                with obs.span("sample", draws=draws):
+                    return rng.normal(size=draws)
+            """,
+            select=("REP006",),
+        )
+        assert findings == []
+
+    def test_allows_generator_to_non_instrumentation_call(self):
+        findings = run(
+            """
+            def evaluate(sampler, rng):
+                return sampler.sample(rng)
+            """,
+            select=("REP006",),
+        )
+        assert findings == []
+
+
 class TestEngineBasics:
     def test_syntax_error_yields_synthetic_finding(self):
         findings = run("def broken(:\n")

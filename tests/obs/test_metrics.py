@@ -1,0 +1,119 @@
+"""Unit tests for the metrics half of :mod:`repro.obs`."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry, NullMetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.increment(-1)
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_summary_tracks_count_total_min_max(self):
+        histogram = Histogram("h")
+        for value in (0.2, 0.1, 0.4):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(0.7)
+        assert summary["mean"] == pytest.approx(0.7 / 3)
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(0.4)
+
+    def test_empty_summary_is_zeroed(self):
+        summary = Histogram("h").summary()
+        assert summary == {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_convenience_entry_points(self):
+        registry = MetricsRegistry()
+        registry.increment("hits")
+        registry.increment("hits", 2)
+        registry.set_gauge("workers", 4)
+        registry.observe("wall", 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hits": 3.0}
+        assert snapshot["gauges"] == {"workers": 4.0}
+        assert snapshot["histograms"]["wall"]["count"] == 1
+
+    def test_merge_counters_folds_worker_deltas(self):
+        registry = MetricsRegistry()
+        registry.increment("chunks", 2)
+        registry.merge_counters({"chunks": 3, "bytes": 128})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"bytes": 128.0, "chunks": 5.0}
+
+    def test_snapshot_is_sorted_and_detached(self):
+        registry = MetricsRegistry()
+        registry.increment("z")
+        registry.increment("a")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        snapshot["counters"]["a"] = 99
+        assert registry.counter("a").value == 1.0
+
+    def test_concurrent_increments_do_not_drop_counts(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.increment("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == 4000.0
+
+
+class TestNullMetricsRegistry:
+    def test_every_call_is_a_no_op(self):
+        registry = NullMetricsRegistry()
+        registry.increment("hits", 10)
+        registry.set_gauge("workers", 4)
+        registry.observe("wall", 1.0)
+        registry.merge_counters({"hits": 5})
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_instruments_are_shared_inert_twins(self):
+        registry = NULL_REGISTRY
+        counter = registry.counter("a")
+        assert counter is registry.counter("b")
+        counter.increment(5)
+        assert counter.value == 0.0
+        gauge = registry.gauge("g")
+        gauge.set(3)
+        assert gauge.value == 0.0
+        histogram = registry.histogram("h")
+        histogram.record(1.0)
+        assert histogram.count == 0

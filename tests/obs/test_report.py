@@ -1,0 +1,112 @@
+"""Unit tests for :class:`repro.obs.RunReport` and its exports."""
+
+import json
+
+import pytest
+
+from repro.obs import REPORT_SCHEMA_VERSION, Instrumentation, RunReport, build_run_report
+
+
+def instrumented_run():
+    obs = Instrumentation(name="demo")
+    with obs.span("runtime.evaluate", system="s0"):
+        with obs.span("runtime.tally"):
+            pass
+    with obs.span("runtime.evaluate", system="s1"):
+        pass
+    obs.count("runtime.workload_cache.hit")
+    obs.count("runtime.degraded.no_shm", 2)
+    obs.gauge("runtime.pool.workers", 4)
+    obs.observe("runtime.chunk.wall_s", 0.25)
+    return obs
+
+
+class TestBuildRunReport:
+    def test_snapshots_name_metrics_and_spans(self):
+        report = build_run_report(instrumented_run())
+        assert report.name == "demo"
+        assert report.duration_s > 0.0
+        assert report.created  # ISO timestamp, non-empty
+        assert report.metrics["counters"]["runtime.workload_cache.hit"] == 1.0
+        assert len(report.spans) == 3
+
+    def test_name_override(self):
+        report = build_run_report(instrumented_run(), name="simulate")
+        assert report.name == "simulate"
+
+    def test_instrumentation_report_shortcut(self):
+        obs = instrumented_run()
+        assert obs.report().name == "demo"
+        assert obs.report(name="other").name == "other"
+
+
+class TestSpanSummaries:
+    def test_aggregates_per_name_sorted_by_total_time(self):
+        report = RunReport(
+            name="r",
+            created="",
+            duration_s=1.0,
+            spans=[
+                {"name": "slow", "duration_s": 0.6, "attrs": {}, "pid": 1},
+                {"name": "fast", "duration_s": 0.1, "attrs": {}, "pid": 1},
+                {"name": "slow", "duration_s": 0.4, "attrs": {}, "pid": 2},
+            ],
+        )
+        slow, fast = report.span_summaries()
+        assert (slow.name, slow.count) == ("slow", 2)
+        assert slow.total_s == pytest.approx(1.0)
+        assert slow.mean_s == pytest.approx(0.5)
+        assert slow.max_s == pytest.approx(0.6)
+        assert (fast.name, fast.count) == ("fast", 1)
+
+    def test_empty_report_has_no_summaries(self):
+        report = RunReport(name="r", created="", duration_s=0.0)
+        assert report.span_summaries() == []
+
+
+class TestDegradedEvents:
+    def test_extracts_degraded_counters_only(self):
+        report = build_run_report(instrumented_run())
+        assert report.degraded_events() == {"runtime.degraded.no_shm": 2.0}
+
+    def test_empty_when_nothing_degraded(self):
+        obs = Instrumentation()
+        obs.count("runtime.workload_cache.hit")
+        assert build_run_report(obs).degraded_events() == {}
+
+
+class TestJsonRoundTrip:
+    def test_as_dict_is_schema_stamped(self):
+        report = build_run_report(instrumented_run())
+        body = report.as_dict()
+        assert body["schema"] == REPORT_SCHEMA_VERSION
+        assert json.loads(report.to_json()) == body
+
+    def test_save_and_from_json_round_trip(self, tmp_path):
+        report = build_run_report(instrumented_run())
+        path = report.save(tmp_path / "run-report.json")
+        loaded = RunReport.from_json(path.read_text())
+        assert loaded == report
+
+
+class TestTextRendering:
+    def test_sections_present_for_a_full_report(self):
+        text = build_run_report(instrumented_run()).to_text()
+        assert "run report: demo" in text
+        assert "where the time went (spans):" in text
+        assert "runtime.evaluate" in text
+        assert "counters:" in text
+        assert "runtime.workload_cache.hit" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "degraded paths fired:" in text
+        assert "runtime.degraded.no_shm" in text
+        # Degraded counters live in their own section, not the counter table.
+        counters_section = text.split("counters:")[1].split("gauges:")[0]
+        assert "degraded" not in counters_section
+
+    def test_clean_run_says_none_degraded(self):
+        obs = Instrumentation()
+        with obs.span("region"):
+            pass
+        assert "degraded paths fired: none" in build_run_report(obs).to_text()

@@ -1,0 +1,147 @@
+"""Unit tests for spans, the collector, and the ambient instrumentation."""
+
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_INSTRUMENTATION,
+    NULL_SPAN_COLLECTOR,
+    Instrumentation,
+    NullInstrumentation,
+    SpanCollector,
+    SpanRecord,
+    get_instrumentation,
+    use_instrumentation,
+)
+
+
+class TestSpanCollector:
+    def test_span_records_name_attrs_duration_pid(self):
+        collector = SpanCollector()
+        with collector.span("region", chunk=3):
+            pass
+        (record,) = collector.records()
+        assert record.name == "region"
+        assert record.attrs == {"chunk": 3}
+        assert record.duration_s >= 0.0
+        assert record.pid == os.getpid()
+
+    def test_set_attaches_attributes_mid_span(self):
+        collector = SpanCollector()
+        with collector.span("region") as span:
+            span.set(chunks=12, chunk_size=512)
+        (record,) = collector.records()
+        assert record.attrs == {"chunks": 12, "chunk_size": 512}
+
+    def test_exception_is_recorded_and_propagates(self):
+        collector = SpanCollector()
+        with pytest.raises(RuntimeError):
+            with collector.span("region"):
+                raise RuntimeError("boom")
+        (record,) = collector.records()
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_ingest_round_trips_payload_tuples(self):
+        source = SpanCollector()
+        with source.span("worker.chunk", start=0, stop=64):
+            pass
+        payload = [record.as_payload() for record in source.records()]
+        parent = SpanCollector()
+        parent.ingest(payload)
+        (record,) = parent.records()
+        assert record.name == "worker.chunk"
+        assert record.attrs == {"start": 0, "stop": 64}
+        assert record.pid == os.getpid()
+
+    def test_clear_and_len(self):
+        collector = SpanCollector()
+        with collector.span("a"):
+            pass
+        assert len(collector) == 1
+        collector.clear()
+        assert len(collector) == 0
+        assert collector.records() == ()
+
+    def test_record_as_dict_is_json_simple(self):
+        record = SpanRecord(name="r", duration_s=0.5, attrs={"k": 1}, pid=7)
+        assert record.as_dict() == {
+            "name": "r",
+            "duration_s": 0.5,
+            "attrs": {"k": 1},
+            "pid": 7,
+        }
+
+
+class TestNullSpanCollector:
+    def test_shared_no_op_span(self):
+        span_a = NULL_SPAN_COLLECTOR.span("a", x=1)
+        span_b = NULL_SPAN_COLLECTOR.span("b")
+        assert span_a is span_b
+        with span_a as span:
+            span.set(y=2)
+        assert NULL_SPAN_COLLECTOR.records() == ()
+        assert len(NULL_SPAN_COLLECTOR) == 0
+
+
+class TestInstrumentation:
+    def test_facade_routes_to_backends(self):
+        obs = Instrumentation(name="test")
+        obs.count("events", 2)
+        obs.gauge("level", 3)
+        obs.observe("wall", 0.25)
+        with obs.span("region", k=1):
+            pass
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"] == {"events": 2.0}
+        assert snapshot["gauges"] == {"level": 3.0}
+        assert [record.name for record in obs.spans.records()] == ["region"]
+        assert obs.elapsed() > 0.0
+
+    def test_ingest_spans_accepts_empty_payload(self):
+        obs = Instrumentation()
+        obs.ingest_spans([])
+        assert obs.spans.records() == ()
+
+    def test_null_instrumentation_is_disabled_and_inert(self):
+        assert NULL_INSTRUMENTATION.enabled is False
+        assert Instrumentation().enabled is True
+        obs = NullInstrumentation()
+        obs.count("events")
+        obs.gauge("level", 1)
+        obs.observe("wall", 1.0)
+        obs.ingest_spans([("r", {}, 0.1, 1)])
+        assert obs.metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert obs.spans.records() == ()
+        assert obs.elapsed() == 0.0
+
+
+class TestAmbientInstrumentation:
+    def test_default_is_the_null_singleton(self):
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_use_instrumentation_sets_and_restores(self):
+        obs = Instrumentation(name="scoped")
+        with use_instrumentation(obs) as active:
+            assert active is obs
+            assert get_instrumentation() is obs
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_none_leaves_ambient_unchanged(self):
+        outer = Instrumentation(name="outer")
+        with use_instrumentation(outer):
+            with use_instrumentation(None) as active:
+                assert active is outer
+                assert get_instrumentation() is outer
+            assert get_instrumentation() is outer
+
+    def test_restores_on_exception(self):
+        obs = Instrumentation()
+        with pytest.raises(ValueError):
+            with use_instrumentation(obs):
+                raise ValueError("boom")
+        assert get_instrumentation() is NULL_INSTRUMENTATION

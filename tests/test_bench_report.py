@@ -1,0 +1,90 @@
+"""Tests for the shared benchmark-report writer and trajectory printer."""
+
+import json
+
+from benchmarks._report import (
+    SCHEMA_VERSION,
+    load_benchmark_reports,
+    report_path,
+    write_benchmark_report,
+)
+from benchmarks.report import main as report_main
+
+
+class TestWriteBenchmarkReport:
+    def test_writes_schema_stamped_payload(self, tmp_path):
+        path = write_benchmark_report(
+            "demo",
+            speedup=4.6789,
+            gate=3.0,
+            metrics={"num_cases": 6000},
+            root=tmp_path,
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        body = json.loads(path.read_text())
+        assert body["schema"] == SCHEMA_VERSION
+        assert body["name"] == "demo"
+        assert body["speedup"] == 4.679  # three decimals
+        assert body["gate"] == 3.0
+        assert body["metrics"] == {"num_cases": 6000}
+        assert body["timestamp"]
+        assert body["commit"]
+
+    def test_report_path_naming(self, tmp_path):
+        assert report_path("obs", tmp_path) == tmp_path / "BENCH_obs.json"
+
+
+class TestLoadBenchmarkReports:
+    def test_loads_sorted_by_name(self, tmp_path):
+        write_benchmark_report("b", speedup=2, gate=1, metrics={}, root=tmp_path)
+        write_benchmark_report("a", speedup=3, gate=1, metrics={}, root=tmp_path)
+        names = [r["name"] for r in load_benchmark_reports(tmp_path)]
+        assert names == ["a", "b"]
+
+    def test_corrupt_report_becomes_error_entry(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+        reports = load_benchmark_reports(tmp_path)
+        assert [r["name"] for r in reports] == ["bad", "list"]
+        assert all("error" in r for r in reports)
+
+    def test_empty_directory_yields_no_reports(self, tmp_path):
+        assert load_benchmark_reports(tmp_path) == []
+
+
+class TestReportMain:
+    def test_prints_trajectory_and_passes(self, tmp_path, capsys):
+        write_benchmark_report(
+            "runtime", speedup=4.1, gate=3.0, metrics={}, root=tmp_path
+        )
+        write_benchmark_report(
+            "obs", speedup=1.002, gate=0.98, metrics={}, root=tmp_path
+        )
+        assert report_main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out and "obs" in out
+        assert "FAIL" not in out
+
+    def test_check_fails_on_missed_gate(self, tmp_path, capsys):
+        write_benchmark_report(
+            "runtime", speedup=2.4, gate=3.0, metrics={}, root=tmp_path
+        )
+        assert report_main(["--root", str(tmp_path)]) == 0  # print-only never gates
+        assert report_main(["--check", "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "gate check failed for: runtime" in out
+
+    def test_check_fails_on_corrupt_report(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        assert report_main(["--check", "--root", str(tmp_path)]) == 1
+
+    def test_empty_root_only_fails_under_check(self, tmp_path, capsys):
+        assert report_main(["--root", str(tmp_path)]) == 0
+        assert report_main(["--check", "--root", str(tmp_path)]) == 1
+        assert "no BENCH_*.json reports found" in capsys.readouterr().out
+
+    def test_repo_reports_satisfy_check(self):
+        # The committed BENCH_*.json set must always clear its gates —
+        # this is what CI's `python -m benchmarks.report --check` runs.
+        assert report_main(["--check"]) == 0
