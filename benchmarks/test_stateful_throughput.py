@@ -1,0 +1,164 @@
+"""Benchmark: stream-carry temporal readers versus the scalar loop.
+
+The acceptance bar for the stateful stream path (see ``docs/engine.md``):
+fatigued and adapting readers evaluated through
+:func:`~repro.engine.evaluate_system_batch` — which now routes them over
+the ordered ``advance_stream`` chunk-carry path instead of degrading to
+the per-case loop — must be at least 10x faster than
+:func:`~repro.system.evaluate_system` on the same workload, while
+producing *bit-identical* failure counts and leaving the wrappers in the
+identical committed state.  Unseeded serial streams are exactly the
+scalar RNG stream, so the identity holds at every chunk size and the
+comparison is exact, not statistical.
+
+Measured times are written to ``BENCH_stateful.json`` at the repo root
+(uploaded as a CI artifact).  Run with::
+
+    pytest benchmarks/test_stateful_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._report import write_benchmark_report
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.engine import evaluate_system_batch
+from repro.reader import (
+    MILD_BIAS,
+    AdaptiveReader,
+    AdaptiveTrust,
+    FatiguedReader,
+    FatigueModel,
+    ReaderModel,
+)
+from repro.screening import routine_screening_population, trial_workload
+from repro.system import AssistedReading, UnaidedReading, evaluate_system
+
+NUM_CASES = 8_000
+CHUNK_SIZE = 1_024  # eight chunks: state genuinely carried across boundaries
+REPEATS = 3
+SEED = 2026
+REQUIRED_SPEEDUP = 10.0
+
+
+def make_fatigued():
+    base = ReaderModel(bias=MILD_BIAS, name="r", seed=101)
+    fatigue = FatigueModel(rate=0.02, max_decrement=0.9, cases_per_session=250)
+    return UnaidedReading(FatiguedReader(base, fatigue, seed=102))
+
+
+def make_adaptive():
+    base = ReaderModel(bias=MILD_BIAS, name="r", seed=103)
+    trust = AdaptiveTrust(growth_rate=0.02, failure_penalty=0.5)
+    return AssistedReading(
+        AdaptiveReader(base, trust, seed=104),
+        Cadt(DetectionAlgorithm(), seed=105),
+    )
+
+
+SYSTEM_FACTORIES = {"fatigued": make_fatigued, "adaptive": make_adaptive}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return trial_workload(
+        routine_screening_population(seed=SEED),
+        NUM_CASES,
+        cancer_fraction=0.3,
+        name="bench_stateful",
+    )
+
+
+def counts(evaluation):
+    fn, fp = evaluation.false_negative, evaluation.false_positive
+    return (
+        (fn.failures, fn.trials) if fn else None,
+        (fp.failures, fp.trials) if fp else None,
+    )
+
+
+def reader_state(system):
+    reader = system.reader
+    if isinstance(reader, FatiguedReader):
+        return (reader.fatigue.decrement, reader.fatigue.cases_this_session)
+    return (
+        reader.trust.trust,
+        reader.trust.observed_successes,
+        reader.trust.caught_failures,
+    )
+
+
+def test_stream_carry_is_10x_faster_than_scalar_loop(workload):
+    # Every run gets a fresh system so the private RNGs start from the
+    # same point: unseeded serial streams then reproduce the scalar loop
+    # bit for bit, which makes min-of-repeats timing legitimate — both
+    # paths do identical work on every repeat.
+    scalar_times, stream_times = {}, {}
+    scalar_results, stream_results = {}, {}
+    for name, factory in SYSTEM_FACTORIES.items():
+        per_repeat = []
+        for _ in range(REPEATS):
+            system = factory()
+            start = time.perf_counter()
+            evaluation = evaluate_system(system, workload)
+            per_repeat.append(time.perf_counter() - start)
+            scalar_results[name] = (counts(evaluation), reader_state(system))
+        scalar_times[name] = min(per_repeat)
+
+        per_repeat = []
+        for _ in range(REPEATS):
+            system = factory()
+            start = time.perf_counter()
+            evaluation = evaluate_system_batch(
+                system, workload, chunk_size=CHUNK_SIZE
+            )
+            per_repeat.append(time.perf_counter() - start)
+            stream_results[name] = (counts(evaluation), reader_state(system))
+        stream_times[name] = min(per_repeat)
+
+    # The speedup claim is only meaningful if the outputs agree exactly:
+    # same failure counts AND the same committed trust/fatigue state.
+    assert stream_results == scalar_results
+
+    scalar_elapsed = sum(scalar_times.values())
+    stream_elapsed = sum(stream_times.values())
+    speedup = scalar_elapsed / stream_elapsed
+    per_case_scalar = scalar_elapsed / (len(SYSTEM_FACTORIES) * NUM_CASES) * 1e6
+    per_case_stream = stream_elapsed / (len(SYSTEM_FACTORIES) * NUM_CASES) * 1e6
+    print(
+        f"\nscalar loop: {per_case_scalar:.1f} us/case  "
+        f"stream carry: {per_case_stream:.1f} us/case  "
+        f"speedup: {speedup:.1f}x "
+        f"(fatigued {scalar_times['fatigued'] / stream_times['fatigued']:.1f}x, "
+        f"adaptive {scalar_times['adaptive'] / stream_times['adaptive']:.1f}x; "
+        f"best of {REPEATS}, {NUM_CASES} cases, "
+        f"{-(-NUM_CASES // CHUNK_SIZE)} chunks)"
+    )
+    write_benchmark_report(
+        "stateful",
+        speedup=speedup,
+        gate=REQUIRED_SPEEDUP,
+        metrics={
+            "num_cases": NUM_CASES,
+            "chunk_size": CHUNK_SIZE,
+            "repeats": REPEATS,
+            "seed": SEED,
+            "scalar_total_s": round(scalar_elapsed, 3),
+            "stream_total_s": round(stream_elapsed, 3),
+            "scalar_us_per_case": round(per_case_scalar, 1),
+            "stream_us_per_case": round(per_case_stream, 1),
+            "fatigued_speedup": round(
+                scalar_times["fatigued"] / stream_times["fatigued"], 1
+            ),
+            "adaptive_speedup": round(
+                scalar_times["adaptive"] / stream_times["adaptive"], 1
+            ),
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"stream-carry path only {speedup:.1f}x faster than the scalar loop "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )

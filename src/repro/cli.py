@@ -204,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["none", "mild", "strong"],
         help="reader automation-bias profile",
     )
+    simulate.add_argument(
+        "--dynamics",
+        default="none",
+        choices=["none", "adaptive", "fatigue"],
+        help="temporal reader dynamics: trust adaptation or vigilance "
+        "decrement (runs on the engine's ordered stream-carry path)",
+    )
     simulate.add_argument("--seed", type=int, default=0, help="master seed")
     _add_observability_arguments(simulate)
 
@@ -432,7 +439,15 @@ def _command_simulate(args: argparse.Namespace) -> None:
 
     from .cadt import Cadt, DetectionAlgorithm
     from .engine import DEFAULT_CHUNK_SIZE, EngineRuntime, evaluate_system_batch
-    from .reader import MILD_BIAS, NO_BIAS, STRONG_BIAS, ReaderModel, ReaderSkill
+    from .reader import (
+        MILD_BIAS,
+        NO_BIAS,
+        STRONG_BIAS,
+        AdaptiveReader,
+        FatiguedReader,
+        ReaderModel,
+        ReaderSkill,
+    )
     from .screening import (
         SubtletyClassifier,
         low_correlation_population,
@@ -460,12 +475,24 @@ def _command_simulate(args: argparse.Namespace) -> None:
     reader = ReaderModel(
         skill=ReaderSkill(), bias=biases[args.bias], name="reader", seed=args.seed + 1
     )
+
+    def wrap_reader(offset: int):
+        # Temporal wrappers are stateful, so each system gets its own
+        # instance (sharing one would entangle the systems' trajectories).
+        if args.dynamics == "adaptive":
+            return AdaptiveReader(reader, seed=args.seed + offset)
+        if args.dynamics == "fatigue":
+            return FatiguedReader(reader, seed=args.seed + offset)
+        return reader
+
     systems = []
     if args.system in ("unaided", "both"):
-        systems.append(UnaidedReading(reader))
+        systems.append(UnaidedReading(wrap_reader(10)))
     if args.system in ("assisted", "both"):
         systems.append(
-            AssistedReading(reader, Cadt(DetectionAlgorithm(), seed=args.seed + 2))
+            AssistedReading(
+                wrap_reader(11), Cadt(DetectionAlgorithm(), seed=args.seed + 2)
+            )
         )
 
     classifier = SubtletyClassifier()

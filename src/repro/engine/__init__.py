@@ -3,9 +3,11 @@
 The scalar loop in :mod:`repro.system.simulate` pays Python-interpreter
 cost per case; this package runs the same models as NumPy array kernels
 over whole workloads at once, with bit-identical failure counts for
-stateless systems and a transparent scalar fallback for stateful ones
-(fatigue, adaptation, drift).  See ``docs/engine.md`` for the randomness
-layout that makes the equivalence exact.
+stateless systems, an ordered stream-carry path for
+stateful-but-vectorizable temporal readers (fatigue, trust adaptation),
+and a transparent scalar fallback for everything else (e.g. drifting
+tools).  See ``docs/engine.md`` for the randomness layout and carry
+protocol that make the equivalences exact.
 
 :mod:`repro.engine.posterior` applies the same playbook to the analytic
 side: array-backed parameter tables that evaluate equation (8) for whole
@@ -22,6 +24,7 @@ from .executor import (
     evaluate_system_batch,
     plan_chunks,
     supports_batch,
+    supports_stream,
 )
 from .posterior import (
     PARAMETER_FIELDS,
@@ -39,6 +42,7 @@ __all__ = [
     "plan_chunks",
     "plan_chunk_size",
     "supports_batch",
+    "supports_stream",
     "cancer_class_labels",
     "evaluate_system_batch",
     "compare_systems_batch",

@@ -14,10 +14,12 @@ produces.  Three properties are load-bearing:
 * **Determinism under parallelism.**  With a seed, each chunk gets its own
   generator from ``SeedSequence(seed).spawn``, so results depend only on
   ``(seed, chunk_size)`` — never on worker count or scheduling.
-* **Transparent fallback.**  Systems with stateful components (fatigued or
-  adapting readers, drifting tools) are order-dependent; they are routed
-  to the scalar loop unchanged, so callers can use one entry point for
-  every system.
+* **Transparent fallback.**  Stateful-but-vectorizable systems (fatigued
+  or adapting readers over a vectorizable base) advance in order through
+  the stream-carry protocol, bit-identical to their scalar loops; the
+  remaining order-dependent systems (drifting tools, custom readers) are
+  routed to the scalar loop unchanged, so callers can use one entry
+  point for every system.
 
 The module-level functions here are the *per-call* entry points: each
 parallel call builds (and tears down) its own process pool.  Programs
@@ -50,6 +52,7 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "plan_chunks",
     "supports_batch",
+    "supports_stream",
     "cancer_class_labels",
     "evaluate_system_batch",
     "compare_systems_batch",
@@ -84,6 +87,22 @@ def supports_batch(system: ScreeningSystem) -> bool:
     )
 
 
+def supports_stream(system: ScreeningSystem) -> bool:
+    """Whether a system can run on the stateful stream path.
+
+    True when the system exposes the chunk-carry protocol
+    (``stream_state`` / ``advance_stream`` / ``commit_stream``) and
+    declares it usable via its ``supports_stream`` property — temporal
+    reader wrappers (fatigue, trust adaptation) around vectorizable base
+    readers.  Chunks then advance *in order*, each handing its
+    :class:`~repro.reader.state.ReaderStateVector` to the next, instead
+    of degrading to the scalar loop.
+    """
+    return bool(getattr(system, "supports_stream", False)) and hasattr(
+        system, "advance_stream"
+    )
+
+
 def _decide_chunk(
     system: ScreeningSystem,
     chunk: CaseArrays,
@@ -96,6 +115,29 @@ def _decide_chunk(
     """
     decisions = system.decide_batch(chunk, rng=rng)
     return np.asarray(decisions.failures(chunk.has_cancer))
+
+
+def _advance_stream_chunks(
+    system: ScreeningSystem,
+    arrays: CaseArrays,
+    chunks: Sequence[tuple[int, int]],
+    rngs: Sequence[np.random.Generator | None],
+) -> list[np.ndarray]:
+    """Advance a reader stream chunk by chunk, in order.
+
+    The carried state threads from each chunk into the next and the
+    final state is committed back into the system's wrapper objects, so
+    the caller's reader ends the evaluation exactly where the scalar
+    loop would leave it.
+    """
+    state = system.stream_state()
+    chunk_failures = []
+    for (start, stop), rng in zip(chunks, rngs):
+        chunk = arrays.chunk(start, stop)
+        decisions, state = system.advance_stream(chunk, state, rng=rng)
+        chunk_failures.append(np.asarray(decisions.failures(chunk.has_cancer)))
+    system.commit_stream(state)
+    return chunk_failures
 
 
 def _chunk_rngs(
@@ -195,9 +237,14 @@ def evaluate_system_batch(
     """Vectorized counterpart of :func:`~repro.system.simulate.evaluate_system`.
 
     Stateless systems run through ``decide_batch`` chunk by chunk
-    (optionally fanned out over processes); stateful systems fall back to
-    the scalar loop transparently, preserving their order-dependent
-    semantics.
+    (optionally fanned out over processes).  Stateful-but-vectorizable
+    systems — temporal reader wrappers exposing the stream-carry
+    protocol — advance chunk by chunk *in order*, handing their
+    :class:`~repro.reader.state.ReaderStateVector` across chunk
+    boundaries (on this per-call path the ordered stream always runs
+    in-process; ``workers`` only fans out stateless chunks).  Remaining
+    stateful systems fall back to the scalar loop transparently,
+    preserving their order-dependent semantics.
 
     Args:
         system: The system to drive.
@@ -233,7 +280,7 @@ def evaluate_system_batch(
         return runtime.evaluate(
             system, workload, classifier, level, seed=seed, chunk_size=chunk_size
         )
-    if not supports_batch(system):
+    if not supports_batch(system) and not supports_stream(system):
         return evaluate_system(system, workload, classifier, level, seed=seed)
     if len(workload) == 0:
         raise SimulationError("cannot evaluate a system on an empty workload")
@@ -262,7 +309,12 @@ def evaluate_system_batch(
         span.set(chunks=len(chunks), workers=workers)
         rngs = _chunk_rngs(seed, len(chunks))
 
-        if workers == 1:
+        if not supports_batch(system):
+            # Ordered reader stream: chunks carry state sequentially, so
+            # the per-call path runs them in-process whatever `workers`.
+            span.set(stream=True)
+            chunk_failures = _advance_stream_chunks(system, arrays, chunks, rngs)
+        elif workers == 1:
             chunk_failures = [
                 _decide_chunk(system, arrays.chunk(start, stop), rng)
                 for (start, stop), rng in zip(chunks, rngs)

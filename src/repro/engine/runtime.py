@@ -58,6 +58,7 @@ import numpy as np
 from ..core.case_class import CaseClass
 from ..exceptions import RuntimeDegradationWarning, SimulationError
 from ..obs import Instrumentation, SpanPayload, get_instrumentation
+from ..reader.state import ReaderStateVector
 from ..screening.classifier import CaseClassifier, SingleClassClassifier
 from ..screening.workload import Workload
 from ..system.simulate import SystemEvaluation, evaluate_system
@@ -70,6 +71,7 @@ from .executor import (
     cancer_class_labels,
     plan_chunks,
     supports_batch,
+    supports_stream,
 )
 
 __all__ = [
@@ -347,6 +349,86 @@ def _decide_jobs_shared_traced(
     return results, payload
 
 
+def _advance_stream(
+    system: ScreeningSystem,
+    arrays: CaseArrays,
+    jobs: Sequence[_Job],
+    state: ReaderStateVector,
+) -> tuple[list[np.ndarray], ReaderStateVector]:
+    """Advance a reader stream over chunk jobs, in order.
+
+    The stream analogue of :func:`_decide_jobs`: each chunk's carried
+    state feeds the next, so the jobs of one stream can never be split
+    across workers — a whole stream travels as a single task.  Returns
+    the per-chunk failure flags and the final carried state.
+    """
+    failures: list[np.ndarray] = []
+    for start, stop, rng in jobs:
+        chunk = arrays.chunk(start, stop)
+        decisions, state = system.advance_stream(chunk, state, rng=rng)
+        failures.append(np.asarray(decisions.failures(chunk.has_cancer)))
+    return failures, state
+
+
+def _advance_stream_shared(
+    system: ScreeningSystem, spec: _SegmentSpec, jobs: Sequence[_Job], state: ReaderStateVector
+) -> tuple[list[np.ndarray], ReaderStateVector]:
+    """Worker entry point: attach the shared plane, then advance the stream."""
+    return _advance_stream(system, _attached_arrays(spec), jobs, state)
+
+
+def _advance_stream_traced(
+    system: ScreeningSystem,
+    arrays: CaseArrays,
+    jobs: Sequence[_Job],
+    state: ReaderStateVector,
+) -> tuple[list[np.ndarray], ReaderStateVector, list[SpanPayload]]:
+    """Traced twin of :func:`_advance_stream`: same kernel, plus one
+    ``runtime.chunk`` span payload per job.  Timing wraps the kernel and
+    never touches the generators, so results match by construction."""
+    pid = os.getpid()
+    failures: list[np.ndarray] = []
+    payload: list[SpanPayload] = []
+    for start, stop, rng in jobs:
+        began = time.perf_counter()
+        chunk = arrays.chunk(start, stop)
+        decisions, state = system.advance_stream(chunk, state, rng=rng)
+        failures.append(np.asarray(decisions.failures(chunk.has_cancer)))
+        payload.append(
+            (
+                "runtime.chunk",
+                {"start": start, "stop": stop},
+                time.perf_counter() - began,
+                pid,
+            )
+        )
+    return failures, state, payload
+
+
+def _advance_stream_shared_traced(
+    system: ScreeningSystem, spec: _SegmentSpec, jobs: Sequence[_Job], state: ReaderStateVector
+) -> tuple[list[np.ndarray], ReaderStateVector, list[SpanPayload]]:
+    """Traced twin of :func:`_advance_stream_shared` (see
+    :func:`_decide_jobs_shared_traced` for the attach span)."""
+    fresh = spec.name not in _WORKER_SEGMENTS
+    began = time.perf_counter()
+    arrays = _attached_arrays(spec)
+    payload: list[SpanPayload] = []
+    if fresh:
+        segment_bytes = _WORKER_SEGMENTS[spec.name][0].size
+        payload.append(
+            (
+                "runtime.attach",
+                {"segment": spec.name, "bytes": segment_bytes},
+                time.perf_counter() - began,
+                os.getpid(),
+            )
+        )
+    failures, state, chunk_payload = _advance_stream_traced(system, arrays, jobs, state)
+    payload.extend(chunk_payload)
+    return failures, state, payload
+
+
 def _group_jobs(jobs: Sequence[_Job], n_groups: int) -> list[list[_Job]]:
     """Split jobs into at most ``n_groups`` contiguous, near-equal groups.
 
@@ -572,10 +654,24 @@ class EngineRuntime:
         it helps.  ``chunk_size=None`` plans adaptively via
         :func:`plan_chunk_size` — pass an explicit size for results
         independent of this runtime's worker count.
+
+        Stateful-but-vectorizable systems (temporal reader wrappers
+        exposing the stream-carry protocol) advance chunk by chunk in
+        order; seeded parallel calls move the whole ordered stream to
+        one pooled worker reading from the shared plane, and the final
+        reader state is committed back into the caller's system either
+        way.  Systems supporting neither batch nor stream execution
+        degrade to the scalar loop (``runtime.degraded.scalar_system``).
         """
         if self._closed:
             raise SimulationError("cannot evaluate on a closed EngineRuntime")
-        if not supports_batch(system):
+        stream = not supports_batch(system)
+        if stream and not supports_stream(system):
+            self._note_degradation(
+                "scalar_system",
+                f"system {system.name!r} supports neither batch nor stream "
+                "execution; evaluating through the per-case scalar loop",
+            )
             return evaluate_system(system, workload, classifier, level, seed=seed)
         if len(workload) == 0:
             raise SimulationError("cannot evaluate a system on an empty workload")
@@ -597,7 +693,11 @@ class EngineRuntime:
             jobs: list[_Job] = [
                 (start, stop, rng) for (start, stop), rng in zip(chunks, rngs)
             ]
-            chunk_failures = self._run_jobs(system, entry, jobs, seed)
+            if stream:
+                span.set(stream=True)
+                chunk_failures = self._run_stream_jobs(system, entry, jobs, seed)
+            else:
+                chunk_failures = self._run_jobs(system, entry, jobs, seed)
             positions, labels = self._cancer_labels(entry, workload, classifier)
             with self._obs.span("runtime.tally", chunks=len(chunks)):
                 tally = _tally_chunks(
@@ -882,6 +982,89 @@ class EngineRuntime:
         results, payload = _decide_jobs_traced(system, arrays, jobs)
         self._ingest_worker_payload(payload)
         return results
+
+    def _run_stream_jobs(
+        self,
+        system: ScreeningSystem,
+        entry: _CachedWorkload,
+        jobs: list[_Job],
+        seed: int | None,
+    ) -> list[np.ndarray]:
+        """Run an ordered reader stream over chunk jobs.
+
+        The stream is inherently sequential — every chunk's carried
+        state feeds the next — so "parallel" here means moving the
+        *whole* stream as one task to a pooled worker (which reads the
+        chunks from the shared plane), keeping the parent process free.
+        Serial conditions mirror :meth:`_run_jobs`; whichever path runs,
+        the chunks advance from the same initial state in the same
+        order, and the final carried state is committed back into the
+        caller's system.  (Other worker-copy state — e.g. a tool's
+        processed-case counters — stays in the worker, exactly as on
+        the pooled batch path.)
+        """
+        initial = system.stream_state()
+        parallel = self._workers > 1 and seed is not None and len(jobs) > 1
+        if parallel:
+            try:
+                pickle.dumps((system, initial))
+            except Exception:
+                parallel = False
+                self._note_degradation(
+                    "unpicklable_system",
+                    f"system {system.name!r} (or its stream state) cannot be "
+                    "pickled; advancing the stream in-process instead of on "
+                    "the worker pool",
+                )
+        pool = self._ensure_pool() if parallel else None
+        if pool is None:
+            return self._run_stream_serial(system, entry.arrays, jobs, initial)
+        spec = self._publish(entry)
+        traced = self._obs.enabled
+        try:
+            if spec is not None:
+                shared_fn = (
+                    _advance_stream_shared_traced if traced else _advance_stream_shared
+                )
+                future = pool.submit(shared_fn, system, spec, jobs, initial)
+            else:
+                plain_fn = _advance_stream_traced if traced else _advance_stream
+                future = pool.submit(plain_fn, system, entry.arrays, jobs, initial)
+            output = future.result()
+        except BrokenProcessPool:
+            self._discard_pool()
+            self._note_degradation(
+                "broken_pool",
+                "the worker pool broke mid-stream; recomputing the chunks "
+                "in-process from the same initial state (results are "
+                "unaffected)",
+            )
+            return self._run_stream_serial(system, entry.arrays, jobs, initial)
+        if traced:
+            failures, final_state, payload = output
+            self._ingest_worker_payload(payload)
+        else:
+            failures, final_state = output
+        system.commit_stream(final_state)
+        return failures
+
+    def _run_stream_serial(
+        self,
+        system: ScreeningSystem,
+        arrays: CaseArrays,
+        jobs: list[_Job],
+        state: ReaderStateVector,
+    ) -> list[np.ndarray]:
+        """The in-process stream loop; commits the final state back."""
+        if not self._obs.enabled:
+            failures, final_state = _advance_stream(system, arrays, jobs, state)
+        else:
+            failures, final_state, payload = _advance_stream_traced(
+                system, arrays, jobs, state
+            )
+            self._ingest_worker_payload(payload)
+        system.commit_stream(final_state)
+        return failures
 
 
 def _noop(value: _T) -> _T:  # pragma: no cover - trivial

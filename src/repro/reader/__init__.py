@@ -4,13 +4,26 @@ Replaces the clinical readers of the paper's trials with parameterised
 behavioural models: a two-stage (detect, classify) decision process with
 analytic conditional probabilities, automation-bias effects, asymmetric
 trust dynamics, and panels of readers with varying qualification.
+
+Temporal dynamics (trust adaptation, vigilance decrement) exist in two
+bit-identical forms: the scalar per-case state machines, and the
+array-backed stream-carry kernels in :mod:`repro.reader.dynamics` that
+advance a :class:`~repro.reader.state.ReaderStateVector` one chunk at a
+time for the vectorized engine.
 """
 
 from .adaptation import AdaptiveReader, AdaptiveTrust, simulate_trust_trajectory
-from .fatigue import FatiguedReader, FatigueModel
 from .bias import MILD_BIAS, NO_BIAS, STRONG_BIAS, AutomationBiasProfile
+from .dynamics import (
+    advance_adaptive_chunk,
+    advance_fatigued_chunk,
+    fatigue_decrement_path,
+    trust_growth_path,
+)
+from .fatigue import FatiguedReader, FatigueModel
 from .panel import QualificationLevel, ReaderPanel, SkillDistribution
 from .reader import ReaderDecision, ReaderModel, ReaderSkill, ReadingProcedure
+from .state import STATE_FIELDS, ReaderStateVector
 
 __all__ = [
     "ReaderModel",
@@ -29,4 +42,10 @@ __all__ = [
     "ReaderPanel",
     "FatigueModel",
     "FatiguedReader",
+    "ReaderStateVector",
+    "STATE_FIELDS",
+    "trust_growth_path",
+    "fatigue_decrement_path",
+    "advance_adaptive_chunk",
+    "advance_fatigued_chunk",
 ]

@@ -17,20 +17,32 @@ complacency is self-reinforcing.
 :class:`AdaptiveReader` wraps a :class:`~repro.reader.reader.ReaderModel`,
 scaling its automation-bias profile by the current trust before every
 decision and updating trust from what the reader could actually observe.
+
+The wrapper also implements the vectorized stream-carry protocol
+(``stream_state`` / ``advance_stream`` / ``commit_state``) so the engine
+can advance whole chunks through
+:func:`repro.reader.dynamics.advance_adaptive_chunk` bit-identically to
+the per-case loop.
 """
 
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .._validation import check_probability
-from ..cadt.algorithm import CadtOutput
+from ..cadt.algorithm import CadtBatchOutput, CadtOutput
 from ..exceptions import ParameterError, SimulationError
 from ..screening.case import Case
 from .bias import AutomationBiasProfile
+from .dynamics import advance_adaptive_chunk
 from .reader import ReaderDecision, ReaderModel
+from .state import ReaderStateVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
 
 __all__ = ["AdaptiveTrust", "AdaptiveReader"]
 
@@ -95,6 +107,14 @@ class AdaptiveTrust:
         """Record a machine miss the reader caught; trust drops sharply."""
         self._caught_failures += 1
         self._trust *= self.failure_penalty
+
+    def _restore(
+        self, trust: float, observed_successes: int, caught_failures: int
+    ) -> None:
+        """Overwrite the mutable state (stream-carry commit path)."""
+        self._trust = float(trust)
+        self._observed_successes = int(observed_successes)
+        self._caught_failures = int(caught_failures)
 
 
 class AdaptiveReader:
@@ -170,6 +190,56 @@ class AdaptiveReader:
             else:
                 self.trust.observe_success()
         return decision
+
+    @property
+    def supports_stream(self) -> bool:
+        """Whether chunked stream advancement is available (vectorizable base)."""
+        return isinstance(self._base_reader, ReaderModel)
+
+    def stream_state(self) -> ReaderStateVector:
+        """The current state as a carryable vector (one reader slot)."""
+        state = ReaderStateVector.fresh(1)
+        return state.replace(
+            trust=np.array([self.trust.trust]),
+            observed_successes=np.array(
+                [self.trust.observed_successes], dtype=np.int64
+            ),
+            caught_failures=np.array(
+                [self.trust.caught_failures], dtype=np.int64
+            ),
+        )
+
+    def commit_state(self, state: ReaderStateVector) -> None:
+        """Adopt a carried state vector as this wrapper's mutable state."""
+        self.trust._restore(
+            float(state.trust[0]),
+            int(state.observed_successes[0]),
+            int(state.caught_failures[0]),
+        )
+
+    def advance_stream(
+        self,
+        arrays: "CaseArrays",
+        cadt_output: CadtBatchOutput | None,
+        state: ReaderStateVector,
+        u: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, ReaderStateVector]:
+        """Decide one chunk from a carried state; never mutates ``self``.
+
+        Consumes the same per-case uniforms as the scalar loop (four per
+        cancer case, one per healthy case).  When ``u`` is omitted they
+        are drawn from ``rng`` (or this wrapper's private generator), so
+        an unseeded serial stream is bit-identical to calling
+        :meth:`decide` case by case.
+        """
+        if u is None:
+            counts = np.where(arrays.has_cancer, 4, 1)
+            source = rng if rng is not None else self._rng
+            u = source.random(int(counts.sum()))
+        return advance_adaptive_chunk(
+            self._base_reader, self.trust, arrays, cadt_output, state, u
+        )
 
     def __repr__(self) -> str:
         return (

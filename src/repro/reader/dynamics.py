@@ -1,0 +1,368 @@
+"""Chunk-advance kernels for the temporal reader dynamics.
+
+These kernels run :class:`~repro.reader.adaptation.AdaptiveReader` and
+:class:`~repro.reader.fatigue.FatiguedReader` semantics over whole
+chunks of cases, bit-identically to the scalar per-case loops, carrying
+a :class:`~repro.reader.state.ReaderStateVector` across chunk
+boundaries.  Two observations make exact vectorization possible:
+
+* **Fatigue is outcome-independent.**  The vigilance decrement is a
+  deterministic recurrence in the case index (``d += rate * (max - d)``,
+  reset on session breaks), so the whole per-case decrement path of a
+  chunk is computable up front — :func:`fatigue_decrement_path` — and
+  the decisions then vectorize with per-case effective skills.
+* **Trust is deterministic between caught failures.**  Between the rare
+  cases where the reader catches a machine miss, trust follows the pure
+  success recurrence — :func:`trust_growth_path`.
+  :func:`advance_adaptive_chunk` therefore *speculates*: it decides the
+  remaining chunk assuming successes, finds the first caught failure
+  (itself a function of those very decisions), accepts the prefix —
+  every accepted decision used exactly the trust the scalar loop would
+  have used — applies the penalty, and restarts after it.
+
+Both recurrences are evaluated with Python-float arithmetic, one case
+at a time, so the state values match the scalar classes to the last
+bit; only the per-case decision work (logits, sigmoids, uniform
+comparisons) is vectorized, and each of those expressions reproduces
+the scalar operation order exactly (see ``docs/engine.md``).
+
+The kernels never draw randomness: callers pass the chunk's flat
+uniforms ``u`` in the fixed layout the scalar loop consumes (four per
+cancer case, one per healthy case, in case order).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .._numeric import logit as _logit
+from .._numeric import sigmoid as _sigmoid
+from ..cadt.algorithm import CadtBatchOutput
+from ..exceptions import SimulationError
+from .reader import ReaderModel
+from .state import ReaderStateVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
+    from .adaptation import AdaptiveTrust
+    from .fatigue import FatigueModel
+
+__all__ = [
+    "trust_growth_path",
+    "fatigue_decrement_path",
+    "advance_adaptive_chunk",
+    "advance_fatigued_chunk",
+]
+
+
+def trust_growth_path(
+    trust: float, growth_rate: float, max_trust: float, num_cases: int
+) -> np.ndarray:
+    """Trust trajectory over ``num_cases`` consecutive observed successes.
+
+    Element ``i`` is the trust *in force* for the ``i``-th case (the
+    value before its success is observed); the final element — index
+    ``num_cases`` — is the trust after all successes.  Computed with the
+    exact Python-float recurrence of
+    :meth:`~repro.reader.adaptation.AdaptiveTrust.observe_success`:
+    ``t = t + growth_rate * (max_trust - t)``.
+    """
+    if num_cases < 0:
+        raise SimulationError(f"num_cases must be >= 0, got {num_cases!r}")
+    path = np.empty(num_cases + 1)
+    t = float(trust)
+    for i in range(num_cases):
+        path[i] = t
+        t = t + growth_rate * (max_trust - t)
+    path[num_cases] = t
+    return path
+
+
+def fatigue_decrement_path(
+    decrement: float,
+    cases_this_session: int,
+    rate: float,
+    max_decrement: float,
+    cases_per_session: int | None,
+    num_cases: int,
+) -> tuple[np.ndarray, float, int]:
+    """Per-case vigilance decrements over ``num_cases`` consecutive cases.
+
+    Element ``i`` is the decrement *in force* for the ``i``-th case (the
+    value before :meth:`~repro.reader.fatigue.FatigueModel.advance`
+    registers it); returns ``(path, final_decrement,
+    final_cases_this_session)`` where the finals are the post-chunk
+    carry state.  Replicates ``advance()`` exactly, including the
+    automatic session break after ``cases_per_session`` cases — so a
+    chunk boundary landing on a break carries the already-rested state.
+    """
+    if num_cases < 0:
+        raise SimulationError(f"num_cases must be >= 0, got {num_cases!r}")
+    path = np.empty(num_cases)
+    d = float(decrement)
+    count = int(cases_this_session)
+    for i in range(num_cases):
+        path[i] = d
+        d = d + rate * (max_decrement - d)
+        count += 1
+        if cases_per_session is not None and count >= cases_per_session:
+            d = 0.0
+            count = 0
+    return path, d, count
+
+
+def _check_chunk_inputs(
+    arrays: "CaseArrays",
+    cadt_output: CadtBatchOutput | None,
+    state: ReaderStateVector,
+    u: np.ndarray,
+    total: int,
+) -> None:
+    if len(state) != 1:
+        raise SimulationError(
+            f"chunk kernels carry single-reader state, got {len(state)} slots"
+        )
+    if cadt_output is not None and not np.array_equal(
+        cadt_output.case_id, arrays.case_id
+    ):
+        raise SimulationError("CADT batch output does not match the case batch")
+    if u.shape != (total,):
+        raise SimulationError(
+            f"expected a flat array of {total} uniforms, got shape {u.shape!r}"
+        )
+
+
+def advance_fatigued_chunk(
+    reader: ReaderModel,
+    fatigue: "FatigueModel",
+    arrays: "CaseArrays",
+    cadt_output: CadtBatchOutput | None,
+    state: ReaderStateVector,
+    u: np.ndarray,
+) -> tuple[np.ndarray, ReaderStateVector]:
+    """One chunk of :class:`~repro.reader.fatigue.FatiguedReader` decisions.
+
+    Args:
+        reader: The rested baseline reader (provides skills and bias).
+        fatigue: The fatigue dynamics (provides the recurrence
+            parameters; its mutable state is *not* read — the carried
+            ``state`` is authoritative).
+        arrays: The chunk, as a struct of arrays.
+        cadt_output: Batch CADT annotations, or ``None`` for unaided
+            reading.
+        state: Carried state entering the chunk (``decrement`` and
+            ``cases_this_session`` columns are used).
+        u: Flat uniforms in the fixed layout (four per cancer case, one
+            per healthy case).
+
+    Returns:
+        ``(recall, next_state)``: boolean decisions per case and the
+        state to carry into the next chunk.
+    """
+    cancer = arrays.has_cancer
+    counts = np.where(cancer, 4, 1)
+    offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+    total = int(counts.sum())
+    _check_chunk_inputs(arrays, cadt_output, state, u, total)
+    d_path, d_final, count_final = fatigue_decrement_path(
+        float(state.decrement[0]),
+        int(state.cases_this_session[0]),
+        fatigue.rate,
+        fatigue.max_decrement,
+        fatigue.cases_per_session,
+        len(arrays),
+    )
+    aided = cadt_output is not None
+    skill = reader.skill
+    bias = reader._active_bias(aided)
+    recall = np.zeros(len(arrays), dtype=bool)
+
+    healthy = np.flatnonzero(~cancer)
+    if healthy.size:
+        # The tired reader's specificity is (base - decrement), computed
+        # per case *before* the logit subtraction — the float-op order
+        # the scalar snapshot reader uses.
+        specificity = skill.specificity - d_path[healthy]
+        recall_logit = (
+            _logit(arrays.human_classification_difficulty[healthy]) - specificity
+        )
+        if aided:
+            recall_logit = recall_logit + (
+                bias.false_prompt_persuasion
+                * cadt_output.num_false_prompts[healthy]
+            )
+        recall[healthy] = u[offsets[healthy]] < _sigmoid(recall_logit)
+
+    cancers = np.flatnonzero(cancer)
+    if cancers.size:
+        start = offsets[cancers]
+        u_lapse = u[start]
+        u_prompt = u[start + 1]
+        u_detect = u[start + 2]
+        u_classify = u[start + 3]
+        if aided:
+            prompted = cadt_output.prompted_relevant[cancers]
+            detection_shift = np.where(prompted, 0.0, bias.complacency_shift)
+        else:
+            prompted = np.zeros(cancers.size, dtype=bool)
+            detection_shift = 0.0
+        detection = skill.detection - d_path[cancers]
+        attentive_miss = _sigmoid(
+            _logit(arrays.human_detection_difficulty[cancers])
+            - detection
+            + detection_shift
+        )
+        lapsed = u_lapse < skill.lapse_rate
+        registered = prompted & (u_prompt < reader.prompt_effectiveness)
+        noticed = registered | (~lapsed & (u_detect >= attentive_miss))
+        # Classification is a judgement task: fatigue leaves it untouched.
+        p_misclass = _sigmoid(
+            _logit(arrays.human_classification_difficulty[cancers])
+            - skill.classification
+            - np.where(prompted, bias.prompt_persuasion, 0.0)
+        )
+        recall[cancers] = noticed & (u_classify >= p_misclass)
+
+    next_state = state.replace(
+        decrement=np.array([d_final]),
+        cases_this_session=np.array([count_final], dtype=np.int64),
+    )
+    return recall, next_state
+
+
+def advance_adaptive_chunk(
+    reader: ReaderModel,
+    trust: "AdaptiveTrust",
+    arrays: "CaseArrays",
+    cadt_output: CadtBatchOutput | None,
+    state: ReaderStateVector,
+    u: np.ndarray,
+) -> tuple[np.ndarray, ReaderStateVector]:
+    """One chunk of :class:`~repro.reader.adaptation.AdaptiveReader` decisions.
+
+    Speculative segment vectorization: decide the remaining cases
+    assuming the success recurrence, accept up to (and including) the
+    first caught machine failure, apply the penalty, restart after it.
+    Every accepted decision used exactly the trust the scalar loop
+    would have used, because the speculation was correct up to the
+    first catch by construction.
+
+    Args:
+        reader: The base reader model (bias at trust 1.0).
+        trust: The trust dynamics (recurrence parameters; its mutable
+            state is *not* read — the carried ``state`` is
+            authoritative).
+        arrays: The chunk, as a struct of arrays.
+        cadt_output: Batch CADT annotations, or ``None`` for unaided
+            reading (no trust influence, no trust updates).
+        state: Carried state entering the chunk (``trust``,
+            ``observed_successes``, ``caught_failures`` columns).
+        u: Flat uniforms in the fixed layout.
+
+    Returns:
+        ``(recall, next_state)``.
+    """
+    cancer = arrays.has_cancer
+    counts = np.where(cancer, 4, 1)
+    offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+    total = int(counts.sum())
+    _check_chunk_inputs(arrays, cadt_output, state, u, total)
+    if cadt_output is None:
+        # Unaided reading: the scaled bias is structurally inert and the
+        # trust update needs a machine output it never gets, so the
+        # decisions are exactly the base reader's and the state carries
+        # through unchanged.
+        return reader.decide_batch(arrays, None, u=u), state
+
+    skill = reader.skill
+    bias = reader._active_bias(aided=True)
+    growth = trust.growth_rate
+    penalty = trust.failure_penalty
+    max_trust = trust.max_trust
+    n = len(arrays)
+    healthy_all = np.flatnonzero(~cancer)
+    cancers_all = np.flatnonzero(cancer)
+    logit_hcd = _logit(arrays.human_classification_difficulty)
+    logit_hdd_cancers = _logit(arrays.human_detection_difficulty[cancers_all])
+    prompted_all = cadt_output.prompted_relevant
+    nfp_all = cadt_output.num_false_prompts
+
+    recall = np.zeros(n, dtype=bool)
+    t = float(state.trust[0])
+    successes = int(state.observed_successes[0])
+    caught_total = int(state.caught_failures[0])
+
+    pos = 0
+    while pos < n:
+        seg_len = n - pos
+        path = trust_growth_path(t, growth, max_trust, seg_len)
+
+        h_lo = int(np.searchsorted(healthy_all, pos))
+        h = healthy_all[h_lo:]
+        if h.size:
+            t_h = path[h - pos]
+            recall_logit = logit_hcd[h] - skill.specificity
+            recall_logit = recall_logit + (
+                (bias.false_prompt_persuasion * t_h) * nfp_all[h]
+            )
+            recall_h = u[offsets[h]] < _sigmoid(recall_logit)
+        else:
+            recall_h = np.zeros(0, dtype=bool)
+
+        c_lo = int(np.searchsorted(cancers_all, pos))
+        c = cancers_all[c_lo:]
+        if c.size:
+            t_c = path[c - pos]
+            start = offsets[c]
+            u_lapse = u[start]
+            u_prompt = u[start + 1]
+            u_detect = u[start + 2]
+            u_classify = u[start + 3]
+            prompted = prompted_all[c]
+            detection_shift = np.where(
+                prompted, 0.0, bias.complacency_shift * t_c
+            )
+            attentive_miss = _sigmoid(
+                logit_hdd_cancers[c_lo:] - skill.detection + detection_shift
+            )
+            lapsed = u_lapse < skill.lapse_rate
+            registered = prompted & (u_prompt < reader.prompt_effectiveness)
+            noticed = registered | (~lapsed & (u_detect >= attentive_miss))
+            p_misclass = _sigmoid(
+                logit_hcd[c]
+                - skill.classification
+                - np.where(prompted, bias.prompt_persuasion * t_c, 0.0)
+            )
+            recall_c = noticed & (u_classify >= p_misclass)
+            # A caught failure: the reader recalled a cancer the machine
+            # did not prompt (recall implies the features were noticed).
+            caught = recall_c & ~prompted
+        else:
+            recall_c = np.zeros(0, dtype=bool)
+            caught = recall_c
+
+        hits = np.flatnonzero(caught)
+        if hits.size == 0:
+            recall[h] = recall_h
+            recall[c] = recall_c
+            successes += seg_len
+            t = float(path[seg_len])
+            break
+        first = int(c[hits[0]])
+        keep_h = h <= first
+        recall[h[keep_h]] = recall_h[keep_h]
+        keep_c = c <= first
+        recall[c[keep_c]] = recall_c[keep_c]
+        successes += first - pos  # the cases before the catch
+        caught_total += 1
+        t = float(path[first - pos]) * penalty
+        pos = first + 1
+
+    next_state = state.replace(
+        trust=np.array([t]),
+        observed_successes=np.array([successes], dtype=np.int64),
+        caught_failures=np.array([caught_total], dtype=np.int64),
+    )
+    return recall, next_state

@@ -12,18 +12,30 @@ marathon clinic sessions.
 saturating at a maximum, reset by a break); :class:`FatiguedReader` wraps
 a :class:`~repro.reader.reader.ReaderModel`, applying the current
 decrement to its detection and specificity skills before each decision.
+
+The wrapper also implements the vectorized stream-carry protocol
+(``stream_state`` / ``advance_stream`` / ``commit_state``) so the engine
+can advance whole chunks through
+:func:`repro.reader.dynamics.advance_fatigued_chunk` bit-identically to
+the per-case loop.
 """
 
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..cadt.algorithm import CadtOutput
+from ..cadt.algorithm import CadtBatchOutput, CadtOutput
 from ..exceptions import ParameterError
 from ..screening.case import Case
+from .dynamics import advance_fatigued_chunk
 from .reader import ReaderDecision, ReaderModel, ReaderSkill
+from .state import ReaderStateVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.arrays import CaseArrays
 
 __all__ = ["FatigueModel", "FatiguedReader"]
 
@@ -36,21 +48,43 @@ class FatigueModel:
     moves a fraction ``rate`` of the remaining distance.  A break resets
     it to zero.
 
+    When ``cases_per_session`` is set, a break happens automatically
+    after every that-many cases: the *N*-th case of a session is still
+    decided at the pre-break decrement, and the reset applies once it is
+    registered.  The schedule is counted in cases, never in chunks — a
+    chunk boundary that lands exactly on the break carries the
+    already-rested state, identically to a break falling mid-chunk.
+
     Args:
         rate: Fractional step toward ``max_decrement`` per case (in
             ``[0, 1]``; 0 disables fatigue).
         max_decrement: Asymptotic logit penalty (>= 0).
+        cases_per_session: Automatic session length in cases (``None``
+            disables automatic breaks; otherwise an int >= 1).
     """
 
-    def __init__(self, rate: float = 0.01, max_decrement: float = 0.8):
+    def __init__(
+        self,
+        rate: float = 0.01,
+        max_decrement: float = 0.8,
+        cases_per_session: int | None = None,
+    ):
         if not 0.0 <= rate <= 1.0:
             raise ParameterError(f"rate must be in [0, 1], got {rate!r}")
         if not (math.isfinite(max_decrement) and max_decrement >= 0.0):
             raise ParameterError(
                 f"max_decrement must be finite and >= 0, got {max_decrement!r}"
             )
+        if cases_per_session is not None and (
+            not isinstance(cases_per_session, int) or cases_per_session < 1
+        ):
+            raise ParameterError(
+                f"cases_per_session must be None or an int >= 1, "
+                f"got {cases_per_session!r}"
+            )
         self.rate = float(rate)
         self.max_decrement = float(max_decrement)
+        self.cases_per_session = cases_per_session
         self._decrement = 0.0
         self._cases_this_session = 0
 
@@ -65,14 +99,24 @@ class FatigueModel:
         return self._cases_this_session
 
     def advance(self) -> None:
-        """Register one more case read."""
+        """Register one more case read (resting if the session is over)."""
         self._decrement += self.rate * (self.max_decrement - self._decrement)
         self._cases_this_session += 1
+        if (
+            self.cases_per_session is not None
+            and self._cases_this_session >= self.cases_per_session
+        ):
+            self.rest()
 
     def rest(self) -> None:
         """Take a break: vigilance fully recovers."""
         self._decrement = 0.0
         self._cases_this_session = 0
+
+    def _restore(self, decrement: float, cases_this_session: int) -> None:
+        """Overwrite the mutable state (stream-carry commit path)."""
+        self._decrement = float(decrement)
+        self._cases_this_session = int(cases_this_session)
 
 
 class FatiguedReader:
@@ -146,6 +190,51 @@ class FatiguedReader:
     def take_break(self) -> None:
         """Rest: vigilance recovers fully."""
         self.fatigue.rest()
+
+    @property
+    def supports_stream(self) -> bool:
+        """Whether chunked stream advancement is available (vectorizable base)."""
+        return isinstance(self._base_reader, ReaderModel)
+
+    def stream_state(self) -> ReaderStateVector:
+        """The current state as a carryable vector (one reader slot)."""
+        state = ReaderStateVector.fresh(1)
+        return state.replace(
+            decrement=np.array([self.fatigue.decrement]),
+            cases_this_session=np.array(
+                [self.fatigue.cases_this_session], dtype=np.int64
+            ),
+        )
+
+    def commit_state(self, state: ReaderStateVector) -> None:
+        """Adopt a carried state vector as this wrapper's mutable state."""
+        self.fatigue._restore(
+            float(state.decrement[0]), int(state.cases_this_session[0])
+        )
+
+    def advance_stream(
+        self,
+        arrays: "CaseArrays",
+        cadt_output: CadtBatchOutput | None,
+        state: ReaderStateVector,
+        u: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, ReaderStateVector]:
+        """Decide one chunk from a carried state; never mutates ``self``.
+
+        Consumes the same per-case uniforms as the scalar loop (four per
+        cancer case, one per healthy case).  When ``u`` is omitted they
+        are drawn from ``rng`` (or this wrapper's private generator), so
+        an unseeded serial stream is bit-identical to calling
+        :meth:`decide` case by case.
+        """
+        if u is None:
+            counts = np.where(arrays.has_cancer, 4, 1)
+            source = rng if rng is not None else self._rng
+            u = source.random(int(counts.sum()))
+        return advance_fatigued_chunk(
+            self._base_reader, self.fatigue, arrays, cadt_output, state, u
+        )
 
     def __repr__(self) -> str:
         return (

@@ -21,6 +21,7 @@ import numpy as np
 from ..cadt.tool import Cadt
 from ..exceptions import SimulationError
 from ..reader.reader import ReaderModel
+from ..reader.state import ReaderStateVector
 from ..screening.case import Case
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -33,6 +34,25 @@ __all__ = [
     "UnaidedReading",
     "AssistedReading",
 ]
+
+
+def _split_shared_uniforms(
+    arrays: "CaseArrays", rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split one flat draw into the CADT's and the reader's uniforms.
+
+    Per case: ``[u_miss, u_prompts]`` for the tool followed by the
+    reader's uniforms (four on cancers, one on healthy cases) — the same
+    interleaving the scalar loop consumes from a shared generator.
+    """
+    counts = np.where(arrays.has_cancer, 6, 3)
+    offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+    flat = rng.random(int(counts.sum()))
+    cadt_u = np.stack((flat[offsets], flat[offsets + 1]), axis=1)
+    reader_mask = np.ones(flat.shape[0], dtype=bool)
+    reader_mask[offsets] = False
+    reader_mask[offsets + 1] = False
+    return cadt_u, flat[reader_mask]
 
 
 @dataclass(frozen=True)
@@ -163,6 +183,47 @@ class UnaidedReading:
             case_id=arrays.case_id, recall=recall, machine_failed=None
         )
 
+    @property
+    def supports_stream(self) -> bool:
+        """Whether :meth:`advance_stream` is available.
+
+        True for temporal reader wrappers (:class:`FatiguedReader`,
+        :class:`AdaptiveReader`) around a vectorizable base reader.
+        """
+        return bool(getattr(self.reader, "supports_stream", False))
+
+    def stream_state(self) -> ReaderStateVector:
+        """The reader's current temporal state as a carryable vector."""
+        return self.reader.stream_state()
+
+    def commit_stream(self, state: ReaderStateVector) -> None:
+        """Adopt a carried state vector as the reader's mutable state."""
+        self.reader.commit_state(state)
+
+    def advance_stream(
+        self,
+        arrays: "CaseArrays",
+        state: ReaderStateVector,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[BatchDecisions, ReaderStateVector]:
+        """Decide one chunk of the stream from a carried state.
+
+        The chunked analogue of :meth:`decide_batch` for temporal
+        readers: the state enters explicitly and the successor state is
+        returned, so in-order chunks reproduce the scalar loop exactly
+        at any chunk size (see ``docs/engine.md``).
+        """
+        if not self.supports_stream:
+            raise SimulationError(
+                f"system {self.name!r} does not support stream advancement "
+                f"(reader={type(self.reader).__name__})"
+            )
+        recall, next_state = self.reader.advance_stream(arrays, None, state, rng=rng)
+        decisions = BatchDecisions(
+            case_id=arrays.case_id, recall=recall, machine_failed=None
+        )
+        return decisions, next_state
+
 
 class AssistedReading:
     """The paper's system: one reader assisted by a CADT.
@@ -235,17 +296,69 @@ class AssistedReading:
             output = self.cadt.process_batch(arrays)
             recall = self.reader.decide_batch(arrays, output)
         else:
-            counts = np.where(arrays.has_cancer, 6, 3)
-            offsets = np.cumsum(counts) - counts  # exclusive prefix sum
-            flat = rng.random(int(counts.sum()))
-            cadt_u = np.stack((flat[offsets], flat[offsets + 1]), axis=1)
-            reader_mask = np.ones(flat.shape[0], dtype=bool)
-            reader_mask[offsets] = False
-            reader_mask[offsets + 1] = False
+            cadt_u, reader_u = _split_shared_uniforms(arrays, rng)
             output = self.cadt.process_batch(arrays, u=cadt_u)
-            recall = self.reader.decide_batch(arrays, output, u=flat[reader_mask])
+            recall = self.reader.decide_batch(arrays, output, u=reader_u)
         return BatchDecisions(
             case_id=arrays.case_id,
             recall=recall,
             machine_failed=output.machine_failed(arrays.has_cancer),
         )
+
+    @property
+    def supports_stream(self) -> bool:
+        """Whether :meth:`advance_stream` is available.
+
+        Requires a temporal reader wrapper around a vectorizable base
+        reader and a drift-free tool; a drifting CADT is stateful in a
+        way the reader-state carry does not capture, so it stays on the
+        scalar path.
+        """
+        return (
+            bool(getattr(self.reader, "supports_stream", False))
+            and self.cadt.drift_per_case == 0.0
+        )
+
+    def stream_state(self) -> ReaderStateVector:
+        """The reader's current temporal state as a carryable vector."""
+        return self.reader.stream_state()
+
+    def commit_stream(self, state: ReaderStateVector) -> None:
+        """Adopt a carried state vector as the reader's mutable state."""
+        self.reader.commit_state(state)
+
+    def advance_stream(
+        self,
+        arrays: "CaseArrays",
+        state: ReaderStateVector,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[BatchDecisions, ReaderStateVector]:
+        """Decide one chunk of the stream from a carried state.
+
+        The chunked analogue of :meth:`decide_batch` for temporal
+        readers.  With ``rng`` omitted, the CADT and the reader draw
+        from their own private generators; with a shared ``rng``, the
+        flat draw is split per case exactly as :meth:`decide` consumes
+        it, so seeded streams reproduce the scalar loop bit for bit.
+        """
+        if not self.supports_stream:
+            raise SimulationError(
+                f"system {self.name!r} does not support stream advancement "
+                f"(reader={type(self.reader).__name__}, "
+                f"drift={self.cadt.drift_per_case!r})"
+            )
+        if rng is None:
+            output = self.cadt.process_batch(arrays)
+            recall, next_state = self.reader.advance_stream(arrays, output, state)
+        else:
+            cadt_u, reader_u = _split_shared_uniforms(arrays, rng)
+            output = self.cadt.process_batch(arrays, u=cadt_u)
+            recall, next_state = self.reader.advance_stream(
+                arrays, output, state, u=reader_u
+            )
+        decisions = BatchDecisions(
+            case_id=arrays.case_id,
+            recall=recall,
+            machine_failed=output.machine_failed(arrays.has_cancer),
+        )
+        return decisions, next_state

@@ -1,9 +1,14 @@
-"""Stateful systems fall back to the scalar loop — transparently and exactly.
+"""Stateful systems keep their order-dependent semantics — transparently
+and exactly — through the batch entry point.
 
 Fatigued and adapting readers, and drifting tools, are order-dependent:
-the decision on case ``i`` depends on cases ``0..i-1``.  The engine must
-route them through :func:`~repro.system.simulate.evaluate_system`
-unchanged, so their order-dependent trajectories are preserved.
+the decision on case ``i`` depends on cases ``0..i-1``.  Temporal reader
+wrappers now run on the engine's ordered stream-carry path (see
+``tests/engine/test_stateful_equivalence.py`` for the full battery);
+drifting tools still route through
+:func:`~repro.system.simulate.evaluate_system`.  Either way the batch
+entry point must reproduce the scalar trajectories exactly — that is
+what these tests pin down.
 """
 
 import pytest

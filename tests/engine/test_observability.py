@@ -209,6 +209,90 @@ class TestDegradationWarnings:
         counters = obs.metrics.snapshot()["counters"]
         assert counters["runtime.degraded.scalar_classify"] == 1.0
 
+    def test_temporal_readers_run_stream_with_zero_degradations(self):
+        """The tentpole regression: adaptation/bias/fatigue workloads no
+        longer fire ``unpicklable_system``/``scalar_classify`` (or any
+        other degradation) — they run vectorized on the stream path."""
+        from tests.engine.test_stateful_equivalence import SYSTEM_FACTORIES
+
+        workload = make_workload()
+        classifier = SubtletyClassifier()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obs = Instrumentation()
+            with EngineRuntime(workers=2, obs=obs) as runtime:
+                for factory in SYSTEM_FACTORIES.values():
+                    runtime.evaluate(
+                        factory(), workload, classifier, seed=SEED, chunk_size=CHUNK
+                    )
+                assert runtime.degradations == frozenset()
+        assert degradation_warnings(caught) == []
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("runtime.degraded.unpicklable_system", 0.0) == 0.0
+        assert counters.get("runtime.degraded.scalar_classify", 0.0) == 0.0
+        assert counters.get("runtime.degraded.scalar_system", 0.0) == 0.0
+        # The stream genuinely ran chunked (one span per chunk, pooled).
+        chunk_spans = [r for r in obs.spans.records() if r.name == "runtime.chunk"]
+        assert len(chunk_spans) == 8 * len(SYSTEM_FACTORIES)
+        assert all(record.pid != os.getpid() for record in chunk_spans)
+
+    def test_genuinely_unvectorizable_system_still_degrades(self):
+        """A custom scalar-only reader keeps the scalar fallback — and now
+        says so via ``runtime.degraded.scalar_system``."""
+        from tests.engine.test_stateful_equivalence import SEED as TEQ_SEED
+        from repro.reader import MILD_BIAS, ReaderModel
+        from repro.system import UnaidedReading
+
+        class ScalarOnlyReader:
+            """Stateful in a way the carry protocol does not model."""
+
+            name = "scalar-only"
+
+            def __init__(self):
+                self._inner = ReaderModel(bias=MILD_BIAS, name="inner", seed=TEQ_SEED)
+                self.mood = 0.0  # arbitrary untracked state
+
+            def decide(self, case, cadt_output=None, rng=None):
+                self.mood += 1.0
+                return self._inner.decide(case, cadt_output, rng)
+
+        workload = make_workload()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obs = Instrumentation()
+            with EngineRuntime(workers=2, obs=obs) as runtime:
+                runtime.evaluate(
+                    UnaidedReading(ScalarOnlyReader()), workload, seed=SEED
+                )
+                assert runtime.degradations == frozenset({"scalar_system"})
+        (warning,) = degradation_warnings(caught)
+        assert "scalar_system" in str(warning.message)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["runtime.degraded.scalar_system"] == 1.0
+
+    def test_unpicklable_stream_state_falls_back_to_serial_stream(self):
+        """An unpicklable temporal system still runs *vectorized* — the
+        degradation only moves the stream in-process."""
+        from tests.engine.test_stateful_equivalence import (
+            make_fatigued_system,
+            reader_state,
+        )
+
+        workload = make_workload()
+        reference = make_fatigued_system()
+        with EngineRuntime(workers=1) as runtime:
+            expected = runtime.evaluate(reference, workload, seed=SEED, chunk_size=CHUNK)
+        system = make_fatigued_system()
+        system.marker = lambda: None  # closures cannot be pickled
+        with pytest.warns(RuntimeDegradationWarning, match="unpicklable_system"):
+            obs = Instrumentation()
+            with EngineRuntime(workers=2, obs=obs) as runtime:
+                degraded = runtime.evaluate(system, workload, seed=SEED, chunk_size=CHUNK)
+        assert failure_counts(degraded) == failure_counts(expected)
+        assert reader_state(system) == reader_state(reference)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["runtime.degraded.unpicklable_system"] == 1.0
+
     def test_broken_pool_warns_and_recovers_in_process(self, monkeypatch):
         from concurrent.futures.process import BrokenProcessPool
 

@@ -275,9 +275,9 @@ class TestRuntimeApi:
             )
         assert failure_counts(first) == failure_counts(second)
 
-    def test_stateful_system_falls_back_to_scalar(self):
-        # A system without batch support routes to the scalar loop even
-        # through the runtime; spot-check it completes and counts cases.
+    def test_temporal_reader_runs_on_stream_path(self):
+        # A fatigued reader now takes the ordered stream-carry path
+        # through the runtime — no degradation — and counts every case.
         from repro.system import UnaidedReading
         from repro.reader import FatiguedReader
 
@@ -290,6 +290,28 @@ class TestRuntimeApi:
             evaluation = runtime.evaluate(
                 UnaidedReading(reader), workload, seed=3
             )
+            assert runtime.degradations == frozenset()
+        total = (
+            evaluation.false_negative.trials + evaluation.false_positive.trials
+        )
+        assert total == len(workload)
+
+    def test_drifting_system_falls_back_to_scalar(self):
+        # A drifting CADT is stateful in a way the reader-state carry
+        # does not model: it routes to the scalar loop (and says so).
+        import warnings
+
+        from repro.cadt import Cadt
+        from repro.system import AssistedReading
+
+        reader = ReaderModel(skill=ReaderSkill(), bias=MILD_BIAS, name="r", seed=2)
+        system = AssistedReading(reader, Cadt(drift_per_case=1e-5, seed=4))
+        workload = make_workload(200)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with EngineRuntime(workers=2) as runtime:
+                evaluation = runtime.evaluate(system, workload, seed=3)
+                assert runtime.degradations == frozenset({"scalar_system"})
         total = (
             evaluation.false_negative.trials + evaluation.false_positive.trials
         )

@@ -1,0 +1,259 @@
+"""Temporal-equivalence battery: vectorized stream vs scalar reader dynamics.
+
+The stream-carry path (``advance_stream`` + :class:`ReaderStateVector`)
+must reproduce the scalar per-case loops *bit-identically*: decisions
+element-wise, trust curves and fatigue decrements value-for-value,
+across chunk sizes, worker counts, and session-break placement.  These
+tests are the proof obligation for running ``AdaptiveReader`` /
+``FatiguedReader`` workloads on the vectorized engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cadt import Cadt, DetectionAlgorithm
+from repro.engine import EngineRuntime, evaluate_system_batch, supports_stream
+from repro.reader import (
+    MILD_BIAS,
+    AdaptiveReader,
+    AdaptiveTrust,
+    FatiguedReader,
+    FatigueModel,
+    ReaderModel,
+)
+from repro.screening import routine_screening_population, trial_workload
+from repro.system import AssistedReading, UnaidedReading, evaluate_system
+
+from tests.engine.test_equivalence import failure_counts
+
+SEED = 23
+N = 420
+CHUNK_SIZES = [1, 7, 64, N]  # single-case, odd, round, whole-stream
+WORKER_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return trial_workload(
+        routine_screening_population(seed=SEED), N, cancer_fraction=0.3, name="teq"
+    )
+
+
+def make_fatigued_system(seed=SEED, cases_per_session=None):
+    base = ReaderModel(bias=MILD_BIAS, name="r", seed=seed + 1)
+    fatigue = FatigueModel(
+        rate=0.02, max_decrement=0.9, cases_per_session=cases_per_session
+    )
+    return UnaidedReading(FatiguedReader(base, fatigue, seed=seed + 2))
+
+
+def make_adaptive_system(seed=SEED):
+    base = ReaderModel(bias=MILD_BIAS, name="r", seed=seed + 1)
+    trust = AdaptiveTrust(growth_rate=0.02, failure_penalty=0.5)
+    return AssistedReading(
+        AdaptiveReader(base, trust, seed=seed + 2),
+        Cadt(DetectionAlgorithm(), seed=seed + 3),
+    )
+
+
+SYSTEM_FACTORIES = {
+    "fatigued": make_fatigued_system,
+    "fatigued_sessions": lambda: make_fatigued_system(cases_per_session=50),
+    "adaptive": make_adaptive_system,
+}
+
+
+def reader_state(system):
+    """The committed scalar state of a system's temporal wrapper."""
+    reader = system.reader
+    if isinstance(reader, FatiguedReader):
+        return (reader.fatigue.decrement, reader.fatigue.cases_this_session)
+    return (
+        reader.trust.trust,
+        reader.trust.observed_successes,
+        reader.trust.caught_failures,
+    )
+
+
+class TestStreamSupport:
+    @pytest.mark.parametrize("factory", SYSTEM_FACTORIES.values(), ids=SYSTEM_FACTORIES)
+    def test_temporal_wrappers_support_stream(self, factory):
+        assert supports_stream(factory())
+
+    def test_drifting_cadt_does_not(self):
+        base = ReaderModel(bias=MILD_BIAS, name="r", seed=1)
+        wrapped = FatiguedReader(base, seed=2)
+        system = AssistedReading(wrapped, Cadt(drift_per_case=1e-5, seed=3))
+        assert not supports_stream(system)
+
+    def test_custom_reader_does_not(self):
+        class OpaqueReader:
+            name = "opaque"
+
+            def decide(self, case, cadt_output=None, rng=None):
+                raise NotImplementedError
+
+        assert not supports_stream(UnaidedReading(OpaqueReader()))
+
+
+class TestUnseededChunkSizeInvariance:
+    """Unseeded serial streams are bit-identical to the scalar loop at
+    *every* chunk size, and leave the wrapper in the identical state."""
+
+    @pytest.mark.parametrize("factory", SYSTEM_FACTORIES.values(), ids=SYSTEM_FACTORIES)
+    def test_matches_scalar_at_every_chunk_size(self, factory, workload):
+        reference_system = factory()
+        reference = failure_counts(evaluate_system(reference_system, workload))
+        for chunk_size in CHUNK_SIZES:
+            system = factory()
+            result = failure_counts(
+                evaluate_system_batch(system, workload, chunk_size=chunk_size)
+            )
+            assert result == reference, f"chunk_size={chunk_size}"
+            assert reader_state(system) == reader_state(reference_system), (
+                f"carried state diverged at chunk_size={chunk_size}"
+            )
+
+
+class TestSeededEquivalence:
+    @pytest.mark.parametrize("factory", SYSTEM_FACTORIES.values(), ids=SYSTEM_FACTORIES)
+    def test_whole_stream_chunk_matches_seeded_scalar(self, factory, workload):
+        scalar_system, stream_system = factory(), factory()
+        scalar = failure_counts(evaluate_system(scalar_system, workload, seed=77))
+        stream = failure_counts(
+            evaluate_system_batch(stream_system, workload, seed=77, chunk_size=N)
+        )
+        assert stream == scalar
+        assert reader_state(stream_system) == reader_state(scalar_system)
+
+    @pytest.mark.parametrize("factory", SYSTEM_FACTORIES.values(), ids=SYSTEM_FACTORIES)
+    def test_invariant_across_worker_counts(self, factory, workload):
+        """Seeded results are a function of (seed, chunk_size) only: the
+        serial executor and pooled runtimes of any width agree exactly,
+        with no degradation events."""
+        results, states = {}, {}
+        for workers in WORKER_COUNTS:
+            system = factory()
+            if workers == 1:
+                evaluation = evaluate_system_batch(
+                    system, workload, seed=5, chunk_size=32
+                )
+            else:
+                with EngineRuntime(workers=workers) as runtime:
+                    evaluation = runtime.evaluate(
+                        system, workload, seed=5, chunk_size=32
+                    )
+                    assert runtime.degradations == frozenset()
+            results[workers] = failure_counts(evaluation)
+            states[workers] = reader_state(system)
+        assert results[2] == results[1]
+        assert results[4] == results[1]
+        assert states[2] == states[1]
+        assert states[4] == states[1]
+
+
+class TestElementWiseTrajectories:
+    """Beyond counts: the per-case decisions and the state curves match
+    the scalar loop element-wise across chunk boundaries."""
+
+    @pytest.mark.parametrize("factory", SYSTEM_FACTORIES.values(), ids=SYSTEM_FACTORIES)
+    def test_decisions_match_element_wise(self, factory, workload):
+        scalar_system, stream_system = factory(), factory()
+        scalar_recall = np.array(
+            [scalar_system.decide(case).recall for case in workload.cases]
+        )
+        arrays = workload.to_arrays()
+        state = stream_system.stream_state()
+        stream_recall = []
+        for start in range(0, N, 7):  # boundary never aligned to anything
+            chunk = arrays.chunk(start, min(start + 7, N))
+            decisions, state = stream_system.advance_stream(chunk, state)
+            stream_recall.append(decisions.recall)
+        stream_system.commit_stream(state)
+        np.testing.assert_array_equal(np.concatenate(stream_recall), scalar_recall)
+        assert reader_state(stream_system) == reader_state(scalar_system)
+
+    def test_trust_curve_matches_scalar(self, workload):
+        """Trust after every case: scalar loop vs chunk-size-1 stream."""
+        scalar_system, stream_system = make_adaptive_system(), make_adaptive_system()
+        scalar_curve = []
+        for case in workload.cases:
+            scalar_system.decide(case)
+            scalar_curve.append(scalar_system.reader.trust.trust)
+        arrays = workload.to_arrays()
+        state = stream_system.stream_state()
+        stream_curve = []
+        for start in range(N):
+            _, state = stream_system.advance_stream(
+                arrays.chunk(start, start + 1), state
+            )
+            stream_curve.append(float(state.trust[0]))
+        assert stream_curve == scalar_curve  # exact, not approximate
+        assert scalar_system.reader.trust.caught_failures > 0  # curve has drops
+
+    def test_fatigue_decrement_curve_matches_scalar(self, workload):
+        """Decrement after every case, including automatic session resets."""
+        make = lambda: make_fatigued_system(cases_per_session=37)  # noqa: E731
+        scalar_system, stream_system = make(), make()
+        scalar_curve = []
+        for case in workload.cases:
+            scalar_system.decide(case)
+            scalar_curve.append(scalar_system.reader.fatigue.decrement)
+        arrays = workload.to_arrays()
+        state = stream_system.stream_state()
+        stream_curve = []
+        for start in range(N):
+            _, state = stream_system.advance_stream(
+                arrays.chunk(start, start + 1), state
+            )
+            stream_curve.append(float(state.decrement[0]))
+        assert stream_curve == scalar_curve  # exact, including the resets
+        assert 0.0 in scalar_curve[1:]  # at least one reset happened
+
+
+class TestSessionBreakBoundaries:
+    """The satellite fix: a session break is counted in cases, never in
+    chunks, so its interaction with chunk boundaries is invisible."""
+
+    def test_boundary_exactly_on_break(self, workload):
+        """Chunk size == cases_per_session: every chunk boundary lands
+        exactly on a break; results and carried state match the scalar
+        loop (which never sees chunks at all)."""
+        session = 60
+        scalar_system = make_fatigued_system(cases_per_session=session)
+        aligned_system = make_fatigued_system(cases_per_session=session)
+        scalar = failure_counts(evaluate_system(scalar_system, workload))
+        aligned = failure_counts(
+            evaluate_system_batch(aligned_system, workload, chunk_size=session)
+        )
+        assert aligned == scalar
+        assert reader_state(aligned_system) == reader_state(scalar_system)
+
+    def test_state_carried_over_aligned_boundary_is_rested(self, workload):
+        session = 60
+        system = make_fatigued_system(cases_per_session=session)
+        arrays = workload.to_arrays()
+        _, state = system.advance_stream(
+            arrays.chunk(0, session), system.stream_state()
+        )
+        assert float(state.decrement[0]) == 0.0
+        assert int(state.cases_this_session[0]) == 0
+
+    def test_boundary_mid_session(self, workload):
+        """A chunk boundary mid-session (chunk 45, sessions of 60) carries
+        partial fatigue across it; still bit-identical to scalar."""
+        session = 60
+        scalar_system = make_fatigued_system(cases_per_session=session)
+        offset_system = make_fatigued_system(cases_per_session=session)
+        scalar = failure_counts(evaluate_system(scalar_system, workload))
+        offset = failure_counts(
+            evaluate_system_batch(offset_system, workload, chunk_size=45)
+        )
+        assert offset == scalar
+        assert reader_state(offset_system) == reader_state(scalar_system)
+        # And the mid-session carry is visibly partial, not a reset:
+        probe = make_fatigued_system(cases_per_session=session)
+        arrays = workload.to_arrays()
+        _, state = probe.advance_stream(arrays.chunk(0, 45), probe.stream_state())
+        assert float(state.decrement[0]) > 0.0
+        assert int(state.cases_this_session[0]) == 45

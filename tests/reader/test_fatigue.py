@@ -4,6 +4,7 @@ import pytest
 
 from repro.exceptions import ParameterError
 from repro.reader import FatigueModel, FatiguedReader, MILD_BIAS, ReaderModel
+from repro.screening import routine_screening_population, trial_workload
 from tests.cadt.test_algorithm import make_healthy_case
 from tests.screening.test_case_and_population import make_cancer_case
 
@@ -35,6 +36,86 @@ class TestFatigueModel:
             FatigueModel(rate=1.5)
         with pytest.raises(ParameterError):
             FatigueModel(max_decrement=-1.0)
+        with pytest.raises(ParameterError):
+            FatigueModel(cases_per_session=0)
+
+
+class TestCasesPerSession:
+    """Automatic session breaks: the schedule is counted in *cases*.
+
+    The contract (previously latent, now pinned down): the N-th case of
+    a session is decided at the pre-break decrement, and the rest
+    applies once ``advance()`` registers it — so after exactly
+    ``cases_per_session`` cases the model is already rested, whether or
+    not a chunk boundary happens to land there.
+    """
+
+    def test_auto_rest_after_session_length(self):
+        fatigue = FatigueModel(rate=0.1, cases_per_session=5)
+        for _ in range(4):
+            fatigue.advance()
+        assert fatigue.decrement > 0.0
+        assert fatigue.cases_this_session == 4
+        fatigue.advance()  # the 5th case triggers the break after it
+        assert fatigue.decrement == 0.0
+        assert fatigue.cases_this_session == 0
+
+    def test_nth_case_is_decided_tired(self):
+        """The session's last case is read at the pre-break decrement;
+        only the *next* case benefits from the rest."""
+        base = ReaderModel(bias=MILD_BIAS, name="r", seed=1)
+        reader = FatiguedReader(
+            base, FatigueModel(rate=0.2, cases_per_session=3), seed=2
+        )
+        reader.decide(make_healthy_case(), None)
+        reader.decide(make_healthy_case(), None)
+        tired = reader.current_reader()  # in force for case 3
+        assert tired.skill.detection < base.skill.detection
+        reader.decide(make_healthy_case(), None)  # case 3: break after it
+        assert reader.current_reader() is base
+
+    def test_schedule_resumes_identically_after_manual_break(self):
+        fatigue = FatigueModel(rate=0.1, cases_per_session=10)
+        for _ in range(7):
+            fatigue.advance()
+        fatigue.rest()  # manual break mid-session restarts the count
+        for _ in range(9):
+            fatigue.advance()
+        assert fatigue.cases_this_session == 9  # not yet at the limit
+        fatigue.advance()
+        assert fatigue.cases_this_session == 0
+
+    def test_chunk_boundary_on_break_is_invisible(self):
+        """Splitting the stream exactly at a session break carries the
+        already-rested state — bit-identical to an unaligned split and
+        to no split at all (the satellite-4 regression)."""
+        session = 25
+        workload = trial_workload(
+            routine_screening_population(seed=11), 100, cancer_fraction=0.3, name="w"
+        )
+        arrays = workload.to_arrays()
+
+        def run(boundaries):
+            reader = FatiguedReader(
+                ReaderModel(bias=MILD_BIAS, name="r", seed=1),
+                FatigueModel(rate=0.1, cases_per_session=session),
+                seed=2,
+            )
+            state = reader.stream_state()
+            recalls = []
+            for start, stop in boundaries:
+                recall, state = reader.advance_stream(
+                    arrays.chunk(start, stop), None, state
+                )
+                recalls.extend(recall.tolist())
+            reader.commit_state(state)
+            return recalls, reader.fatigue.decrement, reader.fatigue.cases_this_session
+
+        whole = run([(0, 100)])
+        aligned = run([(0, 25), (25, 50), (50, 75), (75, 100)])  # on breaks
+        offset = run([(0, 40), (40, 100)])  # mid-session
+        assert aligned == whole
+        assert offset == whole
 
 
 class TestFatiguedReader:
