@@ -9,23 +9,73 @@ Usage::
 or when a report file is unreadable, which lets CI assert "every
 performance gate still holds as recorded" without re-running the
 benchmarks themselves.
+
+Each row also shows its **trend** against the last committed report
+(``git show HEAD:BENCH_<name>.json``): the relative speedup change, or
+``new`` for a benchmark measured for the first time.  A first run has no
+prior trajectory entry by definition, so ``new`` never fails
+``--check`` — gates judge the measured speedup, trends only narrate it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 from pathlib import Path
 from typing import Any
 
-from benchmarks._report import load_benchmark_reports
+from benchmarks._report import REPO_ROOT, load_benchmark_reports
 
-_COLUMNS = ("name", "speedup", "gate", "status", "commit", "timestamp")
+_COLUMNS = ("name", "speedup", "gate", "trend", "status", "commit", "timestamp")
 
 
-def _row(report: dict[str, Any]) -> tuple[str, ...]:
+def _prior_speedup(name: str, root: Path | None = None) -> float | None:
+    """The speedup last committed for gate ``name``, if any.
+
+    Reads ``BENCH_<name>.json`` as of ``HEAD`` — the trajectory entry a
+    fresh working-tree report is compared against.  Returns ``None``
+    when there is no prior entry (first run of a new benchmark) or when
+    git/the blob is unavailable or unparseable; the caller renders all
+    of those as ``new`` rather than failing.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"HEAD:BENCH_{name}.json"],
+            cwd=root if root is not None else REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    try:
+        payload = json.loads(proc.stdout)
+    except ValueError:
+        return None
+    speedup = payload.get("speedup") if isinstance(payload, dict) else None
+    return float(speedup) if isinstance(speedup, (int, float)) else None
+
+
+def _trend(speedup: Any, prior: float | None) -> str:
+    if not isinstance(speedup, (int, float)):
+        return "-"
+    if prior is None:
+        return "new"
+    if prior == 0:
+        return "-"
+    change = (float(speedup) - prior) / prior
+    if abs(change) < 0.0005:
+        return "="
+    return f"{change:+.1%}"
+
+
+def _row(report: dict[str, Any], prior: float | None) -> tuple[str, ...]:
     name = str(report.get("name", "?"))
     if "error" in report:
-        return (name, "-", "-", f"error: {report['error']}", "-", "-")
+        return (name, "-", "-", "-", f"error: {report['error']}", "-", "-")
     speedup = report.get("speedup")
     gate = report.get("gate")
     if isinstance(speedup, (int, float)) and isinstance(gate, (int, float)):
@@ -36,6 +86,7 @@ def _row(report: dict[str, Any]) -> tuple[str, ...]:
         name,
         f"{speedup:g}x" if isinstance(speedup, (int, float)) else "-",
         f">={gate:g}x" if isinstance(gate, (int, float)) else "-",
+        _trend(speedup, prior),
         status,
         str(report.get("commit", "-")),
         str(report.get("timestamp", "-")),
@@ -76,10 +127,14 @@ def main(argv: list[str] | None = None) -> int:
         print("no BENCH_*.json reports found")
         return 1 if args.check else 0
 
-    rows = [_row(report) for report in reports]
+    rows = [
+        _row(report, _prior_speedup(str(report.get("name", "?")), args.root))
+        for report in reports
+    ]
     print(_render(rows))
 
-    failed = [row[0] for row in rows if row[3] != "ok"]
+    status_column = _COLUMNS.index("status")
+    failed = [row[0] for row in rows if row[status_column] != "ok"]
     if args.check and failed:
         print(f"gate check failed for: {', '.join(failed)}")
         return 1

@@ -32,12 +32,14 @@ from .report import (
     Table1,
     Table2,
     Table3,
+    build_sweep_summary,
     build_table1,
     build_table2,
     build_table3,
     render_calibration,
     render_feasibility,
     render_monitoring,
+    render_sweep_summary,
     render_table,
 )
 
@@ -49,6 +51,8 @@ __all__ = [
     "build_table2",
     "build_table3",
     "render_table",
+    "build_sweep_summary",
+    "render_sweep_summary",
     "render_calibration",
     "render_monitoring",
     "render_feasibility",

@@ -38,6 +38,8 @@ __all__ = [
     "render_calibration",
     "render_monitoring",
     "render_feasibility",
+    "build_sweep_summary",
+    "render_sweep_summary",
 ]
 
 
@@ -288,6 +290,76 @@ def render_monitoring(report) -> str:
     return render_table(
         ["monitor", "reference", "observed", "n", "p-value", ""], rows
     )
+
+
+def build_sweep_summary(
+    rows: Sequence[Mapping[str, object]],
+    group_by: Sequence[str] = ("population", "system"),
+) -> list[dict[str, object]]:
+    """Consolidate per-cell sweep rows into grouped failure-rate rows.
+
+    Accepts the plain dict rows a :class:`repro.sweep.SweepResult`
+    produces (``rows()``), but depends only on their keys — any iterable
+    of dicts with the grouped columns plus ``fn_failures``/``fn_trials``
+    / ``fp_failures``/``fp_trials`` works, which keeps this module free
+    of a sweep import.  Counts pool within each group (exact integer
+    sums), and groups appear in first-encounter order.
+
+    Args:
+        rows: Per-cell rows with axis columns and failure counts.
+        group_by: Axis columns to group on.
+
+    Raises:
+        ValueError: if a row is missing a grouped or count column.
+    """
+    grouped: dict[tuple, dict[str, object]] = {}
+    counts = ("fn_failures", "fn_trials", "fp_failures", "fp_trials")
+    for row in rows:
+        for column in (*group_by, *counts):
+            if column not in row:
+                raise ValueError(f"sweep row is missing column {column!r}")
+        key = tuple(row[column] for column in group_by)
+        summary = grouped.get(key)
+        if summary is None:
+            summary = {column: row[column] for column in group_by}
+            summary.update(cells=0, fn_failures=0, fn_trials=0, fp_failures=0, fp_trials=0)
+            grouped[key] = summary
+        summary["cells"] = int(summary["cells"]) + 1
+        for column in counts:
+            summary[column] = int(summary[column]) + int(row[column])
+    for summary in grouped.values():
+        fn_trials = int(summary["fn_trials"])
+        fp_trials = int(summary["fp_trials"])
+        summary["fn_rate"] = (
+            int(summary["fn_failures"]) / fn_trials if fn_trials else None
+        )
+        summary["fp_rate"] = (
+            int(summary["fp_failures"]) / fp_trials if fp_trials else None
+        )
+    return list(grouped.values())
+
+
+def render_sweep_summary(
+    rows: Sequence[Mapping[str, object]],
+    group_by: Sequence[str] = ("population", "system"),
+) -> str:
+    """ASCII rendering of :func:`build_sweep_summary` over the same rows."""
+    summaries = build_sweep_summary(rows, group_by)
+    headers = [*group_by, "cells", "FN rate", "FP rate"]
+
+    def rate(value: object) -> str:
+        return "-" if value is None else f"{value:.4f}"
+
+    table_rows = [
+        [
+            *(str(summary[column]) for column in group_by),
+            str(summary["cells"]),
+            rate(summary["fn_rate"]),
+            rate(summary["fp_rate"]),
+        ]
+        for summary in summaries
+    ]
+    return render_table(headers, table_rows)
 
 
 def render_feasibility(report) -> str:

@@ -18,6 +18,9 @@ Commands:
 * ``uncertainty`` — credible interval for the system failure
   probability under parameter-estimation uncertainty, propagated on the
   vectorized posterior kernel.
+* ``sweep``     — compile a scenario-grid JSON file into fused engine
+  dispatches and execute it, with journalled checkpoints (``--journal``)
+  and exact resume (``--resume``).
 
 Every command is a thin shell over the public API; anything printed here
 can be computed programmatically with the same names.
@@ -240,6 +243,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for the study-grid evaluation (same interval either way)",
     )
     _add_observability_arguments(uncertainty, short_flag=False)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="compile a scenario grid and execute it as fused engine dispatches",
+    )
+    sweep.add_argument(
+        "--grid", required=True, metavar="FILE", help="scenario-grid JSON file"
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="master sweep seed")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes (>1 publishes each workload to shared memory once)",
+    )
+    sweep.add_argument(
+        "--chunk-size", type=int, default=None, help="cases per evaluation chunk"
+    )
+    sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="cells per checkpoint shard (journal granularity)",
+    )
+    sweep.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint journal (appended after every shard)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in --journal (fingerprint-checked)",
+    )
+    sweep.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="stop after executing this many shards (partial, resumable run)",
+    )
+    sweep.add_argument(
+        "--level", type=float, default=0.95, help="confidence level of cell intervals"
+    )
+    sweep.add_argument(
+        "--group-by",
+        default="population,system",
+        help="comma-separated axis columns of the consolidated summary table",
+    )
+    _add_observability_arguments(sweep)
 
     monitor = subparsers.add_parser(
         "monitor", help="drift monitoring of field records against a model"
@@ -615,6 +668,55 @@ def _command_uncertainty(args: argparse.Namespace) -> None:
         )
 
 
+def _command_sweep(args: argparse.Namespace) -> None:
+    import time
+
+    from .analysis import render_sweep_summary
+    from .engine import DEFAULT_CHUNK_SIZE
+    from .screening import SubtletyClassifier
+    from .sweep import DEFAULT_SHARD_SIZE, ScenarioGrid, compile_grid, run_sweep
+
+    grid = ScenarioGrid.from_file(args.grid)
+    chunk_size = args.chunk_size if args.chunk_size is not None else DEFAULT_CHUNK_SIZE
+    shard_size = args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE
+    group_by = tuple(
+        column.strip() for column in args.group_by.split(",") if column.strip()
+    )
+    with _observability(args, "sweep"):
+        plan = compile_grid(
+            grid, seed=args.seed, chunk_size=chunk_size, shard_size=shard_size
+        )
+        print(
+            f"grid {grid.name!r}: {len(plan)} cells, "
+            f"{len(plan.workloads)} distinct workloads, "
+            f"{len(plan.shards)} shards, {plan.fused_dispatches} fused dispatches"
+        )
+        start = time.perf_counter()
+        result = run_sweep(
+            grid,
+            seed=args.seed,
+            classifier=SubtletyClassifier(),
+            level=args.level,
+            workers=args.workers,
+            chunk_size=chunk_size,
+            shard_size=shard_size,
+            journal=args.journal,
+            resume=args.resume,
+            max_shards=args.max_shards,
+        )
+        elapsed = time.perf_counter() - start
+        print(render_sweep_summary(result.rows(), group_by))
+        status = "complete" if result.complete else "partial"
+        print(
+            f"{status}: {result.executed} cells executed, "
+            f"{result.skipped} restored from journal, "
+            f"{result.executed / elapsed:,.1f} cells/s"
+        )
+        if not result.complete and args.journal:
+            print(f"resume with: repro sweep --grid {args.grid} --seed {args.seed} "
+                  f"--journal {args.journal} --resume")
+
+
 def _command_monitor(args: argparse.Namespace) -> None:
     from .analysis import monitor_records, render_monitoring
     from .trial import load_records_csv
@@ -641,6 +743,7 @@ _COMMANDS = {
     "design": _command_design,
     "simulate": _command_simulate,
     "uncertainty": _command_uncertainty,
+    "sweep": _command_sweep,
     "monitor": _command_monitor,
 }
 

@@ -521,6 +521,15 @@ class EngineRuntime:
             requests shared memory but still falls back if a segment
             cannot be created.
         max_cached_workloads: Distinct workloads kept resident (LRU).
+        shm_byte_budget: Soft cap on the total bytes of live shared
+            segments.  When a fresh publication pushes the total over
+            the budget, least-recently-used segments are unlinked (the
+            arrays and label caches stay resident — only the shared
+            plane is dropped, and it re-publishes on next parallel use).
+            ``None`` (the default) keeps every cached workload's segment
+            alive; set it for many-workload sweeps so the runtime cannot
+            exhaust ``/dev/shm``.  Evictions are counted under
+            ``runtime.shm.evicted``.
         obs: Instrumentation to record into.  ``None`` (the default)
             resolves the ambient instrumentation at construction — the
             null singleton unless :func:`repro.obs.use_instrumentation`
@@ -535,6 +544,7 @@ class EngineRuntime:
         workers: int = 2,
         use_shared_memory: bool | None = None,
         max_cached_workloads: int = 4,
+        shm_byte_budget: int | None = None,
         obs: Instrumentation | None = None,
     ) -> None:
         if workers < 1:
@@ -543,8 +553,15 @@ class EngineRuntime:
             raise SimulationError(
                 f"max_cached_workloads must be >= 1, got {max_cached_workloads!r}"
             )
+        if shm_byte_budget is not None and shm_byte_budget < 1:
+            raise SimulationError(
+                f"shm_byte_budget must be >= 1 or None, got {shm_byte_budget!r}"
+            )
         self._workers = int(workers)
         self._max_cached = int(max_cached_workloads)
+        self._shm_byte_budget = (
+            int(shm_byte_budget) if shm_byte_budget is not None else None
+        )
         self._obs = obs if obs is not None else get_instrumentation()
         self._degraded: set[str] = set()
         if use_shared_memory is None or use_shared_memory:
@@ -625,6 +642,15 @@ class EngineRuntime:
             if entry.segment is not None
         )
 
+    @property
+    def shm_bytes_live(self) -> int:
+        """Total bytes of currently published shared segments."""
+        return sum(
+            entry.segment.size
+            for entry in self._cache.values()
+            if entry.segment is not None
+        )
+
     def cache_info(self) -> dict[str, int]:
         """Cache counters: resident workloads, hits, misses, segments."""
         return {
@@ -633,6 +659,28 @@ class EngineRuntime:
             "misses": self._misses,
             "segments": len(self.active_segments),
         }
+
+    # -- workload plane (shared with the sweep runner) -----------------
+
+    def publish_workload(
+        self, workload: Workload
+    ) -> tuple[CaseArrays, _SegmentSpec | None]:
+        """Columnise, cache, and (if parallel) publish one workload.
+
+        The sweep runner's entry into the runtime's workload plane:
+        returns the cached :class:`CaseArrays` plus, on a parallel
+        shared-memory runtime, the :class:`_SegmentSpec` pooled tasks
+        attach with (``None`` on serial/no-shm runtimes — callers then
+        ship the arrays themselves).  Repeated calls for equal workloads
+        hit the fingerprint-keyed cache, so each distinct workload pays
+        columnisation and publication once per runtime, however many
+        callers share it.
+        """
+        if self._closed:
+            raise SimulationError("cannot publish on a closed EngineRuntime")
+        entry = self._workload_entry(workload)
+        spec = self._publish(entry) if self._workers > 1 else None
+        return entry.arrays, spec
 
     # -- evaluation ----------------------------------------------------
 
@@ -902,8 +950,32 @@ class EngineRuntime:
                 )
                 return None
             self._obs.count("runtime.shm.bytes_published", entry.segment.size)
+            self._enforce_shm_budget(entry)
             self._obs.gauge("runtime.shm.segments", len(self.active_segments))
         return entry.spec
+
+    def _enforce_shm_budget(self, keep: _CachedWorkload) -> None:
+        """Unlink LRU segments until live shm bytes fit the budget.
+
+        The just-published entry is never evicted (it is about to be
+        used); everything else unlinks oldest-first.  Only the shared
+        plane is dropped — the entry's arrays and label caches stay, so
+        an evicted workload re-publishes cheaply on its next parallel
+        use.  Workers still holding an attached view keep the memory
+        alive until their own LRU cache closes it (POSIX unlink
+        semantics), so in-flight reads are unaffected.
+        """
+        if self._shm_byte_budget is None:
+            return
+        if self.shm_bytes_live <= self._shm_byte_budget:
+            return
+        for entry in list(self._cache.values()):  # OrderedDict: LRU first
+            if entry is keep or entry.segment is None:
+                continue
+            _release_segment(entry)
+            self._obs.count("runtime.shm.evicted")
+            if self.shm_bytes_live <= self._shm_byte_budget:
+                break
 
     def _run_jobs(
         self,

@@ -50,6 +50,12 @@ class LintConfig:
         seed_threading_packages: Packages whose public ``decide`` /
             ``evaluate*`` / ``compare*`` entry points must thread
             ``seed``/``rng`` (REP005).
+        orchestration_packages: Packages (a subset of the seed-threading
+            ones in spirit) whose public ``run*``/``resume*`` entry
+            points must *also* thread ``seed``/``rng`` (REP005) — the
+            sweep engine's entry points are launchers, not ``evaluate*``
+            functions, but they own the master seed all cell seeds
+            derive from.
         observability_packages: Packages that implement instrumentation
             (metrics, spans, run reports) and therefore must never touch
             RNG state (REP006).  Outside these packages the same rule
@@ -78,7 +84,9 @@ class LintConfig:
         "repro.cadt",
         "repro.system",
         "repro.engine",
+        "repro.sweep",
     )
+    orchestration_packages: tuple[str, ...] = ("repro.sweep",)
     observability_packages: tuple[str, ...] = ("repro.obs",)
     validator_names: tuple[str, ...] = VALIDATOR_NAMES
     probability_name_regex: str = (

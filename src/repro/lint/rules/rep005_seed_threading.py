@@ -8,6 +8,12 @@ or ``rng`` parameter *and actually uses it*.  An entry point that
 silently ignores its generator (or never takes one) forces callers back
 onto private component RNGs, where CRN coupling is impossible.
 
+In orchestration packages (``config.orchestration_packages`` — the
+sweep engine), public ``run*``/``resume*`` launchers count as entry
+points too: they own the master seed every per-cell seed derives from,
+so a launcher without a threaded seed breaks the whole reproduction
+chain, not just one decision.
+
 Protocol stubs and abstract methods (bodies that are just ``...`` or a
 docstring) are checked for the parameter only; concrete bodies must also
 reference it somewhere, which catches "accepted but dropped" mistakes.
@@ -24,6 +30,7 @@ from ..findings import Finding
 from ..registry import iter_function_defs, register
 
 _ENTRY_PREFIXES = ("evaluate", "compare")
+_ORCHESTRATION_PREFIXES = ("run", "resume")
 _ENTRY_NAMES = ("decide", "decide_batch")
 _THREAD_PARAMS = {"seed", "rng"}
 _EXEMPT_DECORATORS = {"property", "cached_property", "staticmethod", "abstractmethod"}
@@ -60,17 +67,22 @@ class SeedThreadingRule:
         "forward seed/rng"
     )
 
-    def _is_entry_point(self, name: str) -> bool:
+    def _is_entry_point(self, name: str, orchestration: bool) -> bool:
         if name.startswith("_"):
             return False
+        if orchestration and name.startswith(_ORCHESTRATION_PREFIXES):
+            return True
         return name in _ENTRY_NAMES or name.startswith(_ENTRY_PREFIXES)
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         config = context.config
         if not config.in_packages(context.module, config.seed_threading_packages):
             return
+        orchestration = config.in_packages(
+            context.module, config.orchestration_packages
+        )
         for node in iter_function_defs(context.tree):
-            if not self._is_entry_point(node.name):
+            if not self._is_entry_point(node.name, orchestration):
                 continue
             if _decorator_names(node) & _EXEMPT_DECORATORS:
                 continue

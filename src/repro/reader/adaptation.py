@@ -101,7 +101,12 @@ class AdaptiveTrust:
     def observe_success(self) -> None:
         """Record an apparently correct machine output; trust creeps up."""
         self._observed_successes += 1
-        self._trust += self.growth_rate * (self.max_trust - self._trust)
+        # The exponential approach can overshoot max_trust by one ulp in
+        # float arithmetic (growth_rate ~ 1); clamp to keep the invariant.
+        self._trust = min(
+            self._trust + self.growth_rate * (self.max_trust - self._trust),
+            self.max_trust,
+        )
 
     def observe_caught_failure(self) -> None:
         """Record a machine miss the reader caught; trust drops sharply."""

@@ -67,7 +67,7 @@ def trust_growth_path(
     ``num_cases`` — is the trust after all successes.  Computed with the
     exact Python-float recurrence of
     :meth:`~repro.reader.adaptation.AdaptiveTrust.observe_success`:
-    ``t = t + growth_rate * (max_trust - t)``.
+    ``t = min(t + growth_rate * (max_trust - t), max_trust)``.
     """
     if num_cases < 0:
         raise SimulationError(f"num_cases must be >= 0, got {num_cases!r}")
@@ -75,7 +75,7 @@ def trust_growth_path(
     t = float(trust)
     for i in range(num_cases):
         path[i] = t
-        t = t + growth_rate * (max_trust - t)
+        t = min(t + growth_rate * (max_trust - t), max_trust)
     path[num_cases] = t
     return path
 

@@ -1,0 +1,288 @@
+"""The sweep compiler: scenario grids to fused, sharded execution plans.
+
+Compilation does three things a naive per-cell loop cannot:
+
+* **Seed assignment.**  Every cell receives an integer seed from
+  ``SeedSequence(master).spawn(n_cells)``, recorded on the planned cell.
+  The seed — together with the plan's ``chunk_size`` — fully determines
+  the cell's result, so any cell is reproducible standalone through
+  :func:`~repro.engine.executor.evaluate_system_batch` long after the
+  sweep ran (see :func:`repro.sweep.runner.reproduce_cell`).
+* **Workload deduplication.**  Cells are grouped by their workload
+  spec's :meth:`~repro.sweep.grid.WorkloadSpec.key`; each distinct
+  workload is materialised, columnised, classified, and (under a
+  parallel runtime) published to shared memory exactly once per run,
+  however many cells share it.
+* **Fusion + sharding.**  Cells sharing a workload fuse into
+  :class:`FusedBatch` dispatches (one pool round-trip executes many
+  cells against one set of arrays), and batches pack into
+  :class:`Shard`\\ s — the checkpoint granularity: the runner journals
+  after every completed shard, and ``resume`` skips whole cells already
+  journalled.
+
+The plan's :attr:`~SweepPlan.fingerprint` covers the grid, the master
+seed, the chunking, and every (cell id, cell seed) pair; a journal
+records it so resuming against a different grid or seed fails loudly
+instead of silently mixing results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..obs import get_instrumentation
+from .grid import ScenarioCell, ScenarioGrid, WorkloadSpec
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "DEFAULT_FUSE_LIMIT",
+    "PlannedCell",
+    "FusedBatch",
+    "Shard",
+    "SweepPlan",
+    "compile_grid",
+]
+
+#: Cells per shard (the checkpoint granularity) unless overridden.
+DEFAULT_SHARD_SIZE = 64
+
+#: Cells per fused dispatch unless overridden.  Large enough that the
+#: dispatch round-trip amortises well, small enough that one dispatch is
+#: not itself a straggler.
+DEFAULT_FUSE_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class PlannedCell:
+    """A scenario cell with its execution identity attached.
+
+    Attributes:
+        index: Position in the grid's canonical cell order.
+        cell: The declarative cell.
+        seed: The recorded evaluation seed (drives the chunk generators,
+            exactly as ``evaluate_system_batch(..., seed=seed)`` would).
+        workload_key: The cell's workload identity (dedup/fusion key).
+    """
+
+    index: int
+    cell: ScenarioCell
+    seed: int
+    workload_key: str
+
+    @property
+    def cell_id(self) -> str:
+        """The cell's stable identity (journal/report key)."""
+        return self.cell.cell_id
+
+
+@dataclass(frozen=True)
+class FusedBatch:
+    """Cells fused into one dispatch: same workload arrays, many systems."""
+
+    workload_key: str
+    cells: tuple[PlannedCell, ...]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One checkpoint unit: a run journals after each completed shard."""
+
+    index: int
+    batches: tuple[FusedBatch, ...]
+
+    def cells(self) -> Iterator[PlannedCell]:
+        """The shard's planned cells, in dispatch order."""
+        for batch in self.batches:
+            yield from batch.cells
+
+    def __len__(self) -> int:
+        return sum(len(batch.cells) for batch in self.batches)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A compiled, executable sweep.
+
+    Attributes:
+        grid: The source grid.
+        seed: The master seed every cell seed derives from.
+        chunk_size: Chunk size every cell evaluates with (part of the
+            determinism contract: results depend on ``(seed, chunk_size)``).
+        shard_size: Cells per checkpoint shard.
+        shards: The execution order.
+        workloads: Distinct workload specs by key — what dedup bought.
+        fingerprint: Content hash of everything above; journals record
+            it, resume verifies it.
+    """
+
+    grid: ScenarioGrid
+    seed: int
+    chunk_size: int
+    shard_size: int
+    shards: tuple[Shard, ...]
+    workloads: Mapping[str, WorkloadSpec]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", dict(self.workloads))
+
+    def cells(self) -> Iterator[PlannedCell]:
+        """Every planned cell, in execution (shard) order."""
+        for shard in self.shards:
+            yield from shard.cells()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def fused_dispatches(self) -> int:
+        """Total fused dispatches across all shards."""
+        return sum(len(shard.batches) for shard in self.shards)
+
+    def cell_by_id(self, cell_id: str) -> PlannedCell:
+        """Look one planned cell up by its id.
+
+        Raises:
+            SimulationError: if the id is not in this plan.
+        """
+        for planned in self.cells():
+            if planned.cell_id == cell_id:
+                return planned
+        raise SimulationError(f"cell {cell_id!r} is not in this plan")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of the plan (grid + seed + chunking + cell seeds)."""
+        payload = {
+            "grid": self.grid.to_dict(),
+            "seed": self.seed,
+            "chunk_size": self.chunk_size,
+            "shard_size": self.shard_size,
+            "cells": [[planned.cell_id, planned.seed] for planned in self.cells()],
+        }
+        digest = hashlib.sha1(
+            json.dumps(payload, sort_keys=True).encode()
+        )
+        return digest.hexdigest()
+
+
+def _cell_seeds(seed: int, count: int) -> list[int]:
+    """One recorded integer seed per cell, derived from the master seed.
+
+    Uses ``SeedSequence.spawn`` so cell streams are statistically
+    independent, then collapses each child to a plain ``uint32`` int —
+    journals store ints, and ``default_rng(int)`` is the standalone
+    reproduction path.
+    """
+    if count == 0:
+        return []
+    return [
+        int(sequence.generate_state(1)[0])
+        for sequence in np.random.SeedSequence(seed).spawn(count)
+    ]
+
+
+def compile_grid(
+    grid: ScenarioGrid,
+    *,
+    seed: int,
+    chunk_size: int = 16384,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    fuse_limit: int = DEFAULT_FUSE_LIMIT,
+) -> SweepPlan:
+    """Compile a grid into a deduplicated, fused, sharded plan.
+
+    Cells are grouped by workload key (first-appearance order), split
+    into fused batches of at most ``fuse_limit`` cells, and packed into
+    shards of at most ``shard_size`` cells.  Grouping and packing are
+    scheduling decisions only: every cell keeps its recorded seed, so
+    results never depend on how cells were fused or sharded.
+
+    Args:
+        grid: The scenario grid.
+        seed: Master seed; every cell's recorded seed derives from it.
+        chunk_size: Chunk size all cells evaluate with.
+        shard_size: Checkpoint granularity (cells per shard).
+        fuse_limit: Maximum cells per fused dispatch.
+
+    Raises:
+        SimulationError: on a non-positive chunk/shard/fuse size.
+    """
+    if chunk_size < 1:
+        raise SimulationError(f"chunk_size must be >= 1, got {chunk_size!r}")
+    if shard_size < 1:
+        raise SimulationError(f"shard_size must be >= 1, got {shard_size!r}")
+    if fuse_limit < 1:
+        raise SimulationError(f"fuse_limit must be >= 1, got {fuse_limit!r}")
+    # A dispatch never spans a checkpoint: batches cap at the shard size
+    # so every shard holds whole batches and stays within shard_size.
+    fuse_limit = min(fuse_limit, shard_size)
+    obs = get_instrumentation()
+    with obs.span("sweep.compile", grid=grid.name, cells=len(grid)):
+        cells = list(grid.cells())
+        ids = [cell.cell_id for cell in cells]
+        if len(set(ids)) != len(ids):
+            duplicates = sorted({i for i in ids if ids.count(i) > 1})
+            raise SimulationError(
+                f"grid {grid.name!r} produced duplicate cell ids "
+                f"(first: {duplicates[0]!r}); cell ids must be unique for "
+                "journalling and reproduction"
+            )
+        seeds = _cell_seeds(seed, len(cells))
+        planned = [
+            PlannedCell(
+                index=index,
+                cell=cell,
+                seed=cell_seed,
+                workload_key=cell.workload.key(),
+            )
+            for index, (cell, cell_seed) in enumerate(zip(cells, seeds))
+        ]
+
+        workloads: dict[str, WorkloadSpec] = {}
+        grouped: dict[str, list[PlannedCell]] = {}
+        for planned_cell in planned:
+            key = planned_cell.workload_key
+            if key not in workloads:
+                workloads[key] = planned_cell.cell.workload
+                grouped[key] = []
+            grouped[key].append(planned_cell)
+
+        batches: list[FusedBatch] = []
+        for key, group in grouped.items():
+            for start in range(0, len(group), fuse_limit):
+                batches.append(
+                    FusedBatch(
+                        workload_key=key,
+                        cells=tuple(group[start : start + fuse_limit]),
+                    )
+                )
+
+        shards: list[Shard] = []
+        current: list[FusedBatch] = []
+        current_cells = 0
+        for batch in batches:
+            if current and current_cells + len(batch.cells) > shard_size:
+                shards.append(Shard(index=len(shards), batches=tuple(current)))
+                current, current_cells = [], 0
+            current.append(batch)
+            current_cells += len(batch.cells)
+        if current:
+            shards.append(Shard(index=len(shards), batches=tuple(current)))
+
+        obs.gauge("sweep.plan.cells", len(planned))
+        obs.gauge("sweep.plan.workloads", len(workloads))
+        obs.gauge("sweep.plan.shards", len(shards))
+        return SweepPlan(
+            grid=grid,
+            seed=seed,
+            chunk_size=chunk_size,
+            shard_size=shard_size,
+            shards=tuple(shards),
+            workloads=workloads,
+        )

@@ -1,0 +1,815 @@
+"""The sweep runner: execute compiled plans fast, checkpointed, resumable.
+
+Execution walks the plan shard by shard.  Per distinct workload (not per
+cell) it materialises the cases, columnises them, classifies the cancer
+cases, and — on a parallel runtime — publishes the arrays to shared
+memory once, through the :class:`~repro.engine.runtime.EngineRuntime`
+fingerprint-keyed caches.  Cells sharing a workload then execute as
+fused dispatches: one task carries many ``(system, seed)`` pairs against
+one set of arrays, so the pool round-trip, the columnisation, and the
+classification amortise across the whole batch.
+
+**Determinism contract.**  A cell's failure counts depend only on its
+recorded ``(seed, chunk_size)``: chunk generators derive via the same
+``SeedSequence`` scheme as :func:`~repro.engine.executor.evaluate_system_batch`,
+the decision kernels are the engine's own (:func:`_decide_jobs` /
+:func:`_advance_stream` from :mod:`repro.engine.runtime`), and the tally
+is an exact integer-count reformulation of
+:class:`~repro.system.simulate.FailureTally`.  Fused, sharded, serial,
+parallel, interrupted-and-resumed — all bit-identical to evaluating the
+cell standalone (:func:`reproduce_cell`).
+
+**Checkpointing.**  With a journal path, a header records the plan
+fingerprint and every completed shard appends its cell results as JSONL
+(:func:`repro.trial.storage.append_journal_entries`).  ``resume=True``
+replays the journal — verifying the fingerprint — and skips completed
+cells without recomputing them (counted under ``sweep.cells.skipped``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.case_class import CaseClass
+from ..engine.executor import (
+    DEFAULT_CHUNK_SIZE,
+    _chunk_rngs,
+    plan_chunks,
+    supports_batch,
+    supports_stream,
+)
+from ..engine.runtime import (
+    EngineRuntime,
+    _advance_stream,
+    _attached_arrays,
+    _decide_jobs,
+    _Job,
+    _SegmentSpec,
+)
+from ..engine.arrays import CaseArrays
+from ..exceptions import SimulationError
+from ..obs import Instrumentation, get_instrumentation
+from ..screening.classifier import CaseClassifier, SingleClassClassifier
+from ..screening.workload import Workload
+from ..system.simulate import FailureTally, SystemEvaluation
+from ..system.single import ScreeningSystem
+from ..trial.storage import append_journal_entries, load_journal_entries
+from .grid import ScenarioGrid
+from .plan import (
+    DEFAULT_FUSE_LIMIT,
+    DEFAULT_SHARD_SIZE,
+    PlannedCell,
+    Shard,
+    SweepPlan,
+    compile_grid,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "CellResult",
+    "SweepResult",
+    "run_sweep",
+    "resume_sweep",
+    "reproduce_cell",
+]
+
+#: Version stamped into (and required of) sweep journal headers.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# results
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell's exact integer failure counts.
+
+    Storing counts — not derived rates — keeps results bit-stable
+    through the journal: :meth:`evaluation` rebuilds the same
+    :class:`~repro.system.simulate.SystemEvaluation` (identical Wilson
+    intervals) whether the counts come from this run, a resumed journal,
+    or a standalone reproduction.
+
+    Attributes:
+        index: The cell's position in the plan.
+        cell_id: Stable cell identity.
+        seed: The recorded evaluation seed.
+        system_name: Name of the evaluated system.
+        workload_name: Name of the workload it ran on.
+        cancer_failures: False negatives over cancer cases.
+        cancer_trials: Cancer cases seen.
+        healthy_failures: False positives over healthy cases.
+        healthy_trials: Healthy cases seen.
+        class_names: Case-class names with at least one cancer trial.
+        class_failures: False negatives per class (aligned with names).
+        class_trials: Cancer trials per class (aligned with names).
+    """
+
+    index: int
+    cell_id: str
+    seed: int
+    system_name: str
+    workload_name: str
+    cancer_failures: int
+    cancer_trials: int
+    healthy_failures: int
+    healthy_trials: int
+    class_names: tuple[str, ...]
+    class_failures: tuple[int, ...]
+    class_trials: tuple[int, ...]
+
+    def evaluation(self, level: float = 0.95) -> SystemEvaluation:
+        """The counts as a :class:`SystemEvaluation` (same floats as live)."""
+        tally = FailureTally(
+            cancer_failures=self.cancer_failures,
+            cancer_trials=self.cancer_trials,
+            healthy_failures=self.healthy_failures,
+            healthy_trials=self.healthy_trials,
+            class_failures={
+                CaseClass(name): failures
+                for name, failures in zip(self.class_names, self.class_failures)
+            },
+            class_trials={
+                CaseClass(name): trials
+                for name, trials in zip(self.class_names, self.class_trials)
+            },
+        )
+        return tally.to_evaluation(self.system_name, self.workload_name, level)
+
+    def to_entry(self, shard: int) -> dict[str, Any]:
+        """The journal line for this result."""
+        return {
+            "kind": "cell",
+            "shard": shard,
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "seed": self.seed,
+            "system": self.system_name,
+            "workload": self.workload_name,
+            "counts": {
+                "cancer_failures": self.cancer_failures,
+                "cancer_trials": self.cancer_trials,
+                "healthy_failures": self.healthy_failures,
+                "healthy_trials": self.healthy_trials,
+                "class_names": list(self.class_names),
+                "class_failures": list(self.class_failures),
+                "class_trials": list(self.class_trials),
+            },
+        }
+
+    @classmethod
+    def from_entry(cls, entry: Mapping[str, Any]) -> "CellResult":
+        """Rebuild a result from its journal line.
+
+        Raises:
+            SimulationError: on a malformed entry.
+        """
+        try:
+            counts = entry["counts"]
+            return cls(
+                index=int(entry["index"]),
+                cell_id=str(entry["cell_id"]),
+                seed=int(entry["seed"]),
+                system_name=str(entry["system"]),
+                workload_name=str(entry["workload"]),
+                cancer_failures=int(counts["cancer_failures"]),
+                cancer_trials=int(counts["cancer_trials"]),
+                healthy_failures=int(counts["healthy_failures"]),
+                healthy_trials=int(counts["healthy_trials"]),
+                class_names=tuple(str(n) for n in counts["class_names"]),
+                class_failures=tuple(int(f) for f in counts["class_failures"]),
+                class_trials=tuple(int(t) for t in counts["class_trials"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed journal cell entry: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a finished (or interrupted) sweep run produced.
+
+    Attributes:
+        plan: The executed plan.
+        results: Cell results in plan order (partial under ``max_shards``).
+        executed: Cells computed by this run.
+        skipped: Cells restored from the journal instead of recomputed.
+        level: Confidence level used by :meth:`evaluations`.
+    """
+
+    plan: SweepPlan
+    results: tuple[CellResult, ...]
+    executed: int
+    skipped: int
+    level: float = 0.95
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned cell has a result."""
+        return len(self.results) == len(self.plan)
+
+    def evaluations(self) -> dict[str, SystemEvaluation]:
+        """Per-cell evaluations keyed by cell id."""
+        return {
+            result.cell_id: result.evaluation(self.level)
+            for result in self.results
+        }
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Flat per-cell rows for the consolidated analysis report.
+
+        Each row carries the cell's axis values plus its raw counts —
+        the input shape :func:`repro.analysis.report.build_sweep_summary`
+        consumes.
+        """
+        by_id = {planned.cell_id: planned for planned in self.plan.cells()}
+        rows = []
+        for result in self.results:
+            planned = by_id[result.cell_id]
+            cell = planned.cell
+            rows.append(
+                {
+                    "cell_id": result.cell_id,
+                    "seed": result.seed,
+                    "population": cell.workload.population,
+                    "profile": cell.workload.profile,
+                    "system": cell.system.kind,
+                    "bias": cell.system.bias,
+                    "dynamics": cell.system.dynamics,
+                    "operating_point": cell.system.operating_point,
+                    "replicate": cell.replicate,
+                    "fn_failures": result.cancer_failures,
+                    "fn_trials": result.cancer_trials,
+                    "fp_failures": result.healthy_failures,
+                    "fp_trials": result.healthy_trials,
+                }
+            )
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# fused execution kernel
+
+
+#: One cell's work within a fused dispatch.
+_CellWork = tuple[int, ScreeningSystem, int, bool]  # (index, system, seed, stream)
+
+#: One fused dispatch: the workload plane (spec or arrays), the chunking,
+#: the cancer positions/class codes, and the cells to run against it.
+_BatchTask = tuple[
+    "object", int, np.ndarray, np.ndarray, int, tuple[_CellWork, ...]
+]
+
+
+def _cell_failures(
+    system: ScreeningSystem,
+    arrays: CaseArrays,
+    jobs: Sequence[_Job],
+    stream: bool,
+) -> np.ndarray:
+    """One cell's per-case failure flags, via the engine's own kernels."""
+    if stream:
+        chunk_failures, _ = _advance_stream(system, arrays, jobs, system.stream_state())
+    else:
+        chunk_failures = _decide_jobs(system, arrays, jobs)
+    if len(chunk_failures) == 1:
+        return chunk_failures[0]
+    return np.concatenate(chunk_failures)
+
+
+def _count_failures(
+    failed: np.ndarray,
+    positions: np.ndarray,
+    codes: np.ndarray,
+    n_classes: int,
+) -> tuple[int, int, int, int, np.ndarray, np.ndarray]:
+    """Exact integer counts from per-case failure flags.
+
+    The vectorized twin of :meth:`FailureTally.record_batch`: same
+    integers, computed with two ``bincount`` passes instead of a
+    per-cancer-case Python loop.
+    """
+    cancer_failed = failed[positions].astype(bool)
+    cancer_trials = int(positions.size)
+    cancer_failures = int(np.count_nonzero(cancer_failed))
+    total_failures = int(np.count_nonzero(failed))
+    healthy_trials = int(failed.shape[0]) - cancer_trials
+    healthy_failures = total_failures - cancer_failures
+    class_trials = np.bincount(codes, minlength=n_classes)
+    class_failures = np.bincount(codes[cancer_failed], minlength=n_classes)
+    return (
+        cancer_failures,
+        cancer_trials,
+        healthy_failures,
+        healthy_trials,
+        class_failures,
+        class_trials,
+    )
+
+
+def _run_fused_batch(task: _BatchTask) -> list[tuple[int, tuple[int, ...], list[int], list[int]]]:
+    """Execute one fused dispatch; the single kernel every path runs.
+
+    Runs in a pool worker (attaching the shared plane) or in-process
+    (arrays travel directly) — the cells' chunk jobs and generators are
+    identical either way, which is what makes serial, pooled, and
+    resumed executions bit-identical.  Returns per cell
+    ``(index, scalar_counts, class_failures, class_trials)``.
+    """
+    plane, chunk_size, positions, codes, n_classes, items = task
+    if isinstance(plane, _SegmentSpec):
+        arrays = _attached_arrays(plane)
+    else:
+        arrays = plane
+    chunks = plan_chunks(len(arrays), chunk_size)
+    out = []
+    for index, system, seed, stream in items:
+        rngs = _chunk_rngs(seed, len(chunks))
+        jobs: list[_Job] = [
+            (start, stop, rng) for (start, stop), rng in zip(chunks, rngs)
+        ]
+        failed = _cell_failures(system, arrays, jobs, stream)
+        (
+            cancer_failures,
+            cancer_trials,
+            healthy_failures,
+            healthy_trials,
+            class_failures,
+            class_trials,
+        ) = _count_failures(failed, positions, codes, n_classes)
+        out.append(
+            (
+                index,
+                (cancer_failures, cancer_trials, healthy_failures, healthy_trials),
+                [int(f) for f in class_failures],
+                [int(t) for t in class_trials],
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# per-workload context
+
+
+@dataclass
+class _WorkloadContext:
+    """One distinct workload's materialised run-state (built once)."""
+
+    workload: Workload
+    arrays: CaseArrays
+    spec: _SegmentSpec | None
+    positions: np.ndarray
+    codes: np.ndarray
+    class_names: tuple[str, ...]
+
+
+def _class_codes(
+    workload: Workload,
+    classifier: CaseClassifier,
+    arrays: CaseArrays,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """Class indices of the workload's cancer cases, in order.
+
+    The code-level twin of
+    :func:`~repro.engine.executor.cancer_class_labels`: the same labels,
+    kept as indices into ``classifier.classes`` so workers can
+    ``bincount`` them without shipping :class:`CaseClass` objects.
+    """
+    batch = getattr(classifier, "classify_batch", None)
+    if batch is not None:
+        try:
+            codes = np.asarray(batch(arrays))
+        except NotImplementedError:
+            codes = None
+        if codes is not None:
+            if codes.shape != (len(arrays),):
+                raise SimulationError(
+                    f"classify_batch returned shape {codes.shape}, expected "
+                    f"({len(arrays)},)"
+                )
+            return codes[positions].astype(np.int64)
+    index = {case_class: i for i, case_class in enumerate(classifier.classes)}
+    return np.array(
+        [
+            index[classifier.classify(case)]
+            for case in workload.cases
+            if case.has_cancer
+        ],
+        dtype=np.int64,
+    )
+
+
+# ---------------------------------------------------------------------------
+# journal
+
+
+def _journal_header(plan: SweepPlan) -> dict[str, Any]:
+    return {
+        "kind": "header",
+        "schema": JOURNAL_SCHEMA_VERSION,
+        "plan": plan.fingerprint,
+        "grid": plan.grid.name,
+        "seed": plan.seed,
+        "chunk_size": plan.chunk_size,
+        "cells": len(plan),
+    }
+
+
+def _load_journal(path: str | Path, plan: SweepPlan) -> dict[str, CellResult]:
+    """Completed cells recorded in a journal, verified against the plan.
+
+    Raises:
+        SimulationError: when the journal belongs to a different plan
+            (grid, seed, or chunking changed) or is structurally invalid.
+    """
+    entries = load_journal_entries(path)
+    if not entries:
+        return {}
+    header = entries[0]
+    if header.get("kind") != "header":
+        raise SimulationError(
+            f"journal {path} has no header line; not a sweep journal"
+        )
+    if header.get("schema") != JOURNAL_SCHEMA_VERSION:
+        raise SimulationError(
+            f"journal {path} has schema {header.get('schema')!r}; "
+            f"this build reads schema {JOURNAL_SCHEMA_VERSION}"
+        )
+    if header.get("plan") != plan.fingerprint:
+        raise SimulationError(
+            f"journal {path} was written by a different plan "
+            f"(fingerprint {header.get('plan')!r} != {plan.fingerprint!r}); "
+            "refusing to mix results — use a fresh journal or the original "
+            "grid, seed, and chunking"
+        )
+    completed: dict[str, CellResult] = {}
+    for entry in entries[1:]:
+        if entry.get("kind") != "cell":
+            continue
+        result = CellResult.from_entry(entry)
+        completed[result.cell_id] = result
+    return completed
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def run_sweep(
+    grid: ScenarioGrid,
+    *,
+    seed: int,
+    classifier: CaseClassifier | None = None,
+    level: float = 0.95,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    fuse_limit: int = DEFAULT_FUSE_LIMIT,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    max_shards: int | None = None,
+    runtime: EngineRuntime | None = None,
+    obs: Instrumentation | None = None,
+) -> SweepResult:
+    """Compile a grid and execute it: the sweep engine's main entry point.
+
+    Args:
+        grid: The scenario grid.
+        seed: Master seed; every cell's recorded seed derives from it,
+            and any cell is reproducible standalone from that recorded
+            seed (:func:`reproduce_cell`).
+        classifier: Per-class breakdown criterion (single class when
+            omitted), shared by every cell.
+        level: Confidence level of the per-cell intervals.
+        workers: Worker processes.  ``1`` runs everything in-process;
+            more fan fused dispatches out over a persistent
+            :class:`~repro.engine.runtime.EngineRuntime` reading the
+            workload plane from shared memory.  Results are identical
+            at every worker count.
+        chunk_size: Chunk size all cells evaluate with (results depend
+            only on ``(seed, chunk_size)``).
+        shard_size: Checkpoint granularity (cells per journalled shard).
+        fuse_limit: Maximum cells per fused dispatch.
+        journal: JSONL checkpoint path; each completed shard appends its
+            results.  ``None`` disables checkpointing.
+        resume: Replay ``journal`` (verifying the plan fingerprint) and
+            skip already-completed cells.
+        max_shards: Execute at most this many (non-empty) shards this
+            run, then return a partial result — interruption made
+            deterministic, for tests and budgeted runs.
+        runtime: An existing runtime to execute on (its worker count
+            wins over ``workers``); the caller keeps ownership.  With
+            ``None`` and ``workers > 1``, a runtime is created and
+            closed internally.
+        obs: Instrumentation to record into (ambient resolution when
+            ``None``).
+
+    Raises:
+        SimulationError: on invalid arguments, a journal that exists
+            while ``resume`` is false, or a journal from a different
+            plan.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers!r}")
+    if max_shards is not None and max_shards < 0:
+        raise SimulationError(f"max_shards must be >= 0, got {max_shards!r}")
+    if journal is None and resume:
+        raise SimulationError("resume=True requires a journal path")
+    plan = compile_grid(
+        grid,
+        seed=seed,
+        chunk_size=chunk_size,
+        shard_size=shard_size,
+        fuse_limit=fuse_limit,
+    )
+    instrumentation = obs if obs is not None else get_instrumentation()
+    own_runtime = runtime is None and workers > 1
+    active_runtime = runtime
+    if own_runtime:
+        active_runtime = EngineRuntime(
+            workers=workers,
+            max_cached_workloads=max(4, len(plan.workloads)),
+            obs=instrumentation,
+        )
+    try:
+        return _execute_plan(
+            plan,
+            classifier=classifier,
+            level=level,
+            runtime=active_runtime,
+            journal=journal,
+            resume=resume,
+            max_shards=max_shards,
+            obs=instrumentation,
+        )
+    finally:
+        if own_runtime and active_runtime is not None:
+            active_runtime.close()
+
+
+def resume_sweep(
+    grid: ScenarioGrid,
+    *,
+    seed: int,
+    journal: str | Path,
+    **kwargs: Any,
+) -> SweepResult:
+    """Resume an interrupted sweep from its journal.
+
+    Sugar for :func:`run_sweep` with ``resume=True``: the grid and seed
+    must match the interrupted run (the journal's recorded plan
+    fingerprint is verified), completed cells are restored without
+    recomputation, and only the remainder executes.
+    """
+    return run_sweep(grid, seed=seed, journal=journal, resume=True, **kwargs)
+
+
+def _execute_plan(
+    plan: SweepPlan,
+    *,
+    classifier: CaseClassifier | None,
+    level: float,
+    runtime: EngineRuntime | None,
+    journal: str | Path | None,
+    resume: bool,
+    max_shards: int | None,
+    obs: Instrumentation,
+) -> SweepResult:
+    """Walk the plan's shards; the shared body of run/resume."""
+    classifier = classifier if classifier is not None else SingleClassClassifier()
+    completed: dict[str, CellResult] = {}
+    journal_exists = False
+    if journal is not None:
+        journal_exists = Path(journal).exists()
+        if journal_exists and not resume:
+            raise SimulationError(
+                f"journal {journal} already exists; pass resume=True to "
+                "continue it or choose a fresh path"
+            )
+        if resume and journal_exists:
+            completed = _load_journal(journal, plan)
+
+    contexts: dict[str, _WorkloadContext] = {}
+    results: dict[int, CellResult] = {}
+    executed = 0
+    skipped = 0
+    executed_shards = 0
+    planned_by_index: dict[int, PlannedCell] = {
+        planned.index: planned for planned in plan.cells()
+    }
+
+    with obs.span(
+        "sweep.run",
+        grid=plan.grid.name,
+        cells=len(plan),
+        shards=len(plan.shards),
+        workloads=len(plan.workloads),
+    ):
+        if journal is not None and not journal_exists:
+            append_journal_entries(journal, [_journal_header(plan)])
+        for shard in plan.shards:
+            pending = [
+                planned
+                for planned in shard.cells()
+                if planned.cell_id not in completed
+            ]
+            for planned in shard.cells():
+                if planned.cell_id in completed:
+                    results[planned.index] = completed[planned.cell_id]
+                    skipped += 1
+                    obs.count("sweep.cells.skipped")
+            if not pending:
+                continue
+            if max_shards is not None and executed_shards >= max_shards:
+                break
+            with obs.span("sweep.shard", shard=shard.index, cells=len(pending)):
+                shard_results = _execute_shard(
+                    plan, shard, pending, contexts, classifier, runtime, obs
+                )
+            for result in shard_results:
+                results[result.index] = result
+                executed += 1
+                obs.count("sweep.cells.completed")
+            if journal is not None:
+                append_journal_entries(
+                    journal,
+                    [result.to_entry(shard.index) for result in shard_results],
+                )
+            executed_shards += 1
+        obs.gauge("sweep.cells.done", len(results))
+    ordered = tuple(results[index] for index in sorted(results))
+    return SweepResult(
+        plan=plan,
+        results=ordered,
+        executed=executed,
+        skipped=skipped,
+        level=level,
+    )
+
+
+def _workload_context(
+    plan: SweepPlan,
+    key: str,
+    contexts: dict[str, _WorkloadContext],
+    classifier: CaseClassifier,
+    runtime: EngineRuntime | None,
+    obs: Instrumentation,
+) -> _WorkloadContext:
+    """The (cached) run-state for one distinct workload."""
+    context = contexts.get(key)
+    if context is not None:
+        obs.count("sweep.workloads.reused")
+        return context
+    with obs.span("sweep.workload", key=key):
+        workload = plan.workloads[key].build()
+        if runtime is not None:
+            arrays, spec = runtime.publish_workload(workload)
+        else:
+            arrays, spec = workload.to_arrays(), None
+        positions = np.flatnonzero(arrays.has_cancer)
+        codes = _class_codes(workload, classifier, arrays, positions)
+        context = _WorkloadContext(
+            workload=workload,
+            arrays=arrays,
+            spec=spec,
+            positions=positions,
+            codes=codes,
+            class_names=tuple(
+                case_class.name for case_class in classifier.classes
+            ),
+        )
+    contexts[key] = context
+    obs.count("sweep.workloads.built")
+    return context
+
+
+def _build_cell_work(planned: PlannedCell) -> _CellWork:
+    """Build one cell's fresh system and classify its execution mode."""
+    system = planned.cell.system.build(planned.seed)
+    stream = not supports_batch(system)
+    if stream and not supports_stream(system):
+        raise SimulationError(
+            f"cell {planned.cell_id!r} built a system supporting neither "
+            "batch nor stream execution; sweep cells must be vectorizable"
+        )
+    return (planned.index, system, planned.seed, stream)
+
+
+def _execute_shard(
+    plan: SweepPlan,
+    shard: Shard,
+    pending: list[PlannedCell],
+    contexts: dict[str, _WorkloadContext],
+    classifier: CaseClassifier,
+    runtime: EngineRuntime | None,
+    obs: Instrumentation,
+) -> list[CellResult]:
+    """Execute one shard's pending cells as fused dispatches."""
+    pending_ids = {planned.cell_id for planned in pending}
+    tasks: list[_BatchTask] = []
+    task_meta: list[list[PlannedCell]] = []
+    for batch in shard.batches:
+        cells = [
+            planned for planned in batch.cells if planned.cell_id in pending_ids
+        ]
+        if not cells:
+            continue
+        context = _workload_context(
+            plan, batch.workload_key, contexts, classifier, runtime, obs
+        )
+        items = tuple(_build_cell_work(planned) for planned in cells)
+        plane: Any = context.spec if context.spec is not None else context.arrays
+        tasks.append(
+            (
+                plane,
+                plan.chunk_size,
+                context.positions,
+                context.codes,
+                len(context.class_names),
+                items,
+            )
+        )
+        task_meta.append(cells)
+        obs.count("sweep.dispatches")
+    if runtime is not None:
+        outputs = runtime.map(_run_fused_batch, tasks)
+    else:
+        outputs = [_run_fused_batch(task) for task in tasks]
+
+    shard_results: list[CellResult] = []
+    for cells, output in zip(task_meta, outputs):
+        by_index = {planned.index: planned for planned in cells}
+        context = contexts[cells[0].workload_key]
+        for index, scalars, class_failures, class_trials in output:
+            planned = by_index[index]
+            cancer_failures, cancer_trials, healthy_failures, healthy_trials = scalars
+            kept = [
+                (name, failures, trials)
+                for name, failures, trials in zip(
+                    context.class_names, class_failures, class_trials
+                )
+                if trials
+            ]
+            shard_results.append(
+                CellResult(
+                    index=planned.index,
+                    cell_id=planned.cell_id,
+                    seed=planned.seed,
+                    system_name=planned.cell.system.label(),
+                    workload_name=planned.workload_key,
+                    cancer_failures=cancer_failures,
+                    cancer_trials=cancer_trials,
+                    healthy_failures=healthy_failures,
+                    healthy_trials=healthy_trials,
+                    class_names=tuple(name for name, _, _ in kept),
+                    class_failures=tuple(failures for _, failures, _ in kept),
+                    class_trials=tuple(trials for _, _, trials in kept),
+                )
+            )
+    shard_results.sort(key=lambda result: result.index)
+    return shard_results
+
+
+def reproduce_cell(
+    plan: SweepPlan,
+    cell_id: str,
+    *,
+    classifier: CaseClassifier | None = None,
+    level: float = 0.95,
+) -> SystemEvaluation:
+    """Re-evaluate one cell standalone from its recorded seed.
+
+    Builds the cell's workload and system from their specs and drives
+    them through :func:`~repro.engine.executor.evaluate_system_batch`
+    with the recorded ``(seed, chunk_size)`` — the independent path the
+    determinism contract promises is bit-identical to the fused sweep.
+    """
+    from ..engine.executor import evaluate_system_batch
+
+    planned = plan.cell_by_id(cell_id)
+    workload = planned.cell.workload.build()
+    system = planned.cell.system.build(planned.seed)
+    return evaluate_system_batch(
+        system,
+        workload,
+        classifier,
+        level,
+        seed=planned.seed,
+        chunk_size=plan.chunk_size,
+    )
+
+
+def _picklable(value: object) -> bool:  # pragma: no cover - diagnostic helper
+    """Whether a value survives pickling (diagnostics for custom systems)."""
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True

@@ -21,7 +21,13 @@ from .intervals import (
     wilson_interval,
 )
 from .readers import PanelEstimate, ReaderSpread, estimate_per_reader
-from .storage import CSV_COLUMNS, dump_records_csv, load_records_csv
+from .storage import (
+    CSV_COLUMNS,
+    append_journal_entries,
+    dump_records_csv,
+    load_journal_entries,
+    load_records_csv,
+)
 from .records import CaseRecord, TrialRecords
 from .run import ControlledTrial, TrialOutcome, run_reading_session
 
@@ -50,4 +56,6 @@ __all__ = [
     "dump_records_csv",
     "load_records_csv",
     "CSV_COLUMNS",
+    "append_journal_entries",
+    "load_journal_entries",
 ]

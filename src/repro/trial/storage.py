@@ -1,23 +1,37 @@
-"""CSV persistence for trial records.
+"""Persistence for trial records and long-running computation journals.
 
 Trial data outlives analysis sessions and moves between tools; records
 round-trip through a plain CSV with a fixed header, one reading event per
 row.  Booleans are stored as ``0``/``1`` and the nullable machine columns
 as empty cells, so the files load cleanly in any spreadsheet or dataframe
 library.
+
+The journal helpers serve interruptible computations (the sweep engine's
+shard checkpoints): append-only JSONL, flushed and fsynced per append so
+a killed process loses at most the line it was writing, and a loader
+that tolerates exactly that — a truncated or garbled *final* line — while
+still failing loudly on corruption anywhere else.
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import os
 from pathlib import Path
-
+from typing import Any, Iterable, Mapping
 
 from ..core.case_class import CaseClass
 from ..exceptions import EstimationError
 from .records import CaseRecord, TrialRecords
 
-__all__ = ["dump_records_csv", "load_records_csv", "CSV_COLUMNS"]
+__all__ = [
+    "dump_records_csv",
+    "load_records_csv",
+    "CSV_COLUMNS",
+    "append_journal_entries",
+    "load_journal_entries",
+]
 
 PathLike = str | Path
 
@@ -32,6 +46,78 @@ CSV_COLUMNS = (
     "machine_false_prompts",
     "recalled",
 )
+
+
+def append_journal_entries(
+    path: PathLike, entries: Iterable[Mapping[str, Any]]
+) -> None:
+    """Append JSON-object entries to a JSONL journal, durably.
+
+    Each entry becomes one line.  The whole batch is written, flushed,
+    and fsynced in a single append so a crash between calls never leaves
+    a partial *batch* — at worst the final line of the last batch is
+    truncated, which :func:`load_journal_entries` tolerates.
+
+    Raises:
+        EstimationError: if an entry is not a JSON object, or the file
+            cannot be written.
+    """
+    lines: list[str] = []
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise EstimationError(
+                f"journal entries must be JSON objects, got {type(entry).__name__}"
+            )
+        lines.append(json.dumps(dict(entry), sort_keys=True))
+    if not lines:
+        return
+    try:
+        with open(path, "a") as handle:
+            handle.write("\n".join(lines) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise EstimationError(f"cannot append to journal {path}: {exc}") from exc
+
+
+def load_journal_entries(path: PathLike) -> list[dict[str, Any]]:
+    """Read a JSONL journal written by :func:`append_journal_entries`.
+
+    A missing file is an empty journal.  A garbled *final* line is
+    dropped silently — that is what a mid-write kill leaves behind, and
+    dropping it simply re-runs the work it described.  Garbage anywhere
+    earlier raises: that is corruption, not interruption.
+
+    Raises:
+        EstimationError: on an unreadable file or a malformed non-final
+            line.
+    """
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        return []
+    except OSError as exc:
+        raise EstimationError(f"cannot read journal {path}: {exc}") from exc
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    entries: list[dict[str, Any]] = []
+    last = len(lines) - 1
+    for number, line in enumerate(lines):
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            if number == last:
+                break  # truncated tail from a mid-write kill
+            raise EstimationError(
+                f"{path}: malformed journal line {number + 1}: {line[:80]!r}"
+            ) from None
+        if not isinstance(entry, dict):
+            raise EstimationError(
+                f"{path}: journal line {number + 1} is not a JSON object"
+            )
+        entries.append(entry)
+    return entries
 
 
 def _bool_cell(value: bool) -> str:

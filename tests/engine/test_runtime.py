@@ -407,3 +407,88 @@ class TestRoutedConsumers:
         with EngineRuntime(workers=2) as runtime:
             pooled = sweep_machine_settings(model, settings, runtime=runtime)
         assert serial.points == pooled.points
+
+
+class TestShmByteBudget:
+    """LRU segment eviction under the shm_byte_budget cap."""
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(SimulationError, match="shm_byte_budget"):
+            EngineRuntime(shm_byte_budget=0)
+
+    def test_no_budget_keeps_every_segment(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation(name="test")
+        with EngineRuntime(workers=2, obs=obs) as runtime:
+            if not runtime.uses_shared_memory:
+                pytest.skip("shared memory unavailable")
+            runtime.publish_workload(make_workload(800, seed=1))
+            runtime.publish_workload(make_workload(800, seed=2))
+            assert len(runtime.active_segments) == 2
+            assert runtime.shm_bytes_live > 0
+        assert obs.metrics.counter("runtime.shm.evicted").value == 0
+
+    def test_budget_evicts_lru_segment_and_counts(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation(name="test")
+        # A 1-byte budget forces every publication to evict everything
+        # except the segment just published (which is never evicted).
+        with EngineRuntime(workers=2, shm_byte_budget=1, obs=obs) as runtime:
+            if not runtime.uses_shared_memory:
+                pytest.skip("shared memory unavailable")
+            runtime.publish_workload(make_workload(800, seed=1))
+            first = runtime.active_segments
+            assert len(first) == 1
+            runtime.publish_workload(make_workload(800, seed=2))
+            assert obs.metrics.counter("runtime.shm.evicted").value == 1
+            # Only the fresh segment is live; the evicted name is gone.
+            assert len(runtime.active_segments) == 1
+            assert runtime.active_segments != first
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=first[0])
+            # The evicted workload's arrays stay cached: only the
+            # shared plane was dropped.
+            assert runtime.cache_info()["workloads"] == 2
+
+    def test_evicted_workload_republishes_on_next_use(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation(name="test")
+        with EngineRuntime(workers=2, shm_byte_budget=1, obs=obs) as runtime:
+            if not runtime.uses_shared_memory:
+                pytest.skip("shared memory unavailable")
+            first = make_workload(800, seed=1)
+            second = make_workload(800, seed=2)
+            runtime.publish_workload(first)
+            runtime.publish_workload(second)  # evicts first's segment
+            _, spec = runtime.publish_workload(first)  # republish
+            assert spec is not None
+            assert obs.metrics.counter("runtime.shm.evicted").value == 2
+
+    def test_results_identical_under_budget_pressure(self):
+        workloads = [make_workload(600, seed=i) for i in range(3)]
+        system = make_system()
+        serial = [
+            evaluate_system_batch(system, w, seed=9, chunk_size=200)
+            for w in workloads
+        ]
+        with EngineRuntime(workers=2, shm_byte_budget=1) as runtime:
+            pooled = [
+                runtime.evaluate(system, w, seed=9, chunk_size=200)
+                for w in workloads
+            ]
+        assert serial == pooled
+
+    def test_publish_workload_serial_runtime_returns_no_spec(self):
+        with EngineRuntime(workers=1) as runtime:
+            arrays, spec = runtime.publish_workload(make_workload(400, seed=3))
+            assert spec is None
+            assert len(arrays.has_cancer) == 400
+
+    def test_publish_on_closed_runtime_raises(self):
+        runtime = EngineRuntime(workers=1)
+        runtime.close()
+        with pytest.raises(SimulationError, match="closed"):
+            runtime.publish_workload(make_workload(400, seed=3))

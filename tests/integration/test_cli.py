@@ -308,3 +308,92 @@ class TestObservabilityFlags:
 
         run_cli(capsys, "simulate", "--cases", "200", "--profile")
         assert get_instrumentation() is NULL_INSTRUMENTATION
+
+
+class TestSweepCommand:
+    @staticmethod
+    def write_grid(tmp_path, **overrides):
+        from repro.sweep import ScenarioGrid
+
+        fields = dict(
+            name="cli",
+            populations=("routine",),
+            num_cases=60,
+            systems=("unaided", "assisted"),
+            biases=("none", "mild"),
+            operating_points=(0.0,),
+            replicates=1,
+        )
+        fields.update(overrides)
+        path = tmp_path / "grid.json"
+        ScenarioGrid(**fields).to_file(path)
+        return path
+
+    def test_runs_grid_and_prints_summary(self, capsys, tmp_path):
+        grid = self.write_grid(tmp_path)
+        code, out, _ = run_cli(capsys, "sweep", "--grid", str(grid), "--seed", "7")
+        assert code == 0
+        assert "grid 'cli': 4 cells, 1 distinct workloads" in out
+        assert "complete: 4 cells executed, 0 restored from journal" in out
+        assert "FN rate" in out and "FP rate" in out
+
+    def test_group_by_controls_summary_columns(self, capsys, tmp_path):
+        grid = self.write_grid(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "sweep", "--grid", str(grid), "--group-by", "system,bias"
+        )
+        assert code == 0
+        assert "bias" in out
+
+    def test_journal_resume_round_trip(self, capsys, tmp_path):
+        grid = self.write_grid(tmp_path, replicates=3)  # 12 cells
+        journal = tmp_path / "sweep.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "--grid", str(grid), "--seed", "7",
+            "--journal", str(journal), "--shard-size", "4", "--max-shards", "1",
+        )
+        assert code == 0
+        assert "partial: 4 cells executed" in out
+        assert "resume with:" in out
+        code, resumed, _ = run_cli(
+            capsys,
+            "sweep", "--grid", str(grid), "--seed", "7",
+            "--journal", str(journal), "--shard-size", "4", "--resume",
+        )
+        assert code == 0
+        assert "8 cells executed, 4 restored from journal" in resumed
+
+        def table(text):
+            return [line for line in text.splitlines() if "|" in line]
+
+        # The consolidated table after resume matches an uninterrupted run.
+        code, fresh, _ = run_cli(capsys, "sweep", "--grid", str(grid), "--seed", "7")
+        assert code == 0
+        assert table(resumed) == table(fresh)
+
+    def test_existing_journal_without_resume_fails_cleanly(self, capsys, tmp_path):
+        grid = self.write_grid(tmp_path)
+        journal = tmp_path / "sweep.jsonl"
+        run_cli(capsys, "sweep", "--grid", str(grid), "--journal", str(journal))
+        code, _, err = run_cli(
+            capsys, "sweep", "--grid", str(grid), "--journal", str(journal)
+        )
+        assert code == 1
+        assert "already exists" in err
+
+    def test_missing_grid_file_fails_cleanly(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "sweep", "--grid", str(tmp_path / "absent.json")
+        )
+        assert code == 1
+        assert "cannot read grid file" in err
+
+    def test_profile_prints_sweep_run_report(self, capsys, tmp_path):
+        grid = self.write_grid(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "sweep", "--grid", str(grid), "--profile"
+        )
+        assert code == 0
+        assert "run report: sweep" in out
+        assert "sweep.compile" in out and "sweep.shard" in out

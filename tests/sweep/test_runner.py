@@ -1,0 +1,178 @@
+"""Tests for the sweep runner (repro.sweep.runner).
+
+The determinism contract under test: a cell's result depends only on its
+recorded ``(seed, chunk_size)`` — never on fusion geometry, worker
+count, journalling, or which other cells ran alongside it.
+"""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.obs import Instrumentation
+from repro.screening import SubtletyClassifier
+from repro.sweep import (
+    CellResult,
+    ScenarioGrid,
+    compile_grid,
+    reproduce_cell,
+    resume_sweep,
+    run_sweep,
+)
+
+
+def small_grid(**overrides):
+    defaults = dict(
+        name="runner",
+        populations=("routine", "symptomatic"),
+        num_cases=40,
+        systems=("unaided", "assisted"),
+        biases=("none", "mild"),
+        dynamics=("none", "adaptive"),
+        operating_points=(0.0,),
+        replicates=1,
+    )
+    defaults.update(overrides)
+    return ScenarioGrid(**defaults)
+
+
+class TestRunSweep:
+    def test_complete_sweep_covers_every_cell(self):
+        grid = small_grid()
+        result = run_sweep(grid, seed=5)
+        assert result.complete
+        assert result.executed == len(grid)
+        assert result.skipped == 0
+        assert set(result.evaluations()) == {c.cell_id for c in grid.cells()}
+
+    def test_fused_matches_standalone_reproduction(self):
+        # Every cell — batch and adaptive-stream alike — must be
+        # bit-identical to its standalone evaluate_system_batch replay.
+        classifier = SubtletyClassifier()
+        result = run_sweep(small_grid(), seed=5, classifier=classifier)
+        evaluations = result.evaluations()
+        for cell_id, evaluation in evaluations.items():
+            assert evaluation == reproduce_cell(
+                result.plan, cell_id, classifier=classifier
+            ), f"fused result for {cell_id} differs from standalone replay"
+
+    def test_results_independent_of_fusion_geometry(self):
+        grid = small_grid()
+        wide = run_sweep(grid, seed=5, shard_size=64, fuse_limit=32)
+        narrow = run_sweep(grid, seed=5, shard_size=2, fuse_limit=1)
+        assert wide.evaluations() == narrow.evaluations()
+
+    def test_serial_matches_parallel_workers(self):
+        grid = small_grid()
+        serial = run_sweep(grid, seed=5, workers=1)
+        parallel = run_sweep(grid, seed=5, workers=2)
+        assert serial.evaluations() == parallel.evaluations()
+
+    def test_classifier_produces_per_class_breakdown(self):
+        result = run_sweep(small_grid(), seed=5, classifier=SubtletyClassifier())
+        evaluation = next(iter(result.evaluations().values()))
+        assert evaluation.per_class_false_negative
+
+    def test_rows_expose_grid_coordinates_and_counts(self):
+        grid = small_grid()
+        result = run_sweep(grid, seed=5)
+        rows = result.rows()
+        assert len(rows) == len(grid)
+        row = rows[0]
+        for column in (
+            "cell_id",
+            "seed",
+            "population",
+            "system",
+            "bias",
+            "dynamics",
+            "replicate",
+            "fn_failures",
+            "fn_trials",
+            "fp_failures",
+            "fp_trials",
+        ):
+            assert column in row
+        assert row["fn_trials"] + row["fp_trials"] == grid.num_cases
+
+    def test_counters_track_completed_cells_and_dispatches(self):
+        obs = Instrumentation(name="test")
+        grid = small_grid()
+        result = run_sweep(grid, seed=5, fuse_limit=4, obs=obs)
+        metrics = obs.metrics
+        assert metrics.counter("sweep.cells.completed").value == len(grid)
+        assert metrics.counter("sweep.cells.skipped").value == 0
+        assert metrics.counter("sweep.dispatches").value == result.plan.fused_dispatches
+        assert metrics.counter("sweep.workloads.built").value == len(
+            result.plan.workloads
+        )
+
+    def test_invalid_arguments_rejected(self):
+        grid = small_grid()
+        with pytest.raises(SimulationError, match="workers"):
+            run_sweep(grid, seed=5, workers=0)
+        with pytest.raises(SimulationError, match="max_shards"):
+            run_sweep(grid, seed=5, max_shards=-1)
+        with pytest.raises(SimulationError, match="requires a journal"):
+            run_sweep(grid, seed=5, resume=True)
+
+
+class TestJournalling:
+    def test_max_shards_returns_partial_result(self, tmp_path):
+        grid = small_grid()
+        journal = tmp_path / "sweep.jsonl"
+        partial = run_sweep(
+            grid, seed=5, journal=journal, shard_size=3, max_shards=2
+        )
+        assert not partial.complete
+        assert partial.executed == 6
+        assert journal.exists()
+
+    def test_existing_journal_without_resume_refused(self, tmp_path):
+        grid = small_grid()
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(grid, seed=5, journal=journal, shard_size=3, max_shards=1)
+        with pytest.raises(SimulationError, match="already exists"):
+            run_sweep(grid, seed=5, journal=journal)
+
+    def test_resume_skips_journalled_cells(self, tmp_path):
+        grid = small_grid()
+        journal = tmp_path / "sweep.jsonl"
+        partial = run_sweep(
+            grid, seed=5, journal=journal, shard_size=3, max_shards=2
+        )
+        obs = Instrumentation(name="test")
+        resumed = resume_sweep(grid, seed=5, journal=journal, shard_size=3, obs=obs)
+        assert resumed.complete
+        assert resumed.skipped == partial.executed == 6
+        assert resumed.executed == len(grid) - 6
+        assert obs.metrics.counter("sweep.cells.skipped").value == 6
+        assert obs.metrics.counter("sweep.cells.completed").value == len(grid) - 6
+
+    def test_resume_rejects_journal_from_different_plan(self, tmp_path):
+        grid = small_grid()
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(grid, seed=5, journal=journal, shard_size=3, max_shards=1)
+        with pytest.raises(SimulationError, match="different plan"):
+            resume_sweep(grid, seed=6, journal=journal, shard_size=3)
+        with pytest.raises(SimulationError, match="different plan"):
+            resume_sweep(
+                small_grid(replicates=2), seed=5, journal=journal, shard_size=3
+            )
+
+    def test_resume_with_fresh_journal_runs_everything(self, tmp_path):
+        grid = small_grid()
+        result = resume_sweep(grid, seed=5, journal=tmp_path / "new.jsonl")
+        assert result.complete and result.skipped == 0
+
+
+class TestCellResult:
+    def test_journal_entry_round_trip(self):
+        result = run_sweep(small_grid(), seed=5, classifier=SubtletyClassifier())
+        for cell in result.results:
+            restored = CellResult.from_entry(cell.to_entry(shard=0))
+            assert restored == cell
+            assert restored.evaluation() == cell.evaluation()
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(SimulationError, match="malformed journal cell entry"):
+            CellResult.from_entry({"kind": "cell", "cell_id": "x"})

@@ -88,3 +88,76 @@ class TestReportMain:
         # The committed BENCH_*.json set must always clear its gates —
         # this is what CI's `python -m benchmarks.report --check` runs.
         assert report_main(["--check"]) == 0
+
+
+class TestTrendColumn:
+    def test_first_run_report_shows_new_and_passes_check(self, tmp_path, capsys):
+        # A benchmark measured for the first time has no trajectory
+        # entry at HEAD; that must read as "new", never as a failure.
+        write_benchmark_report(
+            "fresh", speedup=7.0, gate=5.0, metrics={}, root=tmp_path
+        )
+        assert report_main(["--check", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out and "FAIL" not in out
+
+    def test_trend_compares_against_committed_report(self, tmp_path, capsys):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@t",
+                    "HOME": str(tmp_path),
+                },
+            )
+
+        git("init", "-q")
+        write_benchmark_report("demo", speedup=4.0, gate=3.0, metrics={}, root=tmp_path)
+        git("add", "BENCH_demo.json")
+        git("commit", "-q", "-m", "prior")
+        write_benchmark_report("demo", speedup=5.0, gate=3.0, metrics={}, root=tmp_path)
+        assert report_main(["--check", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "+25.0%" in out
+
+    def test_unchanged_speedup_shows_equals(self, tmp_path, capsys):
+        import subprocess
+
+        env = {
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+        }
+        subprocess.run(
+            ["git", "init", "-q"], cwd=tmp_path, check=True, capture_output=True, env=env
+        )
+        write_benchmark_report("demo", speedup=4.0, gate=3.0, metrics={}, root=tmp_path)
+        subprocess.run(
+            ["git", "add", "BENCH_demo.json"],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+            env=env,
+        )
+        subprocess.run(
+            ["git", "commit", "-q", "-m", "prior"],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+            env=env,
+        )
+        assert report_main(["--root", str(tmp_path)]) == 0
+        row = next(
+            line for line in capsys.readouterr().out.splitlines() if "demo" in line
+        )
+        assert " = " in f" {row} " or row.split()[3] == "="
