@@ -21,6 +21,9 @@ Commands:
 * ``sweep``     — compile a scenario-grid JSON file into fused engine
   dispatches and execute it, with journalled checkpoints (``--journal``)
   and exact resume (``--resume``).
+* ``serve``     — run the always-on HTTP evaluation service: one
+  persistent engine runtime behind a request-coalescing micro-batcher
+  (see ``docs/service.md``).
 
 Every command is a thin shell over the public API; anything printed here
 can be computed programmatically with the same names.
@@ -303,6 +306,71 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--alpha", type=float, default=0.01, help="family-wise false-alarm rate"
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on coalescing evaluation service over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8373, help="bind port")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="engine pool processes (1 = in-process dispatch)",
+    )
+    serve.add_argument(
+        "--linger-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch linger window: how long a lone request waits "
+        "for coalescing company before dispatching anyway",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="requests per fused dispatch (a full batch fires immediately)",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="engine chunk size (half of the determinism contract; "
+        "default: the engine's standard chunk size)",
+    )
+    serve.add_argument(
+        "--shm-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="shared-memory budget for resident workloads (LRU-evicted)",
+    )
+    serve.add_argument(
+        "--max-cached-workloads",
+        type=int,
+        default=8,
+        help="distinct workloads kept built and columnised",
+    )
+    serve.add_argument(
+        "--quota-rps",
+        type=float,
+        default=None,
+        help="per-tenant sustained requests/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=10.0,
+        help="per-tenant burst allowance above --quota-rps",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        help="queued-request bound before 503 backpressure",
+    )
+    _add_observability_arguments(serve)
     return parser
 
 
@@ -733,6 +801,39 @@ def _command_monitor(args: argparse.Namespace) -> None:
         print("no drift detected")
 
 
+def _command_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .engine.executor import DEFAULT_CHUNK_SIZE
+    from .obs import get_instrumentation
+    from .service import ScreeningService, ServiceConfig, serve
+
+    config = ServiceConfig(
+        workers=args.workers,
+        linger_ms=args.linger_ms,
+        max_batch=args.max_batch,
+        chunk_size=(
+            args.chunk_size if args.chunk_size is not None else DEFAULT_CHUNK_SIZE
+        ),
+        max_cached_workloads=args.max_cached_workloads,
+        shm_byte_budget=args.shm_budget,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        max_queue_depth=args.max_queue_depth,
+    )
+    with _observability(args, "serve"):
+        service = ScreeningService(config, obs=get_instrumentation())
+        print(
+            f"serving on http://{args.host}:{args.port} "
+            f"(workers={config.workers}, linger={config.linger_ms}ms, "
+            f"max-batch={config.max_batch}); Ctrl-C drains and exits"
+        )
+        try:
+            asyncio.run(serve(service, args.host, args.port))
+        except KeyboardInterrupt:
+            print("interrupted; drained in-flight requests")
+
+
 _COMMANDS = {
     "tables": _command_tables,
     "figure4": _command_figure4,
@@ -745,6 +846,7 @@ _COMMANDS = {
     "uncertainty": _command_uncertainty,
     "sweep": _command_sweep,
     "monitor": _command_monitor,
+    "serve": _command_serve,
 }
 
 

@@ -1,0 +1,288 @@
+"""Fused engine dispatches: many ``(system, seed)`` pairs, one workload plane.
+
+This module is the shared execution kernel behind every caller that
+amortises dispatch overhead by *fusing* independent evaluations of one
+workload into a single task:
+
+* the sweep runner (:mod:`repro.sweep.runner`) fuses the cells of a
+  compiled :class:`~repro.sweep.plan.FusedBatch`;
+* the always-on service (:mod:`repro.service`) coalesces concurrent
+  requests that share a workload fingerprint into micro-batches.
+
+Both hand a :data:`FusedTask` — the workload plane (in-memory arrays or
+a shared-memory :class:`~repro.engine.runtime._SegmentSpec`), the chunk
+size, the cancer positions/class codes, and the fused items — to
+:func:`run_fused_batch`, in a pool worker or in-process.
+
+**Determinism contract.**  Each fused item carries its own seed; its
+chunk generators derive via the same ``SeedSequence`` scheme as
+:func:`~repro.engine.executor.evaluate_system_batch`, the decision
+kernels are the engine's own (:func:`~repro.engine.runtime._decide_jobs`
+/ :func:`~repro.engine.runtime._advance_stream`), and the tally is an
+exact integer-count reformulation of
+:class:`~repro.system.simulate.FailureTally` (two ``bincount`` passes
+instead of a per-cancer-case Python loop).  An item's counts therefore
+depend only on its ``(seed, chunk_size)`` — fused next to one neighbour
+or thirty-one, dispatched serially or pooled, the result is bit-identical
+to evaluating that item standalone.  ``tests/engine/test_fused_equivalence.py``
+pins this against the per-call executor for batch and stream systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.case_class import CaseClass
+from ..exceptions import SimulationError
+from ..screening.classifier import CaseClassifier
+from ..screening.workload import Workload
+from ..system.simulate import FailureTally, SystemEvaluation
+from ..system.single import ScreeningSystem
+from .arrays import CaseArrays
+from .executor import _chunk_rngs, plan_chunks, supports_batch, supports_stream
+from .runtime import _advance_stream, _attached_arrays, _decide_jobs, _Job, _SegmentSpec
+
+__all__ = [
+    "FusedItem",
+    "FusedTask",
+    "FusedRow",
+    "FusedCounts",
+    "build_fused_item",
+    "item_failures",
+    "count_failures",
+    "run_fused_batch",
+    "cancer_class_codes",
+]
+
+#: One fused item's work: ``(index, system, seed, stream)``.  ``index``
+#: is the caller's demultiplexing key (cell index, request slot);
+#: ``stream`` selects the ordered stream-carry path over ``decide_batch``.
+FusedItem = tuple[int, ScreeningSystem, int, bool]
+
+#: One fused dispatch: the workload plane (a :class:`_SegmentSpec` for
+#: pooled shared-memory execution, or the :class:`CaseArrays` directly),
+#: the chunk size, the cancer positions/class codes, the class count,
+#: and the items to run against the plane.
+FusedTask = tuple[
+    "_SegmentSpec | CaseArrays",
+    int,
+    np.ndarray,
+    np.ndarray,
+    int,
+    tuple[FusedItem, ...],
+]
+
+#: One item's raw output row:
+#: ``(index, (cancer_failures, cancer_trials, healthy_failures,
+#: healthy_trials), class_failures, class_trials)``.
+FusedRow = tuple[int, tuple[int, ...], list[int], list[int]]
+
+
+def build_fused_item(
+    index: int, system: ScreeningSystem, seed: int
+) -> FusedItem:
+    """Classify a fresh system's execution mode and wrap it as a fused item.
+
+    Raises:
+        SimulationError: when the system supports neither batch nor
+            stream execution — fused dispatch has no scalar fallback, so
+            such systems must be evaluated through
+            :func:`~repro.engine.executor.evaluate_system_batch` instead.
+    """
+    stream = not supports_batch(system)
+    if stream and not supports_stream(system):
+        raise SimulationError(
+            f"system {system.name!r} supports neither batch nor stream "
+            "execution; fused dispatch requires a vectorizable system"
+        )
+    return (index, system, seed, stream)
+
+
+def item_failures(
+    system: ScreeningSystem,
+    arrays: CaseArrays,
+    jobs: Sequence[_Job],
+    stream: bool,
+) -> np.ndarray:
+    """One item's per-case failure flags, via the engine's own kernels."""
+    if stream:
+        chunk_failures, _ = _advance_stream(system, arrays, jobs, system.stream_state())
+    else:
+        chunk_failures = _decide_jobs(system, arrays, jobs)
+    if len(chunk_failures) == 1:
+        return chunk_failures[0]
+    return np.concatenate(chunk_failures)
+
+
+def count_failures(
+    failed: np.ndarray,
+    positions: np.ndarray,
+    codes: np.ndarray,
+    n_classes: int,
+) -> tuple[int, int, int, int, np.ndarray, np.ndarray]:
+    """Exact integer counts from per-case failure flags.
+
+    The vectorized twin of :meth:`FailureTally.record_batch`: same
+    integers, computed with two ``bincount`` passes instead of a
+    per-cancer-case Python loop.
+    """
+    cancer_failed = failed[positions].astype(bool)
+    cancer_trials = int(positions.size)
+    cancer_failures = int(np.count_nonzero(cancer_failed))
+    total_failures = int(np.count_nonzero(failed))
+    healthy_trials = int(failed.shape[0]) - cancer_trials
+    healthy_failures = total_failures - cancer_failures
+    class_trials = np.bincount(codes, minlength=n_classes)
+    class_failures = np.bincount(codes[cancer_failed], minlength=n_classes)
+    return (
+        cancer_failures,
+        cancer_trials,
+        healthy_failures,
+        healthy_trials,
+        class_failures,
+        class_trials,
+    )
+
+
+def run_fused_batch(task: FusedTask) -> list[FusedRow]:
+    """Execute one fused dispatch; the single kernel every path runs.
+
+    Runs in a pool worker (attaching the shared plane) or in-process
+    (arrays travel directly) — the items' chunk jobs and generators are
+    identical either way, which is what makes serial, pooled, coalesced,
+    and resumed executions bit-identical.  Returns one
+    :data:`FusedRow` per item.
+    """
+    plane, chunk_size, positions, codes, n_classes, items = task
+    if isinstance(plane, _SegmentSpec):
+        arrays = _attached_arrays(plane)
+    else:
+        arrays = plane
+    chunks = plan_chunks(len(arrays), chunk_size)
+    out = []
+    for index, system, seed, stream in items:
+        rngs = _chunk_rngs(seed, len(chunks))
+        jobs: list[_Job] = [
+            (start, stop, rng) for (start, stop), rng in zip(chunks, rngs)
+        ]
+        failed = item_failures(system, arrays, jobs, stream)
+        (
+            cancer_failures,
+            cancer_trials,
+            healthy_failures,
+            healthy_trials,
+            class_failures,
+            class_trials,
+        ) = count_failures(failed, positions, codes, n_classes)
+        out.append(
+            (
+                index,
+                (cancer_failures, cancer_trials, healthy_failures, healthy_trials),
+                [int(f) for f in class_failures],
+                [int(t) for t in class_trials],
+            )
+        )
+    return out
+
+
+def cancer_class_codes(
+    workload: Workload,
+    classifier: CaseClassifier,
+    arrays: CaseArrays,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """Class indices of the workload's cancer cases, in order.
+
+    The code-level twin of
+    :func:`~repro.engine.executor.cancer_class_labels`: the same labels,
+    kept as indices into ``classifier.classes`` so workers can
+    ``bincount`` them without shipping :class:`CaseClass` objects.
+    """
+    batch = getattr(classifier, "classify_batch", None)
+    if batch is not None:
+        try:
+            codes = np.asarray(batch(arrays))
+        except NotImplementedError:
+            codes = None
+        if codes is not None:
+            if codes.shape != (len(arrays),):
+                raise SimulationError(
+                    f"classify_batch returned shape {codes.shape}, expected "
+                    f"({len(arrays)},)"
+                )
+            return codes[positions].astype(np.int64)
+    index = {case_class: i for i, case_class in enumerate(classifier.classes)}
+    return np.array(
+        [
+            index[classifier.classify(case)]
+            for case in workload.cases
+            if case.has_cancer
+        ],
+        dtype=np.int64,
+    )
+
+
+@dataclass(frozen=True)
+class FusedCounts:
+    """One fused item's exact integer failure counts, demultiplexed.
+
+    Classes with zero cancer trials are dropped (exactly as
+    :meth:`FailureTally.record_batch` never creates their entries), so
+    :meth:`evaluation` rebuilds the same
+    :class:`~repro.system.simulate.SystemEvaluation` — identical Wilson
+    intervals — as a standalone run of the same ``(seed, chunk_size)``.
+    """
+
+    cancer_failures: int
+    cancer_trials: int
+    healthy_failures: int
+    healthy_trials: int
+    class_names: tuple[str, ...]
+    class_failures: tuple[int, ...]
+    class_trials: tuple[int, ...]
+
+    @classmethod
+    def from_row(cls, row: FusedRow, class_names: Sequence[str]) -> "FusedCounts":
+        """Demultiplex one :data:`FusedRow` against the classifier's classes."""
+        _, scalars, class_failures, class_trials = row
+        cancer_failures, cancer_trials, healthy_failures, healthy_trials = scalars
+        kept = [
+            (name, failures, trials)
+            for name, failures, trials in zip(class_names, class_failures, class_trials)
+            if trials
+        ]
+        return cls(
+            cancer_failures=cancer_failures,
+            cancer_trials=cancer_trials,
+            healthy_failures=healthy_failures,
+            healthy_trials=healthy_trials,
+            class_names=tuple(name for name, _, _ in kept),
+            class_failures=tuple(failures for _, failures, _ in kept),
+            class_trials=tuple(trials for _, _, trials in kept),
+        )
+
+    def tally(self) -> FailureTally:
+        """The counts as a :class:`FailureTally` (classes reattached)."""
+        return FailureTally(
+            cancer_failures=self.cancer_failures,
+            cancer_trials=self.cancer_trials,
+            healthy_failures=self.healthy_failures,
+            healthy_trials=self.healthy_trials,
+            class_failures={
+                CaseClass(name): failures
+                for name, failures in zip(self.class_names, self.class_failures)
+            },
+            class_trials={
+                CaseClass(name): trials
+                for name, trials in zip(self.class_names, self.class_trials)
+            },
+        )
+
+    def evaluation(
+        self, system_name: str, workload_name: str, level: float = 0.95
+    ) -> SystemEvaluation:
+        """The counts as a :class:`SystemEvaluation` (same floats as live)."""
+        return self.tally().to_evaluation(system_name, workload_name, level)

@@ -85,6 +85,7 @@ class LintConfig:
         "repro.system",
         "repro.engine",
         "repro.sweep",
+        "repro.service",
     )
     orchestration_packages: tuple[str, ...] = ("repro.sweep",)
     observability_packages: tuple[str, ...] = ("repro.obs",)

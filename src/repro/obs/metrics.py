@@ -16,6 +16,7 @@ the disabled instrumentation path effectively free (see
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Mapping
 
@@ -73,15 +74,34 @@ class Gauge:
             self._value = float(value)
 
 
+#: Geometric growth factor between histogram bucket boundaries.  Bucket
+#: ``i`` covers ``[_BUCKET_GROWTH**i, _BUCKET_GROWTH**(i+1))``, so any
+#: quantile estimate is within ~4% relative error of the true value —
+#: tight enough for latency percentiles without per-observation storage.
+_BUCKET_GROWTH = 1.04
+_LOG_BUCKET_GROWTH = math.log(_BUCKET_GROWTH)
+
+
 class Histogram:
     """A streaming summary of observed values (chunk wall-times).
 
-    Keeps count/total/min/max — enough for "where did the time go"
-    reports without per-observation storage.  Individual timings that
-    need attribution belong in spans, not here.
+    Keeps count/total/min/max plus sparse log-spaced buckets (geometric
+    growth ~4%), so :meth:`quantile` can answer p50/p90/p99 to within a
+    few percent relative error — enough for "where did the time go" and
+    latency-percentile reports without per-observation storage.
+    Individual timings that need attribution belong in spans, not here.
     """
 
-    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+    __slots__ = (
+        "name",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+        "_buckets",
+        "_nonpositive",
+        "_lock",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -89,6 +109,8 @@ class Histogram:
         self._total = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._buckets: dict[int, int] = {}
+        self._nonpositive = 0
         self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
@@ -101,6 +123,37 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if value > 0.0:
+                bucket = math.floor(math.log(value) / _LOG_BUCKET_GROWTH)
+                self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+            else:
+                self._nonpositive += 1
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (nearest-rank over the buckets).
+
+        Non-positive observations sort below every bucket and resolve to
+        the recorded minimum; within a bucket the estimate is the
+        geometric midpoint of its bounds, clamped to the observed
+        ``[min, max]``.  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = max(1, math.ceil(q * self._count))
+            if rank <= self._nonpositive:
+                return self._min
+            remaining = rank - self._nonpositive
+            for bucket in sorted(self._buckets):
+                remaining -= self._buckets[bucket]
+                if remaining <= 0:
+                    low = _BUCKET_GROWTH**bucket
+                    high = low * _BUCKET_GROWTH
+                    estimate = math.sqrt(low * high)
+                    return min(max(estimate, self._min), self._max)
+            return self._max
 
     @property
     def count(self) -> int:
@@ -118,13 +171,16 @@ class Histogram:
         return self._total / self._count if self._count else 0.0
 
     def summary(self) -> dict[str, float]:
-        """The JSON-ready summary mapping."""
+        """The JSON-ready summary mapping (includes p50/p90/p99)."""
         return {
             "count": self._count,
             "total": self._total,
             "mean": self.mean,
             "min": self._min if self._count else 0.0,
             "max": self._max if self._count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -197,11 +197,26 @@ class RunReport:
                         f"{summary['count']:g}",  # type: ignore[index]
                         f"{float(summary['total']) * 1e3:.1f}",  # type: ignore[index,arg-type]
                         f"{float(summary['mean']) * 1e3:.2f}",  # type: ignore[index,arg-type]
+                        # p50/p99 default to 0 for reports serialized
+                        # before histograms grew percentiles.
+                        f"{float(summary.get('p50', 0.0)) * 1e3:.2f}",  # type: ignore[union-attr,arg-type]
+                        f"{float(summary.get('p99', 0.0)) * 1e3:.2f}",  # type: ignore[union-attr,arg-type]
                         f"{float(summary['max']) * 1e3:.2f}",  # type: ignore[index,arg-type]
                     ]
                 )
             lines.append(
-                _render_columns(["histogram", "count", "total ms", "mean ms", "max ms"], rows)
+                _render_columns(
+                    [
+                        "histogram",
+                        "count",
+                        "total ms",
+                        "mean ms",
+                        "p50 ms",
+                        "p99 ms",
+                        "max ms",
+                    ],
+                    rows,
+                )
             )
         degraded = self.degraded_events()
         lines.append("")

@@ -1,0 +1,56 @@
+"""The always-on screening service: coalescing HTTP front-end.
+
+Wraps one persistent :class:`~repro.engine.runtime.EngineRuntime` in a
+long-lived ``asyncio`` service.  Concurrent ``evaluate``/``compare``
+requests sharing a workload fingerprint coalesce into single fused
+engine dispatches (:mod:`repro.service.batcher` →
+:mod:`repro.engine.fused`), bit-identical per request to standalone
+execution.  See ``docs/service.md`` for endpoints, the determinism
+contract under coalescing, and quota/backpressure behaviour.
+"""
+
+from .app import (
+    QuotaExceededError,
+    ScreeningService,
+    ServiceConfig,
+    ServiceError,
+    ServiceUnavailableError,
+    serve,
+)
+from .batcher import MicroBatcher
+from .cache import CachedWorkload, WorkloadCache
+from .protocol import (
+    CompareRequest,
+    EvaluateRequest,
+    ProtocolError,
+    UncertaintyRequest,
+    evaluation_payload,
+    interval_payload,
+    parse_compare_request,
+    parse_evaluate_request,
+    parse_uncertainty_request,
+)
+from .quotas import QuotaManager, TokenBucket
+
+__all__ = [
+    "ScreeningService",
+    "ServiceConfig",
+    "ServiceError",
+    "QuotaExceededError",
+    "ServiceUnavailableError",
+    "serve",
+    "MicroBatcher",
+    "WorkloadCache",
+    "CachedWorkload",
+    "QuotaManager",
+    "TokenBucket",
+    "ProtocolError",
+    "EvaluateRequest",
+    "CompareRequest",
+    "UncertaintyRequest",
+    "parse_evaluate_request",
+    "parse_compare_request",
+    "parse_uncertainty_request",
+    "evaluation_payload",
+    "interval_payload",
+]

@@ -1,0 +1,676 @@
+"""The always-on screening service: coalescing front-end, one runtime.
+
+Architecture::
+
+    clients ──HTTP/JSON──▶ handlers ──▶ quotas/backpressure
+                                           │ admitted
+                                           ▼
+                                     MicroBatcher      (per workload key)
+                                           │ fused batch
+                                           ▼
+                                 single engine thread ──▶ EngineRuntime
+                                           │                (pool + shm)
+                                           ▼
+                                   FusedCounts per request
+
+Every engine interaction — workload build, publication, fused dispatch —
+runs on one dedicated thread (``EngineRuntime`` is not thread-safe), fed
+by the event loop through the micro-batcher.  Requests sharing a
+workload fingerprint fuse into one dispatch; each carries its own seed,
+and :func:`repro.engine.fused.run_fused_batch` derives per-item chunk
+generators from ``(seed, chunk_size)`` alone, so a coalesced response is
+bit-identical to the same request evaluated standalone (pinned by
+``tests/service/test_coalescing.py``).
+
+Admission control is layered in front: per-tenant token buckets
+(:class:`~repro.service.quotas.QuotaManager` → HTTP 429) and a global
+queue-depth bound (HTTP 503), both with ``Retry-After`` hints, plus a
+draining state that rejects new work while letting in-flight batches
+finish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core import (
+    PAPER_FIELD_PROFILE,
+    PAPER_TRIAL_PROFILE,
+    BetaPosterior,
+    CredibleInterval,
+    UncertainClassParameters,
+    UncertainModel,
+    paper_example_parameters,
+)
+from ..engine.executor import DEFAULT_CHUNK_SIZE
+from ..engine.fused import FusedCounts, build_fused_item, run_fused_batch
+from ..engine.runtime import EngineRuntime
+from ..exceptions import SimulationError
+from ..obs import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    build_run_report,
+)
+from ..screening.classifier import CaseClassifier
+from ..sweep.grid import SystemSpec, WorkloadSpec
+from ..system.simulate import SystemEvaluation
+from .batcher import MicroBatcher
+from .cache import WorkloadCache
+from .protocol import (
+    ProtocolError,
+    evaluation_payload,
+    interval_payload,
+    parse_compare_request,
+    parse_evaluate_request,
+    parse_uncertainty_request,
+)
+from .quotas import QuotaManager
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceError",
+    "QuotaExceededError",
+    "ServiceUnavailableError",
+    "ScreeningService",
+    "serve",
+]
+
+
+class ServiceError(SimulationError):
+    """A service-level rejection with an HTTP status."""
+
+    status = 400
+
+
+class QuotaExceededError(ServiceError):
+    """Tenant over its token-bucket quota (HTTP 429)."""
+
+    status = 429
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is over quota; retry after {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ServiceError):
+    """Service saturated or draining (HTTP 503)."""
+
+    status = 503
+
+    def __init__(self, reason: str, retry_after: float = 1.0) -> None:
+        super().__init__(reason)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    Attributes:
+        workers: Engine pool size (1 = in-process dispatch).
+        linger_ms: Micro-batcher window: how long a lone request waits
+            for company before dispatching anyway.
+        max_batch: Batch-size bound; a full group dispatches immediately.
+        chunk_size: Engine chunk size — fixed per service because it is
+            half of the determinism contract ``(seed, chunk_size)``.
+        max_cached_workloads: Capacity of both the service's workload
+            cache and the runtime's columnised-arrays cache.
+        shm_byte_budget: Shared-memory LRU budget handed to the runtime
+            (``None`` = unbounded).
+        quota_rps: Per-tenant sustained requests/second (``None``
+            disables quotas).
+        quota_burst: Per-tenant burst allowance.
+        max_queue_depth: Bound on requests queued or lingering; beyond
+            it new requests get 503.
+    """
+
+    workers: int = 2
+    linger_ms: float = 2.0
+    max_batch: int = 32
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    max_cached_workloads: int = 8
+    shm_byte_budget: int | None = None
+    quota_rps: float | None = None
+    quota_burst: float = 10.0
+    max_queue_depth: int = 256
+
+    def __post_init__(self) -> None:
+        if self.linger_ms < 0:
+            raise SimulationError(f"linger_ms must be >= 0, got {self.linger_ms!r}")
+        if self.chunk_size < 1:
+            raise SimulationError(f"chunk_size must be >= 1, got {self.chunk_size!r}")
+        if self.max_queue_depth < 1:
+            raise SimulationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth!r}"
+            )
+
+
+#: One queued evaluation: ``(workload spec, system spec, seed)``.
+_BatchItem = tuple[WorkloadSpec, SystemSpec, int]
+
+
+class ScreeningService:
+    """The coalescing evaluation service around one persistent runtime.
+
+    Use as an async context manager (drains on exit), or call
+    :meth:`drain` / :meth:`close` explicitly.  All public entry points
+    must be awaited on one event loop.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        classifier: CaseClassifier | None = None,
+        obs: Instrumentation | None = None,
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
+        self._runtime = EngineRuntime(
+            workers=self._config.workers,
+            max_cached_workloads=self._config.max_cached_workloads,
+            shm_byte_budget=self._config.shm_byte_budget,
+            obs=self._obs,
+        )
+        self._cache = WorkloadCache(
+            capacity=self._config.max_cached_workloads,
+            classifier=classifier,
+            obs=self._obs,
+        )
+        self._quotas = QuotaManager(
+            self._config.quota_rps, self._config.quota_burst
+        )
+        self._batcher = MicroBatcher(
+            self._dispatch_batch,
+            linger_s=self._config.linger_ms / 1000.0,
+            max_batch=self._config.max_batch,
+        )
+        # EngineRuntime is not thread-safe: every touch of it (and of
+        # the workload cache) is serialized on this one thread.
+        self._engine = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-engine"
+        )
+        self._draining = False
+        self._inflight_requests = 0
+        self._closed = False
+
+    @property
+    def config(self) -> ServiceConfig:
+        """This instance's (immutable) configuration."""
+        return self._config
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun; new requests are rejected."""
+        return self._draining
+
+    async def __aenter__(self) -> "ScreeningService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.drain()
+
+    # -- admission -----------------------------------------------------
+
+    def _admit(self, tenant: str) -> None:
+        if self._draining:
+            raise ServiceUnavailableError("service is draining", retry_after=5.0)
+        # One admitted request is one unit of depth from admission until
+        # its response resolves — lingering in the batcher, dispatched,
+        # or awaiting demultiplexing are all "in the building".
+        depth = self._inflight_requests
+        self._obs.gauge("service.queue_depth", depth)
+        if depth >= self._config.max_queue_depth:
+            self._obs.count("service.rejected.queue")
+            raise ServiceUnavailableError(
+                f"queue depth {depth} at capacity "
+                f"{self._config.max_queue_depth}",
+                retry_after=0.1,
+            )
+        retry_after = self._quotas.admit(tenant)
+        if retry_after > 0:
+            self._obs.count("service.rejected.quota")
+            raise QuotaExceededError(tenant, retry_after)
+
+    # -- public request handlers ---------------------------------------
+
+    async def evaluate(
+        self,
+        workload: WorkloadSpec,
+        system: SystemSpec,
+        *,
+        seed: int,
+        level: float = 0.95,
+        tenant: str = "default",
+        obs: Instrumentation | None = None,
+    ) -> SystemEvaluation:
+        """Evaluate one system over one workload at ``seed``.
+
+        Coalesced with concurrent requests sharing the workload
+        fingerprint; the response is bit-identical to a standalone
+        ``evaluate_system_batch(..., seed=seed, chunk_size=config.chunk_size)``.
+        """
+        request_obs = obs if obs is not None else NULL_INSTRUMENTATION
+        self._admit(tenant)
+        self._obs.count("service.requests")
+        start = time.perf_counter()
+        self._inflight_requests += 1
+        try:
+            with request_obs.span(
+                "service.evaluate", workload=workload.key(), seed=seed
+            ):
+                counts, batch_size = await self._batcher.submit(
+                    workload.key(), (workload, system, seed)
+                )
+        finally:
+            self._inflight_requests -= 1
+        elapsed = time.perf_counter() - start
+        self._observe_request(batch_size, elapsed, request_obs)
+        return counts.evaluation(system.label(), workload.key(), level)
+
+    async def compare(
+        self,
+        workload: WorkloadSpec,
+        systems: Sequence[SystemSpec],
+        *,
+        seed: int,
+        level: float = 0.95,
+        tenant: str = "default",
+        obs: Instrumentation | None = None,
+    ) -> list[SystemEvaluation]:
+        """Evaluate several systems over one workload, sharing ``seed``.
+
+        All systems see the same seed (common random numbers — the
+        paper's paired comparison design); the expansion lands in one
+        batch group, so one compare is at most one dispatch.
+        """
+        request_obs = obs if obs is not None else NULL_INSTRUMENTATION
+        if not systems:
+            raise ProtocolError("compare needs at least one system")
+        self._admit(tenant)
+        self._obs.count("service.requests")
+        start = time.perf_counter()
+        self._inflight_requests += 1
+        try:
+            with request_obs.span(
+                "service.compare", workload=workload.key(), seed=seed
+            ):
+                futures = [
+                    self._batcher.submit(workload.key(), (workload, system, seed))
+                    for system in systems
+                ]
+                resolved = await asyncio.gather(*futures)
+        finally:
+            self._inflight_requests -= 1
+        elapsed = time.perf_counter() - start
+        batch_size = max(size for _, size in resolved)
+        self._observe_request(batch_size, elapsed, request_obs)
+        return [
+            counts.evaluation(system.label(), workload.key(), level)
+            for system, (counts, _) in zip(systems, resolved)
+        ]
+
+    async def uncertainty(
+        self,
+        *,
+        profile: str = "trial",
+        trials: int = 1000,
+        draws: int = 10_000,
+        seed: int = 0,
+        level: float = 0.95,
+        tenant: str = "default",
+        obs: Instrumentation | None = None,
+    ) -> CredibleInterval:
+        """Posterior credible interval for P(system failure) under a profile.
+
+        Not coalesced: there is no workload plane to share — the
+        posterior kernel is already a single vectorized pass — so the
+        request runs directly on the engine thread, seeded by ``seed``.
+        """
+        request_obs = obs if obs is not None else NULL_INSTRUMENTATION
+        self._admit(tenant)
+        self._obs.count("service.requests")
+        start = time.perf_counter()
+        self._inflight_requests += 1
+        try:
+            with request_obs.span(
+                "service.uncertainty", profile=profile, seed=seed
+            ):
+                loop = asyncio.get_running_loop()
+                interval = await loop.run_in_executor(
+                    self._engine,
+                    self._uncertainty_sync,
+                    profile,
+                    trials,
+                    draws,
+                    seed,
+                    level,
+                )
+        finally:
+            self._inflight_requests -= 1
+        elapsed = time.perf_counter() - start
+        self._observe_request(1, elapsed, request_obs)
+        return interval
+
+    # -- engine-thread internals ---------------------------------------
+
+    def _observe_request(
+        self, batch_size: int, elapsed: float, request_obs: Instrumentation
+    ) -> None:
+        self._obs.observe("service.batch_size", batch_size)
+        self._obs.observe("service.latency_s", elapsed)
+        request_obs.observe("service.batch_size", batch_size)
+        request_obs.observe("service.latency_s", elapsed)
+        if batch_size > 1:
+            self._obs.count("service.coalesced")
+            request_obs.count("service.coalesced")
+
+    async def _dispatch_batch(
+        self, key: Any, items: Sequence[_BatchItem]
+    ) -> list[FusedCounts]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._engine, self._dispatch_sync, list(items)
+        )
+
+    def _dispatch_sync(self, items: list[_BatchItem]) -> list[FusedCounts]:
+        """One fused dispatch for one batch (engine thread only)."""
+        with self._obs.span("service.dispatch", items=len(items)):
+            cached = self._cache.get(items[0][0])
+            # Republish every dispatch: a fingerprint-memo hit when the
+            # segment is resident, a fresh publication if the runtime's
+            # shm LRU evicted it meanwhile — never a stale segment name.
+            arrays, segment = self._runtime.publish_workload(cached.workload)
+            plane: Any = segment if segment is not None else arrays
+            fused = tuple(
+                build_fused_item(index, system.build(seed), seed)
+                for index, (_, system, seed) in enumerate(items)
+            )
+            task = (
+                plane,
+                self._config.chunk_size,
+                cached.positions,
+                cached.codes,
+                len(cached.class_names),
+                fused,
+            )
+            rows = self._runtime.map(run_fused_batch, [task])[0]
+            by_index = {row[0]: row for row in rows}
+            self._obs.count("service.dispatches")
+            return [
+                FusedCounts.from_row(by_index[index], cached.class_names)
+                for index in range(len(items))
+            ]
+
+    def _uncertainty_sync(
+        self, profile_name: str, trials: int, draws: int, seed: int, level: float
+    ) -> CredibleInterval:
+        profile = (
+            PAPER_FIELD_PROFILE if profile_name == "field" else PAPER_TRIAL_PROFILE
+        )
+        parameters = paper_example_parameters()
+        uncertain = UncertainModel(
+            {
+                cls: UncertainClassParameters(
+                    *(
+                        BetaPosterior.from_counts(
+                            round(getattr(params, name) * trials), trials
+                        )
+                        for name in (
+                            "p_machine_failure",
+                            "p_human_failure_given_machine_failure",
+                            "p_human_failure_given_machine_success",
+                        )
+                    )
+                )
+                for cls, params in parameters.items()
+            }
+        )
+        return uncertain.failure_probability_interval(
+            profile, level=level, num_samples=draws, seed=seed
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new work, finish what is queued.
+
+        Idempotent.  After it returns the runtime is closed and every
+        previously-submitted request has resolved.
+        """
+        self._draining = True
+        await self._batcher.flush()
+        self.close()
+
+    def close(self) -> None:
+        """Hard shutdown of the engine thread and runtime (idempotent)."""
+        self._draining = True
+        if self._closed:
+            return
+        self._closed = True
+        self._engine.shutdown(wait=True)
+        self._runtime.close()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The service's metrics registry snapshot (JSON-ready)."""
+        return self._obs.metrics.snapshot()
+
+
+# -- HTTP layer --------------------------------------------------------
+
+_MAX_BODY_BYTES = 1 << 20
+_MAX_HEADER_LINES = 100
+
+
+def _json_response(
+    status: int,
+    payload: dict[str, Any],
+    *,
+    extra_headers: Sequence[tuple[str, str]] = (),
+) -> bytes:
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        429: "Too Many Requests",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+    }
+    body = json.dumps(payload).encode()
+    lines = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    lines.append("")
+    lines.append("")
+    return "\r\n".join(lines).encode() + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one HTTP/1.1 request; ``None`` on EOF or malformed framing."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        return None
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > _MAX_BODY_BYTES:
+        return None
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _request_report(obs: Instrumentation, name: str) -> dict[str, Any]:
+    return build_run_report(obs, name).as_dict()
+
+
+async def _handle_request(
+    service: ScreeningService, method: str, path: str, headers: dict[str, str], body: bytes
+) -> bytes:
+    tenant = headers.get("x-tenant", "default")
+    if method == "GET" and path == "/healthz":
+        status = "draining" if service.draining else "ok"
+        return _json_response(200, {"status": status})
+    if method == "GET" and path == "/v1/metrics":
+        return _json_response(200, service.metrics_snapshot())
+    if path not in ("/v1/evaluate", "/v1/compare", "/v1/uncertainty"):
+        return _json_response(404, {"error": f"unknown path {path!r}"})
+    if method != "POST":
+        return _json_response(405, {"error": f"{path} requires POST"})
+    try:
+        payload = json.loads(body.decode() or "null")
+    except (UnicodeDecodeError, ValueError) as exc:
+        return _json_response(400, {"error": f"invalid JSON body: {exc}"})
+    try:
+        if path == "/v1/evaluate":
+            request = parse_evaluate_request(payload)
+            obs = Instrumentation("service.evaluate") if request.report else None
+            evaluation = await service.evaluate(
+                request.workload,
+                request.system,
+                seed=request.seed,
+                level=request.level,
+                tenant=tenant,
+                obs=obs,
+            )
+            result: dict[str, Any] = {"evaluation": evaluation_payload(evaluation)}
+            if obs is not None:
+                result["report"] = _request_report(obs, "service.evaluate")
+            return _json_response(200, result)
+        if path == "/v1/compare":
+            compare = parse_compare_request(payload)
+            obs = Instrumentation("service.compare") if compare.report else None
+            evaluations = await service.compare(
+                compare.workload,
+                compare.systems,
+                seed=compare.seed,
+                level=compare.level,
+                tenant=tenant,
+                obs=obs,
+            )
+            result = {
+                "evaluations": [
+                    evaluation_payload(evaluation) for evaluation in evaluations
+                ]
+            }
+            if obs is not None:
+                result["report"] = _request_report(obs, "service.compare")
+            return _json_response(200, result)
+        uncertainty = parse_uncertainty_request(payload)
+        obs = Instrumentation("service.uncertainty") if uncertainty.report else None
+        interval = await service.uncertainty(
+            profile=uncertainty.profile,
+            trials=uncertainty.trials,
+            draws=uncertainty.draws,
+            seed=uncertainty.seed,
+            level=uncertainty.level,
+            tenant=tenant,
+            obs=obs,
+        )
+        result = {"interval": interval_payload(interval)}
+        if obs is not None:
+            result["report"] = _request_report(obs, "service.uncertainty")
+        return _json_response(200, result)
+    except (QuotaExceededError, ServiceUnavailableError) as exc:
+        return _json_response(
+            exc.status,
+            {"error": str(exc), "retry_after": exc.retry_after},
+            extra_headers=[("Retry-After", f"{exc.retry_after:.3f}")],
+        )
+    except ProtocolError as exc:
+        return _json_response(400, {"error": str(exc)})
+    except SimulationError as exc:
+        return _json_response(500, {"error": str(exc)})
+
+
+async def _handle_connection(
+    service: ScreeningService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                break
+            method, path, headers, body = parsed
+            response = await _handle_request(service, method, path, headers, body)
+            writer.write(response)
+            await writer.drain()
+            if headers.get("connection", "").lower() == "close":
+                break
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # Shutdown can cancel the handler mid-close-handshake; the
+            # socket is already closing either way.
+            pass
+
+
+async def serve(
+    service: ScreeningService,
+    host: str = "127.0.0.1",
+    port: int = 8373,
+    *,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Serve ``service`` over HTTP until cancelled, then drain gracefully.
+
+    ``ready`` (if given) is set once the socket is listening — tests and
+    supervisors use it instead of polling the port.
+    """
+    connections: set[asyncio.Task] = set()
+
+    def _on_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(_handle_connection(service, reader, writer))
+        connections.add(task)
+        task.add_done_callback(connections.discard)
+
+    server = await asyncio.start_server(_on_connection, host, port)
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)

@@ -1,0 +1,98 @@
+"""Per-tenant token-bucket quotas for the screening service.
+
+A tenant (the ``X-Tenant`` request header; ``"default"`` when absent)
+gets one bucket refilled at ``rate`` requests/second up to ``burst``
+tokens.  Admission is a single clock read plus arithmetic — no
+background refill task — and a denied request learns exactly how long
+until a token will be available, which becomes the HTTP
+``Retry-After`` hint.
+
+The manager is deliberately time-injectable (``clock``): tests drive it
+with a fake clock, and nothing here touches the RNG layer (quota
+decisions must never perturb the determinism contract).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..exceptions import SimulationError
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError(f"quota rate must be > 0, got {rate!r}")
+        if burst < 1:
+            raise SimulationError(f"quota burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def acquire(self) -> float:
+        """Try to take one token.
+
+        Returns 0.0 when admitted, else the seconds until the next token
+        accrues (the retry-after hint).  Never blocks.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class QuotaManager:
+    """Per-tenant buckets created on first sight, all sharing one config.
+
+    A ``rate`` of ``None`` disables quotas entirely (every request is
+    admitted), which is the service default — quotas are an operator
+    opt-in via ``--quota-rps``.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise SimulationError(f"quota rate must be > 0, got {rate!r}")
+        self._rate = rate
+        self._burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, tenant: str) -> float:
+        """0.0 when ``tenant`` may proceed, else seconds to retry after."""
+        if self._rate is None:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self._rate, self._burst, self._clock
+                )
+        return bucket.acquire()

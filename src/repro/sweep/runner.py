@@ -10,11 +10,13 @@ one set of arrays, so the pool round-trip, the columnisation, and the
 classification amortise across the whole batch.
 
 **Determinism contract.**  A cell's failure counts depend only on its
-recorded ``(seed, chunk_size)``: chunk generators derive via the same
-``SeedSequence`` scheme as :func:`~repro.engine.executor.evaluate_system_batch`,
-the decision kernels are the engine's own (:func:`_decide_jobs` /
-:func:`_advance_stream` from :mod:`repro.engine.runtime`), and the tally
-is an exact integer-count reformulation of
+recorded ``(seed, chunk_size)``: fused dispatches execute through the
+shared :mod:`repro.engine.fused` kernel
+(:func:`~repro.engine.fused.run_fused_batch` — the same kernel the
+always-on service's micro-batcher runs), whose chunk generators derive
+via the same ``SeedSequence`` scheme as
+:func:`~repro.engine.executor.evaluate_system_batch` and whose tally is
+an exact integer-count reformulation of
 :class:`~repro.system.simulate.FailureTally`.  Fused, sharded, serial,
 parallel, interrupted-and-resumed — all bit-identical to evaluating the
 cell standalone (:func:`reproduce_cell`).
@@ -31,33 +33,26 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 import numpy as np
 
-from ..core.case_class import CaseClass
-from ..engine.executor import (
-    DEFAULT_CHUNK_SIZE,
-    _chunk_rngs,
-    plan_chunks,
-    supports_batch,
-    supports_stream,
+from ..engine.executor import DEFAULT_CHUNK_SIZE
+from ..engine.fused import (
+    FusedCounts,
+    FusedItem,
+    FusedTask,
+    build_fused_item,
+    cancer_class_codes,
+    run_fused_batch,
 )
-from ..engine.runtime import (
-    EngineRuntime,
-    _advance_stream,
-    _attached_arrays,
-    _decide_jobs,
-    _Job,
-    _SegmentSpec,
-)
+from ..engine.runtime import EngineRuntime, _SegmentSpec
 from ..engine.arrays import CaseArrays
 from ..exceptions import SimulationError
 from ..obs import Instrumentation, get_instrumentation
 from ..screening.classifier import CaseClassifier, SingleClassClassifier
 from ..screening.workload import Workload
-from ..system.simulate import FailureTally, SystemEvaluation
-from ..system.single import ScreeningSystem
+from ..system.simulate import SystemEvaluation
 from ..trial.storage import append_journal_entries, load_journal_entries
 from .grid import ScenarioGrid
 from .plan import (
@@ -126,21 +121,16 @@ class CellResult:
 
     def evaluation(self, level: float = 0.95) -> SystemEvaluation:
         """The counts as a :class:`SystemEvaluation` (same floats as live)."""
-        tally = FailureTally(
+        counts = FusedCounts(
             cancer_failures=self.cancer_failures,
             cancer_trials=self.cancer_trials,
             healthy_failures=self.healthy_failures,
             healthy_trials=self.healthy_trials,
-            class_failures={
-                CaseClass(name): failures
-                for name, failures in zip(self.class_names, self.class_failures)
-            },
-            class_trials={
-                CaseClass(name): trials
-                for name, trials in zip(self.class_names, self.class_trials)
-            },
+            class_names=self.class_names,
+            class_failures=self.class_failures,
+            class_trials=self.class_trials,
         )
-        return tally.to_evaluation(self.system_name, self.workload_name, level)
+        return counts.evaluation(self.system_name, self.workload_name, level)
 
     def to_entry(self, shard: int) -> dict[str, Any]:
         """The journal line for this result."""
@@ -253,107 +243,6 @@ class SweepResult:
 
 
 # ---------------------------------------------------------------------------
-# fused execution kernel
-
-
-#: One cell's work within a fused dispatch.
-_CellWork = tuple[int, ScreeningSystem, int, bool]  # (index, system, seed, stream)
-
-#: One fused dispatch: the workload plane (spec or arrays), the chunking,
-#: the cancer positions/class codes, and the cells to run against it.
-_BatchTask = tuple[
-    "object", int, np.ndarray, np.ndarray, int, tuple[_CellWork, ...]
-]
-
-
-def _cell_failures(
-    system: ScreeningSystem,
-    arrays: CaseArrays,
-    jobs: Sequence[_Job],
-    stream: bool,
-) -> np.ndarray:
-    """One cell's per-case failure flags, via the engine's own kernels."""
-    if stream:
-        chunk_failures, _ = _advance_stream(system, arrays, jobs, system.stream_state())
-    else:
-        chunk_failures = _decide_jobs(system, arrays, jobs)
-    if len(chunk_failures) == 1:
-        return chunk_failures[0]
-    return np.concatenate(chunk_failures)
-
-
-def _count_failures(
-    failed: np.ndarray,
-    positions: np.ndarray,
-    codes: np.ndarray,
-    n_classes: int,
-) -> tuple[int, int, int, int, np.ndarray, np.ndarray]:
-    """Exact integer counts from per-case failure flags.
-
-    The vectorized twin of :meth:`FailureTally.record_batch`: same
-    integers, computed with two ``bincount`` passes instead of a
-    per-cancer-case Python loop.
-    """
-    cancer_failed = failed[positions].astype(bool)
-    cancer_trials = int(positions.size)
-    cancer_failures = int(np.count_nonzero(cancer_failed))
-    total_failures = int(np.count_nonzero(failed))
-    healthy_trials = int(failed.shape[0]) - cancer_trials
-    healthy_failures = total_failures - cancer_failures
-    class_trials = np.bincount(codes, minlength=n_classes)
-    class_failures = np.bincount(codes[cancer_failed], minlength=n_classes)
-    return (
-        cancer_failures,
-        cancer_trials,
-        healthy_failures,
-        healthy_trials,
-        class_failures,
-        class_trials,
-    )
-
-
-def _run_fused_batch(task: _BatchTask) -> list[tuple[int, tuple[int, ...], list[int], list[int]]]:
-    """Execute one fused dispatch; the single kernel every path runs.
-
-    Runs in a pool worker (attaching the shared plane) or in-process
-    (arrays travel directly) — the cells' chunk jobs and generators are
-    identical either way, which is what makes serial, pooled, and
-    resumed executions bit-identical.  Returns per cell
-    ``(index, scalar_counts, class_failures, class_trials)``.
-    """
-    plane, chunk_size, positions, codes, n_classes, items = task
-    if isinstance(plane, _SegmentSpec):
-        arrays = _attached_arrays(plane)
-    else:
-        arrays = plane
-    chunks = plan_chunks(len(arrays), chunk_size)
-    out = []
-    for index, system, seed, stream in items:
-        rngs = _chunk_rngs(seed, len(chunks))
-        jobs: list[_Job] = [
-            (start, stop, rng) for (start, stop), rng in zip(chunks, rngs)
-        ]
-        failed = _cell_failures(system, arrays, jobs, stream)
-        (
-            cancer_failures,
-            cancer_trials,
-            healthy_failures,
-            healthy_trials,
-            class_failures,
-            class_trials,
-        ) = _count_failures(failed, positions, codes, n_classes)
-        out.append(
-            (
-                index,
-                (cancer_failures, cancer_trials, healthy_failures, healthy_trials),
-                [int(f) for f in class_failures],
-                [int(t) for t in class_trials],
-            )
-        )
-    return out
-
-
-# ---------------------------------------------------------------------------
 # per-workload context
 
 
@@ -367,43 +256,6 @@ class _WorkloadContext:
     positions: np.ndarray
     codes: np.ndarray
     class_names: tuple[str, ...]
-
-
-def _class_codes(
-    workload: Workload,
-    classifier: CaseClassifier,
-    arrays: CaseArrays,
-    positions: np.ndarray,
-) -> np.ndarray:
-    """Class indices of the workload's cancer cases, in order.
-
-    The code-level twin of
-    :func:`~repro.engine.executor.cancer_class_labels`: the same labels,
-    kept as indices into ``classifier.classes`` so workers can
-    ``bincount`` them without shipping :class:`CaseClass` objects.
-    """
-    batch = getattr(classifier, "classify_batch", None)
-    if batch is not None:
-        try:
-            codes = np.asarray(batch(arrays))
-        except NotImplementedError:
-            codes = None
-        if codes is not None:
-            if codes.shape != (len(arrays),):
-                raise SimulationError(
-                    f"classify_batch returned shape {codes.shape}, expected "
-                    f"({len(arrays)},)"
-                )
-            return codes[positions].astype(np.int64)
-    index = {case_class: i for i, case_class in enumerate(classifier.classes)}
-    return np.array(
-        [
-            index[classifier.classify(case)]
-            for case in workload.cases
-            if case.has_cancer
-        ],
-        dtype=np.int64,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -674,7 +526,7 @@ def _workload_context(
         else:
             arrays, spec = workload.to_arrays(), None
         positions = np.flatnonzero(arrays.has_cancer)
-        codes = _class_codes(workload, classifier, arrays, positions)
+        codes = cancer_class_codes(workload, classifier, arrays, positions)
         context = _WorkloadContext(
             workload=workload,
             arrays=arrays,
@@ -690,16 +542,13 @@ def _workload_context(
     return context
 
 
-def _build_cell_work(planned: PlannedCell) -> _CellWork:
-    """Build one cell's fresh system and classify its execution mode."""
+def _build_cell_work(planned: PlannedCell) -> FusedItem:
+    """Build one cell's fresh system and wrap it as a fused item."""
     system = planned.cell.system.build(planned.seed)
-    stream = not supports_batch(system)
-    if stream and not supports_stream(system):
-        raise SimulationError(
-            f"cell {planned.cell_id!r} built a system supporting neither "
-            "batch nor stream execution; sweep cells must be vectorizable"
-        )
-    return (planned.index, system, planned.seed, stream)
+    try:
+        return build_fused_item(planned.index, system, planned.seed)
+    except SimulationError as exc:
+        raise SimulationError(f"cell {planned.cell_id!r}: {exc}") from exc
 
 
 def _execute_shard(
@@ -713,7 +562,7 @@ def _execute_shard(
 ) -> list[CellResult]:
     """Execute one shard's pending cells as fused dispatches."""
     pending_ids = {planned.cell_id for planned in pending}
-    tasks: list[_BatchTask] = []
+    tasks: list[FusedTask] = []
     task_meta: list[list[PlannedCell]] = []
     for batch in shard.batches:
         cells = [
@@ -739,24 +588,17 @@ def _execute_shard(
         task_meta.append(cells)
         obs.count("sweep.dispatches")
     if runtime is not None:
-        outputs = runtime.map(_run_fused_batch, tasks)
+        outputs = runtime.map(run_fused_batch, tasks)
     else:
-        outputs = [_run_fused_batch(task) for task in tasks]
+        outputs = [run_fused_batch(task) for task in tasks]
 
     shard_results: list[CellResult] = []
     for cells, output in zip(task_meta, outputs):
         by_index = {planned.index: planned for planned in cells}
         context = contexts[cells[0].workload_key]
-        for index, scalars, class_failures, class_trials in output:
-            planned = by_index[index]
-            cancer_failures, cancer_trials, healthy_failures, healthy_trials = scalars
-            kept = [
-                (name, failures, trials)
-                for name, failures, trials in zip(
-                    context.class_names, class_failures, class_trials
-                )
-                if trials
-            ]
+        for row in output:
+            planned = by_index[row[0]]
+            counts = FusedCounts.from_row(row, context.class_names)
             shard_results.append(
                 CellResult(
                     index=planned.index,
@@ -764,13 +606,13 @@ def _execute_shard(
                     seed=planned.seed,
                     system_name=planned.cell.system.label(),
                     workload_name=planned.workload_key,
-                    cancer_failures=cancer_failures,
-                    cancer_trials=cancer_trials,
-                    healthy_failures=healthy_failures,
-                    healthy_trials=healthy_trials,
-                    class_names=tuple(name for name, _, _ in kept),
-                    class_failures=tuple(failures for _, failures, _ in kept),
-                    class_trials=tuple(trials for _, _, trials in kept),
+                    cancer_failures=counts.cancer_failures,
+                    cancer_trials=counts.cancer_trials,
+                    healthy_failures=counts.healthy_failures,
+                    healthy_trials=counts.healthy_trials,
+                    class_names=counts.class_names,
+                    class_failures=counts.class_failures,
+                    class_trials=counts.class_trials,
                 )
             )
     shard_results.sort(key=lambda result: result.index)

@@ -1,0 +1,90 @@
+"""Shm LRU eviction under interleaved publishers.
+
+``TestShmByteBudget`` (test_runtime.py) pins the degenerate 1-byte
+budget.  Here the budget is sized to hold *exactly one* workload plane,
+and two workloads ping-pong across it — the service's multi-tenant
+steady state, where alternating requests keep evicting each other's
+segment.  The invariants: every publish stays within the budget, the
+``runtime.shm.evicted`` counter tracks each eviction, and a workload
+republished after eviction evaluates bit-identical to standalone.
+"""
+
+import pytest
+
+from repro.engine import EngineRuntime, evaluate_system_batch
+from repro.obs import Instrumentation
+
+from tests.engine.test_executor import make_system, make_workload
+
+
+def one_segment_bytes(workload):
+    """The shared-plane footprint of one published workload."""
+    with EngineRuntime(workers=2) as runtime:
+        if not runtime.uses_shared_memory:
+            pytest.skip("shared memory unavailable")
+        runtime.publish_workload(workload)
+        return runtime.shm_bytes_live
+
+
+class TestShmLruPingPong:
+    def test_interleaved_publishers_stay_within_budget_and_count_evictions(self):
+        first = make_workload(800, seed=1)
+        second = make_workload(800, seed=2)
+        # Room for one plane plus slack, but never two.
+        budget = one_segment_bytes(first) * 3 // 2
+        obs = Instrumentation(name="test")
+        with EngineRuntime(workers=2, shm_byte_budget=budget, obs=obs) as runtime:
+            if not runtime.uses_shared_memory:
+                pytest.skip("shared memory unavailable")
+            seen = []
+            for ping_pong, workload in enumerate([first, second] * 3):
+                _, spec = runtime.publish_workload(workload)
+                assert spec is not None
+                seen.append(spec.name)
+                # The budget binds after every single publish.
+                assert runtime.shm_bytes_live <= budget
+                assert len(runtime.active_segments) == 1
+                # Every alternation evicts the other tenant's segment.
+                expected_evictions = max(0, ping_pong)
+                assert (
+                    obs.metrics.counter("runtime.shm.evicted").value
+                    == expected_evictions
+                )
+            # Each republish allocated a fresh segment: no name reuse
+            # of a live segment across the ping-pong.
+            assert len(set(seen)) == len(seen)
+
+    def test_resident_workload_republish_is_a_memo_hit(self):
+        workload = make_workload(800, seed=1)
+        budget = one_segment_bytes(workload) * 3 // 2
+        obs = Instrumentation(name="test")
+        with EngineRuntime(workers=2, shm_byte_budget=budget, obs=obs) as runtime:
+            if not runtime.uses_shared_memory:
+                pytest.skip("shared memory unavailable")
+            _, spec_a = runtime.publish_workload(workload)
+            _, spec_b = runtime.publish_workload(workload)
+            # Same fingerprint, same live segment: no churn, no eviction.
+            assert spec_a.name == spec_b.name
+            assert obs.metrics.counter("runtime.shm.evicted").value == 0
+
+    def test_ping_pong_evaluations_stay_bit_identical(self):
+        first = make_workload(600, seed=1)
+        second = make_workload(600, seed=2)
+        budget = one_segment_bytes(first) * 3 // 2
+        schedule = [first, second, first, second, first]
+        references = [
+            evaluate_system_batch(make_system(), w, seed=13, chunk_size=200)
+            for w in schedule
+        ]
+        obs = Instrumentation(name="test")
+        with EngineRuntime(workers=2, shm_byte_budget=budget, obs=obs) as runtime:
+            if not runtime.uses_shared_memory:
+                pytest.skip("shared memory unavailable")
+            pooled = [
+                runtime.evaluate(make_system(), w, seed=13, chunk_size=200)
+                for w in schedule
+            ]
+        # Evictions happened (the budget really was tight) and every
+        # post-eviction republish still reproduced the standalone run.
+        assert obs.metrics.counter("runtime.shm.evicted").value >= 3
+        assert pooled == references

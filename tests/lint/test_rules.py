@@ -405,6 +405,33 @@ class TestRep005SeedThreading:
         )
         assert findings == []
 
+    def test_service_handlers_are_covered(self):
+        # The always-on service is a seed-threading package: a request
+        # handler that evaluates without threading the request seed
+        # would silently break coalesced/standalone bit-identity.
+        findings = run(
+            """
+            class Service:
+                async def evaluate(self, workload, system):
+                    return self._dispatch(workload, system)
+            """,
+            module="repro.service.app",
+            select=("REP005",),
+        )
+        assert rule_ids(findings) == ["REP005"]
+
+    def test_service_handler_threading_seed_passes(self):
+        findings = run(
+            """
+            class Service:
+                async def evaluate(self, workload, system, *, seed):
+                    return self._dispatch(workload, system, seed)
+            """,
+            module="repro.service.app",
+            select=("REP005",),
+        )
+        assert findings == []
+
 
 class TestRep006Observability:
     def test_flags_random_import_inside_obs(self):

@@ -44,7 +44,59 @@ class TestHistogram:
 
     def test_empty_summary_is_zeroed(self):
         summary = Histogram("h").summary()
-        assert summary == {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        assert summary == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_quantiles_approximate_true_percentiles(self):
+        histogram = Histogram("h")
+        values = [i / 1000.0 for i in range(1, 1001)]
+        for value in values:
+            histogram.record(value)
+        # Log-spaced buckets promise ~4% relative error.
+        assert histogram.quantile(0.50) == pytest.approx(0.500, rel=0.05)
+        assert histogram.quantile(0.90) == pytest.approx(0.900, rel=0.05)
+        assert histogram.quantile(0.99) == pytest.approx(0.990, rel=0.05)
+        summary = histogram.summary()
+        assert summary["p50"] == pytest.approx(0.500, rel=0.05)
+        assert summary["p99"] == pytest.approx(0.990, rel=0.05)
+
+    def test_quantile_extremes_clamp_to_observed_range(self):
+        histogram = Histogram("h")
+        for value in (0.5, 1.0, 2.0):
+            histogram.record(value)
+        assert histogram.quantile(0.0) == pytest.approx(0.5, rel=0.05)
+        assert histogram.quantile(1.0) == pytest.approx(2.0, rel=0.05)
+
+    def test_quantile_handles_nonpositive_observations(self):
+        histogram = Histogram("h")
+        for value in (-1.0, 0.0, 1.0, 2.0):
+            histogram.record(value)
+        # The two non-positive observations occupy the lowest ranks and
+        # resolve to the recorded minimum.
+        assert histogram.quantile(0.25) == pytest.approx(-1.0)
+        assert histogram.quantile(1.0) == pytest.approx(2.0, rel=0.05)
+
+    def test_quantile_single_observation(self):
+        histogram = Histogram("h")
+        histogram.record(0.125)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.125, rel=0.05)
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
 
 
 class TestMetricsRegistry:

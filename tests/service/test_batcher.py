@@ -1,0 +1,139 @@
+"""Micro-batcher semantics: grouping, linger, max-batch, failure, flush."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.service import MicroBatcher
+
+
+class Recorder:
+    """A dispatch double recording every batch it receives."""
+
+    def __init__(self, fail_on=None, delay_s=0.0):
+        self.batches = []
+        self.fail_on = fail_on
+        self.delay_s = delay_s
+
+    async def __call__(self, key, items):
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        self.batches.append((key, list(items)))
+        if self.fail_on is not None and key == self.fail_on:
+            raise SimulationError(f"dispatch for {key!r} failed")
+        return [item * 10 for item in items]
+
+
+def test_same_key_coalesces_into_one_dispatch():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, linger_s=0.005, max_batch=8)
+        results = await asyncio.gather(
+            batcher.submit("w", 1), batcher.submit("w", 2), batcher.submit("w", 3)
+        )
+        return recorder.batches, results
+
+    batches, results = asyncio.run(main())
+    assert batches == [("w", [1, 2, 3])]
+    assert results == [(10, 3), (20, 3), (30, 3)]
+
+
+def test_distinct_keys_dispatch_separately():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, linger_s=0.005, max_batch=8)
+        await asyncio.gather(batcher.submit("a", 1), batcher.submit("b", 2))
+        return recorder.batches
+
+    batches = asyncio.run(main())
+    assert sorted(batches) == [("a", [1]), ("b", [2])]
+
+
+def test_full_batch_fires_before_linger_expires():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, linger_s=60.0, max_batch=2)
+        results = await asyncio.wait_for(
+            asyncio.gather(batcher.submit("w", 1), batcher.submit("w", 2)),
+            timeout=5.0,
+        )
+        return recorder.batches, results
+
+    batches, results = asyncio.run(main())
+    assert batches == [("w", [1, 2])]
+    assert results == [(10, 2), (20, 2)]
+
+
+def test_max_batch_splits_oversized_bursts():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, linger_s=0.005, max_batch=2)
+        results = await asyncio.gather(*(batcher.submit("w", n) for n in range(5)))
+        return recorder.batches, results
+
+    batches, results = asyncio.run(main())
+    assert [len(items) for _, items in batches] == [2, 2, 1]
+    assert [size for _, size in results] == [2, 2, 2, 2, 1]
+
+
+def test_dispatch_failure_fails_every_future_in_the_batch():
+    async def main():
+        recorder = Recorder(fail_on="w")
+        batcher = MicroBatcher(recorder, linger_s=0.001, max_batch=8)
+        futures = [batcher.submit("w", n) for n in (1, 2)]
+        return await asyncio.gather(*futures, return_exceptions=True)
+
+    outcomes = asyncio.run(main())
+    assert all(isinstance(outcome, SimulationError) for outcome in outcomes)
+
+
+def test_result_count_mismatch_is_an_error():
+    async def main():
+        async def bad_dispatch(key, items):
+            return [1]  # one result for two items
+
+        batcher = MicroBatcher(bad_dispatch, linger_s=0.001, max_batch=8)
+        futures = [batcher.submit("w", n) for n in (1, 2)]
+        return await asyncio.gather(*futures, return_exceptions=True)
+
+    outcomes = asyncio.run(main())
+    assert all(isinstance(outcome, SimulationError) for outcome in outcomes)
+
+
+def test_flush_fires_lingering_groups_immediately():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, linger_s=60.0, max_batch=8)
+        future = batcher.submit("w", 1)
+        assert batcher.queued == 1
+        await batcher.flush()
+        assert batcher.queued == 0
+        assert batcher.inflight == 0
+        return await future
+
+    assert asyncio.run(main()) == (10, 1)
+
+
+def test_zero_linger_still_coalesces_one_tick():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, linger_s=0.0, max_batch=8)
+        results = await asyncio.gather(
+            batcher.submit("w", 1), batcher.submit("w", 2)
+        )
+        return recorder.batches, results
+
+    batches, results = asyncio.run(main())
+    assert batches == [("w", [1, 2])]
+    assert [size for _, size in results] == [2, 2]
+
+
+def test_rejects_invalid_configuration():
+    async def dispatch(key, items):
+        return list(items)
+
+    with pytest.raises(SimulationError, match="linger_s"):
+        MicroBatcher(dispatch, linger_s=-1.0)
+    with pytest.raises(SimulationError, match="max_batch"):
+        MicroBatcher(dispatch, max_batch=0)

@@ -1,0 +1,158 @@
+"""The tentpole invariant: coalescing is invisible in the results.
+
+A randomized swarm of concurrent clients — distinct seeds, mixed
+workloads and systems — gets bit-identical responses whether requests
+coalesce into fused dispatches (generous linger) or run one-per-dispatch
+(``max_batch=1``), and both match standalone
+:func:`~repro.engine.executor.evaluate_system_batch` runs of the same
+``(seed, chunk_size)``.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.engine.executor import evaluate_system_batch
+from repro.service import ScreeningService, ServiceConfig
+from repro.sweep.grid import SystemSpec, WorkloadSpec
+
+CHUNK_SIZE = 128
+
+WORKLOADS = [
+    WorkloadSpec(population="routine", num_cases=160),
+    WorkloadSpec(population="young", num_cases=160),
+]
+SYSTEMS = [
+    SystemSpec(kind="assisted", bias="mild"),
+    SystemSpec(kind="unaided", bias="none"),
+    SystemSpec(kind="assisted", bias="strong", dynamics="fatigue"),
+]
+
+
+def random_requests(count, rng):
+    return [
+        (
+            WORKLOADS[rng.integers(len(WORKLOADS))],
+            SYSTEMS[rng.integers(len(SYSTEMS))],
+            int(rng.integers(1, 2**31)),
+        )
+        for _ in range(count)
+    ]
+
+
+def run_service(requests, *, linger_ms, max_batch, workers=1):
+    async def main():
+        config = ServiceConfig(
+            workers=workers,
+            linger_ms=linger_ms,
+            max_batch=max_batch,
+            chunk_size=CHUNK_SIZE,
+        )
+        async with ScreeningService(config) as service:
+            return await asyncio.gather(
+                *(
+                    service.evaluate(workload, system, seed=seed)
+                    for workload, system, seed in requests
+                )
+            )
+
+    return asyncio.run(main())
+
+
+def standalone(requests):
+    built = {}
+    results = []
+    for workload, system, seed in requests:
+        if workload.key() not in built:
+            built[workload.key()] = workload.build()
+        results.append(
+            evaluate_system_batch(
+                system.build(seed),
+                built[workload.key()],
+                seed=seed,
+                chunk_size=CHUNK_SIZE,
+            )
+        )
+    return results
+
+
+class TestCoalescingBitIdentity:
+    def test_randomized_concurrent_clients_match_standalone(self):
+        rng = np.random.default_rng(20260808)
+        requests = random_requests(24, rng)
+        coalesced = run_service(requests, linger_ms=20.0, max_batch=16)
+        serial = run_service(requests, linger_ms=0.0, max_batch=1)
+        reference = standalone(requests)
+        for got, alone, ref in zip(coalesced, serial, reference):
+            # SystemEvaluation is a frozen dataclass of counts and
+            # Wilson intervals: equality here is bit-identity.
+            assert got == alone
+            assert got.false_negative == ref.false_negative
+            assert got.false_positive == ref.false_positive
+            assert got.per_class_false_negative == ref.per_class_false_negative
+
+    def test_duplicate_seeds_on_one_workload_still_split_correctly(self):
+        workload = WORKLOADS[0]
+        requests = [(workload, SYSTEMS[0], 42), (workload, SYSTEMS[1], 42)]
+        first, second = run_service(requests, linger_ms=20.0, max_batch=8)
+        ref_first, ref_second = standalone(requests)
+        assert first.false_negative == ref_first.false_negative
+        assert second.false_negative == ref_second.false_negative
+
+    def test_pooled_workers_match_standalone(self):
+        rng = np.random.default_rng(7)
+        requests = random_requests(8, rng)
+        coalesced = run_service(requests, linger_ms=20.0, max_batch=8, workers=2)
+        for got, ref in zip(coalesced, standalone(requests)):
+            assert got.false_negative == ref.false_negative
+            assert got.false_positive == ref.false_positive
+
+
+class TestCoalescingObservables:
+    def test_batches_and_metrics_reflect_coalescing(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation("service-test")
+        requests = [(WORKLOADS[0], SYSTEMS[0], seed) for seed in range(6)]
+
+        async def main():
+            config = ServiceConfig(
+                workers=1, linger_ms=50.0, max_batch=16, chunk_size=CHUNK_SIZE
+            )
+            async with ScreeningService(config, obs=obs) as service:
+                return await asyncio.gather(
+                    *(
+                        service.evaluate(workload, system, seed=seed)
+                        for workload, system, seed in requests
+                    )
+                )
+
+        asyncio.run(main())
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["service.requests"] == 6
+        assert snapshot["counters"]["service.dispatches"] == 1
+        assert snapshot["counters"]["service.coalesced"] == 6
+        assert snapshot["histograms"]["service.batch_size"]["max"] == 6
+        assert snapshot["histograms"]["service.latency_s"]["count"] == 6
+        assert "p99" in snapshot["histograms"]["service.latency_s"]
+
+    def test_compare_is_one_dispatch_and_shares_the_seed(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation("service-test")
+        workload = WORKLOADS[0]
+
+        async def main():
+            config = ServiceConfig(
+                workers=1, linger_ms=10.0, max_batch=16, chunk_size=CHUNK_SIZE
+            )
+            async with ScreeningService(config, obs=obs) as service:
+                return await service.compare(
+                    workload, SYSTEMS, seed=99, level=0.95
+                )
+
+        evaluations = asyncio.run(main())
+        references = standalone([(workload, system, 99) for system in SYSTEMS])
+        for got, ref in zip(evaluations, references):
+            assert got.false_negative == ref.false_negative
+        assert obs.metrics.snapshot()["counters"]["service.dispatches"] == 1

@@ -1,0 +1,135 @@
+"""Request parsing: strict keys, explicit seeds, JSON-ready responses."""
+
+import pytest
+
+from repro.service import (
+    ProtocolError,
+    evaluation_payload,
+    parse_compare_request,
+    parse_evaluate_request,
+    parse_uncertainty_request,
+)
+from repro.sweep.grid import SystemSpec, WorkloadSpec
+from repro.engine.executor import evaluate_system_batch
+
+
+def evaluate_body(**overrides):
+    body = {
+        "workload": {"population": "routine", "num_cases": 100},
+        "system": {"kind": "assisted", "bias": "mild"},
+        "seed": 7,
+    }
+    body.update(overrides)
+    return body
+
+
+class TestEvaluateParsing:
+    def test_parses_specs_and_seed(self):
+        request = parse_evaluate_request(evaluate_body())
+        assert request.workload == WorkloadSpec(population="routine", num_cases=100)
+        assert request.system == SystemSpec(kind="assisted", bias="mild")
+        assert request.seed == 7
+        assert request.level == 0.95
+        assert request.report is False
+
+    def test_rejects_unknown_top_level_keys(self):
+        with pytest.raises(ProtocolError, match="unknown evaluate request keys"):
+            parse_evaluate_request(evaluate_body(sede=1))
+
+    def test_rejects_unknown_workload_keys(self):
+        body = evaluate_body()
+        body["workload"]["casez"] = 10
+        with pytest.raises(ProtocolError, match="unknown workload keys"):
+            parse_evaluate_request(body)
+
+    def test_rejects_unknown_system_keys(self):
+        body = evaluate_body()
+        body["system"]["biaz"] = "mild"
+        with pytest.raises(ProtocolError, match="unknown system keys"):
+            parse_evaluate_request(body)
+
+    def test_rejects_missing_seed(self):
+        body = evaluate_body()
+        del body["seed"]
+        with pytest.raises(ProtocolError, match="seed"):
+            parse_evaluate_request(body)
+
+    @pytest.mark.parametrize("seed", [None, -1, 1.5, "7", True])
+    def test_rejects_non_integer_seeds(self, seed):
+        with pytest.raises(ProtocolError, match="seed"):
+            parse_evaluate_request(evaluate_body(seed=seed))
+
+    def test_rejects_unknown_population(self):
+        body = evaluate_body()
+        body["workload"]["population"] = "marsian"
+        with pytest.raises(ProtocolError, match="population"):
+            parse_evaluate_request(body)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ProtocolError, match="level"):
+            parse_evaluate_request(evaluate_body(level=1.5))
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_evaluate_request([1, 2, 3])
+
+
+class TestCompareParsing:
+    def test_parses_system_list(self):
+        body = evaluate_body()
+        del body["system"]
+        body["systems"] = [{"kind": "unaided"}, {"kind": "assisted"}]
+        request = parse_compare_request(body)
+        assert [system.kind for system in request.systems] == ["unaided", "assisted"]
+        assert request.seed == 7
+
+    def test_rejects_empty_system_list(self):
+        body = evaluate_body()
+        del body["system"]
+        body["systems"] = []
+        with pytest.raises(ProtocolError, match="at least one system"):
+            parse_compare_request(body)
+
+    def test_names_offending_list_entry(self):
+        body = evaluate_body()
+        del body["system"]
+        body["systems"] = [{"kind": "assisted"}, "oops"]
+        with pytest.raises(ProtocolError, match=r"systems\[1\]"):
+            parse_compare_request(body)
+
+
+class TestUncertaintyParsing:
+    def test_defaults(self):
+        request = parse_uncertainty_request({"seed": 3})
+        assert request.profile == "trial"
+        assert request.trials == 1000
+        assert request.draws == 10_000
+        assert request.seed == 3
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ProtocolError, match="profile"):
+            parse_uncertainty_request({"seed": 0, "profile": "bench"})
+
+    @pytest.mark.parametrize("field", ["trials", "draws"])
+    def test_rejects_non_positive_counts(self, field):
+        with pytest.raises(ProtocolError, match=field):
+            parse_uncertainty_request({"seed": 0, field: 0})
+
+
+class TestEvaluationPayload:
+    def test_round_trips_rates_and_classes(self):
+        workload = WorkloadSpec(population="routine", num_cases=80).build()
+        system = SystemSpec().build(5)
+        evaluation = evaluate_system_batch(system, workload, seed=5, chunk_size=64)
+        payload = evaluation_payload(evaluation)
+        assert payload["system"] == evaluation.system_name
+        assert payload["false_negative"]["failures"] == (
+            evaluation.false_negative.failures
+        )
+        assert payload["false_negative"]["trials"] == evaluation.false_negative.trials
+        assert payload["false_negative"]["lower"] == pytest.approx(
+            evaluation.false_negative.interval.lower
+        )
+        assert set(payload["per_class_false_negative"]) == {
+            cls.name for cls in evaluation.per_class_false_negative
+        }

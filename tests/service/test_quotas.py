@@ -1,0 +1,79 @@
+"""Token-bucket quotas under an injected clock."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.service import QuotaManager, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.acquire() == 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+
+    def test_retry_after_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        bucket.acquire()
+        assert bucket.acquire() == pytest.approx(2.0)
+        clock.advance(1.0)
+        assert bucket.acquire() == pytest.approx(1.0)
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(SimulationError, match="rate"):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(SimulationError, match="burst"):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestQuotaManager:
+    def test_none_rate_admits_everything(self):
+        manager = QuotaManager(rate=None)
+        assert all(manager.admit("t") == 0.0 for _ in range(1000))
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        manager = QuotaManager(rate=1.0, burst=1, clock=clock)
+        assert manager.admit("a") == 0.0
+        assert manager.admit("a") > 0.0
+        # Tenant b has its own untouched bucket.
+        assert manager.admit("b") == 0.0
+
+    def test_denied_tenant_recovers_after_refill(self):
+        clock = FakeClock()
+        manager = QuotaManager(rate=2.0, burst=1, clock=clock)
+        manager.admit("a")
+        retry = manager.admit("a")
+        assert retry > 0.0
+        clock.advance(retry)
+        assert manager.admit("a") == 0.0
