@@ -39,17 +39,45 @@ __all__ = ["DriftTest", "MonitoringReport", "profile_drift_test", "rate_drift_te
 
 
 def _chi2_survival(statistic: float, dof: int) -> float:
-    """P(Chi2_dof >= statistic); Wilson-Hilferty approximation without scipy."""
+    """P(Chi2_dof >= statistic); exact for integer dof, scipy or not.
+
+    Delegates to scipy when available; otherwise evaluates the closed
+    form for integer degrees of freedom:
+
+        Q(x; 2)   = exp(-x/2)
+        Q(x; 1)   = erfc(sqrt(x/2))
+        Q(x; k+2) = Q(x; k) + (x/2)^(k/2) * exp(-x/2) / Gamma(k/2 + 1)
+
+    so even dof reduce to a Poisson tail and odd dof to erfc plus a
+    half-integer series.  This replaced a Wilson-Hilferty normal
+    approximation whose relative error in the far tail (small p-values,
+    exactly where monitors alarm) reached tens of percent; the series
+    matches scipy to ~1e-12 relative (see
+    ``tests/analysis/test_monitoring.py::TestChi2SurvivalFallback``).
+    """
+    if dof < 1:
+        raise EstimationError(f"chi-square dof must be >= 1, got {dof!r}")
     if statistic <= 0.0:
         return 1.0
     if _scipy_chi2 is not None:
         return float(_scipy_chi2.sf(statistic, dof))
-    # Wilson-Hilferty: (X/k)^(1/3) ~ Normal(1 - 2/(9k), 2/(9k)).
-    k = float(dof)
-    z = ((statistic / k) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / math.sqrt(
-        2.0 / (9.0 * k)
-    )
-    return _normal_survival(z)
+    half = 0.5 * statistic
+    if dof % 2 == 0:
+        # Q(x; 2m) = e^{-x/2} * sum_{j=0}^{m-1} (x/2)^j / j!
+        total = term = math.exp(-half)
+        for j in range(1, dof // 2):
+            term *= half / j
+            total += term
+    else:
+        # Q(x; 2m+1) = erfc(sqrt(x/2))
+        #              + e^{-x/2} * sum_{j=1}^{m} (x/2)^{j-1/2} / Gamma(j+1/2)
+        total = math.erfc(math.sqrt(half))
+        term = math.sqrt(half) * math.exp(-half) / math.gamma(1.5)
+        for j in range(1, (dof - 1) // 2 + 1):
+            if j > 1:
+                term *= half / (j - 0.5)
+            total += term
+    return min(1.0, total)
 
 
 def _normal_survival(z: float) -> float:
@@ -205,56 +233,23 @@ def monitor_records(
     the reference parameters, using only aided cancer records (the
     false-negative model's demand space).
 
+    Since the streaming refactor this is literally "feed every record
+    into a :class:`~repro.analysis.streaming.StreamingEstimator`, read
+    the report once": the estimator keeps the same integer counts the
+    old batch scan produced and rebuilds the same tests in the same
+    order, so the move to streaming is value-identical (pinned by
+    ``tests/analysis/test_streaming.py``).
+
     Args:
         records: Field reading records (filtered internally).
         reference_parameters: The parameter table predictions assume.
         reference_profile: The demand profile predictions assume.
         alpha: Family-wise false-alarm rate.
     """
+    from .streaming import StreamingEstimator  # deferred: streaming imports us
+
     if not 0.0 < alpha < 1.0:
         raise EstimationError(f"alpha must be in (0, 1), got {alpha!r}")
-    cancers = records.aided().cancers()
-    if len(cancers) == 0:
-        raise EstimationError("no aided cancer records to monitor")
-
-    tests: list[DriftTest] = [
-        profile_drift_test(cancers.class_counts(), reference_profile)
-    ]
-    for case_class in cancers.case_classes:
-        if case_class not in reference_parameters:
-            raise EstimationError(
-                f"field records contain class {case_class.name!r} absent from "
-                f"the reference parameters"
-            )
-        reference = reference_parameters[case_class]
-        class_records = cancers.for_class(case_class)
-        machine_failures = class_records.count(lambda r: r.machine_failed)
-        tests.append(
-            rate_drift_test(
-                f"{case_class.name}/PMf",
-                machine_failures,
-                len(class_records),
-                reference.p_machine_failure,
-            )
-        )
-        given_mf = class_records.filter(lambda r: r.machine_failed)
-        if len(given_mf) > 0:
-            tests.append(
-                rate_drift_test(
-                    f"{case_class.name}/PHf|Mf",
-                    given_mf.count(lambda r: r.system_failed),
-                    len(given_mf),
-                    reference.p_human_failure_given_machine_failure,
-                )
-            )
-        given_ms = class_records.filter(lambda r: not r.machine_failed)
-        if len(given_ms) > 0:
-            tests.append(
-                rate_drift_test(
-                    f"{case_class.name}/PHf|Ms",
-                    given_ms.count(lambda r: r.system_failed),
-                    len(given_ms),
-                    reference.p_human_failure_given_machine_success,
-                )
-            )
-    return MonitoringReport(tests=tuple(tests), alpha=alpha)
+    stream = StreamingEstimator()
+    stream.ingest_many(records)
+    return stream.report(reference_parameters, reference_profile, alpha=alpha)

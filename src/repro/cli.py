@@ -21,6 +21,11 @@ Commands:
 * ``sweep``     — compile a scenario-grid JSON file into fused engine
   dispatches and execute it, with journalled checkpoints (``--journal``)
   and exact resume (``--resume``).
+* ``monitor``   — drift monitoring of field records against a reference
+  model: batch over a CSV by default, ``--follow`` to tail the file
+  live through the streaming monitor (sequential CUSUM/SPRT alarms),
+  ``--from-journal`` to read a JSONL record journal instead of a CSV
+  (see ``docs/monitoring.md``).
 * ``serve``     — run the always-on HTTP evaluation service: one
   persistent engine runtime behind a request-coalescing micro-batcher
   (see ``docs/service.md``).
@@ -306,6 +311,39 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--alpha", type=float, default=0.01, help="family-wise false-alarm rate"
     )
+    monitor.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream RECORDS as it grows: feed appended rows through the "
+        "sequential monitor and print checkpoint/alarm updates",
+    )
+    monitor.add_argument(
+        "--from-journal",
+        dest="from_journal",
+        action="store_true",
+        help="RECORDS is a JSONL record journal (one record entry per "
+        "line, see record_to_entry) instead of a CSV",
+    )
+    monitor.add_argument(
+        "--check-every",
+        type=int,
+        default=256,
+        help="drift-checkpoint cadence (records) of the streaming monitor",
+    )
+    monitor.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between --follow polls that found no new rows",
+    )
+    monitor.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="stop --follow after this many consecutive empty polls "
+        "(default: follow until interrupted)",
+    )
+    _add_observability_arguments(monitor, short_flag=False)
 
     serve = subparsers.add_parser(
         "serve",
@@ -785,20 +823,86 @@ def _command_sweep(args: argparse.Namespace) -> None:
                   f"--journal {args.journal} --resume")
 
 
-def _command_monitor(args: argparse.Namespace) -> None:
-    from .analysis import monitor_records, render_monitoring
-    from .trial import load_records_csv
+def _print_monitoring_report(report) -> None:
+    from .analysis import render_monitoring
 
-    parameters, profiles = load_model(args.model)
-    profile = _profiles_or_default(profiles, args.profile)
-    records = load_records_csv(args.records)
-    report = monitor_records(records, parameters, profile, alpha=args.alpha)
     print(render_monitoring(report))
     if report.any_drift:
         fired = ", ".join(t.name for t in report.drifted_tests)
         print(f"DRIFT DETECTED: {fired}")
     else:
         print("no drift detected")
+
+
+def _monitor_follow(args: argparse.Namespace, parameters, profile) -> None:
+    """The ``monitor --follow`` loop: tail the records, stream, alarm."""
+    from .analysis.streaming import StreamMonitor
+    from .exceptions import EstimationError
+    from .obs import get_instrumentation
+    from .trial import follow_journal_records, follow_records_csv
+
+    monitor = StreamMonitor(
+        parameters,
+        profile,
+        alpha=args.alpha,
+        check_every=args.check_every,
+        obs=get_instrumentation(),
+    )
+    follower = follow_journal_records if args.from_journal else follow_records_csv
+    batches = follower(
+        args.records,
+        poll_interval=args.poll_interval,
+        max_idle_polls=args.max_polls,
+    )
+    source = "journal" if args.from_journal else "csv"
+    print(
+        f"following {args.records} ({source}); checkpoint every "
+        f"{args.check_every} records, alpha={args.alpha:g}"
+    )
+    try:
+        for batch in batches:
+            monitor.ingest(batch)
+            snapshot = monitor.snapshot()
+            print(
+                f"+{len(batch)} records: {snapshot['records']['used']} used "
+                f"of {snapshot['records']['seen']} seen, "
+                f"{monitor.checkpoints} checkpoints, "
+                f"{monitor.tripped_alarms} alarms tripped "
+                f"({monitor.fired_alarms} fired)"
+            )
+    except KeyboardInterrupt:
+        print("interrupted; closing the stream")
+    print()
+    try:
+        _print_monitoring_report(monitor.report())
+    except EstimationError as exc:
+        print(f"no batch report: {exc}")
+    if monitor.tripped_alarms:
+        print(f"sequential alarms still tripped: {monitor.tripped_alarms}")
+
+
+def _command_monitor(args: argparse.Namespace) -> None:
+    from .analysis import monitor_records
+    from .trial import TrialRecords, load_journal_entries, load_records_csv
+    from .trial import record_from_entry
+
+    parameters, profiles = load_model(args.model)
+    profile = _profiles_or_default(profiles, args.profile)
+    with _observability(args, "monitor"):
+        if args.follow:
+            _monitor_follow(args, parameters, profile)
+            return
+        if args.from_journal:
+            entries = load_journal_entries(args.records)
+            if not entries:
+                raise ReproError(f"no record entries in journal {args.records}")
+            records = TrialRecords(
+                record_from_entry(entry) for entry in entries
+            )
+        else:
+            records = load_records_csv(args.records)
+        report = monitor_records(records, parameters, profile, alpha=args.alpha)
+        _print_monitoring_report(report)
 
 
 def _command_serve(args: argparse.Namespace) -> None:

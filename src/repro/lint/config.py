@@ -58,8 +58,12 @@ class LintConfig:
             derive from.
         observability_packages: Packages that implement instrumentation
             (metrics, spans, run reports) and therefore must never touch
-            RNG state (REP006).  Outside these packages the same rule
-            forbids handing generator objects to instrumentation calls.
+            RNG state (REP006).  The streaming monitoring plane
+            (``repro.analysis.streaming``) is held to the same bar: its
+            estimators and alarms publish through ``repro.obs`` and must
+            stay pure observers of the record stream.  Outside these
+            packages the same rule forbids handing generator objects to
+            instrumentation calls.
         validator_names: Call names that count as boundary validation
             for REP003.
         probability_name_regex: What parameter/variable names denote
@@ -88,7 +92,10 @@ class LintConfig:
         "repro.service",
     )
     orchestration_packages: tuple[str, ...] = ("repro.sweep",)
-    observability_packages: tuple[str, ...] = ("repro.obs",)
+    observability_packages: tuple[str, ...] = (
+        "repro.obs",
+        "repro.analysis.streaming",
+    )
     validator_names: tuple[str, ...] = VALIDATOR_NAMES
     probability_name_regex: str = (
         r"^(p_.+|.+_prob|.+_probability|prevalence|sensitivity|specificity)$"

@@ -9,10 +9,13 @@ silently ignores its generator (or never takes one) forces callers back
 onto private component RNGs, where CRN coupling is impossible.
 
 In orchestration packages (``config.orchestration_packages`` — the
-sweep engine), public ``run*``/``resume*`` launchers count as entry
-points too: they own the master seed every per-cell seed derives from,
-so a launcher without a threaded seed breaks the whole reproduction
-chain, not just one decision.
+sweep engine), public ``run*``/``resume*``/``follow*`` launchers count
+as entry points too: they own the master seed every per-cell seed
+derives from, so a launcher without a threaded seed breaks the whole
+reproduction chain, not just one decision.  ``follow*`` covers
+streaming launchers that replay or tail record sources into the
+simulation — a follower that derives randomness must thread it exactly
+like a batch launcher would.
 
 Protocol stubs and abstract methods (bodies that are just ``...`` or a
 docstring) are checked for the parameter only; concrete bodies must also
@@ -30,7 +33,7 @@ from ..findings import Finding
 from ..registry import iter_function_defs, register
 
 _ENTRY_PREFIXES = ("evaluate", "compare")
-_ORCHESTRATION_PREFIXES = ("run", "resume")
+_ORCHESTRATION_PREFIXES = ("run", "resume", "follow")
 _ENTRY_NAMES = ("decide", "decide_batch")
 _THREAD_PARAMS = {"seed", "rng"}
 _EXEMPT_DECORATORS = {"property", "cached_property", "staticmethod", "abstractmethod"}

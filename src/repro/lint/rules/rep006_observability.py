@@ -57,7 +57,16 @@ _SAMPLING_ATTRS = frozenset(
 
 #: Methods on an instrumentation object that accept run data.
 _INSTRUMENTATION_METHODS = frozenset(
-    {"span", "count", "gauge", "observe", "ingest_spans", "increment", "set_gauge"}
+    {
+        "span",
+        "count",
+        "gauge",
+        "mark",
+        "observe",
+        "ingest_spans",
+        "increment",
+        "set_gauge",
+    }
 )
 
 #: Receiver names that conventionally hold an instrumentation object.

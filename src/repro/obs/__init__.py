@@ -26,6 +26,7 @@ from .instrumentation import (
     use_instrumentation,
 )
 from .metrics import (
+    METRICS_SCHEMA_VERSION,
     NULL_REGISTRY,
     Counter,
     Gauge,
@@ -33,7 +34,14 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from .prometheus import prometheus_text
 from .report import REPORT_SCHEMA_VERSION, RunReport, SpanSummary, build_run_report
+from .timeline import (
+    NULL_TIMELINE,
+    MetricsTimeline,
+    NullMetricsTimeline,
+    TimelineEvent,
+)
 from .spans import (
     NULL_SPAN_COLLECTOR,
     NullSpanCollector,
@@ -49,6 +57,12 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsTimeline",
+    "NullMetricsTimeline",
+    "NULL_TIMELINE",
+    "TimelineEvent",
+    "prometheus_text",
     "SpanRecord",
     "SpanCollector",
     "NullSpanCollector",

@@ -82,6 +82,10 @@ class Instrumentation:
         """Record one observation into the histogram ``name``."""
         self.metrics.observe(name, value)
 
+    def mark(self, name: str, value: float = 1.0) -> None:
+        """Stamp an event onto the registry's ring-buffered timeline."""
+        self.metrics.mark(name, value)
+
     def ingest_spans(self, payload: Mapping | list[SpanPayload]) -> None:
         """Merge worker-process span payloads back into the collector."""
         if payload:
@@ -116,6 +120,9 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def mark(self, name: str, value: float = 1.0) -> None:
         pass
 
     def ingest_spans(self, payload: Mapping | list[SpanPayload]) -> None:

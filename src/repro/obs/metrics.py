@@ -20,6 +20,8 @@ import math
 import threading
 from typing import Mapping
 
+from .timeline import NULL_TIMELINE, MetricsTimeline, TimelineEvent
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -27,7 +29,14 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
+    "METRICS_SCHEMA_VERSION",
 ]
+
+#: Version stamped into :meth:`MetricsRegistry.snapshot` payloads.
+#: Version 1 was the unversioned ``{counters, gauges, histograms}``
+#: shape; version 2 added the ``schema`` field itself and the
+#: ring-buffered ``timeline`` section.
+METRICS_SCHEMA_VERSION = 2
 
 
 class Counter:
@@ -198,6 +207,12 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._timeline = MetricsTimeline()
+
+    @property
+    def timeline(self) -> MetricsTimeline:
+        """The ring-buffered event timeline (see :meth:`mark`)."""
+        return self._timeline
 
     def counter(self, name: str) -> Counter:
         """The counter registered under ``name`` (created on demand)."""
@@ -242,15 +257,31 @@ class MetricsRegistry:
         for name, amount in counts.items():
             self.counter(name).increment(amount)
 
-    def snapshot(self) -> dict[str, dict[str, object]]:
-        """A JSON-ready copy of every instrument's current state."""
+    def mark(self, name: str, value: float = 1.0) -> TimelineEvent:
+        """Stamp a timeline event (``what changed and when`` forensics)."""
+        return self._timeline.mark(name, value)
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-ready copy of every instrument's current state.
+
+        The payload is versioned by its ``schema`` field
+        (:data:`METRICS_SCHEMA_VERSION`); consumers treating it as a
+        plain mapping of the original three sections keep working, since
+        versions only add keys.
+        """
         with self._lock:
             counters = {name: c.value for name, c in sorted(self._counters.items())}
             gauges = {name: g.value for name, g in sorted(self._gauges.items())}
             histograms = {
                 name: h.summary() for name, h in sorted(self._histograms.items())
             }
-        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "timeline": self._timeline.snapshot(),
+        }
 
 
 class _NullCounter(Counter):
@@ -296,6 +327,10 @@ class NullMetricsRegistry(MetricsRegistry):
     def __init__(self) -> None:  # no dicts, no lock
         pass
 
+    @property
+    def timeline(self) -> MetricsTimeline:
+        return NULL_TIMELINE
+
     def counter(self, name: str) -> Counter:
         return _NULL_COUNTER
 
@@ -317,8 +352,17 @@ class NullMetricsRegistry(MetricsRegistry):
     def merge_counters(self, counts: Mapping[str, float]) -> None:
         pass
 
-    def snapshot(self) -> dict[str, dict[str, object]]:
-        return {"counters": {}, "gauges": {}, "histograms": {}}
+    def mark(self, name: str, value: float = 1.0) -> TimelineEvent:
+        return NULL_TIMELINE.mark(name, value)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timeline": [],
+        }
 
 
 #: The shared disabled registry.

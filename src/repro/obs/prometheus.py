@@ -1,0 +1,89 @@
+"""Prometheus text exposition of a metrics snapshot.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` payload in
+the Prometheus `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ version
+0.0.4, so ``GET /v1/metrics?format=prometheus`` can be scraped directly.
+Zero dependencies, matching the rest of :mod:`repro.obs`:
+
+- counters become ``counter`` samples;
+- gauges become ``gauge`` samples;
+- histograms become ``summary`` families — ``_count``/``_sum`` plus the
+  p50/p90/p99 ``quantile`` labels the sparse log-bucket histograms
+  already estimate;
+- the timeline is omitted (event logs are not scrapeable metrics; read
+  them from the JSON snapshot).
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): every other character — the dots in
+``service.latency_s``, the ``|`` and ``/`` in monitor names — maps to
+``_``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+__all__ = ["prometheus_text"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram quantiles exposed as summary samples.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _NAME_OK.sub("_", str(name))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(snapshot: Mapping[str, object], prefix: str = "") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Args:
+        snapshot: A ``MetricsRegistry.snapshot()`` payload (any schema:
+            only the ``counters``/``gauges``/``histograms`` sections are
+            read, all optional).
+        prefix: Optional string prepended to every metric name (after
+            sanitisation it must itself be a valid name fragment, e.g.
+            ``"repro_"``).
+    """
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if isinstance(counters, Mapping):
+        for name, value in sorted(counters.items()):
+            metric = _sanitize(prefix + str(name))
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(value)}")
+    gauges = snapshot.get("gauges", {})
+    if isinstance(gauges, Mapping):
+        for name, value in sorted(gauges.items()):
+            metric = _sanitize(prefix + str(name))
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(value)}")
+    histograms = snapshot.get("histograms", {})
+    if isinstance(histograms, Mapping):
+        for name, summary in sorted(histograms.items()):
+            if not isinstance(summary, Mapping):
+                continue
+            metric = _sanitize(prefix + str(name))
+            lines.append(f"# TYPE {metric} summary")
+            for quantile, key in _QUANTILES:
+                if key in summary:
+                    lines.append(
+                        f'{metric}{{quantile="{quantile}"}} '
+                        f"{_format_value(summary[key])}"
+                    )
+            lines.append(f"{metric}_sum {_format_value(summary.get('total', 0.0))}")
+            lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,142 @@
+"""A ring-buffered timeline of marked events: "what changed and when".
+
+Counters and gauges answer "how many" and "how much right now"; the
+timeline answers *when*.  :meth:`MetricsTimeline.mark` appends a
+``(seq, time, name, value)`` event to a bounded ring buffer, so a
+monitoring plane can stamp state transitions — an alarm firing, a
+checkpoint passing, a shard completing — and a forensic reader can
+replay the recent history in order without the registry ever growing
+unboundedly.
+
+Events carry a monotonically increasing sequence number so readers can
+poll incrementally (``events(since_seq=...)``) even after the ring has
+evicted older entries, and a wall-clock timestamp because the consumer
+is a human correlating the timeline with the outside world, not a
+profiler.
+
+As everywhere in :mod:`repro.obs`, there is a null twin
+(:data:`NULL_TIMELINE`) that ignores every call, keeping disabled-path
+instrumentation free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_TIMELINE_CAPACITY",
+    "MetricsTimeline",
+    "NullMetricsTimeline",
+    "NULL_TIMELINE",
+    "TimelineEvent",
+]
+
+#: Ring-buffer size unless the registry asks for another.
+DEFAULT_TIMELINE_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One marked event.
+
+    Attributes:
+        seq: Monotonic sequence number (1-based, never reused).
+        time_s: Wall-clock epoch seconds when the mark happened.
+        name: Dotted event name (``"monitor.alarm.easy/PMf"``).
+        value: A number the event carries (alarm fire count, records
+            ingested, ...); 1.0 when the mark is a bare occurrence.
+    """
+
+    seq: int
+    time_s: float
+    name: str
+    value: float
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON-ready mapping."""
+        return {
+            "seq": self.seq,
+            "time_s": self.time_s,
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class MetricsTimeline:
+    """A thread-safe, bounded ring buffer of :class:`TimelineEvent`.
+
+    Args:
+        capacity: Events retained; older ones are evicted FIFO.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TIMELINE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"timeline capacity must be >= 1, got {capacity!r}")
+        self._capacity = capacity
+        self._events: deque[TimelineEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum events retained."""
+        return self._capacity
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent mark (0 when empty)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def mark(self, name: str, value: float = 1.0) -> TimelineEvent:
+        """Append one event; returns it (with its sequence number)."""
+        with self._lock:
+            self._seq += 1
+            event = TimelineEvent(
+                seq=self._seq,
+                time_s=time.time(),
+                name=str(name),
+                value=float(value),
+            )
+            self._events.append(event)
+            return event
+
+    def events(self, since_seq: int = 0) -> tuple[TimelineEvent, ...]:
+        """Retained events with ``seq > since_seq``, oldest first."""
+        with self._lock:
+            return tuple(e for e in self._events if e.seq > since_seq)
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """The JSON-ready list of retained events, oldest first."""
+        return [event.as_dict() for event in self.events()]
+
+
+class NullMetricsTimeline(MetricsTimeline):
+    """The disabled timeline: marks vanish, snapshots are empty."""
+
+    def __init__(self) -> None:  # no deque, no lock
+        self._capacity = 0
+        self._seq = 0
+
+    def mark(self, name: str, value: float = 1.0) -> TimelineEvent:
+        return _NULL_EVENT
+
+    def events(self, since_seq: int = 0) -> tuple[TimelineEvent, ...]:
+        return ()
+
+    def snapshot(self) -> list[dict[str, object]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NULL_EVENT = TimelineEvent(seq=0, time_s=0.0, name="null", value=0.0)
+
+#: The shared disabled timeline.
+NULL_TIMELINE = NullMetricsTimeline()

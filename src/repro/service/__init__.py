@@ -5,8 +5,12 @@ long-lived ``asyncio`` service.  Concurrent ``evaluate``/``compare``
 requests sharing a workload fingerprint coalesce into single fused
 engine dispatches (:mod:`repro.service.batcher` →
 :mod:`repro.engine.fused`), bit-identical per request to standalone
-execution.  See ``docs/service.md`` for endpoints, the determinism
-contract under coalescing, and quota/backpressure behaviour.
+execution.  A live monitoring plane (``/v1/ingest`` → ``/v1/monitor``)
+streams field records into :class:`~repro.analysis.streaming.StreamMonitor`
+for incremental estimates and sequential drift alarms.  See
+``docs/service.md`` for endpoints, the determinism contract under
+coalescing, and quota/backpressure behaviour, and ``docs/monitoring.md``
+for the monitoring plane.
 """
 
 from .app import (
@@ -22,12 +26,16 @@ from .cache import CachedWorkload, WorkloadCache
 from .protocol import (
     CompareRequest,
     EvaluateRequest,
+    IngestRequest,
     ProtocolError,
     UncertaintyRequest,
+    drift_test_payload,
     evaluation_payload,
     interval_payload,
+    monitoring_report_payload,
     parse_compare_request,
     parse_evaluate_request,
+    parse_ingest_request,
     parse_uncertainty_request,
 )
 from .quotas import QuotaManager, TokenBucket
@@ -48,9 +56,13 @@ __all__ = [
     "EvaluateRequest",
     "CompareRequest",
     "UncertaintyRequest",
+    "IngestRequest",
     "parse_evaluate_request",
     "parse_compare_request",
     "parse_uncertainty_request",
+    "parse_ingest_request",
     "evaluation_payload",
     "interval_payload",
+    "drift_test_payload",
+    "monitoring_report_payload",
 ]

@@ -27,6 +27,15 @@ Admission control is layered in front: per-tenant token buckets
 queue-depth bound (HTTP 503), both with ``Retry-After`` hints, plus a
 draining state that rejects new work while letting in-flight batches
 finish.
+
+A live monitoring plane rides alongside the evaluation path: field
+records stream in through ``POST /v1/ingest`` and feed a
+:class:`~repro.analysis.streaming.StreamMonitor` (incremental estimates
+of the paper's per-class rates, sequential CUSUM/SPRT drift alarms);
+``GET /v1/monitor`` returns the live snapshot plus the batch-identical
+drift report, ``GET /healthz`` carries the tripped-alarm count, and
+``GET /v1/metrics?format=prometheus`` renders the metrics registry in
+Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -37,7 +46,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
+from urllib.parse import parse_qs
 
+from ..analysis.streaming import StreamMonitor
 from ..core import (
     PAPER_FIELD_PROFILE,
     PAPER_TRIAL_PROFILE,
@@ -50,23 +61,27 @@ from ..core import (
 from ..engine.executor import DEFAULT_CHUNK_SIZE
 from ..engine.fused import FusedCounts, build_fused_item, run_fused_batch
 from ..engine.runtime import EngineRuntime
-from ..exceptions import SimulationError
+from ..exceptions import EstimationError, SimulationError
 from ..obs import (
     NULL_INSTRUMENTATION,
     Instrumentation,
     build_run_report,
+    prometheus_text,
 )
 from ..screening.classifier import CaseClassifier
 from ..sweep.grid import SystemSpec, WorkloadSpec
 from ..system.simulate import SystemEvaluation
+from ..trial.records import TrialRecords
 from .batcher import MicroBatcher
 from .cache import WorkloadCache
 from .protocol import (
     ProtocolError,
     evaluation_payload,
     interval_payload,
+    monitoring_report_payload,
     parse_compare_request,
     parse_evaluate_request,
+    parse_ingest_request,
     parse_uncertainty_request,
 )
 from .quotas import QuotaManager
@@ -129,6 +144,11 @@ class ServiceConfig:
         quota_burst: Per-tenant burst allowance.
         max_queue_depth: Bound on requests queued or lingering; beyond
             it new requests get 503.
+        monitor_alpha: Family-wise false-alarm rate of the monitoring
+            plane's batch drift report.
+        monitor_check_every: Used records between monitoring checkpoints
+            (each checkpoint feeds one disjoint window to the sequential
+            alarms).
     """
 
     workers: int = 2
@@ -140,6 +160,8 @@ class ServiceConfig:
     quota_rps: float | None = None
     quota_burst: float = 10.0
     max_queue_depth: int = 256
+    monitor_alpha: float = 0.01
+    monitor_check_every: int = 256
 
     def __post_init__(self) -> None:
         if self.linger_ms < 0:
@@ -149,6 +171,14 @@ class ServiceConfig:
         if self.max_queue_depth < 1:
             raise SimulationError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth!r}"
+            )
+        if not 0.0 < self.monitor_alpha < 1.0:
+            raise SimulationError(
+                f"monitor_alpha must be in (0, 1), got {self.monitor_alpha!r}"
+            )
+        if self.monitor_check_every < 1:
+            raise SimulationError(
+                f"monitor_check_every must be >= 1, got {self.monitor_check_every!r}"
             )
 
 
@@ -187,6 +217,16 @@ class ScreeningService:
         self._quotas = QuotaManager(
             self._config.quota_rps, self._config.quota_burst
         )
+        # The live monitoring plane: field records stream in through
+        # /v1/ingest and are judged against the paper's model under the
+        # field demand profile.
+        self._monitor = StreamMonitor(
+            paper_example_parameters(),
+            PAPER_FIELD_PROFILE,
+            alpha=self._config.monitor_alpha,
+            check_every=self._config.monitor_check_every,
+            obs=self._obs,
+        )
         self._batcher = MicroBatcher(
             self._dispatch_batch,
             linger_s=self._config.linger_ms / 1000.0,
@@ -210,6 +250,11 @@ class ScreeningService:
     def draining(self) -> bool:
         """True once shutdown has begun; new requests are rejected."""
         return self._draining
+
+    @property
+    def monitor(self) -> StreamMonitor:
+        """The live monitoring plane fed by :meth:`ingest`."""
+        return self._monitor
 
     async def __aenter__(self) -> "ScreeningService":
         return self
@@ -359,6 +404,41 @@ class ScreeningService:
         self._observe_request(1, elapsed, request_obs)
         return interval
 
+    async def ingest(
+        self,
+        records: TrialRecords,
+        *,
+        tenant: str = "default",
+    ) -> int:
+        """Feed field records into the monitoring plane; returns records used.
+
+        Counts flow into the streaming estimator (aided cancer records),
+        checkpoints fire the sequential alarms, and alarm state lands in
+        this service's metrics registry — all constant-memory, so the
+        endpoint stays cheap no matter how long the stream runs.
+        """
+        self._admit(tenant)
+        self._obs.count("service.requests")
+        self._obs.count("service.ingested", len(records))
+        return self._monitor.ingest(records)
+
+    def monitor_payload(self) -> dict[str, Any]:
+        """The monitoring plane as a JSON-ready response body.
+
+        The snapshot (estimates, covariance decomposition, alarm charts)
+        is always present; the batch drift report is computed lazily and
+        is ``None`` until the stream can support one (no usable records
+        yet, or a class the reference model cannot explain).
+        """
+        payload: dict[str, Any] = {"monitor": self._monitor.snapshot()}
+        try:
+            report = self._monitor.report()
+        except EstimationError:
+            payload["report"] = None
+        else:
+            payload["report"] = monitoring_report_payload(report)
+        return payload
+
     # -- engine-thread internals ---------------------------------------
 
     def _observe_request(
@@ -469,26 +549,27 @@ _MAX_BODY_BYTES = 1 << 20
 _MAX_HEADER_LINES = 100
 
 
-def _json_response(
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(
     status: int,
-    payload: dict[str, Any],
-    *,
+    body: bytes,
+    content_type: str,
     extra_headers: Sequence[tuple[str, str]] = (),
 ) -> bytes:
-    reasons = {
-        200: "OK",
-        400: "Bad Request",
-        404: "Not Found",
-        405: "Method Not Allowed",
-        413: "Payload Too Large",
-        429: "Too Many Requests",
-        500: "Internal Server Error",
-        503: "Service Unavailable",
-    }
-    body = json.dumps(payload).encode()
     lines = [
-        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
     ]
     for name, value in extra_headers:
@@ -496,6 +577,21 @@ def _json_response(
     lines.append("")
     lines.append("")
     return "\r\n".join(lines).encode() + body
+
+
+def _json_response(
+    status: int,
+    payload: dict[str, Any],
+    *,
+    extra_headers: Sequence[tuple[str, str]] = (),
+) -> bytes:
+    return _response(
+        status, json.dumps(payload).encode(), "application/json", extra_headers
+    )
+
+
+def _text_response(status: int, text: str) -> bytes:
+    return _response(status, text.encode(), "text/plain; charset=utf-8")
 
 
 async def _read_request(
@@ -536,12 +632,31 @@ async def _handle_request(
     service: ScreeningService, method: str, path: str, headers: dict[str, str], body: bytes
 ) -> bytes:
     tenant = headers.get("x-tenant", "default")
+    path, _, query = path.partition("?")
     if method == "GET" and path == "/healthz":
         status = "draining" if service.draining else "ok"
-        return _json_response(200, {"status": status})
+        return _json_response(
+            200,
+            {
+                "status": status,
+                "draining": service.draining,
+                "alarms": service.monitor.tripped_alarms,
+            },
+        )
     if method == "GET" and path == "/v1/metrics":
+        exposition = parse_qs(query).get("format", ["json"])[-1]
+        if exposition == "prometheus":
+            return _text_response(200, prometheus_text(service.metrics_snapshot()))
+        if exposition != "json":
+            return _json_response(
+                400,
+                {"error": f"unknown metrics format {exposition!r}; "
+                          "expected 'json' or 'prometheus'"},
+            )
         return _json_response(200, service.metrics_snapshot())
-    if path not in ("/v1/evaluate", "/v1/compare", "/v1/uncertainty"):
+    if method == "GET" and path == "/v1/monitor":
+        return _json_response(200, service.monitor_payload())
+    if path not in ("/v1/evaluate", "/v1/compare", "/v1/uncertainty", "/v1/ingest"):
         return _json_response(404, {"error": f"unknown path {path!r}"})
     if method != "POST":
         return _json_response(405, {"error": f"{path} requires POST"})
@@ -550,6 +665,22 @@ async def _handle_request(
     except (UnicodeDecodeError, ValueError) as exc:
         return _json_response(400, {"error": f"invalid JSON body: {exc}"})
     try:
+        if path == "/v1/ingest":
+            ingest = parse_ingest_request(payload)
+            used = await service.ingest(ingest.records, tenant=tenant)
+            monitor = service.monitor
+            return _json_response(
+                200,
+                {
+                    "received": len(ingest.records),
+                    "used": used,
+                    "checkpoints": monitor.checkpoints,
+                    "alarms": {
+                        "tripped": monitor.tripped_alarms,
+                        "fired": monitor.fired_alarms,
+                    },
+                },
+            )
         if path == "/v1/evaluate":
             request = parse_evaluate_request(payload)
             obs = Instrumentation("service.evaluate") if request.report else None

@@ -18,20 +18,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from ..exceptions import SimulationError
+from ..analysis.monitoring import DriftTest, MonitoringReport
+from ..exceptions import EstimationError, SimulationError
 from ..sweep.grid import PROFILES, SystemSpec, WorkloadSpec
 from ..system.simulate import RateEstimate, SystemEvaluation
+from ..trial.records import TrialRecords
+from ..trial.storage import record_from_entry
 
 __all__ = [
     "ProtocolError",
     "EvaluateRequest",
     "CompareRequest",
     "UncertaintyRequest",
+    "IngestRequest",
     "parse_evaluate_request",
     "parse_compare_request",
     "parse_uncertainty_request",
+    "parse_ingest_request",
     "evaluation_payload",
     "interval_payload",
+    "drift_test_payload",
+    "monitoring_report_payload",
 ]
 
 
@@ -59,6 +66,13 @@ class CompareRequest:
     seed: int
     level: float = 0.95
     report: bool = False
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """A batch of field case records for the monitoring plane."""
+
+    records: TrialRecords
 
 
 @dataclass(frozen=True)
@@ -216,6 +230,28 @@ def parse_uncertainty_request(payload: Any) -> UncertaintyRequest:
     )
 
 
+def parse_ingest_request(payload: Any) -> IngestRequest:
+    """Parse a ``/v1/ingest`` body: a non-empty list of record objects.
+
+    Each record uses the JSON codec of
+    :func:`repro.trial.storage.record_to_entry`; a single malformed
+    record rejects the whole batch (partial ingestion would leave the
+    monitoring counts in a state no client sent).
+    """
+    body = _require_mapping(payload, "ingest request")
+    _reject_unknown(body, {"records"}, "ingest request")
+    entries = body.get("records")
+    if not isinstance(entries, (list, tuple)) or not entries:
+        raise ProtocolError("ingest request must list at least one record")
+    records = TrialRecords()
+    for index, entry in enumerate(entries):
+        try:
+            records.append(record_from_entry(entry))
+        except EstimationError as exc:
+            raise ProtocolError(f"records[{index}]: {exc}") from exc
+    return IngestRequest(records=records)
+
+
 def _rate_payload(rate: RateEstimate | None) -> dict[str, Any] | None:
     if rate is None:
         return None
@@ -242,6 +278,31 @@ def evaluation_payload(evaluation: SystemEvaluation) -> dict[str, Any]:
                 key=lambda pair: pair[0].name,
             )
         },
+    }
+
+
+def drift_test_payload(test: DriftTest, per_test_alpha: float) -> dict[str, Any]:
+    """One :class:`DriftTest` as a JSON-ready response fragment."""
+    return {
+        "name": test.name,
+        "statistic": test.statistic,
+        "p_value": test.p_value,
+        "observed": test.observed,
+        "reference": test.reference,
+        "sample_size": test.sample_size,
+        "drifted": test.drifted(per_test_alpha),
+    }
+
+
+def monitoring_report_payload(report: MonitoringReport) -> dict[str, Any]:
+    """A :class:`MonitoringReport` as a JSON-ready response body."""
+    per_test_alpha = report.per_test_alpha
+    return {
+        "alpha": report.alpha,
+        "per_test_alpha": per_test_alpha,
+        "any_drift": report.any_drift,
+        "drifted": [test.name for test in report.drifted_tests],
+        "tests": [drift_test_payload(test, per_test_alpha) for test in report.tests],
     }
 
 

@@ -38,7 +38,9 @@ from .plan import (
 )
 from .runner import (
     JOURNAL_SCHEMA_VERSION,
+    SHARD_STATE_SCHEMA,
     CellResult,
+    ShardStreamState,
     SweepResult,
     reproduce_cell,
     resume_sweep,
@@ -65,6 +67,8 @@ __all__ = [
     "SweepPlan",
     "compile_grid",
     "CellResult",
+    "ShardStreamState",
+    "SHARD_STATE_SCHEMA",
     "SweepResult",
     "run_sweep",
     "resume_sweep",

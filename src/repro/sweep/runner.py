@@ -33,7 +33,7 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -46,9 +46,10 @@ from ..engine.fused import (
     cancer_class_codes,
     run_fused_batch,
 )
+from ..analysis.streaming import WelfordAccumulator
 from ..engine.runtime import EngineRuntime, _SegmentSpec
 from ..engine.arrays import CaseArrays
-from ..exceptions import SimulationError
+from ..exceptions import EstimationError, SimulationError
 from ..obs import Instrumentation, get_instrumentation
 from ..screening.classifier import CaseClassifier, SingleClassClassifier
 from ..screening.workload import Workload
@@ -66,7 +67,9 @@ from .plan import (
 
 __all__ = [
     "JOURNAL_SCHEMA_VERSION",
+    "SHARD_STATE_SCHEMA",
     "CellResult",
+    "ShardStreamState",
     "SweepResult",
     "run_sweep",
     "resume_sweep",
@@ -75,6 +78,9 @@ __all__ = [
 
 #: Version stamped into (and required of) sweep journal headers.
 JOURNAL_SCHEMA_VERSION = 1
+
+#: Version of the per-shard streaming-state journal entries.
+SHARD_STATE_SCHEMA = 1
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +186,151 @@ class CellResult:
             raise SimulationError(f"malformed journal cell entry: {exc}") from exc
 
 
+@dataclass
+class ShardStreamState:
+    """One shard's mergeable streaming summary of its cell results.
+
+    The exact-count fields (totals) merge by integer addition —
+    associative and commutative, so any shard partition and merge order
+    folds to the same global state (same contract as
+    :class:`~repro.analysis.streaming.StreamingEstimator`).  The per-cell
+    rate dispersion rides in :class:`WelfordAccumulator` twins whose
+    parallel merge is associative up to floating-point rounding.
+
+    Attributes:
+        shard: The shard's plan index (``-1`` for a merged global state).
+        cells: Cell results folded in.
+        fn_failures: Pooled false negatives over cancer trials.
+        fn_trials: Pooled cancer trials.
+        fp_failures: Pooled false positives over healthy trials.
+        fp_trials: Pooled healthy trials.
+        fn_rate: Streaming moments of the per-cell FN rate.
+        fp_rate: Streaming moments of the per-cell FP rate.
+    """
+
+    shard: int = -1
+    cells: int = 0
+    fn_failures: int = 0
+    fn_trials: int = 0
+    fp_failures: int = 0
+    fp_trials: int = 0
+    fn_rate: WelfordAccumulator = None  # type: ignore[assignment]
+    fp_rate: WelfordAccumulator = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fn_rate is None:
+            self.fn_rate = WelfordAccumulator()
+        if self.fp_rate is None:
+            self.fp_rate = WelfordAccumulator()
+
+    @classmethod
+    def from_results(
+        cls, shard: int, results: Sequence[CellResult]
+    ) -> "ShardStreamState":
+        """Fold one shard's cell results into a fresh state."""
+        state = cls(shard=shard)
+        for result in results:
+            state.cells += 1
+            state.fn_failures += result.cancer_failures
+            state.fn_trials += result.cancer_trials
+            state.fp_failures += result.healthy_failures
+            state.fp_trials += result.healthy_trials
+            if result.cancer_trials:
+                state.fn_rate.add(result.cancer_failures / result.cancer_trials)
+            if result.healthy_trials:
+                state.fp_rate.add(result.healthy_failures / result.healthy_trials)
+        return state
+
+    def merge(self, other: "ShardStreamState") -> "ShardStreamState":
+        """Fold another shard's state in (in place; returns self)."""
+        if not isinstance(other, ShardStreamState):
+            raise SimulationError(
+                f"cannot merge {type(other).__name__} into ShardStreamState"
+            )
+        self.cells += other.cells
+        self.fn_failures += other.fn_failures
+        self.fn_trials += other.fn_trials
+        self.fp_failures += other.fp_failures
+        self.fp_trials += other.fp_trials
+        self.fn_rate.merge(other.fn_rate)
+        self.fp_rate.merge(other.fp_rate)
+        return self
+
+    def to_entry(self) -> dict[str, Any]:
+        """The journal line for this state (exact moments included)."""
+        return {
+            "kind": "shard_state",
+            "schema": SHARD_STATE_SCHEMA,
+            "shard": self.shard,
+            "cells": self.cells,
+            "fn_failures": self.fn_failures,
+            "fn_trials": self.fn_trials,
+            "fp_failures": self.fp_failures,
+            "fp_trials": self.fp_trials,
+            "fn_rate": {
+                "count": self.fn_rate.count,
+                "mean": self.fn_rate.mean,
+                "m2": self.fn_rate.m2,
+            },
+            "fp_rate": {
+                "count": self.fp_rate.count,
+                "mean": self.fp_rate.mean,
+                "m2": self.fp_rate.m2,
+            },
+        }
+
+    @classmethod
+    def from_entry(cls, entry: Mapping[str, Any]) -> "ShardStreamState":
+        """Rebuild a state from its journal line.
+
+        Raises:
+            SimulationError: on a malformed or wrong-schema entry.
+        """
+        if entry.get("schema") != SHARD_STATE_SCHEMA:
+            raise SimulationError(
+                f"shard state entry has schema {entry.get('schema')!r}; "
+                f"this build reads schema {SHARD_STATE_SCHEMA}"
+            )
+        try:
+            fn = entry["fn_rate"]
+            fp = entry["fp_rate"]
+            return cls(
+                shard=int(entry["shard"]),
+                cells=int(entry["cells"]),
+                fn_failures=int(entry["fn_failures"]),
+                fn_trials=int(entry["fn_trials"]),
+                fp_failures=int(entry["fp_failures"]),
+                fp_trials=int(entry["fp_trials"]),
+                fn_rate=WelfordAccumulator.from_moments(
+                    int(fn["count"]), float(fn["mean"]), float(fn["m2"])
+                ),
+                fp_rate=WelfordAccumulator.from_moments(
+                    int(fp["count"]), float(fp["mean"]), float(fp["m2"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError, EstimationError) as exc:
+            raise SimulationError(f"malformed shard state entry: {exc}") from exc
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready summary (pooled rates + per-cell dispersion)."""
+        return {
+            "shard": self.shard,
+            "cells": self.cells,
+            "fn_failures": self.fn_failures,
+            "fn_trials": self.fn_trials,
+            "fp_failures": self.fp_failures,
+            "fp_trials": self.fp_trials,
+            "fn_rate": (
+                self.fn_failures / self.fn_trials if self.fn_trials else None
+            ),
+            "fp_rate": (
+                self.fp_failures / self.fp_trials if self.fp_trials else None
+            ),
+            "fn_rate_per_cell": self.fn_rate.state(),
+            "fp_rate_per_cell": self.fp_rate.state(),
+        }
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """Everything a finished (or interrupted) sweep run produced.
@@ -190,6 +341,8 @@ class SweepResult:
         executed: Cells computed by this run.
         skipped: Cells restored from the journal instead of recomputed.
         level: Confidence level used by :meth:`evaluations`.
+        shard_states: Per-shard mergeable streaming summaries, shard
+            order (restored from the journal for skipped shards).
     """
 
     plan: SweepPlan
@@ -197,6 +350,7 @@ class SweepResult:
     executed: int
     skipped: int
     level: float = 0.95
+    shard_states: tuple[ShardStreamState, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -241,6 +395,31 @@ class SweepResult:
             )
         return rows
 
+    def stream_state(self) -> ShardStreamState:
+        """All shard states folded into one global state.
+
+        The integer totals are merge-order invariant (exact sums); the
+        per-cell rate moments match any fold order to floating-point
+        rounding.
+        """
+        merged = ShardStreamState()
+        for state in self.shard_states:
+            merged.merge(state)
+        return merged
+
+    def streaming_summary(self) -> dict[str, Any]:
+        """The merged shard states as one consolidated JSON-ready row.
+
+        Complements :meth:`rows` + ``build_sweep_summary``: the same
+        pooled counts, but produced by folding the per-shard streaming
+        states instead of re-scanning cell results — the shape a live
+        progress consumer reads mid-run.
+        """
+        summary = self.stream_state().as_dict()
+        summary.pop("shard")
+        summary["shards"] = len(self.shard_states)
+        return summary
+
 
 # ---------------------------------------------------------------------------
 # per-workload context
@@ -274,8 +453,10 @@ def _journal_header(plan: SweepPlan) -> dict[str, Any]:
     }
 
 
-def _load_journal(path: str | Path, plan: SweepPlan) -> dict[str, CellResult]:
-    """Completed cells recorded in a journal, verified against the plan.
+def _load_journal(
+    path: str | Path, plan: SweepPlan
+) -> tuple[dict[str, CellResult], dict[int, ShardStreamState]]:
+    """Completed cells (and shard states) recorded in a journal.
 
     Raises:
         SimulationError: when the journal belongs to a different plan
@@ -283,7 +464,7 @@ def _load_journal(path: str | Path, plan: SweepPlan) -> dict[str, CellResult]:
     """
     entries = load_journal_entries(path)
     if not entries:
-        return {}
+        return {}, {}
     header = entries[0]
     if header.get("kind") != "header":
         raise SimulationError(
@@ -302,12 +483,17 @@ def _load_journal(path: str | Path, plan: SweepPlan) -> dict[str, CellResult]:
             "grid, seed, and chunking"
         )
     completed: dict[str, CellResult] = {}
+    states: dict[int, ShardStreamState] = {}
     for entry in entries[1:]:
+        if entry.get("kind") == "shard_state":
+            state = ShardStreamState.from_entry(entry)
+            states[state.shard] = state
+            continue
         if entry.get("kind") != "cell":
             continue
         result = CellResult.from_entry(entry)
         completed[result.cell_id] = result
-    return completed
+    return completed, states
 
 
 # ---------------------------------------------------------------------------
@@ -437,6 +623,7 @@ def _execute_plan(
     """Walk the plan's shards; the shared body of run/resume."""
     classifier = classifier if classifier is not None else SingleClassClassifier()
     completed: dict[str, CellResult] = {}
+    shard_states: dict[int, ShardStreamState] = {}
     journal_exists = False
     if journal is not None:
         journal_exists = Path(journal).exists()
@@ -446,7 +633,7 @@ def _execute_plan(
                 "continue it or choose a fresh path"
             )
         if resume and journal_exists:
-            completed = _load_journal(journal, plan)
+            completed, shard_states = _load_journal(journal, plan)
 
     contexts: dict[str, _WorkloadContext] = {}
     results: dict[int, CellResult] = {}
@@ -478,6 +665,13 @@ def _execute_plan(
                     skipped += 1
                     obs.count("sweep.cells.skipped")
             if not pending:
+                if shard.index not in shard_states:
+                    # A pre-streaming journal restored this shard's cells
+                    # without a state line: rebuild the state from them.
+                    shard_states[shard.index] = ShardStreamState.from_results(
+                        shard.index,
+                        [results[planned.index] for planned in shard.cells()],
+                    )
                 continue
             if max_shards is not None and executed_shards >= max_shards:
                 break
@@ -489,12 +683,24 @@ def _execute_plan(
                 results[result.index] = result
                 executed += 1
                 obs.count("sweep.cells.completed")
+            # The shard's state covers every cell of the shard — newly
+            # executed and journal-restored alike — so folding the
+            # per-shard states reproduces the whole sweep's totals.
+            state = ShardStreamState.from_results(
+                shard.index,
+                [results[planned.index] for planned in shard.cells()],
+            )
+            shard_states[shard.index] = state
             if journal is not None:
                 append_journal_entries(
                     journal,
-                    [result.to_entry(shard.index) for result in shard_results],
+                    [result.to_entry(shard.index) for result in shard_results]
+                    + [state.to_entry()],
                 )
             executed_shards += 1
+            obs.count("sweep.shards.completed")
+            obs.mark("sweep.shard.completed", shard.index)
+            obs.gauge("sweep.progress", len(results) / len(plan))
         obs.gauge("sweep.cells.done", len(results))
     ordered = tuple(results[index] for index in sorted(results))
     return SweepResult(
@@ -503,6 +709,9 @@ def _execute_plan(
         executed=executed,
         skipped=skipped,
         level=level,
+        shard_states=tuple(
+            shard_states[index] for index in sorted(shard_states)
+        ),
     )
 
 

@@ -25,8 +25,12 @@ from .storage import (
     CSV_COLUMNS,
     append_journal_entries,
     dump_records_csv,
+    follow_journal_records,
+    follow_records_csv,
     load_journal_entries,
     load_records_csv,
+    record_from_entry,
+    record_to_entry,
 )
 from .records import CaseRecord, TrialRecords
 from .run import ControlledTrial, TrialOutcome, run_reading_session
@@ -55,7 +59,11 @@ __all__ = [
     "estimate_per_reader",
     "dump_records_csv",
     "load_records_csv",
+    "follow_records_csv",
+    "follow_journal_records",
     "CSV_COLUMNS",
     "append_journal_entries",
     "load_journal_entries",
+    "record_to_entry",
+    "record_from_entry",
 ]

@@ -61,6 +61,78 @@ def sample_field_records(
     return records
 
 
+class TestChi2SurvivalFallback:
+    """The scipy-free ``_chi2_survival`` branch (exact integer-dof series).
+
+    Precomputed scipy 1.17 reference values pin the fallback even when
+    scipy is absent from the environment; when it is present we also
+    compare directly.  The old Wilson-Hilferty approximation failed these
+    at the tails (tens of percent relative error for small p-values).
+    """
+
+    # (statistic, dof) -> scipy.stats.chi2.sf(statistic, dof)
+    SCIPY_REFERENCE = {
+        (0.5, 1): 4.795001221869534e-01,
+        (2.3, 1): 1.293739988362981e-01,
+        (5.0, 2): 8.208499862389880e-02,
+        (1.2, 3): 7.530043116564580e-01,
+        (10.0, 4): 4.042768199451279e-02,
+        (3.3, 5): 6.538416823944545e-01,
+        (25.0, 7): 7.588002556582502e-04,
+        (60.0, 10): 3.624300952061492e-09,
+        (4.2, 12): 9.795509199103667e-01,
+        (100.0, 3): 1.554159431389603e-21,
+    }
+
+    @pytest.fixture
+    def without_scipy(self, monkeypatch):
+        from repro.analysis import monitoring
+
+        monkeypatch.setattr(monitoring, "_scipy_chi2", None)
+        return monitoring._chi2_survival
+
+    def test_fallback_matches_scipy_reference_values(self, without_scipy):
+        for (statistic, dof), expected in self.SCIPY_REFERENCE.items():
+            got = without_scipy(statistic, dof)
+            assert got == pytest.approx(expected, rel=1e-12), (statistic, dof)
+
+    def test_fallback_matches_live_scipy_when_available(self, without_scipy):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for statistic in (0.01, 0.7, 3.9, 17.3, 42.0):
+            for dof in range(1, 15):
+                expected = float(scipy_stats.chi2.sf(statistic, dof))
+                got = without_scipy(statistic, dof)
+                assert got == pytest.approx(expected, rel=1e-10, abs=1e-300), (
+                    statistic,
+                    dof,
+                )
+
+    def test_far_tail_does_not_explode(self, without_scipy):
+        # Deep underflow territory: must stay a probability, not a NaN.
+        value = without_scipy(3000.0, 4)
+        assert 0.0 <= value <= 1e-300
+
+    def test_boundaries(self, without_scipy):
+        assert without_scipy(0.0, 3) == 1.0
+        assert without_scipy(-1.0, 3) == 1.0
+        with pytest.raises(EstimationError, match="dof"):
+            without_scipy(1.0, 0)
+
+    def test_monitoring_verdicts_agree_with_and_without_scipy(self, monkeypatch):
+        """End-to-end: a drift report's p-values must not depend on scipy."""
+        from repro.analysis import monitoring
+
+        records = sample_field_records(
+            REFERENCE_PARAMETERS, REFERENCE_PROFILE, 2000, seed=9
+        )
+        with_scipy = monitor_records(records, REFERENCE_PARAMETERS, REFERENCE_PROFILE)
+        monkeypatch.setattr(monitoring, "_scipy_chi2", None)
+        without = monitor_records(records, REFERENCE_PARAMETERS, REFERENCE_PROFILE)
+        assert [t.name for t in with_scipy.tests] == [t.name for t in without.tests]
+        for a, b in zip(with_scipy.tests, without.tests):
+            assert a.p_value == pytest.approx(b.p_value, rel=1e-10, abs=1e-300)
+
+
 class TestProfileDriftTest:
     def test_matching_mix_not_flagged(self):
         result = profile_drift_test({"easy": 800, "difficult": 200}, REFERENCE_PROFILE)

@@ -244,6 +244,146 @@ class TestMonitorCommand:
         assert "x/PMf" in out
 
 
+class TestMonitorStreamingModes:
+    @staticmethod
+    def write_model(tmp_path, pmf):
+        from repro.core import ClassParameters, DemandProfile, ModelParameters, dump_model
+
+        model_path = tmp_path / "model.json"
+        dump_model(
+            model_path,
+            ModelParameters({"x": ClassParameters(pmf, 0.6, 0.1)}),
+            {"field": DemandProfile({"x": 1.0})},
+        )
+        return model_path
+
+    @staticmethod
+    def make_records(pmf, n=2000, seed=7):
+        import numpy as np
+
+        from repro.core import CaseClass
+        from repro.trial import CaseRecord, TrialRecords
+
+        rng = np.random.default_rng(seed)
+        records = TrialRecords()
+        for i in range(n):
+            machine_failed = bool(rng.random() < pmf)
+            p_fail = 0.6 if machine_failed else 0.1
+            records.append(
+                CaseRecord(
+                    i, "r", CaseClass("x"), True, True, machine_failed, 0,
+                    not bool(rng.random() < p_fail),
+                )
+            )
+        return records
+
+    def test_follow_streams_stable_csv(self, capsys, tmp_path):
+        from repro.trial import dump_records_csv
+
+        model_path = self.write_model(tmp_path, pmf=0.2)
+        records_path = tmp_path / "field.csv"
+        dump_records_csv(records_path, self.make_records(pmf=0.2))
+        code, out, _ = run_cli(
+            capsys,
+            "monitor", str(records_path), str(model_path),
+            "--follow", "--max-polls", "1", "--poll-interval", "0",
+        )
+        assert code == 0
+        assert f"following {records_path} (csv)" in out
+        assert "+2000 records: 2000 used of 2000 seen" in out
+        assert "no drift detected" in out
+
+    def test_follow_trips_sequential_alarms_on_drift(self, capsys, tmp_path):
+        from repro.trial import dump_records_csv
+
+        model_path = self.write_model(tmp_path, pmf=0.05)
+        records_path = tmp_path / "field.csv"
+        dump_records_csv(records_path, self.make_records(pmf=0.25, seed=8))
+        code, out, _ = run_cli(
+            capsys,
+            "monitor", str(records_path), str(model_path),
+            "--follow", "--max-polls", "1", "--poll-interval", "0",
+        )
+        assert code == 0
+        assert "DRIFT DETECTED" in out
+        assert "sequential alarms still tripped" in out
+
+    def test_from_journal_matches_csv_report(self, capsys, tmp_path):
+        from repro.trial import (
+            append_journal_entries,
+            dump_records_csv,
+            record_to_entry,
+        )
+
+        model_path = self.write_model(tmp_path, pmf=0.2)
+        records = self.make_records(pmf=0.2)
+        csv_path = tmp_path / "field.csv"
+        dump_records_csv(csv_path, records)
+        journal_path = tmp_path / "field.jsonl"
+        append_journal_entries(
+            journal_path, [record_to_entry(r) for r in records]
+        )
+        code, from_csv, _ = run_cli(
+            capsys, "monitor", str(csv_path), str(model_path)
+        )
+        assert code == 0
+        code, from_journal, _ = run_cli(
+            capsys,
+            "monitor", str(journal_path), str(model_path), "--from-journal",
+        )
+        assert code == 0
+        assert from_journal == from_csv
+
+    def test_follow_from_journal(self, capsys, tmp_path):
+        from repro.trial import append_journal_entries, record_to_entry
+
+        model_path = self.write_model(tmp_path, pmf=0.2)
+        journal_path = tmp_path / "field.jsonl"
+        append_journal_entries(
+            journal_path,
+            [record_to_entry(r) for r in self.make_records(pmf=0.2, n=600)],
+        )
+        code, out, _ = run_cli(
+            capsys,
+            "monitor", str(journal_path), str(model_path),
+            "--follow", "--from-journal",
+            "--max-polls", "1", "--poll-interval", "0", "--check-every", "200",
+        )
+        assert code == 0
+        assert f"following {journal_path} (journal)" in out
+        assert "3 checkpoints" in out
+
+    def test_empty_journal_fails_cleanly(self, capsys, tmp_path):
+        model_path = self.write_model(tmp_path, pmf=0.2)
+        journal_path = tmp_path / "empty.jsonl"
+        journal_path.write_text("")
+        code, _, err = run_cli(
+            capsys,
+            "monitor", str(journal_path), str(model_path), "--from-journal",
+        )
+        assert code == 1
+        assert "no record entries" in err
+
+    def test_follow_trace_out_captures_monitor_gauges(self, capsys, tmp_path):
+        from repro.trial import dump_records_csv
+
+        model_path = self.write_model(tmp_path, pmf=0.2)
+        records_path = tmp_path / "field.csv"
+        dump_records_csv(records_path, self.make_records(pmf=0.2, n=600))
+        trace = tmp_path / "monitor-report.json"
+        code, out, _ = run_cli(
+            capsys,
+            "monitor", str(records_path), str(model_path),
+            "--follow", "--max-polls", "1", "--poll-interval", "0",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        body = json.loads(trace.read_text())
+        gauges = body["metrics"]["gauges"]
+        assert gauges["monitor.records_used"] == 600
+        assert body["metrics"]["counters"]["monitor.checkpoints"] == 2
+
+
 class TestObservabilityFlags:
     def test_simulate_profile_prints_run_report(self, capsys):
         code, out, _ = run_cli(

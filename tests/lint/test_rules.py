@@ -432,6 +432,44 @@ class TestRep005SeedThreading:
         )
         assert findings == []
 
+    def test_orchestration_follow_launcher_without_seed_is_flagged(self):
+        # follow* streaming launchers in orchestration packages are held
+        # to the same bar as run*/resume*: they own the master seed.
+        findings = run(
+            """
+            def follow_cells(journal, grid):
+                return journal.tail(grid)
+            """,
+            module="repro.sweep.runner",
+            select=("REP005",),
+        )
+        assert rule_ids(findings) == ["REP005"]
+        assert "follow_cells" in findings[0].message
+
+    def test_orchestration_follow_launcher_threading_seed_passes(self):
+        findings = run(
+            """
+            def follow_cells(journal, grid, *, seed):
+                return journal.tail(grid, seed)
+            """,
+            module="repro.sweep.runner",
+            select=("REP005",),
+        )
+        assert findings == []
+
+    def test_follow_prefix_ignored_outside_orchestration_packages(self):
+        # A deterministic file tailer (repro.trial) takes no seed and
+        # must not be forced to grow one.
+        findings = run(
+            """
+            def follow_records_csv(path):
+                return open(path).readlines()
+            """,
+            module="repro.trial.storage",
+            select=("REP005",),
+        )
+        assert findings == []
+
 
 class TestRep006Observability:
     def test_flags_random_import_inside_obs(self):
@@ -506,6 +544,49 @@ class TestRep006Observability:
             def evaluate(obs, rng):
                 obs.count("draws", rng)
             """,
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_flags_generator_passed_to_timeline_mark(self):
+        # mark() feeds the ring-buffered timeline; a generator smuggled
+        # through it is as bad as one through count()/gauge().
+        findings = run(
+            """
+            def evaluate(obs, rng):
+                obs.mark("monitor.checkpoint", rng)
+            """,
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_allows_scalar_mark_values(self):
+        findings = run(
+            """
+            def evaluate(obs, shard_index):
+                obs.mark("sweep.shard.completed", shard_index)
+            """,
+            select=("REP006",),
+        )
+        assert findings == []
+
+    def test_streaming_monitoring_plane_is_an_observability_package(self):
+        # repro.analysis.streaming publishes through repro.obs and must
+        # stay a pure observer: no randomness of any shape inside it.
+        findings = run(
+            "import random\n",
+            module="repro.analysis.streaming",
+            select=("REP006",),
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+    def test_streaming_plane_rejects_generator_parameters(self):
+        findings = run(
+            """
+            def checkpoint(counts, rng):
+                return (counts, rng)
+            """,
+            module="repro.analysis.streaming",
             select=("REP006",),
         )
         assert rule_ids(findings) == ["REP006"]

@@ -155,7 +155,15 @@ class TestNullMetricsRegistry:
         registry.set_gauge("workers", 4)
         registry.observe("wall", 1.0)
         registry.merge_counters({"hits": 5})
-        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        registry.mark("event")
+        assert registry.snapshot() == {
+            "schema": 2,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timeline": [],
+        }
+        assert registry.timeline.snapshot() == []
 
     def test_instruments_are_shared_inert_twins(self):
         registry = NULL_REGISTRY

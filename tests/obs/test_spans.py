@@ -111,10 +111,13 @@ class TestInstrumentation:
         obs.gauge("level", 1)
         obs.observe("wall", 1.0)
         obs.ingest_spans([("r", {}, 0.1, 1)])
+        obs.mark("event", 7)
         assert obs.metrics.snapshot() == {
+            "schema": 2,
             "counters": {},
             "gauges": {},
             "histograms": {},
+            "timeline": [],
         }
         assert obs.spans.records() == ()
         assert obs.elapsed() == 0.0

@@ -1,0 +1,110 @@
+"""The ring-buffered timeline and the Prometheus text exposition."""
+
+import pytest
+
+from repro.obs import (
+    METRICS_SCHEMA_VERSION,
+    NULL_TIMELINE,
+    Instrumentation,
+    MetricsRegistry,
+    MetricsTimeline,
+    prometheus_text,
+)
+
+
+class TestMetricsTimeline:
+    def test_marks_are_ordered_and_numbered(self):
+        timeline = MetricsTimeline(capacity=8)
+        timeline.mark("a")
+        timeline.mark("b", 2.5)
+        events = timeline.events()
+        assert [e.name for e in events] == ["a", "b"]
+        assert [e.seq for e in events] == [1, 2]
+        assert events[1].value == 2.5
+        assert events[0].time_s > 0.0
+
+    def test_ring_buffer_evicts_oldest(self):
+        timeline = MetricsTimeline(capacity=3)
+        for i in range(5):
+            timeline.mark(f"e{i}")
+        events = timeline.events()
+        assert [e.name for e in events] == ["e2", "e3", "e4"]
+        # Sequence numbers survive eviction: they keep counting.
+        assert [e.seq for e in events] == [3, 4, 5]
+        assert timeline.last_seq == 5
+        assert len(timeline) == 3
+
+    def test_incremental_polling_by_sequence(self):
+        timeline = MetricsTimeline()
+        timeline.mark("a")
+        cursor = timeline.last_seq
+        timeline.mark("b")
+        timeline.mark("c")
+        fresh = timeline.events(since_seq=cursor)
+        assert [e.name for e in fresh] == ["b", "c"]
+
+    def test_snapshot_is_json_ready(self):
+        timeline = MetricsTimeline()
+        timeline.mark("a", 3)
+        (payload,) = timeline.snapshot()
+        assert payload["name"] == "a"
+        assert payload["value"] == 3.0
+        assert payload["seq"] == 1
+        assert payload["time_s"] > 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MetricsTimeline(capacity=0)
+
+    def test_null_timeline_is_inert(self):
+        event = NULL_TIMELINE.mark("a")
+        assert event.seq == 0
+        assert NULL_TIMELINE.events() == ()
+        assert NULL_TIMELINE.snapshot() == []
+        assert len(NULL_TIMELINE) == 0
+
+
+class TestRegistryTimeline:
+    def test_registry_mark_lands_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.mark("sweep.shard.completed", 4)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == METRICS_SCHEMA_VERSION
+        assert snapshot["timeline"][0]["name"] == "sweep.shard.completed"
+        assert snapshot["timeline"][0]["value"] == 4.0
+
+    def test_instrumentation_mark_delegates(self):
+        obs = Instrumentation("t")
+        obs.mark("checkpoint", 128)
+        events = obs.metrics.timeline.events()
+        assert [e.name for e in events] == ["checkpoint"]
+
+
+class TestPrometheusText:
+    def test_renders_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.increment("service.requests", 3)
+        registry.set_gauge("monitor.alarms.tripped", 1)
+        registry.observe("service.latency_s", 0.25)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE service_requests counter" in text
+        assert "service_requests 3" in text
+        assert "# TYPE monitor_alarms_tripped gauge" in text
+        assert "monitor_alarms_tripped 1" in text
+        assert "# TYPE service_latency_s summary" in text
+        assert 'service_latency_s{quantile="0.5"}' in text
+        assert "service_latency_s_count 1" in text
+        assert text.endswith("\n")
+
+    def test_sanitises_monitor_style_names(self):
+        text = prometheus_text({"gauges": {"easy/PHf|Mf": 0.5}})
+        assert "easy_PHf_Mf 0.5" in text
+
+    def test_prefix_and_empty_snapshot(self):
+        assert prometheus_text({}) == ""
+        text = prometheus_text({"counters": {"hits": 1}}, prefix="repro_")
+        assert "repro_hits 1" in text
+
+    def test_leading_digit_is_escaped(self):
+        text = prometheus_text({"counters": {"9lives": 1}})
+        assert "_9lives 1" in text

@@ -144,7 +144,7 @@ class TestWorkloadCache:
             WorkloadCache(capacity=0)
 
 
-async def http_request(port, method, path, body=None, headers=()):
+async def http_request(port, method, path, body=None, headers=(), raw=False):
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     payload = json.dumps(body).encode() if body is not None else b""
     lines = [f"{method} {path} HTTP/1.1", f"Content-Length: {len(payload)}"]
@@ -162,15 +162,17 @@ async def http_request(port, method, path, body=None, headers=()):
         name, _, value = line.decode().partition(":")
         response_headers[name.strip().lower()] = value.strip()
     length = int(response_headers.get("content-length", "0"))
-    data = json.loads(await reader.readexactly(length)) if length else None
+    data = await reader.readexactly(length) if length else b""
     writer.close()
-    return status, response_headers, data
+    if raw:
+        return status, response_headers, data.decode()
+    return status, response_headers, json.loads(data) if data else None
 
 
 class TestHttpLayer:
-    def run_with_server(self, config, scenario):
+    def run_with_server(self, config, scenario, obs=None):
         async def main():
-            service = ScreeningService(config)
+            service = ScreeningService(config, obs=obs)
             ready = asyncio.Event()
             port = 8750 + (hash(scenario.__name__) % 200)
             task = asyncio.create_task(serve(service, port=port, ready=ready))
@@ -309,8 +311,144 @@ class TestHttpLayer:
             self.run_with_server(CONFIG, scenario)
         )
         assert health_status == 200
-        assert health == {"status": "ok"}
+        assert health == {"status": "ok", "draining": False, "alarms": 0}
         assert metrics_status == 200
         # The default service runs null instrumentation; the endpoint
         # still answers with the (empty) snapshot shape.
-        assert set(metrics) == {"counters", "gauges", "histograms"}
+        assert set(metrics) == {
+            "schema",
+            "counters",
+            "gauges",
+            "histograms",
+            "timeline",
+        }
+
+
+def field_entry(case_id, name="easy", machine_failed=False, recalled=True):
+    """A JSON record entry as a monitoring client would send it."""
+    return {
+        "case_id": case_id,
+        "reader_name": "field",
+        "case_class": name,
+        "has_cancer": True,
+        "aided": True,
+        "machine_failed": machine_failed,
+        "machine_false_prompts": 1,
+        "recalled": recalled,
+    }
+
+
+class TestMonitoringPlane(TestHttpLayer):
+    """The live monitoring endpoints: /v1/ingest, /v1/monitor, /healthz."""
+
+    def test_healthz_payload_schema(self):
+        async def scenario_healthz(port):
+            return await http_request(port, "GET", "/healthz")
+
+        status, _, health = self.run_with_server(CONFIG, scenario_healthz)
+        assert status == 200
+        assert set(health) == {"status", "draining", "alarms"}
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        assert isinstance(health["alarms"], int)
+
+    def test_ingest_then_monitor_round_trip(self):
+        entries = [field_entry(i) for i in range(18)]
+        entries += [field_entry(18 + i, name="difficult", machine_failed=True)
+                    for i in range(2)]
+
+        async def scenario_ingest(port):
+            ingest = await http_request(
+                port, "POST", "/v1/ingest", body={"records": entries}
+            )
+            monitor = await http_request(port, "GET", "/v1/monitor")
+            return ingest, monitor
+
+        (ingest_status, _, ingested), (monitor_status, _, monitor) = (
+            self.run_with_server(CONFIG, scenario_ingest)
+        )
+        assert ingest_status == 200
+        assert ingested["received"] == 20
+        assert ingested["used"] == 20
+        assert set(ingested["alarms"]) == {"tripped", "fired"}
+        assert monitor_status == 200
+        snapshot = monitor["monitor"]
+        assert snapshot["records"] == {"seen": 20, "used": 20}
+        assert set(snapshot["estimates"]) == {"easy", "difficult"}
+        assert snapshot["estimates"]["easy"]["records"] == 18
+        report = monitor["report"]
+        assert report is not None
+        assert report["tests"][0]["name"] == "profile"
+        assert all(0.0 <= test["p_value"] <= 1.0 for test in report["tests"])
+
+    def test_monitor_report_is_null_before_any_ingest(self):
+        async def scenario_empty_monitor(port):
+            return await http_request(port, "GET", "/v1/monitor")
+
+        status, _, data = self.run_with_server(CONFIG, scenario_empty_monitor)
+        assert status == 200
+        assert data["report"] is None
+        assert data["monitor"]["records"] == {"seen": 0, "used": 0}
+
+    def test_unknown_class_is_tolerated_live_but_blocks_the_report(self):
+        async def scenario_unknown_class(port):
+            ingest = await http_request(
+                port,
+                "POST",
+                "/v1/ingest",
+                body={"records": [field_entry(1, name="novel")]},
+            )
+            monitor = await http_request(port, "GET", "/v1/monitor")
+            return ingest, monitor
+
+        (ingest_status, _, ingested), (_, _, monitor) = self.run_with_server(
+            CONFIG, scenario_unknown_class
+        )
+        assert ingest_status == 200
+        assert ingested["used"] == 1
+        assert monitor["report"] is None
+
+    def test_malformed_ingest_is_400_with_index(self):
+        async def scenario_bad_ingest(port):
+            missing = await http_request(
+                port,
+                "POST",
+                "/v1/ingest",
+                body={"records": [{"case_id": "nope"}]},
+            )
+            empty = await http_request(
+                port, "POST", "/v1/ingest", body={"records": []}
+            )
+            return missing, empty
+
+        (bad_status, _, bad), (empty_status, _, _) = self.run_with_server(
+            CONFIG, scenario_bad_ingest
+        )
+        assert bad_status == 400
+        assert "records[0]" in bad["error"]
+        assert empty_status == 400
+
+    def test_prometheus_exposition_format(self):
+        from repro.obs import Instrumentation as Obs
+
+        async def scenario_prometheus(port):
+            await http_request(
+                port,
+                "POST",
+                "/v1/ingest",
+                body={"records": [field_entry(i) for i in range(5)]},
+            )
+            text = await http_request(
+                port, "GET", "/v1/metrics?format=prometheus", raw=True
+            )
+            bogus = await http_request(port, "GET", "/v1/metrics?format=bogus")
+            return text, bogus
+
+        (text_status, text_headers, text), (bogus_status, _, _) = (
+            self.run_with_server(CONFIG, scenario_prometheus, obs=Obs("svc"))
+        )
+        assert text_status == 200
+        assert text_headers["content-type"].startswith("text/plain")
+        assert "# TYPE service_requests counter" in text
+        assert "monitor_records_used 5" in text
+        assert bogus_status == 400

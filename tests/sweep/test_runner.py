@@ -13,6 +13,7 @@ from repro.screening import SubtletyClassifier
 from repro.sweep import (
     CellResult,
     ScenarioGrid,
+    ShardStreamState,
     compile_grid,
     reproduce_cell,
     resume_sweep,
@@ -163,6 +164,108 @@ class TestJournalling:
         grid = small_grid()
         result = resume_sweep(grid, seed=5, journal=tmp_path / "new.jsonl")
         assert result.complete and result.skipped == 0
+
+
+class TestShardStreamStates:
+    def test_one_state_per_shard_and_totals_match_rows(self):
+        grid = small_grid()
+        result = run_sweep(grid, seed=5, shard_size=3)
+        assert len(result.shard_states) == len(result.plan.shards)
+        assert [s.shard for s in result.shard_states] == sorted(
+            s.shard for s in result.shard_states
+        )
+        merged = result.stream_state()
+        rows = result.rows()
+        assert merged.cells == len(rows)
+        assert merged.fn_failures == sum(r["fn_failures"] for r in rows)
+        assert merged.fn_trials == sum(r["fn_trials"] for r in rows)
+        assert merged.fp_failures == sum(r["fp_failures"] for r in rows)
+        assert merged.fp_trials == sum(r["fp_trials"] for r in rows)
+
+    def test_merged_totals_invariant_to_shard_partition(self):
+        grid = small_grid()
+        wide = run_sweep(grid, seed=5, shard_size=64).stream_state()
+        narrow = run_sweep(grid, seed=5, shard_size=2).stream_state()
+        for field in (
+            "cells",
+            "fn_failures",
+            "fn_trials",
+            "fp_failures",
+            "fp_trials",
+        ):
+            assert getattr(wide, field) == getattr(narrow, field)
+        # Per-cell moments see the same multiset of rates either way.
+        assert wide.fn_rate.count == narrow.fn_rate.count
+        assert wide.fn_rate.mean == pytest.approx(narrow.fn_rate.mean)
+
+    def test_streaming_summary_shape(self):
+        result = run_sweep(small_grid(), seed=5, shard_size=4)
+        summary = result.streaming_summary()
+        assert "shard" not in summary
+        assert summary["shards"] == len(result.plan.shards)
+        assert summary["cells"] == len(result.plan)
+        for key in (
+            "fn_failures",
+            "fn_trials",
+            "fp_failures",
+            "fp_trials",
+            "fn_rate",
+            "fp_rate",
+            "fn_rate_per_cell",
+            "fp_rate_per_cell",
+        ):
+            assert key in summary
+
+    def test_journal_entry_round_trip(self):
+        result = run_sweep(small_grid(), seed=5, shard_size=3)
+        for state in result.shard_states:
+            restored = ShardStreamState.from_entry(state.to_entry())
+            assert restored.shard == state.shard
+            assert restored.cells == state.cells
+            assert restored.fn_failures == state.fn_failures
+            assert restored.fn_trials == state.fn_trials
+            assert restored.fp_failures == state.fp_failures
+            assert restored.fp_trials == state.fp_trials
+            assert restored.fn_rate.state() == state.fn_rate.state()
+            assert restored.fp_rate.state() == state.fp_rate.state()
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(SimulationError, match="schema"):
+            ShardStreamState.from_entry({"kind": "shard_state", "schema": 99})
+        entry = ShardStreamState().to_entry()
+        del entry["fn_rate"]
+        with pytest.raises(SimulationError, match="malformed shard state entry"):
+            ShardStreamState.from_entry(entry)
+        with pytest.raises(SimulationError, match="cannot merge"):
+            ShardStreamState().merge({"cells": 1})
+
+    def test_resume_restores_shard_states(self, tmp_path):
+        grid = small_grid()
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(grid, seed=5, journal=journal, shard_size=3, max_shards=2)
+        resumed = resume_sweep(grid, seed=5, journal=journal, shard_size=3)
+        assert resumed.complete
+        assert len(resumed.shard_states) == len(resumed.plan.shards)
+        fresh = run_sweep(grid, seed=5, shard_size=3)
+        merged, baseline = resumed.stream_state(), fresh.stream_state()
+        assert merged.cells == baseline.cells
+        assert merged.fn_failures == baseline.fn_failures
+        assert merged.fp_failures == baseline.fp_failures
+        assert merged.fn_rate.count == baseline.fn_rate.count
+
+    def test_progress_events_emitted(self):
+        obs = Instrumentation(name="test")
+        result = run_sweep(small_grid(), seed=5, shard_size=3, obs=obs)
+        metrics = obs.metrics
+        shards = len(result.plan.shards)
+        assert metrics.counter("sweep.shards.completed").value == shards
+        assert metrics.gauge("sweep.progress").value == 1.0
+        marks = [
+            event
+            for event in metrics.timeline.events()
+            if event.name == "sweep.shard.completed"
+        ]
+        assert [m.value for m in marks] == list(range(shards))
 
 
 class TestCellResult:
